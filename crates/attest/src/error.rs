@@ -1,0 +1,45 @@
+//! Attestation errors.
+
+use std::fmt;
+
+/// Failure of an attestation flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttestError {
+    /// The VM is not a confidential VM of the expected platform.
+    WrongVmKind,
+    /// The platform firmware refused the request.
+    Firmware(String),
+    /// Evidence signature did not verify.
+    BadSignature(&'static str),
+    /// The report data (nonce) in the evidence does not match.
+    NonceMismatch,
+    /// The TCB level in the evidence is below the verifier's policy.
+    TcbOutOfDate {
+        /// TCB the evidence reports.
+        reported: u64,
+        /// Minimum the policy requires.
+        required: u64,
+    },
+    /// A certificate in the chain is revoked.
+    Revoked(&'static str),
+    /// The platform does not support attestation (CCA on FVP).
+    Unsupported,
+}
+
+impl fmt::Display for AttestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttestError::WrongVmKind => f.write_str("attestation requires a confidential VM of the right platform"),
+            AttestError::Firmware(msg) => write!(f, "firmware error: {msg}"),
+            AttestError::BadSignature(which) => write!(f, "signature check failed: {which}"),
+            AttestError::NonceMismatch => f.write_str("report data does not match expected nonce"),
+            AttestError::TcbOutOfDate { reported, required } => {
+                write!(f, "tcb {reported} below required {required}")
+            }
+            AttestError::Revoked(which) => write!(f, "certificate revoked: {which}"),
+            AttestError::Unsupported => f.write_str("attestation unsupported on this platform"),
+        }
+    }
+}
+
+impl std::error::Error for AttestError {}

@@ -1,0 +1,90 @@
+//! Deterministic WAN latency model for attestation services.
+
+use confbench_crypto::SplitMix64;
+use std::cell::RefCell;
+
+/// Latency model for requests to a remote service (the Intel PCS).
+///
+/// Each request costs one round trip plus transfer time, with deterministic
+/// seeded jitter. The model is intentionally simple: the paper's Fig. 5
+/// asymmetry only requires that network requests cost orders of magnitude
+/// more than local firmware calls.
+#[derive(Debug)]
+pub struct NetworkModel {
+    rtt_ms: f64,
+    mbits_per_s: f64,
+    jitter_rel_std: f64,
+    rng: RefCell<SplitMix64>,
+}
+
+impl NetworkModel {
+    /// A WAN path to a public service: 38 ms RTT, 200 Mbit/s, 15% jitter.
+    pub fn wan(seed: u64) -> Self {
+        NetworkModel {
+            rtt_ms: 38.0,
+            mbits_per_s: 200.0,
+            jitter_rel_std: 0.15,
+            rng: RefCell::new(SplitMix64::new(seed ^ 0x6e_6574_776f_726b)),
+        }
+    }
+
+    /// A custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rtt_ms >= 0`, `mbits_per_s > 0`.
+    pub fn new(rtt_ms: f64, mbits_per_s: f64, jitter_rel_std: f64, seed: u64) -> Self {
+        assert!(rtt_ms >= 0.0 && mbits_per_s > 0.0, "invalid network parameters");
+        NetworkModel {
+            rtt_ms,
+            mbits_per_s,
+            jitter_rel_std,
+            rng: RefCell::new(SplitMix64::new(seed)),
+        }
+    }
+
+    /// Latency in ms of one HTTPS request returning `response_bytes`
+    /// (handshake amortized: 1.5 RTTs per request).
+    pub fn request_ms(&self, response_bytes: u64) -> f64 {
+        let transfer = response_bytes as f64 * 8.0 / (self.mbits_per_s * 1e3);
+        let base = self.rtt_ms * 1.5 + transfer;
+        let jitter = 1.0 + self.rng.borrow_mut().next_gaussian() * self.jitter_rel_std;
+        base * jitter.clamp(0.6, 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_cost_scales_with_size() {
+        let net = NetworkModel::new(40.0, 100.0, 0.0, 1);
+        let small = net.request_ms(1_000);
+        let big = net.request_ms(10_000_000);
+        assert!(big > small + 100.0, "10 MB at 100 Mbit/s adds ~800 ms: {small} vs {big}");
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let net = NetworkModel::new(40.0, 100.0, 0.0, 1);
+        // 1.5 RTT = 60 ms, plus 0.08 ms transfer for 1 KB.
+        let ms = net.request_ms(1_000);
+        assert!((ms - 60.08).abs() < 1e-9, "{ms}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let a = NetworkModel::wan(7);
+        let b = NetworkModel::wan(7);
+        assert_eq!(a.request_ms(500), b.request_ms(500));
+        let c = NetworkModel::wan(8);
+        assert_ne!(a.request_ms(500), c.request_ms(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid network parameters")]
+    fn zero_bandwidth_panics() {
+        NetworkModel::new(10.0, 0.0, 0.0, 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! SEV-SNP report generation and verification (the `snpguest` flow).
+//!
+//! The guest requests a report from the AMD-SP over the GHCB; the VCEK
+//! certificate chain (ARK → ASK → VCEK) is fetched **from the local
+//! host/hardware**, so the three-step verification (chain → signature →
+//! claims) involves no network at all — the structural reason SNP wins both
+//! phases of Fig. 5.
+
+use confbench_crypto::{Signature, SigningKey, VerifyingKey};
+use confbench_vmm::{SnpReport, Vm};
+
+use crate::error::AttestError;
+use crate::PhaseTiming;
+
+/// The VCEK certificate chain: AMD Root Key signs the AMD SEV Key, which
+/// signs the chip-unique VCEK.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcekChain {
+    /// ARK public key (the pinned trust anchor).
+    pub ark: VerifyingKey,
+    /// ASK public key and the ARK's signature over it.
+    pub ask: (VerifyingKey, Signature),
+    /// VCEK public key and the ASK's signature over it.
+    pub vcek: (VerifyingKey, Signature),
+}
+
+impl VcekChain {
+    /// Step 1 of `snpguest verify`: walk the chain.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::BadSignature`] naming the broken link.
+    pub fn verify(&self) -> Result<(), AttestError> {
+        self.ark
+            .verify(&key_message("ask", self.ask.0), &self.ask.1)
+            .map_err(|_| AttestError::BadSignature("ask cert"))?;
+        self.ask
+            .0
+            .verify(&key_message("vcek", self.vcek.0), &self.vcek.1)
+            .map_err(|_| AttestError::BadSignature("vcek cert"))?;
+        Ok(())
+    }
+}
+
+fn key_message(label: &str, key: VerifyingKey) -> Vec<u8> {
+    let mut v = label.as_bytes().to_vec();
+    v.extend_from_slice(&key.element().to_be_bytes());
+    v
+}
+
+/// The SNP attestation ecosystem: AMD key hierarchy for one product line.
+#[derive(Debug)]
+pub struct SnpEcosystem {
+    ark: SigningKey,
+    ask: SigningKey,
+    min_tcb: u64,
+}
+
+/// Firmware round trip for `MSG_REPORT_REQ` (guest → AMD-SP → guest), ms.
+const REPORT_REQ_MS: f64 = 9.0;
+/// `snpguest`-side marshalling per request, ms.
+const TOOLING_MS: f64 = 3.5;
+/// Local certificate fetch from the host (hypervisor-cached), ms.
+const CERT_FETCH_MS: f64 = 6.0;
+/// Local crypto for the three-step verification, ms.
+const VERIFY_CRYPTO_MS: f64 = 7.0;
+
+impl SnpEcosystem {
+    /// Builds an ecosystem seeded for determinism, requiring TCB ≥ 7
+    /// (matching the modelled platform's reported TCB).
+    pub fn new(seed: u64) -> Self {
+        SnpEcosystem {
+            ark: SigningKey::from_seed(seed ^ 0x61_726b /* "ark" */),
+            ask: SigningKey::from_seed(seed ^ 0x61_736b /* "ask" */),
+            min_tcb: 7,
+        }
+    }
+
+    /// Raises the verifier's minimum TCB policy.
+    pub fn set_min_tcb(&mut self, tcb: u64) {
+        self.min_tcb = tcb;
+    }
+
+    /// **Attest phase**: request a report from the AMD-SP of `vm`'s host.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::WrongVmKind`] unless `vm` is an SNP guest.
+    pub fn request_report(
+        &self,
+        vm: &mut Vm,
+        report_data: [u8; 64],
+    ) -> Result<(SnpReport, PhaseTiming), AttestError> {
+        let freq = vm.target().platform.host_freq_ghz();
+        let exit_ms = vm.cost_model().exit_cost / (freq * 1e6);
+        let (sp, asid) = vm.amd_sp_mut().ok_or(AttestError::WrongVmKind)?;
+        sp.record_ghcb_exit();
+        let report =
+            sp.request_report(asid, report_data).map_err(|e| AttestError::Firmware(e.to_string()))?;
+        Ok((report, PhaseTiming::local(TOOLING_MS + REPORT_REQ_MS + exit_ms)))
+    }
+
+    /// Builds the VCEK chain for the AMD-SP in `vm`'s host, as fetched from
+    /// the hardware by `snpguest` (no network).
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::WrongVmKind`] unless `vm` is an SNP guest.
+    pub fn fetch_chain(&self, vm: &mut Vm) -> Result<(VcekChain, f64), AttestError> {
+        let (sp, _) = vm.amd_sp_mut().ok_or(AttestError::WrongVmKind)?;
+        let vcek_pub = sp.vcek_public();
+        let ask_pub = self.ask.verifying_key();
+        let chain = VcekChain {
+            ark: self.ark.verifying_key(),
+            ask: (ask_pub, self.ark.sign(&key_message("ask", ask_pub))),
+            vcek: (vcek_pub, self.ask.sign(&key_message("vcek", vcek_pub))),
+        };
+        Ok((chain, CERT_FETCH_MS))
+    }
+
+    /// **Check phase** against a caller-supplied chain: the full three-step
+    /// `snpguest verify` (chain, signature, claims).
+    ///
+    /// # Errors
+    ///
+    /// Chain, signature, TCB, and nonce failures.
+    pub fn verify_report_with_chain(
+        &self,
+        report: &SnpReport,
+        chain: &VcekChain,
+        expected_report_data: [u8; 64],
+    ) -> Result<PhaseTiming, AttestError> {
+        // Step 1: certificate chain.
+        chain.verify()?;
+        // Step 2: report signature under the chained VCEK.
+        chain
+            .vcek
+            .0
+            .verify(&report.signed_bytes(), &report.signature)
+            .map_err(|_| AttestError::BadSignature("report"))?;
+        // Step 3: claims.
+        if report.tcb_version < self.min_tcb {
+            return Err(AttestError::TcbOutOfDate {
+                reported: report.tcb_version,
+                required: self.min_tcb,
+            });
+        }
+        if report.report_data != expected_report_data {
+            return Err(AttestError::NonceMismatch);
+        }
+        Ok(PhaseTiming::local(VERIFY_CRYPTO_MS))
+    }
+
+    /// Convenience check phase that self-builds the expected chain from the
+    /// ecosystem keys and a fresh chip key equal to the report's — used when
+    /// the verifier trusts the host-provided chain, as in the paper's setup.
+    ///
+    /// # Errors
+    ///
+    /// As [`SnpEcosystem::verify_report_with_chain`], with the chain assumed
+    /// pre-fetched (its latency is charged here).
+    pub fn verify_report(
+        &self,
+        report: &SnpReport,
+        expected_report_data: [u8; 64],
+    ) -> Result<PhaseTiming, AttestError> {
+        // Reconstruct the chain head from ecosystem keys; the VCEK public
+        // key rides with the report in the host-provided cert blob.
+        let vcek_pub = VerifyingKey::from_element(self.vcek_element_for(report))
+            .map_err(|_| AttestError::BadSignature("vcek key"))?;
+        let ask_pub = self.ask.verifying_key();
+        let chain = VcekChain {
+            ark: self.ark.verifying_key(),
+            ask: (ask_pub, self.ark.sign(&key_message("ask", ask_pub))),
+            vcek: (vcek_pub, self.ask.sign(&key_message("vcek", vcek_pub))),
+        };
+        let timing = self.verify_report_with_chain(report, &chain, expected_report_data)?;
+        Ok(PhaseTiming::local(timing.compute_ms + CERT_FETCH_MS))
+    }
+
+    fn vcek_element_for(&self, report: &SnpReport) -> u64 {
+        // The VCEK is chip-unique and derivable from the chip id; mirror
+        // AmdSp::new's derivation.
+        SigningKey::from_seed(report.chip_id ^ 0x56_43_45_4b).verifying_key().element()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confbench_types::{TeePlatform, VmTarget};
+    use confbench_vmm::TeeVmBuilder;
+
+    fn guest() -> Vm {
+        TeeVmBuilder::new(VmTarget::secure(TeePlatform::SevSnp)).seed(1).build()
+    }
+
+    #[test]
+    fn report_roundtrip_verifies_locally() {
+        let mut vm = guest();
+        let eco = SnpEcosystem::new(1);
+        let (report, attest) = eco.request_report(&mut vm, [5; 64]).unwrap();
+        let check = eco.verify_report(&report, [5; 64]).unwrap();
+        assert!(attest.latency_ms < 30.0, "local firmware call: {}", attest.latency_ms);
+        assert!(check.latency_ms < 30.0, "local verification: {}", check.latency_ms);
+        assert_eq!(check.network_ms, 0.0);
+    }
+
+    #[test]
+    fn explicit_chain_flow() {
+        let mut vm = guest();
+        let eco = SnpEcosystem::new(1);
+        let (report, _) = eco.request_report(&mut vm, [5; 64]).unwrap();
+        let (chain, _) = eco.fetch_chain(&mut vm).unwrap();
+        chain.verify().unwrap();
+        eco.verify_report_with_chain(&report, &chain, [5; 64]).unwrap();
+    }
+
+    #[test]
+    fn broken_chain_link_detected() {
+        let mut vm = guest();
+        let eco = SnpEcosystem::new(1);
+        let other = SnpEcosystem::new(2);
+        let (mut chain, _) = eco.fetch_chain(&mut vm).unwrap();
+        // Replace the ASK cert with one from a different root.
+        let (other_chain, _) = other.fetch_chain(&mut vm).unwrap();
+        chain.ask = other_chain.ask;
+        assert_eq!(chain.verify(), Err(AttestError::BadSignature("ask cert")));
+    }
+
+    #[test]
+    fn tampered_report_rejected() {
+        let mut vm = guest();
+        let eco = SnpEcosystem::new(1);
+        let (mut report, _) = eco.request_report(&mut vm, [5; 64]).unwrap();
+        report.tcb_version = 99;
+        assert_eq!(
+            eco.verify_report(&report, [5; 64]),
+            Err(AttestError::BadSignature("report"))
+        );
+    }
+
+    #[test]
+    fn nonce_mismatch_rejected() {
+        let mut vm = guest();
+        let eco = SnpEcosystem::new(1);
+        let (report, _) = eco.request_report(&mut vm, [5; 64]).unwrap();
+        assert_eq!(eco.verify_report(&report, [6; 64]), Err(AttestError::NonceMismatch));
+    }
+
+    #[test]
+    fn tcb_policy_enforced() {
+        let mut vm = guest();
+        let mut eco = SnpEcosystem::new(1);
+        let (report, _) = eco.request_report(&mut vm, [5; 64]).unwrap();
+        eco.set_min_tcb(50);
+        assert_eq!(
+            eco.verify_report(&report, [5; 64]),
+            Err(AttestError::TcbOutOfDate { reported: 7, required: 50 })
+        );
+    }
+
+    #[test]
+    fn wrong_vm_kind_rejected() {
+        let mut vm = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).build();
+        assert_eq!(
+            SnpEcosystem::new(1).request_report(&mut vm, [0; 64]).unwrap_err(),
+            AttestError::WrongVmKind
+        );
+    }
+}

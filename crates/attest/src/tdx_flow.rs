@@ -1,0 +1,319 @@
+//! TDX quote generation and DCAP-style verification.
+//!
+//! Generation (paper: SGX DCAP libraries + `go-tdx-guest`):
+//! 1. the TD asks the module for a TDREPORT (`TDG.MR.REPORT`, a TDCALL);
+//! 2. the host-side Quoting Enclave validates the report and signs it with
+//!    its attestation key, producing the *quote*.
+//!
+//! Verification (the expensive part, per Fig. 5):
+//! 1. fetch TCB info for the platform from the Intel PCS (network);
+//! 2. fetch the PCK CRL and the root CA CRL (two more network requests);
+//! 3. check the certificate chain against the CRLs, the QE signature, the
+//!    TCB level, and the report data binding.
+
+use confbench_crypto::{Sha256, Signature, SigningKey, VerifyingKey};
+use confbench_types::Cycles;
+use confbench_vmm::{TdReport, Vm};
+
+use crate::error::AttestError;
+use crate::network::NetworkModel;
+use crate::PhaseTiming;
+
+/// A TD quote: a TDREPORT countersigned by the Quoting Enclave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TdQuote {
+    /// The embedded report.
+    pub report: TdReport,
+    /// Numeric TCB level encoded in the quote (derived from the module
+    /// version in this model).
+    pub tcb_level: u64,
+    /// QE signature over the serialized report.
+    pub qe_signature: Signature,
+}
+
+impl TdQuote {
+    /// The byte string the QE signature covers.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        v.extend_from_slice(self.report.mrtd.as_bytes());
+        for r in &self.report.rtmr {
+            v.extend_from_slice(r.as_bytes());
+        }
+        v.extend_from_slice(&self.report.report_data);
+        v.extend_from_slice(&self.tcb_level.to_be_bytes());
+        v
+    }
+}
+
+/// The simulated Intel Provisioning Certification Service.
+///
+/// Owns the platform root of trust, serves signed TCB info and CRLs, and
+/// charges network latency per request through a [`NetworkModel`].
+#[derive(Debug)]
+pub struct PcsService {
+    root_key: SigningKey,
+    current_tcb: u64,
+    revoked_pck: bool,
+    network: NetworkModel,
+}
+
+/// Serialized size of the TCB info response (bytes), for transfer costing.
+const TCB_INFO_BYTES: u64 = 8_192;
+/// Serialized size of each CRL response.
+const CRL_BYTES: u64 = 24_576;
+
+impl PcsService {
+    fn new(seed: u64, current_tcb: u64) -> Self {
+        PcsService {
+            root_key: SigningKey::from_seed(seed ^ 0x7063_7321 /* "pcs!" */),
+            current_tcb,
+            revoked_pck: false,
+            network: NetworkModel::wan(seed),
+        }
+    }
+
+    /// Marks the platform's PCK certificate revoked (test/ablation hook).
+    pub fn revoke_pck(&mut self) {
+        self.revoked_pck = true;
+    }
+
+    /// Raises the minimum TCB the service advertises (models a TCB recovery
+    /// event that obsoletes older firmware).
+    pub fn set_current_tcb(&mut self, tcb: u64) {
+        self.current_tcb = tcb;
+    }
+
+    /// `GET /tcb`: returns (minimum acceptable TCB, signature, latency ms).
+    pub fn fetch_tcb_info(&self) -> (u64, Signature, f64) {
+        let sig = self.root_key.sign(&tcb_message(self.current_tcb));
+        (self.current_tcb, sig, self.network.request_ms(TCB_INFO_BYTES))
+    }
+
+    /// `GET /pckcrl`: returns (is-pck-revoked, latency ms).
+    pub fn fetch_pck_crl(&self) -> (bool, f64) {
+        (self.revoked_pck, self.network.request_ms(CRL_BYTES))
+    }
+
+    /// `GET /rootcacrl`: returns latency ms (the root is never revoked in
+    /// the model).
+    pub fn fetch_root_crl(&self) -> f64 {
+        self.network.request_ms(CRL_BYTES)
+    }
+
+    /// The root verification key (pinned by verifiers).
+    pub fn root_public(&self) -> VerifyingKey {
+        self.root_key.verifying_key()
+    }
+}
+
+fn tcb_message(tcb: u64) -> Vec<u8> {
+    let mut v = b"pcs-tcb-info:".to_vec();
+    v.extend_from_slice(&tcb.to_be_bytes());
+    v
+}
+
+/// The full TDX attestation ecosystem for one platform: Quoting Enclave key
+/// material plus the PCS it chains to.
+#[derive(Debug)]
+pub struct TdxEcosystem {
+    qe_key: SigningKey,
+    pcs: PcsService,
+    platform_tcb: u64,
+}
+
+/// Milliseconds charged for the QE's local work (report validation +
+/// signing), before adding TDCALL cycle costs.
+const QE_SIGN_MS: f64 = 12.0;
+/// Milliseconds for DCAP library setup per quote.
+const DCAP_SETUP_MS: f64 = 5.0;
+/// Milliseconds of local crypto during verification.
+const VERIFY_CRYPTO_MS: f64 = 9.0;
+
+impl TdxEcosystem {
+    /// Builds an ecosystem seeded for determinism, with the platform at TCB
+    /// level 46 (matching the `TDX_1.5.05.46.698` module) and the PCS
+    /// requiring that same level.
+    pub fn new(seed: u64) -> Self {
+        TdxEcosystem {
+            qe_key: SigningKey::from_seed(seed ^ 0x71_656b_6579 /* "qekey" */),
+            pcs: PcsService::new(seed, 46),
+            platform_tcb: 46,
+        }
+    }
+
+    /// Mutable access to the PCS (for revocation/TCB-recovery scenarios).
+    pub fn pcs_mut(&mut self) -> &mut PcsService {
+        &mut self.pcs
+    }
+
+    /// **Attest phase**: produce a quote for the TD running in `vm`, bound
+    /// to `report_data`.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::WrongVmKind`] unless `vm` is a TDX trust domain.
+    pub fn generate_quote(
+        &self,
+        vm: &mut Vm,
+        report_data: [u8; 64],
+    ) -> Result<(TdQuote, PhaseTiming), AttestError> {
+        let freq = vm.target().platform.host_freq_ghz();
+        let before = vm.now();
+        let (module, td) = vm.tdx_module_mut().ok_or(AttestError::WrongVmKind)?;
+        let report = module
+            .tdg_mr_report(td, report_data)
+            .map_err(|e| AttestError::Firmware(e.to_string()))?;
+        // The TDCALL round trip is charged in VM cycles.
+        let tdcall_ms = tdcall_cost(vm, before, freq);
+        let quote = TdQuote {
+            tcb_level: self.platform_tcb,
+            qe_signature: Signature { e: 0, s: 0 },
+            report,
+        };
+        let mut quote = quote;
+        quote.qe_signature = self.qe_key.sign(&quote.signed_bytes());
+        Ok((quote, PhaseTiming::local(DCAP_SETUP_MS + QE_SIGN_MS + tdcall_ms)))
+    }
+
+    /// **Check phase**: DCAP-style verification with live PCS lookups.
+    ///
+    /// # Errors
+    ///
+    /// Signature, revocation, TCB, and nonce failures.
+    pub fn verify_quote(
+        &self,
+        quote: &TdQuote,
+        expected_report_data: [u8; 64],
+    ) -> Result<PhaseTiming, AttestError> {
+        // 1. TCB info from the PCS.
+        let (required_tcb, tcb_sig, ms_tcb) = self.pcs.fetch_tcb_info();
+        self.pcs
+            .root_public()
+            .verify(&tcb_message(required_tcb), &tcb_sig)
+            .map_err(|_| AttestError::BadSignature("tcb info"))?;
+        // 2. CRLs.
+        let (pck_revoked, ms_pck) = self.pcs.fetch_pck_crl();
+        let ms_root = self.pcs.fetch_root_crl();
+        if pck_revoked {
+            return Err(AttestError::Revoked("pck"));
+        }
+        // 3. Local checks.
+        self.qe_key
+            .verifying_key()
+            .verify(&quote.signed_bytes(), &quote.qe_signature)
+            .map_err(|_| AttestError::BadSignature("qe quote"))?;
+        if quote.tcb_level < required_tcb {
+            return Err(AttestError::TcbOutOfDate {
+                reported: quote.tcb_level,
+                required: required_tcb,
+            });
+        }
+        if quote.report.report_data != expected_report_data {
+            return Err(AttestError::NonceMismatch);
+        }
+        Ok(PhaseTiming::with_network(VERIFY_CRYPTO_MS, ms_tcb + ms_pck + ms_root))
+    }
+
+    /// Verifier-side freshness helper: derives 64 bytes of report data from
+    /// a nonce, as `go-tdx-guest` clients do.
+    pub fn report_data_for_nonce(nonce: u64) -> [u8; 64] {
+        let d1 = Sha256::digest_parts(&[b"nonce", &nonce.to_be_bytes()]);
+        let d2 = Sha256::digest_parts(&[b"nonce2", &nonce.to_be_bytes()]);
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(d1.as_bytes());
+        out[32..].copy_from_slice(d2.as_bytes());
+        out
+    }
+}
+
+fn tdcall_cost(vm: &Vm, before: Cycles, freq: f64) -> f64 {
+    // TDG.MR.REPORT itself does not advance the workload clock in this
+    // model, so charge one exit round trip explicitly.
+    let delta = (vm.now() - before).as_nanos(freq) / 1e6;
+    delta + vm.cost_model().exit_cost / (freq * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confbench_types::{TeePlatform, VmTarget};
+    use confbench_vmm::TeeVmBuilder;
+
+    fn td() -> Vm {
+        TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).seed(1).build()
+    }
+
+    #[test]
+    fn quote_roundtrip_verifies() {
+        let mut vm = td();
+        let eco = TdxEcosystem::new(1);
+        let nonce = TdxEcosystem::report_data_for_nonce(77);
+        let (quote, attest) = eco.generate_quote(&mut vm, nonce).unwrap();
+        let check = eco.verify_quote(&quote, nonce).unwrap();
+        assert!(attest.latency_ms > 0.0);
+        assert!(check.latency_ms > 100.0, "3 PCS requests at WAN latency: {}", check.latency_ms);
+    }
+
+    #[test]
+    fn tampered_quote_rejected() {
+        let mut vm = td();
+        let eco = TdxEcosystem::new(1);
+        let nonce = [3u8; 64];
+        let (mut quote, _) = eco.generate_quote(&mut vm, nonce).unwrap();
+        quote.tcb_level += 1; // inflate TCB claim
+        assert_eq!(eco.verify_quote(&quote, nonce), Err(AttestError::BadSignature("qe quote")));
+    }
+
+    #[test]
+    fn nonce_mismatch_rejected() {
+        let mut vm = td();
+        let eco = TdxEcosystem::new(1);
+        let (quote, _) = eco.generate_quote(&mut vm, [1; 64]).unwrap();
+        assert_eq!(eco.verify_quote(&quote, [2; 64]), Err(AttestError::NonceMismatch));
+    }
+
+    #[test]
+    fn tcb_recovery_obsoletes_old_quotes() {
+        let mut vm = td();
+        let mut eco = TdxEcosystem::new(1);
+        let (quote, _) = eco.generate_quote(&mut vm, [1; 64]).unwrap();
+        eco.pcs_mut().set_current_tcb(99);
+        assert_eq!(
+            eco.verify_quote(&quote, [1; 64]),
+            Err(AttestError::TcbOutOfDate { reported: 46, required: 99 })
+        );
+    }
+
+    #[test]
+    fn revoked_pck_rejected() {
+        let mut vm = td();
+        let mut eco = TdxEcosystem::new(1);
+        let (quote, _) = eco.generate_quote(&mut vm, [1; 64]).unwrap();
+        eco.pcs_mut().revoke_pck();
+        assert_eq!(eco.verify_quote(&quote, [1; 64]), Err(AttestError::Revoked("pck")));
+    }
+
+    #[test]
+    fn quotes_from_wrong_ecosystem_fail() {
+        let mut vm = td();
+        let eco1 = TdxEcosystem::new(1);
+        let eco2 = TdxEcosystem::new(2);
+        let (quote, _) = eco1.generate_quote(&mut vm, [1; 64]).unwrap();
+        assert!(eco2.verify_quote(&quote, [1; 64]).is_err());
+    }
+
+    #[test]
+    fn normal_vm_cannot_quote() {
+        let mut vm = TeeVmBuilder::new(VmTarget::normal(TeePlatform::Tdx)).build();
+        assert_eq!(
+            TdxEcosystem::new(1).generate_quote(&mut vm, [0; 64]).unwrap_err(),
+            AttestError::WrongVmKind
+        );
+    }
+
+    #[test]
+    fn report_data_for_nonce_is_deterministic_and_injective_ish() {
+        assert_eq!(TdxEcosystem::report_data_for_nonce(1), TdxEcosystem::report_data_for_nonce(1));
+        assert_ne!(TdxEcosystem::report_data_for_nonce(1), TdxEcosystem::report_data_for_nonce(2));
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion bench for the Fig. 5 experiment: full attestation flows
+//! (generation + verification) for TDX and SEV-SNP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use confbench_attest::{SnpEcosystem, TdxEcosystem};
+use confbench_types::{TeePlatform, VmTarget};
+use confbench_vmm::TeeVmBuilder;
+
+fn bench_attestation(c: &mut Criterion) {
+    c.bench_function("fig5_tdx_quote_roundtrip", |b| {
+        let mut td = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).seed(11).build();
+        let eco = TdxEcosystem::new(11);
+        let nonce = TdxEcosystem::report_data_for_nonce(1);
+        b.iter(|| {
+            let (quote, attest) = eco.generate_quote(&mut td, nonce).unwrap();
+            let check = eco.verify_quote(&quote, nonce).unwrap();
+            black_box((attest.latency_ms, check.latency_ms))
+        })
+    });
+
+    c.bench_function("fig5_snp_report_roundtrip", |b| {
+        let mut guest = TeeVmBuilder::new(VmTarget::secure(TeePlatform::SevSnp)).seed(11).build();
+        let eco = SnpEcosystem::new(11);
+        let nonce = [7u8; 64];
+        b.iter(|| {
+            let (report, attest) = eco.request_report(&mut guest, nonce).unwrap();
+            let check = eco.verify_report(&report, nonce).unwrap();
+            black_box((attest.latency_ms, check.latency_ms))
+        })
+    });
+
+    c.bench_function("simsig_sign_verify", |b| {
+        let sk = confbench_crypto::SigningKey::from_seed(3);
+        let vk = sk.verifying_key();
+        b.iter(|| {
+            let sig = sk.sign(b"attestation evidence");
+            black_box(vk.verify(b"attestation evidence", &sig).is_ok())
+        })
+    });
+}
+
+criterion_group!(benches, bench_attestation);
+criterion_main!(benches);

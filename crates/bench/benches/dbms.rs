@@ -1,0 +1,36 @@
+//! Criterion bench for the DBMS experiment: real speedtest execution (the
+//! substrate itself) and replay of its traces on each VM target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use confbench_minidb::{SpeedTest, SpeedTestCase};
+use confbench_types::{TeePlatform, VmKind, VmTarget};
+use confbench_vmm::TeeVmBuilder;
+
+fn bench_dbms(c: &mut Criterion) {
+    c.bench_function("minidb_speedtest_insert_txn", |b| {
+        b.iter(|| {
+            let mut runner = SpeedTest::new(5, 1);
+            black_box(runner.run(SpeedTestCase::InsertTransaction).unwrap())
+        })
+    });
+
+    // Trace replay: the paper's measurement step.
+    let mut runner = SpeedTest::new(5, 1);
+    let report = runner.run(SpeedTestCase::InsertAutocommit).unwrap();
+    let mut group = c.benchmark_group("dbms_autocommit_trace");
+    for platform in TeePlatform::ALL {
+        for kind in VmKind::ALL {
+            let target = VmTarget { platform, kind };
+            let mut vm = TeeVmBuilder::new(target).seed(1).build();
+            group.bench_with_input(BenchmarkId::from_parameter(target), &report.trace, |b, t| {
+                b.iter(|| black_box(vm.execute(t)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbms);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for the Figs. 6/7 experiment: the per-language launcher
+//! paths (real interpretation / compilation) and heatmap-cell measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use confbench_bench::{heatmap_quick_args, measure_function};
+use confbench_faasrt::FunctionLauncher;
+use confbench_types::{Language, TeePlatform};
+use confbench_workloads::find_workload;
+
+fn bench_faas(c: &mut Criterion) {
+    let workload = find_workload("factors").expect("registered");
+    let args = heatmap_quick_args("factors");
+
+    let mut group = c.benchmark_group("fig6_launcher_factors");
+    for language in Language::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(language), &language, |b, &lang| {
+            let launcher = FunctionLauncher::new(lang);
+            b.iter(|| black_box(launcher.launch(&workload, &args).unwrap()))
+        });
+    }
+    group.finish();
+
+    c.bench_function("fig6_heatmap_cell_tdx_go", |b| {
+        b.iter(|| {
+            black_box(
+                measure_function(&workload, &args, Language::Go, TeePlatform::Tdx, 3, 13)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // The crypto-free engine hot paths on their own.
+    c.bench_function("cbscript_interpret_sum_loop", |b| {
+        let program =
+            confbench_faasrt::parse("let s = 0; for i in 0, 5000 { s = s + i; } result(s);")
+                .unwrap();
+        b.iter(|| {
+            black_box(
+                confbench_faasrt::run_program(&program, &[], 14, 10_000_000).unwrap().result,
+            )
+        })
+    });
+
+    c.bench_function("cbscript_stackvm_sum_loop", |b| {
+        let program =
+            confbench_faasrt::parse("let s = 0; for i in 0, 5000 { s = s + i; } result(s);")
+                .unwrap();
+        let module = confbench_faasrt::compile(&program).unwrap();
+        let vm = confbench_faasrt::StackVm::new(confbench_faasrt::JitMode::wasmi(), 10_000_000);
+        b.iter(|| black_box(vm.run(&module, &[]).unwrap().result))
+    });
+}
+
+criterion_group!(benches, bench_faas);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for the Fig. 3 experiment: executing one ML-inference
+//! trace on each VM target (and the real tinynn forward pass itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use confbench_types::{TeePlatform, VmKind, VmTarget};
+use confbench_vmm::TeeVmBuilder;
+use confbench_workloads::MlWorkload;
+
+fn bench_ml(c: &mut Criterion) {
+    let ml = MlWorkload::new(7);
+    let run = ml.classify(0);
+
+    let mut group = c.benchmark_group("fig3_ml_inference_trace");
+    for platform in TeePlatform::ALL {
+        for kind in VmKind::ALL {
+            let target = VmTarget { platform, kind };
+            let mut vm = TeeVmBuilder::new(target).seed(7).build();
+            group.bench_with_input(BenchmarkId::from_parameter(target), &run.trace, |b, trace| {
+                b.iter(|| black_box(vm.execute(trace)))
+            });
+        }
+    }
+    group.finish();
+
+    c.bench_function("tinynn_forward_pass", |b| {
+        let input = confbench_tinynn::dataset_image(0, 7).to_input(MlWorkload::INPUT_DIM);
+        let model = confbench_tinynn::mobilenet(MlWorkload::INPUT_DIM, 6, 10, 7);
+        b.iter(|| black_box(model.forward(&input)))
+    });
+}
+
+criterion_group!(benches, bench_ml);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for the Fig. 4 experiment: replaying UnixBench-style
+//! test traces on each VM target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use confbench_types::{TeePlatform, VmKind, VmTarget};
+use confbench_vmm::TeeVmBuilder;
+use confbench_workloads::unixbench_suite;
+
+fn bench_unixbench(c: &mut Criterion) {
+    let suite = unixbench_suite(1);
+    let ctx_switching =
+        suite.iter().find(|t| t.name.contains("Context Switching")).expect("test present");
+    let dhrystone = suite.iter().find(|t| t.name.contains("Dhrystone")).expect("test present");
+
+    for (label, test) in [("pipe_ctx_switching", ctx_switching), ("dhrystone", dhrystone)] {
+        let mut group = c.benchmark_group(format!("fig4_{label}"));
+        for platform in [TeePlatform::Tdx, TeePlatform::SevSnp] {
+            for kind in VmKind::ALL {
+                let target = VmTarget { platform, kind };
+                let mut vm = TeeVmBuilder::new(target).seed(9).build();
+                group.bench_with_input(BenchmarkId::from_parameter(target), &test.trace, |b, t| {
+                    b.iter(|| black_box(vm.execute(t)))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_unixbench);
+criterion_main!(benches);

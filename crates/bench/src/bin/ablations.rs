@@ -1,0 +1,39 @@
+//! Runs the design-choice ablations from DESIGN.md §5:
+//!
+//! 1. TDX bounce buffers on/off (the TDX Connect prediction);
+//! 2. FVP slowdown sweep (simulator tax vs realm tax);
+//! 3. cache model on/off (the sub-1.0 cells);
+//! 4. managed-runtime footprint sensitivity.
+//!
+//! Usage: `ablations [--quick] [--seed N]`
+
+use confbench_bench::{ablations, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::from_cli(23);
+
+    println!("=== Ablation 1: TDX iostress ratio, bounce buffers on/off ===");
+    let (with, without) = ablations::bounce_buffer_ablation(cfg);
+    println!("  with bounce buffers   : {with:.2}x");
+    println!("  without (TDX-Connect) : {without:.2}x");
+    println!("  -> the paper expects I/O results 'to improve considerably'\n");
+
+    println!("=== Ablation 2: CCA cpustress across FVP slowdown factors ===");
+    for (slowdown, ratio, secure_ms) in ablations::fvp_sweep(cfg, &[1.0, 3.0, 9.0, 27.0]) {
+        println!("  slowdown {slowdown:>5.1}x: ratio {ratio:.3}, secure mean {secure_ms:.2} ms");
+    }
+    println!("  -> the ratio is simulator-invariant; absolute times are not.");
+    println!("     Only relative comparisons within one simulator are sound (§IV-A).\n");
+
+    println!("=== Ablation 3: the sub-1.0 cells need the cache model ===");
+    let (with_cache, without_cache) = ablations::cache_model_ablation(cfg);
+    println!("  best strided-pattern TDX ratio, cache model on : {with_cache:.3}");
+    println!("  same pattern, cache model off                  : {without_cache:.3}");
+    println!("  -> reproduces the paper's cache-hit explanation (§IV-D).\n");
+
+    println!("=== Ablation 4: Python ratio vs runtime footprint (TDX) ===");
+    for (scale, ratio) in ablations::footprint_sensitivity(cfg) {
+        println!("  footprint x{scale:<4}: ratio {ratio:.3}");
+    }
+    println!("  -> heavier managed runtimes burden TEE operation more (§IV-B).");
+}

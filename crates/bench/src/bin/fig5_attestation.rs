@@ -1,0 +1,23 @@
+//! Regenerates **Fig. 5** — absolute times for the creation ("attest") and
+//! validation ("check") of attestation reports in TDX and SEV-SNP
+//! (log-scale in the paper).
+//!
+//! Usage: `fig5_attestation [--quick] [--seed N]`
+
+use confbench_bench::{fig5, ExperimentConfig};
+use confbench_stats::{boxplot, stacked_percentiles};
+
+fn main() {
+    let cfg = ExperimentConfig::from_cli(11);
+    println!("=== Fig. 5: Attestation latencies (ms, plotted log-scale in the paper) ===\n");
+    let fig = fig5::run(cfg);
+    let entries: Vec<(String, confbench_stats::Summary)> =
+        fig.summaries().iter().map(|(label, s)| ((*label).to_owned(), s.clone())).collect();
+    println!("{}", stacked_percentiles(&entries));
+    println!("{}", boxplot(&entries, 64));
+    println!(
+        "paper shape: both phases faster on SEV-SNP; TDX 'check' dominates\n\
+         because the DCAP verifier fetches TCB info and CRLs from the Intel\n\
+         PCS over the network, while snpguest reads certificates locally."
+    );
+}

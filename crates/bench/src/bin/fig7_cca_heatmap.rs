@@ -1,0 +1,21 @@
+//! Regenerates **Fig. 7** — CCA: ratios between mean execution times from
+//! secure (realm) and normal VMs for the FaaS suite (heatmap).
+//!
+//! Usage: `fig7_cca_heatmap [--quick] [--seed N]`
+
+use confbench_bench::{heatmap, ExperimentConfig};
+use confbench_types::TeePlatform;
+
+fn main() {
+    let cfg = ExperimentConfig::from_cli(13);
+    println!("=== Fig. 7 (cca): secure/normal mean-time ratios ===\n");
+    let hm = heatmap::run(cfg, TeePlatform::Cca, None);
+    let rows: Vec<String> = hm.languages.iter().map(|l| l.to_string()).collect();
+    println!("{}", confbench_stats::heatmap(&rows, &hm.workloads, &hm.ratios));
+    println!("overall mean {:.3}\n", hm.overall_mean());
+    println!(
+        "paper shape: much higher overheads than TDX/SEV-SNP across the board\n\
+         (visually, more light/red cells), attributed to the FVP-simulated\n\
+         environment; only intra-CCA comparisons are considered sound."
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Fig. 8** — CCA: distribution of execution times from
+//! secure and normal VMs per (function, language), box-and-whiskers.
+//!
+//! Usage: `fig8_cca_box [--quick] [--seed N]`
+
+use confbench_bench::{fig8, ExperimentConfig};
+use confbench_stats::boxplot;
+
+fn main() {
+    let cfg = ExperimentConfig::from_cli(17);
+    println!("=== Fig. 8 (cca): execution-time distributions, secure vs normal (ms) ===\n");
+    let dists = fig8::run(cfg);
+    for d in &dists {
+        let (secure, normal) = d.summaries();
+        println!("--- {} / {} ---", d.workload, d.language);
+        println!(
+            "{}",
+            boxplot(
+                &[("secure".to_owned(), secure), ("normal".to_owned(), normal)],
+                64
+            )
+        );
+    }
+    println!(
+        "paper shape: confidential series have longer whiskers (more trial\n\
+         variance) and higher medians; these plots are the first CCA baseline\n\
+         in the literature, to be revisited on real silicon."
+    );
+}

@@ -1,0 +1,102 @@
+//! Extension experiment — multi-tenant co-location (the paper's §VI future
+//! work: "study the overheads of co-locating and executing several
+//! TEE-aware VMs inside the same host, as it happens in a typical
+//! cloud-based multi-tenant scenario").
+//!
+//! For each platform and tenant count, runs a workload on every co-resident
+//! VM simultaneously and reports the slowdown relative to running alone.
+
+use confbench_faasrt::{FaasFunction, FunctionLauncher};
+use confbench_types::{Language, TeePlatform, VmTarget};
+use confbench_vmm::SharedHost;
+use confbench_workloads::find_workload;
+
+use crate::{heatmap_quick_args, ExperimentConfig, Scale};
+
+/// One row: a platform's co-location slowdowns per tenant count.
+#[derive(Debug, Clone)]
+pub struct ColocationRow {
+    /// Platform measured (secure VMs).
+    pub platform: TeePlatform,
+    /// Workload name.
+    pub workload: String,
+    /// `(tenants, slowdown)` pairs.
+    pub slowdowns: Vec<(usize, f64)>,
+}
+
+/// Tenant counts swept by the experiment.
+pub const TENANT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Workloads spanning the contention channels: memory-bound, exit-bound,
+/// and CPU-bound (the control).
+pub const COLOCATION_WORKLOADS: [&str; 3] = ["memstress", "iostress", "checksum"];
+
+/// Runs the sweep.
+pub fn run(cfg: ExperimentConfig) -> Vec<ColocationRow> {
+    let mut rows = Vec::new();
+    for name in COLOCATION_WORKLOADS {
+        let workload = find_workload(name).expect("known workload");
+        let args = match cfg.scale {
+            Scale::Paper => workload.default_args(),
+            Scale::Quick => heatmap_quick_args(name),
+        };
+        let output = FunctionLauncher::new(Language::Go)
+            .launch(&workload, &args)
+            .expect("workload launches");
+        for platform in TeePlatform::ALL {
+            let mut slowdowns = Vec::new();
+            for &tenants in &TENANT_COUNTS {
+                let mut host =
+                    SharedHost::new(VmTarget::secure(platform), tenants, cfg.seed);
+                let _ = host.run_solo(&output.startup_trace);
+                slowdowns.push((tenants, host.colocation_slowdown(&output.trace, cfg.trials())));
+            }
+            rows.push(ColocationRow {
+                platform,
+                workload: workload.name().to_owned(),
+                slowdowns,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colocation_sweep_shapes() {
+        let rows = run(ExperimentConfig::quick(31));
+        assert_eq!(rows.len(), COLOCATION_WORKLOADS.len() * 3);
+        for row in &rows {
+            // A single tenant sees no contention, and slowdown grows with
+            // tenant count.
+            let single = row.slowdowns[0].1;
+            assert!((0.99..1.01).contains(&single), "{row:?}");
+            let pairs = &row.slowdowns;
+            assert!(pairs.windows(2).all(|w| w[1].1 >= w[0].1 - 0.02), "monotone: {row:?}");
+            if row.workload == "memstress" {
+                assert!(pairs.last().unwrap().1 > 1.15, "memstress contends: {row:?}");
+            }
+        }
+        // The CPU-bound control contends the least at full occupancy.
+        for platform in [TeePlatform::Tdx, TeePlatform::SevSnp, TeePlatform::Cca] {
+            let at8 = |name: &str| {
+                rows.iter()
+                    .find(|r| r.platform == platform && r.workload == name)
+                    .unwrap()
+                    .slowdowns
+                    .last()
+                    .unwrap()
+                    .1
+            };
+            assert!(
+                at8("checksum") <= at8("memstress") + 0.02,
+                "{platform:?}: cpu control {} vs memstress {}",
+                at8("checksum"),
+                at8("memstress")
+            );
+        }
+    }
+}

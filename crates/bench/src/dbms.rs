@@ -1,0 +1,129 @@
+//! §IV-C "Confidential DBMS" — the speedtest suite's secure/normal ratios
+//! per TEE (the paper reports these textually: TDX and SEV-SNP ≈ 1, CCA up
+//! to ~10× on average).
+
+use confbench_minidb::SpeedTestCase;
+use confbench_types::{TeePlatform, VmKind, VmTarget};
+use confbench_workloads::dbms_speedtest;
+
+use crate::{mean, run_trace, ExperimentConfig, Scale};
+
+/// One row of the DBMS table: a speedtest case's ratio on each platform.
+#[derive(Debug, Clone)]
+pub struct DbmsRow {
+    /// The test case.
+    pub case: SpeedTestCase,
+    /// Rows the test touched.
+    pub rows: u64,
+    /// Secure/normal mean ratio per platform, in [`TeePlatform::ALL`] order.
+    pub ratios: [f64; 3],
+}
+
+/// The full DBMS experiment result.
+#[derive(Debug, Clone)]
+pub struct DbmsResults {
+    /// One row per speedtest case.
+    pub rows: Vec<DbmsRow>,
+}
+
+impl DbmsResults {
+    /// Mean ratio across all cases for a platform.
+    pub fn average_ratio(&self, platform: TeePlatform) -> f64 {
+        let idx = TeePlatform::ALL.iter().position(|&p| p == platform).expect("known platform");
+        mean(&self.rows.iter().map(|r| r.ratios[idx]).collect::<Vec<_>>())
+    }
+
+    /// Worst-case ratio across all cases for a platform (the paper's "up
+    /// to" figure).
+    pub fn max_ratio(&self, platform: TeePlatform) -> f64 {
+        let idx = TeePlatform::ALL.iter().position(|&p| p == platform).expect("known platform");
+        self.rows.iter().map(|r| r.ratios[idx]).fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Runs the speedtest suite once to record traces, then measures each test's
+/// trace on every target.
+///
+/// # Panics
+///
+/// Panics if the (deterministic) suite itself fails.
+pub fn run(cfg: ExperimentConfig) -> DbmsResults {
+    let size = match cfg.scale {
+        Scale::Quick => 10,
+        Scale::Paper => 100, // speedtest1's default relative size, per the paper
+    };
+    let reports = dbms_speedtest(size, cfg.seed).expect("speedtest runs");
+    let empty = confbench_types::OpTrace::new();
+
+    let mut rows = Vec::new();
+    for report in reports {
+        let mut ratios = [0.0f64; 3];
+        for (i, platform) in TeePlatform::ALL.iter().enumerate() {
+            let seed = crate::mix_seed(cfg.seed, report.case.name());
+            let secure = run_trace(
+                VmTarget { platform: *platform, kind: VmKind::Secure },
+                &empty,
+                &report.trace,
+                cfg.trials(),
+                seed,
+            );
+            let normal = run_trace(
+                VmTarget { platform: *platform, kind: VmKind::Normal },
+                &empty,
+                &report.trace,
+                cfg.trials(),
+                seed,
+            );
+            ratios[i] = mean(&secure) / mean(&normal);
+        }
+        rows.push(DbmsRow { case: report.case, rows: report.rows, ratios });
+    }
+    DbmsResults { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbms_shape_matches_paper() {
+        let results = run(ExperimentConfig::quick(5));
+        assert_eq!(results.rows.len(), 15);
+
+        // TDX and SEV-SNP: "overheads very similar and close to 1".
+        let tdx = results.average_ratio(TeePlatform::Tdx);
+        let snp = results.average_ratio(TeePlatform::SevSnp);
+        assert!((0.95..1.35).contains(&tdx), "tdx dbms avg {tdx}");
+        assert!((0.95..1.35).contains(&snp), "snp dbms avg {snp}");
+        assert!((tdx - snp).abs() < 0.25, "tdx {tdx} vs snp {snp} should be similar");
+
+        // CCA: "the largest, on average up to 10x" — a worst case far
+        // above the hardware TEEs.
+        let cca = results.average_ratio(TeePlatform::Cca);
+        assert!(cca > 2.2, "cca dbms avg {cca}");
+        assert!(results.max_ratio(TeePlatform::Cca) > 3.0, "cca worst case {}", results.max_ratio(TeePlatform::Cca));
+        assert!(results.max_ratio(TeePlatform::Cca) < 14.0);
+        assert!(cca > 2.0 * tdx.max(snp));
+    }
+
+    #[test]
+    fn autocommit_ratio_highest_on_cca() {
+        // The fsync-per-statement test is the most syscall-bound — CCA's
+        // worst case should be an fsync-heavy or I/O-heavy case.
+        let results = run(ExperimentConfig::quick(5));
+        let idx = 2; // CCA column
+        let auto = results
+            .rows
+            .iter()
+            .find(|r| r.case == SpeedTestCase::InsertAutocommit)
+            .unwrap()
+            .ratios[idx];
+        let txn = results
+            .rows
+            .iter()
+            .find(|r| r.case == SpeedTestCase::InsertTransaction)
+            .unwrap()
+            .ratios[idx];
+        assert!(auto > txn, "autocommit {auto} should exceed batched {txn} on CCA");
+    }
+}

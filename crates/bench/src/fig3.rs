@@ -1,0 +1,125 @@
+//! Fig. 3 — Confidential ML: distribution (stacked percentiles) of observed
+//! inference times, secure vs normal, for all three TEEs, log scale.
+//!
+//! Paper shape: TDX ≈ SEV-SNP at close-to-native speed (TDX with a limited
+//! advantage); CCA up to ~1.33× its own baseline and far slower in absolute
+//! terms (the FVP tax).
+
+use confbench_stats::Summary;
+use confbench_types::{TeePlatform, VmKind, VmTarget};
+use confbench_vmm::TeeVmBuilder;
+use confbench_workloads::MlWorkload;
+
+use crate::{ExperimentConfig, Scale};
+
+/// One series of Fig. 3: the per-inference wall times of a target.
+#[derive(Debug, Clone)]
+pub struct MlSeries {
+    /// Which VM this series measures.
+    pub target: VmTarget,
+    /// One sample per (image × trial): inference wall ms.
+    pub inference_ms: Vec<f64>,
+}
+
+impl MlSeries {
+    /// Summary of the series.
+    pub fn summary(&self) -> Summary {
+        Summary::from_samples(&self.inference_ms)
+    }
+}
+
+/// Results for the figure: six series (3 platforms × 2 kinds).
+#[derive(Debug, Clone)]
+pub struct MlFigure {
+    /// Series in plotting order (per platform: secure then normal).
+    pub series: Vec<MlSeries>,
+}
+
+impl MlFigure {
+    /// Secure/normal mean-time ratio for a platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform's series are missing.
+    pub fn ratio(&self, platform: TeePlatform) -> f64 {
+        let get = |kind| {
+            self.series
+                .iter()
+                .find(|s| s.target == VmTarget { platform, kind })
+                .expect("series present")
+                .summary()
+                .mean
+        };
+        get(VmKind::Secure) / get(VmKind::Normal)
+    }
+}
+
+/// Runs the experiment: a MobileNet-class model classifying the 40-image
+/// dataset in every VM (subset of images under `Scale::Quick`).
+pub fn run(cfg: ExperimentConfig) -> MlFigure {
+    let ml = MlWorkload::new(cfg.seed);
+    let images = match cfg.scale {
+        Scale::Quick => 6,
+        Scale::Paper => ml.dataset_size(),
+    };
+    let runs: Vec<_> = (0..images).map(|i| ml.classify(i)).collect();
+
+    let mut series = Vec::new();
+    for platform in TeePlatform::ALL {
+        for kind in VmKind::ALL {
+            let target = VmTarget { platform, kind };
+            let mut vm = TeeVmBuilder::new(target).seed(cfg.seed).build();
+            let mut inference_ms = Vec::new();
+            for _trial in 0..cfg.trials() {
+                for run in &runs {
+                    inference_ms.push(vm.execute(&run.trace).wall_ms);
+                }
+            }
+            series.push(MlSeries { target, inference_ms });
+        }
+    }
+    MlFigure { series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape_matches_paper() {
+        let fig = run(ExperimentConfig::quick(7));
+        assert_eq!(fig.series.len(), 6);
+
+        // TDX and SNP near-native; TDX with a limited advantage.
+        let tdx = fig.ratio(TeePlatform::Tdx);
+        let snp = fig.ratio(TeePlatform::SevSnp);
+        assert!((0.93..1.18).contains(&tdx), "tdx ml ratio {tdx}");
+        assert!((0.93..1.22).contains(&snp), "snp ml ratio {snp}");
+
+        // CCA overhead larger, up to ~1.33x.
+        let cca = fig.ratio(TeePlatform::Cca);
+        assert!((1.02..1.5).contains(&cca), "cca ml ratio {cca}");
+        assert!(cca > tdx && cca > snp);
+
+        // Absolute CCA times dwarf the hardware TEEs (log scale in the
+        // paper for this reason).
+        let mean_of = |platform, kind| {
+            fig.series
+                .iter()
+                .find(|s| s.target == VmTarget { platform, kind })
+                .unwrap()
+                .summary()
+                .mean
+        };
+        assert!(
+            mean_of(TeePlatform::Cca, VmKind::Normal) > 4.0 * mean_of(TeePlatform::Tdx, VmKind::Normal)
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run(ExperimentConfig::quick(3));
+        let b = run(ExperimentConfig::quick(3));
+        assert_eq!(a.series[0].inference_ms, b.series[0].inference_ms);
+    }
+}

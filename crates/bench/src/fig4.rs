@@ -1,0 +1,143 @@
+//! Fig. 4 — UnixBench: secure/normal index ratios per TEE.
+//!
+//! Paper shape: TDX introduces the least overhead, SEV-SNP analogous, CCA
+//! the most; overheads larger than in the ML and DBMS workloads, driven by
+//! frequent sleep/wake (TDVMCALL/VMEXIT) events.
+
+use confbench_stats::geometric_mean;
+use confbench_types::{OpTrace, TeePlatform, VmKind, VmTarget};
+use confbench_workloads::{aggregate_index, index_score, unixbench_suite};
+
+use crate::{mean, run_trace, ExperimentConfig};
+
+/// Per-test UnixBench outcome on one platform.
+#[derive(Debug, Clone)]
+pub struct UnixBenchRow {
+    /// Test name.
+    pub name: &'static str,
+    /// Index score in the secure VM.
+    pub secure_index: f64,
+    /// Index score in the normal VM.
+    pub normal_index: f64,
+}
+
+impl UnixBenchRow {
+    /// Normal/secure index ratio (> 1 means the TEE lost index points;
+    /// equivalently the secure/normal time ratio, since index ∝ 1/time).
+    pub fn overhead_ratio(&self) -> f64 {
+        self.normal_index / self.secure_index
+    }
+}
+
+/// UnixBench results for one platform.
+#[derive(Debug, Clone)]
+pub struct UnixBenchPlatform {
+    /// The platform measured.
+    pub platform: TeePlatform,
+    /// Per-test rows.
+    pub rows: Vec<UnixBenchRow>,
+    /// Aggregate index (geometric mean) in the secure VM.
+    pub secure_aggregate: f64,
+    /// Aggregate index in the normal VM.
+    pub normal_aggregate: f64,
+}
+
+impl UnixBenchPlatform {
+    /// Aggregate overhead ratio (normal aggregate / secure aggregate).
+    pub fn aggregate_ratio(&self) -> f64 {
+        self.normal_aggregate / self.secure_aggregate
+    }
+}
+
+/// Runs the suite on every platform.
+pub fn run(cfg: ExperimentConfig) -> Vec<UnixBenchPlatform> {
+    let suite = unixbench_suite(1);
+    let empty = OpTrace::new();
+    TeePlatform::ALL
+        .iter()
+        .map(|&platform| {
+            let mut rows = Vec::new();
+            for test in &suite {
+                let index_for = |kind| {
+                    let ms = run_trace(
+                        VmTarget { platform, kind },
+                        &empty,
+                        &test.trace,
+                        cfg.trials(),
+                        crate::mix_seed(cfg.seed, test.name),
+                    );
+                    index_score(test, mean(&ms) / 1000.0)
+                };
+                rows.push(UnixBenchRow {
+                    name: test.name,
+                    secure_index: index_for(VmKind::Secure),
+                    normal_index: index_for(VmKind::Normal),
+                });
+            }
+            let secure_aggregate =
+                aggregate_index(&rows.iter().map(|r| r.secure_index).collect::<Vec<_>>());
+            let normal_aggregate =
+                aggregate_index(&rows.iter().map(|r| r.normal_index).collect::<Vec<_>>());
+            UnixBenchPlatform { platform, rows, secure_aggregate, normal_aggregate }
+        })
+        .collect()
+}
+
+/// The figure's headline: aggregate overhead ratio per platform, in
+/// [`TeePlatform::ALL`] order.
+pub fn aggregate_ratios(results: &[UnixBenchPlatform]) -> Vec<f64> {
+    results.iter().map(UnixBenchPlatform::aggregate_ratio).collect()
+}
+
+/// Geometric mean across per-test overheads (alternative aggregation used
+/// for cross-checking).
+pub fn per_test_geomean(platform_results: &UnixBenchPlatform) -> f64 {
+    geometric_mean(
+        &platform_results.rows.iter().map(UnixBenchRow::overhead_ratio).collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shape_matches_paper() {
+        let results = run(ExperimentConfig::quick(9));
+        assert_eq!(results.len(), 3);
+        let [tdx, snp, cca] =
+            [&results[0], &results[1], &results[2]].map(UnixBenchPlatform::aggregate_ratio);
+
+        // TDX least overhead, SNP analogous, CCA most.
+        assert!(tdx < snp * 1.15, "tdx {tdx} vs snp {snp}");
+        assert!(cca > tdx && cca > snp, "cca {cca} must be worst");
+        // Larger than ML/DBMS-class overheads on the hardware TEEs.
+        assert!(tdx > 1.02, "tdx unixbench ratio {tdx}");
+        assert!((1.02..2.2).contains(&tdx));
+        assert!((1.02..2.2).contains(&snp));
+        assert!(cca > 2.0, "cca unixbench ratio {cca}");
+    }
+
+    #[test]
+    fn ctx_switch_heavy_tests_hurt_most_on_hardware_tees() {
+        let results = run(ExperimentConfig::quick(9));
+        let tdx = &results[0];
+        let by_name = |needle: &str| {
+            tdx.rows.iter().find(|r| r.name.contains(needle)).unwrap().overhead_ratio()
+        };
+        // The paper attributes UnixBench slowdowns to sleep/wake exits:
+        // context switching must hurt more than pure CPU tests.
+        assert!(by_name("Context Switching") > by_name("Dhrystone"));
+        assert!(by_name("Context Switching") > by_name("Whetstone"));
+    }
+
+    #[test]
+    fn aggregate_is_consistent_with_rows() {
+        let results = run(ExperimentConfig::quick(2));
+        for platform in &results {
+            let agg = platform.aggregate_ratio();
+            let geo = per_test_geomean(platform);
+            assert!((agg - geo).abs() / geo < 0.05, "{agg} vs {geo}");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Fig. 5 — Attestation: absolute wall-clock latencies of report/quote
+//! creation ("attest") and validation ("check") for TDX and SEV-SNP, log
+//! scale.
+//!
+//! Paper shape: both phases are faster on SEV-SNP; TDX's check phase is the
+//! slowest by far because the DCAP verifier fetches TCB info and CRLs from
+//! the Intel PCS over the network, while SNP's certificates come from the
+//! local hardware.
+
+use confbench_attest::{SnpEcosystem, TdxEcosystem};
+use confbench_stats::Summary;
+use confbench_types::{TeePlatform, VmTarget};
+use confbench_vmm::TeeVmBuilder;
+
+use crate::ExperimentConfig;
+
+/// The four bars of Fig. 5.
+#[derive(Debug, Clone)]
+pub struct AttestationFigure {
+    /// TDX quote generation latencies (ms).
+    pub tdx_attest_ms: Vec<f64>,
+    /// TDX quote verification latencies (ms).
+    pub tdx_check_ms: Vec<f64>,
+    /// SNP report generation latencies (ms).
+    pub snp_attest_ms: Vec<f64>,
+    /// SNP report verification latencies (ms).
+    pub snp_check_ms: Vec<f64>,
+}
+
+impl AttestationFigure {
+    /// Summaries in the figure's bar order: tdx-attest, tdx-check,
+    /// snp-attest, snp-check.
+    pub fn summaries(&self) -> [(&'static str, Summary); 4] {
+        [
+            ("tdx/attest", Summary::from_samples(&self.tdx_attest_ms)),
+            ("tdx/check", Summary::from_samples(&self.tdx_check_ms)),
+            ("snp/attest", Summary::from_samples(&self.snp_attest_ms)),
+            ("snp/check", Summary::from_samples(&self.snp_check_ms)),
+        ]
+    }
+}
+
+/// Runs `trials` full attestation flows per platform.
+pub fn run(cfg: ExperimentConfig) -> AttestationFigure {
+    let trials = cfg.trials();
+
+    let mut td = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).seed(cfg.seed).build();
+    let tdx = TdxEcosystem::new(cfg.seed);
+    let mut tdx_attest_ms = Vec::new();
+    let mut tdx_check_ms = Vec::new();
+    for i in 0..trials {
+        let nonce = TdxEcosystem::report_data_for_nonce(cfg.seed ^ u64::from(i));
+        let (quote, attest) = tdx.generate_quote(&mut td, nonce).expect("td quote");
+        let check = tdx.verify_quote(&quote, nonce).expect("quote verifies");
+        tdx_attest_ms.push(attest.latency_ms);
+        tdx_check_ms.push(check.latency_ms);
+    }
+
+    let mut guest =
+        TeeVmBuilder::new(VmTarget::secure(TeePlatform::SevSnp)).seed(cfg.seed).build();
+    let snp = SnpEcosystem::new(cfg.seed);
+    let mut snp_attest_ms = Vec::new();
+    let mut snp_check_ms = Vec::new();
+    for i in 0..trials {
+        let mut nonce = [0u8; 64];
+        nonce[..8].copy_from_slice(&(cfg.seed ^ u64::from(i)).to_be_bytes());
+        let (report, attest) = snp.request_report(&mut guest, nonce).expect("snp report");
+        let check = snp.verify_report(&report, nonce).expect("report verifies");
+        snp_attest_ms.push(attest.latency_ms);
+        snp_check_ms.push(check.latency_ms);
+    }
+
+    AttestationFigure { tdx_attest_ms, tdx_check_ms, snp_attest_ms, snp_check_ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mean;
+
+    #[test]
+    fn fig5_shape_matches_paper() {
+        let fig = run(ExperimentConfig::quick(11));
+
+        let tdx_attest = mean(&fig.tdx_attest_ms);
+        let tdx_check = mean(&fig.tdx_check_ms);
+        let snp_attest = mean(&fig.snp_attest_ms);
+        let snp_check = mean(&fig.snp_check_ms);
+
+        // Both phases faster on SNP.
+        assert!(snp_attest < tdx_attest, "snp attest {snp_attest} vs tdx {tdx_attest}");
+        assert!(snp_check < tdx_check, "snp check {snp_check} vs tdx {tdx_check}");
+        // The TDX check is network-dominated: by far the largest bar
+        // (log-scale-worthy gap).
+        assert!(tdx_check > 5.0 * tdx_attest, "tdx check {tdx_check} vs attest {tdx_attest}");
+        assert!(tdx_check > 10.0 * snp_check, "tdx check {tdx_check} vs snp check {snp_check}");
+        // Absolute plausibility: tens of ms for local flows, >100 ms for
+        // the PCS-bound check.
+        assert!((1.0..200.0).contains(&snp_attest));
+        assert!((1.0..200.0).contains(&snp_check));
+        assert!(tdx_check > 100.0);
+    }
+
+    #[test]
+    fn trials_vary_with_network_jitter() {
+        let fig = run(ExperimentConfig::quick(1));
+        let s = Summary::from_samples(&fig.tdx_check_ms);
+        assert!(s.stddev > 0.0, "WAN jitter must show in the check phase");
+        let s = Summary::from_samples(&fig.snp_attest_ms);
+        assert_eq!(s.stddev, 0.0, "local firmware latency is stable in the model");
+    }
+}

@@ -1,0 +1,111 @@
+//! Fig. 8 — CCA: box-and-whiskers of raw execution times, secure realm vs
+//! normal VM, per (function, language).
+//!
+//! Paper shape: the confidential series have visibly longer whiskers
+//! (higher trial variance) — the simulator's timing noise plus realm
+//! overheads — and higher medians. The paper plots this detail because it
+//! is the first CCA baseline in the literature.
+
+use confbench_faasrt::FaasFunction as _;
+use confbench_stats::Summary;
+use confbench_types::{Language, TeePlatform};
+use confbench_workloads::find_workload;
+
+use crate::{measure_function, ExperimentConfig, Scale};
+
+/// One (function, language) pair's raw distributions on CCA.
+#[derive(Debug, Clone)]
+pub struct CcaDistribution {
+    /// Function name.
+    pub workload: String,
+    /// Language measured.
+    pub language: Language,
+    /// Raw secure-realm trial times (ms).
+    pub secure_ms: Vec<f64>,
+    /// Raw normal-VM trial times (ms).
+    pub normal_ms: Vec<f64>,
+}
+
+impl CcaDistribution {
+    /// Summaries (secure, normal).
+    pub fn summaries(&self) -> (Summary, Summary) {
+        (Summary::from_samples(&self.secure_ms), Summary::from_samples(&self.normal_ms))
+    }
+}
+
+/// The functions Fig. 8 details (a representative subset spanning the
+/// resource classes).
+pub const FIG8_WORKLOADS: [&str; 6] =
+    ["cpustress", "memstress", "iostress", "logging", "factors", "filesystem"];
+
+/// Languages shown in the figure's panels.
+pub const FIG8_LANGUAGES: [Language; 3] = [Language::Python, Language::Lua, Language::Go];
+
+/// Runs the distributions.
+pub fn run(cfg: ExperimentConfig) -> Vec<CcaDistribution> {
+    let mut out = Vec::new();
+    for name in FIG8_WORKLOADS {
+        let workload = find_workload(name).expect("known workload");
+        let args = match cfg.scale {
+            Scale::Paper => workload.default_args(),
+            Scale::Quick => crate::heatmap_quick_args(name),
+        };
+        for language in FIG8_LANGUAGES {
+            let (secure_ms, normal_ms) = measure_function(
+                &workload,
+                &args,
+                language,
+                TeePlatform::Cca,
+                cfg.trials().max(10), // distributions need samples
+                cfg.seed,
+            )
+            .expect("workload runs");
+            out.push(CcaDistribution {
+                workload: workload.name().to_owned(),
+                language,
+                secure_ms,
+                normal_ms,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_shape_longer_whiskers_in_realms() {
+        let dists = run(ExperimentConfig::quick(17));
+        assert_eq!(dists.len(), FIG8_WORKLOADS.len() * FIG8_LANGUAGES.len());
+
+        let mut secure_wider = 0usize;
+        for d in &dists {
+            let (secure, normal) = d.summaries();
+            assert!(secure.n >= 10 && normal.n >= 10);
+            if secure.rel_spread() > normal.rel_spread() {
+                secure_wider += 1;
+            }
+            // Realms are slower in the median for the vast majority of
+            // cells (checked in aggregate below via means).
+        }
+        // "The length of the whiskers tends to be larger" — a strong
+        // majority, not necessarily every single cell.
+        assert!(
+            secure_wider * 3 >= dists.len() * 2,
+            "only {secure_wider}/{} cells had wider secure whiskers",
+            dists.len()
+        );
+
+        let mean_ratio: f64 = dists
+            .iter()
+            .map(|d| {
+                let (s, n) = d.summaries();
+                s.median() / n.median()
+            })
+            .sum::<f64>()
+            / dists.len() as f64;
+        assert!(mean_ratio > 1.3, "cca medians must sit well above normal: {mean_ratio}");
+    }
+}

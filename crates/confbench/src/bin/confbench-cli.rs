@@ -1,0 +1,215 @@
+//! Command-line client for a running ConfBench gateway.
+//!
+//! ```text
+//! confbench-cli [--gateway ADDR] list
+//! confbench-cli [--gateway ADDR] upload NAME FILE.cb
+//! confbench-cli [--gateway ADDR] run FUNCTION [--lang L] [--tee P]
+//!               [--normal] [--trials N] [--seed N] [--args A,B,...]
+//! confbench-cli [--gateway ADDR] compare FUNCTION [--lang L] [--trials N]
+//! ```
+
+use std::process::ExitCode;
+
+use confbench::UploadRequest;
+use confbench_httpd::{Client, Method, Request};
+use confbench_types::{
+    FunctionSpec, Language, RunRequest, RunResult, TeePlatform, VmKind, VmTarget,
+};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("confbench-cli: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Cli {
+    client: Client,
+    args: Vec<String>,
+    pos: usize,
+}
+
+impl Cli {
+    fn flag_value(&self, flag: &str) -> Option<String> {
+        self.args.iter().position(|a| a == flag).and_then(|i| self.args.get(i + 1)).cloned()
+    }
+
+    fn has_flag(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    fn next_positional(&mut self) -> Option<String> {
+        // Flags that take no value; every other --flag consumes the next
+        // token as its value.
+        const BOOLEAN_FLAGS: [&str; 1] = ["--normal"];
+        while self.pos < self.args.len() {
+            let current = self.pos;
+            self.pos += 1;
+            let arg = &self.args[current];
+            if arg.starts_with("--") {
+                if !BOOLEAN_FLAGS.contains(&arg.as_str()) {
+                    self.pos += 1; // skip its value
+                }
+                continue;
+            }
+            return Some(arg.clone());
+        }
+        None
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        println!(
+            "usage: confbench-cli [--gateway ADDR] <list|upload NAME FILE|run FN|compare FN>\n\
+             run/compare flags: --lang LANG --tee PLATFORM --normal --trials N --seed N --args A,B"
+        );
+        return Ok(());
+    }
+    let gateway =
+        args.iter().position(|a| a == "--gateway").and_then(|i| args.get(i + 1)).cloned();
+    let addr = gateway.unwrap_or_else(|| "127.0.0.1:7700".to_owned());
+    let client = Client::connect(addr.as_str()).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let mut cli = Cli { client, args, pos: 0 };
+
+    let command = cli.next_positional().ok_or("missing command (try --help)")?;
+    match command.as_str() {
+        "list" => list(&cli),
+        "upload" => {
+            let name = cli.next_positional().ok_or("upload needs NAME")?;
+            let file = cli.next_positional().ok_or("upload needs FILE")?;
+            upload(&cli, &name, &file)
+        }
+        "run" => {
+            let function = cli.next_positional().ok_or("run needs FUNCTION")?;
+            let request = build_request(&cli, &function)?;
+            let result = post_run(&cli, &request)?;
+            print_result(&result);
+            Ok(())
+        }
+        "compare" => {
+            let function = cli.next_positional().ok_or("compare needs FUNCTION")?;
+            compare(&cli, &function)
+        }
+        other => Err(format!("unknown command {other} (try --help)")),
+    }
+}
+
+fn list(cli: &Cli) -> Result<(), String> {
+    let resp = cli
+        .client
+        .send(&Request::new(Method::Get, "/functions"))
+        .map_err(|e| format!("request failed: {e}"))?;
+    let names: Vec<String> = resp.body_json().map_err(|e| format!("bad response: {e}"))?;
+    for name in names {
+        println!("{name}");
+    }
+    Ok(())
+}
+
+fn upload(cli: &Cli, name: &str, file: &str) -> Result<(), String> {
+    let script = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let req = Request::new(Method::Post, "/functions")
+        .json(&UploadRequest { name: name.to_owned(), script });
+    let resp = cli.client.send(&req).map_err(|e| format!("request failed: {e}"))?;
+    if resp.status == 201 {
+        println!("uploaded {name}");
+        Ok(())
+    } else {
+        Err(format!("gateway said {}: {}", resp.status, String::from_utf8_lossy(&resp.body)))
+    }
+}
+
+fn build_request(cli: &Cli, function: &str) -> Result<RunRequest, String> {
+    let language: Language = cli
+        .flag_value("--lang")
+        .unwrap_or_else(|| "lua".to_owned())
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let platform: TeePlatform = cli
+        .flag_value("--tee")
+        .unwrap_or_else(|| "tdx".to_owned())
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let kind = if cli.has_flag("--normal") { VmKind::Normal } else { VmKind::Secure };
+    let trials: u32 = cli
+        .flag_value("--trials")
+        .map(|v| v.parse().map_err(|e| format!("bad trials: {e}")))
+        .transpose()?
+        .unwrap_or(10);
+    let seed: u64 = cli
+        .flag_value("--seed")
+        .map(|v| v.parse().map_err(|e| format!("bad seed: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let args = cli
+        .flag_value("--args")
+        .map(|v| v.split(',').map(str::to_owned).collect())
+        .unwrap_or_default();
+    let mut spec = FunctionSpec::new(function, language);
+    spec.args = args;
+    Ok(RunRequest { function: spec, target: VmTarget { platform, kind }, trials, seed })
+}
+
+fn post_run(cli: &Cli, request: &RunRequest) -> Result<RunResult, String> {
+    let resp = cli
+        .client
+        .send(&Request::new(Method::Post, "/run").json(request))
+        .map_err(|e| format!("request failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "gateway said {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    resp.body_json().map_err(|e| format!("bad response: {e}"))
+}
+
+fn print_result(result: &RunResult) {
+    println!("function : {} ({})", result.function, result.language);
+    println!("target   : {}", result.target);
+    println!("output   : {}", result.output);
+    println!(
+        "timing   : mean {:.4} ms (min {:.4}, max {:.4}, stddev {:.4}) over {} trials",
+        result.stats.mean_ms,
+        result.stats.min_ms,
+        result.stats.max_ms,
+        result.stats.stddev_ms,
+        result.trial_ms.len()
+    );
+    println!(
+        "perf     : {} instructions, {} cycles, {} cache misses, {} vm exits ({})",
+        result.perf.instructions,
+        result.perf.cycles,
+        result.perf.cache_misses,
+        result.perf.vm_exits,
+        if result.perf.from_hw_counters { "perf stat" } else { "custom script" },
+    );
+}
+
+fn compare(cli: &Cli, function: &str) -> Result<(), String> {
+    let mut request = build_request(cli, function)?;
+    println!(
+        "{:<10} {:>12} {:>12} {:>8}",
+        "platform", "secure ms", "normal ms", "ratio"
+    );
+    for platform in TeePlatform::ALL {
+        request.target = VmTarget::secure(platform);
+        let secure = post_run(cli, &request)?;
+        request.target = VmTarget::normal(platform);
+        let normal = post_run(cli, &request)?;
+        println!(
+            "{:<10} {:>12.4} {:>12.4} {:>7.2}x",
+            platform.to_string(),
+            secure.stats.mean_ms,
+            normal.stats.mean_ms,
+            secure.stats.mean_ms / normal.stats.mean_ms
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! The ConfBench gateway server.
+//!
+//! Boots local simulated TEE hosts and serves the REST API (paper §III):
+//!
+//! ```text
+//! confbench-gateway [--listen ADDR] [--platforms tdx,sev-snp,cca]
+//!                   [--seed N] [--policy round-robin|least-loaded]
+//!                   [--remote-host PLATFORM=ADDR]...
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use confbench::{BalancePolicy, Gateway};
+use confbench_types::TeePlatform;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("confbench-gateway: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = "127.0.0.1:7700".to_owned();
+    let mut platforms = vec![TeePlatform::Tdx, TeePlatform::SevSnp, TeePlatform::Cca];
+    let mut seed = 0u64;
+    let mut policy = BalancePolicy::RoundRobin;
+    let mut remote_hosts: Vec<(TeePlatform, std::net::SocketAddr)> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                listen = take_value(&args, &mut i, "--listen")?;
+            }
+            "--platforms" => {
+                let list = take_value(&args, &mut i, "--platforms")?;
+                platforms = list
+                    .split(',')
+                    .map(|p| p.parse().map_err(|e| format!("{e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seed" => {
+                seed = take_value(&args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--policy" => {
+                policy = match take_value(&args, &mut i, "--policy")?.as_str() {
+                    "round-robin" => BalancePolicy::RoundRobin,
+                    "least-loaded" => BalancePolicy::LeastLoaded,
+                    other => return Err(format!("unknown policy {other}")),
+                };
+            }
+            "--remote-host" => {
+                let spec = take_value(&args, &mut i, "--remote-host")?;
+                let (platform, addr) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--remote-host wants PLATFORM=ADDR, got {spec}"))?;
+                remote_hosts.push((
+                    platform.parse().map_err(|e| format!("{e}"))?,
+                    addr.parse().map_err(|e| format!("bad address {addr}: {e}"))?,
+                ));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: confbench-gateway [--listen ADDR] [--platforms LIST] [--seed N]\n\
+                     \x20                        [--policy round-robin|least-loaded]\n\
+                     \x20                        [--remote-host PLATFORM=ADDR]..."
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+        i += 1;
+    }
+
+    let mut builder = Gateway::builder().seed(seed).policy(policy);
+    for platform in &platforms {
+        eprintln!("booting local host for {platform} (secure + normal VMs)...");
+        builder = builder.local_host(*platform);
+    }
+    for (platform, addr) in remote_hosts {
+        eprintln!("registering remote {platform} host at {addr}");
+        builder = builder.remote_host(platform, addr);
+    }
+    let gateway = Arc::new(builder.build());
+    let server = gateway
+        .serve_on(&listen)
+        .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    println!("confbench gateway listening on http://{}", server.addr());
+    println!("  POST /run        run a function (JSON RunRequest)");
+    println!("  POST /functions  upload CBScript source");
+    println!("  GET  /functions  list registered functions");
+    println!("  GET  /health     liveness");
+
+    // Serve until interrupted.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+}

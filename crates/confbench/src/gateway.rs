@@ -1,0 +1,347 @@
+//! The ConfBench gateway: the single entry point for all requests (paper
+//! §III-A, Fig. 2).
+//!
+//! Users upload functions and submit run requests over REST; the gateway
+//! selects a VM target from its TEE pools, dispatches to the owning host
+//! (in-process or over HTTP), and returns results with perf metrics
+//! piggybacked.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use confbench_httpd::{Client, Method, Request, Response, Router, Server};
+use confbench_types::{Error, Result, RunRequest, RunResult, TeePlatform, VmTarget};
+use serde::{Deserialize, Serialize};
+
+use crate::host::HostAgent;
+use crate::pool::{BalancePolicy, TeePool};
+use crate::store::FunctionStore;
+
+/// A dispatch target: a host in this process or a remote agent address.
+#[derive(Clone)]
+enum HostRef {
+    Local(Arc<HostAgent>),
+    Remote(SocketAddr),
+}
+
+/// Builder for a [`Gateway`].
+pub struct GatewayBuilder {
+    store: Arc<FunctionStore>,
+    hosts: Vec<(TeePlatform, HostRef)>,
+    policy: BalancePolicy,
+    seed: u64,
+}
+
+impl GatewayBuilder {
+    /// Adds an in-process host for `platform` (booting its two VMs).
+    pub fn local_host(mut self, platform: TeePlatform) -> Self {
+        let host = Arc::new(HostAgent::new(platform, Arc::clone(&self.store), self.seed));
+        self.hosts.push((platform, HostRef::Local(host)));
+        self
+    }
+
+    /// Registers a remote host agent serving `platform` at `addr`.
+    pub fn remote_host(mut self, platform: TeePlatform, addr: SocketAddr) -> Self {
+        self.hosts.push((platform, HostRef::Remote(addr)));
+        self
+    }
+
+    /// Sets the pool balancing policy (default round-robin).
+    pub fn policy(mut self, policy: BalancePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the deterministic seed used for local hosts' VMs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the gateway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no host was added.
+    pub fn build(self) -> Gateway {
+        assert!(!self.hosts.is_empty(), "gateway needs at least one host");
+        let mut by_platform: HashMap<TeePlatform, Vec<HostRef>> = HashMap::new();
+        for (platform, host) in self.hosts {
+            by_platform.entry(platform).or_default().push(host);
+        }
+        let pools = by_platform
+            .into_iter()
+            .map(|(platform, hosts)| (platform, TeePool::new(hosts, self.policy)))
+            .collect();
+        Gateway { store: self.store, pools }
+    }
+}
+
+/// Body of `POST /functions`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UploadRequest {
+    /// Function name.
+    pub name: String,
+    /// CBScript source.
+    pub script: String,
+}
+
+/// The gateway.
+///
+/// # Example
+///
+/// ```
+/// use confbench::Gateway;
+/// use confbench_types::{FunctionSpec, Language, RunRequest, TeePlatform, VmTarget};
+///
+/// let gateway = Gateway::builder().local_host(TeePlatform::SevSnp).build();
+/// let req = RunRequest::new(
+///     FunctionSpec::new("fib", Language::LuaJit).arg("15"),
+///     VmTarget::secure(TeePlatform::SevSnp),
+/// );
+/// let result = gateway.run(&req)?;
+/// assert_eq!(result.output, "610");
+/// # Ok::<(), confbench_types::Error>(())
+/// ```
+pub struct Gateway {
+    store: Arc<FunctionStore>,
+    pools: HashMap<TeePlatform, TeePool<HostRef>>,
+}
+
+impl Gateway {
+    /// Starts building a gateway.
+    pub fn builder() -> GatewayBuilder {
+        GatewayBuilder {
+            store: Arc::new(FunctionStore::new()),
+            hosts: Vec::new(),
+            policy: BalancePolicy::RoundRobin,
+            seed: 0,
+        }
+    }
+
+    /// The function database.
+    pub fn store(&self) -> &FunctionStore {
+        &self.store
+    }
+
+    /// Platforms with at least one pooled host.
+    pub fn platforms(&self) -> Vec<TeePlatform> {
+        let mut v: Vec<TeePlatform> = self.pools.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Dispatches a run request to a host serving its target platform.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoVmAvailable`] when no pool serves the platform; transport
+    /// and execution errors otherwise.
+    pub fn run(&self, request: &RunRequest) -> Result<RunResult> {
+        let pool = self
+            .pools
+            .get(&request.target.platform)
+            .ok_or_else(|| Error::NoVmAvailable(request.target.to_string()))?;
+        let guard = pool.checkout();
+        match guard.member() {
+            HostRef::Local(host) => host.execute(request),
+            HostRef::Remote(addr) => dispatch_remote(*addr, request),
+        }
+    }
+
+    /// Convenience: run the same function on the secure and normal VM of
+    /// `platform` and return both results (the paper's core measurement).
+    ///
+    /// # Errors
+    ///
+    /// As [`Gateway::run`].
+    pub fn run_pair(
+        &self,
+        mut request: RunRequest,
+        platform: TeePlatform,
+    ) -> Result<(RunResult, RunResult)> {
+        request.target = VmTarget::secure(platform);
+        let secure = self.run(&request)?;
+        request.target = VmTarget::normal(platform);
+        let normal = self.run(&request)?;
+        Ok((secure, normal))
+    }
+
+    /// Serves the gateway's REST interface:
+    ///
+    /// * `POST /run` — JSON [`RunRequest`] body → [`RunResult`];
+    /// * `POST /functions` — JSON [`UploadRequest`] body;
+    /// * `GET /functions` — registered names;
+    /// * `GET /health`.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn serve(self: Arc<Self>) -> std::io::Result<Server> {
+        self.serve_on("127.0.0.1:0")
+    }
+
+    /// As [`Gateway::serve`] on an explicit listen address.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn serve_on(self: Arc<Self>, listen: &str) -> std::io::Result<Server> {
+        let mut router = Router::new();
+        let gw = Arc::clone(&self);
+        router.add(Method::Post, "/run", move |req, _| match req.body_json::<RunRequest>() {
+            Err(e) => Response::error(400, format!("bad request body: {e}")),
+            Ok(run_request) => match gw.run(&run_request) {
+                Ok(result) => Response::json(&result),
+                Err(Error::UnknownFunction(name)) => {
+                    Response::error(404, format!("unknown function: {name}"))
+                }
+                Err(Error::NoVmAvailable(t)) => {
+                    Response::error(503, format!("no VM available for {t}"))
+                }
+                Err(e) => Response::error(500, e.to_string()),
+            },
+        });
+        let gw = Arc::clone(&self);
+        router.add(Method::Post, "/functions", move |req, _| {
+            match req.body_json::<UploadRequest>() {
+                Err(e) => Response::error(400, format!("bad upload body: {e}")),
+                Ok(upload) => match gw.store.upload(&upload.name, &upload.script) {
+                    Ok(()) => {
+                        let mut r = Response::json(&serde_json::json!({"uploaded": upload.name}));
+                        r.status = 201;
+                        r
+                    }
+                    Err(e) => Response::error(400, e.to_string()),
+                },
+            }
+        });
+        let gw = Arc::clone(&self);
+        router.add(Method::Get, "/functions", move |_, _| Response::json(&gw.store.names()));
+        router.add(Method::Get, "/health", |_, _| {
+            Response::json(&serde_json::json!({"ok": true}))
+        });
+        Server::spawn_on(listen, router)
+    }
+}
+
+fn dispatch_remote(addr: SocketAddr, request: &RunRequest) -> Result<RunResult> {
+    let client = Client::new(addr);
+    let http_request = Request::new(Method::Post, "/execute").json(request);
+    let response = client
+        .send(&http_request)
+        .map_err(|e| Error::Transport(format!("host {addr}: {e}")))?;
+    if response.status != 200 {
+        return Err(Error::Transport(format!(
+            "host {addr} returned {}: {}",
+            response.status,
+            String::from_utf8_lossy(&response.body)
+        )));
+    }
+    response
+        .body_json()
+        .map_err(|e| Error::Transport(format!("host {addr} sent bad result: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confbench_types::{FunctionSpec, Language};
+
+    fn request(name: &str, language: Language, platform: TeePlatform) -> RunRequest {
+        RunRequest::new(
+            FunctionSpec::new(name, language).arg("360360"),
+            VmTarget::secure(platform),
+        )
+    }
+
+    #[test]
+    fn runs_on_local_host() {
+        let gw = Gateway::builder().local_host(TeePlatform::Tdx).build();
+        let result = gw.run(&request("factors", Language::Wasm, TeePlatform::Tdx)).unwrap();
+        assert_eq!(result.output, "1572480");
+    }
+
+    #[test]
+    fn missing_platform_reports_no_vm() {
+        let gw = Gateway::builder().local_host(TeePlatform::Tdx).build();
+        let err = gw.run(&request("factors", Language::Go, TeePlatform::Cca)).unwrap_err();
+        assert!(matches!(err, Error::NoVmAvailable(_)));
+    }
+
+    #[test]
+    fn run_pair_targets_both_kinds() {
+        let gw = Gateway::builder().local_host(TeePlatform::SevSnp).build();
+        let (secure, normal) = gw
+            .run_pair(request("iostress", Language::Go, TeePlatform::SevSnp), TeePlatform::SevSnp)
+            .unwrap();
+        assert_eq!(secure.target, VmTarget::secure(TeePlatform::SevSnp));
+        assert_eq!(normal.target, VmTarget::normal(TeePlatform::SevSnp));
+        assert_eq!(secure.output, normal.output);
+    }
+
+    #[test]
+    fn rest_interface_end_to_end() {
+        let gw = Arc::new(Gateway::builder().local_host(TeePlatform::Tdx).build());
+        let server = Arc::clone(&gw).serve().unwrap();
+        let client = Client::new(server.addr());
+
+        // Upload (Fig. 2 step 1).
+        let upload = Request::new(Method::Post, "/functions").json(&UploadRequest {
+            name: "quadruple".into(),
+            script: "result(int(ARGS[0]) * 4);".into(),
+        });
+        assert_eq!(client.send(&upload).unwrap().status, 201);
+
+        // List includes the upload.
+        let names: Vec<String> = client
+            .send(&Request::new(Method::Get, "/functions"))
+            .unwrap()
+            .body_json()
+            .unwrap();
+        assert!(names.contains(&"quadruple".to_owned()));
+
+        // Run it (Fig. 2 steps 2-5).
+        let run = Request::new(Method::Post, "/run").json(&RunRequest::new(
+            FunctionSpec::new("quadruple", Language::Lua).arg("21"),
+            VmTarget::secure(TeePlatform::Tdx),
+        ));
+        let resp = client.send(&run).unwrap();
+        assert_eq!(resp.status, 200);
+        let result: RunResult = resp.body_json().unwrap();
+        assert_eq!(result.output, "84");
+
+        // Unknown function maps to 404.
+        let bad = Request::new(Method::Post, "/run").json(&RunRequest::new(
+            FunctionSpec::new("ghost", Language::Lua),
+            VmTarget::secure(TeePlatform::Tdx),
+        ));
+        assert_eq!(client.send(&bad).unwrap().status, 404);
+    }
+
+    #[test]
+    fn remote_host_dispatch_over_http() {
+        let store = Arc::new(FunctionStore::new());
+        let agent = Arc::new(HostAgent::new(TeePlatform::SevSnp, store, 5));
+        let host_server = Arc::clone(&agent).serve().unwrap();
+
+        let gw = Gateway::builder().remote_host(TeePlatform::SevSnp, host_server.addr()).build();
+        let result = gw.run(&request("factors", Language::Go, TeePlatform::SevSnp)).unwrap();
+        assert_eq!(result.output, "1572480");
+    }
+
+    #[test]
+    fn pool_balances_across_hosts() {
+        let gw = Gateway::builder()
+            .local_host(TeePlatform::Tdx)
+            .local_host(TeePlatform::Tdx)
+            .build();
+        // Two hosts in the TDX pool; round robin must alternate without
+        // error across several runs.
+        for _ in 0..4 {
+            gw.run(&request("factors", Language::Go, TeePlatform::Tdx)).unwrap();
+        }
+        assert_eq!(gw.platforms(), vec![TeePlatform::Tdx]);
+    }
+}

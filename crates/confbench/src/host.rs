@@ -1,0 +1,233 @@
+//! The TEE-enabled host agent.
+//!
+//! A host owns one confidential VM and one normal VM for its platform
+//! (paper §IV-A: "in each host we created two VMs"), receives execution
+//! requests from the gateway, routes them to the right VM, runs the
+//! function under `perf stat`, and returns timing plus counters.
+
+use std::sync::Arc;
+
+use confbench_faasrt::FunctionLauncher;
+use confbench_perfmon::PerfStat;
+use confbench_types::{
+    Error, Result, RunRequest, RunResult, TeePlatform, VmKind, VmTarget,
+};
+use confbench_vmm::{TeeVmBuilder, Vm};
+use confbench_httpd::{Method, Response, Router, Server};
+use parking_lot::Mutex;
+
+use crate::store::FunctionStore;
+
+/// A host machine capable of instantiating confidential VMs for one
+/// platform.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use confbench::{FunctionStore, HostAgent};
+/// use confbench_types::{FunctionSpec, Language, RunRequest, TeePlatform, VmTarget};
+///
+/// let host = HostAgent::new(TeePlatform::Tdx, Arc::new(FunctionStore::new()), 7);
+/// let req = RunRequest::new(
+///     FunctionSpec::new("factors", Language::Go).arg("360360"),
+///     VmTarget::secure(TeePlatform::Tdx),
+/// );
+/// let result = host.execute(&req)?;
+/// assert_eq!(result.output, "1572480");
+/// # Ok::<(), confbench_types::Error>(())
+/// ```
+pub struct HostAgent {
+    platform: TeePlatform,
+    secure_vm: Mutex<Vm>,
+    normal_vm: Mutex<Vm>,
+    store: Arc<FunctionStore>,
+}
+
+impl HostAgent {
+    /// Boots both VMs for `platform` with deterministic seeds derived from
+    /// `seed`.
+    pub fn new(platform: TeePlatform, store: Arc<FunctionStore>, seed: u64) -> Self {
+        HostAgent {
+            platform,
+            secure_vm: Mutex::new(
+                TeeVmBuilder::new(VmTarget::secure(platform)).seed(seed).build(),
+            ),
+            normal_vm: Mutex::new(
+                TeeVmBuilder::new(VmTarget::normal(platform)).seed(seed).build(),
+            ),
+            store,
+        }
+    }
+
+    /// The host's platform.
+    pub fn platform(&self) -> TeePlatform {
+        self.platform
+    }
+
+    /// Executes a request on the targeted VM: launches the function through
+    /// its language runtime, replays the launcher bootstrap unmeasured, then
+    /// measures `trials` independent executions (the paper's methodology:
+    /// 10 trials, bootstrap excluded, averages reported).
+    ///
+    /// # Errors
+    ///
+    /// Unknown functions, wrong-platform targets, and workload failures.
+    pub fn execute(&self, request: &RunRequest) -> Result<RunResult> {
+        if request.target.platform != self.platform {
+            return Err(Error::InvalidRequest(format!(
+                "host serves {}, request targets {}",
+                self.platform, request.target.platform
+            )));
+        }
+        let function = self
+            .store
+            .get(&request.function.name)
+            .ok_or_else(|| Error::UnknownFunction(request.function.name.clone()))?;
+
+        let launcher = FunctionLauncher::new(request.function.language);
+        let output = launcher
+            .launch(&function, &request.function.args)
+            .map_err(|e| Error::Workload(e.to_string()))?;
+
+        let vm = match request.target.kind {
+            VmKind::Secure => &self.secure_vm,
+            VmKind::Normal => &self.normal_vm,
+        };
+        let mut vm = vm.lock();
+
+        // Launcher bootstrap runs unmeasured (paper §IV-D).
+        let _ = vm.execute(&output.startup_trace);
+
+        let trials = request.trials.max(1);
+        let mut trial_ms = Vec::with_capacity(trials as usize);
+        let mut trial_cycles = Vec::with_capacity(trials as usize);
+        for _ in 0..trials - 1 {
+            let report = vm.execute(&output.trace);
+            trial_ms.push(report.wall_ms);
+            trial_cycles.push(report.cycles);
+        }
+        // Final trial runs under the perf collector, whose sample is
+        // piggybacked on the result (paper §III-B).
+        let (report, sample) = PerfStat::for_vm(&vm).measure(&mut vm, &output.trace);
+        trial_ms.push(report.wall_ms);
+        trial_cycles.push(report.cycles);
+
+        Ok(RunResult {
+            function: request.function.name.clone(),
+            language: request.function.language,
+            target: request.target,
+            stats: RunResult::compute_stats(&trial_ms),
+            trial_ms,
+            trial_cycles,
+            perf: sample.report,
+            output: output.output,
+        })
+    }
+
+    /// Serves the agent over HTTP: `POST /execute` with a JSON
+    /// [`RunRequest`] body, `GET /health`.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn serve(self: Arc<Self>) -> std::io::Result<Server> {
+        let mut router = Router::new();
+        let agent = Arc::clone(&self);
+        router.add(Method::Post, "/execute", move |req, _| match req.body_json::<RunRequest>() {
+            Err(e) => Response::error(400, format!("bad request body: {e}")),
+            Ok(run_request) => match agent.execute(&run_request) {
+                Ok(result) => Response::json(&result),
+                Err(e) => Response::error(500, e.to_string()),
+            },
+        });
+        let platform = self.platform;
+        router.add(Method::Get, "/health", move |_, _| {
+            Response::json(&serde_json::json!({ "platform": platform.to_string(), "ok": true }))
+        });
+        Server::spawn(router)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confbench_httpd::Request;
+    use confbench_types::{FunctionSpec, Language};
+
+    fn host(platform: TeePlatform) -> HostAgent {
+        HostAgent::new(platform, Arc::new(FunctionStore::new()), 1)
+    }
+
+    fn request(platform: TeePlatform, kind: VmKind) -> RunRequest {
+        RunRequest {
+            function: FunctionSpec::new("factors", Language::Go).arg("360360"),
+            target: VmTarget { platform, kind },
+            trials: 3,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn executes_and_reports_trials() {
+        let h = host(TeePlatform::Tdx);
+        let result = h.execute(&request(TeePlatform::Tdx, VmKind::Secure)).unwrap();
+        assert_eq!(result.trial_ms.len(), 3);
+        assert_eq!(result.output, "1572480");
+        assert!(result.stats.mean_ms > 0.0);
+        assert!(result.perf.cycles > 0);
+    }
+
+    #[test]
+    fn wrong_platform_rejected() {
+        let h = host(TeePlatform::Tdx);
+        let err = h.execute(&request(TeePlatform::SevSnp, VmKind::Secure)).unwrap_err();
+        assert!(matches!(err, Error::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let h = host(TeePlatform::Tdx);
+        let mut req = request(TeePlatform::Tdx, VmKind::Normal);
+        req.function.name = "missing".into();
+        assert!(matches!(h.execute(&req).unwrap_err(), Error::UnknownFunction(_)));
+    }
+
+    #[test]
+    fn secure_runs_slower_than_normal_for_io() {
+        let h = host(TeePlatform::Tdx);
+        let mut secure_req = request(TeePlatform::Tdx, VmKind::Secure);
+        secure_req.function = FunctionSpec::new("iostress", Language::Go).arg("4");
+        let mut normal_req = secure_req.clone();
+        normal_req.target = VmTarget::normal(TeePlatform::Tdx);
+        let secure = h.execute(&secure_req).unwrap();
+        let normal = h.execute(&normal_req).unwrap();
+        let ratio = secure.stats.mean_ms / normal.stats.mean_ms;
+        assert!(ratio > 1.2, "TDX iostress ratio {ratio}");
+    }
+
+    #[test]
+    fn cca_results_come_from_the_script_collector() {
+        let h = host(TeePlatform::Cca);
+        let result = h.execute(&request(TeePlatform::Cca, VmKind::Secure)).unwrap();
+        assert!(!result.perf.from_hw_counters);
+        let tdx = host(TeePlatform::Tdx);
+        let result = tdx.execute(&request(TeePlatform::Tdx, VmKind::Secure)).unwrap();
+        assert!(result.perf.from_hw_counters);
+    }
+
+    #[test]
+    fn serves_over_http() {
+        let agent = Arc::new(host(TeePlatform::SevSnp));
+        let server = agent.serve().unwrap();
+        let client = confbench_httpd::Client::new(server.addr());
+        let req = Request::new(Method::Post, "/execute")
+            .json(&request(TeePlatform::SevSnp, VmKind::Secure));
+        let resp = client.send(&req).unwrap();
+        assert_eq!(resp.status, 200);
+        let result: RunResult = resp.body_json().unwrap();
+        assert_eq!(result.output, "1572480");
+        let health = client.send(&Request::new(Method::Get, "/health")).unwrap();
+        assert_eq!(health.status, 200);
+    }
+}

@@ -1,0 +1,195 @@
+//! **ConfBench** — a tool for easy evaluation of confidential virtual
+//! machines (Rust reproduction of the DSN 2025 paper).
+//!
+//! ConfBench executes FaaS and classic workloads across heterogeneous TEE
+//! platforms (Intel TDX, AMD SEV-SNP, ARM CCA) and their non-confidential
+//! baselines, managing the full lifecycle: function upload, dispatch to
+//! TEE-enabled hosts, execution through per-language launchers inside
+//! secure or normal VMs, and collection of timing plus perf counters.
+//!
+//! Architecture (paper Fig. 2):
+//!
+//! * [`Gateway`] — REST entry point; owns the [`FunctionStore`] and the
+//!   per-platform [`TeePool`]s, dispatching to in-process or remote hosts;
+//! * [`HostAgent`] — a TEE-enabled host with one secure and one normal VM,
+//!   executing requests under the perf monitor;
+//! * [`ConfBench`] — a batteries-included facade that boots local hosts for
+//!   all three platforms, used by the examples and the figure harness.
+//!
+//! In this reproduction the confidential VMs are deterministic simulations
+//! (see `confbench-vmm` and DESIGN.md): all timing is virtual and
+//! seed-reproducible, while every architectural layer of the real tool —
+//! REST gateway, pools, launchers, attestation, perf piggybacking — runs
+//! for real.
+//!
+//! # Example
+//!
+//! ```
+//! use confbench::ConfBench;
+//! use confbench_types::{Language, TeePlatform};
+//!
+//! let bench = ConfBench::local(7);
+//! let m = bench.measure_ratio("factors", Language::Go, TeePlatform::Tdx, 3)?;
+//! assert!(m.ratio > 0.5 && m.ratio < 2.0, "factors is CPU-bound: {}", m.ratio);
+//! # Ok::<(), confbench_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gateway;
+mod host;
+mod pool;
+mod store;
+
+pub use gateway::{Gateway, GatewayBuilder, UploadRequest};
+pub use host::HostAgent;
+pub use pool::{BalancePolicy, PoolGuard, TeePool};
+pub use store::{FunctionStore, StoreError, StoredFunction, UploadedFunction};
+
+use confbench_types::{
+    FunctionSpec, Language, Result, RunRequest, RunResult, TeePlatform, VmTarget,
+};
+
+/// A secure/normal measurement pair with its ratio (the paper's standard
+/// reporting unit).
+#[derive(Debug, Clone)]
+pub struct RatioMeasurement {
+    /// Result from the confidential VM.
+    pub secure: RunResult,
+    /// Result from the baseline VM.
+    pub normal: RunResult,
+    /// `secure.mean_ms / normal.mean_ms`.
+    pub ratio: f64,
+}
+
+/// Batteries-included ConfBench instance: a gateway with one local host per
+/// TEE platform, deterministic under `seed`.
+pub struct ConfBench {
+    gateway: Gateway,
+    seed: u64,
+}
+
+impl ConfBench {
+    /// Boots local hosts for all three platforms.
+    pub fn local(seed: u64) -> Self {
+        let gateway = Gateway::builder()
+            .seed(seed)
+            .local_host(TeePlatform::Tdx)
+            .local_host(TeePlatform::SevSnp)
+            .local_host(TeePlatform::Cca)
+            .build();
+        ConfBench { gateway, seed }
+    }
+
+    /// The underlying gateway.
+    pub fn gateway(&self) -> &Gateway {
+        &self.gateway
+    }
+
+    /// Runs one request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gateway::run`].
+    pub fn run(&self, request: &RunRequest) -> Result<RunResult> {
+        self.gateway.run(request)
+    }
+
+    /// Runs `function` (with its default or given args) in `language` on
+    /// both VM kinds of `platform` for `trials` trials each, returning the
+    /// mean-time ratio.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gateway::run`].
+    pub fn measure_ratio(
+        &self,
+        function: &str,
+        language: Language,
+        platform: TeePlatform,
+        trials: u32,
+    ) -> Result<RatioMeasurement> {
+        let args = confbench_workloads::find_workload(function)
+            .map(|w| w.default_args())
+            .unwrap_or_default();
+        self.measure_ratio_with_args(function, &args, language, platform, trials)
+    }
+
+    /// As [`ConfBench::measure_ratio`] with explicit arguments.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gateway::run`].
+    pub fn measure_ratio_with_args(
+        &self,
+        function: &str,
+        args: &[String],
+        language: Language,
+        platform: TeePlatform,
+        trials: u32,
+    ) -> Result<RatioMeasurement> {
+        let mut spec = FunctionSpec::new(function, language);
+        spec.args = args.to_vec();
+        let request = RunRequest {
+            function: spec,
+            target: VmTarget::secure(platform),
+            trials,
+            seed: self.seed,
+        };
+        let (secure, normal) = self.gateway.run_pair(request, platform)?;
+        let ratio = secure.stats.mean_ms / normal.stats.mean_ms;
+        Ok(RatioMeasurement { secure, normal, ratio })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_instance_serves_all_platforms() {
+        let bench = ConfBench::local(1);
+        assert_eq!(
+            bench.gateway().platforms(),
+            vec![TeePlatform::Tdx, TeePlatform::SevSnp, TeePlatform::Cca]
+        );
+    }
+
+    #[test]
+    fn ratio_measurement_shapes() {
+        let bench = ConfBench::local(2);
+        // I/O-bound on TDX: clearly above 1.
+        let io = bench
+            .measure_ratio_with_args(
+                "iostress",
+                &["4".into()],
+                Language::Go,
+                TeePlatform::Tdx,
+                4,
+            )
+            .unwrap();
+        assert!(io.ratio > 1.2, "tdx iostress {}", io.ratio);
+        assert_eq!(io.secure.output, io.normal.output);
+        // CPU-bound on TDX: near 1.
+        let cpu = bench
+            .measure_ratio_with_args(
+                "checksum",
+                &["30000".into()],
+                Language::Go,
+                TeePlatform::Tdx,
+                4,
+            )
+            .unwrap();
+        assert!(cpu.ratio < 1.15, "tdx checksum {}", cpu.ratio);
+    }
+
+    #[test]
+    fn unknown_workload_without_args_fails_cleanly() {
+        let bench = ConfBench::local(1);
+        let err = bench
+            .measure_ratio("does-not-exist", Language::Go, TeePlatform::Tdx, 1)
+            .unwrap_err();
+        assert!(matches!(err, confbench_types::Error::UnknownFunction(_)));
+    }
+}

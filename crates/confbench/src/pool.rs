@@ -1,0 +1,186 @@
+//! TEE pools and load balancing (paper §III-A: "the gateway maintains TEE
+//! pools to load-balance workload requests across different types of TEEs";
+//! providers adjust the policy to their needs).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A load-balancing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalancePolicy {
+    /// Rotate through members in order.
+    RoundRobin,
+    /// Pick the member with the fewest in-flight requests.
+    LeastLoaded,
+}
+
+struct Entry<T> {
+    member: T,
+    inflight: AtomicU64,
+    served: AtomicU64,
+}
+
+/// A pool of interchangeable execution targets for one VM target.
+///
+/// # Example
+///
+/// ```
+/// use confbench::{BalancePolicy, TeePool};
+///
+/// let pool = TeePool::new(vec!["host-a", "host-b"], BalancePolicy::RoundRobin);
+/// let first = pool.checkout();
+/// let second = pool.checkout();
+/// assert_ne!(*first.member(), *second.member());
+/// ```
+pub struct TeePool<T> {
+    entries: Vec<Entry<T>>,
+    policy: BalancePolicy,
+    cursor: AtomicUsize,
+}
+
+impl<T> TeePool<T> {
+    /// Creates a pool over `members`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<T>, policy: BalancePolicy) -> Self {
+        assert!(!members.is_empty(), "a pool needs at least one member");
+        TeePool {
+            entries: members
+                .into_iter()
+                .map(|member| Entry {
+                    member,
+                    inflight: AtomicU64::new(0),
+                    served: AtomicU64::new(0),
+                })
+                .collect(),
+            policy,
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> BalancePolicy {
+        self.policy
+    }
+
+    /// Selects a member per the policy, returning a guard that tracks the
+    /// request as in-flight until dropped.
+    pub fn checkout(&self) -> PoolGuard<'_, T> {
+        let idx = match self.policy {
+            BalancePolicy::RoundRobin => {
+                self.cursor.fetch_add(1, Ordering::Relaxed) % self.entries.len()
+            }
+            BalancePolicy::LeastLoaded => self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.inflight.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .expect("non-empty pool"),
+        };
+        let entry = &self.entries[idx];
+        entry.inflight.fetch_add(1, Ordering::SeqCst);
+        entry.served.fetch_add(1, Ordering::SeqCst);
+        PoolGuard { entry }
+    }
+
+    /// Total requests served per member (diagnostics).
+    pub fn served_counts(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.served.load(Ordering::SeqCst)).collect()
+    }
+}
+
+/// Checkout guard: dereferences to the member; releases the in-flight count
+/// on drop.
+pub struct PoolGuard<'a, T> {
+    entry: &'a Entry<T>,
+}
+
+impl<T> PoolGuard<'_, T> {
+    /// The selected member.
+    pub fn member(&self) -> &T {
+        &self.entry.member
+    }
+}
+
+impl<T> Drop for PoolGuard<'_, T> {
+    fn drop(&mut self) {
+        self.entry.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates_evenly() {
+        let pool = TeePool::new(vec![0, 1, 2], BalancePolicy::RoundRobin);
+        for _ in 0..9 {
+            let _ = pool.checkout();
+        }
+        assert_eq!(pool.served_counts(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_member() {
+        let pool = TeePool::new(vec!["a", "b"], BalancePolicy::LeastLoaded);
+        let busy = pool.checkout(); // "a" now has 1 in flight
+        let next = pool.checkout();
+        assert_eq!(*next.member(), "b");
+        drop(next);
+        drop(busy);
+        // Everything idle again: first member wins ties.
+        let after = pool.checkout();
+        assert_eq!(*after.member(), "a");
+    }
+
+    #[test]
+    fn guard_drop_releases_load() {
+        let pool = TeePool::new(vec!["only"], BalancePolicy::LeastLoaded);
+        {
+            let _g1 = pool.checkout();
+            let _g2 = pool.checkout();
+        }
+        // Both released; least-loaded sees zero in-flight.
+        let g = pool.checkout();
+        assert_eq!(*g.member(), "only");
+        assert_eq!(pool.served_counts(), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_pool_rejected() {
+        let _: TeePool<u8> = TeePool::new(vec![], BalancePolicy::RoundRobin);
+    }
+
+    #[test]
+    fn pool_is_sync_for_concurrent_checkout() {
+        let pool = std::sync::Arc::new(TeePool::new(vec![0, 1, 2, 3], BalancePolicy::RoundRobin));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = std::sync::Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let _ = pool.checkout();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.served_counts().iter().sum::<u64>(), 400);
+    }
+}

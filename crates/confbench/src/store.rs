@@ -1,0 +1,230 @@
+//! The gateway's function database (paper §III-C: "the gateway maintains a
+//! database of available functions per supported language").
+//!
+//! The store starts with the 25 built-in suite workloads and accepts user
+//! uploads as CBScript source. Uploaded functions run on every language
+//! path: the engine languages execute the script directly, and the emulated
+//! managed runtimes derive the function's *logical* behaviour by
+//! interpreting the script at dispatch cost 1 (pure semantics), then
+//! applying the runtime profile.
+
+use std::collections::HashMap;
+
+use confbench_faasrt::{parse, run_program, FaasFunction};
+use confbench_types::OpTrace;
+use confbench_workloads::{faas_registry, FaasWorkload};
+use parking_lot::RwLock;
+
+/// A user-uploaded function: named CBScript source.
+#[derive(Debug, Clone)]
+pub struct UploadedFunction {
+    name: String,
+    script: String,
+}
+
+/// Step budget for uploaded scripts (tighter than the built-in suite's).
+const UPLOAD_STEP_LIMIT: u64 = 100_000_000;
+
+impl FaasFunction for UploadedFunction {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn script(&self) -> &str {
+        &self.script
+    }
+
+    fn run_native(&self, args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+        // Dispatch cost 1 = the function's pure semantics, which the
+        // managed-runtime profiles then inflate.
+        let program = parse(&self.script).map_err(|e| e.to_string())?;
+        let outcome = run_program(&program, args, 1, UPLOAD_STEP_LIMIT).map_err(|e| e.to_string())?;
+        trace.extend_from(&outcome.trace);
+        Ok(outcome.result)
+    }
+}
+
+/// A registered function: built-in or uploaded.
+#[derive(Debug, Clone)]
+pub enum StoredFunction {
+    /// One of the 25 suite workloads.
+    Builtin(FaasWorkload),
+    /// User-uploaded CBScript.
+    Uploaded(UploadedFunction),
+}
+
+impl FaasFunction for StoredFunction {
+    fn name(&self) -> &str {
+        match self {
+            StoredFunction::Builtin(w) => w.name(),
+            StoredFunction::Uploaded(u) => u.name(),
+        }
+    }
+
+    fn script(&self) -> &str {
+        match self {
+            StoredFunction::Builtin(w) => w.script(),
+            StoredFunction::Uploaded(u) => u.script(),
+        }
+    }
+
+    fn run_native(&self, args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+        match self {
+            StoredFunction::Builtin(w) => w.run_native(args, trace),
+            StoredFunction::Uploaded(u) => u.run_native(args, trace),
+        }
+    }
+}
+
+/// Errors from store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A function with this name already exists.
+    NameTaken(String),
+    /// The uploaded script failed to parse.
+    BadScript(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NameTaken(name) => write!(f, "function name already taken: {name}"),
+            StoreError::BadScript(msg) => write!(f, "uploaded script rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The function database.
+#[derive(Debug)]
+pub struct FunctionStore {
+    functions: RwLock<HashMap<String, StoredFunction>>,
+}
+
+impl Default for FunctionStore {
+    fn default() -> Self {
+        FunctionStore::new()
+    }
+}
+
+impl FunctionStore {
+    /// Creates a store pre-populated with the built-in suite.
+    pub fn new() -> Self {
+        let functions = faas_registry()
+            .into_iter()
+            .map(|w| (w.name().to_owned(), StoredFunction::Builtin(w)))
+            .collect();
+        FunctionStore { functions: RwLock::new(functions) }
+    }
+
+    /// Uploads a CBScript function (paper Fig. 2, step 1). The script is
+    /// parse-checked at upload time.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NameTaken`] / [`StoreError::BadScript`].
+    pub fn upload(&self, name: &str, script: &str) -> Result<(), StoreError> {
+        parse(script).map_err(|e| StoreError::BadScript(e.to_string()))?;
+        let mut functions = self.functions.write();
+        if functions.contains_key(name) {
+            return Err(StoreError::NameTaken(name.to_owned()));
+        }
+        functions.insert(
+            name.to_owned(),
+            StoredFunction::Uploaded(UploadedFunction {
+                name: name.to_owned(),
+                script: script.to_owned(),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Fetches a function by name.
+    pub fn get(&self, name: &str) -> Option<StoredFunction> {
+        self.functions.read().get(name).cloned()
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.functions.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.functions.read().len()
+    }
+
+    /// Whether the store is empty (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.functions.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confbench_faasrt::FunctionLauncher;
+    use confbench_types::Language;
+
+    #[test]
+    fn starts_with_the_builtin_suite() {
+        let store = FunctionStore::new();
+        assert_eq!(store.len(), 25);
+        assert!(store.get("cpustress").is_some());
+        assert!(store.get("nope").is_none());
+    }
+
+    #[test]
+    fn upload_and_run_across_languages() {
+        let store = FunctionStore::new();
+        store.upload("triple", "result(int(ARGS[0]) * 3);").unwrap();
+        let f = store.get("triple").unwrap();
+        for language in Language::ALL {
+            let out = FunctionLauncher::new(language).launch(&f, &["14".into()]).unwrap();
+            assert_eq!(out.output, "42", "{language}");
+        }
+    }
+
+    #[test]
+    fn bad_script_rejected_at_upload() {
+        let store = FunctionStore::new();
+        let err = store.upload("broken", "let = nonsense").unwrap_err();
+        assert!(matches!(err, StoreError::BadScript(_)));
+        assert!(store.get("broken").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let store = FunctionStore::new();
+        assert_eq!(
+            store.upload("cpustress", "result(1);"),
+            Err(StoreError::NameTaken("cpustress".into()))
+        );
+        store.upload("mine", "result(1);").unwrap();
+        assert_eq!(store.upload("mine", "result(2);"), Err(StoreError::NameTaken("mine".into())));
+    }
+
+    #[test]
+    fn names_are_sorted_and_complete() {
+        let store = FunctionStore::new();
+        store.upload("aaa_first", "result(0);").unwrap();
+        let names = store.names();
+        assert_eq!(names.len(), 26);
+        assert_eq!(names[0], "aaa_first");
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn uploaded_function_traces_io_builtins() {
+        let store = FunctionStore::new();
+        store.upload("writer", "io_write(4096); result(1);").unwrap();
+        let f = store.get("writer").unwrap();
+        let out = FunctionLauncher::new(Language::Go).launch(&f, &[]).unwrap();
+        assert_eq!(out.trace.total_io_bytes(), 4096);
+    }
+}

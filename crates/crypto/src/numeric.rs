@@ -1,0 +1,174 @@
+//! 64-bit modular arithmetic and deterministic primality testing.
+
+/// Modular multiplication `a * b mod m` without overflow (via `u128`).
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be nonzero");
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation `base^exp mod m` by square-and-multiply.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be nonzero");
+    if m == 1 {
+        return 0;
+    }
+    let mut acc: u64 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base, m);
+        }
+        base = mod_mul(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse of `a` modulo `m` via the extended Euclidean algorithm.
+///
+/// Returns `None` when `gcd(a, m) != 1`.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    assert!(m != 0, "modulus must be nonzero");
+    let (mut old_r, mut r) = (a as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    let mut inv = old_s % m as i128;
+    if inv < 0 {
+        inv += m as i128;
+    }
+    Some(inv as u64)
+}
+
+/// Deterministic Miller–Rabin primality test, correct for every `u64`.
+///
+/// Uses the known-sufficient base set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+/// 31, 37} (Sorenson & Webster).
+///
+/// # Example
+///
+/// ```
+/// use confbench_crypto::miller_rabin;
+///
+/// assert!(miller_rabin(2_147_483_647)); // 2^31 - 1, a Mersenne prime
+/// assert!(!miller_rabin(2_147_483_649));
+/// ```
+pub fn miller_rabin(n: u64) -> bool {
+    const BASES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+    if n < 2 {
+        return false;
+    }
+    for &p in &BASES {
+        if n.is_multiple_of(p) {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'outer: for &a in &BASES {
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..r {
+            x = mod_mul(x, x, n);
+            if x == n - 1 {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_mul_no_overflow() {
+        let big = u64::MAX - 58; // close to 2^64
+        assert_eq!(mod_mul(big, big, u64::MAX), mod_mul_ref(big, big, u64::MAX));
+    }
+
+    fn mod_mul_ref(a: u64, b: u64, m: u64) -> u64 {
+        ((a as u128 * b as u128) % m as u128) as u64
+    }
+
+    #[test]
+    fn mod_pow_known_values() {
+        assert_eq!(mod_pow(2, 10, 1_000), 24);
+        assert_eq!(mod_pow(3, 0, 7), 1);
+        assert_eq!(mod_pow(0, 5, 7), 0);
+        assert_eq!(mod_pow(5, 117, 19), mod_pow(5, 117 % 18, 19)); // Fermat
+    }
+
+    #[test]
+    fn mod_pow_modulus_one() {
+        assert_eq!(mod_pow(12345, 678, 1), 0);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = 1_000_000_007;
+        for a in [1u64, 2, 3, 999, 123_456_789] {
+            let inv = mod_inverse(a, m).unwrap();
+            assert_eq!(mod_mul(a, inv, m), 1);
+        }
+    }
+
+    #[test]
+    fn inverse_of_noncoprime_is_none() {
+        assert_eq!(mod_inverse(6, 9), None);
+        assert_eq!(mod_inverse(0, 7), None);
+    }
+
+    #[test]
+    fn small_primes_classified() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919];
+        let composites = [0u64, 1, 4, 9, 91, 561, 1105, 6601]; // incl. Carmichael
+        for p in primes {
+            assert!(miller_rabin(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!miller_rabin(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprimes_rejected() {
+        // Strong pseudoprimes to base 2 that fooled single-base MR.
+        for n in [2047u64, 3277, 4033, 4681, 8321, 3215031751] {
+            assert!(!miller_rabin(n), "{n} is composite");
+        }
+    }
+
+    #[test]
+    fn large_known_primes() {
+        assert!(miller_rabin(18_446_744_073_709_551_557)); // largest u64 prime
+        assert!(miller_rabin(4_611_686_018_427_394_499)); // our group prime p
+        assert!(miller_rabin((4_611_686_018_427_394_499 - 1) / 2)); // safe: q prime
+    }
+}

@@ -1,0 +1,259 @@
+//! Schnorr signatures over a 62-bit safe-prime group (simulation-grade).
+//!
+//! Parameters: `p = 2q + 1` is a safe prime, `g` generates the order-`q`
+//! subgroup of `Z_p*`. Signing uses deterministic nonces (RFC 6979-style:
+//! `k = HMAC(sk, msg)` reduced mod `q`), so signatures are reproducible.
+//!
+//! The unit tests verify the group parameters with [`crate::miller_rabin`].
+
+use std::fmt;
+
+use crate::hmac::hmac_sha256;
+use crate::numeric::{mod_mul, mod_pow};
+use crate::sha256::Sha256;
+
+/// The safe prime `p` defining the group `Z_p*` (62 bits).
+pub const GROUP_PRIME: u64 = 4_611_686_018_427_394_499; // 0x40000000000019c3
+
+/// Order of the prime-order subgroup: `q = (p - 1) / 2`.
+pub const GROUP_ORDER: u64 = (GROUP_PRIME - 1) / 2;
+
+/// Generator of the order-`q` subgroup (`g = 2^2 mod p`).
+pub const GROUP_GENERATOR: u64 = 4;
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Challenge scalar.
+    pub e: u64,
+    /// Response scalar.
+    pub s: u64,
+}
+
+impl Signature {
+    /// Serializes to 16 bytes (big-endian `e`, then `s`).
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.e.to_be_bytes());
+        out[8..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Deserializes from the [`Signature::to_bytes`] encoding.
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        Signature {
+            e: u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes")),
+            s: u64::from_be_bytes(bytes[8..].try_into().expect("8 bytes")),
+        }
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig({:016x},{:016x})", self.e, self.s)
+    }
+}
+
+/// Error returned when signature verification fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureError;
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("signature verification failed")
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// A Schnorr signing key (the secret scalar).
+///
+/// # Example
+///
+/// ```
+/// use confbench_crypto::SigningKey;
+///
+/// let sk = SigningKey::from_seed(1);
+/// let sig = sk.sign(b"report");
+/// sk.verifying_key().verify(b"report", &sig)?;
+/// assert!(sk.verifying_key().verify(b"tampered", &sig).is_err());
+/// # Ok::<(), confbench_crypto::SignatureError>(())
+/// ```
+#[derive(Clone)]
+pub struct SigningKey {
+    sk: u64,
+    pk: u64,
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the secret scalar.
+        f.debug_struct("SigningKey").field("pk", &self.pk).finish_non_exhaustive()
+    }
+}
+
+impl SigningKey {
+    /// Derives a key pair deterministically from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let digest = Sha256::digest_parts(&[b"confbench-simsig-key", &seed.to_be_bytes()]);
+        let sk = digest.to_u64() % (GROUP_ORDER - 1) + 1; // in [1, q)
+        let pk = mod_pow(GROUP_GENERATOR, sk, GROUP_PRIME);
+        SigningKey { sk, pk }
+    }
+
+    /// The corresponding public verification key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey { pk: self.pk }
+    }
+
+    /// Signs `message` with a deterministic nonce.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        // Deterministic nonce k in [1, q).
+        let k = hmac_sha256(&self.sk.to_be_bytes(), message).to_u64() % (GROUP_ORDER - 1) + 1;
+        let r = mod_pow(GROUP_GENERATOR, k, GROUP_PRIME);
+        let e = challenge(r, self.pk, message);
+        // s = k + e * sk mod q
+        let s = (k as u128 + mod_mul(e, self.sk, GROUP_ORDER) as u128) % GROUP_ORDER as u128;
+        Signature { e, s: s as u64 }
+    }
+}
+
+/// A Schnorr verification (public) key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerifyingKey {
+    pk: u64,
+}
+
+impl VerifyingKey {
+    /// Constructs a key from its group element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError`] if `pk` is not a valid element of the
+    /// order-`q` subgroup.
+    pub fn from_element(pk: u64) -> Result<Self, SignatureError> {
+        if pk <= 1 || pk >= GROUP_PRIME || mod_pow(pk, GROUP_ORDER, GROUP_PRIME) != 1 {
+            return Err(SignatureError);
+        }
+        Ok(VerifyingKey { pk })
+    }
+
+    /// The underlying group element.
+    pub fn element(&self) -> u64 {
+        self.pk
+    }
+
+    /// Verifies `sig` over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError`] when the signature does not match.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> Result<(), SignatureError> {
+        if sig.s >= GROUP_ORDER {
+            return Err(SignatureError);
+        }
+        // r' = g^s * pk^{-e} = g^s * pk^{q - e mod q}
+        let gs = mod_pow(GROUP_GENERATOR, sig.s, GROUP_PRIME);
+        let neg_e = (GROUP_ORDER - sig.e % GROUP_ORDER) % GROUP_ORDER;
+        let pke = mod_pow(self.pk, neg_e, GROUP_PRIME);
+        let r = mod_mul(gs, pke, GROUP_PRIME);
+        if challenge(r, self.pk, message) == sig.e {
+            Ok(())
+        } else {
+            Err(SignatureError)
+        }
+    }
+}
+
+fn challenge(r: u64, pk: u64, message: &[u8]) -> u64 {
+    Sha256::digest_parts(&[&r.to_be_bytes(), &pk.to_be_bytes(), message]).to_u64() % GROUP_ORDER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::miller_rabin;
+
+    #[test]
+    fn group_parameters_are_a_safe_prime_group() {
+        assert!(miller_rabin(GROUP_PRIME), "p must be prime");
+        assert!(miller_rabin(GROUP_ORDER), "q must be prime");
+        assert_eq!(GROUP_PRIME, 2 * GROUP_ORDER + 1);
+        assert_eq!(mod_pow(GROUP_GENERATOR, GROUP_ORDER, GROUP_PRIME), 1);
+        assert_ne!(GROUP_GENERATOR, 1);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let sk = SigningKey::from_seed(42);
+        for msg in [&b"a"[..], b"", b"the quick brown fox", &[0u8; 1000]] {
+            let sig = sk.sign(msg);
+            sk.verifying_key().verify(msg, &sig).unwrap();
+        }
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let sk = SigningKey::from_seed(1);
+        let sig = sk.sign(b"genuine measurement");
+        assert_eq!(sk.verifying_key().verify(b"forged measurement", &sig), Err(SignatureError));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let sk = SigningKey::from_seed(1);
+        let mut sig = sk.sign(b"msg");
+        sig.s ^= 1;
+        assert!(sk.verifying_key().verify(b"msg", &sig).is_err());
+        let mut sig2 = sk.sign(b"msg");
+        sig2.e ^= 1;
+        assert!(sk.verifying_key().verify(b"msg", &sig2).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sk1 = SigningKey::from_seed(1);
+        let sk2 = SigningKey::from_seed(2);
+        let sig = sk1.sign(b"msg");
+        assert!(sk2.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn signatures_are_deterministic() {
+        let sk = SigningKey::from_seed(9);
+        assert_eq!(sk.sign(b"x"), sk.sign(b"x"));
+        assert_ne!(sk.sign(b"x"), sk.sign(b"y"));
+    }
+
+    #[test]
+    fn signature_bytes_roundtrip() {
+        let sig = SigningKey::from_seed(3).sign(b"payload");
+        assert_eq!(Signature::from_bytes(sig.to_bytes()), sig);
+    }
+
+    #[test]
+    fn from_element_validates_subgroup_membership() {
+        let good = SigningKey::from_seed(5).verifying_key();
+        assert!(VerifyingKey::from_element(good.element()).is_ok());
+        assert!(VerifyingKey::from_element(0).is_err());
+        assert!(VerifyingKey::from_element(1).is_err());
+        assert!(VerifyingKey::from_element(GROUP_PRIME).is_err());
+        // p - 1 has order 2, not q.
+        assert!(VerifyingKey::from_element(GROUP_PRIME - 1).is_err());
+    }
+
+    #[test]
+    fn debug_does_not_leak_secret() {
+        let sk = SigningKey::from_seed(4);
+        let dbg = format!("{sk:?}");
+        assert!(dbg.contains("pk"));
+        assert!(!dbg.contains(&sk.sk.to_string()));
+    }
+
+    #[test]
+    fn out_of_range_s_rejected() {
+        let sk = SigningKey::from_seed(6);
+        let sig = Signature { e: 1, s: GROUP_ORDER };
+        assert!(sk.verifying_key().verify(b"m", &sig).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the crypto substrate.
+
+use confbench_crypto::{
+    hmac_sha256, miller_rabin, mod_inverse, mod_mul, mod_pow, Sha256, SigningKey,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing equals one-shot hashing for every split.
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..600),
+                                         cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..6)) {
+        let want = Sha256::digest(&data);
+        let mut offsets: Vec<usize> = cuts.iter().map(|i| i.index(data.len() + 1)).collect();
+        offsets.push(0);
+        offsets.push(data.len());
+        offsets.sort_unstable();
+        let mut h = Sha256::new();
+        for pair in offsets.windows(2) {
+            h.update(&data[pair[0]..pair[1]]);
+        }
+        prop_assert_eq!(h.finalize(), want);
+    }
+
+    /// Distinct inputs produce distinct digests (collision-freedom at the
+    /// scale we can test).
+    #[test]
+    fn sha256_injective_on_small_inputs(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                        b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(a != b);
+        prop_assert_ne!(Sha256::digest(&a), Sha256::digest(&b));
+    }
+
+    /// HMAC differs when either key or message differs.
+    #[test]
+    fn hmac_is_key_and_message_sensitive(key in proptest::collection::vec(any::<u8>(), 1..80),
+                                         msg in proptest::collection::vec(any::<u8>(), 0..80),
+                                         flip in any::<prop::sample::Index>()) {
+        let tag = hmac_sha256(&key, &msg);
+        let mut key2 = key.clone();
+        let at = flip.index(key2.len());
+        key2[at] ^= 1;
+        prop_assert_ne!(hmac_sha256(&key2, &msg), tag);
+        let mut msg2 = msg.clone();
+        if msg2.is_empty() {
+            msg2.push(0);
+        } else {
+            let at = flip.index(msg2.len());
+            msg2[at] ^= 1;
+        }
+        prop_assert_ne!(hmac_sha256(&key, &msg2), tag);
+    }
+
+    /// Signatures verify for the signed message only.
+    #[test]
+    fn signatures_bind_messages(seed in any::<u64>(),
+                                msg in proptest::collection::vec(any::<u8>(), 0..200),
+                                other in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let sk = SigningKey::from_seed(seed);
+        let sig = sk.sign(&msg);
+        prop_assert!(sk.verifying_key().verify(&msg, &sig).is_ok());
+        if other != msg {
+            prop_assert!(sk.verifying_key().verify(&other, &sig).is_err());
+        }
+    }
+
+    /// mod_pow obeys the law of exponents.
+    #[test]
+    fn mod_pow_exponent_law(base in 1u64..1_000_000, a in 0u64..1_000, b in 0u64..1_000) {
+        let m = 1_000_000_007u64;
+        let left = mod_pow(base, a + b, m);
+        let right = mod_mul(mod_pow(base, a, m), mod_pow(base, b, m), m);
+        prop_assert_eq!(left, right);
+    }
+
+    /// The inverse really inverts (whenever it exists).
+    #[test]
+    fn mod_inverse_inverts(a in 1u64..1_000_000, m in 2u64..1_000_000) {
+        if let Some(inv) = mod_inverse(a, m) {
+            prop_assert_eq!(mod_mul(a % m, inv, m), 1 % m);
+        }
+    }
+
+    /// Miller–Rabin agrees with trial division on small numbers.
+    #[test]
+    fn miller_rabin_matches_trial_division(n in 0u64..50_000) {
+        let by_trial = n >= 2 && (2..).take_while(|d| d * d <= n).all(|d| n % d != 0);
+        prop_assert_eq!(miller_rabin(n), by_trial, "{}", n);
+    }
+}

@@ -1,0 +1,115 @@
+//! CBScript abstract syntax tree.
+
+use std::rc::Rc;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numeric addition or string concatenation)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(Rc<str>),
+    /// Boolean literal.
+    Bool(bool),
+    /// `nil`.
+    Nil,
+    /// Variable reference.
+    Var(String),
+    /// `[a, b, c]` array literal.
+    Array(Vec<Expr>),
+    /// `a[i]` indexing.
+    Index(Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr;`
+    Let(String, Expr),
+    /// `name = expr;`
+    Assign(String, Expr),
+    /// `a[i] = expr;`
+    IndexAssign(String, Expr, Expr),
+    /// Bare expression statement.
+    Expr(Expr),
+    /// `if cond { .. } else { .. }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while cond { .. }`
+    While(Expr, Vec<Stmt>),
+    /// `for i in a, b { .. }` — iterates `i` over `[a, b)`.
+    For(String, Expr, Expr, Vec<Stmt>),
+    /// `return expr;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// A user-defined function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed program: function declarations plus top-level statements.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Declared functions.
+    pub functions: Vec<FnDecl>,
+    /// Top-level statements, run in order.
+    pub body: Vec<Stmt>,
+}

@@ -1,0 +1,1034 @@
+//! Bytecode compiler and stack VM — the WebAssembly (Wasmi) and LuaJIT
+//! execution paths.
+//!
+//! CBScript compiles to a compact stack bytecode, mirroring how the paper's
+//! Wasm workloads are compiled to WebAssembly and run under the Wasmi
+//! interpreter. The same [`StackVm`] doubles as the LuaJIT path: in
+//! [`JitMode::Tracing`], hot code (past a back-edge threshold) is "trace
+//! compiled" — a one-time compile charge, then a much lower per-instruction
+//! dispatch cost — which is exactly the cost structure that makes LuaJIT's
+//! heatmap row darker than Lua's in Fig. 6.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use confbench_types::OpTrace;
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use crate::builtins::{call_builtin, BuiltinHost, BUILTIN_NAMES};
+use crate::error::ScriptError;
+use crate::interp::ScriptOutcome;
+use crate::value::Value;
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Push an integer constant.
+    ConstInt(i64),
+    /// Push a float constant.
+    ConstFloat(f64),
+    /// Push a string constant (by pool index).
+    ConstStr(u32),
+    /// Push a boolean.
+    ConstBool(bool),
+    /// Push nil.
+    ConstNil,
+    /// Push local slot.
+    LoadLocal(u32),
+    /// Pop into local slot.
+    StoreLocal(u32),
+    /// Push global (by name-pool index).
+    LoadGlobal(u32),
+    /// Pop into global.
+    StoreGlobal(u32),
+    /// Pop N items into a new array.
+    NewArray(u32),
+    /// Pop index, target; push element.
+    Index,
+    /// Pop value, index, target; store element.
+    IndexSet,
+    /// Binary operation on the top two stack values.
+    Bin(BinOp),
+    /// Unary operation.
+    Un(UnOp),
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump when falsy.
+    JumpIfFalse(u32),
+    /// Peek; jump when falsy (for `&&`).
+    JumpIfFalsePeek(u32),
+    /// Peek; jump when truthy (for `||`).
+    JumpIfTruePeek(u32),
+    /// Discard the top of stack.
+    Pop,
+    /// Call user function `fn_index` with `argc` arguments.
+    Call(u32, u32),
+    /// Call builtin (by name-pool index) with `argc` arguments.
+    CallBuiltin(u32, u32),
+    /// Return the top of stack.
+    Return,
+}
+
+/// A compiled function: code plus frame size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFn {
+    /// Function name (diagnostics).
+    pub name: String,
+    /// Parameter count.
+    pub arity: u32,
+    /// Local-slot count (including parameters).
+    pub locals: u32,
+    /// Instructions.
+    pub code: Vec<Instr>,
+}
+
+/// A compiled module: the top-level body is function 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// All functions; index 0 is the synthesized `__main__`.
+    pub functions: Vec<CompiledFn>,
+    /// String constants.
+    pub strings: Vec<Rc<str>>,
+    /// Names referenced as globals or builtins.
+    pub names: Vec<String>,
+}
+
+impl Module {
+    /// Total instruction count across all functions (a code-size proxy).
+    pub fn code_len(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+/// Compiles a parsed program to bytecode.
+///
+/// # Errors
+///
+/// [`ScriptError::Runtime`] for compile-time name errors (e.g. `break`
+/// outside a loop).
+pub fn compile(program: &Program) -> Result<Module, ScriptError> {
+    let mut module = Module { functions: Vec::new(), strings: Vec::new(), names: Vec::new() };
+    let fn_ids: HashMap<&str, u32> = program
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), (i + 1) as u32))
+        .collect();
+
+    // Function 0: top level.
+    let main = FnCompiler::new(&fn_ids, &[]).compile_body("__main__", &program.body, &mut module)?;
+    module.functions.push(main);
+    for decl in &program.functions {
+        let f = FnCompiler::new(&fn_ids, &decl.params)
+            .compile_body(&decl.name, &decl.body, &mut module)?;
+        module.functions.push(f);
+    }
+    // Fix function order: we appended main first, then declarations; ids in
+    // fn_ids assumed main at 0 and declarations from 1, which holds.
+    Ok(module)
+}
+
+struct FnCompiler<'a> {
+    fn_ids: &'a HashMap<&'a str, u32>,
+    locals: Vec<String>,
+    scope_starts: Vec<usize>,
+    code: Vec<Instr>,
+    loop_stack: Vec<LoopLabels>,
+    max_locals: u32,
+}
+
+struct LoopLabels {
+    breaks: Vec<usize>,
+    continues: Vec<usize>,
+}
+
+impl<'a> FnCompiler<'a> {
+    fn new(fn_ids: &'a HashMap<&'a str, u32>, params: &[String]) -> Self {
+        FnCompiler {
+            fn_ids,
+            locals: params.to_vec(),
+            scope_starts: Vec::new(),
+            code: Vec::new(),
+            loop_stack: Vec::new(),
+            max_locals: params.len() as u32,
+        }
+    }
+
+    fn compile_body(
+        mut self,
+        name: &str,
+        body: &[Stmt],
+        module: &mut Module,
+    ) -> Result<CompiledFn, ScriptError> {
+        let arity = self.locals.len() as u32;
+        for stmt in body {
+            self.stmt(stmt, module)?;
+        }
+        self.code.push(Instr::ConstNil);
+        self.code.push(Instr::Return);
+        Ok(CompiledFn { name: name.to_owned(), arity, locals: self.max_locals, code: self.code })
+    }
+
+    fn intern_str(module: &mut Module, s: &Rc<str>) -> u32 {
+        if let Some(i) = module.strings.iter().position(|x| x == s) {
+            return i as u32;
+        }
+        module.strings.push(s.clone());
+        (module.strings.len() - 1) as u32
+    }
+
+    fn intern_name(module: &mut Module, name: &str) -> u32 {
+        if let Some(i) = module.names.iter().position(|x| x == name) {
+            return i as u32;
+        }
+        module.names.push(name.to_owned());
+        (module.names.len() - 1) as u32
+    }
+
+    fn local_slot(&self, name: &str) -> Option<u32> {
+        self.locals.iter().rposition(|n| n == name).map(|i| i as u32)
+    }
+
+    fn declare_local(&mut self, name: &str) -> u32 {
+        self.locals.push(name.to_owned());
+        self.max_locals = self.max_locals.max(self.locals.len() as u32);
+        (self.locals.len() - 1) as u32
+    }
+
+    fn enter_scope(&mut self) {
+        self.scope_starts.push(self.locals.len());
+    }
+
+    fn exit_scope(&mut self) {
+        let start = self.scope_starts.pop().expect("balanced scopes");
+        self.locals.truncate(start);
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, module: &mut Module) -> Result<(), ScriptError> {
+        match stmt {
+            Stmt::Let(name, expr) => {
+                self.expr(expr, module)?;
+                let slot = self.declare_local(name);
+                self.code.push(Instr::StoreLocal(slot));
+            }
+            Stmt::Assign(name, expr) => {
+                self.expr(expr, module)?;
+                match self.local_slot(name) {
+                    Some(slot) => self.code.push(Instr::StoreLocal(slot)),
+                    None => {
+                        let idx = Self::intern_name(module, name);
+                        self.code.push(Instr::StoreGlobal(idx));
+                    }
+                }
+            }
+            Stmt::IndexAssign(name, index, expr) => {
+                // Stack order for IndexSet: target, index, value.
+                self.load_var(name, module);
+                self.expr(index, module)?;
+                self.expr(expr, module)?;
+                self.code.push(Instr::IndexSet);
+            }
+            Stmt::Expr(expr) => {
+                self.expr(expr, module)?;
+                self.code.push(Instr::Pop);
+            }
+            Stmt::If(cond, then_branch, else_branch) => {
+                self.expr(cond, module)?;
+                let jump_else = self.emit_placeholder();
+                self.block(then_branch, module)?;
+                if else_branch.is_empty() {
+                    let end = self.code.len() as u32;
+                    self.patch(jump_else, Instr::JumpIfFalse(end));
+                } else {
+                    let jump_end = self.code.len();
+                    self.code.push(Instr::Jump(0));
+                    let else_start = self.code.len() as u32;
+                    self.patch(jump_else, Instr::JumpIfFalse(else_start));
+                    self.block(else_branch, module)?;
+                    let end = self.code.len() as u32;
+                    self.patch(jump_end, Instr::Jump(end));
+                }
+            }
+            Stmt::While(cond, body) => {
+                let top = self.code.len() as u32;
+                self.expr(cond, module)?;
+                let exit = self.emit_placeholder();
+                self.loop_stack.push(LoopLabels { breaks: Vec::new(), continues: Vec::new() });
+                self.block(body, module)?;
+                let labels = self.loop_stack.pop().expect("loop stack");
+                for c in labels.continues {
+                    self.patch(c, Instr::Jump(top));
+                }
+                self.code.push(Instr::Jump(top));
+                let end = self.code.len() as u32;
+                self.patch(exit, Instr::JumpIfFalse(end));
+                for b in labels.breaks {
+                    self.patch(b, Instr::Jump(end));
+                }
+            }
+            Stmt::For(var, from, to, body) => {
+                self.enter_scope();
+                self.expr(from, module)?;
+                let ivar = self.declare_local(var);
+                self.code.push(Instr::StoreLocal(ivar));
+                self.expr(to, module)?;
+                let limit = self.declare_local("__limit");
+                self.code.push(Instr::StoreLocal(limit));
+                let top = self.code.len() as u32;
+                self.code.push(Instr::LoadLocal(ivar));
+                self.code.push(Instr::LoadLocal(limit));
+                self.code.push(Instr::Bin(BinOp::Lt));
+                let exit = self.emit_placeholder();
+                self.loop_stack.push(LoopLabels { breaks: Vec::new(), continues: Vec::new() });
+                self.block(body, module)?;
+                let labels = self.loop_stack.pop().expect("loop stack");
+                let incr = self.code.len() as u32;
+                for c in labels.continues {
+                    self.patch(c, Instr::Jump(incr));
+                }
+                self.code.push(Instr::LoadLocal(ivar));
+                self.code.push(Instr::ConstInt(1));
+                self.code.push(Instr::Bin(BinOp::Add));
+                self.code.push(Instr::StoreLocal(ivar));
+                self.code.push(Instr::Jump(top));
+                let end = self.code.len() as u32;
+                self.patch(exit, Instr::JumpIfFalse(end));
+                for b in labels.breaks {
+                    self.patch(b, Instr::Jump(end));
+                }
+                self.exit_scope();
+            }
+            Stmt::Return(expr) => {
+                match expr {
+                    Some(e) => self.expr(e, module)?,
+                    None => self.code.push(Instr::ConstNil),
+                }
+                self.code.push(Instr::Return);
+            }
+            Stmt::Break => {
+                let at = self.code.len();
+                self.code.push(Instr::Jump(0));
+                match self.loop_stack.last_mut() {
+                    Some(labels) => labels.breaks.push(at),
+                    None => return Err(ScriptError::Runtime("break outside loop".into())),
+                }
+            }
+            Stmt::Continue => {
+                let at = self.code.len();
+                self.code.push(Instr::Jump(0));
+                match self.loop_stack.last_mut() {
+                    Some(labels) => labels.continues.push(at),
+                    None => return Err(ScriptError::Runtime("continue outside loop".into())),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn block(&mut self, stmts: &[Stmt], module: &mut Module) -> Result<(), ScriptError> {
+        self.enter_scope();
+        for s in stmts {
+            self.stmt(s, module)?;
+        }
+        self.exit_scope();
+        Ok(())
+    }
+
+    fn emit_placeholder(&mut self) -> usize {
+        let at = self.code.len();
+        self.code.push(Instr::JumpIfFalse(0));
+        at
+    }
+
+    fn patch(&mut self, at: usize, instr: Instr) {
+        self.code[at] = instr;
+    }
+
+    fn load_var(&mut self, name: &str, module: &mut Module) {
+        match self.local_slot(name) {
+            Some(slot) => self.code.push(Instr::LoadLocal(slot)),
+            None => {
+                let idx = Self::intern_name(module, name);
+                self.code.push(Instr::LoadGlobal(idx));
+            }
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr, module: &mut Module) -> Result<(), ScriptError> {
+        match expr {
+            Expr::Int(n) => self.code.push(Instr::ConstInt(*n)),
+            Expr::Float(x) => self.code.push(Instr::ConstFloat(*x)),
+            Expr::Str(s) => {
+                let idx = Self::intern_str(module, s);
+                self.code.push(Instr::ConstStr(idx));
+            }
+            Expr::Bool(b) => self.code.push(Instr::ConstBool(*b)),
+            Expr::Nil => self.code.push(Instr::ConstNil),
+            Expr::Var(name) => self.load_var(name, module),
+            Expr::Array(items) => {
+                for item in items {
+                    self.expr(item, module)?;
+                }
+                self.code.push(Instr::NewArray(items.len() as u32));
+            }
+            Expr::Index(target, index) => {
+                self.expr(target, module)?;
+                self.expr(index, module)?;
+                self.code.push(Instr::Index);
+            }
+            Expr::Unary(op, inner) => {
+                self.expr(inner, module)?;
+                self.code.push(Instr::Un(*op));
+            }
+            Expr::Binary(BinOp::And, left, right) => {
+                self.expr(left, module)?;
+                let short = self.code.len();
+                self.code.push(Instr::JumpIfFalsePeek(0));
+                self.code.push(Instr::Pop);
+                self.expr(right, module)?;
+                let end = self.code.len() as u32;
+                self.patch(short, Instr::JumpIfFalsePeek(end));
+            }
+            Expr::Binary(BinOp::Or, left, right) => {
+                self.expr(left, module)?;
+                let short = self.code.len();
+                self.code.push(Instr::JumpIfTruePeek(0));
+                self.code.push(Instr::Pop);
+                self.expr(right, module)?;
+                let end = self.code.len() as u32;
+                self.patch(short, Instr::JumpIfTruePeek(end));
+            }
+            Expr::Binary(op, left, right) => {
+                self.expr(left, module)?;
+                self.expr(right, module)?;
+                self.code.push(Instr::Bin(*op));
+            }
+            Expr::Call(name, args) => {
+                for a in args {
+                    self.expr(a, module)?;
+                }
+                if let Some(&id) = self.fn_ids.get(name.as_str()) {
+                    self.code.push(Instr::Call(id, args.len() as u32));
+                } else if BUILTIN_NAMES.contains(&name.as_str()) {
+                    let idx = Self::intern_name(module, name);
+                    self.code.push(Instr::CallBuiltin(idx, args.len() as u32));
+                } else {
+                    return Err(ScriptError::Runtime(format!("unknown function {name}")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// JIT behaviour of the stack VM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JitMode {
+    /// Pure interpretation at `dispatch_cost` per instruction (Wasmi-class).
+    Interpret {
+        /// Abstract CPU ops per bytecode instruction.
+        dispatch_cost: u64,
+    },
+    /// Trace compilation: interpret at `cold_cost` for the first
+    /// `threshold` instructions, then charge `compile_cost` once and run at
+    /// `hot_cost` (LuaJIT-class).
+    Tracing {
+        /// Dispatch cost before the threshold.
+        cold_cost: u64,
+        /// Instructions before trace compilation kicks in.
+        threshold: u64,
+        /// One-time compile charge (abstract CPU ops).
+        compile_cost: u64,
+        /// Dispatch cost for compiled code.
+        hot_cost: u64,
+    },
+}
+
+impl JitMode {
+    /// The Wasmi-interpreter configuration used for the Wasm language row.
+    pub fn wasmi() -> Self {
+        JitMode::Interpret { dispatch_cost: 4 }
+    }
+
+    /// The LuaJIT configuration used for the LuaJIT language row.
+    pub fn luajit() -> Self {
+        JitMode::Tracing { cold_cost: 8, threshold: 150_000, compile_cost: 400_000, hot_cost: 2 }
+    }
+}
+
+/// The stack virtual machine.
+#[derive(Debug)]
+pub struct StackVm {
+    jit: JitMode,
+    step_limit: u64,
+}
+
+impl StackVm {
+    /// Creates a VM with the given JIT mode and instruction budget.
+    pub fn new(jit: JitMode, step_limit: u64) -> Self {
+        StackVm { jit, step_limit }
+    }
+
+    /// Runs a module's `__main__` with `ARGS` bound.
+    ///
+    /// # Errors
+    ///
+    /// Runtime errors and [`ScriptError::StepLimitExceeded`].
+    pub fn run(&self, module: &Module, args: &[String]) -> Result<ScriptOutcome, ScriptError> {
+        let mut state = VmState {
+            module,
+            globals: HashMap::new(),
+            trace: OpTrace::new(),
+            result: String::new(),
+            log: String::new(),
+            steps: 0,
+            step_limit: self.step_limit,
+            jit: self.jit,
+            compiled: false,
+            call_depth: 0,
+            cpu_pending: 0,
+            float_pending: 0,
+            mem_pending: 0,
+            log_pending: 0,
+        };
+        state.globals.insert(
+            "ARGS".to_owned(),
+            Value::array(args.iter().map(|s| Value::Str(Rc::from(s.as_str()))).collect()),
+        );
+        state.call_function(0, Vec::new())?;
+        state.flush();
+        Ok(ScriptOutcome {
+            result: state.result,
+            log: state.log,
+            trace: state.trace,
+            steps: state.steps,
+        })
+    }
+}
+
+/// Maximum bytecode call depth (mirrors the interpreter's guard).
+const MAX_CALL_DEPTH: u32 = 150;
+
+struct VmState<'m> {
+    module: &'m Module,
+    globals: HashMap<String, Value>,
+    trace: OpTrace,
+    result: String,
+    log: String,
+    steps: u64,
+    step_limit: u64,
+    jit: JitMode,
+    compiled: bool,
+    call_depth: u32,
+    cpu_pending: u64,
+    float_pending: u64,
+    mem_pending: u64,
+    log_pending: u64,
+}
+
+const FLUSH_EVERY: u64 = 1 << 16;
+
+impl VmState<'_> {
+    fn flush(&mut self) {
+        if self.cpu_pending > 0 {
+            self.trace.cpu(self.cpu_pending);
+            self.cpu_pending = 0;
+        }
+        if self.float_pending > 0 {
+            self.trace.float(self.float_pending);
+            self.float_pending = 0;
+        }
+        if self.mem_pending > 0 {
+            self.trace.mem_read(self.mem_pending);
+            self.mem_pending = 0;
+        }
+        if self.log_pending > 0 {
+            self.trace.log(self.log_pending);
+            self.log_pending = 0;
+        }
+    }
+
+    fn charge_dispatch(&mut self) {
+        let cost = match self.jit {
+            JitMode::Interpret { dispatch_cost } => dispatch_cost,
+            JitMode::Tracing { cold_cost, threshold, compile_cost, hot_cost } => {
+                if self.steps == threshold && !self.compiled {
+                    self.compiled = true;
+                    self.cpu_pending += compile_cost;
+                }
+                if self.compiled {
+                    hot_cost
+                } else {
+                    cold_cost
+                }
+            }
+        };
+        self.cpu_pending += cost;
+        if self.cpu_pending >= FLUSH_EVERY {
+            self.flush();
+        }
+    }
+
+    fn call_function(&mut self, fn_index: u32, args: Vec<Value>) -> Result<Value, ScriptError> {
+        self.call_depth += 1;
+        if self.call_depth > MAX_CALL_DEPTH {
+            self.call_depth -= 1;
+            return Err(ScriptError::Runtime(format!("call depth exceeded ({MAX_CALL_DEPTH})")));
+        }
+        let result = self.call_function_inner(fn_index, args);
+        self.call_depth -= 1;
+        result
+    }
+
+    fn call_function_inner(&mut self, fn_index: u32, args: Vec<Value>) -> Result<Value, ScriptError> {
+        let f = &self.module.functions[fn_index as usize];
+        if args.len() as u32 != f.arity {
+            return Err(ScriptError::Runtime(format!(
+                "{} expects {} arguments, got {}",
+                f.name,
+                f.arity,
+                args.len()
+            )));
+        }
+        let mut locals = vec![Value::Nil; f.locals as usize];
+        locals[..args.len()].clone_from_slice(&args);
+        self.mem_pending += 16 * f.locals as u64;
+        let mut stack: Vec<Value> = Vec::with_capacity(16);
+        let mut pc = 0usize;
+
+        while pc < f.code.len() {
+            self.steps += 1;
+            if self.steps > self.step_limit {
+                return Err(ScriptError::StepLimitExceeded(self.step_limit));
+            }
+            self.charge_dispatch();
+            match &f.code[pc] {
+                Instr::ConstInt(n) => stack.push(Value::Int(*n)),
+                Instr::ConstFloat(x) => stack.push(Value::Float(*x)),
+                Instr::ConstStr(i) => stack.push(Value::Str(self.module.strings[*i as usize].clone())),
+                Instr::ConstBool(b) => stack.push(Value::Bool(*b)),
+                Instr::ConstNil => stack.push(Value::Nil),
+                Instr::LoadLocal(slot) => stack.push(locals[*slot as usize].clone()),
+                Instr::StoreLocal(slot) => {
+                    let v = pop(&mut stack)?;
+                    locals[*slot as usize] = v;
+                }
+                Instr::LoadGlobal(i) => {
+                    let name = &self.module.names[*i as usize];
+                    let v = self
+                        .globals
+                        .get(name)
+                        .cloned()
+                        .ok_or_else(|| ScriptError::Runtime(format!("unknown variable {name}")))?;
+                    stack.push(v);
+                }
+                Instr::StoreGlobal(i) => {
+                    let v = pop(&mut stack)?;
+                    let name = self.module.names[*i as usize].clone();
+                    self.globals.insert(name, v);
+                }
+                Instr::NewArray(n) => {
+                    let at = stack.len() - *n as usize;
+                    let items: Vec<Value> = stack.split_off(at);
+                    self.trace.alloc(16 * (*n).max(1) as u64);
+                    self.mem_pending += 16 * *n as u64;
+                    stack.push(Value::array(items));
+                }
+                Instr::Index => {
+                    let index = pop(&mut stack)?;
+                    let target = pop(&mut stack)?;
+                    self.mem_pending += 24;
+                    stack.push(index_value(&target, &index)?);
+                }
+                Instr::IndexSet => {
+                    let value = pop(&mut stack)?;
+                    let index = pop(&mut stack)?;
+                    let target = pop(&mut stack)?;
+                    self.mem_pending += 24;
+                    index_set(&target, &index, value)?;
+                }
+                Instr::Bin(op) => {
+                    let r = pop(&mut stack)?;
+                    let l = pop(&mut stack)?;
+                    stack.push(self.binary(*op, l, r)?);
+                }
+                Instr::Un(op) => {
+                    let v = pop(&mut stack)?;
+                    let out = match (op, v) {
+                        (UnOp::Neg, Value::Int(n)) => Value::Int(-n),
+                        (UnOp::Neg, Value::Float(x)) => {
+                            self.float_pending += 1;
+                            Value::Float(-x)
+                        }
+                        (UnOp::Not, v) => Value::Bool(!v.is_truthy()),
+                        (UnOp::Neg, v) => {
+                            return Err(ScriptError::Runtime(format!(
+                                "cannot negate {}",
+                                v.type_name()
+                            )))
+                        }
+                    };
+                    stack.push(out);
+                }
+                Instr::Jump(t) => {
+                    pc = *t as usize;
+                    continue;
+                }
+                Instr::JumpIfFalse(t) => {
+                    let v = pop(&mut stack)?;
+                    if !v.is_truthy() {
+                        pc = *t as usize;
+                        continue;
+                    }
+                }
+                Instr::JumpIfFalsePeek(t) => {
+                    let falsy = !stack.last().map(Value::is_truthy).unwrap_or(false);
+                    if falsy {
+                        pc = *t as usize;
+                        continue;
+                    }
+                }
+                Instr::JumpIfTruePeek(t) => {
+                    let truthy = stack.last().map(Value::is_truthy).unwrap_or(false);
+                    if truthy {
+                        pc = *t as usize;
+                        continue;
+                    }
+                }
+                Instr::Pop => {
+                    pop(&mut stack)?;
+                }
+                Instr::Call(id, argc) => {
+                    let at = stack.len() - *argc as usize;
+                    let args: Vec<Value> = stack.split_off(at);
+                    self.mem_pending += 32;
+                    let ret = self.call_function(*id, args)?;
+                    stack.push(ret);
+                }
+                Instr::CallBuiltin(i, argc) => {
+                    let at = stack.len() - *argc as usize;
+                    let args: Vec<Value> = stack.split_off(at);
+                    let name = self.module.names[*i as usize].clone();
+                    let ret = call_builtin(self, &name, args)?;
+                    stack.push(ret);
+                }
+                Instr::Return => return pop(&mut stack),
+            }
+            pc += 1;
+        }
+        Ok(Value::Nil)
+    }
+
+    fn binary(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, ScriptError> {
+        use BinOp::*;
+        use Value::*;
+        match op {
+            Add => match (l, r) {
+                (Int(a), Int(b)) => Ok(Int(a.wrapping_add(b))),
+                (Str(a), b) => {
+                    let s = format!("{a}{b}");
+                    self.trace.alloc(s.len() as u64);
+                    self.mem_pending += s.len() as u64;
+                    Ok(Str(s.into()))
+                }
+                (a, Str(b)) => {
+                    let s = format!("{a}{b}");
+                    self.trace.alloc(s.len() as u64);
+                    self.mem_pending += s.len() as u64;
+                    Ok(Str(s.into()))
+                }
+                (a, b) => self.float_bin(a, b, |x, y| x + y, "+"),
+            },
+            Sub => match (l, r) {
+                (Int(a), Int(b)) => Ok(Int(a.wrapping_sub(b))),
+                (a, b) => self.float_bin(a, b, |x, y| x - y, "-"),
+            },
+            Mul => match (l, r) {
+                (Int(a), Int(b)) => Ok(Int(a.wrapping_mul(b))),
+                (a, b) => self.float_bin(a, b, |x, y| x * y, "*"),
+            },
+            Div => match (l, r) {
+                (Int(a), Int(b)) => {
+                    if b == 0 {
+                        Err(ScriptError::Runtime("integer division by zero".into()))
+                    } else {
+                        Ok(Int(a / b))
+                    }
+                }
+                (a, b) => self.float_bin(a, b, |x, y| x / y, "/"),
+            },
+            Rem => match (l, r) {
+                (Int(a), Int(b)) => {
+                    if b == 0 {
+                        Err(ScriptError::Runtime("integer modulo by zero".into()))
+                    } else {
+                        Ok(Int(a % b))
+                    }
+                }
+                (a, b) => self.float_bin(a, b, |x, y| x % y, "%"),
+            },
+            Eq => Ok(Bool(l == r)),
+            Ne => Ok(Bool(l != r)),
+            Lt | Le | Gt | Ge => {
+                let ord = match (&l, &r) {
+                    (Int(a), Int(b)) => a.partial_cmp(b),
+                    (Str(a), Str(b)) => a.partial_cmp(b),
+                    (a, b) => match (a.as_f64(), b.as_f64()) {
+                        (Some(x), Some(y)) => x.partial_cmp(&y),
+                        _ => None,
+                    },
+                };
+                let ord = ord.ok_or_else(|| {
+                    ScriptError::Runtime(format!(
+                        "cannot compare {} and {}",
+                        l.type_name(),
+                        r.type_name()
+                    ))
+                })?;
+                Ok(Bool(match op {
+                    Lt => ord.is_lt(),
+                    Le => ord.is_le(),
+                    Gt => ord.is_gt(),
+                    _ => ord.is_ge(),
+                }))
+            }
+            And | Or => Err(ScriptError::Runtime("unlowered logical operator".into())),
+        }
+    }
+
+    fn float_bin(
+        &mut self,
+        l: Value,
+        r: Value,
+        f: impl Fn(f64, f64) -> f64,
+        op: &str,
+    ) -> Result<Value, ScriptError> {
+        match (l.as_f64(), r.as_f64()) {
+            (Some(x), Some(y)) => {
+                self.float_pending += 1;
+                Ok(Value::Float(f(x, y)))
+            }
+            _ => Err(ScriptError::Runtime(format!(
+                "cannot apply {op} to {} and {}",
+                l.type_name(),
+                r.type_name()
+            ))),
+        }
+    }
+}
+
+impl BuiltinHost for VmState<'_> {
+    fn trace_mut(&mut self) -> &mut OpTrace {
+        &mut self.trace
+    }
+
+    fn flush_pending(&mut self) {
+        self.flush();
+    }
+
+    fn add_mem(&mut self, bytes: u64) {
+        self.mem_pending += bytes;
+    }
+
+    fn add_float(&mut self, ops: u64) {
+        self.float_pending += ops;
+    }
+
+    fn add_log(&mut self, text: &str) {
+        self.log.push_str(text);
+        self.log.push('\n');
+        self.log_pending += text.len() as u64 + 1;
+        if self.log_pending >= FLUSH_EVERY {
+            self.flush();
+        }
+    }
+
+    fn set_result(&mut self, value: String) {
+        self.result = value;
+    }
+}
+
+fn pop(stack: &mut Vec<Value>) -> Result<Value, ScriptError> {
+    stack.pop().ok_or_else(|| ScriptError::Runtime("stack underflow".into()))
+}
+
+fn index_value(target: &Value, index: &Value) -> Result<Value, ScriptError> {
+    let i = match index {
+        Value::Int(n) if *n >= 0 => *n as usize,
+        other => {
+            return Err(ScriptError::Runtime(format!("bad index {other}")));
+        }
+    };
+    match target {
+        Value::Array(items) => {
+            let items = items.borrow();
+            items
+                .get(i)
+                .cloned()
+                .ok_or_else(|| ScriptError::Runtime(format!("index {i} out of range (len {})", items.len())))
+        }
+        Value::Str(s) => s
+            .as_bytes()
+            .get(i)
+            .map(|&b| Value::Int(b as i64))
+            .ok_or_else(|| ScriptError::Runtime(format!("string index {i} out of range"))),
+        other => Err(ScriptError::Runtime(format!("cannot index {}", other.type_name()))),
+    }
+}
+
+fn index_set(target: &Value, index: &Value, value: Value) -> Result<(), ScriptError> {
+    let i = match index {
+        Value::Int(n) if *n >= 0 => *n as usize,
+        other => return Err(ScriptError::Runtime(format!("bad index {other}"))),
+    };
+    match target {
+        Value::Array(items) => {
+            let mut items = items.borrow_mut();
+            let len = items.len();
+            match items.get_mut(i) {
+                Some(slot) => {
+                    *slot = value;
+                    Ok(())
+                }
+                None => Err(ScriptError::Runtime(format!("index {i} out of range (len {len})"))),
+            }
+        }
+        other => Err(ScriptError::Runtime(format!("cannot index {} for assignment", other.type_name()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_program, TREE_WALK_DISPATCH};
+    use crate::parser::parse;
+
+    fn run_vm(src: &str, jit: JitMode) -> ScriptOutcome {
+        let program = parse(src).unwrap();
+        let module = compile(&program).unwrap();
+        StackVm::new(jit, 200_000_000).run(&module, &[]).unwrap()
+    }
+
+    fn run_both(src: &str) -> (String, String) {
+        let program = parse(src).unwrap();
+        let interp = run_program(&program, &[], TREE_WALK_DISPATCH, 200_000_000).unwrap();
+        let vm = run_vm(src, JitMode::wasmi());
+        (interp.result, vm.result)
+    }
+
+    #[test]
+    fn vm_matches_interpreter_on_core_programs() {
+        for src in [
+            "result(2 + 3 * 4);",
+            "fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } result(fib(14));",
+            "let s = 0; for i in 0, 1000 { if i % 3 == 0 { s = s + i; } } result(s);",
+            "let a = array_new(50, 1); for i in 1, 50 { a[i] = a[i-1] * 2 % 997; } result(a[49]);",
+            r#"let s = ""; for i in 0, 5 { s = s + str(i); } result(s);"#,
+            "let x = 5; let y = x > 3 && x < 10; result(y);",
+            "let s = 0; let i = 0; while true { i = i + 1; if i > 10 { break; } if i % 2 == 0 { continue; } s = s + i; } result(s);",
+            "result(floor(sqrt(144.0)));",
+        ] {
+            let (i, v) = run_both(src);
+            assert_eq!(i, v, "divergence on {src}");
+        }
+    }
+
+    #[test]
+    fn vm_respects_args() {
+        let program = parse("result(int(ARGS[0]) + int(ARGS[1]));").unwrap();
+        let module = compile(&program).unwrap();
+        let out = StackVm::new(JitMode::wasmi(), 1_000_000)
+            .run(&module, &["20".into(), "22".into()])
+            .unwrap();
+        assert_eq!(out.result, "42");
+    }
+
+    #[test]
+    fn wasmi_dispatch_is_cheaper_than_tree_walking() {
+        let src = "let s = 0; for i in 0, 20000 { s = s + i; } result(s);";
+        let program = parse(src).unwrap();
+        let interp = run_program(&program, &[], TREE_WALK_DISPATCH, 100_000_000).unwrap();
+        let vm = run_vm(src, JitMode::wasmi());
+        assert_eq!(interp.result, vm.result);
+        assert!(
+            vm.trace.total_cpu_ops() < interp.trace.total_cpu_ops(),
+            "vm {} vs interp {}",
+            vm.trace.total_cpu_ops(),
+            interp.trace.total_cpu_ops()
+        );
+    }
+
+    #[test]
+    fn luajit_beats_wasmi_on_hot_loops() {
+        let src = "let s = 0; for i in 0, 300000 { s = s + i; } result(s);";
+        let jit = run_vm(src, JitMode::luajit());
+        let wasmi = run_vm(src, JitMode::wasmi());
+        assert_eq!(jit.result, wasmi.result);
+        assert!(
+            jit.trace.total_cpu_ops() * 3 < wasmi.trace.total_cpu_ops() * 2,
+            "jit {} vs wasmi {}",
+            jit.trace.total_cpu_ops(),
+            wasmi.trace.total_cpu_ops()
+        );
+    }
+
+    #[test]
+    fn luajit_pays_warmup_on_short_programs() {
+        let src = "result(1 + 1);";
+        let jit = run_vm(src, JitMode::luajit());
+        let wasmi = run_vm(src, JitMode::wasmi());
+        // Too short to compile: cold cost (8) > wasmi cost (4).
+        assert!(jit.trace.total_cpu_ops() > wasmi.trace.total_cpu_ops());
+    }
+
+    #[test]
+    fn break_outside_loop_is_compile_error() {
+        let program = parse("break;").unwrap();
+        assert!(compile(&program).is_err());
+    }
+
+    #[test]
+    fn unknown_function_is_compile_error() {
+        let program = parse("bogus(1);").unwrap();
+        assert!(compile(&program).is_err());
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let program = parse("while true { }").unwrap();
+        let module = compile(&program).unwrap();
+        let err = StackVm::new(JitMode::wasmi(), 1_000).run(&module, &[]).unwrap_err();
+        assert!(matches!(err, ScriptError::StepLimitExceeded(_)));
+    }
+
+    #[test]
+    fn nested_loops_with_breaks() {
+        let src = "
+            let hits = 0;
+            for i in 0, 10 {
+                for j in 0, 10 {
+                    if j == 5 { break; }
+                    hits = hits + 1;
+                }
+            }
+            result(hits);";
+        let (i, v) = run_both(src);
+        assert_eq!(i, "50");
+        assert_eq!(v, "50");
+    }
+
+    #[test]
+    fn io_builtins_reach_trace_through_vm() {
+        let out = run_vm("io_write(65536); log(\"done\");", JitMode::wasmi());
+        assert_eq!(out.trace.total_io_bytes(), 65536);
+        assert_eq!(out.log, "done\n");
+    }
+
+    #[test]
+    fn module_code_len_reports_size() {
+        let program = parse("fn f() { return 1; } result(f());").unwrap();
+        let module = compile(&program).unwrap();
+        assert!(module.code_len() > 4);
+        assert_eq!(module.functions.len(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Errors for script processing and launching.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, compiling, or executing CBScript.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptError {
+    /// Lexical error.
+    Lex {
+        /// 1-based source line.
+        line: u32,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// What went wrong.
+        message: String,
+    },
+    /// Runtime error (type error, unknown name, index out of range, …).
+    Runtime(String),
+    /// The script exceeded its step budget (runaway-loop guard).
+    StepLimitExceeded(u64),
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            ScriptError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            ScriptError::Runtime(message) => write!(f, "runtime error: {message}"),
+            ScriptError::StepLimitExceeded(limit) => {
+                write!(f, "script exceeded step limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}

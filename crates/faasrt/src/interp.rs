@@ -1,0 +1,688 @@
+//! The CBScript tree-walking interpreter (the PUC-Lua path).
+//!
+//! Executing a script does two things at once: it computes the real result
+//! (loops run, arrays mutate, strings build) and it records the abstract
+//! operations an interpreter of this class performs — dispatch work per AST
+//! node, boxed-value memory traffic, allocator churn, and the effects of
+//! I/O builtins — into a [`confbench_types::OpTrace`] that a simulated VM
+//! then charges for.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use confbench_types::OpTrace;
+
+use crate::ast::{BinOp, Expr, FnDecl, Program, Stmt, UnOp};
+use crate::error::ScriptError;
+use crate::value::Value;
+
+/// Per-AST-node dispatch cost of a tree-walking interpreter, in abstract
+/// CPU ops (the PUC-Lua class).
+pub const TREE_WALK_DISPATCH: u64 = 14;
+
+/// What a finished script produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptOutcome {
+    /// Value passed to the `result(..)` builtin, rendered; empty if unset.
+    pub result: String,
+    /// Concatenated `log(..)` output.
+    pub log: String,
+    /// The recorded operation trace.
+    pub trace: OpTrace,
+    /// Total interpreter steps (AST nodes evaluated).
+    pub steps: u64,
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+/// Runs `program` with string arguments bound to the global `ARGS` array.
+///
+/// # Errors
+///
+/// [`ScriptError::Runtime`] on dynamic errors and
+/// [`ScriptError::StepLimitExceeded`] past `step_limit`.
+pub fn run_program(
+    program: &Program,
+    args: &[String],
+    dispatch_cost: u64,
+    step_limit: u64,
+) -> Result<ScriptOutcome, ScriptError> {
+    let mut interp = Interp::new(program, dispatch_cost, step_limit);
+    interp.globals.insert(
+        "ARGS".to_owned(),
+        Value::array(args.iter().map(|s| Value::Str(Rc::from(s.as_str()))).collect()),
+    );
+    for stmt in &program.body {
+        if let Flow::Return(_) = interp.exec_stmt(stmt, &mut Vec::new())? {
+            break;
+        }
+    }
+    interp.flush_pending();
+    Ok(ScriptOutcome {
+        result: interp.result,
+        log: interp.log,
+        trace: interp.trace,
+        steps: interp.steps,
+    })
+}
+
+struct Interp<'p> {
+    functions: HashMap<&'p str, &'p FnDecl>,
+    globals: HashMap<String, Value>,
+    trace: OpTrace,
+    result: String,
+    log: String,
+    steps: u64,
+    step_limit: u64,
+    dispatch_cost: u64,
+    call_depth: u32,
+    cpu_pending: u64,
+    float_pending: u64,
+    mem_pending: u64,
+    log_pending: u64,
+    block_depth: u32,
+}
+
+/// Flush batched counters into the trace at this granularity.
+const FLUSH_EVERY: u64 = 1 << 16;
+
+/// Maximum script call depth (guards the host stack against runaway
+/// recursion in uploaded functions).
+const MAX_CALL_DEPTH: u32 = 150;
+
+type Scope = Vec<(String, Value)>;
+
+impl<'p> Interp<'p> {
+    fn new(program: &'p Program, dispatch_cost: u64, step_limit: u64) -> Self {
+        Interp {
+            functions: program.functions.iter().map(|f| (f.name.as_str(), f)).collect(),
+            globals: HashMap::new(),
+            trace: OpTrace::new(),
+            result: String::new(),
+            log: String::new(),
+            steps: 0,
+            step_limit,
+            dispatch_cost,
+            call_depth: 0,
+            cpu_pending: 0,
+            float_pending: 0,
+            mem_pending: 0,
+            log_pending: 0,
+            block_depth: 0,
+        }
+    }
+
+    fn step(&mut self) -> Result<(), ScriptError> {
+        self.steps += 1;
+        self.cpu_pending += self.dispatch_cost;
+        if self.cpu_pending >= FLUSH_EVERY {
+            self.flush_pending();
+        }
+        if self.steps > self.step_limit {
+            return Err(ScriptError::StepLimitExceeded(self.step_limit));
+        }
+        Ok(())
+    }
+
+    fn flush_pending(&mut self) {
+        if self.cpu_pending > 0 {
+            self.trace.cpu(self.cpu_pending);
+            self.cpu_pending = 0;
+        }
+        if self.float_pending > 0 {
+            self.trace.float(self.float_pending);
+            self.float_pending = 0;
+        }
+        if self.mem_pending > 0 {
+            // Boxed-value heap traffic: reads and writes interleave; model
+            // as one combined run over a recycled region.
+            self.trace.mem_read(self.mem_pending);
+            self.mem_pending = 0;
+        }
+        if self.log_pending > 0 {
+            self.trace.log(self.log_pending);
+            self.log_pending = 0;
+        }
+    }
+
+    fn lookup(&self, scope: &Scope, name: &str) -> Option<Value> {
+        scope
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .or_else(|| self.globals.get(name).cloned())
+    }
+
+    fn assign(&mut self, scope: &mut Scope, name: &str, value: Value) -> Result<(), ScriptError> {
+        if let Some(slot) = scope.iter_mut().rev().find(|(n, _)| n == name) {
+            slot.1 = value;
+            return Ok(());
+        }
+        if let Some(slot) = self.globals.get_mut(name) {
+            *slot = value;
+            return Ok(());
+        }
+        Err(ScriptError::Runtime(format!("assignment to undeclared variable {name}")))
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], scope: &mut Scope) -> Result<Flow, ScriptError> {
+        let depth = scope.len();
+        self.block_depth += 1;
+        for stmt in stmts {
+            match self.exec_stmt(stmt, scope)? {
+                Flow::Normal => {}
+                flow => {
+                    scope.truncate(depth);
+                    self.block_depth -= 1;
+                    return Ok(flow);
+                }
+            }
+        }
+        scope.truncate(depth);
+        self.block_depth -= 1;
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, scope: &mut Scope) -> Result<Flow, ScriptError> {
+        self.step()?;
+        match stmt {
+            Stmt::Let(name, expr) => {
+                let value = self.eval(expr, scope)?;
+                self.mem_pending += 16; // new slot
+                if self.block_depth == 0 && scope.is_empty() {
+                    self.globals.insert(name.clone(), value);
+                } else {
+                    scope.push((name.clone(), value));
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign(name, expr) => {
+                let value = self.eval(expr, scope)?;
+                self.mem_pending += 16;
+                self.assign(scope, name, value)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::IndexAssign(name, index, expr) => {
+                let value = self.eval(expr, scope)?;
+                let index = self.eval_index(index, scope)?;
+                let target = self
+                    .lookup(scope, name)
+                    .ok_or_else(|| ScriptError::Runtime(format!("unknown variable {name}")))?;
+                match target {
+                    Value::Array(items) => {
+                        let mut items = items.borrow_mut();
+                        let len = items.len();
+                        let slot = items.get_mut(index).ok_or_else(|| {
+                            ScriptError::Runtime(format!("index {index} out of range (len {len})"))
+                        })?;
+                        *slot = value;
+                        self.mem_pending += 24; // bounds check + boxed write
+                        Ok(Flow::Normal)
+                    }
+                    other => Err(ScriptError::Runtime(format!(
+                        "cannot index {} for assignment",
+                        other.type_name()
+                    ))),
+                }
+            }
+            Stmt::Expr(expr) => {
+                self.eval(expr, scope)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If(cond, then_branch, else_branch) => {
+                if self.eval(cond, scope)?.is_truthy() {
+                    self.exec_block(then_branch, scope)
+                } else {
+                    self.exec_block(else_branch, scope)
+                }
+            }
+            Stmt::While(cond, body) => {
+                while self.eval(cond, scope)?.is_truthy() {
+                    match self.exec_block(body, scope)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For(var, from, to, body) => {
+                let from = self.eval_int(from, scope)?;
+                let to = self.eval_int(to, scope)?;
+                scope.push((var.clone(), Value::Int(from)));
+                let slot = scope.len() - 1;
+                let mut i = from;
+                while i < to {
+                    scope[slot].1 = Value::Int(i);
+                    match self.exec_block(body, scope)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => {
+                            scope.truncate(slot);
+                            return Ok(Flow::Return(v));
+                        }
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    self.step()?; // loop bookkeeping
+                    i += 1;
+                }
+                scope.truncate(slot);
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(expr) => {
+                let value = match expr {
+                    Some(e) => self.eval(e, scope)?,
+                    None => Value::Nil,
+                };
+                Ok(Flow::Return(value))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+        }
+    }
+
+    fn eval_int(&mut self, expr: &Expr, scope: &mut Scope) -> Result<i64, ScriptError> {
+        match self.eval(expr, scope)? {
+            Value::Int(n) => Ok(n),
+            other => Err(ScriptError::Runtime(format!("expected int, got {}", other.type_name()))),
+        }
+    }
+
+    fn eval_index(&mut self, expr: &Expr, scope: &mut Scope) -> Result<usize, ScriptError> {
+        let n = self.eval_int(expr, scope)?;
+        usize::try_from(n).map_err(|_| ScriptError::Runtime(format!("negative index {n}")))
+    }
+
+    fn eval(&mut self, expr: &Expr, scope: &mut Scope) -> Result<Value, ScriptError> {
+        self.step()?;
+        match expr {
+            Expr::Int(n) => Ok(Value::Int(*n)),
+            Expr::Float(x) => Ok(Value::Float(*x)),
+            Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Nil => Ok(Value::Nil),
+            Expr::Var(name) => self
+                .lookup(scope, name)
+                .ok_or_else(|| ScriptError::Runtime(format!("unknown variable {name}"))),
+            Expr::Array(items) => {
+                let values: Result<Vec<Value>, _> =
+                    items.iter().map(|e| self.eval(e, scope)).collect();
+                let values = values?;
+                self.trace.alloc(16 * values.len().max(1) as u64);
+                self.mem_pending += 16 * values.len() as u64;
+                Ok(Value::array(values))
+            }
+            Expr::Index(target, index) => {
+                let target = self.eval(target, scope)?;
+                let index = self.eval_index(index, scope)?;
+                self.mem_pending += 24;
+                match target {
+                    Value::Array(items) => {
+                        let items = items.borrow();
+                        items.get(index).cloned().ok_or_else(|| {
+                            ScriptError::Runtime(format!(
+                                "index {index} out of range (len {})",
+                                items.len()
+                            ))
+                        })
+                    }
+                    Value::Str(s) => {
+                        // Byte access returns the code point as an int.
+                        s.as_bytes().get(index).map(|&b| Value::Int(b as i64)).ok_or_else(|| {
+                            ScriptError::Runtime(format!("string index {index} out of range"))
+                        })
+                    }
+                    other => {
+                        Err(ScriptError::Runtime(format!("cannot index {}", other.type_name())))
+                    }
+                }
+            }
+            Expr::Unary(op, inner) => {
+                let v = self.eval(inner, scope)?;
+                match (op, v) {
+                    (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(-n)),
+                    (UnOp::Neg, Value::Float(x)) => {
+                        self.float_pending += 1;
+                        Ok(Value::Float(-x))
+                    }
+                    (UnOp::Not, v) => Ok(Value::Bool(!v.is_truthy())),
+                    (UnOp::Neg, v) => {
+                        Err(ScriptError::Runtime(format!("cannot negate {}", v.type_name())))
+                    }
+                }
+            }
+            Expr::Binary(BinOp::And, left, right) => {
+                let l = self.eval(left, scope)?;
+                if !l.is_truthy() {
+                    return Ok(l);
+                }
+                self.eval(right, scope)
+            }
+            Expr::Binary(BinOp::Or, left, right) => {
+                let l = self.eval(left, scope)?;
+                if l.is_truthy() {
+                    return Ok(l);
+                }
+                self.eval(right, scope)
+            }
+            Expr::Binary(op, left, right) => {
+                let l = self.eval(left, scope)?;
+                let r = self.eval(right, scope)?;
+                self.binary(*op, l, r)
+            }
+            Expr::Call(name, args) => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval(a, scope)?);
+                }
+                self.call(name, values, scope)
+            }
+        }
+    }
+
+    fn binary(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, ScriptError> {
+        use BinOp::*;
+        use Value::*;
+        match op {
+            Add => match (l, r) {
+                (Int(a), Int(b)) => Ok(Int(a.wrapping_add(b))),
+                (Str(a), b) => {
+                    let s = format!("{a}{b}");
+                    self.trace.alloc(s.len() as u64);
+                    self.mem_pending += s.len() as u64;
+                    Ok(Str(s.into()))
+                }
+                (a, Str(b)) => {
+                    let s = format!("{a}{b}");
+                    self.trace.alloc(s.len() as u64);
+                    self.mem_pending += s.len() as u64;
+                    Ok(Str(s.into()))
+                }
+                (a, b) => self.float_bin(a, b, |x, y| x + y, "+"),
+            },
+            Sub => match (l, r) {
+                (Int(a), Int(b)) => Ok(Int(a.wrapping_sub(b))),
+                (a, b) => self.float_bin(a, b, |x, y| x - y, "-"),
+            },
+            Mul => match (l, r) {
+                (Int(a), Int(b)) => Ok(Int(a.wrapping_mul(b))),
+                (a, b) => self.float_bin(a, b, |x, y| x * y, "*"),
+            },
+            Div => match (l, r) {
+                (Int(a), Int(b)) => {
+                    if b == 0 {
+                        Err(ScriptError::Runtime("integer division by zero".into()))
+                    } else {
+                        Ok(Int(a / b))
+                    }
+                }
+                (a, b) => self.float_bin(a, b, |x, y| x / y, "/"),
+            },
+            Rem => match (l, r) {
+                (Int(a), Int(b)) => {
+                    if b == 0 {
+                        Err(ScriptError::Runtime("integer modulo by zero".into()))
+                    } else {
+                        Ok(Int(a % b))
+                    }
+                }
+                (a, b) => self.float_bin(a, b, |x, y| x % y, "%"),
+            },
+            Eq => Ok(Bool(l == r)),
+            Ne => Ok(Bool(l != r)),
+            Lt | Le | Gt | Ge => {
+                let ord = match (&l, &r) {
+                    (Int(a), Int(b)) => a.partial_cmp(b),
+                    (Str(a), Str(b)) => a.partial_cmp(b),
+                    (a, b) => match (a.as_f64(), b.as_f64()) {
+                        (Some(x), Some(y)) => x.partial_cmp(&y),
+                        _ => None,
+                    },
+                };
+                let ord = ord.ok_or_else(|| {
+                    ScriptError::Runtime(format!(
+                        "cannot compare {} and {}",
+                        l.type_name(),
+                        r.type_name()
+                    ))
+                })?;
+                let result = match op {
+                    Lt => ord.is_lt(),
+                    Le => ord.is_le(),
+                    Gt => ord.is_gt(),
+                    _ => ord.is_ge(),
+                };
+                Ok(Bool(result))
+            }
+            And | Or => unreachable!("short-circuit ops handled in eval"),
+        }
+    }
+
+    fn float_bin(
+        &mut self,
+        l: Value,
+        r: Value,
+        f: impl Fn(f64, f64) -> f64,
+        op: &str,
+    ) -> Result<Value, ScriptError> {
+        match (l.as_f64(), r.as_f64()) {
+            (Some(x), Some(y)) => {
+                self.float_pending += 1;
+                Ok(Value::Float(f(x, y)))
+            }
+            _ => Err(ScriptError::Runtime(format!(
+                "cannot apply {op} to {} and {}",
+                l.type_name(),
+                r.type_name()
+            ))),
+        }
+    }
+
+    fn call(&mut self, name: &str, args: Vec<Value>, _scope: &mut Scope) -> Result<Value, ScriptError> {
+        // User-defined functions shadow nothing: builtins use reserved names.
+        if let Some(decl) = self.functions.get(name).copied() {
+            if decl.params.len() != args.len() {
+                return Err(ScriptError::Runtime(format!(
+                    "{name} expects {} arguments, got {}",
+                    decl.params.len(),
+                    args.len()
+                )));
+            }
+            // Call frame: fresh scope seeded with parameters. Depth is
+            // bounded so runaway recursion in an uploaded script errors out
+            // instead of overflowing the host's stack.
+            self.call_depth += 1;
+            if self.call_depth > MAX_CALL_DEPTH {
+                self.call_depth -= 1;
+                return Err(ScriptError::Runtime(format!(
+                    "call depth exceeded ({MAX_CALL_DEPTH})"
+                )));
+            }
+            self.mem_pending += 32 + 16 * args.len() as u64;
+            let mut frame: Scope =
+                decl.params.iter().cloned().zip(args).collect();
+            let flow = self.exec_block(&decl.body, &mut frame);
+            self.call_depth -= 1;
+            return Ok(match flow? {
+                Flow::Return(v) => v,
+                _ => Value::Nil,
+            });
+        }
+        crate::builtins::call_builtin(self, name, args)
+    }
+
+}
+
+
+impl crate::builtins::BuiltinHost for Interp<'_> {
+    fn trace_mut(&mut self) -> &mut OpTrace {
+        &mut self.trace
+    }
+
+    fn flush_pending(&mut self) {
+        Interp::flush_pending(self);
+    }
+
+    fn add_mem(&mut self, bytes: u64) {
+        self.mem_pending += bytes;
+    }
+
+    fn add_float(&mut self, ops: u64) {
+        self.float_pending += ops;
+    }
+
+    fn add_log(&mut self, text: &str) {
+        self.log.push_str(text);
+        self.log.push('\n');
+        self.log_pending += text.len() as u64 + 1;
+        if self.log_pending >= FLUSH_EVERY {
+            Interp::flush_pending(self);
+        }
+    }
+
+    fn set_result(&mut self, value: String) {
+        self.result = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str) -> ScriptOutcome {
+        run_program(&parse(src).unwrap(), &[], TREE_WALK_DISPATCH, 100_000_000).unwrap()
+    }
+
+    fn run_err(src: &str) -> ScriptError {
+        run_program(&parse(src).unwrap(), &[], TREE_WALK_DISPATCH, 100_000_000).unwrap_err()
+    }
+
+    #[test]
+    fn arithmetic_and_result() {
+        let out = run("result(2 + 3 * 4 - 10 / 2);");
+        assert_eq!(out.result, "9");
+    }
+
+    #[test]
+    fn fibonacci_recursion() {
+        let out = run("fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } result(fib(15));");
+        assert_eq!(out.result, "610");
+    }
+
+    #[test]
+    fn while_loop_and_assignment() {
+        let out = run("let s = 0; let i = 0; while i < 100 { s = s + i; i = i + 1; } result(s);");
+        assert_eq!(out.result, "4950");
+    }
+
+    #[test]
+    fn for_range_with_break_continue() {
+        let out = run(
+            "let s = 0;
+             for i in 0, 100 {
+               if i % 2 == 0 { continue; }
+               if i > 10 { break; }
+               s = s + i;
+             }
+             result(s);",
+        );
+        assert_eq!(out.result, "25"); // 1+3+5+7+9
+    }
+
+    #[test]
+    fn arrays_index_and_mutation() {
+        let out = run(
+            "let a = array_new(10, 0);
+             for i in 0, 10 { a[i] = i * i; }
+             let s = 0;
+             for i in 0, 10 { s = s + a[i]; }
+             result(s);",
+        );
+        assert_eq!(out.result, "285");
+    }
+
+    #[test]
+    fn string_concat_indexing_and_chr() {
+        let out = run(r#"let s = "ab" + "cd"; result(s + str(len(s)) + chr(33) + str(s[0]));"#);
+        assert_eq!(out.result, "abcd4!97");
+    }
+
+    #[test]
+    fn floats_and_math_builtins() {
+        let out = run("result(floor(sqrt(2.0) * 100.0));");
+        assert_eq!(out.result, "141.0");
+    }
+
+    #[test]
+    fn scoping_inner_blocks_do_not_leak() {
+        let err = run_err("if true { let x = 1; } result(x);");
+        assert!(matches!(err, ScriptError::Runtime(_)));
+    }
+
+    #[test]
+    fn args_are_bound() {
+        let program = parse("result(int(ARGS[0]) * 2);").unwrap();
+        let out = run_program(&program, &["21".into()], TREE_WALK_DISPATCH, 1_000_000).unwrap();
+        assert_eq!(out.result, "42");
+    }
+
+    #[test]
+    fn log_accumulates_and_traces() {
+        let out = run(r#"for i in 0, 5 { log("line", i); }"#);
+        assert_eq!(out.log.lines().count(), 5);
+        assert!(out.trace.iter().any(|op| matches!(op, confbench_types::Op::Log(_))));
+    }
+
+    #[test]
+    fn io_builtins_emit_trace_ops() {
+        let out = run("io_write(1048576); io_read(4096);");
+        assert_eq!(out.trace.total_io_bytes(), 1048576 + 4096);
+        assert_eq!(out.trace.total_syscalls(), 2);
+    }
+
+    #[test]
+    fn division_by_zero_is_caught() {
+        assert!(matches!(run_err("result(1 / 0);"), ScriptError::Runtime(_)));
+    }
+
+    #[test]
+    fn index_out_of_range_is_caught() {
+        assert!(matches!(run_err("let a = [1]; result(a[5]);"), ScriptError::Runtime(_)));
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let program = parse("while true { }").unwrap();
+        let err = run_program(&program, &[], TREE_WALK_DISPATCH, 10_000).unwrap_err();
+        assert_eq!(err, ScriptError::StepLimitExceeded(10_000));
+    }
+
+    #[test]
+    fn trace_scales_with_work() {
+        let small = run("let s = 0; for i in 0, 100 { s = s + i; }");
+        let large = run("let s = 0; for i in 0, 10000 { s = s + i; }");
+        assert!(large.trace.total_cpu_ops() > 50 * small.trace.total_cpu_ops());
+        assert!(large.steps > 50 * small.steps);
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        // Division by zero on the right must not execute.
+        let out = run("let x = false; result(x && 1 / 0 == 0);");
+        assert_eq!(out.result, "false");
+        let out = run("result(true || 1 / 0 == 0);");
+        assert_eq!(out.result, "true");
+    }
+
+    #[test]
+    fn wrong_arity_reported() {
+        let err = run_err("fn f(a, b) { return a; } result(f(1));");
+        assert!(matches!(err, ScriptError::Runtime(m) if m.contains("expects 2")));
+    }
+}

@@ -1,0 +1,275 @@
+//! The per-language function launcher (paper §III-A).
+//!
+//! For every supported language ConfBench ships a workload-agnostic launcher
+//! that instantiates the runtime, executes the function with its arguments,
+//! and returns a common output shape. The paper's timing excludes the time
+//! the launcher needs to bootstrap the runtime; [`LaunchOutput`] therefore
+//! separates the startup trace from the execution trace.
+
+use confbench_types::{Language, OpTrace};
+
+use crate::bytecode::{compile, JitMode, StackVm};
+use crate::error::ScriptError;
+use crate::interp::{run_program, TREE_WALK_DISPATCH};
+use crate::parser::parse;
+use crate::profile::RuntimeProfile;
+
+/// A function the launcher can execute: CBScript source for the engine
+/// languages, plus native logic for the emulated ones.
+pub trait FaasFunction {
+    /// Unique function name.
+    fn name(&self) -> &str;
+
+    /// CBScript source implementing the function (the Lua/LuaJIT/Wasm
+    /// path). Engines run this for real.
+    fn script(&self) -> &str;
+
+    /// Native implementation of the same semantics (the Python/Node/Ruby/Go
+    /// path): performs the real computation, records the *logical* trace,
+    /// and returns the output string.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific failure, reported as a string.
+    fn run_native(&self, args: &[String], trace: &mut OpTrace) -> Result<String, String>;
+}
+
+/// What a launch produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchOutput {
+    /// The function's result string.
+    pub output: String,
+    /// Log text emitted during execution.
+    pub log: String,
+    /// Operations of the measured function execution.
+    pub trace: OpTrace,
+    /// Operations of runtime bootstrap (excluded from timing, as in the
+    /// paper).
+    pub startup_trace: OpTrace,
+}
+
+/// Errors from launching a function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaunchError {
+    /// The CBScript path failed.
+    Script(ScriptError),
+    /// The native path failed.
+    Native(String),
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Script(e) => write!(f, "script: {e}"),
+            LaunchError::Native(msg) => write!(f, "native: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+impl From<ScriptError> for LaunchError {
+    fn from(e: ScriptError) -> Self {
+        LaunchError::Script(e)
+    }
+}
+
+/// Interpreter/VM step budget per function execution.
+const STEP_LIMIT: u64 = 400_000_000;
+
+/// A workload-agnostic launcher bound to one language runtime.
+///
+/// # Example
+///
+/// ```
+/// use confbench_faasrt::{FaasFunction, FunctionLauncher};
+/// use confbench_types::{Language, OpTrace};
+///
+/// struct Double;
+/// impl FaasFunction for Double {
+///     fn name(&self) -> &str { "double" }
+///     fn script(&self) -> &str { "result(int(ARGS[0]) * 2);" }
+///     fn run_native(&self, args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+///         let n: i64 = args[0].parse().map_err(|e| format!("{e}"))?;
+///         trace.cpu(1);
+///         Ok((n * 2).to_string())
+///     }
+/// }
+///
+/// let lua = FunctionLauncher::new(Language::Lua).launch(&Double, &["21".into()]).unwrap();
+/// let go = FunctionLauncher::new(Language::Go).launch(&Double, &["21".into()]).unwrap();
+/// assert_eq!(lua.output, "42");
+/// assert_eq!(go.output, "42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionLauncher {
+    language: Language,
+}
+
+impl FunctionLauncher {
+    /// Creates a launcher for `language`.
+    pub fn new(language: Language) -> Self {
+        FunctionLauncher { language }
+    }
+
+    /// The launcher's language.
+    pub fn language(&self) -> Language {
+        self.language
+    }
+
+    /// Executes `function` with `args` under this launcher's runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`LaunchError`] from either execution path.
+    pub fn launch(
+        &self,
+        function: &dyn FaasFunction,
+        args: &[String],
+    ) -> Result<LaunchOutput, LaunchError> {
+        match self.language {
+            Language::Lua => {
+                let program = parse(function.script())?;
+                let outcome = run_program(&program, args, TREE_WALK_DISPATCH, STEP_LIMIT)?;
+                Ok(LaunchOutput {
+                    output: outcome.result,
+                    log: outcome.log,
+                    trace: outcome.trace,
+                    startup_trace: interpreter_startup(4 << 20),
+                })
+            }
+            Language::LuaJit => self.run_vm(function, args, JitMode::luajit(), 6 << 20),
+            Language::Wasm => self.run_vm(function, args, JitMode::wasmi(), 3 << 20),
+            Language::Python | Language::Node | Language::Ruby | Language::Go => {
+                let profile = RuntimeProfile::for_language(self.language)
+                    .expect("emulated languages have profiles");
+                let mut logical = OpTrace::new();
+                let output =
+                    function.run_native(args, &mut logical).map_err(LaunchError::Native)?;
+                let trace = profile.apply(&logical);
+                Ok(LaunchOutput {
+                    output,
+                    log: String::new(),
+                    trace,
+                    startup_trace: interpreter_startup(profile.footprint_bytes),
+                })
+            }
+        }
+    }
+
+    fn run_vm(
+        &self,
+        function: &dyn FaasFunction,
+        args: &[String],
+        jit: JitMode,
+        footprint: u64,
+    ) -> Result<LaunchOutput, LaunchError> {
+        let program = parse(function.script())?;
+        let module = compile(&program)?;
+        let outcome = StackVm::new(jit, STEP_LIMIT).run(&module, args)?;
+        Ok(LaunchOutput {
+            output: outcome.result,
+            log: outcome.log,
+            trace: outcome.trace,
+            startup_trace: interpreter_startup(footprint),
+        })
+    }
+}
+
+fn interpreter_startup(footprint: u64) -> OpTrace {
+    let mut t = OpTrace::new();
+    t.alloc(footprint);
+    t.mem_write(footprint / 4); // cold-start touches a quarter of it
+    t.cpu(footprint / 64);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SumTo;
+
+    impl FaasFunction for SumTo {
+        fn name(&self) -> &str {
+            "sumto"
+        }
+
+        fn script(&self) -> &str {
+            "let n = int(ARGS[0]);
+             let s = 0;
+             for i in 0, n { s = s + i; }
+             result(s);"
+        }
+
+        fn run_native(&self, args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+            let n: u64 = args[0].parse().map_err(|e| format!("{e}"))?;
+            let mut s: u64 = 0;
+            for i in 0..n {
+                s += i;
+            }
+            trace.cpu(3 * n);
+            Ok(s.to_string())
+        }
+    }
+
+    #[test]
+    fn all_languages_agree_on_output() {
+        for language in Language::ALL {
+            let out = FunctionLauncher::new(language).launch(&SumTo, &["1000".into()]).unwrap();
+            assert_eq!(out.output, "499500", "{language} output");
+        }
+    }
+
+    #[test]
+    fn startup_trace_is_separate_and_nonempty() {
+        let out = FunctionLauncher::new(Language::Python).launch(&SumTo, &["10".into()]).unwrap();
+        assert!(!out.startup_trace.is_empty());
+        assert!(out.startup_trace.total_alloc_bytes() >= 30 << 20);
+    }
+
+    #[test]
+    fn dispatch_ordering_matches_runtime_weight() {
+        // For the same logical work: Python >> Lua > Wasm > LuaJIT ~ Go.
+        let cpu = |language: Language| {
+            FunctionLauncher::new(language)
+                .launch(&SumTo, &["200000".into()])
+                .unwrap()
+                .trace
+                .total_cpu_ops()
+        };
+        let python = cpu(Language::Python);
+        let lua = cpu(Language::Lua);
+        let wasm = cpu(Language::Wasm);
+        let luajit = cpu(Language::LuaJit);
+        let go = cpu(Language::Go);
+        assert!(python > lua, "python {python} vs lua {lua}");
+        assert!(lua > wasm, "lua {lua} vs wasm {wasm}");
+        assert!(wasm > luajit, "wasm {wasm} vs luajit {luajit}");
+        assert!(go < wasm, "go {go} vs wasm {wasm}");
+    }
+
+    #[test]
+    fn script_errors_surface() {
+        struct Broken;
+        impl FaasFunction for Broken {
+            fn name(&self) -> &str {
+                "broken"
+            }
+            fn script(&self) -> &str {
+                "result(1 / 0);"
+            }
+            fn run_native(&self, _: &[String], _: &mut OpTrace) -> Result<String, String> {
+                Err("native boom".into())
+            }
+        }
+        assert!(matches!(
+            FunctionLauncher::new(Language::Lua).launch(&Broken, &[]),
+            Err(LaunchError::Script(_))
+        ));
+        assert!(matches!(
+            FunctionLauncher::new(Language::Go).launch(&Broken, &[]),
+            Err(LaunchError::Native(_))
+        ));
+    }
+}

@@ -1,0 +1,250 @@
+//! The CBScript lexer.
+
+use crate::error::ScriptError;
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes CBScript source.
+///
+/// # Errors
+///
+/// [`ScriptError::Lex`] on unknown characters, unterminated strings, or
+/// malformed numbers.
+pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &source[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse().map_err(|_| ScriptError::Lex { line, message: format!("bad float {text}") })?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse().map_err(|_| ScriptError::Lex { line, message: format!("bad int {text}") })?,
+                    )
+                };
+                tokens.push(Token { kind, line });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let kind = match word {
+                    "fn" => TokenKind::Fn,
+                    "let" => TokenKind::Let,
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "while" => TokenKind::While,
+                    "for" => TokenKind::For,
+                    "in" => TokenKind::In,
+                    "return" => TokenKind::Return,
+                    "break" => TokenKind::Break,
+                    "continue" => TokenKind::Continue,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "nil" => TokenKind::Nil,
+                    _ => TokenKind::Ident(word.to_owned()),
+                };
+                tokens.push(Token { kind, line });
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ScriptError::Lex { line, message: "unterminated string".into() });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' if i + 1 < bytes.len() => {
+                            let esc = bytes[i + 1] as char;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => {
+                                    return Err(ScriptError::Lex {
+                                        line,
+                                        message: format!("unknown escape \\{other}"),
+                                    })
+                                }
+                            });
+                            i += 2;
+                        }
+                        b'\n' => {
+                            return Err(ScriptError::Lex { line, message: "unterminated string".into() })
+                        }
+                        b => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), line });
+            }
+            _ => {
+                let (kind, advance) = match (c, bytes.get(i + 1).map(|&b| b as char)) {
+                    ('=', Some('=')) => (TokenKind::EqEq, 2),
+                    ('!', Some('=')) => (TokenKind::NotEq, 2),
+                    ('<', Some('=')) => (TokenKind::Le, 2),
+                    ('>', Some('=')) => (TokenKind::Ge, 2),
+                    ('&', Some('&')) => (TokenKind::AndAnd, 2),
+                    ('|', Some('|')) => (TokenKind::OrOr, 2),
+                    ('=', _) => (TokenKind::Eq, 1),
+                    ('!', _) => (TokenKind::Bang, 1),
+                    ('<', _) => (TokenKind::Lt, 1),
+                    ('>', _) => (TokenKind::Gt, 1),
+                    ('+', _) => (TokenKind::Plus, 1),
+                    ('-', _) => (TokenKind::Minus, 1),
+                    ('*', _) => (TokenKind::Star, 1),
+                    ('/', _) => (TokenKind::Slash, 1),
+                    ('%', _) => (TokenKind::Percent, 1),
+                    ('(', _) => (TokenKind::LParen, 1),
+                    (')', _) => (TokenKind::RParen, 1),
+                    ('{', _) => (TokenKind::LBrace, 1),
+                    ('}', _) => (TokenKind::RBrace, 1),
+                    ('[', _) => (TokenKind::LBracket, 1),
+                    (']', _) => (TokenKind::RBracket, 1),
+                    (',', _) => (TokenKind::Comma, 1),
+                    (';', _) => (TokenKind::Semi, 1),
+                    _ => {
+                        return Err(ScriptError::Lex {
+                            line,
+                            message: format!("unexpected character {c:?}"),
+                        })
+                    }
+                };
+                tokens.push(Token { kind, line });
+                i += advance;
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers_and_idents() {
+        assert_eq!(
+            kinds("let x = 42"),
+            vec![TokenKind::Let, TokenKind::Ident("x".into()), TokenKind::Eq, TokenKind::Int(42), TokenKind::Eof]
+        );
+        assert_eq!(kinds("3.5")[0], TokenKind::Float(3.5));
+    }
+
+    #[test]
+    fn method_like_range_not_float() {
+        // `1.` followed by non-digit must stay Int + something else.
+        let err_or = lex("1.x");
+        // 1 then '.' is an unexpected character in CBScript.
+        assert!(err_or.is_err());
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a <= b != c && d || !e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::NotEq,
+                TokenKind::Ident("c".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("d".into()),
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds(r#""he\"llo\n""#)[0], TokenKind::Str("he\"llo\n".into()));
+    }
+
+    #[test]
+    fn comments_skipped_lines_counted() {
+        let toks = lex("# comment\nlet x = 1").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Let);
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("\"abc"), Err(ScriptError::Lex { .. })));
+    }
+
+    #[test]
+    fn keywords_recognized() {
+        assert_eq!(
+            kinds("fn while for in return break continue true false nil"),
+            vec![
+                TokenKind::Fn,
+                TokenKind::While,
+                TokenKind::For,
+                TokenKind::In,
+                TokenKind::Return,
+                TokenKind::Break,
+                TokenKind::Continue,
+                TokenKind::True,
+                TokenKind::False,
+                TokenKind::Nil,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_character_reports_line() {
+        match lex("let x = 1\n let y = @") {
+            Err(ScriptError::Lex { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+}

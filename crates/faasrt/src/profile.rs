@@ -1,0 +1,216 @@
+//! Managed-runtime profiles: how Python, Node, Ruby and Go transform a
+//! workload's logical operation trace.
+//!
+//! For runtimes we do not execute for real (CPython, V8, MRI) and for the
+//! compiled-native path (Go), the launcher takes the workload's *logical*
+//! trace — the operations its pure semantics perform — and inflates it
+//! according to the runtime's character: interpreter dispatch overhead,
+//! boxed-value memory traffic, allocation pressure, garbage-collection
+//! pauses, and resident footprint. The footprint and allocation channels
+//! are what interact with TEE memory costs, producing the paper's
+//! "heavier runtimes ⇒ larger TEE ratio" FaaS finding.
+
+use confbench_types::{Language, Op, OpTrace};
+
+/// The character of a language runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeProfile {
+    /// Multiplier on logical CPU ops (interpreter dispatch, boxing,
+    /// dynamic-type checks).
+    pub dispatch_factor: f64,
+    /// Multiplier on logical float ops.
+    pub float_factor: f64,
+    /// Extra heap bytes allocated per 1 000 logical CPU ops (boxed values,
+    /// temporary objects).
+    pub alloc_bytes_per_kop: u64,
+    /// Resident footprint the runtime touches at startup and keeps warm
+    /// (interpreter state, loaded modules, JIT caches).
+    pub footprint_bytes: u64,
+    /// A GC cycle runs every this many logical CPU ops (0 = no GC).
+    pub gc_period_ops: u64,
+    /// Fraction of the live footprint each GC cycle touches.
+    pub gc_scan_fraction: f64,
+    /// Fraction of the live heap each GC cycle releases to the host and
+    /// refaults (`MADV_DONTNEED` trimming). In a TEE the refault re-runs
+    /// page acceptance — the channel that makes heavy runtimes pay more.
+    pub gc_release_fraction: f64,
+}
+
+impl RuntimeProfile {
+    /// The profile used for `language` when the launcher emulates it.
+    ///
+    /// Lua, LuaJIT, and Wasm execute for real (interpreter / stack VM) and
+    /// have no profile; asking for one returns `None`.
+    pub fn for_language(language: Language) -> Option<RuntimeProfile> {
+        match language {
+            Language::Python => Some(RuntimeProfile {
+                dispatch_factor: 30.0,
+                float_factor: 9.0,
+                alloc_bytes_per_kop: 2_600,
+                footprint_bytes: 34 << 20,
+                gc_period_ops: 25_000, // gen-0 collections are frequent
+                gc_scan_fraction: 0.04,
+                gc_release_fraction: 0.05,
+            }),
+            Language::Node => Some(RuntimeProfile {
+                // V8 JIT-compiles: modest dispatch, but a big, allocation-
+                // hungry heap and large footprint.
+                dispatch_factor: 3.4,
+                float_factor: 1.6,
+                alloc_bytes_per_kop: 3_400,
+                footprint_bytes: 58 << 20,
+                gc_period_ops: 40_000, // scavenger runs constantly
+                gc_scan_fraction: 0.05,
+                gc_release_fraction: 0.06,
+            }),
+            Language::Ruby => Some(RuntimeProfile {
+                dispatch_factor: 26.0,
+                float_factor: 8.0,
+                alloc_bytes_per_kop: 2_900,
+                footprint_bytes: 27 << 20,
+                gc_period_ops: 30_000,
+                gc_scan_fraction: 0.04,
+                gc_release_fraction: 0.045,
+            }),
+            Language::Go => Some(RuntimeProfile {
+                dispatch_factor: 1.25,
+                float_factor: 1.1,
+                alloc_bytes_per_kop: 140,
+                footprint_bytes: 6 << 20,
+                gc_period_ops: 1_000_000, // value types keep pressure low
+                gc_scan_fraction: 0.08,
+                gc_release_fraction: 0.01,
+            }),
+            Language::Lua | Language::LuaJit | Language::Wasm => None,
+        }
+    }
+
+    /// Applies the profile to a logical trace, producing the trace the
+    /// runtime's process would exhibit.
+    pub fn apply(&self, logical: &OpTrace) -> OpTrace {
+        let mut out = OpTrace::new();
+        // Runtime structures touched while executing (dispatch tables,
+        // inline caches, module dicts). The footprint *allocation* happens
+        // at bootstrap, which the launcher reports separately and the
+        // paper's timings exclude; the recurring touches are measured.
+        out.mem_read(self.footprint_bytes / 8);
+
+        let mut cpu_since_gc = 0u64;
+        let mut live_bytes = self.footprint_bytes;
+        for op in logical {
+            match *op {
+                Op::Cpu(n) => {
+                    let scaled = (n as f64 * self.dispatch_factor).round() as u64;
+                    out.cpu(scaled);
+                    let alloc = n / 1_000 * self.alloc_bytes_per_kop;
+                    if alloc > 0 {
+                        out.alloc(alloc);
+                        out.mem_write(alloc); // boxed temporaries are written
+                        out.free(alloc);      // and die young
+                    }
+                    cpu_since_gc += n;
+                }
+                Op::Float(n) => {
+                    out.float((n as f64 * self.float_factor).round() as u64);
+                    cpu_since_gc += n;
+                }
+                Op::Alloc(bytes) => {
+                    live_bytes += bytes;
+                    out.alloc(bytes);
+                }
+                Op::Free(bytes) => {
+                    live_bytes = live_bytes.saturating_sub(bytes);
+                    out.free(bytes);
+                }
+                other => out.push(other),
+            }
+            // Garbage collection: periodically scan part of the live heap.
+            if self.gc_period_ops > 0 && cpu_since_gc >= self.gc_period_ops {
+                cpu_since_gc = 0;
+                let scanned = (live_bytes as f64 * self.gc_scan_fraction) as u64;
+                if scanned > 0 {
+                    out.mem_read(scanned);
+                    out.cpu(scanned / 16); // mark/sweep work per word
+                }
+                let released = (live_bytes as f64 * self.gc_release_fraction) as u64;
+                if released > 0 {
+                    out.page_cycle(released);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logical() -> OpTrace {
+        let mut t = OpTrace::new();
+        t.cpu(2_000_000);
+        t.float(100_000);
+        t.alloc(1 << 20);
+        t.io_write(4096);
+        t
+    }
+
+    #[test]
+    fn engine_languages_have_no_profile() {
+        assert!(RuntimeProfile::for_language(Language::Lua).is_none());
+        assert!(RuntimeProfile::for_language(Language::LuaJit).is_none());
+        assert!(RuntimeProfile::for_language(Language::Wasm).is_none());
+        for l in [Language::Python, Language::Node, Language::Ruby, Language::Go] {
+            assert!(RuntimeProfile::for_language(l).is_some());
+        }
+    }
+
+    #[test]
+    fn python_is_heavier_than_go_everywhere() {
+        let py = RuntimeProfile::for_language(Language::Python).unwrap();
+        let go = RuntimeProfile::for_language(Language::Go).unwrap();
+        assert!(py.dispatch_factor > 10.0 * go.dispatch_factor);
+        assert!(py.footprint_bytes > 4 * go.footprint_bytes);
+        assert!(py.alloc_bytes_per_kop > 10 * go.alloc_bytes_per_kop);
+    }
+
+    #[test]
+    fn apply_scales_cpu_and_preserves_io() {
+        let py = RuntimeProfile::for_language(Language::Python).unwrap();
+        let out = py.apply(&logical());
+        assert!(out.total_cpu_ops() >= 2_000_000 * 29);
+        assert_eq!(out.total_io_bytes(), 4096, "I/O is not multiplied by dispatch");
+        // Boxed temporaries: ~2.6 KB per 1k logical ops over 2M ops.
+        assert!(out.total_alloc_bytes() > 4 << 20);
+    }
+
+    #[test]
+    fn gc_adds_memory_traffic_for_long_runs() {
+        let node = RuntimeProfile::for_language(Language::Node).unwrap();
+        let mut short = OpTrace::new();
+        short.cpu(10_000);
+        let mut long = OpTrace::new();
+        for _ in 0..100 {
+            long.cpu(100_000);
+        }
+        let mem = |t: &OpTrace| {
+            t.iter()
+                .map(|op| match op {
+                    Op::MemRead { bytes, .. } => *bytes,
+                    _ => 0,
+                })
+                .sum::<u64>()
+        };
+        let short_mem = mem(&node.apply(&short));
+        let long_mem = mem(&node.apply(&long));
+        assert!(long_mem > short_mem, "GC scans must appear: {long_mem} vs {short_mem}");
+    }
+
+    #[test]
+    fn go_barely_inflates() {
+        let go = RuntimeProfile::for_language(Language::Go).unwrap();
+        let out = go.apply(&logical());
+        let cpu = out.total_cpu_ops() as f64;
+        assert!(cpu < 2_000_000.0 * 1.6, "Go dispatch is near-native: {cpu}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Lexical tokens of CBScript.
+
+use std::fmt;
+
+/// A lexical token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords.
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `nil`
+    Nil,
+
+    // Operators and punctuation.
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `=`
+    Eq,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(n) => write!(f, "{n}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Fn => f.write_str("fn"),
+            TokenKind::Let => f.write_str("let"),
+            TokenKind::If => f.write_str("if"),
+            TokenKind::Else => f.write_str("else"),
+            TokenKind::While => f.write_str("while"),
+            TokenKind::For => f.write_str("for"),
+            TokenKind::In => f.write_str("in"),
+            TokenKind::Return => f.write_str("return"),
+            TokenKind::Break => f.write_str("break"),
+            TokenKind::Continue => f.write_str("continue"),
+            TokenKind::True => f.write_str("true"),
+            TokenKind::False => f.write_str("false"),
+            TokenKind::Nil => f.write_str("nil"),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Percent => f.write_str("%"),
+            TokenKind::EqEq => f.write_str("=="),
+            TokenKind::NotEq => f.write_str("!="),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::AndAnd => f.write_str("&&"),
+            TokenKind::OrOr => f.write_str("||"),
+            TokenKind::Bang => f.write_str("!"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::LBrace => f.write_str("{"),
+            TokenKind::RBrace => f.write_str("}"),
+            TokenKind::LBracket => f.write_str("["),
+            TokenKind::RBracket => f.write_str("]"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Semi => f.write_str(";"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}

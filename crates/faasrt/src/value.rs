@@ -1,0 +1,138 @@
+//! CBScript runtime values.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A dynamically-typed CBScript value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Immutable string.
+    Str(Rc<str>),
+    /// Mutable shared array.
+    Array(Rc<RefCell<Vec<Value>>>),
+    /// Absence of a value.
+    Nil,
+}
+
+impl Value {
+    /// Creates an array value from a vector.
+    pub fn array(items: Vec<Value>) -> Value {
+        Value::Array(Rc::new(RefCell::new(items)))
+    }
+
+    /// CBScript truthiness: `nil` and `false` are falsy; everything else —
+    /// including `0` — is truthy (Lua semantics).
+    pub fn is_truthy(&self) -> bool {
+        !matches!(self, Value::Nil | Value::Bool(false))
+    }
+
+    /// The type name used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Nil => "nil",
+        }
+    }
+
+    /// Numeric view as f64, if the value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => *a.borrow() == *b.borrow(),
+            (Value::Nil, Value::Nil) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.borrow().iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Nil => f.write_str("nil"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_matches_lua() {
+        assert!(Value::Int(0).is_truthy());
+        assert!(Value::Str("".into()).is_truthy());
+        assert!(!Value::Nil.is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+    }
+
+    #[test]
+    fn mixed_numeric_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_ne!(Value::Int(2), Value::Float(2.5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Float(3.0).to_string(), "3.0");
+        assert_eq!(Value::array(vec![Value::Int(1), Value::Nil]).to_string(), "[1, nil]");
+    }
+
+    #[test]
+    fn arrays_share_on_clone() {
+        let a = Value::array(vec![Value::Int(1)]);
+        let b = a.clone();
+        if let Value::Array(items) = &a {
+            items.borrow_mut().push(Value::Int(2));
+        }
+        if let Value::Array(items) = &b {
+            assert_eq!(items.borrow().len(), 2);
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! HTTP/1.1 message types, parsing, and serialization.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Supported request methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET
+    Get,
+    /// POST
+    Post,
+    /// PUT
+    Put,
+    /// DELETE
+    Delete,
+}
+
+impl Method {
+    fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+        })
+    }
+}
+
+/// Errors from reading or parsing an HTTP message.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request/status line or header.
+    Malformed(String),
+    /// Method not recognized.
+    BadMethod(String),
+    /// Body longer than the configured limit.
+    BodyTooLarge(usize),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Malformed(msg) => write!(f, "malformed http message: {msg}"),
+            HttpError::BadMethod(m) => write!(f, "unsupported method: {m}"),
+            HttpError::BodyTooLarge(n) => write!(f, "body of {n} bytes exceeds limit"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Maximum accepted body size (16 MiB — enough for function uploads).
+pub const MAX_BODY: usize = 16 << 20;
+
+/// Hard cap on a whole HTTP message (request line + headers + body).
+const MESSAGE_LIMIT: u64 = (MAX_BODY + (64 << 10)) as u64;
+
+/// An HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: HashMap<String, String>,
+    /// Headers, keys lowercased.
+    pub headers: HashMap<String, String>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Creates a request (client side).
+    pub fn new(method: Method, path_and_query: &str) -> Self {
+        let (path, query) = split_query(path_and_query);
+        Request { method, path, query, headers: HashMap::new(), body: Vec::new() }
+    }
+
+    /// Sets a JSON body (client side).
+    pub fn json(mut self, value: &impl serde::Serialize) -> Self {
+        self.body = serde_json::to_vec(value).expect("serializable value");
+        self.headers.insert("content-type".into(), "application/json".into());
+        self
+    }
+
+    /// Deserializes the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns serde's error on malformed JSON.
+    pub fn body_json<T: serde::de::DeserializeOwned>(&self) -> Result<T, serde_json::Error> {
+        serde_json::from_slice(&self.body)
+    }
+
+    /// Reads one request from a stream.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError`] on malformed input or I/O failure.
+    pub fn read_from(stream: &mut impl Read) -> Result<Request, HttpError> {
+        // Bound the whole message so a hostile peer cannot feed an
+        // arbitrarily long request line or header block into memory.
+        let mut reader = BufReader::new(stream.by_ref().take(MESSAGE_LIMIT));
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let mut parts = line.trim_end().splitn(3, ' ');
+        let method = parts
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| HttpError::Malformed("empty request line".into()))?;
+        let method =
+            Method::parse(method).ok_or_else(|| HttpError::BadMethod(method.to_owned()))?;
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+        let (path, query) = split_query(target);
+
+        let headers = read_headers(&mut reader)?;
+        let body = read_body(&mut reader, &headers)?;
+        Ok(Request { method, path, query, headers, body })
+    }
+
+    /// Serializes the request to a stream.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn write_to(&self, stream: &mut impl Write) -> Result<(), HttpError> {
+        let query = encode_query(&self.query);
+        write!(stream, "{} {}{} HTTP/1.1\r\n", self.method, self.path, query)?;
+        for (k, v) in &self.headers {
+            write!(stream, "{k}: {v}\r\n")?;
+        }
+        write!(stream, "content-length: {}\r\n\r\n", self.body.len())?;
+        stream.write_all(&self.body)?;
+        stream.flush()?;
+        Ok(())
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers, keys lowercased.
+    pub headers: HashMap<String, String>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn json(value: &impl serde::Serialize) -> Self {
+        let body = serde_json::to_vec(value).expect("serializable value");
+        let mut headers = HashMap::new();
+        headers.insert("content-type".into(), "application/json".into());
+        Response { status: 200, headers, body }
+    }
+
+    /// 200 with a plain-text body.
+    pub fn text(body: impl Into<String>) -> Self {
+        let mut headers = HashMap::new();
+        headers.insert("content-type".into(), "text/plain".into());
+        Response { status: 200, headers, body: body.into().into_bytes() }
+    }
+
+    /// An error response with a plain-text message.
+    pub fn error(status: u16, message: impl Into<String>) -> Self {
+        let mut r = Response::text(message.into());
+        r.status = status;
+        r
+    }
+
+    /// Deserializes the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns serde's error on malformed JSON.
+    pub fn body_json<T: serde::de::DeserializeOwned>(&self) -> Result<T, serde_json::Error> {
+        serde_json::from_slice(&self.body)
+    }
+
+    /// Reads one response from a stream.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError`] on malformed input or I/O failure.
+    pub fn read_from(stream: &mut impl Read) -> Result<Response, HttpError> {
+        let mut reader = BufReader::new(stream.by_ref().take(MESSAGE_LIMIT));
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let mut parts = line.trim_end().splitn(3, ' ');
+        let _version = parts.next();
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HttpError::Malformed(format!("bad status line: {line:?}")))?;
+        let headers = read_headers(&mut reader)?;
+        let body = read_body(&mut reader, &headers)?;
+        Ok(Response { status, headers, body })
+    }
+
+    /// Serializes the response to a stream.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn write_to(&self, stream: &mut impl Write) -> Result<(), HttpError> {
+        write!(stream, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        for (k, v) in &self.headers {
+            write!(stream, "{k}: {v}\r\n")?;
+        }
+        write!(stream, "content-length: {}\r\n\r\n", self.body.len())?;
+        stream.write_all(&self.body)?;
+        stream.flush()?;
+        Ok(())
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn read_headers(reader: &mut impl BufRead) -> Result<HashMap<String, String>, HttpError> {
+    let mut headers = HashMap::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header: {line:?}")))?;
+        headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_owned());
+    }
+}
+
+fn read_body(
+    reader: &mut impl BufRead,
+    headers: &HashMap<String, String>,
+) -> Result<Vec<u8>, HttpError> {
+    let len: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if len > MAX_BODY {
+        return Err(HttpError::BodyTooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+fn split_query(target: &str) -> (String, HashMap<String, String>) {
+    match target.split_once('?') {
+        None => (target.to_owned(), HashMap::new()),
+        Some((path, qs)) => {
+            let mut query = HashMap::new();
+            for pair in qs.split('&').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                query.insert(percent_decode(k), percent_decode(v));
+            }
+            (path.to_owned(), query)
+        }
+    }
+}
+
+fn encode_query(query: &HashMap<String, String>) -> String {
+    if query.is_empty() {
+        return String::new();
+    }
+    let mut pairs: Vec<_> = query.iter().collect();
+    pairs.sort();
+    let qs: Vec<String> =
+        pairs.iter().map(|(k, v)| format!("{}={}", percent_encode(k), percent_encode(v))).collect();
+    format!("?{}", qs.join("&"))
+}
+
+fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 3 <= bytes.len() {
+            if let Some(hex) = s.get(i + 1..i + 3) {
+                if let Ok(b) = u8::from_str_radix(hex, 16) {
+                    out.push(b);
+                    i += 3;
+                    continue;
+                }
+            }
+            out.push(b'%');
+            i += 1;
+        } else if bytes[i] == b'+' {
+            out.push(b' ');
+            i += 1;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::new(Method::Post, "/run?tee=tdx&kind=secure")
+            .json(&serde_json::json!({"x": 1}));
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let parsed = Request::read_from(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(parsed.method, Method::Post);
+        assert_eq!(parsed.path, "/run");
+        assert_eq!(parsed.query["tee"], "tdx");
+        assert_eq!(parsed.query["kind"], "secure");
+        let v: serde_json::Value = parsed.body_json().unwrap();
+        assert_eq!(v["x"], 1);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::json(&serde_json::json!({"ok": true}));
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let parsed = Response::read_from(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(parsed.status, 200);
+        let v: serde_json::Value = parsed.body_json().unwrap();
+        assert_eq!(v["ok"], true);
+    }
+
+    #[test]
+    fn error_response_carries_status() {
+        let resp = Response::error(404, "nope");
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found"));
+        assert!(text.ends_with("nope"));
+    }
+
+    #[test]
+    fn bad_method_rejected() {
+        let raw = b"BREW /coffee HTTP/1.1\r\n\r\n".to_vec();
+        assert!(matches!(
+            Request::read_from(&mut Cursor::new(raw)),
+            Err(HttpError::BadMethod(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_header_rejected() {
+        let raw = b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n".to_vec();
+        assert!(matches!(Request::read_from(&mut Cursor::new(raw)), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let raw = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(
+            Request::read_from(&mut Cursor::new(raw.into_bytes())),
+            Err(HttpError::BodyTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn percent_coding_roundtrips() {
+        let original = "hello world/100%+fun";
+        assert_eq!(percent_decode(&percent_encode(original)), original);
+    }
+
+    #[test]
+    fn missing_content_length_means_empty_body() {
+        let raw = b"GET /x HTTP/1.1\r\nhost: localhost\r\n\r\n".to_vec();
+        let req = Request::read_from(&mut Cursor::new(raw)).unwrap();
+        assert!(req.body.is_empty());
+        assert_eq!(req.headers["host"], "localhost");
+    }
+}

@@ -1,0 +1,37 @@
+//! A minimal HTTP/1.1 framework and TCP relay.
+//!
+//! The real ConfBench gateway is built on the Axum web framework and its
+//! hosts steer traffic to VMs with `socat` (paper §III-B). Neither is
+//! available offline, so this crate supplies the equivalent substrate from
+//! scratch over `std::net`:
+//!
+//! * [`Request`] / [`Response`] — HTTP/1.1 messages with JSON helpers;
+//! * [`Router`] — method + path routing with `:param` captures;
+//! * [`Server`] / [`Client`] — a threaded listener and a blocking client;
+//! * [`TcpRelay`] — socat-style bidirectional port forwarding.
+//!
+//! # Example
+//!
+//! ```
+//! use confbench_httpd::{Client, Method, Request, Response, Router, Server};
+//!
+//! let mut router = Router::new();
+//! router.add(Method::Get, "/health", |_, _| Response::text("ok"));
+//! let server = Server::spawn(router)?;
+//! let resp = Client::new(server.addr()).send(&Request::new(Method::Get, "/health"))?;
+//! assert_eq!(resp.status, 200);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod http;
+mod relay;
+mod router;
+mod server;
+
+pub use http::{HttpError, Method, Request, Response, MAX_BODY};
+pub use relay::TcpRelay;
+pub use router::{Handler, Router};
+pub use server::{Client, Server};

@@ -1,0 +1,162 @@
+//! A socat-style TCP relay.
+//!
+//! The paper's hosts run `socat` to steer traffic from per-TEE ports to the
+//! hosted VMs (§III-B). [`TcpRelay`] reproduces that: it listens on a local
+//! port and forwards each connection bidirectionally to a target address.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running bidirectional TCP relay. Dropping it stops the listener.
+///
+/// # Example
+///
+/// ```no_run
+/// use confbench_httpd::TcpRelay;
+///
+/// // Forward a local port to a VM's service address.
+/// let relay = TcpRelay::spawn("127.0.0.1:0", "127.0.0.1:9000".parse()?)?;
+/// println!("relay on {}", relay.addr());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct TcpRelay {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpRelay {
+    /// Binds `listen` and forwards every connection to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(listen: &str, target: SocketAddr) -> io::Result<TcpRelay> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicU64::new(0));
+        let flag = Arc::clone(&shutdown);
+        let conn_counter = Arc::clone(&connections);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("relay-{addr}"))
+            .spawn(move || accept_loop(listener, target, flag, conn_counter))?;
+        Ok(TcpRelay { addr, shutdown, connections, accept_thread: Some(accept_thread) })
+    }
+
+    /// The listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections relayed so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::SeqCst)
+    }
+
+    /// Stops the relay.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpRelay {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    target: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<AtomicU64>,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(client) = stream else { continue };
+        connections.fetch_add(1, Ordering::SeqCst);
+        let _ = std::thread::Builder::new().name("relay-conn".into()).spawn(move || {
+            if let Ok(upstream) = TcpStream::connect_timeout(&target, Duration::from_secs(10)) {
+                pipe_both(client, upstream);
+            }
+        });
+    }
+}
+
+fn pipe_both(a: TcpStream, b: TcpStream) {
+    let (Ok(a2), Ok(b2)) = (a.try_clone(), b.try_clone()) else { return };
+    let t = std::thread::spawn(move || pipe(a2, b));
+    pipe(b2, a);
+    let _ = t.join();
+}
+
+fn pipe(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(std::net::Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Method, Request, Response};
+    use crate::router::Router;
+    use crate::server::{Client, Server};
+
+    #[test]
+    fn relays_http_traffic_transparently() {
+        let mut router = Router::new();
+        router.add(Method::Get, "/vm", |_, _| Response::text("from the vm"));
+        let backend = Server::spawn(router).unwrap();
+        let relay = TcpRelay::spawn("127.0.0.1:0", backend.addr()).unwrap();
+
+        let client = Client::new(relay.addr());
+        let resp = client.send(&Request::new(Method::Get, "/vm")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"from the vm");
+        assert_eq!(relay.connections(), 1);
+
+        // Multiple connections.
+        for _ in 0..3 {
+            let resp = client.send(&Request::new(Method::Get, "/vm")).unwrap();
+            assert_eq!(resp.status, 200);
+        }
+        assert_eq!(relay.connections(), 4);
+    }
+
+    #[test]
+    fn relay_to_dead_target_drops_connection() {
+        // Point at a port with (almost certainly) no listener.
+        let target: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let relay = TcpRelay::spawn("127.0.0.1:0", target).unwrap();
+        let client = Client::new(relay.addr()).timeout(Duration::from_millis(500));
+        assert!(client.send(&Request::new(Method::Get, "/x")).is_err());
+    }
+}

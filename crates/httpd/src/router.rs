@@ -1,0 +1,155 @@
+//! Path routing with parameter capture.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::http::{Method, Request, Response};
+
+/// A request handler: receives the request plus captured path parameters.
+pub type Handler = Arc<dyn Fn(&Request, &HashMap<String, String>) -> Response + Send + Sync>;
+
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+/// A method-and-path router supporting `:param` captures.
+///
+/// # Example
+///
+/// ```
+/// use confbench_httpd::{Method, Request, Response, Router};
+///
+/// let mut router = Router::new();
+/// router.add(Method::Get, "/functions/:name", |_req, params| {
+///     Response::text(format!("fn={}", params["name"]))
+/// });
+/// let req = Request::new(Method::Get, "/functions/fib");
+/// let resp = router.dispatch(&req);
+/// assert_eq!(resp.body, b"fn=fib");
+/// ```
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// Creates an empty router (dispatch returns 404 for everything).
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Registers a handler for `method` on `pattern`. Pattern segments
+    /// starting with `:` capture the corresponding path segment.
+    pub fn add<F>(&mut self, method: Method, pattern: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request, &HashMap<String, String>) -> Response + Send + Sync + 'static,
+    {
+        let segments = pattern
+            .trim_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| match s.strip_prefix(':') {
+                Some(name) => Segment::Param(name.to_owned()),
+                None => Segment::Literal(s.to_owned()),
+            })
+            .collect();
+        self.routes.push(Route { method, segments, handler: Arc::new(handler) });
+        self
+    }
+
+    /// Routes a request, returning 404/405 when nothing matches.
+    pub fn dispatch(&self, request: &Request) -> Response {
+        let parts: Vec<&str> =
+            request.path.trim_matches('/').split('/').filter(|s| !s.is_empty()).collect();
+        let mut saw_path_match = false;
+        for route in &self.routes {
+            if let Some(params) = match_segments(&route.segments, &parts) {
+                saw_path_match = true;
+                if route.method == request.method {
+                    return (route.handler)(request, &params);
+                }
+            }
+        }
+        if saw_path_match {
+            Response::error(405, "method not allowed")
+        } else {
+            Response::error(404, "not found")
+        }
+    }
+}
+
+fn match_segments(segments: &[Segment], parts: &[&str]) -> Option<HashMap<String, String>> {
+    if segments.len() != parts.len() {
+        return None;
+    }
+    let mut params = HashMap::new();
+    for (seg, part) in segments.iter().zip(parts) {
+        match seg {
+            Segment::Literal(lit) if lit == part => {}
+            Segment::Literal(_) => return None,
+            Segment::Param(name) => {
+                params.insert(name.clone(), (*part).to_owned());
+            }
+        }
+    }
+    Some(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router {
+        let mut r = Router::new();
+        r.add(Method::Get, "/health", |_, _| Response::text("ok"));
+        r.add(Method::Post, "/run", |_, _| Response::text("ran"));
+        r.add(Method::Get, "/functions/:name", |_, p| Response::text(p["name"].clone()));
+        r.add(Method::Get, "/a/:x/b/:y", |_, p| Response::text(format!("{}-{}", p["x"], p["y"])));
+        r
+    }
+
+    #[test]
+    fn literal_match() {
+        let r = router();
+        let resp = r.dispatch(&Request::new(Method::Get, "/health"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok");
+    }
+
+    #[test]
+    fn param_capture() {
+        let r = router();
+        let resp = r.dispatch(&Request::new(Method::Get, "/functions/cpustress"));
+        assert_eq!(resp.body, b"cpustress");
+        let resp = r.dispatch(&Request::new(Method::Get, "/a/1/b/2"));
+        assert_eq!(resp.body, b"1-2");
+    }
+
+    #[test]
+    fn not_found_vs_method_not_allowed() {
+        let r = router();
+        assert_eq!(r.dispatch(&Request::new(Method::Get, "/nope")).status, 404);
+        assert_eq!(r.dispatch(&Request::new(Method::Get, "/run")).status, 405);
+        assert_eq!(r.dispatch(&Request::new(Method::Post, "/health")).status, 405);
+    }
+
+    #[test]
+    fn trailing_slashes_ignored() {
+        let r = router();
+        assert_eq!(r.dispatch(&Request::new(Method::Get, "/health/")).status, 200);
+    }
+
+    #[test]
+    fn segment_count_must_match() {
+        let r = router();
+        assert_eq!(r.dispatch(&Request::new(Method::Get, "/functions/a/b")).status, 404);
+        assert_eq!(r.dispatch(&Request::new(Method::Get, "/functions")).status, 404);
+    }
+}

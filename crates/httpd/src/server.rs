@@ -1,0 +1,236 @@
+//! A small threaded HTTP server and client.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{HttpError, Request, Response};
+use crate::router::Router;
+
+/// A running HTTP server. Dropping it shuts the listener down.
+///
+/// # Example
+///
+/// ```
+/// use confbench_httpd::{Client, Method, Request, Response, Router, Server};
+///
+/// let mut router = Router::new();
+/// router.add(Method::Get, "/ping", |_, _| Response::text("pong"));
+/// let server = Server::spawn(router)?;
+/// let resp = Client::new(server.addr()).send(&Request::new(Method::Get, "/ping"))?;
+/// assert_eq!(resp.body, b"pong");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:0` and serves `router` on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(router: Router) -> io::Result<Server> {
+        Server::spawn_on("127.0.0.1:0", router)
+    }
+
+    /// Binds a specific address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_on(addr: &str, router: Router) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let router = Arc::new(router);
+        let flag = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("httpd-{addr}"))
+            .spawn(move || accept_loop(listener, router, flag))?;
+        Ok(Server { addr, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, router: Arc<Router>, shutdown: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let router = Arc::clone(&router);
+        // One thread per connection: ConfBench's control plane is low-rate.
+        // Handlers run language interpreters whose recursion is deep in
+        // debug builds, so give connections a generous stack.
+        let _ = std::thread::Builder::new()
+            .name("httpd-conn".into())
+            .stack_size(16 << 20)
+            .spawn(move || {
+                handle_connection(stream, &router);
+            });
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, router: &Router) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let response = match Request::read_from(&mut stream) {
+        Ok(request) => router.dispatch(&request),
+        Err(HttpError::Io(_)) => return, // peer went away
+        Err(e) => Response::error(400, e.to_string()),
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+/// A minimal HTTP client for one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Creates a client for `addr` with a 30 s timeout.
+    pub fn new(addr: SocketAddr) -> Self {
+        Client { addr, timeout: Duration::from_secs(30) }
+    }
+
+    /// Creates a client resolving `addr` (e.g. `"127.0.0.1:8080"`).
+    ///
+    /// # Errors
+    ///
+    /// Resolution failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no address resolved"))?;
+        Ok(Client::new(addr))
+    }
+
+    /// Overrides the request timeout.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sends a request, returning the response.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol failures.
+    pub fn send(&self, request: &Request) -> Result<Response, HttpError> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        request.write_to(&mut stream)?;
+        Response::read_from(&mut stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Method;
+
+    fn test_server() -> Server {
+        let mut router = Router::new();
+        router.add(Method::Get, "/hello/:who", |_, p| Response::text(format!("hi {}", p["who"])));
+        router.add(Method::Post, "/echo", |req, _| {
+            let mut r = Response::text(String::from_utf8_lossy(&req.body).into_owned());
+            r.status = 201;
+            r
+        });
+        Server::spawn(router).expect("bind")
+    }
+
+    #[test]
+    fn serves_requests_over_real_sockets() {
+        let server = test_server();
+        let client = Client::new(server.addr());
+        let resp = client.send(&Request::new(Method::Get, "/hello/world")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"hi world");
+        server.shutdown();
+    }
+
+    #[test]
+    fn post_bodies_roundtrip() {
+        let server = test_server();
+        let client = Client::new(server.addr());
+        let mut req = Request::new(Method::Post, "/echo");
+        req.body = b"payload".to_vec();
+        let resp = client.send(&req).unwrap();
+        assert_eq!(resp.status, 201);
+        assert_eq!(resp.body, b"payload");
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = test_server();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let client = Client::new(addr);
+                    let resp =
+                        client.send(&Request::new(Method::Get, &format!("/hello/{i}"))).unwrap();
+                    assert_eq!(resp.body, format!("hi {i}").into_bytes());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let server = test_server();
+        let client = Client::new(server.addr());
+        let resp = client.send(&Request::new(Method::Get, "/nope")).unwrap();
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let server = test_server();
+        let addr = server.addr();
+        server.shutdown();
+        // Either the connect fails or the read does; both count as down.
+        let client = Client::new(addr).timeout(Duration::from_millis(300));
+        assert!(client.send(&Request::new(Method::Get, "/hello/x")).is_err());
+    }
+}

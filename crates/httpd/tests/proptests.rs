@@ -1,0 +1,67 @@
+//! Property tests: HTTP messages roundtrip through serialization for
+//! arbitrary paths, query maps, and binary bodies.
+
+use std::collections::HashMap;
+use std::io::Cursor;
+
+use confbench_httpd::{Method, Request, Response};
+use proptest::prelude::*;
+
+fn arb_segment() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.-]{1,12}"
+}
+
+fn arb_query() -> impl Strategy<Value = HashMap<String, String>> {
+    proptest::collection::hash_map("[a-zA-Z0-9 /%+&=_-]{1,16}", "[a-zA-Z0-9 /%+&=_-]{0,24}", 0..5)
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrips(segments in proptest::collection::vec(arb_segment(), 1..5),
+                          query in arb_query(),
+                          body in proptest::collection::vec(any::<u8>(), 0..2048),
+                          post in any::<bool>()) {
+        let path = format!("/{}", segments.join("/"));
+        let mut req = Request::new(if post { Method::Post } else { Method::Put }, &path);
+        req.query = query.clone();
+        req.body = body.clone();
+        let mut wire = Vec::new();
+        req.write_to(&mut wire).unwrap();
+        let parsed = Request::read_from(&mut Cursor::new(wire)).unwrap();
+        prop_assert_eq!(parsed.path, path);
+        prop_assert_eq!(parsed.query, query);
+        prop_assert_eq!(parsed.body, body);
+    }
+
+    #[test]
+    fn response_roundtrips(status in prop::sample::select(vec![200u16, 201, 400, 404, 405, 500, 503]),
+                           body in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let mut resp = Response::text("");
+        resp.status = status;
+        resp.body = body.clone();
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let parsed = Response::read_from(&mut Cursor::new(wire)).unwrap();
+        prop_assert_eq!(parsed.status, status);
+        prop_assert_eq!(parsed.body, body);
+    }
+
+    /// Arbitrary garbage never panics the parser — it errors.
+    #[test]
+    fn parser_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::read_from(&mut Cursor::new(garbage.clone()));
+        let _ = Response::read_from(&mut Cursor::new(garbage));
+    }
+
+    /// JSON bodies survive the helper path.
+    #[test]
+    fn json_roundtrips(x in any::<i64>(), s in "[a-zA-Z0-9 ]{0,32}") {
+        let value = serde_json::json!({"x": x, "s": s});
+        let req = Request::new(Method::Post, "/j").json(&value);
+        let mut wire = Vec::new();
+        req.write_to(&mut wire).unwrap();
+        let parsed = Request::read_from(&mut Cursor::new(wire)).unwrap();
+        let back: serde_json::Value = parsed.body_json().unwrap();
+        prop_assert_eq!(back, value);
+    }
+}

@@ -1,0 +1,83 @@
+//! Guest physical-memory substrates for the simulated TEE platforms.
+//!
+//! Confidential-VM memory management is where the three TEEs differ most
+//! (paper §II), and those differences drive the overheads ConfBench measures.
+//! This crate models each platform's mechanism structurally:
+//!
+//! * [`Rmp`] — AMD SEV-SNP's **Reverse Map Table**: one entry per system
+//!   page, tracking the owner (hypervisor or a guest ASID) and the guest's
+//!   `PVALIDATE` state. Assign → validate → access; any violation is an RMP
+//!   fault.
+//! * [`SecureEpt`] — Intel TDX's **Secure EPT**: private GPA→HPA mappings
+//!   installed by the TDX module (`TDH.MEM.PAGE.ADD`/`AUG`) and accepted by
+//!   the guest (`TDG.MEM.PAGE.ACCEPT`); the *shared* bit in the GPA routes
+//!   around the SEPT entirely.
+//! * [`GranuleTable`] + [`StageTwoTable`] — ARM CCA's **Granule Protection
+//!   Table** (four physical address spaces / worlds) and the RMM-managed
+//!   stage-2 translation realms use.
+//! * [`Swiotlb`] — the bounce-buffer pool confidential guests use for DMA:
+//!   TDX (and SEV) cannot DMA into private memory, so every I/O byte is
+//!   copied through this shared window — the mechanism behind the paper's
+//!   "TDX is slower on I/O" finding.
+//!
+//! All structures are deterministic and pure (no I/O), so property-based
+//! tests can drive them hard.
+//!
+//! # Example
+//!
+//! ```
+//! use confbench_memsim::{PageNum, Rmp, RmpError};
+//!
+//! let mut rmp = Rmp::new(16);
+//! rmp.assign(PageNum(3), 7)?;          // hypervisor gives page 3 to ASID 7
+//! rmp.pvalidate(PageNum(3), 7)?;       // guest validates it
+//! assert!(rmp.check_guest_access(PageNum(3), 7).is_ok());
+//! assert!(rmp.check_guest_access(PageNum(3), 8).is_err()); // other guest faults
+//! # Ok::<(), RmpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod granule;
+mod page;
+mod rmp;
+mod sept;
+mod swiotlb;
+mod translate;
+
+pub use granule::{GranuleError, GranuleState, GranuleTable, World};
+pub use page::{pages_spanned, PageNum, PAGE_SHIFT, PAGE_SIZE};
+pub use rmp::{Rmp, RmpEntry, RmpError, RmpOwner};
+pub use sept::{SecureEpt, SeptError, SeptPageState, SHARED_GPA_BIT};
+pub use swiotlb::{BounceStats, Swiotlb};
+pub use translate::{StageTwoTable, TranslationFault, TwoStageTranslator};
+
+/// Number of 4-KiB pages needed to hold `bytes` (rounded up).
+///
+/// # Example
+///
+/// ```
+/// use confbench_memsim::pages_for;
+///
+/// assert_eq!(pages_for(0), 0);
+/// assert_eq!(pages_for(1), 1);
+/// assert_eq!(pages_for(4096), 1);
+/// assert_eq!(pages_for(4097), 2);
+/// ```
+pub fn pages_for(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_for_boundaries() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(4095), 1);
+        assert_eq!(pages_for(4096), 1);
+        assert_eq!(pages_for(2 * 4096 + 1), 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Page-granularity addressing.
+
+use std::fmt;
+
+/// Size of a page in bytes (4 KiB, the granule size on every modelled TEE).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A physical or guest-physical page frame number.
+///
+/// # Example
+///
+/// ```
+/// use confbench_memsim::PageNum;
+///
+/// let p = PageNum::containing(0x1234);
+/// assert_eq!(p, PageNum(1));
+/// assert_eq!(p.base_addr(), 0x1000);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageNum(pub u64);
+
+impl PageNum {
+    /// The page containing byte address `addr`.
+    pub const fn containing(addr: u64) -> Self {
+        PageNum(addr >> PAGE_SHIFT)
+    }
+
+    /// First byte address of this page.
+    pub const fn base_addr(self) -> u64 {
+        self.0 << PAGE_SHIFT
+    }
+
+    /// The next page.
+    pub const fn next(self) -> Self {
+        PageNum(self.0 + 1)
+    }
+}
+
+impl fmt::Display for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PageNum {
+    fn from(n: u64) -> Self {
+        PageNum(n)
+    }
+}
+
+/// Iterates over the pages spanned by `[addr, addr + len)`.
+///
+/// Returns an empty iterator when `len == 0`.
+///
+/// # Example
+///
+/// ```
+/// use confbench_memsim::{PageNum, PAGE_SIZE};
+/// use confbench_memsim::pages_spanned;
+///
+/// let pages: Vec<_> = pages_spanned(PAGE_SIZE - 1, 2).collect();
+/// assert_eq!(pages, vec![PageNum(0), PageNum(1)]);
+/// ```
+pub fn pages_spanned(addr: u64, len: u64) -> impl Iterator<Item = PageNum> {
+    let first = if len == 0 { 1 } else { addr >> PAGE_SHIFT };
+    let last = if len == 0 { 0 } else { (addr + len - 1) >> PAGE_SHIFT };
+    (first..=last).map(PageNum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containing_and_base() {
+        assert_eq!(PageNum::containing(0), PageNum(0));
+        assert_eq!(PageNum::containing(4095), PageNum(0));
+        assert_eq!(PageNum::containing(4096), PageNum(1));
+        assert_eq!(PageNum(2).base_addr(), 8192);
+    }
+
+    #[test]
+    fn span_iteration() {
+        assert_eq!(pages_spanned(0, 0).count(), 0);
+        assert_eq!(pages_spanned(0, 1).count(), 1);
+        assert_eq!(pages_spanned(0, 4096).count(), 1);
+        assert_eq!(pages_spanned(0, 4097).count(), 2);
+        assert_eq!(pages_spanned(4095, 2).count(), 2);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(PageNum(255).to_string(), "pfn:0xff");
+    }
+}

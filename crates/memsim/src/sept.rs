@@ -1,0 +1,298 @@
+//! Intel TDX Secure-EPT model.
+//!
+//! A trust domain's private memory is mapped by a Secure EPT that only the
+//! TDX module may edit. The VMM *adds* pages (`TDH.MEM.PAGE.ADD` at build
+//! time, `TDH.MEM.PAGE.AUG` at run time) and the guest must *accept* each
+//! augmented page (`TDG.MEM.PAGE.ACCEPT`) before first use — acceptance is
+//! where TDX charges its page-initialization cost (zeroing + integrity
+//! metadata). GPAs with the **shared bit** set bypass the SEPT and map
+//! untrusted shared memory (used for the swiotlb bounce buffers).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::page::PageNum;
+
+/// The GPA bit distinguishing shared (untrusted) from private mappings.
+/// Real TDX uses the topmost implemented physical-address bit; the model pins
+/// bit 51.
+pub const SHARED_GPA_BIT: u64 = 1 << 51;
+
+/// Lifecycle state of a private page in the SEPT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeptPageState {
+    /// Mapped by the VMM, not yet accepted by the guest (`PENDING`).
+    Pending,
+    /// Accepted by the guest and usable (`MAPPED`).
+    Mapped,
+    /// Blocked for removal (`BLOCKED`, during memory reclaim).
+    Blocked,
+}
+
+/// Errors raised by SEPT operations, mirroring TDX-module status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeptError {
+    /// GPA already mapped.
+    AlreadyMapped(PageNum),
+    /// GPA not present in the SEPT.
+    NotMapped(PageNum),
+    /// `ACCEPT` of a page that is not in `Pending` state.
+    NotPending(PageNum),
+    /// Guest touched a `Pending` page without accepting it (a #VE in real
+    /// TDX).
+    PendingAccess(PageNum),
+    /// Access to a `Blocked` page.
+    BlockedAccess(PageNum),
+    /// Operation used a shared-bit GPA where a private GPA is required.
+    SharedBitSet(PageNum),
+}
+
+impl fmt::Display for SeptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeptError::AlreadyMapped(p) => write!(f, "sept: gpa {p} already mapped"),
+            SeptError::NotMapped(p) => write!(f, "sept: gpa {p} not mapped"),
+            SeptError::NotPending(p) => write!(f, "sept: gpa {p} not pending"),
+            SeptError::PendingAccess(p) => write!(f, "sept: #VE, gpa {p} pending acceptance"),
+            SeptError::BlockedAccess(p) => write!(f, "sept: gpa {p} blocked"),
+            SeptError::SharedBitSet(p) => write!(f, "sept: gpa {p} has shared bit set"),
+        }
+    }
+}
+
+impl std::error::Error for SeptError {}
+
+/// The Secure EPT of one trust domain.
+///
+/// # Example
+///
+/// ```
+/// use confbench_memsim::{PageNum, SecureEpt};
+///
+/// let mut sept = SecureEpt::new();
+/// sept.aug(PageNum(0x100), PageNum(0x9000)).unwrap(); // VMM maps
+/// assert!(sept.check_access(PageNum(0x100)).is_err()); // guest must accept
+/// sept.accept(PageNum(0x100)).unwrap();
+/// sept.check_access(PageNum(0x100)).unwrap();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SecureEpt {
+    entries: HashMap<u64, (PageNum, SeptPageState)>,
+    accepts: u64,
+}
+
+impl SecureEpt {
+    /// Creates an empty SEPT.
+    pub fn new() -> Self {
+        SecureEpt::default()
+    }
+
+    /// Number of mapped GPAs (any state).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of `ACCEPT` operations performed (perf-model input: each costs
+    /// a page-clear plus integrity-metadata setup).
+    pub fn accepts(&self) -> u64 {
+        self.accepts
+    }
+
+    /// VMM operation `TDH.MEM.PAGE.AUG`: map host page `hpa` at guest page
+    /// `gpa`, leaving it pending guest acceptance.
+    ///
+    /// # Errors
+    ///
+    /// [`SeptError::SharedBitSet`] for shared-bit GPAs;
+    /// [`SeptError::AlreadyMapped`] if the GPA is occupied.
+    pub fn aug(&mut self, gpa: PageNum, hpa: PageNum) -> Result<(), SeptError> {
+        self.require_private(gpa)?;
+        if self.entries.contains_key(&gpa.0) {
+            return Err(SeptError::AlreadyMapped(gpa));
+        }
+        self.entries.insert(gpa.0, (hpa, SeptPageState::Pending));
+        Ok(())
+    }
+
+    /// Build-time operation `TDH.MEM.PAGE.ADD`: map and immediately accept
+    /// (initial TD image pages are measured instead of accepted).
+    ///
+    /// # Errors
+    ///
+    /// As [`SecureEpt::aug`].
+    pub fn add(&mut self, gpa: PageNum, hpa: PageNum) -> Result<(), SeptError> {
+        self.require_private(gpa)?;
+        if self.entries.contains_key(&gpa.0) {
+            return Err(SeptError::AlreadyMapped(gpa));
+        }
+        self.entries.insert(gpa.0, (hpa, SeptPageState::Mapped));
+        Ok(())
+    }
+
+    /// Guest operation `TDG.MEM.PAGE.ACCEPT`.
+    ///
+    /// # Errors
+    ///
+    /// [`SeptError::NotMapped`] for absent GPAs; [`SeptError::NotPending`]
+    /// if the page is not awaiting acceptance.
+    pub fn accept(&mut self, gpa: PageNum) -> Result<(), SeptError> {
+        self.require_private(gpa)?;
+        match self.entries.get_mut(&gpa.0) {
+            None => Err(SeptError::NotMapped(gpa)),
+            Some((_, state @ SeptPageState::Pending)) => {
+                *state = SeptPageState::Mapped;
+                self.accepts += 1;
+                Ok(())
+            }
+            Some(_) => Err(SeptError::NotPending(gpa)),
+        }
+    }
+
+    /// VMM operation `TDH.MEM.RANGE.BLOCK`: block a mapping prior to
+    /// removal.
+    ///
+    /// # Errors
+    ///
+    /// [`SeptError::NotMapped`] for absent GPAs.
+    pub fn block(&mut self, gpa: PageNum) -> Result<(), SeptError> {
+        self.require_private(gpa)?;
+        match self.entries.get_mut(&gpa.0) {
+            None => Err(SeptError::NotMapped(gpa)),
+            Some((_, state)) => {
+                *state = SeptPageState::Blocked;
+                Ok(())
+            }
+        }
+    }
+
+    /// VMM operation `TDH.MEM.PAGE.REMOVE`: remove a blocked mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`SeptError::NotMapped`] for absent GPAs; [`SeptError::NotPending`]
+    /// (reused for "wrong state") if the page was not blocked first.
+    pub fn remove(&mut self, gpa: PageNum) -> Result<PageNum, SeptError> {
+        self.require_private(gpa)?;
+        match self.entries.get(&gpa.0) {
+            None => Err(SeptError::NotMapped(gpa)),
+            Some((hpa, SeptPageState::Blocked)) => {
+                let hpa = *hpa;
+                self.entries.remove(&gpa.0);
+                Ok(hpa)
+            }
+            Some(_) => Err(SeptError::NotPending(gpa)),
+        }
+    }
+
+    /// Hardware walk for a guest access to a private GPA.
+    ///
+    /// # Errors
+    ///
+    /// [`SeptError::PendingAccess`] (a #VE) for pending pages,
+    /// [`SeptError::BlockedAccess`] for blocked ones, and
+    /// [`SeptError::NotMapped`] for absent ones.
+    pub fn check_access(&self, gpa: PageNum) -> Result<PageNum, SeptError> {
+        if gpa.0 & SHARED_GPA_BIT != 0 {
+            // Shared GPAs bypass the SEPT: identity-style mapping into
+            // untrusted memory.
+            return Ok(PageNum(gpa.0 & !SHARED_GPA_BIT));
+        }
+        match self.entries.get(&gpa.0) {
+            None => Err(SeptError::NotMapped(gpa)),
+            Some((hpa, SeptPageState::Mapped)) => Ok(*hpa),
+            Some((_, SeptPageState::Pending)) => Err(SeptError::PendingAccess(gpa)),
+            Some((_, SeptPageState::Blocked)) => Err(SeptError::BlockedAccess(gpa)),
+        }
+    }
+
+    /// Current state of a GPA, if mapped.
+    pub fn state(&self, gpa: PageNum) -> Option<SeptPageState> {
+        self.entries.get(&gpa.0).map(|(_, s)| *s)
+    }
+
+    fn require_private(&self, gpa: PageNum) -> Result<(), SeptError> {
+        if gpa.0 & SHARED_GPA_BIT != 0 {
+            Err(SeptError::SharedBitSet(gpa))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aug_accept_access_lifecycle() {
+        let mut sept = SecureEpt::new();
+        sept.aug(PageNum(1), PageNum(100)).unwrap();
+        assert_eq!(sept.state(PageNum(1)), Some(SeptPageState::Pending));
+        assert_eq!(sept.check_access(PageNum(1)), Err(SeptError::PendingAccess(PageNum(1))));
+        sept.accept(PageNum(1)).unwrap();
+        assert_eq!(sept.check_access(PageNum(1)), Ok(PageNum(100)));
+        assert_eq!(sept.accepts(), 1);
+    }
+
+    #[test]
+    fn add_skips_acceptance() {
+        let mut sept = SecureEpt::new();
+        sept.add(PageNum(2), PageNum(200)).unwrap();
+        assert_eq!(sept.check_access(PageNum(2)), Ok(PageNum(200)));
+        assert_eq!(sept.accepts(), 0);
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut sept = SecureEpt::new();
+        sept.aug(PageNum(1), PageNum(100)).unwrap();
+        assert_eq!(sept.aug(PageNum(1), PageNum(101)), Err(SeptError::AlreadyMapped(PageNum(1))));
+        assert_eq!(sept.add(PageNum(1), PageNum(101)), Err(SeptError::AlreadyMapped(PageNum(1))));
+    }
+
+    #[test]
+    fn double_accept_rejected() {
+        let mut sept = SecureEpt::new();
+        sept.aug(PageNum(1), PageNum(100)).unwrap();
+        sept.accept(PageNum(1)).unwrap();
+        assert_eq!(sept.accept(PageNum(1)), Err(SeptError::NotPending(PageNum(1))));
+    }
+
+    #[test]
+    fn shared_gpa_bypasses_sept() {
+        let sept = SecureEpt::new();
+        let shared = PageNum(SHARED_GPA_BIT | 0x42);
+        assert_eq!(sept.check_access(shared), Ok(PageNum(0x42)));
+    }
+
+    #[test]
+    fn shared_bit_rejected_in_private_ops() {
+        let mut sept = SecureEpt::new();
+        let shared = PageNum(SHARED_GPA_BIT | 1);
+        assert_eq!(sept.aug(shared, PageNum(0)), Err(SeptError::SharedBitSet(shared)));
+        assert_eq!(sept.accept(shared), Err(SeptError::SharedBitSet(shared)));
+    }
+
+    #[test]
+    fn block_then_remove() {
+        let mut sept = SecureEpt::new();
+        sept.add(PageNum(1), PageNum(100)).unwrap();
+        // Cannot remove without blocking.
+        assert_eq!(sept.remove(PageNum(1)), Err(SeptError::NotPending(PageNum(1))));
+        sept.block(PageNum(1)).unwrap();
+        assert_eq!(sept.check_access(PageNum(1)), Err(SeptError::BlockedAccess(PageNum(1))));
+        assert_eq!(sept.remove(PageNum(1)), Ok(PageNum(100)));
+        assert!(sept.is_empty());
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let sept = SecureEpt::new();
+        assert_eq!(sept.check_access(PageNum(9)), Err(SeptError::NotMapped(PageNum(9))));
+    }
+}

@@ -1,0 +1,239 @@
+//! Two-stage address translation (ARM CCA realms).
+//!
+//! Realm addresses translate in two stages (paper §II): the guest OS maps
+//! virtual addresses to *intermediate physical addresses* (stage 1), and the
+//! RMM-managed stage-2 tables map IPAs to real physical addresses. The model
+//! keeps stage 1 as a segment-offset scheme (we do not simulate a guest OS
+//! page allocator) and stage 2 as an explicit page map, because stage 2 is
+//! where RMM interposition costs arise.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::page::{PageNum, PAGE_SHIFT, PAGE_SIZE};
+
+/// A translation failure at either stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslationFault {
+    /// Stage 1: virtual address outside every mapped segment.
+    Stage1(u64),
+    /// Stage 2: IPA page has no mapping — in a realm this traps to the RMM,
+    /// which resolves it via an RTT walk (and charges cycles for it).
+    Stage2(PageNum),
+}
+
+impl fmt::Display for TranslationFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslationFault::Stage1(va) => write!(f, "stage-1 fault at va {va:#x}"),
+            TranslationFault::Stage2(ipa) => write!(f, "stage-2 fault at ipa {ipa}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslationFault {}
+
+/// The RMM-managed stage-2 table of one realm: IPA page → PA page.
+#[derive(Debug, Clone, Default)]
+pub struct StageTwoTable {
+    map: HashMap<u64, PageNum>,
+    walks: u64,
+    faults: u64,
+}
+
+impl StageTwoTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StageTwoTable::default()
+    }
+
+    /// RMM operation `RTT.MAP`: installs an IPA→PA mapping.
+    ///
+    /// Returns the previous PA if the IPA was already mapped (remap).
+    pub fn map(&mut self, ipa: PageNum, pa: PageNum) -> Option<PageNum> {
+        self.map.insert(ipa.0, pa)
+    }
+
+    /// Removes a mapping, returning the PA if present.
+    pub fn unmap(&mut self, ipa: PageNum) -> Option<PageNum> {
+        self.map.remove(&ipa.0)
+    }
+
+    /// Hardware stage-2 walk.
+    ///
+    /// # Errors
+    ///
+    /// [`TranslationFault::Stage2`] when the IPA is unmapped.
+    pub fn walk(&mut self, ipa: PageNum) -> Result<PageNum, TranslationFault> {
+        self.walks += 1;
+        match self.map.get(&ipa.0) {
+            Some(pa) => Ok(*pa),
+            None => {
+                self.faults += 1;
+                Err(TranslationFault::Stage2(ipa))
+            }
+        }
+    }
+
+    /// Mapped page count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table has no mappings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total walks performed.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Total stage-2 faults taken (each costs an RMM round trip in the
+    /// realm cost model).
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+}
+
+/// A full two-stage translator: segment-based stage 1 over a
+/// [`StageTwoTable`] stage 2.
+///
+/// # Example
+///
+/// ```
+/// use confbench_memsim::{PageNum, TwoStageTranslator};
+///
+/// let mut t = TwoStageTranslator::new();
+/// t.map_segment(0x1000, 0x8000, 2 * 4096); // va 0x1000.. -> ipa 0x8000..
+/// t.stage2_mut().map(PageNum(0x8), PageNum(0x100));
+/// let pa = t.translate(0x1234).unwrap();
+/// assert_eq!(pa, 0x100 * 4096 + 0x234);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TwoStageTranslator {
+    /// Sorted (va_base, ipa_base, len) segments.
+    segments: Vec<(u64, u64, u64)>,
+    stage2: StageTwoTable,
+}
+
+impl TwoStageTranslator {
+    /// Creates a translator with no segments.
+    pub fn new() -> Self {
+        TwoStageTranslator::default()
+    }
+
+    /// Adds a stage-1 segment mapping `[va, va+len)` to `[ipa, ipa+len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment overlaps an existing one or `len == 0`.
+    pub fn map_segment(&mut self, va: u64, ipa: u64, len: u64) {
+        assert!(len > 0, "segment length must be positive");
+        for &(sva, _, slen) in &self.segments {
+            let disjoint = va + len <= sva || sva + slen <= va;
+            assert!(disjoint, "segment [{va:#x},+{len:#x}) overlaps existing [{sva:#x},+{slen:#x})");
+        }
+        self.segments.push((va, ipa, len));
+        self.segments.sort_unstable();
+    }
+
+    /// Access to the stage-2 table (to install RTT mappings).
+    pub fn stage2_mut(&mut self) -> &mut StageTwoTable {
+        &mut self.stage2
+    }
+
+    /// Read access to the stage-2 table.
+    pub fn stage2(&self) -> &StageTwoTable {
+        &self.stage2
+    }
+
+    /// Stage-1 only: VA → IPA.
+    ///
+    /// # Errors
+    ///
+    /// [`TranslationFault::Stage1`] when no segment covers `va`.
+    pub fn stage1(&self, va: u64) -> Result<u64, TranslationFault> {
+        for &(sva, sipa, slen) in &self.segments {
+            if va >= sva && va < sva + slen {
+                return Ok(sipa + (va - sva));
+            }
+        }
+        Err(TranslationFault::Stage1(va))
+    }
+
+    /// Full two-stage translation: VA → PA byte address.
+    ///
+    /// # Errors
+    ///
+    /// Either stage's fault.
+    pub fn translate(&mut self, va: u64) -> Result<u64, TranslationFault> {
+        let ipa = self.stage1(va)?;
+        let pa_page = self.stage2.walk(PageNum(ipa >> PAGE_SHIFT))?;
+        Ok(pa_page.base_addr() + (ipa & (PAGE_SIZE - 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn translator() -> TwoStageTranslator {
+        let mut t = TwoStageTranslator::new();
+        t.map_segment(0x0, 0x10_000, 4 * PAGE_SIZE);
+        for i in 0..4u64 {
+            t.stage2_mut().map(PageNum(0x10 + i), PageNum(0x80 + i));
+        }
+        t
+    }
+
+    #[test]
+    fn translates_offsets_within_pages() {
+        let mut t = translator();
+        assert_eq!(t.translate(0x0).unwrap(), 0x80 * PAGE_SIZE);
+        assert_eq!(t.translate(0x123).unwrap(), 0x80 * PAGE_SIZE + 0x123);
+        assert_eq!(t.translate(PAGE_SIZE + 7).unwrap(), 0x81 * PAGE_SIZE + 7);
+    }
+
+    #[test]
+    fn stage1_fault_outside_segments() {
+        let mut t = translator();
+        assert_eq!(t.translate(4 * PAGE_SIZE), Err(TranslationFault::Stage1(4 * PAGE_SIZE)));
+    }
+
+    #[test]
+    fn stage2_fault_counts() {
+        let mut t = TwoStageTranslator::new();
+        t.map_segment(0, 0, PAGE_SIZE);
+        assert!(matches!(t.translate(0), Err(TranslationFault::Stage2(_))));
+        assert_eq!(t.stage2().faults(), 1);
+        assert_eq!(t.stage2().walks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_segments_panic() {
+        let mut t = TwoStageTranslator::new();
+        t.map_segment(0, 0, 2 * PAGE_SIZE);
+        t.map_segment(PAGE_SIZE, 0x100000, PAGE_SIZE);
+    }
+
+    #[test]
+    fn adjacent_segments_allowed() {
+        let mut t = TwoStageTranslator::new();
+        t.map_segment(0, 0x10000, PAGE_SIZE);
+        t.map_segment(PAGE_SIZE, 0x20000, PAGE_SIZE);
+        assert_eq!(t.stage1(PAGE_SIZE).unwrap(), 0x20000);
+        assert_eq!(t.stage1(PAGE_SIZE - 1).unwrap(), 0x10000 + PAGE_SIZE - 1);
+    }
+
+    #[test]
+    fn remap_returns_old_pa() {
+        let mut s2 = StageTwoTable::new();
+        assert_eq!(s2.map(PageNum(1), PageNum(10)), None);
+        assert_eq!(s2.map(PageNum(1), PageNum(20)), Some(PageNum(10)));
+        assert_eq!(s2.unmap(PageNum(1)), Some(PageNum(20)));
+        assert_eq!(s2.unmap(PageNum(1)), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based invariants for the memory substrates.
+
+use confbench_memsim::{
+    GranuleState, GranuleTable, PageNum, Rmp, RmpOwner, SecureEpt, StageTwoTable,
+    TwoStageTranslator, World, PAGE_SIZE,
+};
+use proptest::prelude::*;
+
+/// Arbitrary sequence of RMP commands over a small table.
+#[derive(Debug, Clone)]
+enum RmpCmd {
+    Assign { page: u64, asid: u32 },
+    Validate { page: u64, asid: u32 },
+    Reclaim { page: u64 },
+}
+
+fn rmp_cmd() -> impl Strategy<Value = RmpCmd> {
+    prop_oneof![
+        (0u64..16, 1u32..4).prop_map(|(page, asid)| RmpCmd::Assign { page, asid }),
+        (0u64..16, 1u32..4).prop_map(|(page, asid)| RmpCmd::Validate { page, asid }),
+        (0u64..16).prop_map(|page| RmpCmd::Reclaim { page }),
+    ]
+}
+
+proptest! {
+    /// No interleaving of assign/validate/reclaim can make one page owned by
+    /// two guests, or validated while hypervisor-owned.
+    #[test]
+    fn rmp_single_owner_invariant(cmds in proptest::collection::vec(rmp_cmd(), 1..64)) {
+        let mut rmp = Rmp::new(16);
+        for cmd in cmds {
+            match cmd {
+                RmpCmd::Assign { page, asid } => { let _ = rmp.assign(PageNum(page), asid); }
+                RmpCmd::Validate { page, asid } => { let _ = rmp.pvalidate(PageNum(page), asid); }
+                RmpCmd::Reclaim { page } => { let _ = rmp.reclaim(PageNum(page)); }
+            }
+        }
+        // Invariant: hypervisor-owned pages are never validated, and the
+        // per-ASID ownership counts sum to the number of guest-owned pages.
+        let mut guest_owned = 0u64;
+        for p in 0..16 {
+            let e = rmp.entry(PageNum(p)).unwrap();
+            match e.owner {
+                RmpOwner::Hypervisor => prop_assert!(!e.validated),
+                RmpOwner::Guest { .. } => guest_owned += 1,
+            }
+        }
+        let sum: u64 = (1..4).map(|a| rmp.pages_owned_by(a)).sum();
+        prop_assert_eq!(sum, guest_owned);
+    }
+
+    /// A validated page is accessible by its owner and nobody else.
+    #[test]
+    fn rmp_access_iff_owner_and_validated(page in 0u64..8, owner in 1u32..4, other in 1u32..4) {
+        prop_assume!(owner != other);
+        let mut rmp = Rmp::new(8);
+        rmp.assign(PageNum(page), owner).unwrap();
+        rmp.pvalidate(PageNum(page), owner).unwrap();
+        prop_assert!(rmp.check_guest_access(PageNum(page), owner).is_ok());
+        prop_assert!(rmp.check_guest_access(PageNum(page), other).is_err());
+        prop_assert!(rmp.check_host_write(PageNum(page)).is_err());
+    }
+
+    /// SEPT: accept exactly once; accepted pages resolve to the HPA given at
+    /// aug time.
+    #[test]
+    fn sept_accept_once(gpas in proptest::collection::btree_set(0u64..64, 1..16)) {
+        let mut sept = SecureEpt::new();
+        for (i, gpa) in gpas.iter().enumerate() {
+            sept.aug(PageNum(*gpa), PageNum(1000 + i as u64)).unwrap();
+        }
+        for gpa in &gpas {
+            prop_assert!(sept.check_access(PageNum(*gpa)).is_err());
+            sept.accept(PageNum(*gpa)).unwrap();
+            prop_assert!(sept.accept(PageNum(*gpa)).is_err());
+        }
+        for (i, gpa) in gpas.iter().enumerate() {
+            prop_assert_eq!(sept.check_access(PageNum(*gpa)).unwrap(), PageNum(1000 + i as u64));
+        }
+        prop_assert_eq!(sept.accepts(), gpas.len() as u64);
+    }
+
+    /// GPT: world transitions preserve "assigned granules are in the realm
+    /// world" and realm accounting matches assignments.
+    #[test]
+    fn gpt_world_state_consistency(ops in proptest::collection::vec((0u64..8, 1u32..3, 0u8..4), 1..48)) {
+        let mut gpt = GranuleTable::new(8);
+        for (g, rd, op) in ops {
+            let g = PageNum(g);
+            match op {
+                0 => { let _ = gpt.delegate(g); }
+                1 => { let _ = gpt.assign_to_realm(g, rd); }
+                2 => { let _ = gpt.release_from_realm(g, rd); }
+                _ => { let _ = gpt.undelegate(g); }
+            }
+        }
+        let mut assigned = 0u64;
+        for g in 0..8 {
+            let g = PageNum(g);
+            let world = gpt.world_of(g).unwrap();
+            match gpt.state_of(g).unwrap() {
+                GranuleState::Assigned { .. } | GranuleState::Delegated => {
+                    prop_assert_eq!(world, World::Realm);
+                    if matches!(gpt.state_of(g).unwrap(), GranuleState::Assigned { .. }) {
+                        assigned += 1;
+                    }
+                }
+                GranuleState::Undelegated => prop_assert_eq!(world, World::NonSecure),
+            }
+        }
+        let sum: u64 = (1..3).map(|rd| gpt.granules_of_realm(rd)).sum();
+        prop_assert_eq!(sum, assigned);
+    }
+
+    /// Two-stage translation round-trips: for any mapped VA, the PA offset
+    /// within the page equals the VA offset (stage 1 is offset-preserving at
+    /// page granularity here).
+    #[test]
+    fn translation_preserves_offsets(page in 0u64..4, offset in 0u64..PAGE_SIZE) {
+        let mut t = TwoStageTranslator::new();
+        t.map_segment(0, 0x100 * PAGE_SIZE, 4 * PAGE_SIZE);
+        for i in 0..4 {
+            t.stage2_mut().map(PageNum(0x100 + i), PageNum(0x200 + i));
+        }
+        let va = page * PAGE_SIZE + offset;
+        let pa = t.translate(va).unwrap();
+        prop_assert_eq!(pa % PAGE_SIZE, offset);
+        prop_assert_eq!(pa / PAGE_SIZE, 0x200 + page);
+    }
+
+    /// Stage-2 map/unmap behaves like a map.
+    #[test]
+    fn stage2_map_semantics(pairs in proptest::collection::vec((0u64..32, 0u64..1000), 1..32)) {
+        let mut s2 = StageTwoTable::new();
+        let mut model = std::collections::HashMap::new();
+        for (ipa, pa) in pairs {
+            let old = s2.map(PageNum(ipa), PageNum(pa));
+            let model_old = model.insert(ipa, pa);
+            prop_assert_eq!(old.map(|p| p.0), model_old);
+        }
+        for (ipa, pa) in &model {
+            prop_assert_eq!(s2.walk(PageNum(*ipa)).unwrap(), PageNum(*pa));
+        }
+        prop_assert_eq!(s2.len(), model.len());
+        prop_assert_eq!(s2.faults(), 0);
+    }
+}

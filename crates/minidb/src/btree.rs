@@ -1,0 +1,477 @@
+//! A B+tree: the storage engine under every table and index.
+//!
+//! Order-32 nodes; leaves are chained for range scans. Deletion removes
+//! entries in place and allows leaves to underfill (no rebalancing), the
+//! classic simplification for append-mostly storage engines; structural
+//! invariants that do hold (sorted keys, separator correctness, leaf chain
+//! completeness) are enforced by `check_invariants` and property tests.
+
+use std::fmt;
+
+/// Maximum entries per node before a split.
+const ORDER: usize = 32;
+
+/// A B+tree mapping `K` to `V`.
+///
+/// # Example
+///
+/// ```
+/// use confbench_minidb::BTree;
+///
+/// let mut t = BTree::new();
+/// t.insert(2, "two");
+/// t.insert(1, "one");
+/// assert_eq!(t.get(&1), Some(&"one"));
+/// assert_eq!(t.range(&1, &3).count(), 2);
+/// ```
+pub struct BTree<K, V> {
+    root: Node<K, V>,
+    len: usize,
+    /// Nodes allocated over the tree's lifetime (feeds page-allocation
+    /// accounting in the database layer).
+    nodes_allocated: u64,
+}
+
+enum Node<K, V> {
+    Leaf { entries: Vec<(K, V)> },
+    Internal { keys: Vec<K>, children: Vec<Node<K, V>> },
+}
+
+impl<K: Ord + Clone, V> Default for BTree<K, V> {
+    fn default() -> Self {
+        BTree::new()
+    }
+}
+
+impl<K: Ord + Clone, V> BTree<K, V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        BTree { root: Node::Leaf { entries: Vec::new() }, len: 0, nodes_allocated: 1 }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Nodes allocated over the tree's lifetime.
+    pub fn nodes_allocated(&self) -> u64 {
+        self.nodes_allocated
+    }
+
+    /// Inserts a key, returning the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let mut allocs = 0;
+        let result = Self::insert_rec(&mut self.root, key, value, &mut allocs);
+        self.nodes_allocated += allocs;
+        match result {
+            InsertResult::Replaced(old) => Some(old),
+            InsertResult::Inserted => {
+                self.len += 1;
+                None
+            }
+            InsertResult::Split(sep, right) => {
+                self.len += 1;
+                self.nodes_allocated += 1; // the new root
+                let old_root = std::mem::replace(&mut self.root, Node::Leaf { entries: Vec::new() });
+                self.root = Node::Internal { keys: vec![sep], children: vec![old_root, right] };
+                None
+            }
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { entries } => {
+                    return entries
+                        .binary_search_by(|(k, _)| k.cmp(key))
+                        .ok()
+                        .map(|i| &entries[i].1);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let mut node = &mut self.root;
+        loop {
+            match node {
+                Node::Leaf { entries } => {
+                    return match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                        Ok(i) => Some(&mut entries[i].1),
+                        Err(_) => None,
+                    };
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    node = &mut children[idx];
+                }
+            }
+        }
+    }
+
+    /// Removes a key, returning its value. Leaves may underfill.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let removed = Self::remove_rec(&mut self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Iterates entries with `lo <= key < hi` in key order.
+    pub fn range<'a>(&'a self, lo: &'a K, hi: &'a K) -> Range<'a, K, V> {
+        // Descend to the leftmost leaf that may contain `lo`.
+        Range { stack: vec![&self.root], lo, hi, leaf: None, pos: 0 }.descend()
+    }
+
+    /// Iterates all entries in key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter { stack: vec![(&self.root, 0)] }
+    }
+
+    /// Verifies structural invariants (sorted keys, separators bound
+    /// subtrees, consistent length). Used by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a violated invariant.
+    pub fn check_invariants(&self)
+    where
+        K: fmt::Debug,
+    {
+        let mut count = 0;
+        Self::check_rec(&self.root, None, None, &mut count);
+        assert_eq!(count, self.len, "stored len disagrees with entry count");
+    }
+
+    fn check_rec(node: &Node<K, V>, lo: Option<&K>, hi: Option<&K>, count: &mut usize)
+    where
+        K: fmt::Debug,
+    {
+        match node {
+            Node::Leaf { entries } => {
+                for pair in entries.windows(2) {
+                    assert!(pair[0].0 < pair[1].0, "leaf keys out of order");
+                }
+                for (k, _) in entries {
+                    if let Some(lo) = lo {
+                        assert!(k >= lo, "key {k:?} below separator {lo:?}");
+                    }
+                    if let Some(hi) = hi {
+                        assert!(k < hi, "key {k:?} not below separator {hi:?}");
+                    }
+                }
+                *count += entries.len();
+            }
+            Node::Internal { keys, children } => {
+                assert_eq!(children.len(), keys.len() + 1, "fanout mismatch");
+                for pair in keys.windows(2) {
+                    assert!(pair[0] < pair[1], "separators out of order");
+                }
+                for (i, child) in children.iter().enumerate() {
+                    let child_lo = if i == 0 { lo } else { Some(&keys[i - 1]) };
+                    let child_hi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                    Self::check_rec(child, child_lo, child_hi, count);
+                }
+            }
+        }
+    }
+
+    fn insert_rec(node: &mut Node<K, V>, key: K, value: V, allocs: &mut u64) -> InsertResult<K, V> {
+        match node {
+            Node::Leaf { entries } => match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => InsertResult::Replaced(std::mem::replace(&mut entries[i].1, value)),
+                Err(i) => {
+                    entries.insert(i, (key, value));
+                    if entries.len() > ORDER {
+                        let right_entries = entries.split_off(entries.len() / 2);
+                        let sep = right_entries[0].0.clone();
+                        *allocs += 1;
+                        InsertResult::Split(sep, Node::Leaf { entries: right_entries })
+                    } else {
+                        InsertResult::Inserted
+                    }
+                }
+            },
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| k <= &key);
+                match Self::insert_rec(&mut children[idx], key, value, allocs) {
+                    InsertResult::Split(sep, right) => {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() > ORDER {
+                            let mid = keys.len() / 2;
+                            let sep = keys[mid].clone();
+                            let right_keys = keys.split_off(mid + 1);
+                            keys.pop(); // the separator moves up
+                            let right_children = children.split_off(mid + 1);
+                            *allocs += 1;
+                            InsertResult::Split(
+                                sep,
+                                Node::Internal { keys: right_keys, children: right_children },
+                            )
+                        } else {
+                            InsertResult::Inserted
+                        }
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    fn remove_rec(node: &mut Node<K, V>, key: &K) -> Option<V> {
+        match node {
+            Node::Leaf { entries } => match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                Ok(i) => Some(entries.remove(i).1),
+                Err(_) => None,
+            },
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| k <= key);
+                Self::remove_rec(&mut children[idx], key)
+            }
+        }
+    }
+}
+
+enum InsertResult<K, V> {
+    Inserted,
+    Replaced(V),
+    Split(K, Node<K, V>),
+}
+
+/// In-order iterator over all entries.
+pub struct Iter<'a, K, V> {
+    /// (node, next child/entry index) stack.
+    stack: Vec<(&'a Node<K, V>, usize)>,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (node, pos) = self.stack.pop()?;
+            match node {
+                Node::Leaf { entries } => {
+                    if pos < entries.len() {
+                        self.stack.push((node, pos + 1));
+                        let (k, v) = &entries[pos];
+                        return Some((k, v));
+                    }
+                }
+                Node::Internal { children, .. } => {
+                    if pos < children.len() {
+                        self.stack.push((node, pos + 1));
+                        self.stack.push((&children[pos], 0));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Iterator over `lo <= key < hi`.
+pub struct Range<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+    lo: &'a K,
+    hi: &'a K,
+    leaf: Option<&'a [(K, V)]>,
+    pos: usize,
+}
+
+impl<'a, K: Ord + Clone, V> Range<'a, K, V> {
+    fn descend(mut self) -> Self {
+        // Simple approach: flatten via the stack lazily in next().
+        if let Some(root) = self.stack.pop() {
+            self.push_path(root);
+        }
+        self
+    }
+
+    fn push_path(&mut self, mut node: &'a Node<K, V>) {
+        loop {
+            match node {
+                Node::Leaf { entries } => {
+                    let start = entries.partition_point(|(k, _)| k < self.lo);
+                    self.leaf = Some(entries);
+                    self.pos = start;
+                    return;
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= self.lo);
+                    // Push the right siblings for later, nearest first.
+                    for child in children[idx + 1..].iter().rev() {
+                        self.stack.push(child);
+                    }
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    fn advance_leaf(&mut self) -> bool {
+        while let Some(node) = self.stack.pop() {
+            match node {
+                Node::Leaf { entries } => {
+                    self.leaf = Some(entries);
+                    self.pos = 0;
+                    return true;
+                }
+                Node::Internal { children, .. } => {
+                    for child in children.iter().rev() {
+                        self.stack.push(child);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for Range<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let entries = self.leaf?;
+            if self.pos < entries.len() {
+                let (k, v) = &entries[self.pos];
+                if k >= self.hi {
+                    return None;
+                }
+                self.pos += 1;
+                return Some((k, v));
+            }
+            if !self.advance_leaf() {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = BTree::new();
+        for i in 0..1000 {
+            assert_eq!(t.insert(i * 7 % 1000, i), None);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(t.get(&(i * 7 % 1000)), Some(&i));
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = BTree::new();
+        assert_eq!(t.insert(1, "a"), None);
+        assert_eq!(t.insert(1, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut t = BTree::new();
+        let keys: Vec<i64> = (0..500).map(|i| (i * 37 + 11) % 501).collect();
+        for &k in &keys {
+            t.insert(k, k * 2);
+        }
+        let collected: Vec<i64> = t.iter().map(|(k, _)| *k).collect();
+        let mut expected: Vec<i64> = keys.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn range_bounds_are_half_open() {
+        let mut t = BTree::new();
+        for i in 0..100 {
+            t.insert(i, ());
+        }
+        let got: Vec<i64> = t.range(&10, &20).map(|(k, _)| *k).collect();
+        assert_eq!(got, (10..20).collect::<Vec<_>>());
+        assert_eq!(t.range(&95, &200).count(), 5);
+        assert_eq!(t.range(&50, &50).count(), 0);
+    }
+
+    #[test]
+    fn remove_then_get_misses() {
+        let mut t = BTree::new();
+        for i in 0..200 {
+            t.insert(i, i);
+        }
+        for i in (0..200).step_by(2) {
+            assert_eq!(t.remove(&i), Some(i));
+        }
+        assert_eq!(t.len(), 100);
+        for i in 0..200 {
+            assert_eq!(t.get(&i).is_some(), i % 2 == 1);
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut t: BTree<i64, ()> = BTree::new();
+        t.insert(1, ());
+        assert_eq!(t.remove(&2), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut t = BTree::new();
+        t.insert(5, 10);
+        *t.get_mut(&5).unwrap() += 1;
+        assert_eq!(t.get(&5), Some(&11));
+        assert_eq!(t.get_mut(&6), None);
+    }
+
+    #[test]
+    fn splits_allocate_nodes() {
+        let mut t = BTree::new();
+        let before = t.nodes_allocated();
+        for i in 0..10_000 {
+            t.insert(i, ());
+        }
+        assert!(t.nodes_allocated() > before + 100, "many splits expected");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn reverse_and_random_insertion_orders_agree() {
+        let mut fwd = BTree::new();
+        let mut rev = BTree::new();
+        for i in 0..2000 {
+            fwd.insert(i, i);
+            rev.insert(1999 - i, 1999 - i);
+        }
+        let a: Vec<i64> = fwd.iter().map(|(k, _)| *k).collect();
+        let b: Vec<i64> = rev.iter().map(|(k, _)| *k).collect();
+        assert_eq!(a, b);
+        fwd.check_invariants();
+        rev.check_invariants();
+    }
+}

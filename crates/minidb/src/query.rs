@@ -1,0 +1,182 @@
+//! Query helpers: ordering, aggregation and grouping over tables.
+
+use std::collections::HashMap;
+
+use crate::table::{Table, TableError};
+use crate::value::{DbValue, Row};
+
+/// An aggregate function over one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Row count (NULLs included).
+    Count,
+    /// Numeric sum (NULLs skipped).
+    Sum,
+    /// Numeric mean (NULLs skipped).
+    Avg,
+    /// Minimum by [`DbValue::total_cmp`].
+    Min,
+    /// Maximum by [`DbValue::total_cmp`].
+    Max,
+}
+
+/// Computes an aggregate of `column` over every row of `table`.
+///
+/// # Errors
+///
+/// [`TableError::NoSuchColumn`].
+///
+/// # Example
+///
+/// ```
+/// use confbench_minidb::{aggregate, Aggregate, Column, ColumnType, DbValue, Table};
+///
+/// let mut t = Table::new("n", vec![Column::new("x", ColumnType::Integer)]);
+/// for i in 1..=4i64 { t.insert(vec![i.into()])?; }
+/// assert_eq!(aggregate(&t, "x", Aggregate::Sum)?, DbValue::Real(10.0));
+/// assert_eq!(aggregate(&t, "x", Aggregate::Count)?, DbValue::Integer(4));
+/// # Ok::<(), confbench_minidb::TableError>(())
+/// ```
+pub fn aggregate(table: &Table, column: &str, agg: Aggregate) -> Result<DbValue, TableError> {
+    let col = table.column_index(column)?;
+    let mut count = 0i64;
+    let mut sum = 0.0f64;
+    let mut numeric = 0i64;
+    let mut min: Option<DbValue> = None;
+    let mut max: Option<DbValue> = None;
+    table.scan(|_, row| {
+        count += 1;
+        let v = &row[col];
+        if let Some(x) = numeric_of(v) {
+            sum += x;
+            numeric += 1;
+        }
+        if !matches!(v, DbValue::Null) {
+            if min.as_ref().map(|m| v.total_cmp(m).is_lt()).unwrap_or(true) {
+                min = Some(v.clone());
+            }
+            if max.as_ref().map(|m| v.total_cmp(m).is_gt()).unwrap_or(true) {
+                max = Some(v.clone());
+            }
+        }
+    });
+    Ok(match agg {
+        Aggregate::Count => DbValue::Integer(count),
+        Aggregate::Sum => DbValue::Real(sum),
+        Aggregate::Avg => {
+            if numeric == 0 {
+                DbValue::Null
+            } else {
+                DbValue::Real(sum / numeric as f64)
+            }
+        }
+        Aggregate::Min => min.unwrap_or(DbValue::Null),
+        Aggregate::Max => max.unwrap_or(DbValue::Null),
+    })
+}
+
+/// Returns all rows ordered by `column` (ascending, SQLite cross-type
+/// order), materialized.
+///
+/// # Errors
+///
+/// [`TableError::NoSuchColumn`].
+pub fn order_by(table: &Table, column: &str) -> Result<Vec<Row>, TableError> {
+    let col = table.column_index(column)?;
+    let mut rows: Vec<Row> = Vec::with_capacity(table.len());
+    table.scan(|_, row| rows.push(row.clone()));
+    rows.sort_by(|a, b| a[col].total_cmp(&b[col]));
+    Ok(rows)
+}
+
+/// Groups rows by the rendered value of `group_col` and counts each group.
+///
+/// # Errors
+///
+/// [`TableError::NoSuchColumn`].
+pub fn group_count(table: &Table, group_col: &str) -> Result<HashMap<String, i64>, TableError> {
+    let col = table.column_index(group_col)?;
+    let mut groups = HashMap::new();
+    table.scan(|_, row| {
+        *groups.entry(row[col].to_string()).or_insert(0) += 1;
+    });
+    Ok(groups)
+}
+
+fn numeric_of(v: &DbValue) -> Option<f64> {
+    match v {
+        DbValue::Integer(n) => Some(*n as f64),
+        DbValue::Real(x) => Some(*x),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, ColumnType};
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "t",
+            vec![Column::new("n", ColumnType::Integer), Column::new("g", ColumnType::Text)],
+        );
+        for i in 0..10i64 {
+            let g = if i % 2 == 0 { "even" } else { "odd" };
+            t.insert(vec![i.into(), g.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn aggregates_known_values() {
+        let t = table();
+        assert_eq!(aggregate(&t, "n", Aggregate::Count).unwrap(), DbValue::Integer(10));
+        assert_eq!(aggregate(&t, "n", Aggregate::Sum).unwrap(), DbValue::Real(45.0));
+        assert_eq!(aggregate(&t, "n", Aggregate::Avg).unwrap(), DbValue::Real(4.5));
+        assert_eq!(aggregate(&t, "n", Aggregate::Min).unwrap(), DbValue::Integer(0));
+        assert_eq!(aggregate(&t, "n", Aggregate::Max).unwrap(), DbValue::Integer(9));
+    }
+
+    #[test]
+    fn aggregates_handle_nulls() {
+        let mut t = Table::new("t", vec![Column::new("n", ColumnType::Integer)]);
+        t.insert(vec![DbValue::Null]).unwrap();
+        assert_eq!(aggregate(&t, "n", Aggregate::Count).unwrap(), DbValue::Integer(1));
+        assert_eq!(aggregate(&t, "n", Aggregate::Avg).unwrap(), DbValue::Null);
+        assert_eq!(aggregate(&t, "n", Aggregate::Min).unwrap(), DbValue::Null);
+    }
+
+    #[test]
+    fn order_by_sorts() {
+        let mut t = Table::new("t", vec![Column::new("n", ColumnType::Integer)]);
+        for v in [5i64, 1, 9, 3] {
+            t.insert(vec![v.into()]).unwrap();
+        }
+        let rows = order_by(&t, "n").unwrap();
+        let got: Vec<i64> = rows
+            .iter()
+            .map(|r| match r[0] {
+                DbValue::Integer(n) => n,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn group_count_partitions() {
+        let t = table();
+        let groups = group_count(&t, "g").unwrap();
+        assert_eq!(groups["'even'"], 5);
+        assert_eq!(groups["'odd'"], 5);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = table();
+        assert!(aggregate(&t, "zzz", Aggregate::Count).is_err());
+        assert!(order_by(&t, "zzz").is_err());
+        assert!(group_count(&t, "zzz").is_err());
+    }
+}

@@ -1,0 +1,827 @@
+//! A small SQL front-end over [`Database`].
+//!
+//! Covers the dialect the speedtest workload exercises — DDL, DML,
+//! single-table queries with `WHERE` conjunctions, `ORDER BY`, `LIMIT`, and
+//! transactions:
+//!
+//! ```sql
+//! CREATE TABLE t (a INTEGER, b TEXT, c REAL);
+//! CREATE INDEX idx ON t (a);
+//! INSERT INTO t VALUES (1, 'one', 1.5);
+//! SELECT b, c FROM t WHERE a >= 1 AND b != 'two' ORDER BY c DESC LIMIT 10;
+//! UPDATE t SET b = 'uno' WHERE a = 1;
+//! DELETE FROM t WHERE c < 1.0;
+//! BEGIN; ...; COMMIT;  -- or ROLLBACK
+//! DROP TABLE t;
+//! ```
+
+use std::fmt;
+
+use crate::database::{Database, DbError};
+use crate::table::{Column, ColumnType};
+use crate::value::{DbValue, Row};
+
+/// Errors from SQL parsing or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical or syntactic problem.
+    Parse(String),
+    /// Execution-time problem (missing table/column, type error, …).
+    Exec(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(msg) => write!(f, "sql parse error: {msg}"),
+            SqlError::Exec(msg) => write!(f, "sql execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<DbError> for SqlError {
+    fn from(e: DbError) -> Self {
+        SqlError::Exec(e.to_string())
+    }
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlOutput {
+    /// DDL/transaction statements.
+    Done,
+    /// Rows touched by INSERT/UPDATE/DELETE.
+    Affected(u64),
+    /// A result set: column headers plus rows.
+    Rows {
+        /// Selected column names.
+        columns: Vec<String>,
+        /// Result rows.
+        rows: Vec<Row>,
+    },
+}
+
+/// Comparison operators in `WHERE`/`SET` clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn matches(self, left: &DbValue, right: &DbValue) -> bool {
+        // SQL semantics: comparisons with NULL are never true.
+        if matches!(left, DbValue::Null) || matches!(right, DbValue::Null) {
+            return false;
+        }
+        let ord = left.total_cmp(right);
+        match self {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Predicate {
+    column: String,
+    op: CmpOp,
+    value: DbValue,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+enum Statement {
+    CreateTable { name: String, columns: Vec<Column> },
+    DropTable { name: String },
+    CreateIndex { index: String, table: String, column: String },
+    DropIndex { index: String, table: String },
+    Insert { table: String, values: Vec<DbValue> },
+    Select {
+        table: String,
+        columns: Option<Vec<String>>, // None = *
+        predicates: Vec<Predicate>,
+        order_by: Option<(String, bool)>, // (column, descending)
+        limit: Option<usize>,
+    },
+    Update { table: String, column: String, value: DbValue, predicates: Vec<Predicate> },
+    Delete { table: String, predicates: Vec<Predicate> },
+    Begin,
+    Commit,
+    Rollback,
+}
+
+/// Executes a semicolon-separated SQL script, returning one output per
+/// statement.
+///
+/// # Errors
+///
+/// [`SqlError`] on the first failing statement (earlier statements' effects
+/// remain, as in sqlite3's shell).
+///
+/// # Example
+///
+/// ```
+/// use confbench_minidb::{run_sql, Database, SqlOutput};
+///
+/// let mut db = Database::new();
+/// let out = run_sql(&mut db, "
+///     CREATE TABLE t (a INTEGER, b TEXT);
+///     INSERT INTO t VALUES (1, 'one');
+///     INSERT INTO t VALUES (2, 'two');
+///     SELECT b FROM t WHERE a > 1;
+/// ")?;
+/// match &out[3] {
+///     SqlOutput::Rows { rows, .. } => assert_eq!(rows.len(), 1),
+///     other => panic!("{other:?}"),
+/// }
+/// # Ok::<(), confbench_minidb::SqlError>(())
+/// ```
+pub fn run_sql(db: &mut Database, script: &str) -> Result<Vec<SqlOutput>, SqlError> {
+    parse_script(script)?.into_iter().map(|stmt| execute(db, stmt)).collect()
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Real(f64),
+    Str(String),
+    Sym(&'static str),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ',' | ';' | '*' => {
+                toks.push(Tok::Sym(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    ';' => ";",
+                    _ => "*",
+                }));
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Sym("="));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push(Tok::Sym("!="));
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Sym("<="));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push(Tok::Sym("!="));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Sym(">="));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Sym(">"));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::Parse("unterminated string".into())),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) =>
+            {
+                let start = i;
+                i += 1;
+                let mut is_real = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !is_real))
+                {
+                    if bytes[i] == b'.' {
+                        is_real = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if is_real {
+                    toks.push(Tok::Real(
+                        text.parse().map_err(|e| SqlError::Parse(format!("bad real: {e}")))?,
+                    ));
+                } else {
+                    toks.push(Tok::Int(
+                        text.parse().map_err(|e| SqlError::Parse(format!("bad int: {e}")))?,
+                    ));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(input[start..i].to_owned()));
+            }
+            other => return Err(SqlError::Parse(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(toks)
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(word)) = self.peek() {
+            if word.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Tok::Sym(s)) if s == sym => Ok(()),
+            other => Err(SqlError::Parse(format!("expected {sym:?}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Tok::Ident(name)) => Ok(name),
+            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<DbValue, SqlError> {
+        match self.next() {
+            Some(Tok::Int(n)) => Ok(DbValue::Integer(n)),
+            Some(Tok::Real(x)) => Ok(DbValue::Real(x)),
+            Some(Tok::Str(s)) => Ok(DbValue::Text(s)),
+            Some(Tok::Ident(word)) if word.eq_ignore_ascii_case("null") => Ok(DbValue::Null),
+            other => Err(SqlError::Parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, SqlError> {
+        match self.next() {
+            Some(Tok::Sym("=")) => Ok(CmpOp::Eq),
+            Some(Tok::Sym("!=")) => Ok(CmpOp::Ne),
+            Some(Tok::Sym("<")) => Ok(CmpOp::Lt),
+            Some(Tok::Sym("<=")) => Ok(CmpOp::Le),
+            Some(Tok::Sym(">")) => Ok(CmpOp::Gt),
+            Some(Tok::Sym(">=")) => Ok(CmpOp::Ge),
+            other => Err(SqlError::Parse(format!("expected comparison, found {other:?}"))),
+        }
+    }
+
+    fn where_clause(&mut self) -> Result<Vec<Predicate>, SqlError> {
+        let mut predicates = Vec::new();
+        if self.keyword("where") {
+            loop {
+                let column = self.ident()?;
+                let op = self.cmp_op()?;
+                let value = self.literal()?;
+                predicates.push(Predicate { column, op, value });
+                if !self.keyword("and") {
+                    break;
+                }
+            }
+        }
+        Ok(predicates)
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        if self.keyword("create") {
+            if self.keyword("table") {
+                let name = self.ident()?;
+                self.expect_sym("(")?;
+                let mut columns = Vec::new();
+                loop {
+                    let col = self.ident()?;
+                    let ty = self.ident()?;
+                    let ty = match ty.to_ascii_lowercase().as_str() {
+                        "integer" | "int" => ColumnType::Integer,
+                        "real" | "float" | "double" => ColumnType::Real,
+                        "text" | "varchar" | "string" => ColumnType::Text,
+                        other => return Err(SqlError::Parse(format!("unknown type {other}"))),
+                    };
+                    columns.push(Column::new(col, ty));
+                    match self.next() {
+                        Some(Tok::Sym(",")) => continue,
+                        Some(Tok::Sym(")")) => break,
+                        other => {
+                            return Err(SqlError::Parse(format!("expected , or ), got {other:?}")))
+                        }
+                    }
+                }
+                return Ok(Statement::CreateTable { name, columns });
+            }
+            if self.keyword("index") {
+                let index = self.ident()?;
+                self.expect_keyword("on")?;
+                let table = self.ident()?;
+                self.expect_sym("(")?;
+                let column = self.ident()?;
+                self.expect_sym(")")?;
+                return Ok(Statement::CreateIndex { index, table, column });
+            }
+            return Err(SqlError::Parse("expected TABLE or INDEX after CREATE".into()));
+        }
+        if self.keyword("drop") {
+            if self.keyword("table") {
+                return Ok(Statement::DropTable { name: self.ident()? });
+            }
+            if self.keyword("index") {
+                let index = self.ident()?;
+                self.expect_keyword("on")?;
+                let table = self.ident()?;
+                return Ok(Statement::DropIndex { index, table });
+            }
+            return Err(SqlError::Parse("expected TABLE or INDEX after DROP".into()));
+        }
+        if self.keyword("insert") {
+            self.expect_keyword("into")?;
+            let table = self.ident()?;
+            self.expect_keyword("values")?;
+            self.expect_sym("(")?;
+            let mut values = Vec::new();
+            loop {
+                values.push(self.literal()?);
+                match self.next() {
+                    Some(Tok::Sym(",")) => continue,
+                    Some(Tok::Sym(")")) => break,
+                    other => return Err(SqlError::Parse(format!("expected , or ), got {other:?}"))),
+                }
+            }
+            return Ok(Statement::Insert { table, values });
+        }
+        if self.keyword("select") {
+            let columns = if matches!(self.peek(), Some(Tok::Sym("*"))) {
+                self.next();
+                None
+            } else {
+                let mut cols = vec![self.ident()?];
+                while matches!(self.peek(), Some(Tok::Sym(","))) {
+                    self.next();
+                    cols.push(self.ident()?);
+                }
+                Some(cols)
+            };
+            self.expect_keyword("from")?;
+            let table = self.ident()?;
+            let predicates = self.where_clause()?;
+            let order_by = if self.keyword("order") {
+                self.expect_keyword("by")?;
+                let col = self.ident()?;
+                let desc = if self.keyword("desc") {
+                    true
+                } else {
+                    self.keyword("asc");
+                    false
+                };
+                Some((col, desc))
+            } else {
+                None
+            };
+            let limit = if self.keyword("limit") {
+                match self.next() {
+                    Some(Tok::Int(n)) if n >= 0 => Some(n as usize),
+                    other => return Err(SqlError::Parse(format!("bad LIMIT: {other:?}"))),
+                }
+            } else {
+                None
+            };
+            return Ok(Statement::Select { table, columns, predicates, order_by, limit });
+        }
+        if self.keyword("update") {
+            let table = self.ident()?;
+            self.expect_keyword("set")?;
+            let column = self.ident()?;
+            self.expect_sym("=")?;
+            let value = self.literal()?;
+            let predicates = self.where_clause()?;
+            return Ok(Statement::Update { table, column, value, predicates });
+        }
+        if self.keyword("delete") {
+            self.expect_keyword("from")?;
+            let table = self.ident()?;
+            let predicates = self.where_clause()?;
+            return Ok(Statement::Delete { table, predicates });
+        }
+        if self.keyword("begin") {
+            self.keyword("transaction");
+            return Ok(Statement::Begin);
+        }
+        if self.keyword("commit") {
+            return Ok(Statement::Commit);
+        }
+        if self.keyword("rollback") {
+            return Ok(Statement::Rollback);
+        }
+        Err(SqlError::Parse(format!("unexpected token {:?}", self.peek())))
+    }
+}
+
+fn parse_script(script: &str) -> Result<Vec<Statement>, SqlError> {
+    let toks = lex(script)?;
+    let mut parser = Parser { toks, pos: 0 };
+    let mut statements = Vec::new();
+    loop {
+        // Skip empty statements.
+        while matches!(parser.peek(), Some(Tok::Sym(";"))) {
+            parser.next();
+        }
+        if parser.peek().is_none() {
+            return Ok(statements);
+        }
+        statements.push(parser.statement()?);
+        match parser.next() {
+            Some(Tok::Sym(";")) | None => {}
+            other => return Err(SqlError::Parse(format!("expected ;, found {other:?}"))),
+        }
+    }
+}
+
+// ------------------------------------------------------------- executor --
+
+fn execute(db: &mut Database, stmt: Statement) -> Result<SqlOutput, SqlError> {
+    match stmt {
+        Statement::CreateTable { name, columns } => {
+            db.create_table(&name, columns)?;
+            Ok(SqlOutput::Done)
+        }
+        Statement::DropTable { name } => {
+            db.drop_table(&name)?;
+            Ok(SqlOutput::Done)
+        }
+        Statement::CreateIndex { index, table, column } => {
+            db.create_index(&table, &index, &column)?;
+            Ok(SqlOutput::Done)
+        }
+        Statement::DropIndex { index, table } => {
+            db.drop_index(&table, &index)?;
+            Ok(SqlOutput::Done)
+        }
+        Statement::Insert { table, values } => {
+            db.insert(&table, values)?;
+            Ok(SqlOutput::Affected(1))
+        }
+        Statement::Begin => {
+            db.begin()?;
+            Ok(SqlOutput::Done)
+        }
+        Statement::Commit => {
+            db.commit()?;
+            Ok(SqlOutput::Done)
+        }
+        Statement::Rollback => {
+            db.rollback()?;
+            Ok(SqlOutput::Done)
+        }
+        Statement::Select { table, columns, predicates, order_by, limit } => {
+            let (headers, mut rows) = {
+                let t = db.table(&table)?;
+                let col_indexes: Vec<usize> = match &columns {
+                    None => (0..t.columns().len()).collect(),
+                    Some(names) => names
+                        .iter()
+                        .map(|n| t.column_index(n).map_err(DbError::from))
+                        .collect::<Result<_, _>>()?,
+                };
+                let headers: Vec<String> =
+                    col_indexes.iter().map(|&i| t.columns()[i].name.clone()).collect();
+                let pred_indexes = resolve_predicates(t, &predicates)?;
+                let order_index = order_by
+                    .as_ref()
+                    .map(|(col, desc)| Ok::<_, SqlError>((t.column_index(col).map_err(DbError::from)?, *desc)))
+                    .transpose()?;
+
+                let mut matched: Vec<Row> = Vec::new();
+                t.scan(|_, row| {
+                    if row_matches(row, &pred_indexes) {
+                        matched.push(row.clone());
+                    }
+                });
+                if let Some((idx, desc)) = order_index {
+                    matched.sort_by(|a, b| {
+                        let ord = a[idx].total_cmp(&b[idx]);
+                        if desc {
+                            ord.reverse()
+                        } else {
+                            ord
+                        }
+                    });
+                }
+                if let Some(n) = limit {
+                    matched.truncate(n);
+                }
+                let projected: Vec<Row> = matched
+                    .into_iter()
+                    .map(|row| col_indexes.iter().map(|&i| row[i].clone()).collect())
+                    .collect();
+                (headers, projected)
+            };
+            db.charge_scan(rows.len() as u64 + 1, 64);
+            rows.shrink_to_fit();
+            Ok(SqlOutput::Rows { columns: headers, rows })
+        }
+        Statement::Update { table, column, value, predicates } => {
+            let targets = {
+                let t = db.table(&table)?;
+                let pred_indexes = resolve_predicates(t, &predicates)?;
+                let mut ids = Vec::new();
+                t.scan(|rowid, row| {
+                    if row_matches(row, &pred_indexes) {
+                        ids.push(rowid);
+                    }
+                });
+                ids
+            };
+            for rowid in &targets {
+                db.update(&table, *rowid, &column, value.clone())?;
+            }
+            Ok(SqlOutput::Affected(targets.len() as u64))
+        }
+        Statement::Delete { table, predicates } => {
+            let targets = {
+                let t = db.table(&table)?;
+                let pred_indexes = resolve_predicates(t, &predicates)?;
+                let mut ids = Vec::new();
+                t.scan(|rowid, row| {
+                    if row_matches(row, &pred_indexes) {
+                        ids.push(rowid);
+                    }
+                });
+                ids
+            };
+            for rowid in &targets {
+                db.delete(&table, *rowid)?;
+            }
+            Ok(SqlOutput::Affected(targets.len() as u64))
+        }
+    }
+}
+
+fn resolve_predicates(
+    t: &crate::table::Table,
+    predicates: &[Predicate],
+) -> Result<Vec<(usize, CmpOp, DbValue)>, SqlError> {
+    predicates
+        .iter()
+        .map(|p| {
+            let idx = t.column_index(&p.column).map_err(DbError::from)?;
+            Ok((idx, p.op, p.value.clone()))
+        })
+        .collect()
+}
+
+fn row_matches(row: &Row, predicates: &[(usize, CmpOp, DbValue)]) -> bool {
+    predicates.iter().all(|(idx, op, value)| op.matches(&row[*idx], value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Database {
+        let mut db = Database::new();
+        run_sql(
+            &mut db,
+            "CREATE TABLE people (name TEXT, age INTEGER, score REAL);
+             BEGIN;
+             INSERT INTO people VALUES ('ada', 36, 9.5);
+             INSERT INTO people VALUES ('grace', 45, 8.0);
+             INSERT INTO people VALUES ('alan', 41, 9.0);
+             INSERT INTO people VALUES ('edsger', 72, NULL);
+             COMMIT;",
+        )
+        .unwrap();
+        db
+    }
+
+    fn rows(out: &SqlOutput) -> &Vec<Row> {
+        match out {
+            SqlOutput::Rows { rows, .. } => rows,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_star_returns_everything() {
+        let mut db = setup();
+        let out = run_sql(&mut db, "SELECT * FROM people;").unwrap();
+        assert_eq!(rows(&out[0]).len(), 4);
+        assert_eq!(rows(&out[0])[0].len(), 3);
+    }
+
+    #[test]
+    fn where_conjunction_filters() {
+        let mut db = setup();
+        let out =
+            run_sql(&mut db, "SELECT name FROM people WHERE age > 36 AND score >= 8.5;").unwrap();
+        let got = rows(&out[0]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0][0], DbValue::Text("alan".into()));
+    }
+
+    #[test]
+    fn null_never_matches() {
+        let mut db = setup();
+        let out = run_sql(&mut db, "SELECT name FROM people WHERE score >= 0;").unwrap();
+        assert_eq!(rows(&out[0]).len(), 3, "edsger's NULL score filtered out");
+        let out = run_sql(&mut db, "SELECT name FROM people WHERE score != 9.5;").unwrap();
+        assert_eq!(rows(&out[0]).len(), 2);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let mut db = setup();
+        let out = run_sql(&mut db, "SELECT name FROM people ORDER BY age DESC LIMIT 2;").unwrap();
+        let got = rows(&out[0]);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0][0], DbValue::Text("edsger".into()));
+        assert_eq!(got[1][0], DbValue::Text("grace".into()));
+    }
+
+    #[test]
+    fn projection_selects_columns_in_order() {
+        let mut db = setup();
+        let out = run_sql(&mut db, "SELECT age, name FROM people WHERE name = 'ada';").unwrap();
+        match &out[0] {
+            SqlOutput::Rows { columns, rows } => {
+                assert_eq!(columns, &["age", "name"]);
+                assert_eq!(rows[0], vec![DbValue::Integer(36), DbValue::Text("ada".into())]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_and_delete_report_counts() {
+        let mut db = setup();
+        let out = run_sql(&mut db, "UPDATE people SET score = 10.0 WHERE age < 42;").unwrap();
+        assert_eq!(out[0], SqlOutput::Affected(2));
+        let out = run_sql(&mut db, "DELETE FROM people WHERE score = 10.0;").unwrap();
+        assert_eq!(out[0], SqlOutput::Affected(2));
+        let out = run_sql(&mut db, "SELECT * FROM people;").unwrap();
+        assert_eq!(rows(&out[0]).len(), 2);
+    }
+
+    #[test]
+    fn transactions_roll_back() {
+        let mut db = setup();
+        run_sql(&mut db, "BEGIN; DELETE FROM people WHERE age > 0; ROLLBACK;").unwrap();
+        let out = run_sql(&mut db, "SELECT * FROM people;").unwrap();
+        assert_eq!(rows(&out[0]).len(), 4, "rollback restored the rows");
+    }
+
+    #[test]
+    fn index_lifecycle_via_sql() {
+        let mut db = setup();
+        run_sql(&mut db, "CREATE INDEX by_age ON people (age);").unwrap();
+        let hits =
+            db.table("people").unwrap().index_range("by_age", &36i64.into(), &46i64.into()).unwrap();
+        assert_eq!(hits.len(), 3);
+        run_sql(&mut db, "DROP INDEX by_age ON people;").unwrap();
+        assert!(db.table("people").unwrap().index_range("by_age", &0i64.into(), &1i64.into()).is_err());
+    }
+
+    #[test]
+    fn quoted_strings_and_comments() {
+        let mut db = Database::new();
+        let out = run_sql(
+            &mut db,
+            "CREATE TABLE q (s TEXT); -- a comment
+             INSERT INTO q VALUES ('it''s quoted');
+             SELECT s FROM q;",
+        )
+        .unwrap();
+        assert_eq!(rows(&out[2])[0][0], DbValue::Text("it's quoted".into()));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let mut db = setup();
+        let out = run_sql(&mut db, "select NAME from people where AGE = 36;");
+        // Column names are case-sensitive; keywords are not.
+        assert!(out.is_err());
+        let out = run_sql(&mut db, "select name FROM people WHERE age = 36;").unwrap();
+        assert_eq!(rows(&out[0]).len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let mut db = Database::new();
+        assert!(matches!(run_sql(&mut db, "SELEKT * FROM x;"), Err(SqlError::Parse(_))));
+        assert!(matches!(run_sql(&mut db, "SELECT FROM x;"), Err(SqlError::Parse(_))));
+        assert!(matches!(
+            run_sql(&mut db, "CREATE TABLE t (a BLOB);"),
+            Err(SqlError::Parse(_))
+        ));
+        assert!(matches!(run_sql(&mut db, "INSERT INTO t VALUES ('x;"), Err(SqlError::Parse(_))));
+    }
+
+    #[test]
+    fn exec_errors_are_reported() {
+        let mut db = Database::new();
+        assert!(matches!(run_sql(&mut db, "SELECT * FROM ghost;"), Err(SqlError::Exec(_))));
+        run_sql(&mut db, "CREATE TABLE t (a INTEGER);").unwrap();
+        assert!(matches!(
+            run_sql(&mut db, "INSERT INTO t VALUES ('wrong type');"),
+            Err(SqlError::Exec(_))
+        ));
+        assert!(matches!(
+            run_sql(&mut db, "SELECT missing FROM t;"),
+            Err(SqlError::Exec(_))
+        ));
+    }
+
+    #[test]
+    fn negative_numbers_parse() {
+        let mut db = Database::new();
+        let out = run_sql(
+            &mut db,
+            "CREATE TABLE n (v INTEGER);
+             INSERT INTO n VALUES (-42);
+             SELECT v FROM n WHERE v < -10;",
+        )
+        .unwrap();
+        assert_eq!(rows(&out[2])[0][0], DbValue::Integer(-42));
+    }
+}

@@ -1,0 +1,153 @@
+//! Database values and rows.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically-typed database value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbValue {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Integer(i64),
+    /// 64-bit float.
+    Real(f64),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl DbValue {
+    /// The type name used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            DbValue::Null => "null",
+            DbValue::Integer(_) => "integer",
+            DbValue::Real(_) => "real",
+            DbValue::Text(_) => "text",
+        }
+    }
+
+    /// Approximate storage footprint in bytes (used for I/O accounting).
+    pub fn byte_len(&self) -> u64 {
+        match self {
+            DbValue::Null => 1,
+            DbValue::Integer(_) | DbValue::Real(_) => 8,
+            DbValue::Text(s) => s.len() as u64 + 2,
+        }
+    }
+
+    /// SQLite-style total ordering across types:
+    /// `NULL < numbers < text`, numbers compare numerically across
+    /// integer/real.
+    pub fn total_cmp(&self, other: &DbValue) -> Ordering {
+        use DbValue::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Integer(a), Integer(b)) => a.cmp(b),
+            (Real(a), Real(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Integer(a), Real(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Real(a), Integer(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Text(_), _) => Ordering::Greater,
+            (_, Text(_)) => Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for DbValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbValue::Null => f.write_str("NULL"),
+            DbValue::Integer(n) => write!(f, "{n}"),
+            DbValue::Real(x) => write!(f, "{x}"),
+            DbValue::Text(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for DbValue {
+    fn from(n: i64) -> Self {
+        DbValue::Integer(n)
+    }
+}
+
+impl From<f64> for DbValue {
+    fn from(x: f64) -> Self {
+        DbValue::Real(x)
+    }
+}
+
+impl From<&str> for DbValue {
+    fn from(s: &str) -> Self {
+        DbValue::Text(s.to_owned())
+    }
+}
+
+impl From<String> for DbValue {
+    fn from(s: String) -> Self {
+        DbValue::Text(s)
+    }
+}
+
+/// A key wrapper giving [`DbValue`] `Ord` via [`DbValue::total_cmp`], so it
+/// can key a B+tree index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexKey(pub DbValue, pub i64);
+
+impl Eq for IndexKey {}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// A table row.
+pub type Row = Vec<DbValue>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_ordering_matches_sqlite() {
+        let null = DbValue::Null;
+        let int = DbValue::Integer(5);
+        let real = DbValue::Real(5.5);
+        let text = DbValue::Text("a".into());
+        assert_eq!(null.total_cmp(&int), Ordering::Less);
+        assert_eq!(int.total_cmp(&real), Ordering::Less);
+        assert_eq!(real.total_cmp(&text), Ordering::Less);
+        assert_eq!(DbValue::Integer(5).total_cmp(&DbValue::Real(5.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn index_key_breaks_ties_by_rowid() {
+        let a = IndexKey(DbValue::Integer(1), 10);
+        let b = IndexKey(DbValue::Integer(1), 20);
+        assert!(a < b);
+        let c = IndexKey(DbValue::Integer(2), 0);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn byte_len_accounts_text() {
+        assert_eq!(DbValue::Null.byte_len(), 1);
+        assert_eq!(DbValue::Integer(0).byte_len(), 8);
+        assert_eq!(DbValue::Text("abcd".into()).byte_len(), 6);
+    }
+
+    #[test]
+    fn display_quotes_text() {
+        assert_eq!(DbValue::Text("x".into()).to_string(), "'x'");
+        assert_eq!(DbValue::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,147 @@
+//! Model-based property tests: the B+tree must behave exactly like
+//! `std::collections::BTreeMap` under arbitrary command sequences, and the
+//! table layer must keep indexes consistent with full scans.
+
+use std::collections::BTreeMap;
+
+use confbench_minidb::{BTree, Column, ColumnType, DbValue, Table};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Insert(i64, i64),
+    Remove(i64),
+    Get(i64),
+}
+
+fn cmd() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        3 => (0i64..512, any::<i64>()).prop_map(|(k, v)| Cmd::Insert(k, v)),
+        1 => (0i64..512).prop_map(Cmd::Remove),
+        1 => (0i64..512).prop_map(Cmd::Get),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn btree_matches_btreemap(cmds in proptest::collection::vec(cmd(), 1..400)) {
+        let mut tree = BTree::new();
+        let mut model = BTreeMap::new();
+        for c in cmds {
+            match c {
+                Cmd::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                Cmd::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), model.remove(&k));
+                }
+                Cmd::Get(k) => {
+                    prop_assert_eq!(tree.get(&k), model.get(&k));
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        tree.check_invariants();
+        // Full iteration agrees.
+        let got: Vec<(i64, i64)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(i64, i64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn btree_range_matches_btreemap(keys in proptest::collection::btree_set(0i64..2000, 0..300),
+                                    lo in 0i64..2000, span in 0i64..500) {
+        let mut tree = BTree::new();
+        let mut model = BTreeMap::new();
+        for &k in &keys {
+            tree.insert(k, k);
+            model.insert(k, k);
+        }
+        let hi = lo + span;
+        let got: Vec<i64> = tree.range(&lo, &hi).map(|(k, _)| *k).collect();
+        let want: Vec<i64> = model.range(lo..hi).map(|(k, _)| *k).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn table_index_consistent_with_scan(values in proptest::collection::vec(0i64..64, 1..120),
+                                        lo in 0i64..64, span in 1i64..32) {
+        let mut t = Table::new("p", vec![Column::new("v", ColumnType::Integer)]);
+        t.create_index("idx", "v").unwrap();
+        let mut ids = Vec::new();
+        for &v in &values {
+            ids.push(t.insert(vec![v.into()]).unwrap());
+        }
+        // Delete a third to exercise index maintenance.
+        for id in ids.iter().step_by(3) {
+            t.delete(*id).unwrap();
+        }
+        let hi = lo + span;
+        let mut via_index = t.index_range("idx", &lo.into(), &hi.into()).unwrap();
+        let mut via_scan = t.scan_filter(|row| {
+            matches!(row[0], DbValue::Integer(v) if v >= lo && v < hi)
+        });
+        via_index.sort_unstable();
+        via_scan.sort_unstable();
+        prop_assert_eq!(via_index, via_scan);
+    }
+}
+
+mod sql_differential {
+    use confbench_minidb::{run_sql, Database, DbValue, SqlOutput};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// SQL SELECT with a range predicate agrees with a hand-rolled scan
+        /// over the same data, for arbitrary datasets and bounds.
+        #[test]
+        fn sql_select_matches_manual_scan(values in proptest::collection::vec(-100i64..100, 1..60),
+                                          lo in -100i64..100, span in 0i64..120) {
+            let mut db = Database::new();
+            run_sql(&mut db, "CREATE TABLE t (v INTEGER);").unwrap();
+            for v in &values {
+                run_sql(&mut db, &format!("INSERT INTO t VALUES ({v});")).unwrap();
+            }
+            let hi = lo + span;
+            let out = run_sql(
+                &mut db,
+                &format!("SELECT v FROM t WHERE v >= {lo} AND v < {hi} ORDER BY v;"),
+            )
+            .unwrap();
+            let got: Vec<i64> = match &out[0] {
+                SqlOutput::Rows { rows, .. } => rows
+                    .iter()
+                    .map(|r| match r[0] {
+                        DbValue::Integer(n) => n,
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+                other => panic!("{other:?}"),
+            };
+            let mut want: Vec<i64> =
+                values.iter().copied().filter(|v| *v >= lo && *v < hi).collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        /// DELETE then COUNT agrees with the model.
+        #[test]
+        fn sql_delete_counts(values in proptest::collection::vec(0i64..50, 1..40), cut in 0i64..50) {
+            let mut db = Database::new();
+            run_sql(&mut db, "CREATE TABLE t (v INTEGER);").unwrap();
+            for v in &values {
+                run_sql(&mut db, &format!("INSERT INTO t VALUES ({v});")).unwrap();
+            }
+            let out = run_sql(&mut db, &format!("DELETE FROM t WHERE v < {cut};")).unwrap();
+            let deleted = values.iter().filter(|v| **v < cut).count() as u64;
+            prop_assert_eq!(&out[0], &SqlOutput::Affected(deleted));
+            let out = run_sql(&mut db, "SELECT * FROM t;").unwrap();
+            match &out[0] {
+                SqlOutput::Rows { rows, .. } => {
+                    prop_assert_eq!(rows.len() as u64, values.len() as u64 - deleted)
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Performance-monitoring integration (the simulated `perf stat`).
+//!
+//! ConfBench wraps every dispatched workload in `perf stat` and piggybacks
+//! the collected counters onto the result returned to the user (paper
+//! §III-B). Inside CCA realms hardware counters are unavailable, so the tool
+//! falls back to a custom monitoring script; this crate models both paths
+//! and the extension point for user-provided collectors.
+//!
+//! # Example
+//!
+//! ```
+//! use confbench_perfmon::PerfStat;
+//! use confbench_types::{OpTrace, TeePlatform, VmTarget};
+//! use confbench_vmm::TeeVmBuilder;
+//!
+//! let mut vm = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).build();
+//! let mut trace = OpTrace::new();
+//! trace.cpu(10_000);
+//!
+//! let (report, sample) = PerfStat::for_vm(&vm).measure(&mut vm, &trace);
+//! assert_eq!(sample.collector, "perf");
+//! assert!(report.perf.instructions >= 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use confbench_types::{OpTrace, PerfReport};
+use confbench_vmm::{ExecutionReport, Vm};
+use serde::{Deserialize, Serialize};
+
+/// One collected perf sample with its provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfSample {
+    /// Name of the collector that produced the numbers (`"perf"` for the
+    /// hardware-counter path, `"script:<name>"` for fallbacks).
+    pub collector: String,
+    /// The counter values.
+    pub report: PerfReport,
+}
+
+impl fmt::Display for PerfSample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} instructions, {} cycles, {} cache-misses ({:.1}%), {} vm-exits",
+            self.collector,
+            self.report.instructions,
+            self.report.cycles,
+            self.report.cache_misses,
+            self.report.miss_ratio() * 100.0,
+            self.report.vm_exits,
+        )
+    }
+}
+
+/// How counters are gathered for a given VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Collector {
+    /// `perf stat` over hardware counters (TDX, SEV-SNP, and their normal
+    /// baselines).
+    HardwarePerf,
+    /// A named custom script (the CCA path; also the user extension point).
+    Script(String),
+}
+
+/// A perf-stat-style collector bound to a collection strategy.
+///
+/// Construct with [`PerfStat::for_vm`] (auto-selects the right path for the
+/// platform, as the tool does) or [`PerfStat::with_script`] to register a
+/// custom monitoring script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfStat {
+    collector: Collector,
+}
+
+impl PerfStat {
+    /// Chooses the collection strategy the tool would use for `vm`: hardware
+    /// counters where the platform exposes them, otherwise the bundled
+    /// realm-side script (named `cca-cycles`, mirroring the script we wrote
+    /// for CCA in the paper).
+    pub fn for_vm(vm: &Vm) -> Self {
+        if vm.target().platform.has_perf_counters() {
+            PerfStat { collector: Collector::HardwarePerf }
+        } else {
+            PerfStat { collector: Collector::Script("cca-cycles".to_owned()) }
+        }
+    }
+
+    /// Uses a custom monitoring script named `name` regardless of platform
+    /// (the §III-B extension point).
+    pub fn with_script(name: impl Into<String>) -> Self {
+        PerfStat { collector: Collector::Script(name.into()) }
+    }
+
+    /// Whether this collector reads hardware counters.
+    pub fn is_hardware(&self) -> bool {
+        self.collector == Collector::HardwarePerf
+    }
+
+    /// Executes `trace` on `vm` under measurement, returning the execution
+    /// report plus the collected sample.
+    ///
+    /// The script path deliberately degrades the data: cache counters are
+    /// unavailable without PMU access, exactly as inside a CCA realm, so
+    /// they are reported as zero and `from_hw_counters` is false.
+    pub fn measure(&self, vm: &mut Vm, trace: &OpTrace) -> (ExecutionReport, PerfSample) {
+        let report = vm.execute(trace);
+        let sample = match &self.collector {
+            Collector::HardwarePerf => PerfSample {
+                collector: "perf".to_owned(),
+                report: PerfReport { from_hw_counters: true, ..report.perf },
+            },
+            Collector::Script(name) => PerfSample {
+                collector: format!("script:{name}"),
+                report: PerfReport {
+                    // A wallclock-only script sees time and little else.
+                    instructions: 0,
+                    cache_references: 0,
+                    cache_misses: 0,
+                    from_hw_counters: false,
+                    ..report.perf
+                },
+            },
+        };
+        (report, sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confbench_types::{TeePlatform, VmTarget};
+    use confbench_vmm::TeeVmBuilder;
+
+    fn trace() -> OpTrace {
+        let mut t = OpTrace::new();
+        t.cpu(5_000);
+        t.mem_write(1 << 14);
+        t
+    }
+
+    #[test]
+    fn hardware_path_for_tdx_and_snp() {
+        for p in [TeePlatform::Tdx, TeePlatform::SevSnp] {
+            let vm = TeeVmBuilder::new(VmTarget::secure(p)).build();
+            assert!(PerfStat::for_vm(&vm).is_hardware(), "{p} should use perf");
+        }
+    }
+
+    #[test]
+    fn script_fallback_for_cca() {
+        let vm = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Cca)).build();
+        let stat = PerfStat::for_vm(&vm);
+        assert!(!stat.is_hardware());
+    }
+
+    #[test]
+    fn hardware_sample_carries_cache_counters() {
+        let mut vm = TeeVmBuilder::new(VmTarget::normal(TeePlatform::Tdx)).build();
+        let (_, sample) = PerfStat::for_vm(&vm).measure(&mut vm, &trace());
+        assert_eq!(sample.collector, "perf");
+        assert!(sample.report.cache_references > 0);
+        assert!(sample.report.from_hw_counters);
+    }
+
+    #[test]
+    fn script_sample_degrades_to_wallclock() {
+        let mut vm = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Cca)).build();
+        let (report, sample) = PerfStat::for_vm(&vm).measure(&mut vm, &trace());
+        assert_eq!(sample.collector, "script:cca-cycles");
+        assert_eq!(sample.report.instructions, 0);
+        assert_eq!(sample.report.cache_references, 0);
+        assert!(!sample.report.from_hw_counters);
+        // Time is still measured.
+        assert_eq!(sample.report.cycles, report.cycles.get());
+        assert!(sample.report.cycles > 0);
+    }
+
+    #[test]
+    fn custom_script_overrides_platform_choice() {
+        let mut vm = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).build();
+        let (_, sample) = PerfStat::with_script("my-probe").measure(&mut vm, &trace());
+        assert_eq!(sample.collector, "script:my-probe");
+        assert!(!sample.report.from_hw_counters);
+    }
+
+    #[test]
+    fn sample_display_is_informative() {
+        let mut vm = TeeVmBuilder::new(VmTarget::normal(TeePlatform::SevSnp)).build();
+        let (_, sample) = PerfStat::for_vm(&vm).measure(&mut vm, &trace());
+        let s = sample.to_string();
+        assert!(s.contains("instructions"));
+        assert!(s.contains("vm-exits"));
+    }
+
+    #[test]
+    fn sample_serializes() {
+        let mut vm = TeeVmBuilder::new(VmTarget::normal(TeePlatform::Tdx)).build();
+        let (_, sample) = PerfStat::for_vm(&vm).measure(&mut vm, &trace());
+        let json = serde_json::to_string(&sample).unwrap();
+        let back: PerfSample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sample);
+    }
+}

@@ -1,0 +1,27 @@
+//! Statistics and figure rendering for ConfBench results.
+//!
+//! Provides [`Summary`] (means, percentiles, the paper's stacked-percentile
+//! five-tuple) and ASCII renderers for each figure style the paper uses:
+//! [`heatmap`] for Figs. 6/7, [`boxplot`] for Fig. 8,
+//! [`stacked_percentiles`] for Fig. 3, and [`table`] for everything
+//! tabular.
+//!
+//! # Example
+//!
+//! ```
+//! use confbench_stats::{boxplot, Summary};
+//!
+//! let secure = Summary::from_samples(&[10.2, 11.0, 10.8, 12.1]);
+//! let normal = Summary::from_samples(&[9.1, 9.3, 9.0, 9.4]);
+//! let plot = boxplot(&[("secure".into(), secure), ("normal".into(), normal)], 60);
+//! assert!(plot.contains('O')); // medians marked
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod render;
+mod summary;
+
+pub use render::{boxplot, heatmap, stacked_percentiles, table};
+pub use summary::{geometric_mean, Summary};

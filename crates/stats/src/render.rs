@@ -1,0 +1,215 @@
+//! ASCII renderers for the paper's figure styles: ratio heatmaps (Figs. 6
+//! and 7), box-and-whiskers (Fig. 8), stacked percentiles (Fig. 3), and
+//! aligned tables.
+
+use crate::summary::Summary;
+
+/// Renders an aligned text table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn table(headers: &[String], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| {
+        let parts: Vec<String> =
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
+        format!("| {} |\n", parts.join(" | "))
+    };
+    out.push_str(&render_row(headers, &widths));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Shade for a secure/normal ratio, mirroring the paper's blue-to-red
+/// palette: darker = better (closer to or below 1).
+fn ratio_shade(ratio: f64) -> char {
+    match ratio {
+        r if r < 0.995 => '#', // faster in the TEE (the counter-intuitive cells)
+        r if r < 1.05 => '@',
+        r if r < 1.15 => '+',
+        r if r < 1.5 => '-',
+        r if r < 3.0 => '.',
+        _ => ' ', // the light/red cells
+    }
+}
+
+/// Renders a ratio heatmap: one row per `row_labels`, one column per
+/// `col_labels`, `values` row-major. Each cell shows the ratio to two
+/// decimals plus a shade glyph.
+///
+/// # Panics
+///
+/// Panics if `values.len() != rows * cols`.
+pub fn heatmap(row_labels: &[String], col_labels: &[String], values: &[f64]) -> String {
+    assert_eq!(values.len(), row_labels.len() * col_labels.len(), "heatmap shape mismatch");
+    let row_w = row_labels.iter().map(|l| l.len()).max().unwrap_or(0).max(8);
+    let col_w = col_labels.iter().map(|l| l.len()).max().unwrap_or(0).max(7);
+    let mut out = String::new();
+    out.push_str(&format!("{:row_w$} ", ""));
+    for c in col_labels {
+        out.push_str(&format!("{c:>col_w$} "));
+    }
+    out.push('\n');
+    for (r, label) in row_labels.iter().enumerate() {
+        out.push_str(&format!("{label:<row_w$} "));
+        for c in 0..col_labels.len() {
+            let v = values[r * col_labels.len() + c];
+            let cell = format!("{:.2}{}", v, ratio_shade(v));
+            out.push_str(&format!("{cell:>col_w$} "));
+        }
+        out.push('\n');
+    }
+    out.push_str("\nshade: # <1.00  @ ~1.00  + <1.15  - <1.5  . <3  (blank) >=3\n");
+    out
+}
+
+/// Renders horizontal box-and-whiskers (min, p25, median, p75, max) for
+/// each labelled summary, on a shared linear scale of `width` characters.
+///
+/// # Panics
+///
+/// Panics if `entries` is empty or `width < 20`.
+pub fn boxplot(entries: &[(String, Summary)], width: usize) -> String {
+    assert!(!entries.is_empty(), "no boxplot entries");
+    assert!(width >= 20, "boxplot needs at least 20 columns");
+    let lo = entries.iter().map(|(_, s)| s.min).fold(f64::INFINITY, f64::min);
+    let hi = entries.iter().map(|(_, s)| s.max).fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let pos = |x: f64| (((x - lo) / span) * (width - 1) as f64).round() as usize;
+
+    let mut out = String::new();
+    for (label, s) in entries {
+        let mut lane = vec![' '; width];
+        let (p_min, p25, p50, p75, p_max) = (
+            pos(s.min),
+            pos(s.percentile(25.0)),
+            pos(s.median()),
+            pos(s.percentile(75.0)),
+            pos(s.max),
+        );
+        for cell in lane.iter_mut().take(p25).skip(p_min) {
+            *cell = '-';
+        }
+        for cell in lane.iter_mut().take(p75 + 1).skip(p25) {
+            *cell = '=';
+        }
+        for cell in lane.iter_mut().take(p_max + 1).skip(p75 + 1) {
+            *cell = '-';
+        }
+        lane[p_min] = '|';
+        lane[p_max] = '|';
+        lane[p50] = 'O';
+        let lane: String = lane.into_iter().collect();
+        out.push_str(&format!("{label:<label_w$} [{lane}]\n"));
+    }
+    out.push_str(&format!(
+        "{:label_w$}  {:<.4} .. {:<.4}  (|-min  ==iqr  O median  max-|)\n",
+        "", lo, hi
+    ));
+    out
+}
+
+/// Renders the paper's Fig. 3 representation: stacked percentiles
+/// (min / p25 / median / p95 / max) per labelled sample, as a table.
+pub fn stacked_percentiles(entries: &[(String, Summary)]) -> String {
+    let headers: Vec<String> =
+        ["series", "min", "p25", "median", "p95", "max"].iter().map(|s| s.to_string()).collect();
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|(label, s)| {
+            let five = s.stacked_five();
+            let mut row = vec![label.clone()];
+            row.extend(five.iter().map(|v| format!("{v:.3}")));
+            row
+        })
+        .collect();
+    table(&headers, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name".into(), "value".into()],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "{t}");
+        assert!(t.contains("| longer | 22    |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_table_panics() {
+        table(&["a".into()], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn heatmap_contains_values_and_legend() {
+        let h = heatmap(
+            &["python".into(), "go".into()],
+            &["cpustress".into(), "iostress".into()],
+            &[1.31, 2.05, 0.98, 1.42],
+        );
+        assert!(h.contains("1.31"));
+        assert!(h.contains("0.98#"), "sub-1.0 cells get the dark shade: {h}");
+        assert!(h.contains("2.05."));
+        assert!(h.contains("shade:"));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn heatmap_shape_checked() {
+        heatmap(&["a".into()], &["b".into()], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn boxplot_marks_median_and_extremes() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 10.0]);
+        let plot = boxplot(&[("run".into(), s)], 40);
+        let lane = plot.lines().next().unwrap();
+        assert_eq!(lane.matches('|').count(), 2);
+        assert_eq!(lane.matches('O').count(), 1);
+        assert!(lane.contains('='));
+    }
+
+    #[test]
+    fn boxplot_shares_scale_across_entries() {
+        let small = Summary::from_samples(&[1.0, 2.0]);
+        let large = Summary::from_samples(&[9.0, 10.0]);
+        let plot = boxplot(&[("small".into(), small), ("large".into(), large)], 50);
+        let lines: Vec<&str> = plot.lines().collect();
+        // Small sits left, large sits right.
+        let small_first = lines[0].find('|').unwrap();
+        let large_first = lines[1].find('|').unwrap();
+        assert!(small_first < large_first, "{plot}");
+    }
+
+    #[test]
+    fn stacked_percentiles_table_has_five_columns() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0]);
+        let t = stacked_percentiles(&[("tdx/secure".into(), s)]);
+        assert!(t.contains("median"));
+        assert!(t.contains("tdx/secure"));
+        assert!(t.contains("2.000"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Sample summaries and percentiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+///
+/// Percentiles use linear interpolation between order statistics (the
+/// "exclusive" convention matplotlib and numpy default to), matching how
+/// the paper's stacked-percentile plots are built.
+///
+/// # Example
+///
+/// ```
+/// use confbench_stats::Summary;
+///
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+/// assert_eq!(s.median(), 3.0);
+/// assert_eq!(s.percentile(25.0), 2.0);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n = 1).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Summarizes `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains non-finite values.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        assert!(samples.iter().all(|x| x.is_finite()), "samples must be finite");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            sorted,
+        }
+    }
+
+    /// The `p`-th percentile, `0 <= p <= 100`, with linear interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.n == 1 {
+            return self.sorted[0];
+        }
+        let rank = p / 100.0 * (self.n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// The 50th percentile.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Interquartile range (p75 − p25).
+    pub fn iqr(&self) -> f64 {
+        self.percentile(75.0) - self.percentile(25.0)
+    }
+
+    /// Relative spread: stddev / mean (0 when the mean is 0).
+    pub fn rel_spread(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+
+    /// The five values of the paper's stacked-percentile representation:
+    /// min, p25, median, p95, max (Fig. 3's grays).
+    pub fn stacked_five(&self) -> [f64; 5] {
+        [self.min, self.percentile(25.0), self.median(), self.percentile(95.0), self.max]
+    }
+}
+
+/// Geometric mean of strictly-positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any value is non-positive.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    assert!(values.iter().all(|&v| v > 0.0), "geometric mean needs positive values");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.138089935299395).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Summary::from_samples(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 40.0);
+        assert!((s.median() - 25.0).abs() < 1e-12);
+        assert!((s.percentile(75.0) - 32.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_degenerates_gracefully() {
+        let s = Summary::from_samples(&[7.0]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.percentile(95.0), 7.0);
+        assert_eq!(s.iqr(), 0.0);
+    }
+
+    #[test]
+    fn stacked_five_is_monotone() {
+        let samples: Vec<f64> = (1..=100).map(|i| (i as f64).sqrt()).collect();
+        let five = Summary::from_samples(&samples).stacked_five();
+        for pair in five.windows(2) {
+            assert!(pair[0] <= pair[1], "{five:?}");
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = Summary::from_samples(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_panics() {
+        Summary::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_panics() {
+        Summary::from_samples(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn geometric_mean_known() {
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_spread_is_cv() {
+        let s = Summary::from_samples(&[9.0, 10.0, 11.0]);
+        assert!((s.rel_spread() - 0.1).abs() < 1e-12);
+    }
+}

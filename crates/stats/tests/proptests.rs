@@ -1,0 +1,71 @@
+//! Property tests on summary statistics and renderers.
+
+use confbench_stats::{boxplot, geometric_mean, heatmap, Summary};
+use proptest::prelude::*;
+
+fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.001f64..1e6, 1..200)
+}
+
+proptest! {
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentiles_monotone(samples in arb_samples(),
+                            mut ps in proptest::collection::vec(0.0f64..=100.0, 2..8)) {
+        let s = Summary::from_samples(&samples);
+        ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let values: Vec<f64> = ps.iter().map(|&p| s.percentile(p)).collect();
+        for pair in values.windows(2) {
+            prop_assert!(pair[0] <= pair[1] + 1e-9);
+        }
+        prop_assert!(s.percentile(0.0) >= s.min - 1e-9);
+        prop_assert!(s.percentile(100.0) <= s.max + 1e-9);
+    }
+
+    /// The mean sits inside [min, max]; stddev is non-negative.
+    #[test]
+    fn moments_bounded(samples in arb_samples()) {
+        let s = Summary::from_samples(&samples);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.stddev >= 0.0);
+        prop_assert_eq!(s.n, samples.len());
+    }
+
+    /// AM–GM inequality.
+    #[test]
+    fn geometric_le_arithmetic(samples in proptest::collection::vec(0.001f64..1e4, 1..50)) {
+        let arith = samples.iter().sum::<f64>() / samples.len() as f64;
+        let geo = geometric_mean(&samples);
+        prop_assert!(geo <= arith * (1.0 + 1e-9), "gm {} > am {}", geo, arith);
+    }
+
+    /// The stacked five-tuple is sorted.
+    #[test]
+    fn stacked_five_sorted(samples in arb_samples()) {
+        let five = Summary::from_samples(&samples).stacked_five();
+        for pair in five.windows(2) {
+            prop_assert!(pair[0] <= pair[1] + 1e-9);
+        }
+    }
+
+    /// Renderers never panic and include every label.
+    #[test]
+    fn renderers_total(rows in proptest::collection::vec("[a-z]{1,8}", 1..5),
+                       cols in proptest::collection::vec("[a-z]{1,8}", 1..5),
+                       seed_vals in proptest::collection::vec(0.01f64..20.0, 1..25)) {
+        let needed = rows.len() * cols.len();
+        let values: Vec<f64> =
+            (0..needed).map(|i| seed_vals[i % seed_vals.len()]).collect();
+        let out = heatmap(&rows, &cols, &values);
+        for r in &rows {
+            prop_assert!(out.contains(r.as_str()));
+        }
+
+        let entries: Vec<(String, Summary)> = rows
+            .iter()
+            .map(|r| (r.clone(), Summary::from_samples(&values)))
+            .collect();
+        let plot = boxplot(&entries, 40);
+        prop_assert_eq!(plot.lines().count(), rows.len() + 1);
+    }
+}

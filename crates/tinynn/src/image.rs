@@ -1,0 +1,166 @@
+//! The synthetic image dataset for the confidential-ML experiment.
+//!
+//! The paper classifies 40 diversified 1-MB images (dataset from the
+//! GuaranTEE work). We generate 40 deterministic 512×512 RGB images
+//! (≈ 786 KiB of raw pixels each, 1 MiB on disk with headers/padding, which
+//! is what the experiment's I/O path sees) from distinct procedural
+//! families, then preprocess them to the model's input resolution by
+//! average-pooling patches — a real decode-and-resize step with real cost.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// Source resolution of dataset images (512×512 RGB ≈ 1 MB class).
+pub const IMAGE_DIM: usize = 512;
+
+/// Number of images in the dataset, matching the paper.
+pub const DATASET_SIZE: usize = 40;
+
+/// A raw RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RgbImage {
+    /// Width and height (square).
+    pub dim: usize,
+    /// Interleaved RGB bytes, `3 * dim * dim` of them.
+    pub pixels: Vec<u8>,
+}
+
+impl RgbImage {
+    /// Size of the raw pixel payload in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Downscales to `target` × `target` CHW float input by average-pooling
+    /// square patches and normalizing to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target` evenly divides the image dimension.
+    pub fn to_input(&self, target: usize) -> Tensor {
+        assert!(self.dim.is_multiple_of(target), "{target} must divide {}", self.dim);
+        let patch = self.dim / target;
+        let denom = (patch * patch) as f32 * 255.0;
+        Tensor::from_fn(&[3, target, target], |idx| {
+            let (c, ty, tx) = (idx[0], idx[1], idx[2]);
+            let mut acc = 0u32;
+            for py in 0..patch {
+                for px in 0..patch {
+                    let y = ty * patch + py;
+                    let x = tx * patch + px;
+                    acc += self.pixels[(y * self.dim + x) * 3 + c] as u32;
+                }
+            }
+            acc as f32 / denom
+        })
+    }
+}
+
+/// Generates image `index` of the dataset (deterministic in `index` and
+/// `seed`). Images rotate through four procedural families — gradients,
+/// checkerboards, noise fields, and radial blobs — so the set is
+/// "diversified" like the paper's.
+///
+/// # Panics
+///
+/// Panics if `index >= DATASET_SIZE`.
+pub fn dataset_image(index: usize, seed: u64) -> RgbImage {
+    assert!(index < DATASET_SIZE, "index {index} out of range");
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(1_000_003).wrapping_add(index as u64));
+    let dim = IMAGE_DIM;
+    let mut pixels = vec![0u8; 3 * dim * dim];
+    let family = index % 4;
+    let (p1, p2) = (rng.gen_range(3u32..23), rng.gen_range(2u32..9));
+    for y in 0..dim {
+        for x in 0..dim {
+            let base = (y * dim + x) * 3;
+            let (r, g, b) = match family {
+                0 => {
+                    // Diagonal gradient.
+                    let v = ((x + y) * 255 / (2 * dim - 2)) as u8;
+                    (v, v.wrapping_add(p1 as u8), v.wrapping_mul(p2 as u8))
+                }
+                1 => {
+                    // Checkerboard with random cell size.
+                    let cell = 8 + (p1 as usize % 32);
+                    let on = (x / cell + y / cell).is_multiple_of(2);
+                    if on {
+                        (230, 20 + p2 as u8, 40)
+                    } else {
+                        (25, 200, 180u8.wrapping_sub(p1 as u8))
+                    }
+                }
+                2 => {
+                    // Noise field.
+                    (rng.gen(), rng.gen(), rng.gen())
+                }
+                _ => {
+                    // Radial blob.
+                    let dx = x as f64 - dim as f64 / 2.0;
+                    let dy = y as f64 - dim as f64 / 2.0;
+                    let d = (dx * dx + dy * dy).sqrt() / (dim as f64 / 2.0);
+                    let v = ((1.0 - d.min(1.0)) * 255.0) as u8;
+                    (v, v / (p2 as u8 + 1), 255 - v)
+                }
+            };
+            pixels[base] = r;
+            pixels[base + 1] = g;
+            pixels[base + 2] = b;
+        }
+    }
+    RgbImage { dim, pixels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_are_about_a_megabyte() {
+        let img = dataset_image(0, 1);
+        assert_eq!(img.byte_len(), 3 * 512 * 512);
+        assert!(img.byte_len() > 700_000);
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        assert_eq!(dataset_image(7, 42), dataset_image(7, 42));
+        assert_ne!(dataset_image(7, 42), dataset_image(8, 42));
+        assert_ne!(dataset_image(7, 42), dataset_image(7, 43));
+    }
+
+    #[test]
+    fn families_rotate() {
+        // Neighbouring indices come from different families and must differ.
+        let a = dataset_image(0, 1);
+        let b = dataset_image(1, 1);
+        let c = dataset_image(2, 1);
+        assert_ne!(a.pixels, b.pixels);
+        assert_ne!(b.pixels, c.pixels);
+    }
+
+    #[test]
+    fn to_input_normalizes() {
+        let img = dataset_image(3, 1);
+        let input = img.to_input(32);
+        assert_eq!(input.shape(), &[3, 32, 32]);
+        assert!(input.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // A non-trivial image has non-constant input.
+        let first = input.data()[0];
+        assert!(input.data().iter().any(|&v| (v - first).abs() > 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn bad_target_panics() {
+        dataset_image(0, 1).to_input(33);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_bound_checked() {
+        dataset_image(DATASET_SIZE, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! A from-scratch neural-network inference engine for the confidential-ML
+//! experiment (paper §IV-C, Fig. 3).
+//!
+//! The paper runs TensorFlow Lite with a MobileNet model over 40 one-MB
+//! images inside secure and normal VMs. This crate supplies the equivalent
+//! substrate: dense [`Tensor`]s, the MobileNet layer set (standard,
+//! depthwise and pointwise convolutions, ReLU6, global average pooling,
+//! dense, softmax), a [`mobilenet`] model builder with deterministic
+//! weights, and a procedural [`dataset_image`] generator for the 40-image
+//! dataset including the decode/resize preprocessing step.
+//!
+//! # Example
+//!
+//! ```
+//! use confbench_tinynn::{dataset_image, mobilenet};
+//!
+//! let model = mobilenet(32, 4, 10, 7);
+//! let image = dataset_image(0, 7);
+//! let probs = model.forward(&image.to_input(32));
+//! let class = probs.argmax();
+//! assert!(class < 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod image;
+mod layers;
+mod model;
+mod tensor;
+
+pub use image::{dataset_image, RgbImage, DATASET_SIZE, IMAGE_DIM};
+pub use layers::{Conv2d, Dense, DepthwiseConv2d, GlobalAvgPool, Layer, Relu6, Softmax};
+pub use model::{mobilenet, ForwardCost, Sequential};
+pub use tensor::Tensor;

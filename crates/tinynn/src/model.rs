@@ -1,0 +1,190 @@
+//! Sequential models and the MobileNet-shaped classifier.
+
+use crate::layers::{Conv2d, Dense, DepthwiseConv2d, GlobalAvgPool, Layer, Relu6, Softmax};
+use crate::tensor::Tensor;
+
+/// A sequential stack of layers.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    input_shape: Vec<usize>,
+}
+
+/// Cost summary of one forward pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForwardCost {
+    /// Total multiply-accumulates.
+    pub flops: u64,
+    /// Bytes of activations written across all layers.
+    pub activation_bytes: u64,
+}
+
+impl Sequential {
+    /// Creates an empty model for a fixed input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty.
+    pub fn new(input_shape: &[usize]) -> Self {
+        assert!(!input_shape.is_empty(), "input shape required");
+        Sequential { layers: Vec::new(), input_shape: input_shape.to_vec() }
+    }
+
+    /// Appends a layer, checking shape compatibility lazily at forward time.
+    pub fn push(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The declared input shape.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Runs inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the declared input shape, or any
+    /// layer's expectation.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape(), self.input_shape, "model input shape");
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Static cost of one forward pass.
+    pub fn cost(&self) -> ForwardCost {
+        let mut shape = self.input_shape.clone();
+        let mut cost = ForwardCost::default();
+        for layer in &self.layers {
+            cost.flops += layer.flops(&shape);
+            shape = layer.output_shape(&shape);
+            cost.activation_bytes += 4 * shape.iter().product::<usize>() as u64;
+        }
+        cost
+    }
+
+    /// Layer names, in order (diagnostics).
+    pub fn layer_names(&self) -> Vec<String> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+/// Builds the MobileNet-shaped classifier used by the confidential-ML
+/// experiment: a stem convolution, `blocks` depthwise-separable blocks with
+/// channel growth and periodic spatial downsampling, global average pooling
+/// and a softmax classifier head.
+///
+/// The default experiment uses 32×32×3 inputs with 6 blocks and 10 classes —
+/// far smaller than MobileNetV1 on ImageNet, but with the identical
+/// depthwise-separable cost structure the experiment measures.
+///
+/// # Panics
+///
+/// Panics if `blocks == 0` or `classes == 0`.
+///
+/// # Example
+///
+/// ```
+/// use confbench_tinynn::{mobilenet, Tensor};
+///
+/// let model = mobilenet(32, 4, 10, 7);
+/// let image = Tensor::zeros(&[3, 32, 32]);
+/// let probs = model.forward(&image);
+/// assert_eq!(probs.shape(), &[10]);
+/// let sum: f32 = probs.data().iter().sum();
+/// assert!((sum - 1.0).abs() < 1e-5);
+/// ```
+pub fn mobilenet(input_hw: usize, blocks: usize, classes: usize, seed: u64) -> Sequential {
+    assert!(blocks > 0 && classes > 0, "blocks and classes must be positive");
+    let mut model = Sequential::new(&[3, input_hw, input_hw]);
+    let mut channels = 8;
+    model.push(Box::new(Conv2d::new(3, channels, 3, 2, 1, seed)));
+    model.push(Box::new(Relu6));
+    let mut hw = input_hw / 2;
+    for b in 0..blocks {
+        // Downsample every other block while we still have spatial extent.
+        let stride = if b % 2 == 1 && hw > 4 { 2 } else { 1 };
+        model.push(Box::new(DepthwiseConv2d::new(channels, 3, stride, 1, seed + 100 + b as u64)));
+        model.push(Box::new(Relu6));
+        let next = (channels * 2).min(128);
+        model.push(Box::new(Conv2d::new(channels, next, 1, 1, 0, seed + 200 + b as u64)));
+        model.push(Box::new(Relu6));
+        channels = next;
+        if stride == 2 {
+            hw /= 2;
+        }
+    }
+    model.push(Box::new(GlobalAvgPool));
+    model.push(Box::new(Dense::new(channels, classes, seed + 999)));
+    model.push(Box::new(Softmax));
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobilenet_output_is_distribution() {
+        let model = mobilenet(32, 6, 10, 1);
+        let input = Tensor::from_fn(&[3, 32, 32], |idx| ((idx[1] + idx[2]) % 7) as f32 / 7.0);
+        let out = model.forward(&input);
+        assert_eq!(out.shape(), &[10]);
+        let sum: f32 = out.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(out.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let model = mobilenet(32, 4, 10, 5);
+        let input = Tensor::from_fn(&[3, 32, 32], |idx| (idx[2] as f32).sin());
+        assert_eq!(model.forward(&input), model.forward(&input));
+    }
+
+    #[test]
+    fn different_seeds_different_predictions() {
+        let input = Tensor::from_fn(&[3, 32, 32], |idx| ((idx[0] + idx[1] * idx[2]) % 11) as f32);
+        let a = mobilenet(32, 4, 10, 1).forward(&input);
+        let b = mobilenet(32, 4, 10, 2).forward(&input);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cost_grows_with_depth() {
+        let small = mobilenet(32, 2, 10, 1).cost();
+        let big = mobilenet(32, 6, 10, 1).cost();
+        assert!(big.flops > small.flops);
+        assert!(big.activation_bytes > small.activation_bytes);
+        assert!(small.flops > 100_000, "non-trivial compute: {}", small.flops);
+    }
+
+    #[test]
+    fn layer_names_describe_structure() {
+        let model = mobilenet(32, 2, 10, 1);
+        let names = model.layer_names();
+        assert!(names[0].starts_with("conv3x3s2"));
+        assert!(names.iter().any(|n| n.starts_with("dw3x3")));
+        assert_eq!(names.last().unwrap(), "softmax");
+    }
+
+    #[test]
+    #[should_panic(expected = "model input shape")]
+    fn wrong_input_shape_panics() {
+        mobilenet(32, 2, 10, 1).forward(&Tensor::zeros(&[3, 16, 16]));
+    }
+}

@@ -1,0 +1,179 @@
+//! A minimal dense tensor.
+
+use std::fmt;
+
+/// A row-major `f32` tensor with runtime shape.
+///
+/// Layout convention for activations is `[channels, height, width]` (CHW).
+///
+/// # Example
+///
+/// ```
+/// use confbench_tinynn::Tensor;
+///
+/// let t = Tensor::from_fn(&[2, 3], |idx| (idx[0] * 3 + idx[1]) as f32);
+/// assert_eq!(t.get(&[1, 2]), 5.0);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty() && shape.iter().all(|&d| d > 0), "invalid shape {shape:?}");
+        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// Builds a tensor by evaluating `f` at every index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid shapes (see [`Tensor::zeros`]).
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let mut t = Tensor::zeros(shape);
+        let mut idx = vec![0usize; shape.len()];
+        for i in 0..t.data.len() {
+            t.data[i] = f(&idx);
+            // Increment the multi-index, last dimension fastest.
+            for d in (0..shape.len()).rev() {
+                idx[d] += 1;
+                if idx[d] < shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        t
+    }
+
+    /// Wraps raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape volume.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let volume: usize = shape.iter().product();
+        assert_eq!(data.len(), volume, "data length {} != shape volume {volume}", data.len());
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable data view.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable data view.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-range indices.
+    pub fn get(&self, idx: &[usize]) -> f32 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-range indices.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let off = self.offset(idx);
+        self.data[off] = value;
+    }
+
+    /// Index of the maximum element (ties resolve to the first).
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .fold((0, f32::NEG_INFINITY), |(bi, bv), (i, &v)| if v > bv { (i, v) } else { (bi, bv) })
+            .0
+    }
+
+    fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.shape.len(), "rank mismatch");
+        let mut off = 0;
+        for (d, (&i, &s)) in idx.iter().zip(&self.shape).enumerate() {
+            assert!(i < s, "index {i} out of range for dim {d} (size {s})");
+            off = off * s + i;
+        }
+        off
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_orders_row_major() {
+        let t = Tensor::from_fn(&[2, 2, 2], |idx| (idx[0] * 100 + idx[1] * 10 + idx[2]) as f32);
+        assert_eq!(t.data(), &[0.0, 1.0, 10.0, 11.0, 100.0, 101.0, 110.0, 111.0]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(&[3, 4]);
+        t.set(&[2, 3], 7.5);
+        assert_eq!(t.get(&[2, 3]), 7.5);
+        assert_eq!(t.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        let t = Tensor::from_vec(&[4], vec![1.0, 5.0, 5.0, 2.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        Tensor::zeros(&[2, 2]).get(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shape")]
+    fn zero_dim_rejected() {
+        Tensor::zeros(&[3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn rank_mismatch_panics() {
+        Tensor::zeros(&[2, 2]).get(&[1]);
+    }
+}

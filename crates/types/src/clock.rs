@@ -1,0 +1,216 @@
+//! Deterministic virtual time.
+//!
+//! Every simulated execution in ConfBench-RS is charged in [`Cycles`] against
+//! a [`SimClock`], never in wall-clock time, so all figures regenerate
+//! bit-identically from a seed.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A count of virtual CPU cycles.
+///
+/// `Cycles` is an additive quantity: it supports `+`, `-`, scaling by an
+/// integer factor, and summation. Conversion to time requires the host
+/// frequency (see [`Cycles::as_nanos`]).
+///
+/// # Example
+///
+/// ```
+/// use confbench_types::Cycles;
+///
+/// let c = Cycles::new(3_200) * 2;
+/// assert_eq!(c.get(), 6_400);
+/// // At 3.2 GHz, 3 200 cycles is one microsecond.
+/// assert_eq!(Cycles::new(3_200).as_nanos(3.2), 1_000.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to nanoseconds at `freq_ghz` gigahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_ghz` is not strictly positive.
+    pub fn as_nanos(self, freq_ghz: f64) -> f64 {
+        assert!(freq_ghz > 0.0, "frequency must be positive, got {freq_ghz}");
+        self.0 as f64 / freq_ghz
+    }
+
+    /// Converts to milliseconds at `freq_ghz` gigahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_ghz` is not strictly positive.
+    pub fn as_millis(self, freq_ghz: f64) -> f64 {
+        self.as_nanos(freq_ghz) / 1e6
+    }
+
+    /// Saturating addition — virtual clocks never wrap.
+    pub fn saturating_add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+
+    /// Scales the cycle count by a floating-point factor, rounding to the
+    /// nearest cycle. Used by platform cost models (e.g. the FVP simulation
+    /// multiplier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scale(self, factor: f64) -> Cycles {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid scale factor {factor}");
+        Cycles((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a.saturating_add(b))
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(n: u64) -> Self {
+        Cycles(n)
+    }
+}
+
+/// A monotonically advancing virtual clock.
+///
+/// A `SimClock` belongs to one simulated vCPU/VM; components advance it as
+/// they charge costs, and measurements are deltas between [`SimClock::now`]
+/// readings.
+///
+/// # Example
+///
+/// ```
+/// use confbench_types::{Cycles, SimClock};
+///
+/// let mut clock = SimClock::new();
+/// let t0 = clock.now();
+/// clock.advance(Cycles::new(500));
+/// assert_eq!((clock.now() - t0).get(), 500);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now: Cycles,
+}
+
+impl SimClock {
+    /// Creates a clock at cycle zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// The current virtual timestamp.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Advances the clock by `delta`, saturating at `u64::MAX`.
+    pub fn advance(&mut self, delta: Cycles) {
+        self.now = self.now.saturating_add(delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(32);
+        assert_eq!((a + b).get(), 42);
+        assert_eq!((b - a).get(), 22);
+        assert_eq!((a * 4).get(), 40);
+        let total: Cycles = [a, b, a].into_iter().sum();
+        assert_eq!(total.get(), 52);
+    }
+
+    #[test]
+    fn nanos_conversion() {
+        // 3.0 GHz: 3 cycles per ns.
+        assert_eq!(Cycles::new(3_000_000_000).as_nanos(3.0), 1e9);
+        assert!((Cycles::new(3_000_000_000).as_millis(3.0) - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn zero_frequency_panics() {
+        let _ = Cycles::new(1).as_nanos(0.0);
+    }
+
+    #[test]
+    fn scale_rounds() {
+        assert_eq!(Cycles::new(10).scale(1.26).get(), 13);
+        assert_eq!(Cycles::new(10).scale(0.0).get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scale factor")]
+    fn negative_scale_panics() {
+        let _ = Cycles::new(1).scale(-1.0);
+    }
+
+    #[test]
+    fn clock_is_monotone_and_saturates() {
+        let mut c = SimClock::new();
+        c.advance(Cycles::new(u64::MAX));
+        c.advance(Cycles::new(100));
+        assert_eq!(c.now().get(), u64::MAX);
+    }
+}

@@ -1,0 +1,86 @@
+//! Workspace-level error type.
+
+use std::fmt;
+
+/// Convenience alias for `Result<T, confbench_types::Error>`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Top-level error for ConfBench operations.
+///
+/// Lower layers (memory model, interpreter, database, …) define their own
+/// precise error types; this enum is the boundary type the tool's public API
+/// (gateway, dispatch, launchers) returns.
+#[derive(Debug)]
+pub enum Error {
+    /// The requested function is not registered with the gateway.
+    UnknownFunction(String),
+    /// The requested language is not registered on the target VM.
+    UnsupportedLanguage(String),
+    /// No VM of the requested target is available in any pool.
+    NoVmAvailable(String),
+    /// The workload itself failed during execution.
+    Workload(String),
+    /// Attestation failed (generation or verification).
+    Attestation(String),
+    /// A transport/protocol problem between gateway and host.
+    Transport(String),
+    /// Malformed user input (bad request body, bad arguments).
+    InvalidRequest(String),
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownFunction(name) => write!(f, "unknown function: {name}"),
+            Error::UnsupportedLanguage(lang) => write!(f, "unsupported language: {lang}"),
+            Error::NoVmAvailable(target) => write!(f, "no VM available for target {target}"),
+            Error::Workload(msg) => write!(f, "workload failed: {msg}"),
+            Error::Attestation(msg) => write!(f, "attestation failed: {msg}"),
+            Error::Transport(msg) => write!(f, "transport error: {msg}"),
+            Error::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::UnknownFunction("fib".into());
+        assert_eq!(e.to_string(), "unknown function: fib");
+    }
+
+    #[test]
+    fn io_source_is_chained() {
+        let inner = std::io::Error::other("boom");
+        let e = Error::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,181 @@
+//! FaaS implementation languages and runtimes.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A FaaS function implementation language/runtime supported by ConfBench.
+///
+/// Matches the seven runtimes the paper evaluates (§IV-B): Python, Node.js,
+/// Ruby, Lua, LuaJIT, Go and WebAssembly (Wasmi). The selection deliberately
+/// spans heavyweight managed runtimes (Python, Node, Ruby), lightweight
+/// interpreters (Lua), trace-JITs (LuaJIT), compiled natives (Go), and a
+/// portable bytecode VM (Wasm), because the paper's FaaS finding is that
+/// runtime complexity correlates with TEE overhead.
+///
+/// # Example
+///
+/// ```
+/// use confbench_types::Language;
+///
+/// assert_eq!("node".parse::<Language>()?, Language::Node);
+/// assert!(Language::Python.is_managed());
+/// assert!(!Language::Go.is_managed());
+/// # Ok::<(), confbench_types::ParseLanguageError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Language {
+    /// CPython (3.10–3.12 in the paper's testbed).
+    Python,
+    /// Node.js / V8 (20–22 in the paper's testbed).
+    Node,
+    /// CRuby / MRI (3.0–3.3 in the paper's testbed).
+    Ruby,
+    /// PUC-Lua 5.4 interpreter.
+    Lua,
+    /// LuaJIT 2.1 trace-compiling runtime.
+    #[serde(rename = "luajit")]
+    LuaJit,
+    /// Go 1.20, ahead-of-time compiled.
+    Go,
+    /// WebAssembly executed by the Wasmi interpreter v0.32.
+    Wasm,
+}
+
+impl Language {
+    /// All supported languages, in the paper's heatmap row order.
+    pub const ALL: [Language; 7] = [
+        Language::Python,
+        Language::Node,
+        Language::Ruby,
+        Language::Lua,
+        Language::LuaJit,
+        Language::Go,
+        Language::Wasm,
+    ];
+
+    /// Whether the runtime is a "complex managed runtime" in the paper's
+    /// terminology — a large interpreter/VM with garbage collection and a
+    /// sizeable resident footprint (Python, Node, Ruby). These are the
+    /// runtimes the paper observes imposing the heaviest burden on TEE
+    /// operation.
+    pub fn is_managed(self) -> bool {
+        matches!(self, Language::Python | Language::Node | Language::Ruby)
+    }
+
+    /// Whether functions in this language are executed by a real in-tree
+    /// execution engine (the CBScript interpreter for Lua/LuaJIT, the stack
+    /// bytecode VM for Wasm, native Rust closures for Go) rather than by a
+    /// profile-transformed emulation (Python, Node, Ruby).
+    pub fn has_native_engine(self) -> bool {
+        matches!(self, Language::Lua | Language::LuaJit | Language::Go | Language::Wasm)
+    }
+
+    /// Runtime version string matching the paper's TDX testbed where
+    /// applicable (§IV-B), used in reports.
+    pub fn version(self) -> &'static str {
+        match self {
+            Language::Python => "3.12.3",
+            Language::Node => "22.2.0",
+            Language::Ruby => "3.2",
+            Language::Lua => "5.4.6",
+            Language::LuaJit => "2.1",
+            Language::Go => "1.20.3",
+            Language::Wasm => "wasmi-0.32",
+        }
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Language::Python => "python",
+            Language::Node => "node",
+            Language::Ruby => "ruby",
+            Language::Lua => "lua",
+            Language::LuaJit => "luajit",
+            Language::Go => "go",
+            Language::Wasm => "wasm",
+        })
+    }
+}
+
+/// Error returned when parsing a [`Language`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLanguageError {
+    input: String,
+}
+
+impl ParseLanguageError {
+    /// The offending input string.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseLanguageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown language: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseLanguageError {}
+
+impl FromStr for Language {
+    type Err = ParseLanguageError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "python" | "py" => Ok(Language::Python),
+            "node" | "nodejs" | "js" | "javascript" => Ok(Language::Node),
+            "ruby" | "rb" => Ok(Language::Ruby),
+            "lua" => Ok(Language::Lua),
+            "luajit" => Ok(Language::LuaJit),
+            "go" | "golang" => Ok(Language::Go),
+            "wasm" | "webassembly" | "wasmi" => Ok(Language::Wasm),
+            _ => Err(ParseLanguageError { input: s.to_owned() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_fromstr_roundtrip() {
+        for l in Language::ALL {
+            assert_eq!(l.to_string().parse::<Language>().unwrap(), l);
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!("js".parse::<Language>().unwrap(), Language::Node);
+        assert_eq!("golang".parse::<Language>().unwrap(), Language::Go);
+        assert_eq!("wasmi".parse::<Language>().unwrap(), Language::Wasm);
+    }
+
+    #[test]
+    fn unknown_language_is_error() {
+        let err = "cobol".parse::<Language>().unwrap_err();
+        assert_eq!(err.input(), "cobol");
+    }
+
+    #[test]
+    fn managed_partition() {
+        let managed: Vec<_> = Language::ALL.iter().filter(|l| l.is_managed()).collect();
+        assert_eq!(managed.len(), 3);
+        assert!(Language::ALL.iter().all(|l| l.is_managed() != l.has_native_engine()));
+    }
+
+    #[test]
+    fn serde_names_match_display() {
+        for l in Language::ALL {
+            let json = serde_json::to_string(&l).unwrap();
+            assert_eq!(json, format!("\"{l}\""));
+        }
+    }
+}

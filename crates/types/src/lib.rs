@@ -1,0 +1,43 @@
+//! Shared vocabulary types for the ConfBench-RS workspace.
+//!
+//! This crate defines the data model that every other crate speaks:
+//!
+//! * [`TeePlatform`] / [`VmKind`] — which trusted execution environment a
+//!   workload targets, and whether the VM is confidential or "normal";
+//! * [`Language`] — the FaaS language runtimes the paper evaluates;
+//! * [`Cycles`] / [`SimClock`] — the deterministic virtual-time model all
+//!   simulated execution is charged in;
+//! * [`Op`] / [`OpTrace`] — the abstract operation stream a workload emits and
+//!   a simulated VM executes;
+//! * [`RunRequest`] / [`RunResult`] — the wire types exchanged between the
+//!   ConfBench gateway, hosts, and users.
+//!
+//! # Example
+//!
+//! ```
+//! use confbench_types::{Language, OpTrace, TeePlatform};
+//!
+//! let mut trace = OpTrace::new();
+//! trace.cpu(1_000);
+//! trace.alloc(4096);
+//! assert_eq!(trace.total_cpu_ops(), 1_000);
+//! assert!(TeePlatform::Tdx.is_hardware());
+//! assert_eq!(Language::LuaJit.to_string(), "luajit");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod error;
+mod language;
+mod ops;
+mod platform;
+mod run;
+
+pub use clock::{Cycles, SimClock};
+pub use error::{Error, Result};
+pub use language::{Language, ParseLanguageError};
+pub use ops::{Op, OpTrace, SyscallKind};
+pub use platform::{ParsePlatformError, TeePlatform, VmKind, VmTarget};
+pub use run::{FunctionSpec, PerfReport, RunRequest, RunResult, TrialStats, WorkloadKind};

@@ -1,0 +1,260 @@
+//! TEE platform and VM-kind identifiers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A trusted-execution-environment platform that ConfBench can target.
+///
+/// Mirrors the three VM-based TEEs evaluated in the paper (§II): Intel TDX,
+/// AMD SEV-SNP, and ARM CCA (available only behind ARM's FVP simulator at the
+/// time of the paper, and modelled as such here).
+///
+/// # Example
+///
+/// ```
+/// use confbench_types::TeePlatform;
+///
+/// assert!(TeePlatform::Tdx.is_hardware());
+/// assert!(!TeePlatform::Cca.is_hardware());
+/// assert_eq!("sev-snp".parse::<TeePlatform>()?, TeePlatform::SevSnp);
+/// # Ok::<(), confbench_types::ParsePlatformError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum TeePlatform {
+    /// Intel Trust Domain Extensions.
+    Tdx,
+    /// AMD Secure Encrypted Virtualization with Secure Nested Paging.
+    SevSnp,
+    /// ARM Confidential Compute Architecture (simulated via FVP).
+    Cca,
+}
+
+impl TeePlatform {
+    /// All supported platforms, in the order the paper presents them.
+    pub const ALL: [TeePlatform; 3] = [TeePlatform::Tdx, TeePlatform::SevSnp, TeePlatform::Cca];
+
+    /// Returns `true` for platforms backed by real silicon in the paper's
+    /// testbed (TDX, SEV-SNP); `false` for the FVP-simulated CCA.
+    pub fn is_hardware(self) -> bool {
+        !matches!(self, TeePlatform::Cca)
+    }
+
+    /// Whether the platform exposes hardware performance counters inside the
+    /// confidential VM. CCA realms under FVP do not (paper §III-B), so
+    /// ConfBench falls back to a custom monitoring script there.
+    pub fn has_perf_counters(self) -> bool {
+        self.is_hardware()
+    }
+
+    /// Whether the platform supports remote attestation in our testbed.
+    /// The FVP simulator lacks the required hardware support (paper §IV-B).
+    pub fn supports_attestation(self) -> bool {
+        self.is_hardware()
+    }
+
+    /// Nominal host CPU frequency in GHz, matching the paper's testbed
+    /// (Xeon Gold 5515+ at 3.2 GHz, EPYC 9124 at 3.0 GHz; FVP hosts vary —
+    /// we pin 2.0 GHz for the simulated ARM platform).
+    pub fn host_freq_ghz(self) -> f64 {
+        match self {
+            TeePlatform::Tdx => 3.2,
+            TeePlatform::SevSnp => 3.0,
+            TeePlatform::Cca => 2.0,
+        }
+    }
+}
+
+impl fmt::Display for TeePlatform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TeePlatform::Tdx => "tdx",
+            TeePlatform::SevSnp => "sev-snp",
+            TeePlatform::Cca => "cca",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing a [`TeePlatform`] or [`VmKind`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePlatformError {
+    input: String,
+}
+
+impl ParsePlatformError {
+    /// The offending input string.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParsePlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown TEE platform or VM kind: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParsePlatformError {}
+
+impl FromStr for TeePlatform {
+    type Err = ParsePlatformError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tdx" => Ok(TeePlatform::Tdx),
+            "sev-snp" | "sev_snp" | "snp" | "sev" => Ok(TeePlatform::SevSnp),
+            "cca" => Ok(TeePlatform::Cca),
+            _ => Err(ParsePlatformError { input: s.to_owned() }),
+        }
+    }
+}
+
+/// Whether a VM is a confidential (TEE-backed) VM or a plain one.
+///
+/// The paper runs every workload twice — once in each kind — and reports the
+/// secure/normal execution-time ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum VmKind {
+    /// A confidential VM protected by the host's TEE.
+    Secure,
+    /// A conventional VM with no TEE protections (the baseline).
+    Normal,
+}
+
+impl VmKind {
+    /// Both kinds, secure first (the paper's plotting order).
+    pub const ALL: [VmKind; 2] = [VmKind::Secure, VmKind::Normal];
+}
+
+impl fmt::Display for VmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VmKind::Secure => "secure",
+            VmKind::Normal => "normal",
+        })
+    }
+}
+
+impl FromStr for VmKind {
+    type Err = ParsePlatformError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "secure" | "confidential" => Ok(VmKind::Secure),
+            "normal" | "plain" => Ok(VmKind::Normal),
+            _ => Err(ParsePlatformError { input: s.to_owned() }),
+        }
+    }
+}
+
+/// A fully-specified execution target: a platform plus a VM kind.
+///
+/// A `VmTarget` is what a [`crate::RunRequest`] carries and what a gateway
+/// pool balances over.
+///
+/// # Example
+///
+/// ```
+/// use confbench_types::{TeePlatform, VmKind, VmTarget};
+///
+/// let t = VmTarget::secure(TeePlatform::SevSnp);
+/// assert_eq!(t.kind, VmKind::Secure);
+/// assert_eq!(t.to_string(), "sev-snp/secure");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VmTarget {
+    /// The host platform the VM runs on.
+    pub platform: TeePlatform,
+    /// Whether the VM is confidential or the plain baseline.
+    pub kind: VmKind,
+}
+
+impl VmTarget {
+    /// Creates a target for a confidential VM on `platform`.
+    pub fn secure(platform: TeePlatform) -> Self {
+        VmTarget { platform, kind: VmKind::Secure }
+    }
+
+    /// Creates a target for a normal (baseline) VM on `platform`'s host.
+    pub fn normal(platform: TeePlatform) -> Self {
+        VmTarget { platform, kind: VmKind::Normal }
+    }
+
+    /// The secure/normal pair for `platform`, secure first.
+    pub fn pair(platform: TeePlatform) -> [VmTarget; 2] {
+        [VmTarget::secure(platform), VmTarget::normal(platform)]
+    }
+}
+
+impl fmt::Display for VmTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.platform, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_roundtrips_display_fromstr() {
+        for p in TeePlatform::ALL {
+            assert_eq!(p.to_string().parse::<TeePlatform>().unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn platform_parse_aliases() {
+        assert_eq!("SNP".parse::<TeePlatform>().unwrap(), TeePlatform::SevSnp);
+        assert_eq!("sev_snp".parse::<TeePlatform>().unwrap(), TeePlatform::SevSnp);
+        assert_eq!("TDX".parse::<TeePlatform>().unwrap(), TeePlatform::Tdx);
+    }
+
+    #[test]
+    fn platform_parse_rejects_garbage() {
+        let err = "sgx2".parse::<TeePlatform>().unwrap_err();
+        assert_eq!(err.input(), "sgx2");
+        assert!(err.to_string().contains("sgx2"));
+    }
+
+    #[test]
+    fn cca_is_simulated_without_counters_or_attestation() {
+        assert!(!TeePlatform::Cca.is_hardware());
+        assert!(!TeePlatform::Cca.has_perf_counters());
+        assert!(!TeePlatform::Cca.supports_attestation());
+        assert!(TeePlatform::SevSnp.supports_attestation());
+    }
+
+    #[test]
+    fn vmkind_parses() {
+        assert_eq!("confidential".parse::<VmKind>().unwrap(), VmKind::Secure);
+        assert_eq!("normal".parse::<VmKind>().unwrap(), VmKind::Normal);
+        assert!("bogus".parse::<VmKind>().is_err());
+    }
+
+    #[test]
+    fn target_pair_orders_secure_first() {
+        let [a, b] = VmTarget::pair(TeePlatform::Tdx);
+        assert_eq!(a.kind, VmKind::Secure);
+        assert_eq!(b.kind, VmKind::Normal);
+        assert_eq!(a.platform, b.platform);
+    }
+
+    #[test]
+    fn serde_kebab_case() {
+        let json = serde_json::to_string(&TeePlatform::SevSnp).unwrap();
+        assert_eq!(json, "\"sev-snp\"");
+        let back: TeePlatform = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, TeePlatform::SevSnp);
+    }
+
+    #[test]
+    fn host_frequencies_match_testbed() {
+        assert_eq!(TeePlatform::Tdx.host_freq_ghz(), 3.2);
+        assert_eq!(TeePlatform::SevSnp.host_freq_ghz(), 3.0);
+    }
+}

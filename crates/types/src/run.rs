@@ -1,0 +1,243 @@
+//! Wire types for submitting workloads and returning results.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Cycles, Language, VmTarget};
+
+/// The broad class of a workload (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum WorkloadKind {
+    /// A FaaS function executed through a language runtime.
+    Faas,
+    /// A classic workload: ML inference, DBMS stress, OS microbenchmarks.
+    Classic,
+}
+
+/// A function registered with the ConfBench gateway.
+///
+/// In the real tool users upload function source files per language; here the
+/// spec names a workload from the built-in suite plus its arguments. The
+/// gateway keeps a database of these (paper §III-C).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionSpec {
+    /// Unique function name, e.g. `"cpustress"`.
+    pub name: String,
+    /// Language the function is implemented in.
+    pub language: Language,
+    /// Positional string arguments passed to the function.
+    #[serde(default)]
+    pub args: Vec<String>,
+}
+
+impl FunctionSpec {
+    /// Creates a spec with no arguments.
+    pub fn new(name: impl Into<String>, language: Language) -> Self {
+        FunctionSpec { name: name.into(), language, args: Vec::new() }
+    }
+
+    /// Adds an argument, builder-style.
+    pub fn arg(mut self, a: impl Into<String>) -> Self {
+        self.args.push(a.into());
+        self
+    }
+}
+
+/// A request to execute a function on a given VM target.
+///
+/// This is the JSON body a user POSTs to the gateway's `/run` endpoint
+/// (paper Fig. 2, step 2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunRequest {
+    /// What to run.
+    pub function: FunctionSpec,
+    /// Where to run it (platform + secure/normal).
+    pub target: VmTarget,
+    /// How many independent trials to execute (the paper uses 10).
+    #[serde(default = "default_trials")]
+    pub trials: u32,
+    /// Deterministic seed for the simulated execution.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+fn default_trials() -> u32 {
+    1
+}
+
+impl RunRequest {
+    /// Creates a single-trial request with seed 0.
+    pub fn new(function: FunctionSpec, target: VmTarget) -> Self {
+        RunRequest { function, target, trials: 1, seed: 0 }
+    }
+
+    /// Sets the trial count, builder-style.
+    pub fn trials(mut self, n: u32) -> Self {
+        self.trials = n;
+        self
+    }
+
+    /// Sets the seed, builder-style.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Performance counters piggybacked with a run's output (paper §III-B:
+/// ConfBench invokes `perf stat` on dispatch and returns the metrics with the
+/// result).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Retired instructions (abstract ops in the simulation).
+    pub instructions: u64,
+    /// Elapsed virtual cycles.
+    pub cycles: u64,
+    /// Cache references observed by the cache model.
+    pub cache_references: u64,
+    /// Cache misses observed by the cache model.
+    pub cache_misses: u64,
+    /// VM exits (TDCALLs / GHCB exits / RSI calls depending on platform).
+    pub vm_exits: u64,
+    /// Guest page faults taken (stage-2 / nested faults included).
+    pub page_faults: u64,
+    /// Whether the numbers came from the perf-counter path (`true`) or the
+    /// custom-script fallback used where counters are unavailable, e.g. CCA
+    /// realms (`false`).
+    pub from_hw_counters: bool,
+}
+
+impl PerfReport {
+    /// Cache miss ratio in `[0, 1]`, or 0 when no references were recorded.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.cache_references == 0 {
+            0.0
+        } else {
+            self.cache_misses as f64 / self.cache_references as f64
+        }
+    }
+}
+
+/// Summary statistics over a run's trials.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrialStats {
+    /// Mean wall-clock milliseconds across trials.
+    pub mean_ms: f64,
+    /// Minimum trial time in milliseconds.
+    pub min_ms: f64,
+    /// Maximum trial time in milliseconds.
+    pub max_ms: f64,
+    /// Sample standard deviation in milliseconds (0 for a single trial).
+    pub stddev_ms: f64,
+}
+
+/// The result of executing a [`RunRequest`], returned to the user by the
+/// gateway (paper Fig. 2, step 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Echo of the executed function name.
+    pub function: String,
+    /// Echo of the language.
+    pub language: Language,
+    /// Echo of the target.
+    pub target: VmTarget,
+    /// Per-trial wall-clock times in milliseconds (virtual time).
+    pub trial_ms: Vec<f64>,
+    /// Per-trial elapsed cycles.
+    pub trial_cycles: Vec<Cycles>,
+    /// Aggregate statistics over `trial_ms`.
+    pub stats: TrialStats,
+    /// Perf counters from the *last* trial (matching `perf stat` semantics of
+    /// one report per invocation).
+    pub perf: PerfReport,
+    /// Function output (workload-specific, used to validate correctness).
+    pub output: String,
+}
+
+impl RunResult {
+    /// Computes [`TrialStats`] from the recorded trial times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trial_ms` is empty.
+    pub fn compute_stats(trial_ms: &[f64]) -> TrialStats {
+        assert!(!trial_ms.is_empty(), "at least one trial is required");
+        let n = trial_ms.len() as f64;
+        let mean = trial_ms.iter().sum::<f64>() / n;
+        let min = trial_ms.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = trial_ms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let var = if trial_ms.len() > 1 {
+            trial_ms.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        TrialStats { mean_ms: mean, min_ms: min, max_ms: max, stddev_ms: var.sqrt() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TeePlatform;
+
+    #[test]
+    fn builder_chains() {
+        let spec = FunctionSpec::new("factors", Language::Go).arg("1234567");
+        let req = RunRequest::new(spec, VmTarget::secure(TeePlatform::Tdx)).trials(10).seed(42);
+        assert_eq!(req.trials, 10);
+        assert_eq!(req.seed, 42);
+        assert_eq!(req.function.args, vec!["1234567"]);
+    }
+
+    #[test]
+    fn request_json_roundtrip() {
+        let req = RunRequest::new(
+            FunctionSpec::new("fib", Language::Wasm),
+            VmTarget::normal(TeePlatform::Cca),
+        );
+        let json = serde_json::to_string(&req).unwrap();
+        let back: RunRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn trials_default_when_absent() {
+        let json = r#"{"function":{"name":"fib","language":"go"},
+                       "target":{"platform":"tdx","kind":"secure"}}"#;
+        let req: RunRequest = serde_json::from_str(json).unwrap();
+        assert_eq!(req.trials, 1);
+        assert_eq!(req.seed, 0);
+    }
+
+    #[test]
+    fn stats_single_trial_has_zero_stddev() {
+        let s = RunResult::compute_stats(&[5.0]);
+        assert_eq!(s.mean_ms, 5.0);
+        assert_eq!(s.stddev_ms, 0.0);
+        assert_eq!(s.min_ms, 5.0);
+        assert_eq!(s.max_ms, 5.0);
+    }
+
+    #[test]
+    fn stats_known_values() {
+        let s = RunResult::compute_stats(&[2.0, 4.0, 6.0]);
+        assert!((s.mean_ms - 4.0).abs() < 1e-12);
+        assert!((s.stddev_ms - 2.0).abs() < 1e-12);
+        assert_eq!(s.min_ms, 2.0);
+        assert_eq!(s.max_ms, 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn stats_empty_panics() {
+        let _ = RunResult::compute_stats(&[]);
+    }
+
+    #[test]
+    fn miss_ratio_handles_zero_refs() {
+        let p = PerfReport::default();
+        assert_eq!(p.miss_ratio(), 0.0);
+        let p = PerfReport { cache_references: 10, cache_misses: 5, ..Default::default() };
+        assert_eq!(p.miss_ratio(), 0.5);
+    }
+}

@@ -1,0 +1,469 @@
+//! The simulated virtual machine: replays [`OpTrace`]s against a platform
+//! cost model, driving the real TEE machinery (SEPT / RMP / GPT) along the
+//! way and producing deterministic cycle counts and perf counters.
+
+use confbench_crypto::SplitMix64;
+use confbench_memsim::{pages_for, PageNum, Swiotlb};
+use confbench_types::{Cycles, Op, OpTrace, PerfReport, SimClock, SyscallKind, TeePlatform, VmKind, VmTarget};
+
+use crate::cache::CacheSim;
+use crate::cca::{Fvp, RealmId, Rmm};
+use crate::cost::CostModel;
+use crate::snp::AmdSp;
+use crate::tdx::{TdId, TdxModule};
+
+/// Pages installed (and measured) during the simulated boot of a VM image.
+const BOOT_IMAGE_PAGES: u64 = 64;
+
+/// Per-allocation cap on how many pages are driven through the *mechanism*
+/// (SEPT/RMP/GPT); costs are always charged analytically for the full count.
+/// Keeps giant allocations cheap to simulate while still exercising the
+/// real state machines.
+const MECHANISM_PAGES_PER_ALLOC: u64 = 32;
+
+/// The result of executing one trace on a [`Vm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionReport {
+    /// Where the trace ran.
+    pub target: VmTarget,
+    /// Virtual cycles consumed (jitter and simulation multiplier applied).
+    pub cycles: Cycles,
+    /// Wall-clock milliseconds at the host frequency.
+    pub wall_ms: f64,
+    /// Perf counters for the run.
+    pub perf: PerfReport,
+}
+
+/// Builder for a [`Vm`].
+///
+/// # Example
+///
+/// ```
+/// use confbench_types::{TeePlatform, VmTarget};
+/// use confbench_vmm::TeeVmBuilder;
+///
+/// let vm = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx))
+///     .seed(42)
+///     .cache_model(true)
+///     .build();
+/// assert_eq!(vm.target(), VmTarget::secure(TeePlatform::Tdx));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TeeVmBuilder {
+    target: VmTarget,
+    seed: u64,
+    cache_model: bool,
+    bounce_buffers: bool,
+    fvp: Option<Fvp>,
+}
+
+impl TeeVmBuilder {
+    /// Starts building a VM for `target`.
+    pub fn new(target: VmTarget) -> Self {
+        TeeVmBuilder { target, seed: 0, cache_model: true, bounce_buffers: true, fvp: None }
+    }
+
+    /// Sets the deterministic seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the cache simulator (default on). With it off,
+    /// memory ops are charged a flat per-line cost — the ablation that
+    /// removes the paper's sub-1.0 ratio cells.
+    pub fn cache_model(mut self, on: bool) -> Self {
+        self.cache_model = on;
+        self
+    }
+
+    /// Enables or disables confidential-I/O bounce buffering (default on).
+    /// Off approximates the TDX-Connect direct-I/O future the paper
+    /// anticipates.
+    pub fn bounce_buffers(mut self, on: bool) -> Self {
+        self.bounce_buffers = on;
+        self
+    }
+
+    /// Overrides the FVP simulation layer for CCA targets (ignored for
+    /// hardware platforms).
+    pub fn fvp(mut self, fvp: Fvp) -> Self {
+        self.fvp = Some(fvp);
+        self
+    }
+
+    /// Boots the VM: builds the cost model, launches the TEE context
+    /// (measured 64-page boot image), and returns a
+    /// ready-to-run [`Vm`].
+    pub fn build(self) -> Vm {
+        let mut cost = CostModel::for_target_with(self.target, self.bounce_buffers);
+        if let Some(fvp) = &self.fvp {
+            if self.target.platform == TeePlatform::Cca {
+                cost.sim_multiplier = fvp.slowdown;
+                if self.target.kind == VmKind::Normal {
+                    cost.jitter_rel_std = fvp.jitter_rel_std;
+                } else {
+                    // Realm keeps its extra jitter on top of the simulator's.
+                    cost.jitter_rel_std = cost.jitter_rel_std.max(fvp.jitter_rel_std);
+                }
+            }
+        }
+        let cache = self.cache_model.then(|| CacheSim::new(cost.cache_salt));
+        let platform = Platform::launch(self.target);
+        Vm {
+            target: self.target,
+            cost,
+            cache,
+            platform,
+            swiotlb: Swiotlb::linux_default(),
+            clock: SimClock::new(),
+            rng: SplitMix64::new(jitter_stream_seed(self.seed, self.target)),
+            heap_pages: 0,
+            high_water_pages: BOOT_IMAGE_PAGES,
+            next_gpa: 0x100,
+            total_exits: 0,
+            total_faults: 0,
+        }
+    }
+}
+
+/// Derives a jitter-stream seed that differs per target, so the secure and
+/// normal VM of one experiment do not draw correlated noise.
+fn jitter_stream_seed(seed: u64, target: VmTarget) -> u64 {
+    let platform_tag = match target.platform {
+        TeePlatform::Tdx => 1u64,
+        TeePlatform::SevSnp => 2,
+        TeePlatform::Cca => 3,
+    };
+    let kind_tag = match target.kind {
+        VmKind::Secure => 0x10u64,
+        VmKind::Normal => 0x20,
+    };
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (platform_tag << 8) ^ kind_tag
+}
+
+/// Platform-specific machinery owned by a VM.
+#[derive(Debug)]
+enum Platform {
+    /// A plain VM: no TEE state.
+    Normal,
+    /// A TDX trust domain.
+    Tdx { module: TdxModule, td: TdId },
+    /// An SEV-SNP guest.
+    Snp { sp: AmdSp, asid: u32, next_page: u64 },
+    /// A CCA realm.
+    Cca { rmm: Rmm, rd: RealmId, next_granule: u64 },
+}
+
+impl Platform {
+    fn launch(target: VmTarget) -> Platform {
+        if target.kind == VmKind::Normal {
+            return Platform::Normal;
+        }
+        match target.platform {
+            TeePlatform::Tdx => {
+                let mut module = TdxModule::new("TDX_1.5.05.46.698");
+                let td = TdId(1);
+                module.tdh_mng_create(td).expect("fresh module");
+                for i in 0..BOOT_IMAGE_PAGES {
+                    module.tdh_mem_page_add(td, PageNum(i), PageNum(0x1_0000 + i)).expect("boot page");
+                }
+                module.tdh_mr_finalize(td).expect("finalize");
+                Platform::Tdx { module, td }
+            }
+            TeePlatform::SevSnp => {
+                let mut sp = AmdSp::new(0x00d1_5ea5_e000_0001, 7);
+                let asid = 1;
+                sp.launch_start(asid).expect("fresh sp");
+                for i in 0..BOOT_IMAGE_PAGES {
+                    sp.launch_update(asid, PageNum(i)).expect("boot page");
+                }
+                sp.launch_finish(asid).expect("finish");
+                Platform::Snp { sp, asid, next_page: BOOT_IMAGE_PAGES }
+            }
+            TeePlatform::Cca => {
+                let mut rmm = Rmm::new(1 << 16);
+                let rd = RealmId(1);
+                rmm.rmi_realm_create(rd).expect("fresh rmm");
+                for i in 0..BOOT_IMAGE_PAGES {
+                    rmm.rmi_data_create(rd, PageNum(0x100 + i), PageNum(i)).expect("boot granule");
+                }
+                rmm.rmi_realm_activate(rd).expect("activate");
+                Platform::Cca { rmm, rd, next_granule: BOOT_IMAGE_PAGES }
+            }
+        }
+    }
+}
+
+/// A simulated virtual machine bound to one [`VmTarget`].
+///
+/// Create with [`TeeVmBuilder`]; run traces with [`Vm::execute`].
+#[derive(Debug)]
+pub struct Vm {
+    target: VmTarget,
+    cost: CostModel,
+    cache: Option<CacheSim>,
+    platform: Platform,
+    swiotlb: Swiotlb,
+    clock: SimClock,
+    rng: SplitMix64,
+    /// Currently allocated heap pages.
+    heap_pages: u64,
+    /// High-water mark: pages that have ever been touched (accepted /
+    /// validated / delegated). Fresh-page TEE costs apply above this only.
+    high_water_pages: u64,
+    next_gpa: u64,
+    total_exits: u64,
+    total_faults: u64,
+}
+
+impl Vm {
+    /// The VM's target.
+    pub fn target(&self) -> VmTarget {
+        self.target
+    }
+
+    /// The active cost model (for inspection in benches/tests).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Virtual clock reading.
+    pub fn now(&self) -> Cycles {
+        self.clock.now()
+    }
+
+    /// Cumulative VM exits since boot.
+    pub fn total_exits(&self) -> u64 {
+        self.total_exits
+    }
+
+    /// The TDX module, when this VM is a trust domain (used by attestation).
+    pub fn tdx_module_mut(&mut self) -> Option<(&mut TdxModule, TdId)> {
+        match &mut self.platform {
+            Platform::Tdx { module, td } => Some((module, *td)),
+            _ => None,
+        }
+    }
+
+    /// The AMD-SP, when this VM is an SNP guest (used by attestation).
+    pub fn amd_sp_mut(&mut self) -> Option<(&mut AmdSp, u32)> {
+        match &mut self.platform {
+            Platform::Snp { sp, asid, .. } => Some((sp, *asid)),
+            _ => None,
+        }
+    }
+
+    /// The RMM, when this VM is a realm.
+    pub fn rmm_mut(&mut self) -> Option<(&mut Rmm, RealmId)> {
+        match &mut self.platform {
+            Platform::Cca { rmm, rd, .. } => Some((rmm, *rd)),
+            _ => None,
+        }
+    }
+
+    /// Executes a trace, advancing the virtual clock, and returns the
+    /// report. Consecutive calls model independent trials: per-trial jitter
+    /// is drawn from the VM's seeded PRNG.
+    pub fn execute(&mut self, trace: &OpTrace) -> ExecutionReport {
+        let mut cycles = 0.0f64;
+        let mut instructions = 0u64;
+        let mut exits = 0u64;
+        let mut faults = 0u64;
+        let mut cache_refs = 0u64;
+        let mut cache_misses = 0u64;
+        let mut device_ns = 0u64;
+
+        for op in trace {
+            match *op {
+                Op::Cpu(n) => {
+                    instructions += n;
+                    cycles += n as f64 * self.cost.cpu_op;
+                }
+                Op::Float(n) => {
+                    instructions += n;
+                    cycles += n as f64 * self.cost.float_op;
+                }
+                Op::MemRead { addr, bytes } | Op::MemWrite { addr, bytes } => {
+                    let write = matches!(op, Op::MemWrite { .. });
+                    let (refs, l2_hits, misses) = match &mut self.cache {
+                        Some(cache) => {
+                            let d = cache.touch(addr, bytes, write);
+                            (d.references, d.l2_hits, d.misses)
+                        }
+                        None => {
+                            // Flat model: every line costs an average blend.
+                            let lines = bytes.div_ceil(64).max(1);
+                            (lines, 0, lines / 8)
+                        }
+                    };
+                    instructions += refs;
+                    cache_refs += refs;
+                    cache_misses += misses;
+                    cycles += refs as f64 * self.cost.line_touch
+                        + l2_hits as f64 * self.cost.l2_hit_penalty
+                        + misses as f64 * (self.cost.dram_penalty + self.cost.secure_miss_extra);
+                }
+                Op::Alloc(bytes) => {
+                    let pages = pages_for(bytes);
+                    self.heap_pages += pages;
+                    let total = BOOT_IMAGE_PAGES + self.heap_pages;
+                    let fresh = total.saturating_sub(self.high_water_pages);
+                    let fresh = fresh.min(pages);
+                    let reused = pages - fresh;
+                    self.high_water_pages = self.high_water_pages.max(total);
+                    cycles += fresh as f64 * (self.cost.alloc_page + self.cost.alloc_fresh_extra)
+                        + reused as f64 * self.cost.alloc_reuse_page;
+                    faults += fresh;
+                    if self.target.kind == VmKind::Secure {
+                        // Fresh secure pages exit to the host for mapping.
+                        exits += fresh;
+                        self.drive_page_mechanism(fresh.min(MECHANISM_PAGES_PER_ALLOC));
+                    }
+                }
+                Op::Free(bytes) => {
+                    let pages = pages_for(bytes).min(self.heap_pages);
+                    self.heap_pages -= pages;
+                    // Sub-page frees still do allocator bookkeeping.
+                    cycles += (pages as f64).max(1.0) * self.cost.free_page;
+                }
+                Op::Syscall { kind, count } => {
+                    instructions += count * 40;
+                    let mult = match kind {
+                        SyscallKind::Spawn => 30.0, // fork+exec kernel work
+                        SyscallKind::DirOp | SyscallKind::FileMeta => 2.0,
+                        _ => 1.0,
+                    };
+                    cycles += count as f64 * self.cost.syscall_guest * mult;
+                    if kind == SyscallKind::Spawn {
+                        // Process creation touches fresh address-space pages.
+                        let pages = 48 * count;
+                        cycles += pages as f64
+                            * (self.cost.alloc_page + self.cost.alloc_fresh_extra)
+                            * 0.5; // half are COW-shared
+                        faults += pages;
+                        if self.target.kind == VmKind::Secure {
+                            exits += pages / 2;
+                        }
+                    }
+                }
+                Op::IoRead(bytes) | Op::IoWrite(bytes) => {
+                    cycles += bytes as f64 * self.cost.io_byte;
+                    if self.target.kind == VmKind::Secure && self.cost.bounce_copy_byte > 0.0 {
+                        let stats = self.swiotlb.transfer(bytes);
+                        cycles += stats.bytes_copied as f64 * self.cost.bounce_copy_byte
+                            + stats.slots_used as f64 * self.cost.bounce_slot;
+                        let doorbells =
+                            stats.slots_used.div_ceil(self.cost.io_slots_per_exit).max(1);
+                        cycles += doorbells as f64 * self.cost.exit_cost;
+                        exits += doorbells;
+                    } else {
+                        // One virtio kick per request.
+                        cycles += self.cost.exit_cost;
+                        exits += 1;
+                    }
+                }
+                Op::CtxSwitch(n) => {
+                    cycles += n as f64 * (self.cost.ctx_switch + self.cost.exit_cost);
+                    exits += n;
+                }
+                Op::PageCycle(bytes) => {
+                    // Pages handed back to the host lose their accepted/
+                    // validated state; refaulting pays the full fresh-page
+                    // price every time, TEE or not the clear, plus TEE
+                    // acceptance and one exit per page in a secure VM.
+                    let pages = pages_for(bytes);
+                    cycles += pages as f64
+                        * (self.cost.free_page
+                            + self.cost.alloc_page
+                            + self.cost.alloc_fresh_extra);
+                    faults += pages;
+                    if self.target.kind == VmKind::Secure {
+                        exits += pages;
+                        self.drive_page_mechanism(pages.min(MECHANISM_PAGES_PER_ALLOC));
+                    }
+                }
+                Op::DeviceWait(ns) => {
+                    device_ns += ns;
+                    // Completion interrupt wakes the guest: one exit round
+                    // trip plus scheduler work, charged as compute.
+                    cycles += self.cost.exit_cost + self.cost.ctx_switch;
+                    exits += 1;
+                }
+                Op::Log(bytes) => {
+                    cycles += bytes as f64 * self.cost.log_byte;
+                    let flushes = bytes.div_ceil(self.cost.log_flush_bytes).max(1);
+                    cycles += flushes as f64 * self.cost.exit_cost;
+                    exits += flushes;
+                }
+            }
+        }
+
+        // Per-trial multiplicative jitter, then the simulation layer.
+        // Device waits are host-side wall time: jittered, but NOT subject
+        // to the FVP simulation multiplier (the simulator's virtual device
+        // completes in host time while simulated CPU work crawls).
+        let jitter = (1.0 + self.rng.next_gaussian() * self.cost.jitter_rel_std).clamp(0.55, 1.8);
+        let device_cycles = device_ns as f64 * self.target.platform.host_freq_ghz();
+        let total = (cycles * self.cost.sim_multiplier + device_cycles) * jitter;
+        let cycles = Cycles::new(total.round() as u64);
+
+        self.clock.advance(cycles);
+        self.total_exits += exits;
+        self.total_faults += faults;
+
+        let perf = PerfReport {
+            instructions,
+            cycles: cycles.get(),
+            cache_references: cache_refs,
+            cache_misses,
+            vm_exits: exits,
+            page_faults: faults,
+            from_hw_counters: self.target.platform.has_perf_counters(),
+        };
+        ExecutionReport {
+            target: self.target,
+            cycles,
+            wall_ms: cycles.as_millis(self.target.platform.host_freq_ghz()),
+            perf,
+        }
+    }
+
+    /// Runs `trials` independent executions of the same trace.
+    pub fn execute_trials(&mut self, trace: &OpTrace, trials: u32) -> Vec<ExecutionReport> {
+        (0..trials.max(1)).map(|_| self.execute(trace)).collect()
+    }
+
+    /// Pushes a bounded number of fresh pages through the platform's real
+    /// page machinery so the state machines are exercised, not just costed.
+    fn drive_page_mechanism(&mut self, pages: u64) {
+        for _ in 0..pages {
+            let gpa = self.next_gpa;
+            self.next_gpa += 1;
+            match &mut self.platform {
+                Platform::Normal => {}
+                Platform::Tdx { module, td } => {
+                    let hpa = PageNum(0x4_0000 + gpa);
+                    if module.tdh_mem_page_aug(*td, PageNum(gpa), hpa).is_ok() {
+                        let _ = module.tdg_mem_page_accept(*td, PageNum(gpa));
+                    }
+                }
+                Platform::Snp { sp, asid, next_page } => {
+                    let page = PageNum(*next_page);
+                    *next_page += 1;
+                    let asid = *asid;
+                    if sp.rmp_mut().assign(page, asid).is_ok() {
+                        let _ = sp.rmp_mut().pvalidate(page, asid);
+                    }
+                    sp.record_ghcb_exit();
+                }
+                Platform::Cca { rmm, rd, next_granule } => {
+                    let g = PageNum(*next_granule);
+                    *next_granule += 1;
+                    let _ = rmm.map_runtime_granule(*rd, PageNum(0x1000 + gpa), g);
+                    rmm.record_rsi_call();
+                }
+            }
+        }
+    }
+}

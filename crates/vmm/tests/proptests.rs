@@ -1,0 +1,111 @@
+//! Property tests for the VM executor.
+
+use confbench_types::{Op, OpTrace, SyscallKind, TeePlatform, VmKind, VmTarget};
+use confbench_vmm::TeeVmBuilder;
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..100_000).prop_map(Op::Cpu),
+        (1u64..50_000).prop_map(Op::Float),
+        (0u64..1 << 22, 1u64..1 << 16)
+            .prop_map(|(addr, bytes)| Op::MemRead { addr, bytes }),
+        (0u64..1 << 22, 1u64..1 << 16)
+            .prop_map(|(addr, bytes)| Op::MemWrite { addr, bytes }),
+        (1u64..1 << 20).prop_map(Op::Alloc),
+        (1u64..1 << 20).prop_map(Op::Free),
+        (1u64..64).prop_map(|n| Op::Syscall { kind: SyscallKind::FileMeta, count: n }),
+        (1u64..1 << 18).prop_map(Op::IoWrite),
+        (1u64..16).prop_map(Op::CtxSwitch),
+        (1u64..1 << 18).prop_map(Op::PageCycle),
+        (1u64..50_000).prop_map(Op::DeviceWait),
+        (1u64..4_096).prop_map(Op::Log),
+    ]
+}
+
+fn arb_trace() -> impl Strategy<Value = OpTrace> {
+    proptest::collection::vec(arb_op(), 1..24).prop_map(|ops| ops.into_iter().collect())
+}
+
+fn arb_target() -> impl Strategy<Value = VmTarget> {
+    (prop::sample::select(TeePlatform::ALL.to_vec()), any::<bool>()).prop_map(|(p, secure)| {
+        VmTarget { platform: p, kind: if secure { VmKind::Secure } else { VmKind::Normal } }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same seed, same trace: bit-identical execution.
+    #[test]
+    fn execution_is_deterministic(trace in arb_trace(), target in arb_target(), seed in any::<u64>()) {
+        let run = || {
+            let mut vm = TeeVmBuilder::new(target).seed(seed).build();
+            let r = vm.execute(&trace);
+            (r.cycles, r.perf)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Jitter-free counters are additive across trace concatenation.
+    #[test]
+    fn counters_are_additive(a in arb_trace(), b in arb_trace(), target in arb_target()) {
+        let mut both = OpTrace::new();
+        both.extend_from(&a);
+        both.extend_from(&b);
+
+        let mut vm1 = TeeVmBuilder::new(target).seed(1).build();
+        let ra = vm1.execute(&a);
+        let rb = vm1.execute(&b);
+        let mut vm2 = TeeVmBuilder::new(target).seed(1).build();
+        let rab = vm2.execute(&both);
+
+        prop_assert_eq!(rab.perf.instructions, ra.perf.instructions + rb.perf.instructions);
+        prop_assert_eq!(rab.perf.vm_exits, ra.perf.vm_exits + rb.perf.vm_exits);
+        prop_assert_eq!(rab.perf.page_faults, ra.perf.page_faults + rb.perf.page_faults);
+        prop_assert_eq!(rab.perf.cache_references, ra.perf.cache_references + rb.perf.cache_references);
+    }
+
+    /// Every execution costs at least one cycle per recorded instruction
+    /// and never reports more cache misses than references.
+    #[test]
+    fn basic_sanity_bounds(trace in arb_trace(), target in arb_target()) {
+        let mut vm = TeeVmBuilder::new(target).seed(3).build();
+        let r = vm.execute(&trace);
+        prop_assert!(r.perf.cache_misses <= r.perf.cache_references);
+        prop_assert!(r.wall_ms >= 0.0);
+        prop_assert!(r.cycles.get() > 0);
+        // The virtual clock advanced by exactly this execution.
+        prop_assert_eq!(vm.now().get(), r.cycles.get());
+    }
+
+    /// Secure VMs never take fewer exits than normal VMs on the same trace
+    /// (confidentiality only adds world switches).
+    #[test]
+    fn secure_exits_dominate(trace in arb_trace(),
+                             platform in prop::sample::select(TeePlatform::ALL.to_vec())) {
+        let mut secure = TeeVmBuilder::new(VmTarget::secure(platform)).seed(5).build();
+        let mut normal = TeeVmBuilder::new(VmTarget::normal(platform)).seed(5).build();
+        let rs = secure.execute(&trace);
+        let rn = normal.execute(&trace);
+        prop_assert!(rs.perf.vm_exits >= rn.perf.vm_exits,
+            "secure {} < normal {}", rs.perf.vm_exits, rn.perf.vm_exits);
+    }
+
+    /// The FVP multiplier never touches the secure/normal *ratio* of
+    /// compute-only traces beyond jitter.
+    #[test]
+    fn pure_cpu_ratio_is_cost_model_only(n in 1_000_000u64..20_000_000) {
+        let mut t = OpTrace::new();
+        t.cpu(n);
+        let mean = |target: VmTarget| {
+            let mut vm = TeeVmBuilder::new(target).seed(9).build();
+            let xs: Vec<f64> =
+                vm.execute_trials(&t, 6).iter().map(|r| r.cycles.get() as f64).collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        let ratio = mean(VmTarget::secure(TeePlatform::Cca))
+            / mean(VmTarget::normal(TeePlatform::Cca));
+        prop_assert!((0.95..1.35).contains(&ratio), "cca cpu ratio {}", ratio);
+    }
+}

@@ -1,0 +1,653 @@
+//! Native (Rust) implementations of the 25 FaaS workloads.
+//!
+//! These are the twins of the CBScript sources in [`crate::scripts`]: they
+//! perform the same computation (bit-identical outputs, enforced by
+//! differential tests) and record the *logical* operation trace the
+//! Python/Node/Ruby/Go launcher paths inflate through runtime profiles.
+
+use confbench_types::{OpTrace, SyscallKind};
+
+/// Shared LCG, mirroring the in-script generator exactly.
+pub(crate) fn lcg(x: i64) -> i64 {
+    (x * 1103515245 + 12345) % 2147483648
+}
+
+fn arg_i64(args: &[String], idx: usize, name: &str) -> Result<i64, String> {
+    args.get(idx)
+        .ok_or_else(|| format!("{name}: missing argument {idx}"))?
+        .parse::<i64>()
+        .map_err(|e| format!("{name}: bad argument {idx}: {e}"))
+}
+
+pub(crate) fn cpustress(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "cpustress")?;
+    let mut acc: i64 = 0;
+    let mut s = 0.0f64;
+    for i in 0..n {
+        acc = (acc + i * i + (i % 7) * 31) % 1_000_000_007;
+        s = s + (i as f64 * 0.001).sin() + (i as f64 * 0.002).cos();
+    }
+    trace.cpu(n as u64 * 8);
+    trace.float(n as u64 * 28); // two libm calls + adds
+    Ok((acc + (s * 1000.0) as i64).to_string())
+}
+
+pub(crate) fn memstress(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let mb = arg_i64(args, 0, "memstress")?;
+    for _ in 0..mb {
+        trace.alloc(1 << 20);
+        trace.mem_write(1 << 20);
+        trace.cpu(200);
+    }
+    Ok(mb.to_string())
+}
+
+pub(crate) fn iostress(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let mb = arg_i64(args, 0, "iostress")?;
+    for _ in 0..mb {
+        trace.syscall(SyscallKind::FileMeta, 1);
+        trace.syscall(SyscallKind::FileWrite, 1);
+        trace.io_write(1 << 20);
+        trace.cpu(400);
+    }
+    for _ in 0..mb {
+        trace.syscall(SyscallKind::FileRead, 1);
+        trace.io_read(1 << 20);
+        trace.cpu(400);
+    }
+    Ok((mb * 2).to_string())
+}
+
+pub(crate) fn logging(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "logging")?;
+    let mut bytes = 0u64;
+    for i in 0..n {
+        bytes += format!("log message number {i}\n").len() as u64;
+    }
+    trace.cpu(n as u64 * 30);
+    trace.log(bytes);
+    Ok(n.to_string())
+}
+
+pub(crate) fn factors(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "factors")?;
+    let mut sum: i64 = 0;
+    let mut d: i64 = 1;
+    let mut iters = 0u64;
+    while d * d <= n {
+        if n % d == 0 {
+            sum += d;
+            let q = n / d;
+            if q != d {
+                sum += q;
+            }
+        }
+        d += 1;
+        iters += 1;
+    }
+    trace.cpu(iters * 7);
+    Ok(sum.to_string())
+}
+
+pub(crate) fn filesystem(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let rounds = arg_i64(args, 0, "filesystem")?;
+    for _ in 0..rounds {
+        trace.syscall(SyscallKind::DirOp, 2);
+        trace.syscall(SyscallKind::FileMeta, 1);
+        trace.syscall(SyscallKind::FileWrite, 1);
+        trace.io_write(1 << 20);
+        trace.syscall(SyscallKind::FileRead, 1);
+        trace.io_read(1 << 20);
+        trace.syscall(SyscallKind::FileMeta, 1);
+        trace.syscall(SyscallKind::DirOp, 3);
+        trace.cpu(1_000);
+    }
+    Ok(rounds.to_string())
+}
+
+fn ack(m: i64, n: i64, calls: &mut u64) -> i64 {
+    *calls += 1;
+    if m == 0 {
+        return n + 1;
+    }
+    if n == 0 {
+        return ack(m - 1, 1, calls);
+    }
+    let inner = ack(m, n - 1, calls);
+    ack(m - 1, inner, calls)
+}
+
+pub(crate) fn ackermann(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let reps = arg_i64(args, 0, "ackermann")?;
+    let n = arg_i64(args, 1, "ackermann")?;
+    let mut total: i64 = 0;
+    let mut calls = 0u64;
+    for _ in 0..reps {
+        total += ack(2, n, &mut calls);
+    }
+    trace.cpu(calls * 12); // call/return + comparisons
+    trace.alloc(calls / 8); // frame churn
+    Ok(total.to_string())
+}
+
+fn fib_rec(n: i64, calls: &mut u64) -> i64 {
+    *calls += 1;
+    if n < 2 {
+        n
+    } else {
+        fib_rec(n - 1, calls) + fib_rec(n - 2, calls)
+    }
+}
+
+pub(crate) fn fib(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "fib")?;
+    let mut calls = 0u64;
+    let out = fib_rec(n, &mut calls);
+    trace.cpu(calls * 10);
+    Ok(out.to_string())
+}
+
+pub(crate) fn primes(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let limit = arg_i64(args, 0, "primes")? as usize;
+    let mut sieve = vec![1u8; limit];
+    sieve[0] = 0;
+    sieve[1] = 0;
+    let mut i = 2;
+    let mut marks = 0u64;
+    while i * i < limit {
+        if sieve[i] == 1 {
+            let mut j = i * i;
+            while j < limit {
+                sieve[j] = 0;
+                j += i;
+                marks += 1;
+            }
+        }
+        i += 1;
+    }
+    let count: i64 = sieve.iter().map(|&b| b as i64).sum();
+    trace.alloc(limit as u64);
+    trace.mem_write(limit as u64);
+    trace.cpu(marks * 4 + limit as u64 * 3);
+    trace.mem_read(limit as u64);
+    Ok(count.to_string())
+}
+
+pub(crate) fn matrix(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "matrix")? as usize;
+    let mut a = vec![0i64; n * n];
+    let mut b = vec![0i64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = ((i * j + i) % 10) as i64;
+            b[i * n + j] = ((i + j * 2) % 10) as i64;
+        }
+    }
+    let mut check: i64 = 0;
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc: i64 = 0;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            check = (check + acc * (i + j + 1) as i64) % 1_000_000_007;
+        }
+    }
+    let nn = (n * n) as u64;
+    trace.alloc(nn * 16);
+    trace.cpu(nn * n as u64 * 3);
+    trace.mem_read(nn * n as u64 / 4); // blocked access approximation
+    Ok(check.to_string())
+}
+
+fn lcg_array(n: usize) -> Vec<i64> {
+    let mut x = 42i64;
+    (0..n)
+        .map(|_| {
+            x = lcg(x);
+            x % 100_000
+        })
+        .collect()
+}
+
+fn sorted_checksum(a: &[i64]) -> i64 {
+    let mut check: i64 = 0;
+    let mut i = 0;
+    while i < a.len() {
+        check = (check + a[i] * (i as i64 + 1)) % 1_000_000_007;
+        i += 97;
+    }
+    check
+}
+
+pub(crate) fn quicksort(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "quicksort")? as usize;
+    let mut a = lcg_array(n);
+    fn qsort(a: &mut [i64], lo: isize, hi: isize, ops: &mut u64) {
+        if lo < hi {
+            let pivot = a[hi as usize];
+            let mut i = lo;
+            for j in lo..hi {
+                *ops += 3;
+                if a[j as usize] < pivot {
+                    a.swap(i as usize, j as usize);
+                    i += 1;
+                }
+            }
+            a.swap(i as usize, hi as usize);
+            qsort(a, lo, i - 1, ops);
+            qsort(a, i + 1, hi, ops);
+        }
+    }
+    let mut ops = 0u64;
+    qsort(&mut a, 0, n as isize - 1, &mut ops);
+    trace.alloc(n as u64 * 16);
+    trace.cpu(ops);
+    trace.mem_read(ops * 8);
+    Ok(sorted_checksum(&a).to_string())
+}
+
+pub(crate) fn mergesort(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "mergesort")? as usize;
+    let mut a = lcg_array(n);
+    let mut buf = vec![0i64; n];
+    let mut width = 1;
+    let mut ops = 0u64;
+    while width < n {
+        let mut lo = 0;
+        while lo < n {
+            let mid = (lo + width).min(n);
+            let hi = (lo + 2 * width).min(n);
+            let (mut i, mut j, mut k) = (lo, mid, lo);
+            while i < mid && j < hi {
+                ops += 3;
+                if a[i] <= a[j] {
+                    buf[k] = a[i];
+                    i += 1;
+                } else {
+                    buf[k] = a[j];
+                    j += 1;
+                }
+                k += 1;
+            }
+            while i < mid {
+                buf[k] = a[i];
+                i += 1;
+                k += 1;
+                ops += 1;
+            }
+            while j < hi {
+                buf[k] = a[j];
+                j += 1;
+                k += 1;
+                ops += 1;
+            }
+            a[lo..hi].copy_from_slice(&buf[lo..hi]);
+            lo += 2 * width;
+        }
+        width *= 2;
+    }
+    trace.alloc(n as u64 * 32);
+    trace.cpu(ops * 2);
+    trace.mem_read(ops * 16);
+    Ok(sorted_checksum(&a).to_string())
+}
+
+pub(crate) fn base64(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "base64")?;
+    let mut x = 42i64;
+    let mut check: i64 = 0;
+    let mut i = 0i64;
+    while i + 2 < n {
+        x = lcg(x);
+        let b0 = x % 256;
+        x = lcg(x);
+        let b1 = x % 256;
+        x = lcg(x);
+        let b2 = x % 256;
+        let triple = b0 * 65536 + b1 * 256 + b2;
+        let s0 = triple / 262144;
+        let s1 = (triple / 4096) % 64;
+        let s2 = (triple / 64) % 64;
+        let s3 = triple % 64;
+        check = (check + s0 + s1 * 2 + s2 * 3 + s3 * 5) % 1_000_000_007;
+        i += 3;
+    }
+    trace.cpu(n as u64 * 10);
+    trace.mem_read(n as u64);
+    Ok(check.to_string())
+}
+
+pub(crate) fn json(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "json")?;
+    let mut braces: i64 = 0;
+    let mut colons: i64 = 0;
+    let mut chars: i64 = 0;
+    for i in 0..n {
+        let rec = format!("{{\"id\":{i},\"name\":\"user{}\",\"score\":{}}}", i % 100, i * 37 % 1000);
+        chars += rec.len() as i64;
+        for c in rec.bytes() {
+            if c == b'{' {
+                braces += 1;
+            }
+            if c == b':' {
+                colons += 1;
+            }
+        }
+        trace.alloc(rec.len() as u64);
+    }
+    trace.cpu(chars as u64 * 4);
+    trace.mem_read(chars as u64);
+    Ok((braces * 1_000_000 + colons % 1_000_000 + chars % 997).to_string())
+}
+
+pub(crate) fn checksum(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "checksum")?;
+    let mut x = 42i64;
+    let mut c: i64 = 0;
+    for _ in 0..n {
+        x = lcg(x);
+        c = (c * 31 + x % 256) % 2_147_483_647;
+    }
+    trace.cpu(n as u64 * 7);
+    Ok(c.to_string())
+}
+
+pub(crate) fn compress(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "compress")?;
+    let mut x = 42i64;
+    let mut prev: i64 = -1;
+    let mut run: i64 = 0;
+    let mut tokens: i64 = 0;
+    let mut check: i64 = 0;
+    for _ in 0..n {
+        x = lcg(x);
+        let v = (x / 1024) % 4;
+        if v == prev {
+            run += 1;
+        } else {
+            if prev >= 0 {
+                tokens += 1;
+                check = (check + prev * 7 + run) % 1_000_000_007;
+            }
+            prev = v;
+            run = 1;
+        }
+    }
+    tokens += 1;
+    check = (check + prev * 7 + run) % 1_000_000_007;
+    trace.cpu(n as u64 * 6);
+    trace.mem_read(n as u64);
+    Ok((tokens * 1_000_000_007 % 999_999_937 + check).to_string())
+}
+
+pub(crate) fn mandelbrot(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let dim = arg_i64(args, 0, "mandelbrot")?;
+    let mut inside: i64 = 0;
+    let mut flops = 0u64;
+    for py in 0..dim {
+        for px in 0..dim {
+            let x0 = px as f64 * 3.0 / dim as f64 - 2.0;
+            let y0 = py as f64 * 3.0 / dim as f64 - 1.5;
+            let mut x = 0.0f64;
+            let mut y = 0.0f64;
+            let mut it = 0;
+            while it < 50 && x * x + y * y <= 4.0 {
+                let xt = x * x - y * y + x0;
+                y = 2.0 * x * y + y0;
+                x = xt;
+                it += 1;
+                flops += 10;
+            }
+            if it == 50 {
+                inside += 1;
+            }
+        }
+    }
+    trace.float(flops);
+    trace.cpu(dim as u64 * dim as u64 * 4);
+    Ok(inside.to_string())
+}
+
+pub(crate) fn nbody(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let steps = arg_i64(args, 0, "nbody")?;
+    let mut px = [0.0f64, 3.0, -3.0];
+    let mut py = [0.0f64, 0.0, 0.0];
+    let mut vx = [0.0f64, 0.0, 0.0];
+    let mut vy = [0.0f64, 0.2, -0.2];
+    let m = [10.0f64, 1.0, 1.0];
+    let dt = 0.01;
+    for _ in 0..steps {
+        for i in 0..3 {
+            let mut ax = 0.0;
+            let mut ay = 0.0;
+            for j in 0..3 {
+                if i != j {
+                    let dx = px[j] - px[i];
+                    let dy = py[j] - py[i];
+                    let d2 = dx * dx + dy * dy + 0.01;
+                    let inv = m[j] / (d2 * d2.sqrt());
+                    ax += dx * inv;
+                    ay += dy * inv;
+                }
+            }
+            vx[i] += ax * dt;
+            vy[i] += ay * dt;
+        }
+        for i in 0..3 {
+            px[i] += vx[i] * dt;
+            py[i] += vy[i] * dt;
+        }
+    }
+    let mut e = 0.0;
+    for i in 0..3 {
+        e += 0.5 * m[i] * (vx[i] * vx[i] + vy[i] * vy[i]);
+    }
+    trace.float(steps as u64 * 150);
+    trace.cpu(steps as u64 * 30);
+    Ok(((e * 100_000.0) as i64).to_string())
+}
+
+pub(crate) fn binarytrees(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let depth = arg_i64(args, 0, "binarytrees")?;
+    let nodes: i64 = 1 << (depth + 1);
+    let total = (nodes - 1) as usize;
+    let mut left = vec![-1i64; nodes as usize];
+    let mut right = vec![-1i64; nodes as usize];
+    let mut val = vec![0i64; nodes as usize];
+    for i in 0..total {
+        val[i] = (i % 97) as i64;
+        if 2 * i + 2 < total {
+            left[i] = (2 * i + 1) as i64;
+            right[i] = (2 * i + 2) as i64;
+        }
+    }
+    let mut stack = vec![0i64; 64];
+    let mut top = 1usize;
+    stack[0] = 0;
+    let mut check: i64 = 0;
+    let mut visits = 0u64;
+    while top > 0 {
+        top -= 1;
+        let node = stack[top] as usize;
+        check = (check + val[node]) % 1_000_003;
+        visits += 1;
+        if left[node] >= 0 {
+            stack[top] = left[node];
+            top += 1;
+            stack[top] = right[node];
+            top += 1;
+        }
+    }
+    trace.alloc(nodes as u64 * 48);
+    trace.mem_write(nodes as u64 * 48);
+    trace.cpu(visits * 8);
+    trace.mem_read(visits * 24);
+    Ok(check.to_string())
+}
+
+pub(crate) fn spectralnorm(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "spectralnorm")? as usize;
+    let iters = arg_i64(args, 1, "spectralnorm")?;
+    let mut u = vec![1.0f64; n];
+    let mut v = vec![0.0f64; n];
+    for _ in 0..iters {
+        for (i, vi) in v.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for (j, uj) in u.iter().enumerate() {
+                let denom = ((i + j) * (i + j + 1) / 2 + i + 1) as f64;
+                s += uj / denom;
+            }
+            *vi = s;
+        }
+        for (i, ui) in u.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for (j, vj) in v.iter().enumerate() {
+                let denom = ((i + j) * (i + j + 1) / 2 + j + 1) as f64;
+                s += vj / denom;
+            }
+            *ui = s;
+        }
+    }
+    let mut uv = 0.0;
+    let mut vv = 0.0;
+    for i in 0..n {
+        uv += u[i] * v[i];
+        vv += v[i] * v[i];
+    }
+    trace.float(iters as u64 * (n * n) as u64 * 6);
+    trace.cpu(iters as u64 * (n * n) as u64 * 4);
+    Ok((((uv / vv).sqrt() * 1_000_000.0) as i64).to_string())
+}
+
+pub(crate) fn dijkstra(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let dim = arg_i64(args, 0, "dijkstra")? as usize;
+    let n = dim * dim;
+    let mut x = 42i64;
+    let weight: Vec<i64> = (0..n)
+        .map(|_| {
+            x = lcg(x);
+            x % 9 + 1
+        })
+        .collect();
+    let mut dist = vec![1_000_000_000i64; n];
+    let mut done = vec![false; n];
+    dist[0] = 0;
+    let mut scans = 0u64;
+    for _ in 0..n {
+        let mut best: isize = -1;
+        let mut bestd = 1_000_000_000i64;
+        for i in 0..n {
+            scans += 1;
+            if !done[i] && dist[i] < bestd {
+                bestd = dist[i];
+                best = i as isize;
+            }
+        }
+        if best < 0 {
+            break;
+        }
+        let best = best as usize;
+        done[best] = true;
+        let (r, c) = (best / dim, best % dim);
+        let relax = |t: usize, dist: &mut Vec<i64>| {
+            if dist[best] + weight[t] < dist[t] {
+                dist[t] = dist[best] + weight[t];
+            }
+        };
+        if c + 1 < dim {
+            relax(best + 1, &mut dist);
+        }
+        if c > 0 {
+            relax(best - 1, &mut dist);
+        }
+        if r + 1 < dim {
+            relax(best + dim, &mut dist);
+        }
+        if r > 0 {
+            relax(best - dim, &mut dist);
+        }
+    }
+    trace.alloc(n as u64 * 24);
+    trace.cpu(scans * 4);
+    trace.mem_read(scans * 9);
+    Ok(dist[n - 1].to_string())
+}
+
+pub(crate) fn wordcount(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "wordcount")?;
+    let mut counts = [0i64; 100];
+    let mut x = 42i64;
+    for _ in 0..n {
+        x = lcg(x);
+        counts[(x % 100) as usize] += 1;
+    }
+    let mut maxc = 0i64;
+    let mut maxw = 0i64;
+    for (w, &c) in counts.iter().enumerate() {
+        if c > maxc {
+            maxc = c;
+            maxw = w as i64;
+        }
+    }
+    trace.cpu(n as u64 * 6);
+    trace.mem_read(n as u64 * 8);
+    Ok((maxw * 1_000_000 + maxc).to_string())
+}
+
+pub(crate) fn histogram(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "histogram")?;
+    let mut bins = [0i64; 64];
+    let mut x = 42i64;
+    for _ in 0..n {
+        x = lcg(x);
+        bins[((x / 4096) % 64) as usize] += 1;
+    }
+    let mut check: i64 = 0;
+    for (b, &c) in bins.iter().enumerate() {
+        check = (check + c * (b as i64 + 1)) % 1_000_000_007;
+    }
+    trace.cpu(n as u64 * 5);
+    trace.mem_read(n as u64 * 8);
+    Ok(check.to_string())
+}
+
+pub(crate) fn montecarlo(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "montecarlo")?;
+    let mut x = 42i64;
+    let mut hits: i64 = 0;
+    for _ in 0..n {
+        x = lcg(x);
+        let fx = x as f64 / 2_147_483_648.0;
+        x = lcg(x);
+        let fy = x as f64 / 2_147_483_648.0;
+        if fx * fx + fy * fy < 1.0 {
+            hits += 1;
+        }
+    }
+    trace.cpu(n as u64 * 6);
+    trace.float(n as u64 * 5);
+    Ok(hits.to_string())
+}
+
+pub(crate) fn strings(args: &[String], trace: &mut OpTrace) -> Result<String, String> {
+    let n = arg_i64(args, 0, "strings")?;
+    let mut pal: i64 = 0;
+    let mut bytes = 0u64;
+    for i in 0..n {
+        let s = (i * 13 % 10_000).to_string();
+        let b = s.as_bytes();
+        bytes += b.len() as u64;
+        let mut isp = 1i64;
+        for j in 0..b.len() / 2 {
+            if b[j] != b[b.len() - 1 - j] {
+                isp = 0;
+            }
+        }
+        pal += isp;
+    }
+    trace.cpu(n as u64 * 14);
+    trace.alloc(bytes);
+    trace.mem_read(bytes);
+    Ok(pal.to_string())
+}

@@ -1,0 +1,581 @@
+//! CBScript sources for the 25 FaaS workloads.
+//!
+//! These are the programs the Lua path interprets, the LuaJIT path trace-
+//! compiles, and the Wasm path runs as bytecode. Every script must produce
+//! *exactly* the same `result(..)` string as its native twin in
+//! `crate::native` — differential tests enforce this for every workload.
+//!
+//! Where a workload needs randomness it uses the shared LCG
+//! (`x' = (x * 1103515245 + 12345) mod 2^31`), mirrored bit-for-bit on the
+//! native side.
+
+/// Intensive trigonometric and arithmetic operations in a large loop
+/// (paper §IV-D).
+pub const CPUSTRESS: &str = r#"
+let n = int(ARGS[0]);
+let acc = 0;
+let s = 0.0;
+for i in 0, n {
+    acc = (acc + i * i + (i % 7) * 31) % 1000000007;
+    s = s + sin(float(i) * 0.001) + cos(float(i) * 0.002);
+}
+result(acc + int(s * 1000.0));
+"#;
+
+/// Repeated allocation of 1-MiB buffers to cover a memory target
+/// (paper §IV-D: half the machine's memory; scaled by the argument).
+pub const MEMSTRESS: &str = r#"
+let mb = int(ARGS[0]);
+let sum = 0;
+for i in 0, mb {
+    alloc(1048576);
+    mem_touch(1048576);
+    sum = sum + 1;
+}
+result(sum);
+"#;
+
+/// Intensive read/write of large (1-MiB) files, dd-style (paper §IV-D).
+pub const IOSTRESS: &str = r#"
+let mb = int(ARGS[0]);
+for i in 0, mb {
+    file_meta(1);
+    io_write(1048576);
+}
+for i in 0, mb {
+    io_read(1048576);
+}
+result(mb * 2);
+"#;
+
+/// Print a large number of messages (paper §IV-D: 3000).
+pub const LOGGING: &str = r#"
+let n = int(ARGS[0]);
+for i in 0, n {
+    log("log message number " + str(i));
+}
+result(n);
+"#;
+
+/// Sum of the divisors of a number (paper §IV-D "factors").
+pub const FACTORS: &str = r#"
+let n = int(ARGS[0]);
+let sum = 0;
+let d = 1;
+while d * d <= n {
+    if n % d == 0 {
+        sum = sum + d;
+        let q = n / d;
+        if q != d {
+            sum = sum + q;
+        }
+    }
+    d = d + 1;
+}
+result(sum);
+"#;
+
+/// Create and manage folders and files with read/write and cleanup
+/// (paper §IV-D "filesystem").
+pub const FILESYSTEM: &str = r#"
+let rounds = int(ARGS[0]);
+let ok = 0;
+for i in 0, rounds {
+    dir_op(2);
+    file_meta(1);
+    io_write(1048576);
+    io_read(1048576);
+    file_meta(1);
+    dir_op(3);
+    ok = ok + 1;
+}
+result(ok);
+"#;
+
+/// Ackermann function, iterated (paper Fig. 6 "ack").
+pub const ACKERMANN: &str = r#"
+fn ack(m, n) {
+    if m == 0 { return n + 1; }
+    if n == 0 { return ack(m - 1, 1); }
+    return ack(m - 1, ack(m, n - 1));
+}
+let reps = int(ARGS[0]);
+let n = int(ARGS[1]);
+let total = 0;
+for i in 0, reps {
+    total = total + ack(2, n);
+}
+result(total);
+"#;
+
+/// Naive recursive Fibonacci.
+pub const FIB: &str = r#"
+fn fib(n) {
+    if n < 2 { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+result(fib(int(ARGS[0])));
+"#;
+
+/// Sieve of Eratosthenes: count primes below the limit.
+pub const PRIMES: &str = r#"
+let limit = int(ARGS[0]);
+let sieve = array_new(limit, 1);
+sieve[0] = 0;
+sieve[1] = 0;
+let i = 2;
+while i * i < limit {
+    if sieve[i] == 1 {
+        let j = i * i;
+        while j < limit {
+            sieve[j] = 0;
+            j = j + i;
+        }
+    }
+    i = i + 1;
+}
+let count = 0;
+for k in 0, limit {
+    count = count + sieve[k];
+}
+result(count);
+"#;
+
+/// Integer matrix multiplication with a checksum of the product.
+pub const MATRIX: &str = r#"
+let n = int(ARGS[0]);
+let a = array_new(n * n, 0);
+let b = array_new(n * n, 0);
+for i in 0, n {
+    for j in 0, n {
+        a[i * n + j] = (i * j + i) % 10;
+        b[i * n + j] = (i + j * 2) % 10;
+    }
+}
+let check = 0;
+for i in 0, n {
+    for j in 0, n {
+        let acc = 0;
+        for k in 0, n {
+            acc = acc + a[i * n + k] * b[k * n + j];
+        }
+        check = (check + acc * (i + j + 1)) % 1000000007;
+    }
+}
+result(check);
+"#;
+
+/// Quicksort over LCG data; checksum of the sorted array.
+pub const QUICKSORT: &str = r#"
+fn partition(a, lo, hi) {
+    let pivot = a[hi];
+    let i = lo;
+    for j in lo, hi {
+        if a[j] < pivot {
+            let t = a[i]; a[i] = a[j]; a[j] = t;
+            i = i + 1;
+        }
+    }
+    let t = a[i]; a[i] = a[hi]; a[hi] = t;
+    return i;
+}
+fn qsort(a, lo, hi) {
+    if lo < hi {
+        let p = partition(a, lo, hi);
+        qsort(a, lo, p - 1);
+        qsort(a, p + 1, hi);
+    }
+    return 0;
+}
+let n = int(ARGS[0]);
+let a = array_new(n, 0);
+let x = 42;
+for i in 0, n {
+    x = (x * 1103515245 + 12345) % 2147483648;
+    a[i] = x % 100000;
+}
+qsort(a, 0, n - 1);
+let check = 0;
+let i = 0;
+while i < n {
+    check = (check + a[i] * (i + 1)) % 1000000007;
+    i = i + 97;
+}
+result(check);
+"#;
+
+/// Bottom-up mergesort over the same data; the checksum must match
+/// quicksort's.
+pub const MERGESORT: &str = r#"
+let n = int(ARGS[0]);
+let a = array_new(n, 0);
+let x = 42;
+for i in 0, n {
+    x = (x * 1103515245 + 12345) % 2147483648;
+    a[i] = x % 100000;
+}
+let buf = array_new(n, 0);
+let width = 1;
+while width < n {
+    let lo = 0;
+    while lo < n {
+        let mid = lo + width;
+        let hi = lo + 2 * width;
+        if mid > n { mid = n; }
+        if hi > n { hi = n; }
+        let i = lo; let j = mid; let k = lo;
+        while i < mid && j < hi {
+            if a[i] <= a[j] { buf[k] = a[i]; i = i + 1; }
+            else { buf[k] = a[j]; j = j + 1; }
+            k = k + 1;
+        }
+        while i < mid { buf[k] = a[i]; i = i + 1; k = k + 1; }
+        while j < hi { buf[k] = a[j]; j = j + 1; k = k + 1; }
+        let c = lo;
+        while c < hi { a[c] = buf[c]; c = c + 1; }
+        lo = lo + 2 * width;
+    }
+    width = width * 2;
+}
+let check = 0;
+let i = 0;
+while i < n {
+    check = (check + a[i] * (i + 1)) % 1000000007;
+    i = i + 97;
+}
+result(check);
+"#;
+
+/// Base64-style 6-bit regrouping of LCG bytes; checksum of emitted symbols.
+pub const BASE64: &str = r#"
+let n = int(ARGS[0]);
+let x = 42;
+let check = 0;
+let i = 0;
+while i + 2 < n {
+    x = (x * 1103515245 + 12345) % 2147483648;
+    let b0 = x % 256;
+    x = (x * 1103515245 + 12345) % 2147483648;
+    let b1 = x % 256;
+    x = (x * 1103515245 + 12345) % 2147483648;
+    let b2 = x % 256;
+    let triple = b0 * 65536 + b1 * 256 + b2;
+    let s0 = triple / 262144;
+    let s1 = (triple / 4096) % 64;
+    let s2 = (triple / 64) % 64;
+    let s3 = triple % 64;
+    check = (check + s0 + s1 * 2 + s2 * 3 + s3 * 5) % 1000000007;
+    i = i + 3;
+}
+result(check);
+"#;
+
+/// Serialize records to a JSON document and re-scan it for structure.
+pub const JSON: &str = r#"
+let n = int(ARGS[0]);
+let braces = 0;
+let colons = 0;
+let chars = 0;
+for i in 0, n {
+    let rec = "{\"id\":" + str(i) + ",\"name\":\"user" + str(i % 100) + "\",\"score\":" + str(i * 37 % 1000) + "}";
+    let l = len(rec);
+    chars = chars + l;
+    for j in 0, l {
+        let c = rec[j];
+        if c == 123 { braces = braces + 1; }
+        if c == 58 { colons = colons + 1; }
+    }
+}
+result(braces * 1000000 + colons % 1000000 + chars % 997);
+"#;
+
+/// Multiplicative checksum over an LCG byte stream ("crc"-class workload).
+pub const CHECKSUM: &str = r#"
+let n = int(ARGS[0]);
+let x = 42;
+let c = 0;
+for i in 0, n {
+    x = (x * 1103515245 + 12345) % 2147483648;
+    c = (c * 31 + x % 256) % 2147483647;
+}
+result(c);
+"#;
+
+/// Run-length encoding of a run-prone LCG stream; counts emitted tokens.
+pub const COMPRESS: &str = r#"
+let n = int(ARGS[0]);
+let x = 42;
+let prev = 0 - 1;
+let run = 0;
+let tokens = 0;
+let check = 0;
+for i in 0, n {
+    x = (x * 1103515245 + 12345) % 2147483648;
+    let v = (x / 1024) % 4;
+    if v == prev {
+        run = run + 1;
+    } else {
+        if prev >= 0 {
+            tokens = tokens + 1;
+            check = (check + prev * 7 + run) % 1000000007;
+        }
+        prev = v;
+        run = 1;
+    }
+}
+tokens = tokens + 1;
+check = (check + prev * 7 + run) % 1000000007;
+result(tokens * 1000000007 % 999999937 + check);
+"#;
+
+/// Mandelbrot escape counting on a dim×dim grid.
+pub const MANDELBROT: &str = r#"
+let dim = int(ARGS[0]);
+let inside = 0;
+for py in 0, dim {
+    for px in 0, dim {
+        let x0 = float(px) * 3.0 / float(dim) - 2.0;
+        let y0 = float(py) * 3.0 / float(dim) - 1.5;
+        let x = 0.0;
+        let y = 0.0;
+        let it = 0;
+        while it < 50 && x * x + y * y <= 4.0 {
+            let xt = x * x - y * y + x0;
+            y = 2.0 * x * y + y0;
+            x = xt;
+            it = it + 1;
+        }
+        if it == 50 { inside = inside + 1; }
+    }
+}
+result(inside);
+"#;
+
+/// Symmetric 3-body gravity simulation; quantized energy drift.
+pub const NBODY: &str = r#"
+let steps = int(ARGS[0]);
+let px = [0.0, 3.0, 0.0 - 3.0];
+let py = [0.0, 0.0, 0.0];
+let vx = [0.0, 0.0, 0.0];
+let vy = [0.0, 0.2, 0.0 - 0.2];
+let m = [10.0, 1.0, 1.0];
+let dt = 0.01;
+for s in 0, steps {
+    for i in 0, 3 {
+        let ax = 0.0;
+        let ay = 0.0;
+        for j in 0, 3 {
+            if i != j {
+                let dx = px[j] - px[i];
+                let dy = py[j] - py[i];
+                let d2 = dx * dx + dy * dy + 0.01;
+                let inv = m[j] / (d2 * sqrt(d2));
+                ax = ax + dx * inv;
+                ay = ay + dy * inv;
+            }
+        }
+        vx[i] = vx[i] + ax * dt;
+        vy[i] = vy[i] + ay * dt;
+    }
+    for i in 0, 3 {
+        px[i] = px[i] + vx[i] * dt;
+        py[i] = py[i] + vy[i] * dt;
+    }
+}
+let e = 0.0;
+for i in 0, 3 {
+    e = e + 0.5 * m[i] * (vx[i] * vx[i] + vy[i] * vy[i]);
+}
+result(int(e * 100000.0));
+"#;
+
+/// Array-pool binary trees: build, checksum, discard (allocation churn).
+pub const BINARYTREES: &str = r#"
+let depth = int(ARGS[0]);
+let nodes = 1;
+let d = 0;
+while d <= depth {
+    nodes = nodes * 2;
+    d = d + 1;
+}
+let left = array_new(nodes, 0 - 1);
+let right = array_new(nodes, 0 - 1);
+let val = array_new(nodes, 0);
+# Iterative build: heap layout, node i has children 2i+1, 2i+2.
+let total = nodes - 1;
+for i in 0, total {
+    val[i] = i % 97;
+    if 2 * i + 2 < total {
+        left[i] = 2 * i + 1;
+        right[i] = 2 * i + 2;
+    }
+}
+# Checksum via explicit stack traversal.
+let stack = array_new(64, 0);
+let top = 1;
+stack[0] = 0;
+let check = 0;
+while top > 0 {
+    top = top - 1;
+    let node = stack[top];
+    check = (check + val[node]) % 1000003;
+    if left[node] >= 0 {
+        stack[top] = left[node];
+        top = top + 1;
+        stack[top] = right[node];
+        top = top + 1;
+    }
+}
+result(check);
+"#;
+
+/// Power-iteration estimate of a structured matrix norm.
+pub const SPECTRALNORM: &str = r#"
+let n = int(ARGS[0]);
+let iters = int(ARGS[1]);
+let u = array_new(n, 1.0);
+let v = array_new(n, 0.0);
+for it in 0, iters {
+    for i in 0, n {
+        let s = 0.0;
+        for j in 0, n {
+            let denom = float((i + j) * (i + j + 1) / 2 + i + 1);
+            s = s + u[j] / denom;
+        }
+        v[i] = s;
+    }
+    for i in 0, n {
+        let s = 0.0;
+        for j in 0, n {
+            let denom = float((i + j) * (i + j + 1) / 2 + j + 1);
+            s = s + v[j] / denom;
+        }
+        u[i] = s;
+    }
+}
+let uv = 0.0;
+let vv = 0.0;
+for i in 0, n {
+    uv = uv + u[i] * v[i];
+    vv = vv + v[i] * v[i];
+}
+result(int(sqrt(uv / vv) * 1000000.0));
+"#;
+
+/// Dijkstra over a dim×dim grid with LCG edge weights (O(V²) scan).
+pub const DIJKSTRA: &str = r#"
+let dim = int(ARGS[0]);
+let n = dim * dim;
+let weight = array_new(n, 0);
+let x = 42;
+for i in 0, n {
+    x = (x * 1103515245 + 12345) % 2147483648;
+    weight[i] = x % 9 + 1;
+}
+let dist = array_new(n, 1000000000);
+let done = array_new(n, 0);
+dist[0] = 0;
+for round in 0, n {
+    let best = 0 - 1;
+    let bestd = 1000000000;
+    for i in 0, n {
+        if done[i] == 0 && dist[i] < bestd {
+            bestd = dist[i];
+            best = i;
+        }
+    }
+    if best < 0 { break; }
+    done[best] = 1;
+    let r = best / dim;
+    let c = best % dim;
+    if c + 1 < dim {
+        let t = best + 1;
+        if dist[best] + weight[t] < dist[t] { dist[t] = dist[best] + weight[t]; }
+    }
+    if c > 0 {
+        let t = best - 1;
+        if dist[best] + weight[t] < dist[t] { dist[t] = dist[best] + weight[t]; }
+    }
+    if r + 1 < dim {
+        let t = best + dim;
+        if dist[best] + weight[t] < dist[t] { dist[t] = dist[best] + weight[t]; }
+    }
+    if r > 0 {
+        let t = best - dim;
+        if dist[best] + weight[t] < dist[t] { dist[t] = dist[best] + weight[t]; }
+    }
+}
+result(dist[n - 1]);
+"#;
+
+/// Generate LCG "words" and count occurrences of each of 100 word ids.
+pub const WORDCOUNT: &str = r#"
+let n = int(ARGS[0]);
+let counts = array_new(100, 0);
+let x = 42;
+for i in 0, n {
+    x = (x * 1103515245 + 12345) % 2147483648;
+    let w = x % 100;
+    counts[w] = counts[w] + 1;
+}
+let maxc = 0;
+let maxw = 0;
+for w in 0, 100 {
+    if counts[w] > maxc {
+        maxc = counts[w];
+        maxw = w;
+    }
+}
+result(maxw * 1000000 + maxc);
+"#;
+
+/// Bucket an LCG stream into a 64-bin histogram.
+pub const HISTOGRAM: &str = r#"
+let n = int(ARGS[0]);
+let bins = array_new(64, 0);
+let x = 42;
+for i in 0, n {
+    x = (x * 1103515245 + 12345) % 2147483648;
+    let b = (x / 4096) % 64;
+    bins[b] = bins[b] + 1;
+}
+let check = 0;
+for b in 0, 64 {
+    check = (check + bins[b] * (b + 1)) % 1000000007;
+}
+result(check);
+"#;
+
+/// Monte-Carlo estimation of pi: count LCG points inside the unit circle.
+pub const MONTECARLO: &str = r#"
+let n = int(ARGS[0]);
+let x = 42;
+let hits = 0;
+for i in 0, n {
+    x = (x * 1103515245 + 12345) % 2147483648;
+    let fx = float(x) / 2147483648.0;
+    x = (x * 1103515245 + 12345) % 2147483648;
+    let fy = float(x) / 2147483648.0;
+    if fx * fx + fy * fy < 1.0 {
+        hits = hits + 1;
+    }
+}
+result(hits);
+"#;
+
+/// String manipulation: render integers, test for palindromes by byte
+/// comparison.
+pub const STRINGS: &str = r#"
+let n = int(ARGS[0]);
+let pal = 0;
+for i in 0, n {
+    let s = str(i * 13 % 10000);
+    let l = len(s);
+    let isp = 1;
+    for j in 0, l / 2 {
+        if s[j] != s[l - 1 - j] { isp = 0; }
+    }
+    pal = pal + isp;
+}
+result(pal);
+"#;

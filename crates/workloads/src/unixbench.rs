@@ -1,0 +1,271 @@
+//! The byte-UnixBench-style OS microbenchmark suite (paper §IV-C, Fig. 4).
+//!
+//! UnixBench runs a series of low-level system tests and reports each as an
+//! index score against a reference machine (a SPARCstation 20-61 running
+//! Solaris 2.3); the aggregate is the geometric mean of the per-test
+//! indexes. We mirror the single-threaded configuration's test list. Each
+//! test does real (logical) work and returns the trace a VM executes; the
+//! bench harness converts measured virtual time into index scores with
+//! [`index_score`] and [`aggregate_index`].
+
+use confbench_types::{OpTrace, SyscallKind};
+
+/// One UnixBench-style test: its trace plus index bookkeeping.
+#[derive(Debug, Clone)]
+pub struct UnixBenchTest {
+    /// Test name, matching UnixBench's vocabulary.
+    pub name: &'static str,
+    /// Work units the trace represents (loops/files/…, for ops-per-second).
+    pub units: u64,
+    /// The reference machine's ops-per-second for this test (the divisor in
+    /// the index formula).
+    pub baseline_ops_per_sec: f64,
+    /// The operations one run performs.
+    pub trace: OpTrace,
+}
+
+/// Builds the single-threaded suite at `scale` (1 = figure configuration).
+///
+/// # Panics
+///
+/// Panics if `scale == 0`.
+pub fn unixbench_suite(scale: u64) -> Vec<UnixBenchTest> {
+    assert!(scale > 0, "scale must be positive");
+    vec![
+        dhrystone(scale),
+        whetstone(scale),
+        syscall_overhead(scale),
+        pipe_throughput(scale),
+        pipe_context_switching(scale),
+        process_creation(scale),
+        execl_throughput(scale),
+        file_copy(scale, 256, "File Copy 256 bufsize 500 maxblocks"),
+        file_copy(scale, 1024, "File Copy 1024 bufsize 2000 maxblocks"),
+        file_copy(scale, 4096, "File Copy 4096 bufsize 8000 maxblocks"),
+        shell_scripts(scale),
+    ]
+}
+
+/// Index score for a test that completed in `seconds`:
+/// `(units / seconds) / baseline * 10` (UnixBench's convention).
+///
+/// # Panics
+///
+/// Panics unless `seconds > 0`.
+pub fn index_score(test: &UnixBenchTest, seconds: f64) -> f64 {
+    assert!(seconds > 0.0, "elapsed time must be positive");
+    (test.units as f64 / seconds) / test.baseline_ops_per_sec * 10.0
+}
+
+/// Aggregate system index: geometric mean of per-test indexes.
+///
+/// # Panics
+///
+/// Panics if `scores` is empty or any score is non-positive.
+pub fn aggregate_index(scores: &[f64]) -> f64 {
+    assert!(!scores.is_empty(), "need at least one score");
+    assert!(scores.iter().all(|&s| s > 0.0), "scores must be positive");
+    let log_sum: f64 = scores.iter().map(|s| s.ln()).sum();
+    (log_sum / scores.len() as f64).exp()
+}
+
+fn dhrystone(scale: u64) -> UnixBenchTest {
+    let loops = 2_000_000 * scale;
+    let mut trace = OpTrace::new();
+    trace.cpu(loops * 6); // string/record/integer op mix per drystone loop
+    trace.mem_read(loops / 8);
+    UnixBenchTest {
+        name: "Dhrystone 2 using register variables",
+        units: loops,
+        baseline_ops_per_sec: 116_700.0, // SPARCstation reference lps
+        trace,
+    }
+}
+
+fn whetstone(scale: u64) -> UnixBenchTest {
+    let loops = 300_000 * scale;
+    let mut trace = OpTrace::new();
+    trace.float(loops * 40); // transcendental-heavy
+    trace.cpu(loops * 5);
+    UnixBenchTest {
+        name: "Double-Precision Whetstone",
+        units: loops,
+        baseline_ops_per_sec: 55_000.0,
+        trace,
+    }
+}
+
+fn syscall_overhead(scale: u64) -> UnixBenchTest {
+    let calls = 1_500_000 * scale;
+    let mut trace = OpTrace::new();
+    trace.syscall(SyscallKind::Other, calls);
+    trace.cpu(calls);
+    UnixBenchTest {
+        name: "System Call Overhead",
+        units: calls,
+        baseline_ops_per_sec: 15_000.0,
+        trace,
+    }
+}
+
+fn pipe_throughput(scale: u64) -> UnixBenchTest {
+    let writes = 500_000 * scale;
+    let mut trace = OpTrace::new();
+    trace.syscall(SyscallKind::Pipe, writes * 2); // write + read
+    trace.mem_write(writes * 512);
+    trace.cpu(writes * 4);
+    UnixBenchTest {
+        name: "Pipe Throughput",
+        units: writes,
+        baseline_ops_per_sec: 12_440.0,
+        trace,
+    }
+}
+
+fn pipe_context_switching(scale: u64) -> UnixBenchTest {
+    let switches = 120_000 * scale;
+    let mut trace = OpTrace::new();
+    trace.syscall(SyscallKind::Pipe, switches * 2);
+    trace.ctx_switch(switches); // the sleep/wake ping-pong the paper cites
+    trace.cpu(switches * 6);
+    UnixBenchTest {
+        name: "Pipe-based Context Switching",
+        units: switches,
+        baseline_ops_per_sec: 4_000.0,
+        trace,
+    }
+}
+
+fn process_creation(scale: u64) -> UnixBenchTest {
+    let spawns = 8_000 * scale;
+    let mut trace = OpTrace::new();
+    trace.syscall(SyscallKind::Spawn, spawns);
+    trace.cpu(spawns * 200);
+    UnixBenchTest {
+        name: "Process Creation",
+        units: spawns,
+        baseline_ops_per_sec: 126.0,
+        trace,
+    }
+}
+
+fn execl_throughput(scale: u64) -> UnixBenchTest {
+    let execs = 3_000 * scale;
+    let mut trace = OpTrace::new();
+    trace.syscall(SyscallKind::Spawn, execs);
+    trace.syscall(SyscallKind::FileRead, execs * 2); // image load
+    trace.io_read(execs * 64 * 1024);
+    trace.cpu(execs * 400);
+    UnixBenchTest {
+        name: "Execl Throughput",
+        units: execs,
+        baseline_ops_per_sec: 43.0,
+        trace,
+    }
+}
+
+fn file_copy(scale: u64, bufsize: u64, name: &'static str) -> UnixBenchTest {
+    // Copy a 500-KiB file repeatedly; smaller buffers mean more syscalls
+    // for the same byte volume — the knob UnixBench sweeps.
+    let copies = 60 * scale;
+    let file_bytes = 500 * 1024;
+    let calls_per_copy = file_bytes / bufsize;
+    let mut trace = OpTrace::new();
+    trace.syscall(SyscallKind::FileRead, copies * calls_per_copy);
+    trace.syscall(SyscallKind::FileWrite, copies * calls_per_copy);
+    trace.io_read(copies * file_bytes);
+    trace.io_write(copies * file_bytes);
+    trace.cpu(copies * calls_per_copy * 8);
+    UnixBenchTest {
+        name,
+        units: copies * file_bytes / 1024, // KiB/s convention
+        baseline_ops_per_sec: match bufsize {
+            256 => 2_650.0,
+            1024 => 3_960.0,
+            _ => 5_800.0,
+        },
+        trace,
+    }
+}
+
+fn shell_scripts(scale: u64) -> UnixBenchTest {
+    let runs = 1_500 * scale;
+    let mut trace = OpTrace::new();
+    trace.syscall(SyscallKind::Spawn, runs * 3); // sh + two children
+    trace.syscall(SyscallKind::FileMeta, runs * 6);
+    trace.syscall(SyscallKind::FileWrite, runs * 2);
+    trace.io_write(runs * 2 * 1024);
+    trace.cpu(runs * 900);
+    UnixBenchTest {
+        name: "Shell Scripts (1 concurrent)",
+        units: runs,
+        baseline_ops_per_sec: 42.4,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eleven_tests_with_unique_names() {
+        let suite = unixbench_suite(1);
+        assert_eq!(suite.len(), 11);
+        let mut names: Vec<_> = suite.iter().map(|t| t.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn traces_are_nonempty_and_scale() {
+        let s1 = unixbench_suite(1);
+        let s3 = unixbench_suite(3);
+        for (a, b) in s1.iter().zip(&s3) {
+            assert!(!a.trace.is_empty(), "{}", a.name);
+            assert_eq!(b.units, 3 * a.units, "{}", a.name);
+            assert!(b.trace.total_syscalls() >= a.trace.total_syscalls());
+        }
+    }
+
+    #[test]
+    fn smaller_copy_buffers_mean_more_syscalls() {
+        let suite = unixbench_suite(1);
+        let syscalls = |needle: &str| {
+            suite.iter().find(|t| t.name.contains(needle)).unwrap().trace.total_syscalls()
+        };
+        assert!(syscalls("256 bufsize") > syscalls("1024 bufsize"));
+        assert!(syscalls("1024 bufsize") > syscalls("4096 bufsize"));
+    }
+
+    #[test]
+    fn index_math_matches_unixbench_convention() {
+        let t = dhrystone(1);
+        // Reference machine speed exactly -> index 10.
+        let seconds = t.units as f64 / t.baseline_ops_per_sec;
+        assert!((index_score(&t, seconds) - 10.0).abs() < 1e-9);
+        // Twice as fast -> 20.
+        assert!((index_score(&t, seconds / 2.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_is_geometric_mean() {
+        assert!((aggregate_index(&[10.0, 1000.0]) - 100.0).abs() < 1e-9);
+        assert!((aggregate_index(&[7.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scores must be positive")]
+    fn aggregate_rejects_nonpositive() {
+        aggregate_index(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn ctx_switch_test_carries_context_switches() {
+        let suite = unixbench_suite(1);
+        let pipe_cs = suite.iter().find(|t| t.name.contains("Context Switching")).unwrap();
+        let has_cs = pipe_cs.trace.iter().any(|op| matches!(op, confbench_types::Op::CtxSwitch(_)));
+        assert!(has_cs);
+    }
+}

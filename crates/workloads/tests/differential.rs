@@ -1,0 +1,112 @@
+//! Differential tests: for every one of the 25 FaaS workloads, the CBScript
+//! implementation (interpreted, JIT-ed, and bytecode-compiled) and the
+//! native twin must produce identical outputs. This is what makes the
+//! paper's cross-language comparison meaningful — "a common output across
+//! the diverse languages" (§IV-B).
+
+use confbench_faasrt::{FaasFunction, FunctionLauncher};
+use confbench_types::Language;
+use confbench_workloads::faas_registry;
+
+/// Small arguments so the full matrix stays fast in CI.
+fn quick_args(name: &str) -> Vec<String> {
+    let args: &[&str] = match name {
+        "cpustress" => &["4000"],
+        "memstress" => &["4"],
+        "iostress" => &["2"],
+        "logging" => &["50"],
+        "factors" => &["360360"],
+        "filesystem" => &["1"],
+        "ack" => &["3", "12"],
+        "fib" => &["12"],
+        "primes" => &["2000"],
+        "matrix" => &["10"],
+        "quicksort" => &["400"],
+        "mergesort" => &["400"],
+        "base64" => &["900"],
+        "json" => &["30"],
+        "checksum" => &["2000"],
+        "compress" => &["2000"],
+        "mandelbrot" => &["16"],
+        "nbody" => &["120"],
+        "binarytrees" => &["8"],
+        "spectralnorm" => &["16", "2"],
+        "dijkstra" => &["8"],
+        "wordcount" => &["2000"],
+        "histogram" => &["2000"],
+        "montecarlo" => &["2000"],
+        "strings" => &["300"],
+        other => panic!("no quick args for {other}"),
+    };
+    args.iter().map(|s| (*s).to_owned()).collect()
+}
+
+#[test]
+fn all_languages_agree_on_every_workload() {
+    for workload in faas_registry() {
+        let args = quick_args(workload.name());
+        let mut outputs = Vec::new();
+        for language in Language::ALL {
+            let out = FunctionLauncher::new(language)
+                .launch(&workload, &args)
+                .unwrap_or_else(|e| panic!("{} under {language}: {e}", workload.name()));
+            assert!(!out.output.is_empty(), "{} under {language}: empty output", workload.name());
+            outputs.push((language, out.output));
+        }
+        let reference = &outputs[0].1;
+        for (language, output) in &outputs {
+            assert_eq!(
+                output,
+                reference,
+                "{}: {language} diverged from {}",
+                workload.name(),
+                outputs[0].0
+            );
+        }
+    }
+}
+
+#[test]
+fn quicksort_and_mergesort_agree_on_checksum() {
+    // Same data, same checksum — two algorithms, one answer.
+    let qs = confbench_workloads::find_workload("quicksort").unwrap();
+    let ms = confbench_workloads::find_workload("mergesort").unwrap();
+    let go = FunctionLauncher::new(Language::Go);
+    let a = go.launch(&qs, &["1500".into()]).unwrap().output;
+    let b = go.launch(&ms, &["1500".into()]).unwrap().output;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn logging_produces_log_lines_in_script_paths() {
+    let logging = confbench_workloads::find_workload("logging").unwrap();
+    let out = FunctionLauncher::new(Language::Lua).launch(&logging, &["10".into()]).unwrap();
+    assert_eq!(out.log.lines().count(), 10);
+    assert_eq!(out.output, "10");
+}
+
+#[test]
+fn traces_reflect_workload_character() {
+    let go = FunctionLauncher::new(Language::Go);
+    let io = go
+        .launch(&confbench_workloads::find_workload("iostress").unwrap(), &["4".into()])
+        .unwrap();
+    let cpu = go
+        .launch(&confbench_workloads::find_workload("cpustress").unwrap(), &["20000".into()])
+        .unwrap();
+    assert!(io.trace.total_io_bytes() >= 8 << 20, "iostress moves megabytes");
+    assert_eq!(cpu.trace.total_io_bytes(), 0, "cpustress does no I/O");
+    assert!(cpu.trace.total_cpu_ops() > io.trace.total_cpu_ops());
+}
+
+#[test]
+fn default_args_run_everywhere_natively() {
+    // The figure-sized arguments must at least run on the native path.
+    let go = FunctionLauncher::new(Language::Go);
+    for workload in faas_registry() {
+        let out = go
+            .launch(&workload, &workload.default_args())
+            .unwrap_or_else(|e| panic!("{} default args: {e}", workload.name()));
+        assert!(!out.output.is_empty());
+    }
+}

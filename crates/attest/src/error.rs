@@ -29,7 +29,9 @@ pub enum AttestError {
 impl fmt::Display for AttestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AttestError::WrongVmKind => f.write_str("attestation requires a confidential VM of the right platform"),
+            AttestError::WrongVmKind => {
+                f.write_str("attestation requires a confidential VM of the right platform")
+            }
             AttestError::Firmware(msg) => write!(f, "firmware error: {msg}"),
             AttestError::BadSignature(which) => write!(f, "signature check failed: {which}"),
             AttestError::NonceMismatch => f.write_str("report data does not match expected nonce"),

@@ -95,8 +95,9 @@ impl SnpEcosystem {
         let exit_ms = vm.cost_model().exit_cost / (freq * 1e6);
         let (sp, asid) = vm.amd_sp_mut().ok_or(AttestError::WrongVmKind)?;
         sp.record_ghcb_exit();
-        let report =
-            sp.request_report(asid, report_data).map_err(|e| AttestError::Firmware(e.to_string()))?;
+        let report = sp
+            .request_report(asid, report_data)
+            .map_err(|e| AttestError::Firmware(e.to_string()))?;
         Ok((report, PhaseTiming::local(TOOLING_MS + REPORT_REQ_MS + exit_ms)))
     }
 
@@ -234,10 +235,7 @@ mod tests {
         let eco = SnpEcosystem::new(1);
         let (mut report, _) = eco.request_report(&mut vm, [5; 64]).unwrap();
         report.tcb_version = 99;
-        assert_eq!(
-            eco.verify_report(&report, [5; 64]),
-            Err(AttestError::BadSignature("report"))
-        );
+        assert_eq!(eco.verify_report(&report, [5; 64]), Err(AttestError::BadSignature("report")));
     }
 
     #[test]

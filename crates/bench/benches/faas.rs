@@ -25,8 +25,7 @@ fn bench_faas(c: &mut Criterion) {
     c.bench_function("fig6_heatmap_cell_tdx_go", |b| {
         b.iter(|| {
             black_box(
-                measure_function(&workload, &args, Language::Go, TeePlatform::Tdx, 3, 13)
-                    .unwrap(),
+                measure_function(&workload, &args, Language::Go, TeePlatform::Tdx, 3, 13).unwrap(),
             )
         })
     });
@@ -37,9 +36,7 @@ fn bench_faas(c: &mut Criterion) {
             confbench_faasrt::parse("let s = 0; for i in 0, 5000 { s = s + i; } result(s);")
                 .unwrap();
         b.iter(|| {
-            black_box(
-                confbench_faasrt::run_program(&program, &[], 14, 10_000_000).unwrap().result,
-            )
+            black_box(confbench_faasrt::run_program(&program, &[], 14, 10_000_000).unwrap().result)
         })
     });
 

@@ -113,9 +113,8 @@ pub fn cache_model_ablation(cfg: ExperimentConfig) -> (f64, f64) {
             trace = t;
         }
     }
-    let without = ratio_with(&trace, &startup, TeePlatform::Tdx, trials, cfg.seed, |b| {
-        b.cache_model(false)
-    });
+    let without =
+        ratio_with(&trace, &startup, TeePlatform::Tdx, trials, cfg.seed, |b| b.cache_model(false));
     (best_with, without)
 }
 

@@ -15,10 +15,7 @@ fn main() {
         println!("--- {} / {} ---", d.workload, d.language);
         println!(
             "{}",
-            boxplot(
-                &[("secure".to_owned(), secure), ("normal".to_owned(), normal)],
-                64
-            )
+            boxplot(&[("secure".to_owned(), secure), ("normal".to_owned(), normal)], 64)
         );
     }
     println!(

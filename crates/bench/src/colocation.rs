@@ -46,16 +46,11 @@ pub fn run(cfg: ExperimentConfig) -> Vec<ColocationRow> {
         for platform in TeePlatform::ALL {
             let mut slowdowns = Vec::new();
             for &tenants in &TENANT_COUNTS {
-                let mut host =
-                    SharedHost::new(VmTarget::secure(platform), tenants, cfg.seed);
+                let mut host = SharedHost::new(VmTarget::secure(platform), tenants, cfg.seed);
                 let _ = host.run_solo(&output.startup_trace);
                 slowdowns.push((tenants, host.colocation_slowdown(&output.trace, cfg.trials())));
             }
-            rows.push(ColocationRow {
-                platform,
-                workload: workload.name().to_owned(),
-                slowdowns,
-            });
+            rows.push(ColocationRow { platform, workload: workload.name().to_owned(), slowdowns });
         }
     }
     rows

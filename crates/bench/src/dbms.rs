@@ -101,7 +101,11 @@ mod tests {
         // above the hardware TEEs.
         let cca = results.average_ratio(TeePlatform::Cca);
         assert!(cca > 2.2, "cca dbms avg {cca}");
-        assert!(results.max_ratio(TeePlatform::Cca) > 3.0, "cca worst case {}", results.max_ratio(TeePlatform::Cca));
+        assert!(
+            results.max_ratio(TeePlatform::Cca) > 3.0,
+            "cca worst case {}",
+            results.max_ratio(TeePlatform::Cca)
+        );
         assert!(results.max_ratio(TeePlatform::Cca) < 14.0);
         assert!(cca > 2.0 * tdx.max(snp));
     }
@@ -112,12 +116,9 @@ mod tests {
         // worst case should be an fsync-heavy or I/O-heavy case.
         let results = run(ExperimentConfig::quick(5));
         let idx = 2; // CCA column
-        let auto = results
-            .rows
-            .iter()
-            .find(|r| r.case == SpeedTestCase::InsertAutocommit)
-            .unwrap()
-            .ratios[idx];
+        let auto =
+            results.rows.iter().find(|r| r.case == SpeedTestCase::InsertAutocommit).unwrap().ratios
+                [idx];
         let txn = results
             .rows
             .iter()

@@ -112,7 +112,8 @@ mod tests {
                 .mean
         };
         assert!(
-            mean_of(TeePlatform::Cca, VmKind::Normal) > 4.0 * mean_of(TeePlatform::Tdx, VmKind::Normal)
+            mean_of(TeePlatform::Cca, VmKind::Normal)
+                > 4.0 * mean_of(TeePlatform::Tdx, VmKind::Normal)
         );
     }
 

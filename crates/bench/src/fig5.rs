@@ -56,8 +56,7 @@ pub fn run(cfg: ExperimentConfig) -> AttestationFigure {
         tdx_check_ms.push(check.latency_ms);
     }
 
-    let mut guest =
-        TeeVmBuilder::new(VmTarget::secure(TeePlatform::SevSnp)).seed(cfg.seed).build();
+    let mut guest = TeeVmBuilder::new(VmTarget::secure(TeePlatform::SevSnp)).seed(cfg.seed).build();
     let snp = SnpEcosystem::new(cfg.seed);
     let mut snp_attest_ms = Vec::new();
     let mut snp_check_ms = Vec::new();

@@ -49,8 +49,7 @@ impl Heatmap {
     pub fn col_mean(&self, workload: &str) -> f64 {
         let c = self.workloads.iter().position(|w| w == workload).expect("workload column");
         let w = self.workloads.len();
-        let vals: Vec<f64> =
-            (0..self.languages.len()).map(|r| self.ratios[r * w + c]).collect();
+        let vals: Vec<f64> = (0..self.languages.len()).map(|r| self.ratios[r * w + c]).collect();
         mean(&vals)
     }
 
@@ -75,16 +74,16 @@ fn args_for(name: &str, scale: Scale) -> Vec<String> {
 
 /// Builds the heatmap for one platform; `workload_filter` optionally
 /// restricts columns (used by quick tests and Fig. 8's subset).
-pub fn run(cfg: ExperimentConfig, platform: TeePlatform, workload_filter: Option<&[&str]>) -> Heatmap {
+pub fn run(
+    cfg: ExperimentConfig,
+    platform: TeePlatform,
+    workload_filter: Option<&[&str]>,
+) -> Heatmap {
     let languages: Vec<Language> = Language::ALL.to_vec();
     let registry = faas_registry();
     let workloads: Vec<_> = registry
         .into_iter()
-        .filter(|w| {
-            workload_filter
-                .map(|names| names.contains(&w.name()))
-                .unwrap_or(true)
-        })
+        .filter(|w| workload_filter.map(|names| names.contains(&w.name())).unwrap_or(true))
         .collect();
     let names: Vec<String> = workloads.iter().map(|w| w.name().to_owned()).collect();
 

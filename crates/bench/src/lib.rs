@@ -104,7 +104,8 @@ pub fn measure_function(
     trials: u32,
     seed: u64,
 ) -> Result<(Vec<f64>, Vec<f64>), String> {
-    let output = FunctionLauncher::new(language).launch(function, args).map_err(|e| e.to_string())?;
+    let output =
+        FunctionLauncher::new(language).launch(function, args).map_err(|e| e.to_string())?;
     let seed = mix_seed(seed, &format!("{}/{}", function.name(), language));
     let secure = run_trace(
         VmTarget { platform, kind: VmKind::Secure },

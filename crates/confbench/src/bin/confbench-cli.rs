@@ -70,8 +70,7 @@ fn run() -> Result<(), String> {
         );
         return Ok(());
     }
-    let gateway =
-        args.iter().position(|a| a == "--gateway").and_then(|i| args.get(i + 1)).cloned();
+    let gateway = args.iter().position(|a| a == "--gateway").and_then(|i| args.get(i + 1)).cloned();
     let addr = gateway.unwrap_or_else(|| "127.0.0.1:7700".to_owned());
     let client = Client::connect(addr.as_str()).map_err(|e| format!("cannot reach {addr}: {e}"))?;
     let mut cli = Cli { client, args, pos: 0 };
@@ -152,7 +151,13 @@ fn build_request(cli: &Cli, function: &str) -> Result<RunRequest, String> {
         .unwrap_or_default();
     let mut spec = FunctionSpec::new(function, language);
     spec.args = args;
-    Ok(RunRequest { function: spec, target: VmTarget { platform, kind }, trials, seed })
+    Ok(RunRequest {
+        function: spec,
+        target: VmTarget { platform, kind },
+        trials,
+        seed,
+        deadline_ms: None,
+    })
 }
 
 fn post_run(cli: &Cli, request: &RunRequest) -> Result<RunResult, String> {
@@ -194,10 +199,7 @@ fn print_result(result: &RunResult) {
 
 fn compare(cli: &Cli, function: &str) -> Result<(), String> {
     let mut request = build_request(cli, function)?;
-    println!(
-        "{:<10} {:>12} {:>12} {:>8}",
-        "platform", "secure ms", "normal ms", "ratio"
-    );
+    println!("{:<10} {:>12} {:>12} {:>8}", "platform", "secure ms", "normal ms", "ratio");
     for platform in TeePlatform::ALL {
         request.target = VmTarget::secure(platform);
         let secure = post_run(cli, &request)?;

@@ -90,9 +90,8 @@ fn run() -> Result<(), String> {
         builder = builder.remote_host(platform, addr);
     }
     let gateway = Arc::new(builder.build());
-    let server = gateway
-        .serve_on(&listen)
-        .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    let server =
+        gateway.serve_on(&listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
     println!("confbench gateway listening on http://{}", server.addr());
     println!("  POST /run        run a function (JSON RunRequest)");
     println!("  POST /functions  upload CBScript source");

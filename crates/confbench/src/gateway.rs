@@ -5,18 +5,69 @@
 //! selects a VM target from its TEE pools, dispatches to the owning host
 //! (in-process or over HTTP), and returns results with perf metrics
 //! piggybacked.
+//!
+//! Dispatch is resilient: transport failures are retried under a
+//! [`RetryPolicy`] (exponential backoff with deterministic seeded jitter),
+//! each retry fails over to a *different* healthy pool member, repeated
+//! failures open the member's circuit breaker (see
+//! [`TeePool`](crate::TeePool)), and an optional per-request deadline
+//! ([`RunRequest::deadline_ms`]) bounds the whole affair — including the
+//! remote HTTP timeout, which is clamped to the time remaining.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use confbench_httpd::{Client, Method, Request, Response, Router, Server};
 use confbench_types::{Error, Result, RunRequest, RunResult, TeePlatform, VmTarget};
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::host::HostAgent;
-use crate::pool::{BalancePolicy, TeePool};
+use crate::pool::{BalancePolicy, CircuitState, Clock, HealthPolicy, SystemClock, TeePool};
 use crate::store::FunctionStore;
+
+/// Default remote-dispatch timeout when the request carries no deadline.
+const DEFAULT_REMOTE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Retry/backoff tuning for gateway dispatch.
+///
+/// Only transport-class failures (connection refused/dropped, bad wire
+/// responses) are retried; application errors such as an unknown function
+/// are returned immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included). Clamped to ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling.
+    pub max_backoff_ms: u64,
+    /// Jitter the backoff in `[delay/2, delay]` from the gateway's seeded
+    /// RNG (deterministic per gateway instance).
+    pub jitter: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, base_backoff_ms: 50, max_backoff_ms: 2_000, jitter: true }
+    }
+}
+
+/// Maps a dispatch error onto the REST status the gateway and host agents
+/// both use, so local and remote execution are indistinguishable to
+/// clients.
+pub(crate) fn rest_status(error: &Error) -> u16 {
+    match error {
+        Error::UnknownFunction(_) => 404,
+        Error::InvalidRequest(_) => 400,
+        Error::NoVmAvailable(_) => 503,
+        Error::DeadlineExceeded(_) => 504,
+        _ => 500,
+    }
+}
 
 /// A dispatch target: a host in this process or a remote agent address.
 #[derive(Clone)]
@@ -30,6 +81,9 @@ pub struct GatewayBuilder {
     store: Arc<FunctionStore>,
     hosts: Vec<(TeePlatform, HostRef)>,
     policy: BalancePolicy,
+    retry: RetryPolicy,
+    health: HealthPolicy,
+    clock: Arc<dyn Clock>,
     seed: u64,
 }
 
@@ -53,7 +107,27 @@ impl GatewayBuilder {
         self
     }
 
-    /// Sets the deterministic seed used for local hosts' VMs.
+    /// Sets the retry/backoff policy (default 3 attempts, 50 ms base).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the circuit-breaker tuning for all pools.
+    pub fn health(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Injects the clock driving circuit cooldowns (tests use
+    /// [`ManualClock`](crate::ManualClock)).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Sets the deterministic seed used for local hosts' VMs and backoff
+    /// jitter.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -72,9 +146,18 @@ impl GatewayBuilder {
         }
         let pools = by_platform
             .into_iter()
-            .map(|(platform, hosts)| (platform, TeePool::new(hosts, self.policy)))
+            .map(|(platform, hosts)| {
+                let pool =
+                    TeePool::with_health(hosts, self.policy, self.health, Arc::clone(&self.clock));
+                (platform, pool)
+            })
             .collect();
-        Gateway { store: self.store, pools }
+        Gateway {
+            store: self.store,
+            pools,
+            retry: self.retry,
+            jitter_rng: Mutex::new(StdRng::seed_from_u64(self.seed ^ 0x9E37_79B9_7F4A_7C15)),
+        }
     }
 }
 
@@ -107,6 +190,8 @@ pub struct UploadRequest {
 pub struct Gateway {
     store: Arc<FunctionStore>,
     pools: HashMap<TeePlatform, TeePool<HostRef>>,
+    retry: RetryPolicy,
+    jitter_rng: Mutex<StdRng>,
 }
 
 impl Gateway {
@@ -116,6 +201,9 @@ impl Gateway {
             store: Arc::new(FunctionStore::new()),
             hosts: Vec::new(),
             policy: BalancePolicy::RoundRobin,
+            retry: RetryPolicy::default(),
+            health: HealthPolicy::default(),
+            clock: Arc::new(SystemClock),
             seed: 0,
         }
     }
@@ -132,22 +220,120 @@ impl Gateway {
         v
     }
 
-    /// Dispatches a run request to a host serving its target platform.
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Circuit states of `platform`'s pool members (diagnostics/tests).
+    pub fn circuit_states(&self, platform: TeePlatform) -> Option<Vec<CircuitState>> {
+        self.pools.get(&platform).map(|p| p.circuit_states())
+    }
+
+    /// Completed requests per member of `platform`'s pool.
+    pub fn served_counts(&self, platform: TeePlatform) -> Option<Vec<u64>> {
+        self.pools.get(&platform).map(|p| p.served_counts())
+    }
+
+    /// Dispatches a run request to a host serving its target platform,
+    /// retrying transport failures on different healthy members per the
+    /// gateway's [`RetryPolicy`], within the request's deadline (if any).
     ///
     /// # Errors
     ///
-    /// [`Error::NoVmAvailable`] when no pool serves the platform; transport
-    /// and execution errors otherwise.
+    /// [`Error::NoVmAvailable`] when no pool serves the platform or every
+    /// member's circuit is open; [`Error::DeadlineExceeded`] when
+    /// `deadline_ms` elapses first; the host's own error when the request
+    /// itself is at fault (unknown function, wrong platform); the last
+    /// transport error when retries are exhausted.
     pub fn run(&self, request: &RunRequest) -> Result<RunResult> {
+        let deadline = request.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
         let pool = self
             .pools
             .get(&request.target.platform)
             .ok_or_else(|| Error::NoVmAvailable(request.target.to_string()))?;
-        let guard = pool.checkout();
-        match guard.member() {
-            HostRef::Local(host) => host.execute(request),
-            HostRef::Remote(addr) => dispatch_remote(*addr, request),
+
+        let attempts = self.retry.max_attempts.max(1);
+        let mut prev: Option<usize> = None;
+        let mut last_err: Option<Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.sleep_backoff(attempt - 1, deadline, request, last_err.as_ref())?;
+            }
+            // An expired deadline is final on every dispatch path — local
+            // execution can't be cancelled mid-run, so refuse to start it.
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(deadline_error(request, last_err.as_ref()));
+            }
+            let Some(guard) = pool.checkout_healthy_excluding(prev) else {
+                return Err(match last_err {
+                    Some(e) => e,
+                    None => Error::NoVmAvailable(format!(
+                        "{}: all pool members have open circuits",
+                        request.target
+                    )),
+                });
+            };
+            prev = Some(guard.index());
+            let outcome = match guard.member() {
+                HostRef::Local(host) => host.execute(request),
+                HostRef::Remote(addr) => match remote_timeout(deadline) {
+                    Some(timeout) => dispatch_remote(*addr, request, timeout),
+                    None => Err(deadline_error(request, last_err.as_ref())),
+                },
+            };
+            match outcome {
+                Ok(result) => {
+                    pool.report_outcome(&guard, true);
+                    return Ok(result);
+                }
+                Err(e) => {
+                    // Only transport-class failures indict the member; the
+                    // rest are the request's fault and are final.
+                    let retryable = matches!(e, Error::Transport(_) | Error::Io(_));
+                    pool.report_outcome(&guard, !retryable);
+                    if !retryable {
+                        return Err(e);
+                    }
+                    last_err = Some(e);
+                }
+            }
         }
+        Err(last_err.expect("retry loop ran at least once"))
+    }
+
+    /// Sleeps the exponential backoff for retry number `retry` (0-based),
+    /// clamped to the remaining deadline.
+    fn sleep_backoff(
+        &self,
+        retry: u32,
+        deadline: Option<Instant>,
+        request: &RunRequest,
+        last_err: Option<&Error>,
+    ) -> Result<()> {
+        let exp = self.retry.base_backoff_ms.saturating_shl(retry.min(20));
+        let delay = exp.min(self.retry.max_backoff_ms);
+        let delay = if self.retry.jitter && delay > 1 {
+            let half = delay / 2;
+            half + self.jitter_rng.lock().next_u64() % (delay - half + 1)
+        } else {
+            delay
+        };
+        let mut sleep = Duration::from_millis(delay);
+        if let Some(deadline) = deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(deadline_error(request, last_err));
+            }
+            sleep = sleep.min(remaining);
+        }
+        std::thread::sleep(sleep);
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                return Err(deadline_error(request, last_err));
+            }
+        }
+        Ok(())
     }
 
     /// Convenience: run the same function on the secure and normal VM of
@@ -194,13 +380,7 @@ impl Gateway {
             Err(e) => Response::error(400, format!("bad request body: {e}")),
             Ok(run_request) => match gw.run(&run_request) {
                 Ok(result) => Response::json(&result),
-                Err(Error::UnknownFunction(name)) => {
-                    Response::error(404, format!("unknown function: {name}"))
-                }
-                Err(Error::NoVmAvailable(t)) => {
-                    Response::error(503, format!("no VM available for {t}"))
-                }
-                Err(e) => Response::error(500, e.to_string()),
+                Err(e) => Response::error(rest_status(&e), e.to_string()),
             },
         });
         let gw = Arc::clone(&self);
@@ -219,29 +399,71 @@ impl Gateway {
         });
         let gw = Arc::clone(&self);
         router.add(Method::Get, "/functions", move |_, _| Response::json(&gw.store.names()));
-        router.add(Method::Get, "/health", |_, _| {
-            Response::json(&serde_json::json!({"ok": true}))
-        });
+        router.add(Method::Get, "/health", |_, _| Response::json(&serde_json::json!({"ok": true})));
         Server::spawn_on(listen, router)
     }
 }
 
-fn dispatch_remote(addr: SocketAddr, request: &RunRequest) -> Result<RunResult> {
-    let client = Client::new(addr);
-    let http_request = Request::new(Method::Post, "/execute").json(request);
-    let response = client
-        .send(&http_request)
-        .map_err(|e| Error::Transport(format!("host {addr}: {e}")))?;
-    if response.status != 200 {
-        return Err(Error::Transport(format!(
-            "host {addr} returned {}: {}",
-            response.status,
-            String::from_utf8_lossy(&response.body)
-        )));
+/// `u64::checked_shl` with saturation (`saturating_shl` is unstable).
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> Self {
+        if self == 0 {
+            0
+        } else if rhs > self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << rhs
+        }
     }
-    response
-        .body_json()
-        .map_err(|e| Error::Transport(format!("host {addr} sent bad result: {e}")))
+}
+
+fn deadline_error(request: &RunRequest, last_err: Option<&Error>) -> Error {
+    let budget = request.deadline_ms.unwrap_or(0);
+    match last_err {
+        Some(e) => Error::DeadlineExceeded(format!("{budget}ms budget elapsed; last error: {e}")),
+        None => Error::DeadlineExceeded(format!("{budget}ms budget elapsed")),
+    }
+}
+
+/// Time budget for one remote dispatch: the full remaining deadline, or the
+/// 30 s default when the request has none. `None` means already expired.
+fn remote_timeout(deadline: Option<Instant>) -> Option<Duration> {
+    match deadline {
+        None => Some(DEFAULT_REMOTE_TIMEOUT),
+        Some(deadline) => {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                None
+            } else {
+                Some(remaining.min(DEFAULT_REMOTE_TIMEOUT))
+            }
+        }
+    }
+}
+
+fn dispatch_remote(addr: SocketAddr, request: &RunRequest, timeout: Duration) -> Result<RunResult> {
+    let client = Client::new(addr).timeout(timeout);
+    let http_request = Request::new(Method::Post, "/execute").json(request);
+    let response =
+        client.send(&http_request).map_err(|e| Error::Transport(format!("host {addr}: {e}")))?;
+    let body = || String::from_utf8_lossy(&response.body).into_owned();
+    // Mirror of `rest_status`: remote agents answer with the same codes a
+    // local dispatch would map to, so translate them back into the matching
+    // error variants instead of flattening everything into `Transport`.
+    match response.status {
+        200 => response
+            .body_json()
+            .map_err(|e| Error::Transport(format!("host {addr} sent bad result: {e}"))),
+        404 => Err(Error::UnknownFunction(request.function.name.clone())),
+        400 => Err(Error::InvalidRequest(body())),
+        503 => Err(Error::NoVmAvailable(body())),
+        504 => Err(Error::DeadlineExceeded(body())),
+        status => Err(Error::Transport(format!("host {addr} returned {status}: {}", body()))),
+    }
 }
 
 #[cfg(test)]
@@ -250,10 +472,7 @@ mod tests {
     use confbench_types::{FunctionSpec, Language};
 
     fn request(name: &str, language: Language, platform: TeePlatform) -> RunRequest {
-        RunRequest::new(
-            FunctionSpec::new(name, language).arg("360360"),
-            VmTarget::secure(platform),
-        )
+        RunRequest::new(FunctionSpec::new(name, language).arg("360360"), VmTarget::secure(platform))
     }
 
     #[test]
@@ -295,11 +514,8 @@ mod tests {
         assert_eq!(client.send(&upload).unwrap().status, 201);
 
         // List includes the upload.
-        let names: Vec<String> = client
-            .send(&Request::new(Method::Get, "/functions"))
-            .unwrap()
-            .body_json()
-            .unwrap();
+        let names: Vec<String> =
+            client.send(&Request::new(Method::Get, "/functions")).unwrap().body_json().unwrap();
         assert!(names.contains(&"quadruple".to_owned()));
 
         // Run it (Fig. 2 steps 2-5).
@@ -318,6 +534,13 @@ mod tests {
             VmTarget::secure(TeePlatform::Tdx),
         ));
         assert_eq!(client.send(&bad).unwrap().status, 404);
+
+        // Unpooled platform maps to 503.
+        let no_vm = Request::new(Method::Post, "/run").json(&RunRequest::new(
+            FunctionSpec::new("quadruple", Language::Lua).arg("1"),
+            VmTarget::secure(TeePlatform::Cca),
+        ));
+        assert_eq!(client.send(&no_vm).unwrap().status, 503);
     }
 
     #[test]
@@ -332,16 +555,71 @@ mod tests {
     }
 
     #[test]
+    fn remote_unknown_function_maps_back_to_404_error() {
+        let store = Arc::new(FunctionStore::new());
+        let agent = Arc::new(HostAgent::new(TeePlatform::Tdx, store, 5));
+        let host_server = Arc::clone(&agent).serve().unwrap();
+        let gw = Gateway::builder().remote_host(TeePlatform::Tdx, host_server.addr()).build();
+        let err = gw.run(&request("ghost", Language::Go, TeePlatform::Tdx)).unwrap_err();
+        assert!(matches!(err, Error::UnknownFunction(_)), "got {err}");
+    }
+
+    #[test]
     fn pool_balances_across_hosts() {
-        let gw = Gateway::builder()
-            .local_host(TeePlatform::Tdx)
-            .local_host(TeePlatform::Tdx)
-            .build();
+        let gw =
+            Gateway::builder().local_host(TeePlatform::Tdx).local_host(TeePlatform::Tdx).build();
         // Two hosts in the TDX pool; round robin must alternate without
         // error across several runs.
         for _ in 0..4 {
             gw.run(&request("factors", Language::Go, TeePlatform::Tdx)).unwrap();
         }
         assert_eq!(gw.platforms(), vec![TeePlatform::Tdx]);
+        assert_eq!(gw.served_counts(TeePlatform::Tdx), Some(vec![2, 2]));
+    }
+
+    #[test]
+    fn retries_fail_over_to_reachable_host() {
+        // One dead remote + one live local host: the run must succeed via
+        // failover, and the dead member must accumulate a failure.
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let gw = Gateway::builder()
+            .remote_host(TeePlatform::Tdx, dead)
+            .local_host(TeePlatform::Tdx)
+            .retry(RetryPolicy { base_backoff_ms: 1, ..RetryPolicy::default() })
+            .build();
+        for _ in 0..4 {
+            let result = gw.run(&request("factors", Language::Go, TeePlatform::Tdx)).unwrap();
+            assert_eq!(result.output, "1572480");
+        }
+    }
+
+    #[test]
+    fn zero_deadline_trips_before_remote_dispatch() {
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let gw = Gateway::builder().remote_host(TeePlatform::Tdx, dead).build();
+        let mut req = request("factors", Language::Go, TeePlatform::Tdx);
+        req.deadline_ms = Some(0);
+        let err = gw.run(&req).unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded(_)), "got {err}");
+    }
+
+    #[test]
+    fn zero_deadline_trips_before_local_dispatch_too() {
+        // Parity with the remote path: an expired budget must not start a
+        // local execution either (it can't be cancelled once running).
+        let gw = Gateway::builder().local_host(TeePlatform::Tdx).build();
+        let mut req = request("factors", Language::Go, TeePlatform::Tdx);
+        req.deadline_ms = Some(0);
+        let err = gw.run(&req).unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded(_)), "got {err}");
+    }
+
+    #[test]
+    fn saturating_shl_caps() {
+        assert_eq!(100u64.saturating_shl(1), 200);
+        assert_eq!(1u64.saturating_shl(63), 1 << 63);
+        assert_eq!(1u64.saturating_shl(64), u64::MAX);
+        assert_eq!(u64::MAX.saturating_shl(1), u64::MAX);
+        assert_eq!(0u64.saturating_shl(64), 0);
     }
 }

@@ -8,12 +8,10 @@
 use std::sync::Arc;
 
 use confbench_faasrt::FunctionLauncher;
-use confbench_perfmon::PerfStat;
-use confbench_types::{
-    Error, Result, RunRequest, RunResult, TeePlatform, VmKind, VmTarget,
-};
-use confbench_vmm::{TeeVmBuilder, Vm};
 use confbench_httpd::{Method, Response, Router, Server};
+use confbench_perfmon::PerfStat;
+use confbench_types::{Error, Result, RunRequest, RunResult, TeePlatform, VmKind, VmTarget};
+use confbench_vmm::{TeeVmBuilder, Vm};
 use parking_lot::Mutex;
 
 use crate::store::FunctionStore;
@@ -50,12 +48,8 @@ impl HostAgent {
     pub fn new(platform: TeePlatform, store: Arc<FunctionStore>, seed: u64) -> Self {
         HostAgent {
             platform,
-            secure_vm: Mutex::new(
-                TeeVmBuilder::new(VmTarget::secure(platform)).seed(seed).build(),
-            ),
-            normal_vm: Mutex::new(
-                TeeVmBuilder::new(VmTarget::normal(platform)).seed(seed).build(),
-            ),
+            secure_vm: Mutex::new(TeeVmBuilder::new(VmTarget::secure(platform)).seed(seed).build()),
+            normal_vm: Mutex::new(TeeVmBuilder::new(VmTarget::normal(platform)).seed(seed).build()),
             store,
         }
     }
@@ -134,12 +128,17 @@ impl HostAgent {
     pub fn serve(self: Arc<Self>) -> std::io::Result<Server> {
         let mut router = Router::new();
         let agent = Arc::clone(&self);
-        router.add(Method::Post, "/execute", move |req, _| match req.body_json::<RunRequest>() {
-            Err(e) => Response::error(400, format!("bad request body: {e}")),
-            Ok(run_request) => match agent.execute(&run_request) {
-                Ok(result) => Response::json(&result),
-                Err(e) => Response::error(500, e.to_string()),
-            },
+        router.add(Method::Post, "/execute", move |req, _| {
+            match req.body_json::<RunRequest>() {
+                Err(e) => Response::error(400, format!("bad request body: {e}")),
+                Ok(run_request) => match agent.execute(&run_request) {
+                    Ok(result) => Response::json(&result),
+                    // Same status mapping as the gateway, so a remote host is
+                    // indistinguishable from a local one to REST clients (an
+                    // unknown function used to surface as a generic 500 here).
+                    Err(e) => Response::error(crate::gateway::rest_status(&e), e.to_string()),
+                },
+            }
         });
         let platform = self.platform;
         router.add(Method::Get, "/health", move |_, _| {
@@ -165,6 +164,7 @@ mod tests {
             target: VmTarget { platform, kind },
             trials: 3,
             seed: 0,
+            deadline_ms: None,
         }
     }
 
@@ -229,5 +229,21 @@ mod tests {
         assert_eq!(result.output, "1572480");
         let health = client.send(&Request::new(Method::Get, "/health")).unwrap();
         assert_eq!(health.status, 200);
+    }
+
+    #[test]
+    fn http_statuses_match_gateway_mapping() {
+        let agent = Arc::new(host(TeePlatform::Tdx));
+        let server = agent.serve().unwrap();
+        let client = confbench_httpd::Client::new(server.addr());
+        // Unknown function → 404 (used to be a generic 500).
+        let mut req = request(TeePlatform::Tdx, VmKind::Secure);
+        req.function.name = "missing".into();
+        let resp = client.send(&Request::new(Method::Post, "/execute").json(&req)).unwrap();
+        assert_eq!(resp.status, 404);
+        // Wrong platform → invalid request → 400.
+        let req = request(TeePlatform::SevSnp, VmKind::Secure);
+        let resp = client.send(&Request::new(Method::Post, "/execute").json(&req)).unwrap();
+        assert_eq!(resp.status, 400);
     }
 }

@@ -42,9 +42,11 @@ mod host;
 mod pool;
 mod store;
 
-pub use gateway::{Gateway, GatewayBuilder, UploadRequest};
+pub use gateway::{Gateway, GatewayBuilder, RetryPolicy, UploadRequest};
 pub use host::HostAgent;
-pub use pool::{BalancePolicy, PoolGuard, TeePool};
+pub use pool::{
+    BalancePolicy, CircuitState, Clock, HealthPolicy, ManualClock, PoolGuard, SystemClock, TeePool,
+};
 pub use store::{FunctionStore, StoreError, StoredFunction, UploadedFunction};
 
 use confbench_types::{
@@ -136,6 +138,7 @@ impl ConfBench {
             target: VmTarget::secure(platform),
             trials,
             seed: self.seed,
+            deadline_ms: None,
         };
         let (secure, normal) = self.gateway.run_pair(request, platform)?;
         let ratio = secure.stats.mean_ms / normal.stats.mean_ms;
@@ -161,13 +164,7 @@ mod tests {
         let bench = ConfBench::local(2);
         // I/O-bound on TDX: clearly above 1.
         let io = bench
-            .measure_ratio_with_args(
-                "iostress",
-                &["4".into()],
-                Language::Go,
-                TeePlatform::Tdx,
-                4,
-            )
+            .measure_ratio_with_args("iostress", &["4".into()], Language::Go, TeePlatform::Tdx, 4)
             .unwrap();
         assert!(io.ratio > 1.2, "tdx iostress {}", io.ratio);
         assert_eq!(io.secure.output, io.normal.output);
@@ -187,9 +184,8 @@ mod tests {
     #[test]
     fn unknown_workload_without_args_fails_cleanly() {
         let bench = ConfBench::local(1);
-        let err = bench
-            .measure_ratio("does-not-exist", Language::Go, TeePlatform::Tdx, 1)
-            .unwrap_err();
+        let err =
+            bench.measure_ratio("does-not-exist", Language::Go, TeePlatform::Tdx, 1).unwrap_err();
         assert!(matches!(err, confbench_types::Error::UnknownFunction(_)));
     }
 }

@@ -1,8 +1,19 @@
-//! TEE pools and load balancing (paper §III-A: "the gateway maintains TEE
-//! pools to load-balance workload requests across different types of TEEs";
-//! providers adjust the policy to their needs).
+//! TEE pools, load balancing, and member health (paper §III-A: "the gateway
+//! maintains TEE pools to load-balance workload requests across different
+//! types of TEEs"; providers adjust the policy to their needs).
+//!
+//! Beyond balancing, every member carries health state: consecutive transport
+//! failures trip a per-member circuit breaker, [`TeePool::checkout_healthy`]
+//! skips tripped members, and an open circuit re-admits a single probe
+//! request after a cooldown (classic closed → open → half-open breaker).
+//! Time is injected through [`Clock`] so cooldown behaviour is testable
+//! without sleeping.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use parking_lot::Mutex;
 
 /// A load-balancing policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,10 +24,108 @@ pub enum BalancePolicy {
     LeastLoaded,
 }
 
-struct Entry<T> {
-    member: T,
-    inflight: AtomicU64,
-    served: AtomicU64,
+/// Monotonic-enough millisecond time source for circuit cooldowns.
+///
+/// Injected into [`TeePool`] so tests drive cooldown expiry with
+/// [`ManualClock`] instead of sleeping through it.
+pub trait Clock: Send + Sync {
+    /// Current time in milliseconds. Only differences are meaningful.
+    fn now_ms(&self) -> u64;
+}
+
+/// Wall-clock [`Clock`] (the default).
+#[derive(Debug, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+    }
+}
+
+/// Hand-driven [`Clock`] for deterministic cooldown tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ms: AtomicU64,
+}
+
+impl ManualClock {
+    /// Starts at time zero.
+    pub fn new() -> Self {
+        ManualClock { ms: AtomicU64::new(0) }
+    }
+
+    /// Advances the clock by `ms` milliseconds.
+    pub fn advance(&self, ms: u64) {
+        self.ms.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::SeqCst)
+    }
+}
+
+/// Circuit-breaker tuning for pool members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive failures that open a member's circuit.
+    pub failure_threshold: u32,
+    /// How long an open circuit stays closed to traffic before admitting a
+    /// half-open probe.
+    pub cooldown_ms: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy { failure_threshold: 3, cooldown_ms: 5_000 }
+    }
+}
+
+/// Externally visible circuit state of one pool member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Healthy: traffic flows normally.
+    Closed,
+    /// Tripped: skipped by [`TeePool::checkout_healthy`] until cooldown.
+    Open,
+    /// Cooldown elapsed: one probe request is (or may be) in flight.
+    HalfOpen,
+}
+
+/// Internal circuit representation.
+#[derive(Debug, Clone, Copy)]
+enum Circuit {
+    Closed,
+    Open {
+        since_ms: u64,
+    },
+    /// `probing` is true while the single trial request is checked out.
+    HalfOpen {
+        probing: bool,
+    },
+}
+
+struct MemberState {
+    inflight: u64,
+    served: u64,
+    consecutive_failures: u32,
+    circuit: Circuit,
+}
+
+impl MemberState {
+    fn new() -> Self {
+        MemberState { inflight: 0, served: 0, consecutive_failures: 0, circuit: Circuit::Closed }
+    }
+}
+
+/// All mutable pool state lives under one lock so selection and accounting
+/// are a single atomic step (a load-then-increment pair of atomics let two
+/// concurrent least-loaded checkouts pick the same member).
+struct PoolState {
+    cursor: usize,
+    members: Vec<MemberState>,
 }
 
 /// A pool of interchangeable execution targets for one VM target.
@@ -32,31 +141,39 @@ struct Entry<T> {
 /// assert_ne!(*first.member(), *second.member());
 /// ```
 pub struct TeePool<T> {
-    entries: Vec<Entry<T>>,
+    entries: Vec<T>,
     policy: BalancePolicy,
-    cursor: AtomicUsize,
+    health: HealthPolicy,
+    clock: Arc<dyn Clock>,
+    state: Mutex<PoolState>,
 }
 
 impl<T> TeePool<T> {
-    /// Creates a pool over `members`.
+    /// Creates a pool over `members` with default health policy and the
+    /// system clock.
     ///
     /// # Panics
     ///
     /// Panics if `members` is empty.
     pub fn new(members: Vec<T>, policy: BalancePolicy) -> Self {
+        TeePool::with_health(members, policy, HealthPolicy::default(), Arc::new(SystemClock))
+    }
+
+    /// Creates a pool with explicit circuit-breaker tuning and clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn with_health(
+        members: Vec<T>,
+        policy: BalancePolicy,
+        health: HealthPolicy,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         assert!(!members.is_empty(), "a pool needs at least one member");
-        TeePool {
-            entries: members
-                .into_iter()
-                .map(|member| Entry {
-                    member,
-                    inflight: AtomicU64::new(0),
-                    served: AtomicU64::new(0),
-                })
-                .collect(),
-            policy,
-            cursor: AtomicUsize::new(0),
-        }
+        let state =
+            PoolState { cursor: 0, members: members.iter().map(|_| MemberState::new()).collect() };
+        TeePool { entries: members, policy, health, clock, state: Mutex::new(state) }
     }
 
     /// Number of members.
@@ -74,55 +191,194 @@ impl<T> TeePool<T> {
         self.policy
     }
 
-    /// Selects a member per the policy, returning a guard that tracks the
-    /// request as in-flight until dropped.
-    pub fn checkout(&self) -> PoolGuard<'_, T> {
-        let idx = match self.policy {
-            BalancePolicy::RoundRobin => {
-                self.cursor.fetch_add(1, Ordering::Relaxed) % self.entries.len()
-            }
-            BalancePolicy::LeastLoaded => self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.inflight.load(Ordering::Relaxed))
-                .map(|(i, _)| i)
-                .expect("non-empty pool"),
-        };
-        let entry = &self.entries[idx];
-        entry.inflight.fetch_add(1, Ordering::SeqCst);
-        entry.served.fetch_add(1, Ordering::SeqCst);
-        PoolGuard { entry }
+    /// The circuit-breaker tuning.
+    pub fn health_policy(&self) -> HealthPolicy {
+        self.health
     }
 
-    /// Total requests served per member (diagnostics).
+    /// Selects a member per the policy — ignoring health — returning a guard
+    /// that tracks the request as in-flight until dropped.
+    pub fn checkout(&self) -> PoolGuard<'_, T> {
+        let mut state = self.state.lock();
+        let idx = self.select(&mut state, |_| true).expect("non-empty pool");
+        self.admit(&mut state, idx, false)
+    }
+
+    /// Selects a healthy member (circuit closed, or open-past-cooldown — in
+    /// which case this checkout is the half-open probe). Returns `None` when
+    /// every member's circuit is open.
+    pub fn checkout_healthy(&self) -> Option<PoolGuard<'_, T>> {
+        self.checkout_healthy_excluding(None)
+    }
+
+    /// As [`TeePool::checkout_healthy`], but avoids member `exclude` (the one
+    /// that just failed) when any other healthy member exists. Falls back to
+    /// the excluded member rather than failing if it is the only healthy one.
+    pub fn checkout_healthy_excluding(&self, exclude: Option<usize>) -> Option<PoolGuard<'_, T>> {
+        let now = self.clock.now_ms();
+        let mut state = self.state.lock();
+        // Open circuits past cooldown become half-open (probe admissible)
+        // before selection, for every member, so availability is uniform.
+        for m in &mut state.members {
+            if let Circuit::Open { since_ms } = m.circuit {
+                if now.saturating_sub(since_ms) >= self.health.cooldown_ms {
+                    m.circuit = Circuit::HalfOpen { probing: false };
+                }
+            }
+        }
+        let available = |m: &MemberState| {
+            matches!(m.circuit, Circuit::Closed | Circuit::HalfOpen { probing: false })
+        };
+        let idx = self
+            .select(&mut state, |(i, m)| available(m) && Some(i) != exclude)
+            .or_else(|| self.select(&mut state, |(_, m)| available(m)))?;
+        let probe = matches!(state.members[idx].circuit, Circuit::HalfOpen { probing: false });
+        if probe {
+            state.members[idx].circuit = Circuit::HalfOpen { probing: true };
+        }
+        Some(self.admit(&mut state, idx, probe))
+    }
+
+    /// Records the result of a checked-out request for circuit accounting.
+    ///
+    /// `success` should be true whenever the *member* did its job — including
+    /// application-level errors like an unknown function — and false only for
+    /// transport-class failures that indicate the member itself is unhealthy.
+    pub fn report_outcome(&self, guard: &PoolGuard<'_, T>, success: bool) {
+        let mut state = self.state.lock();
+        guard.reported.set(true);
+        let m = &mut state.members[guard.idx];
+        if success {
+            m.consecutive_failures = 0;
+            m.circuit = Circuit::Closed;
+        } else {
+            m.consecutive_failures += 1;
+            let trip = matches!(m.circuit, Circuit::HalfOpen { .. })
+                || m.consecutive_failures >= self.health.failure_threshold;
+            if trip {
+                m.circuit = Circuit::Open { since_ms: self.clock.now_ms() };
+            }
+        }
+    }
+
+    /// Requests completed per member (counted when the guard drops).
     pub fn served_counts(&self) -> Vec<u64> {
-        self.entries.iter().map(|e| e.served.load(Ordering::SeqCst)).collect()
+        self.state.lock().members.iter().map(|m| m.served).collect()
+    }
+
+    /// Requests currently in flight per member.
+    pub fn inflight_counts(&self) -> Vec<u64> {
+        self.state.lock().members.iter().map(|m| m.inflight).collect()
+    }
+
+    /// Circuit state per member.
+    pub fn circuit_states(&self) -> Vec<CircuitState> {
+        self.state
+            .lock()
+            .members
+            .iter()
+            .map(|m| match m.circuit {
+                Circuit::Closed => CircuitState::Closed,
+                Circuit::Open { .. } => CircuitState::Open,
+                Circuit::HalfOpen { .. } => CircuitState::HalfOpen,
+            })
+            .collect()
+    }
+
+    /// Applies the balance policy over members passing `eligible`, without
+    /// mutating anything but the round-robin cursor.
+    fn select(
+        &self,
+        state: &mut PoolState,
+        eligible: impl Fn((usize, &MemberState)) -> bool,
+    ) -> Option<usize> {
+        let n = self.entries.len();
+        match self.policy {
+            BalancePolicy::RoundRobin => {
+                for step in 0..n {
+                    let i = (state.cursor + step) % n;
+                    if eligible((i, &state.members[i])) {
+                        state.cursor = i + 1;
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            BalancePolicy::LeastLoaded => state
+                .members
+                .iter()
+                .enumerate()
+                .filter(|(i, m)| eligible((*i, m)))
+                .min_by_key(|(_, m)| m.inflight)
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// Marks `idx` in flight and builds its guard. Must run under the same
+    /// lock acquisition as selection — that is the race fix.
+    fn admit<'a>(&'a self, state: &mut PoolState, idx: usize, probe: bool) -> PoolGuard<'a, T> {
+        state.members[idx].inflight += 1;
+        PoolGuard { pool: self, idx, probe, reported: std::cell::Cell::new(false) }
     }
 }
 
-/// Checkout guard: dereferences to the member; releases the in-flight count
-/// on drop.
+/// Checkout guard: dereferences to the member; on drop releases the
+/// in-flight count and counts the request as served (completion-time
+/// accounting, so `served_counts` means "finished", not "started").
 pub struct PoolGuard<'a, T> {
-    entry: &'a Entry<T>,
+    pool: &'a TeePool<T>,
+    idx: usize,
+    probe: bool,
+    reported: std::cell::Cell<bool>,
 }
 
 impl<T> PoolGuard<'_, T> {
     /// The selected member.
     pub fn member(&self) -> &T {
-        &self.entry.member
+        &self.pool.entries[self.idx]
+    }
+
+    /// The selected member's index within the pool.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// Whether this checkout is a half-open circuit probe.
+    pub fn is_probe(&self) -> bool {
+        self.probe
     }
 }
 
 impl<T> Drop for PoolGuard<'_, T> {
     fn drop(&mut self) {
-        self.entry.inflight.fetch_sub(1, Ordering::SeqCst);
+        let mut state = self.pool.state.lock();
+        let m = &mut state.members[self.idx];
+        m.inflight -= 1;
+        m.served += 1;
+        // A probe abandoned without a verdict frees the probe slot so the
+        // next healthy checkout can try again.
+        if self.probe && !self.reported.get() {
+            if let Circuit::HalfOpen { probing: true } = m.circuit {
+                m.circuit = Circuit::HalfOpen { probing: false };
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn manual_pool(n: usize) -> (TeePool<usize>, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let pool = TeePool::with_health(
+            (0..n).collect(),
+            BalancePolicy::RoundRobin,
+            HealthPolicy { failure_threshold: 2, cooldown_ms: 100 },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        (pool, clock)
+    }
 
     #[test]
     fn round_robin_rotates_evenly() {
@@ -147,15 +403,20 @@ mod tests {
     }
 
     #[test]
-    fn guard_drop_releases_load() {
+    fn guard_drop_releases_load_and_counts_completion() {
         let pool = TeePool::new(vec!["only"], BalancePolicy::LeastLoaded);
         {
             let _g1 = pool.checkout();
             let _g2 = pool.checkout();
+            // Nothing finished yet: served counts completions, not checkouts.
+            assert_eq!(pool.served_counts(), vec![0]);
+            assert_eq!(pool.inflight_counts(), vec![2]);
         }
-        // Both released; least-loaded sees zero in-flight.
+        assert_eq!(pool.served_counts(), vec![2]);
         let g = pool.checkout();
         assert_eq!(*g.member(), "only");
+        assert_eq!(pool.inflight_counts(), vec![1]);
+        drop(g);
         assert_eq!(pool.served_counts(), vec![3]);
     }
 
@@ -182,5 +443,146 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(pool.served_counts().iter().sum::<u64>(), 400);
+    }
+
+    #[test]
+    fn least_loaded_never_double_picks_under_contention() {
+        // With selection and admission under one lock, two concurrent
+        // checkouts from an idle 2-member pool must land on different
+        // members. Run many rounds to make a regression (select-then-
+        // increment race) extremely likely to surface.
+        let pool = TeePool::new(vec![0usize, 1], BalancePolicy::LeastLoaded);
+        for _ in 0..200 {
+            let barrier = std::sync::Barrier::new(2);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        s.spawn(|| {
+                            barrier.wait();
+                            let g = pool.checkout();
+                            let picked = *g.member();
+                            // Hold the guard until both threads have picked,
+                            // so both checkouts overlap.
+                            barrier.wait();
+                            picked
+                        })
+                    })
+                    .collect();
+                let mut picked: Vec<usize> =
+                    handles.into_iter().map(|h| h.join().unwrap()).collect();
+                picked.sort_unstable();
+                assert_eq!(picked, vec![0, 1], "least-loaded double-picked a member");
+            });
+        }
+    }
+
+    #[test]
+    fn failures_trip_circuit_and_checkouts_skip_it() {
+        let (pool, _clock) = manual_pool(2);
+        for _ in 0..2 {
+            let g = pool.checkout_healthy().unwrap();
+            if g.index() == 0 {
+                pool.report_outcome(&g, false);
+            } else {
+                pool.report_outcome(&g, true);
+            }
+        }
+        // Member 0 saw only one failure so far (round robin alternates);
+        // drive it to the threshold.
+        while pool.circuit_states()[0] == CircuitState::Closed {
+            let g = pool.checkout_healthy_excluding(Some(1)).unwrap();
+            assert_eq!(g.index(), 0);
+            pool.report_outcome(&g, false);
+        }
+        assert_eq!(pool.circuit_states()[0], CircuitState::Open);
+        for _ in 0..4 {
+            let g = pool.checkout_healthy().unwrap();
+            assert_eq!(g.index(), 1, "open circuit must be skipped");
+            pool.report_outcome(&g, true);
+        }
+    }
+
+    #[test]
+    fn open_circuit_admits_single_probe_after_cooldown() {
+        let (pool, clock) = manual_pool(1);
+        for _ in 0..2 {
+            let g = pool.checkout_healthy().unwrap();
+            pool.report_outcome(&g, false);
+        }
+        assert_eq!(pool.circuit_states(), vec![CircuitState::Open]);
+        assert!(pool.checkout_healthy().is_none(), "open circuit, no cooldown yet");
+
+        clock.advance(100);
+        let probe = pool.checkout_healthy().expect("cooldown elapsed: probe admitted");
+        assert!(probe.is_probe());
+        // Only one probe at a time.
+        assert!(pool.checkout_healthy().is_none());
+        pool.report_outcome(&probe, true);
+        drop(probe);
+        assert_eq!(pool.circuit_states(), vec![CircuitState::Closed]);
+        assert!(pool.checkout_healthy().is_some());
+    }
+
+    #[test]
+    fn failed_probe_reopens_circuit() {
+        let (pool, clock) = manual_pool(1);
+        for _ in 0..2 {
+            let g = pool.checkout_healthy().unwrap();
+            pool.report_outcome(&g, false);
+        }
+        clock.advance(100);
+        let probe = pool.checkout_healthy().unwrap();
+        pool.report_outcome(&probe, false);
+        drop(probe);
+        assert_eq!(pool.circuit_states(), vec![CircuitState::Open]);
+        assert!(pool.checkout_healthy().is_none(), "failed probe restarts cooldown");
+        clock.advance(100);
+        assert!(pool.checkout_healthy().is_some());
+    }
+
+    #[test]
+    fn abandoned_probe_frees_the_slot() {
+        let (pool, clock) = manual_pool(1);
+        for _ in 0..2 {
+            let g = pool.checkout_healthy().unwrap();
+            pool.report_outcome(&g, false);
+        }
+        clock.advance(100);
+        let probe = pool.checkout_healthy().unwrap();
+        drop(probe); // no verdict reported
+        let retry = pool.checkout_healthy().expect("slot freed for the next probe");
+        assert!(retry.is_probe());
+    }
+
+    #[test]
+    fn excluding_prefers_other_members_but_falls_back() {
+        let (pool, _clock) = manual_pool(2);
+        let g = pool.checkout_healthy_excluding(Some(0)).unwrap();
+        assert_eq!(g.index(), 1);
+        drop(g);
+        // Trip member 1; excluding member 0 must still fall back to it.
+        for _ in 0..2 {
+            let g = pool.checkout_healthy_excluding(Some(0)).unwrap();
+            pool.report_outcome(&g, false);
+        }
+        assert_eq!(pool.circuit_states()[1], CircuitState::Open);
+        let g = pool.checkout_healthy_excluding(Some(0)).unwrap();
+        assert_eq!(g.index(), 0, "excluded member is better than none");
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let (pool, _clock) = manual_pool(1);
+        let g = pool.checkout_healthy().unwrap();
+        pool.report_outcome(&g, false);
+        drop(g);
+        let g = pool.checkout_healthy().unwrap();
+        pool.report_outcome(&g, true);
+        drop(g);
+        // The earlier failure no longer counts toward the threshold.
+        let g = pool.checkout_healthy().unwrap();
+        pool.report_outcome(&g, false);
+        drop(g);
+        assert_eq!(pool.circuit_states(), vec![CircuitState::Closed]);
     }
 }

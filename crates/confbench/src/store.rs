@@ -38,7 +38,8 @@ impl FaasFunction for UploadedFunction {
         // Dispatch cost 1 = the function's pure semantics, which the
         // managed-runtime profiles then inflate.
         let program = parse(&self.script).map_err(|e| e.to_string())?;
-        let outcome = run_program(&program, args, 1, UPLOAD_STEP_LIMIT).map_err(|e| e.to_string())?;
+        let outcome =
+            run_program(&program, args, 1, UPLOAD_STEP_LIMIT).map_err(|e| e.to_string())?;
         trace.extend_from(&outcome.trace);
         Ok(outcome.result)
     }

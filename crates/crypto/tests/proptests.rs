@@ -1,17 +1,31 @@
 //! Property tests for the crypto substrate.
+//!
+//! Deterministic seeded sweeps: each property draws its inputs from a
+//! `SplitMix64` stream, so every CI run exercises the identical case set.
 
 use confbench_crypto::{
-    hmac_sha256, miller_rabin, mod_inverse, mod_mul, mod_pow, Sha256, SigningKey,
+    hmac_sha256, miller_rabin, mod_inverse, mod_mul, mod_pow, Sha256, SigningKey, SplitMix64,
 };
-use proptest::prelude::*;
 
-proptest! {
-    /// Incremental hashing equals one-shot hashing for every split.
-    #[test]
-    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..600),
-                                         cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..6)) {
+const CASES: u64 = 96;
+
+fn bytes(rng: &mut SplitMix64, max_len: u64) -> Vec<u8> {
+    let n = rng.next_below(max_len + 1) as usize;
+    let mut buf = vec![0u8; n];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+/// Incremental hashing equals one-shot hashing for every split.
+#[test]
+fn sha256_incremental_equals_oneshot() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC0FE_0001 ^ case);
+        let data = bytes(&mut rng, 599);
         let want = Sha256::digest(&data);
-        let mut offsets: Vec<usize> = cuts.iter().map(|i| i.index(data.len() + 1)).collect();
+        let mut offsets: Vec<usize> = (0..rng.next_below(6))
+            .map(|_| rng.next_below(data.len() as u64 + 1) as usize)
+            .collect();
         offsets.push(0);
         offsets.push(data.len());
         offsets.sort_unstable();
@@ -19,72 +33,107 @@ proptest! {
         for pair in offsets.windows(2) {
             h.update(&data[pair[0]..pair[1]]);
         }
-        prop_assert_eq!(h.finalize(), want);
+        assert_eq!(h.finalize(), want, "case {case}");
     }
+}
 
-    /// Distinct inputs produce distinct digests (collision-freedom at the
-    /// scale we can test).
-    #[test]
-    fn sha256_injective_on_small_inputs(a in proptest::collection::vec(any::<u8>(), 0..64),
-                                        b in proptest::collection::vec(any::<u8>(), 0..64)) {
-        prop_assume!(a != b);
-        prop_assert_ne!(Sha256::digest(&a), Sha256::digest(&b));
+/// Distinct inputs produce distinct digests (collision-freedom at the scale
+/// we can test).
+#[test]
+fn sha256_injective_on_small_inputs() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC0FE_0002 ^ case);
+        let a = bytes(&mut rng, 63);
+        let b = bytes(&mut rng, 63);
+        if a != b {
+            assert_ne!(Sha256::digest(&a), Sha256::digest(&b), "case {case}");
+        }
     }
+}
 
-    /// HMAC differs when either key or message differs.
-    #[test]
-    fn hmac_is_key_and_message_sensitive(key in proptest::collection::vec(any::<u8>(), 1..80),
-                                         msg in proptest::collection::vec(any::<u8>(), 0..80),
-                                         flip in any::<prop::sample::Index>()) {
+/// HMAC differs when either key or message differs.
+#[test]
+fn hmac_is_key_and_message_sensitive() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC0FE_0003 ^ case);
+        let mut key = bytes(&mut rng, 78);
+        key.push(rng.next_u64() as u8); // ensure non-empty
+        let msg = bytes(&mut rng, 79);
         let tag = hmac_sha256(&key, &msg);
+
         let mut key2 = key.clone();
-        let at = flip.index(key2.len());
+        let at = rng.next_below(key2.len() as u64) as usize;
         key2[at] ^= 1;
-        prop_assert_ne!(hmac_sha256(&key2, &msg), tag);
+        assert_ne!(hmac_sha256(&key2, &msg), tag, "case {case}: key flip");
+
         let mut msg2 = msg.clone();
         if msg2.is_empty() {
             msg2.push(0);
         } else {
-            let at = flip.index(msg2.len());
+            let at = rng.next_below(msg2.len() as u64) as usize;
             msg2[at] ^= 1;
         }
-        prop_assert_ne!(hmac_sha256(&key, &msg2), tag);
+        assert_ne!(hmac_sha256(&key, &msg2), tag, "case {case}: msg flip");
     }
+}
 
-    /// Signatures verify for the signed message only.
-    #[test]
-    fn signatures_bind_messages(seed in any::<u64>(),
-                                msg in proptest::collection::vec(any::<u8>(), 0..200),
-                                other in proptest::collection::vec(any::<u8>(), 0..200)) {
-        let sk = SigningKey::from_seed(seed);
+/// Signatures verify for the signed message only.
+#[test]
+fn signatures_bind_messages() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC0FE_0004 ^ case);
+        let sk = SigningKey::from_seed(rng.next_u64());
+        let msg = bytes(&mut rng, 199);
+        let other = bytes(&mut rng, 199);
         let sig = sk.sign(&msg);
-        prop_assert!(sk.verifying_key().verify(&msg, &sig).is_ok());
+        assert!(sk.verifying_key().verify(&msg, &sig).is_ok(), "case {case}");
         if other != msg {
-            prop_assert!(sk.verifying_key().verify(&other, &sig).is_err());
+            assert!(sk.verifying_key().verify(&other, &sig).is_err(), "case {case}");
         }
     }
+}
 
-    /// mod_pow obeys the law of exponents.
-    #[test]
-    fn mod_pow_exponent_law(base in 1u64..1_000_000, a in 0u64..1_000, b in 0u64..1_000) {
+/// mod_pow obeys the law of exponents.
+#[test]
+fn mod_pow_exponent_law() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC0FE_0005 ^ case);
+        let base = 1 + rng.next_below(999_999);
+        let a = rng.next_below(1_000);
+        let b = rng.next_below(1_000);
         let m = 1_000_000_007u64;
         let left = mod_pow(base, a + b, m);
         let right = mod_mul(mod_pow(base, a, m), mod_pow(base, b, m), m);
-        prop_assert_eq!(left, right);
+        assert_eq!(left, right, "case {case}: base {base}, a {a}, b {b}");
     }
+}
 
-    /// The inverse really inverts (whenever it exists).
-    #[test]
-    fn mod_inverse_inverts(a in 1u64..1_000_000, m in 2u64..1_000_000) {
+/// The inverse really inverts (whenever it exists).
+#[test]
+fn mod_inverse_inverts() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC0FE_0006 ^ case);
+        let a = 1 + rng.next_below(999_999);
+        let m = 2 + rng.next_below(999_998);
         if let Some(inv) = mod_inverse(a, m) {
-            prop_assert_eq!(mod_mul(a % m, inv, m), 1 % m);
+            assert_eq!(mod_mul(a % m, inv, m), 1 % m, "case {case}: a {a}, m {m}");
         }
     }
+}
 
-    /// Miller–Rabin agrees with trial division on small numbers.
-    #[test]
-    fn miller_rabin_matches_trial_division(n in 0u64..50_000) {
-        let by_trial = n >= 2 && (2..).take_while(|d| d * d <= n).all(|d| n % d != 0);
-        prop_assert_eq!(miller_rabin(n), by_trial, "{}", n);
+/// Miller–Rabin agrees with trial division on small numbers.
+#[test]
+fn miller_rabin_matches_trial_division() {
+    // Exhaustive over a small prefix plus a seeded sweep of the wider range.
+    let check = |n: u64| {
+        let by_trial = n >= 2 && (2..).take_while(|d| d * d <= n).all(|d| !n.is_multiple_of(d));
+        assert_eq!(miller_rabin(n), by_trial, "{n}");
+    };
+    for n in 0..2_000 {
+        check(n);
+    }
+    let mut rng = SplitMix64::new(0xC0FE_0007);
+    for _ in 0..500 {
+        check(rng.next_below(50_000));
     }
 }

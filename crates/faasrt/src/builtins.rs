@@ -20,9 +20,31 @@ pub(crate) trait BuiltinHost {
 /// Names the engines must treat as builtins (user functions cannot shadow
 /// them).
 pub(crate) const BUILTIN_NAMES: &[&str] = &[
-    "log", "result", "len", "push", "pop", "array_new", "str", "int", "float", "chr", "sqrt",
-    "sin", "cos", "floor", "abs", "ln", "exp", "io_write", "io_read", "file_meta", "dir_op",
-    "alloc", "release", "mem_touch", "ctx_switch",
+    "log",
+    "result",
+    "len",
+    "push",
+    "pop",
+    "array_new",
+    "str",
+    "int",
+    "float",
+    "chr",
+    "sqrt",
+    "sin",
+    "cos",
+    "floor",
+    "abs",
+    "ln",
+    "exp",
+    "io_write",
+    "io_read",
+    "file_meta",
+    "dir_op",
+    "alloc",
+    "release",
+    "mem_touch",
+    "ctx_switch",
 ];
 
 /// Dispatches a builtin call.

@@ -116,11 +116,15 @@ pub fn compile(program: &Program) -> Result<Module, ScriptError> {
         .collect();
 
     // Function 0: top level.
-    let main = FnCompiler::new(&fn_ids, &[]).compile_body("__main__", &program.body, &mut module)?;
+    let main =
+        FnCompiler::new(&fn_ids, &[]).compile_body("__main__", &program.body, &mut module)?;
     module.functions.push(main);
     for decl in &program.functions {
-        let f = FnCompiler::new(&fn_ids, &decl.params)
-            .compile_body(&decl.name, &decl.body, &mut module)?;
+        let f = FnCompiler::new(&fn_ids, &decl.params).compile_body(
+            &decl.name,
+            &decl.body,
+            &mut module,
+        )?;
         module.functions.push(f);
     }
     // Fix function order: we appended main first, then declarations; ids in
@@ -580,7 +584,11 @@ impl VmState<'_> {
         result
     }
 
-    fn call_function_inner(&mut self, fn_index: u32, args: Vec<Value>) -> Result<Value, ScriptError> {
+    fn call_function_inner(
+        &mut self,
+        fn_index: u32,
+        args: Vec<Value>,
+    ) -> Result<Value, ScriptError> {
         let f = &self.module.functions[fn_index as usize];
         if args.len() as u32 != f.arity {
             return Err(ScriptError::Runtime(format!(
@@ -605,7 +613,9 @@ impl VmState<'_> {
             match &f.code[pc] {
                 Instr::ConstInt(n) => stack.push(Value::Int(*n)),
                 Instr::ConstFloat(x) => stack.push(Value::Float(*x)),
-                Instr::ConstStr(i) => stack.push(Value::Str(self.module.strings[*i as usize].clone())),
+                Instr::ConstStr(i) => {
+                    stack.push(Value::Str(self.module.strings[*i as usize].clone()))
+                }
                 Instr::ConstBool(b) => stack.push(Value::Bool(*b)),
                 Instr::ConstNil => stack.push(Value::Nil),
                 Instr::LoadLocal(slot) => stack.push(locals[*slot as usize].clone()),
@@ -615,11 +625,10 @@ impl VmState<'_> {
                 }
                 Instr::LoadGlobal(i) => {
                     let name = &self.module.names[*i as usize];
-                    let v = self
-                        .globals
-                        .get(name)
-                        .cloned()
-                        .ok_or_else(|| ScriptError::Runtime(format!("unknown variable {name}")))?;
+                    let v =
+                        self.globals.get(name).cloned().ok_or_else(|| {
+                            ScriptError::Runtime(format!("unknown variable {name}"))
+                        })?;
                     stack.push(v);
                 }
                 Instr::StoreGlobal(i) => {
@@ -862,10 +871,9 @@ fn index_value(target: &Value, index: &Value) -> Result<Value, ScriptError> {
     match target {
         Value::Array(items) => {
             let items = items.borrow();
-            items
-                .get(i)
-                .cloned()
-                .ok_or_else(|| ScriptError::Runtime(format!("index {i} out of range (len {})", items.len())))
+            items.get(i).cloned().ok_or_else(|| {
+                ScriptError::Runtime(format!("index {i} out of range (len {})", items.len()))
+            })
         }
         Value::Str(s) => s
             .as_bytes()
@@ -893,7 +901,9 @@ fn index_set(target: &Value, index: &Value, value: Value) -> Result<(), ScriptEr
                 None => Err(ScriptError::Runtime(format!("index {i} out of range (len {len})"))),
             }
         }
-        other => Err(ScriptError::Runtime(format!("cannot index {} for assignment", other.type_name()))),
+        other => {
+            Err(ScriptError::Runtime(format!("cannot index {} for assignment", other.type_name())))
+        }
     }
 }
 

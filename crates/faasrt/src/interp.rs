@@ -483,7 +483,12 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn call(&mut self, name: &str, args: Vec<Value>, _scope: &mut Scope) -> Result<Value, ScriptError> {
+    fn call(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        _scope: &mut Scope,
+    ) -> Result<Value, ScriptError> {
         // User-defined functions shadow nothing: builtins use reserved names.
         if let Some(decl) = self.functions.get(name).copied() {
             if decl.params.len() != args.len() {
@@ -504,8 +509,7 @@ impl<'p> Interp<'p> {
                 )));
             }
             self.mem_pending += 32 + 16 * args.len() as u64;
-            let mut frame: Scope =
-                decl.params.iter().cloned().zip(args).collect();
+            let mut frame: Scope = decl.params.iter().cloned().zip(args).collect();
             let flow = self.exec_block(&decl.body, &mut frame);
             self.call_depth -= 1;
             return Ok(match flow? {
@@ -515,9 +519,7 @@ impl<'p> Interp<'p> {
         }
         crate::builtins::call_builtin(self, name, args)
     }
-
 }
-
 
 impl crate::builtins::BuiltinHost for Interp<'_> {
     fn trace_mut(&mut self) -> &mut OpTrace {
@@ -571,7 +573,9 @@ mod tests {
 
     #[test]
     fn fibonacci_recursion() {
-        let out = run("fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } result(fib(15));");
+        let out = run(
+            "fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } result(fib(15));",
+        );
         assert_eq!(out.result, "610");
     }
 
@@ -583,27 +587,23 @@ mod tests {
 
     #[test]
     fn for_range_with_break_continue() {
-        let out = run(
-            "let s = 0;
+        let out = run("let s = 0;
              for i in 0, 100 {
                if i % 2 == 0 { continue; }
                if i > 10 { break; }
                s = s + i;
              }
-             result(s);",
-        );
+             result(s);");
         assert_eq!(out.result, "25"); // 1+3+5+7+9
     }
 
     #[test]
     fn arrays_index_and_mutation() {
-        let out = run(
-            "let a = array_new(10, 0);
+        let out = run("let a = array_new(10, 0);
              for i in 0, 10 { a[i] = i * i; }
              let s = 0;
              for i in 0, 10 { s = s + a[i]; }
-             result(s);",
-        );
+             result(s);");
         assert_eq!(out.result, "285");
     }
 

@@ -44,13 +44,15 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
                 }
                 let text = &source[start..i];
                 let kind = if is_float {
-                    TokenKind::Float(
-                        text.parse().map_err(|_| ScriptError::Lex { line, message: format!("bad float {text}") })?,
-                    )
+                    TokenKind::Float(text.parse().map_err(|_| ScriptError::Lex {
+                        line,
+                        message: format!("bad float {text}"),
+                    })?)
                 } else {
-                    TokenKind::Int(
-                        text.parse().map_err(|_| ScriptError::Lex { line, message: format!("bad int {text}") })?,
-                    )
+                    TokenKind::Int(text.parse().map_err(|_| ScriptError::Lex {
+                        line,
+                        message: format!("bad int {text}"),
+                    })?)
                 };
                 tokens.push(Token { kind, line });
             }
@@ -83,7 +85,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
                 let mut s = String::new();
                 loop {
                     if i >= bytes.len() {
-                        return Err(ScriptError::Lex { line, message: "unterminated string".into() });
+                        return Err(ScriptError::Lex {
+                            line,
+                            message: "unterminated string".into(),
+                        });
                     }
                     match bytes[i] {
                         b'"' => {
@@ -107,7 +112,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
                             i += 2;
                         }
                         b'\n' => {
-                            return Err(ScriptError::Lex { line, message: "unterminated string".into() })
+                            return Err(ScriptError::Lex {
+                                line,
+                                message: "unterminated string".into(),
+                            })
                         }
                         b => {
                             s.push(b as char);
@@ -170,7 +178,13 @@ mod tests {
     fn numbers_and_idents() {
         assert_eq!(
             kinds("let x = 42"),
-            vec![TokenKind::Let, TokenKind::Ident("x".into()), TokenKind::Eq, TokenKind::Int(42), TokenKind::Eof]
+            vec![
+                TokenKind::Let,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Int(42),
+                TokenKind::Eof
+            ]
         );
         assert_eq!(kinds("3.5")[0], TokenKind::Float(3.5));
     }

@@ -37,8 +37,8 @@ mod builtins;
 mod bytecode;
 mod error;
 mod interp;
-mod lexer;
 mod launcher;
+mod lexer;
 mod parser;
 mod profile;
 mod token;

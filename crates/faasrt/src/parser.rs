@@ -365,7 +365,11 @@ mod tests {
                 Expr::Binary(
                     BinOp::Add,
                     Box::new(Expr::Int(1)),
-                    Box::new(Expr::Binary(BinOp::Mul, Box::new(Expr::Int(2)), Box::new(Expr::Int(3))))
+                    Box::new(Expr::Binary(
+                        BinOp::Mul,
+                        Box::new(Expr::Int(2)),
+                        Box::new(Expr::Int(3))
+                    ))
                 )
             )
         );

@@ -106,7 +106,7 @@ impl RuntimeProfile {
                     if alloc > 0 {
                         out.alloc(alloc);
                         out.mem_write(alloc); // boxed temporaries are written
-                        out.free(alloc);      // and die young
+                        out.free(alloc); // and die young
                     }
                     cpu_since_gc += n;
                 }

@@ -1,9 +1,14 @@
 //! Differential property tests: the tree-walking interpreter and the stack
 //! bytecode VM must agree on every generated program, in result and in the
 //! I/O side effects they record.
+//!
+//! Deterministic seeded sweeps: each property draws its inputs from a
+//! `SplitMix64` stream, so every CI run exercises the identical case set.
 
+use confbench_crypto::SplitMix64;
 use confbench_faasrt::{compile, parse, run_program, JitMode, StackVm, TREE_WALK_DISPATCH};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 /// Renders a small arithmetic-and-control-flow program from a recipe of
 /// operations. Generated programs always terminate (bounded loops).
@@ -33,25 +38,34 @@ fn render_program(seed_ops: &[(u8, i64, i64)]) -> String {
     body
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn interpreter_and_vm_agree(ops in proptest::collection::vec((any::<u8>(), any::<i64>(), any::<i64>()), 1..12)) {
+#[test]
+fn interpreter_and_vm_agree() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xFAA5_0001 ^ case);
+        let ops: Vec<(u8, i64, i64)> = (0..1 + rng.next_below(11))
+            .map(|_| (rng.next_u64() as u8, rng.next_u64() as i64, rng.next_u64() as i64))
+            .collect();
         let src = render_program(&ops);
-        let program = parse(&src).unwrap_or_else(|e| panic!("generated program failed to parse: {e}\n{src}"));
+        let program =
+            parse(&src).unwrap_or_else(|e| panic!("generated program failed to parse: {e}\n{src}"));
         let interp = run_program(&program, &[], TREE_WALK_DISPATCH, 50_000_000)
             .unwrap_or_else(|e| panic!("interp failed: {e}\n{src}"));
         let module = compile(&program).unwrap();
         for jit in [JitMode::wasmi(), JitMode::luajit()] {
-            let vm = StackVm::new(jit, 50_000_000).run(&module, &[])
+            let vm = StackVm::new(jit, 50_000_000)
+                .run(&module, &[])
                 .unwrap_or_else(|e| panic!("vm failed: {e}\n{src}"));
-            prop_assert_eq!(&interp.result, &vm.result, "divergence under {:?} on:\n{}", jit, src);
+            assert_eq!(&interp.result, &vm.result, "divergence under {jit:?} on:\n{src}");
         }
     }
+}
 
-    #[test]
-    fn io_side_effects_agree(writes in proptest::collection::vec(1u64..100_000, 1..8)) {
+#[test]
+fn io_side_effects_agree() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xFAA5_0002 ^ case);
+        let writes: Vec<u64> =
+            (0..1 + rng.next_below(7)).map(|_| 1 + rng.next_below(99_999)).collect();
         let mut src = String::new();
         for w in &writes {
             src.push_str(&format!("io_write({w});\n"));
@@ -62,14 +76,16 @@ proptest! {
         let module = compile(&program).unwrap();
         let vm = StackVm::new(JitMode::wasmi(), 10_000_000).run(&module, &[]).unwrap();
         let expected: u64 = writes.iter().sum();
-        prop_assert_eq!(interp.trace.total_io_bytes(), expected);
-        prop_assert_eq!(vm.trace.total_io_bytes(), expected);
-        prop_assert_eq!(interp.trace.total_syscalls(), writes.len() as u64);
-        prop_assert_eq!(vm.trace.total_syscalls(), writes.len() as u64);
+        assert_eq!(interp.trace.total_io_bytes(), expected, "case {case}");
+        assert_eq!(vm.trace.total_io_bytes(), expected, "case {case}");
+        assert_eq!(interp.trace.total_syscalls(), writes.len() as u64, "case {case}");
+        assert_eq!(vm.trace.total_syscalls(), writes.len() as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn deeper_recursion_agrees(n in 1i64..18) {
+#[test]
+fn deeper_recursion_agrees() {
+    for n in 1i64..18 {
         let src = format!(
             "fn f(n) {{ if n < 2 {{ return n; }} return f(n - 1) + f(n - 2); }} result(f({n}));"
         );
@@ -77,7 +93,7 @@ proptest! {
         let interp = run_program(&program, &[], TREE_WALK_DISPATCH, 50_000_000).unwrap();
         let module = compile(&program).unwrap();
         let vm = StackVm::new(JitMode::wasmi(), 50_000_000).run(&module, &[]).unwrap();
-        prop_assert_eq!(interp.result, vm.result);
+        assert_eq!(interp.result, vm.result, "n = {n}");
     }
 }
 

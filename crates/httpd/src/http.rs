@@ -141,9 +141,8 @@ impl Request {
             .ok_or_else(|| HttpError::Malformed("empty request line".into()))?;
         let method =
             Method::parse(method).ok_or_else(|| HttpError::BadMethod(method.to_owned()))?;
-        let target = parts
-            .next()
-            .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+        let target =
+            parts.next().ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
         let (path, query) = split_query(target);
 
         let headers = read_headers(&mut reader)?;
@@ -258,6 +257,7 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -282,10 +282,7 @@ fn read_body(
     reader: &mut impl BufRead,
     headers: &HashMap<String, String>,
 ) -> Result<Vec<u8>, HttpError> {
-    let len: usize = headers
-        .get("content-length")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    let len: usize = headers.get("content-length").and_then(|v| v.parse().ok()).unwrap_or(0);
     if len > MAX_BODY {
         return Err(HttpError::BodyTooLarge(len));
     }
@@ -402,10 +399,7 @@ mod tests {
     #[test]
     fn bad_method_rejected() {
         let raw = b"BREW /coffee HTTP/1.1\r\n\r\n".to_vec();
-        assert!(matches!(
-            Request::read_from(&mut Cursor::new(raw)),
-            Err(HttpError::BadMethod(_))
-        ));
+        assert!(matches!(Request::read_from(&mut Cursor::new(raw)), Err(HttpError::BadMethod(_))));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! * [`Request`] / [`Response`] — HTTP/1.1 messages with JSON helpers;
 //! * [`Router`] — method + path routing with `:param` captures;
 //! * [`Server`] / [`Client`] — a threaded listener and a blocking client;
-//! * [`TcpRelay`] — socat-style bidirectional port forwarding.
+//! * [`TcpRelay`] — socat-style bidirectional port forwarding;
+//! * [`FaultInjector`] — deterministic connection drops, delays, and error
+//!   statuses for resilience testing.
 //!
 //! # Example
 //!
@@ -26,11 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod http;
 mod relay;
 mod router;
 mod server;
 
+pub use fault::{Fault, FaultInjector, Trigger};
 pub use http::{HttpError, Method, Request, Response, MAX_BODY};
 pub use relay::TcpRelay;
 pub use router::{Handler, Router};

@@ -11,6 +11,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::fault::{Fault, FaultInjector};
+use crate::http::Response;
+use crate::server::{connectable, join_with_timeout};
+
 /// A running bidirectional TCP relay. Dropping it stops the listener.
 ///
 /// # Example
@@ -37,6 +41,29 @@ impl TcpRelay {
     ///
     /// Propagates bind failures.
     pub fn spawn(listen: &str, target: SocketAddr) -> io::Result<TcpRelay> {
+        TcpRelay::spawn_inner(listen, target, None)
+    }
+
+    /// As [`TcpRelay::spawn`], with a [`FaultInjector`] deciding the fate of
+    /// each relayed connection. `Status` faults answer with a canned HTTP
+    /// response instead of forwarding (the relay fronts HTTP backends here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_with_faults(
+        listen: &str,
+        target: SocketAddr,
+        faults: Arc<FaultInjector>,
+    ) -> io::Result<TcpRelay> {
+        TcpRelay::spawn_inner(listen, target, Some(faults))
+    }
+
+    fn spawn_inner(
+        listen: &str,
+        target: SocketAddr,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> io::Result<TcpRelay> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -45,7 +72,7 @@ impl TcpRelay {
         let conn_counter = Arc::clone(&connections);
         let accept_thread = std::thread::Builder::new()
             .name(format!("relay-{addr}"))
-            .spawn(move || accept_loop(listener, target, flag, conn_counter))?;
+            .spawn(move || accept_loop(listener, target, flag, conn_counter, faults))?;
         Ok(TcpRelay { addr, shutdown, connections, accept_thread: Some(accept_thread) })
     }
 
@@ -66,9 +93,11 @@ impl TcpRelay {
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
+        // Wake the accept loop via loopback: a wildcard bind address is not
+        // connectable, and an unbounded join could hang shutdown.
+        let _ = TcpStream::connect_timeout(&connectable(self.addr), Duration::from_secs(1));
         if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+            join_with_timeout(handle, Duration::from_secs(5));
         }
     }
 }
@@ -86,13 +115,46 @@ fn accept_loop(
     target: SocketAddr,
     shutdown: Arc<AtomicBool>,
     connections: Arc<AtomicU64>,
+    faults: Option<Arc<FaultInjector>>,
 ) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(client) = stream else { continue };
+        let Ok(mut client) = stream else { continue };
         connections.fetch_add(1, Ordering::SeqCst);
+        match faults.as_ref().and_then(|f| f.decide()) {
+            Some(Fault::DropConnection) => continue, // close without forwarding
+            Some(Fault::Status(code)) => {
+                let _ = std::thread::Builder::new().name("relay-conn".into()).spawn(move || {
+                    // Answer immediately, then drain the client's request
+                    // until EOF so its in-flight writes never hit a closed
+                    // socket (EPIPE) before it reads the response.
+                    let _ = Response::error(code, "injected fault").write_to(&mut client);
+                    let _ = client.shutdown(std::net::Shutdown::Write);
+                    let _ = client.set_read_timeout(Some(Duration::from_millis(500)));
+                    let mut buf = [0u8; 16 * 1024];
+                    while let Ok(n) = client.read(&mut buf) {
+                        if n == 0 {
+                            break;
+                        }
+                    }
+                });
+                continue;
+            }
+            Some(Fault::Delay(d)) => {
+                let _ = std::thread::Builder::new().name("relay-conn".into()).spawn(move || {
+                    std::thread::sleep(d);
+                    if let Ok(upstream) =
+                        TcpStream::connect_timeout(&target, Duration::from_secs(10))
+                    {
+                        pipe_both(client, upstream);
+                    }
+                });
+                continue;
+            }
+            None => {}
+        }
         let _ = std::thread::Builder::new().name("relay-conn".into()).spawn(move || {
             if let Ok(upstream) = TcpStream::connect_timeout(&target, Duration::from_secs(10)) {
                 pipe_both(client, upstream);
@@ -102,7 +164,9 @@ fn accept_loop(
 }
 
 fn pipe_both(a: TcpStream, b: TcpStream) {
-    let (Ok(a2), Ok(b2)) = (a.try_clone(), b.try_clone()) else { return };
+    let (Ok(a2), Ok(b2)) = (a.try_clone(), b.try_clone()) else {
+        return;
+    };
     let t = std::thread::spawn(move || pipe(a2, b));
     pipe(b2, a);
     let _ = t.join();
@@ -149,6 +213,27 @@ mod tests {
             assert_eq!(resp.status, 200);
         }
         assert_eq!(relay.connections(), 4);
+    }
+
+    #[test]
+    fn relay_faults_drop_then_recover() {
+        let mut router = Router::new();
+        router.add(Method::Get, "/vm", |_, _| Response::text("alive"));
+        let backend = Server::spawn(router).unwrap();
+        let faults = Arc::new(
+            FaultInjector::new()
+                .rule(crate::fault::Trigger::Nth(1), Fault::DropConnection)
+                .rule(crate::fault::Trigger::Nth(2), Fault::Status(500)),
+        );
+        let relay = TcpRelay::spawn_with_faults("127.0.0.1:0", backend.addr(), faults).unwrap();
+        let client = Client::new(relay.addr()).timeout(Duration::from_secs(2));
+        let req = Request::new(Method::Get, "/vm");
+        assert!(client.send(&req).is_err(), "first connection dropped");
+        assert_eq!(client.send(&req).unwrap().status, 500, "second gets canned 500");
+        let resp = client.send(&req).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"alive");
+        assert_eq!(relay.connections(), 3);
     }
 
     #[test]

@@ -1,14 +1,41 @@
 //! A small threaded HTTP server and client.
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crate::fault::{Fault, FaultInjector};
 use crate::http::{HttpError, Request, Response};
 use crate::router::Router;
+
+/// Turns a bound address into one a client can connect to: wildcard binds
+/// (`0.0.0.0` / `[::]`) are not connectable, so substitute loopback.
+pub(crate) fn connectable(addr: SocketAddr) -> SocketAddr {
+    let mut addr = addr;
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr {
+            SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        });
+    }
+    addr
+}
+
+/// Waits up to `timeout` for `handle` to finish, then joins it; detaches
+/// (drops the handle) if it does not finish in time so shutdown can't hang.
+pub(crate) fn join_with_timeout(handle: JoinHandle<()>, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    while !handle.is_finished() {
+        if Instant::now() >= deadline {
+            return; // detach rather than block forever
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = handle.join();
+}
 
 /// A running HTTP server. Dropping it shuts the listener down.
 ///
@@ -46,6 +73,37 @@ impl Server {
     ///
     /// Propagates bind failures.
     pub fn spawn_on(addr: &str, router: Router) -> io::Result<Server> {
+        Server::spawn_inner(addr, router, None)
+    }
+
+    /// As [`Server::spawn`], with a [`FaultInjector`] deciding the fate of
+    /// each incoming connection (testing/chaos harness).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_with_faults(router: Router, faults: Arc<FaultInjector>) -> io::Result<Server> {
+        Server::spawn_inner("127.0.0.1:0", router, Some(faults))
+    }
+
+    /// As [`Server::spawn_on`], with fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_on_with_faults(
+        addr: &str,
+        router: Router,
+        faults: Arc<FaultInjector>,
+    ) -> io::Result<Server> {
+        Server::spawn_inner(addr, router, Some(faults))
+    }
+
+    fn spawn_inner(
+        addr: &str,
+        router: Router,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -53,7 +111,7 @@ impl Server {
         let flag = Arc::clone(&shutdown);
         let accept_thread = std::thread::Builder::new()
             .name(format!("httpd-{addr}"))
-            .spawn(move || accept_loop(listener, router, flag))?;
+            .spawn(move || accept_loop(listener, router, flag, faults))?;
         Ok(Server { addr, shutdown, accept_thread: Some(accept_thread) })
     }
 
@@ -69,10 +127,12 @@ impl Server {
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        // Wake the accept loop with a throwaway connection. Connect to
+        // loopback with the bound port: a wildcard bind address (0.0.0.0)
+        // is not connectable, which used to leave the loop blocked.
+        let _ = TcpStream::connect_timeout(&connectable(self.addr), Duration::from_secs(1));
         if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+            join_with_timeout(handle, Duration::from_secs(5));
         }
     }
 }
@@ -85,31 +145,50 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, router: Arc<Router>, shutdown: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    router: Arc<Router>,
+    shutdown: Arc<AtomicBool>,
+    faults: Option<Arc<FaultInjector>>,
+) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
         let router = Arc::clone(&router);
+        let faults = faults.clone();
         // One thread per connection: ConfBench's control plane is low-rate.
         // Handlers run language interpreters whose recursion is deep in
         // debug builds, so give connections a generous stack.
-        let _ = std::thread::Builder::new()
-            .name("httpd-conn".into())
-            .stack_size(16 << 20)
-            .spawn(move || {
-                handle_connection(stream, &router);
-            });
+        let _ = std::thread::Builder::new().name("httpd-conn".into()).stack_size(16 << 20).spawn(
+            move || {
+                handle_connection(stream, &router, faults.as_deref());
+            },
+        );
     }
 }
 
-fn handle_connection(mut stream: TcpStream, router: &Router) {
+fn handle_connection(mut stream: TcpStream, router: &Router, faults: Option<&FaultInjector>) {
+    let fault = faults.and_then(|f| f.decide());
+    if fault == Some(Fault::DropConnection) {
+        return; // close without reading: the client sees a reset/EOF
+    }
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let response = match Request::read_from(&mut stream) {
-        Ok(request) => router.dispatch(&request),
+    let request = match Request::read_from(&mut stream) {
+        Ok(request) => request,
         Err(HttpError::Io(_)) => return, // peer went away
-        Err(e) => Response::error(400, e.to_string()),
+        Err(e) => {
+            let _ = Response::error(400, e.to_string()).write_to(&mut stream);
+            return;
+        }
+    };
+    if let Some(Fault::Delay(d)) = fault {
+        std::thread::sleep(d);
+    }
+    let response = match fault {
+        Some(Fault::Status(code)) => Response::error(code, "injected fault"),
+        _ => router.dispatch(&request),
     };
     let _ = response.write_to(&mut stream);
 }
@@ -222,6 +301,60 @@ mod tests {
         let client = Client::new(server.addr());
         let resp = client.send(&Request::new(Method::Get, "/nope")).unwrap();
         assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn fault_injected_status_and_drop() {
+        let mut router = Router::new();
+        router.add(Method::Get, "/ok", |_, _| Response::text("fine"));
+        let faults = Arc::new(
+            FaultInjector::new()
+                .rule(crate::fault::Trigger::Nth(1), Fault::DropConnection)
+                .rule(crate::fault::Trigger::Nth(2), Fault::Status(500)),
+        );
+        let server = Server::spawn_with_faults(router, Arc::clone(&faults)).unwrap();
+        let client = Client::new(server.addr()).timeout(Duration::from_secs(2));
+        let req = Request::new(Method::Get, "/ok");
+        // Request 1: dropped without a response.
+        assert!(client.send(&req).is_err());
+        // Request 2: injected 500 instead of the handler.
+        assert_eq!(client.send(&req).unwrap().status, 500);
+        // Request 3: passes through.
+        let resp = client.send(&req).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"fine");
+        assert_eq!(faults.requests_seen(), 3);
+    }
+
+    #[test]
+    fn fault_injected_delay_still_answers() {
+        let mut router = Router::new();
+        router.add(Method::Get, "/ok", |_, _| Response::text("slow"));
+        let faults = Arc::new(
+            FaultInjector::new()
+                .rule(crate::fault::Trigger::Always, Fault::Delay(Duration::from_millis(30))),
+        );
+        let server = Server::spawn_with_faults(router, faults).unwrap();
+        let client = Client::new(server.addr());
+        let start = std::time::Instant::now();
+        let resp = client.send(&Request::new(Method::Get, "/ok")).unwrap();
+        assert_eq!(resp.body, b"slow");
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn wildcard_bind_still_shuts_down() {
+        // A 0.0.0.0 bind used to wedge stop(): the wakeup connection went to
+        // the (unconnectable) wildcard address. Must finish promptly now.
+        let mut router = Router::new();
+        router.add(Method::Get, "/ok", |_, _| Response::text("up"));
+        let server = Server::spawn_on("0.0.0.0:0", router).unwrap();
+        let port = server.addr().port();
+        let client = Client::new(format!("127.0.0.1:{port}").parse().unwrap());
+        assert_eq!(client.send(&Request::new(Method::Get, "/ok")).unwrap().status, 200);
+        let start = std::time::Instant::now();
+        server.shutdown();
+        assert!(start.elapsed() < Duration::from_secs(3), "shutdown hung on wildcard bind");
     }
 
     #[test]

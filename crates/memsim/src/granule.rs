@@ -270,7 +270,10 @@ mod tests {
         let mut gpt = GranuleTable::new(2);
         gpt.delegate(PageNum(0)).unwrap();
         gpt.assign_to_realm(PageNum(0), 1).unwrap();
-        assert_eq!(gpt.release_from_realm(PageNum(0), 2), Err(GranuleError::WrongState(PageNum(0))));
+        assert_eq!(
+            gpt.release_from_realm(PageNum(0), 2),
+            Err(GranuleError::WrongState(PageNum(0)))
+        );
     }
 
     #[test]

@@ -237,10 +237,7 @@ impl Rmp {
 
     /// Number of pages currently owned by `asid`.
     pub fn pages_owned_by(&self, asid: u32) -> u64 {
-        self.entries
-            .iter()
-            .filter(|e| e.owner == RmpOwner::Guest { asid })
-            .count() as u64
+        self.entries.iter().filter(|e| e.owner == RmpOwner::Guest { asid }).count() as u64
     }
 
     fn entry_mut(&mut self, page: PageNum) -> Result<&mut RmpEntry, RmpError> {

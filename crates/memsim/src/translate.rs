@@ -133,7 +133,10 @@ impl TwoStageTranslator {
         assert!(len > 0, "segment length must be positive");
         for &(sva, _, slen) in &self.segments {
             let disjoint = va + len <= sva || sva + slen <= va;
-            assert!(disjoint, "segment [{va:#x},+{len:#x}) overlaps existing [{sva:#x},+{slen:#x})");
+            assert!(
+                disjoint,
+                "segment [{va:#x},+{len:#x}) overlaps existing [{sva:#x},+{slen:#x})"
+            );
         }
         self.segments.push((va, ipa, len));
         self.segments.sort_unstable();

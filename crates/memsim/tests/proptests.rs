@@ -1,10 +1,15 @@
 //! Property-based invariants for the memory substrates.
+//!
+//! Deterministic seeded sweeps: each property draws its inputs from a
+//! `SplitMix64` stream, so every CI run exercises the identical case set.
 
+use confbench_crypto::SplitMix64;
 use confbench_memsim::{
     GranuleState, GranuleTable, PageNum, Rmp, RmpOwner, SecureEpt, StageTwoTable,
     TwoStageTranslator, World, PAGE_SIZE,
 };
-use proptest::prelude::*;
+
+const CASES: u64 = 96;
 
 /// Arbitrary sequence of RMP commands over a small table.
 #[derive(Debug, Clone)]
@@ -14,25 +19,34 @@ enum RmpCmd {
     Reclaim { page: u64 },
 }
 
-fn rmp_cmd() -> impl Strategy<Value = RmpCmd> {
-    prop_oneof![
-        (0u64..16, 1u32..4).prop_map(|(page, asid)| RmpCmd::Assign { page, asid }),
-        (0u64..16, 1u32..4).prop_map(|(page, asid)| RmpCmd::Validate { page, asid }),
-        (0u64..16).prop_map(|page| RmpCmd::Reclaim { page }),
-    ]
+fn rmp_cmd(rng: &mut SplitMix64) -> RmpCmd {
+    let page = rng.next_below(16);
+    let asid = 1 + rng.next_below(3) as u32;
+    match rng.next_below(3) {
+        0 => RmpCmd::Assign { page, asid },
+        1 => RmpCmd::Validate { page, asid },
+        _ => RmpCmd::Reclaim { page },
+    }
 }
 
-proptest! {
-    /// No interleaving of assign/validate/reclaim can make one page owned by
-    /// two guests, or validated while hypervisor-owned.
-    #[test]
-    fn rmp_single_owner_invariant(cmds in proptest::collection::vec(rmp_cmd(), 1..64)) {
+/// No interleaving of assign/validate/reclaim can make one page owned by
+/// two guests, or validated while hypervisor-owned.
+#[test]
+fn rmp_single_owner_invariant() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x3E3_0001 ^ case);
         let mut rmp = Rmp::new(16);
-        for cmd in cmds {
-            match cmd {
-                RmpCmd::Assign { page, asid } => { let _ = rmp.assign(PageNum(page), asid); }
-                RmpCmd::Validate { page, asid } => { let _ = rmp.pvalidate(PageNum(page), asid); }
-                RmpCmd::Reclaim { page } => { let _ = rmp.reclaim(PageNum(page)); }
+        for _ in 0..1 + rng.next_below(63) {
+            match rmp_cmd(&mut rng) {
+                RmpCmd::Assign { page, asid } => {
+                    let _ = rmp.assign(PageNum(page), asid);
+                }
+                RmpCmd::Validate { page, asid } => {
+                    let _ = rmp.pvalidate(PageNum(page), asid);
+                }
+                RmpCmd::Reclaim { page } => {
+                    let _ = rmp.reclaim(PageNum(page));
+                }
             }
         }
         // Invariant: hypervisor-owned pages are never validated, and the
@@ -41,57 +55,86 @@ proptest! {
         for p in 0..16 {
             let e = rmp.entry(PageNum(p)).unwrap();
             match e.owner {
-                RmpOwner::Hypervisor => prop_assert!(!e.validated),
+                RmpOwner::Hypervisor => assert!(!e.validated, "case {case}: page {p}"),
                 RmpOwner::Guest { .. } => guest_owned += 1,
             }
         }
         let sum: u64 = (1..4).map(|a| rmp.pages_owned_by(a)).sum();
-        prop_assert_eq!(sum, guest_owned);
+        assert_eq!(sum, guest_owned, "case {case}");
     }
+}
 
-    /// A validated page is accessible by its owner and nobody else.
-    #[test]
-    fn rmp_access_iff_owner_and_validated(page in 0u64..8, owner in 1u32..4, other in 1u32..4) {
-        prop_assume!(owner != other);
+/// A validated page is accessible by its owner and nobody else.
+#[test]
+fn rmp_access_iff_owner_and_validated() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x3E3_0002 ^ case);
+        let page = rng.next_below(8);
+        let owner = 1 + rng.next_below(3) as u32;
+        let other = 1 + rng.next_below(3) as u32;
+        if owner == other {
+            continue;
+        }
         let mut rmp = Rmp::new(8);
         rmp.assign(PageNum(page), owner).unwrap();
         rmp.pvalidate(PageNum(page), owner).unwrap();
-        prop_assert!(rmp.check_guest_access(PageNum(page), owner).is_ok());
-        prop_assert!(rmp.check_guest_access(PageNum(page), other).is_err());
-        prop_assert!(rmp.check_host_write(PageNum(page)).is_err());
+        assert!(rmp.check_guest_access(PageNum(page), owner).is_ok(), "case {case}");
+        assert!(rmp.check_guest_access(PageNum(page), other).is_err(), "case {case}");
+        assert!(rmp.check_host_write(PageNum(page)).is_err(), "case {case}");
     }
+}
 
-    /// SEPT: accept exactly once; accepted pages resolve to the HPA given at
-    /// aug time.
-    #[test]
-    fn sept_accept_once(gpas in proptest::collection::btree_set(0u64..64, 1..16)) {
+/// SEPT: accept exactly once; accepted pages resolve to the HPA given at
+/// aug time.
+#[test]
+fn sept_accept_once() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x3E3_0003 ^ case);
+        let gpas: std::collections::BTreeSet<u64> =
+            (0..1 + rng.next_below(15)).map(|_| rng.next_below(64)).collect();
         let mut sept = SecureEpt::new();
         for (i, gpa) in gpas.iter().enumerate() {
             sept.aug(PageNum(*gpa), PageNum(1000 + i as u64)).unwrap();
         }
         for gpa in &gpas {
-            prop_assert!(sept.check_access(PageNum(*gpa)).is_err());
+            assert!(sept.check_access(PageNum(*gpa)).is_err(), "case {case}");
             sept.accept(PageNum(*gpa)).unwrap();
-            prop_assert!(sept.accept(PageNum(*gpa)).is_err());
+            assert!(sept.accept(PageNum(*gpa)).is_err(), "case {case}");
         }
         for (i, gpa) in gpas.iter().enumerate() {
-            prop_assert_eq!(sept.check_access(PageNum(*gpa)).unwrap(), PageNum(1000 + i as u64));
+            assert_eq!(
+                sept.check_access(PageNum(*gpa)).unwrap(),
+                PageNum(1000 + i as u64),
+                "case {case}"
+            );
         }
-        prop_assert_eq!(sept.accepts(), gpas.len() as u64);
+        assert_eq!(sept.accepts(), gpas.len() as u64, "case {case}");
     }
+}
 
-    /// GPT: world transitions preserve "assigned granules are in the realm
-    /// world" and realm accounting matches assignments.
-    #[test]
-    fn gpt_world_state_consistency(ops in proptest::collection::vec((0u64..8, 1u32..3, 0u8..4), 1..48)) {
+/// GPT: world transitions preserve "assigned granules are in the realm
+/// world" and realm accounting matches assignments.
+#[test]
+fn gpt_world_state_consistency() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x3E3_0004 ^ case);
         let mut gpt = GranuleTable::new(8);
-        for (g, rd, op) in ops {
-            let g = PageNum(g);
-            match op {
-                0 => { let _ = gpt.delegate(g); }
-                1 => { let _ = gpt.assign_to_realm(g, rd); }
-                2 => { let _ = gpt.release_from_realm(g, rd); }
-                _ => { let _ = gpt.undelegate(g); }
+        for _ in 0..1 + rng.next_below(47) {
+            let g = PageNum(rng.next_below(8));
+            let rd = 1 + rng.next_below(2) as u32;
+            match rng.next_below(4) {
+                0 => {
+                    let _ = gpt.delegate(g);
+                }
+                1 => {
+                    let _ = gpt.assign_to_realm(g, rd);
+                }
+                2 => {
+                    let _ = gpt.release_from_realm(g, rd);
+                }
+                _ => {
+                    let _ = gpt.undelegate(g);
+                }
             }
         }
         let mut assigned = 0u64;
@@ -100,23 +143,28 @@ proptest! {
             let world = gpt.world_of(g).unwrap();
             match gpt.state_of(g).unwrap() {
                 GranuleState::Assigned { .. } | GranuleState::Delegated => {
-                    prop_assert_eq!(world, World::Realm);
+                    assert_eq!(world, World::Realm, "case {case}");
                     if matches!(gpt.state_of(g).unwrap(), GranuleState::Assigned { .. }) {
                         assigned += 1;
                     }
                 }
-                GranuleState::Undelegated => prop_assert_eq!(world, World::NonSecure),
+                GranuleState::Undelegated => assert_eq!(world, World::NonSecure, "case {case}"),
             }
         }
         let sum: u64 = (1..3).map(|rd| gpt.granules_of_realm(rd)).sum();
-        prop_assert_eq!(sum, assigned);
+        assert_eq!(sum, assigned, "case {case}");
     }
+}
 
-    /// Two-stage translation round-trips: for any mapped VA, the PA offset
-    /// within the page equals the VA offset (stage 1 is offset-preserving at
-    /// page granularity here).
-    #[test]
-    fn translation_preserves_offsets(page in 0u64..4, offset in 0u64..PAGE_SIZE) {
+/// Two-stage translation round-trips: for any mapped VA, the PA offset
+/// within the page equals the VA offset (stage 1 is offset-preserving at
+/// page granularity here).
+#[test]
+fn translation_preserves_offsets() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x3E3_0005 ^ case);
+        let page = rng.next_below(4);
+        let offset = rng.next_below(PAGE_SIZE);
         let mut t = TwoStageTranslator::new();
         t.map_segment(0, 0x100 * PAGE_SIZE, 4 * PAGE_SIZE);
         for i in 0..4 {
@@ -124,24 +172,29 @@ proptest! {
         }
         let va = page * PAGE_SIZE + offset;
         let pa = t.translate(va).unwrap();
-        prop_assert_eq!(pa % PAGE_SIZE, offset);
-        prop_assert_eq!(pa / PAGE_SIZE, 0x200 + page);
+        assert_eq!(pa % PAGE_SIZE, offset, "case {case}");
+        assert_eq!(pa / PAGE_SIZE, 0x200 + page, "case {case}");
     }
+}
 
-    /// Stage-2 map/unmap behaves like a map.
-    #[test]
-    fn stage2_map_semantics(pairs in proptest::collection::vec((0u64..32, 0u64..1000), 1..32)) {
+/// Stage-2 map/unmap behaves like a map.
+#[test]
+fn stage2_map_semantics() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x3E3_0006 ^ case);
         let mut s2 = StageTwoTable::new();
         let mut model = std::collections::HashMap::new();
-        for (ipa, pa) in pairs {
+        for _ in 0..1 + rng.next_below(31) {
+            let ipa = rng.next_below(32);
+            let pa = rng.next_below(1000);
             let old = s2.map(PageNum(ipa), PageNum(pa));
             let model_old = model.insert(ipa, pa);
-            prop_assert_eq!(old.map(|p| p.0), model_old);
+            assert_eq!(old.map(|p| p.0), model_old, "case {case}");
         }
         for (ipa, pa) in &model {
-            prop_assert_eq!(s2.walk(PageNum(*ipa)).unwrap(), PageNum(*pa));
+            assert_eq!(s2.walk(PageNum(*ipa)).unwrap(), PageNum(*pa), "case {case}");
         }
-        prop_assert_eq!(s2.len(), model.len());
-        prop_assert_eq!(s2.faults(), 0);
+        assert_eq!(s2.len(), model.len(), "case {case}");
+        assert_eq!(s2.faults(), 0, "case {case}");
     }
 }

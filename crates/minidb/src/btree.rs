@@ -78,7 +78,8 @@ impl<K: Ord + Clone, V> BTree<K, V> {
             InsertResult::Split(sep, right) => {
                 self.len += 1;
                 self.nodes_allocated += 1; // the new root
-                let old_root = std::mem::replace(&mut self.root, Node::Leaf { entries: Vec::new() });
+                let old_root =
+                    std::mem::replace(&mut self.root, Node::Leaf { entries: Vec::new() });
                 self.root = Node::Internal { keys: vec![sep], children: vec![old_root, right] };
                 None
             }

@@ -360,9 +360,9 @@ impl Database {
         self.trace.syscall(SyscallKind::FileWrite, 4); // journal hdr+payload, db page, superblock
         self.trace.io_write(bytes);
         self.trace.syscall(SyscallKind::FileMeta, 2); // fsync barriers
-        // Sleep until the storage device acknowledges the flush: host-side
-        // latency, which is what makes real DBMS overheads tiny on
-        // hardware TEEs (the exits are noise next to the device wait).
+                                                      // Sleep until the storage device acknowledges the flush: host-side
+                                                      // latency, which is what makes real DBMS overheads tiny on
+                                                      // hardware TEEs (the exits are noise next to the device wait).
         self.trace.device_wait(40_000);
     }
 }
@@ -430,12 +430,8 @@ mod tests {
 
     #[test]
     fn autocommit_fsyncs_per_statement_txn_batches() {
-        let count_ctx = |d: &Database| {
-            d.trace()
-                .iter()
-                .filter(|op| matches!(op, Op::DeviceWait(_)))
-                .count()
-        };
+        let count_ctx =
+            |d: &Database| d.trace().iter().filter(|op| matches!(op, Op::DeviceWait(_))).count();
         let mut auto = db();
         for i in 0..10 {
             auto.insert("t", vec![i.into(), "x".into()]).unwrap();
@@ -446,11 +442,7 @@ mod tests {
             batched.insert("t", vec![i.into(), "x".into()]).unwrap();
         }
         batched.commit().unwrap();
-        assert!(
-            count_ctx(&auto) >= 10,
-            "auto-commit fsyncs per statement: {}",
-            count_ctx(&auto)
-        );
+        assert!(count_ctx(&auto) >= 10, "auto-commit fsyncs per statement: {}", count_ctx(&auto));
         assert!(count_ctx(&batched) <= 2, "txn fsyncs once: {}", count_ctx(&batched));
     }
 

@@ -145,7 +145,12 @@ impl SpeedTest {
     /// Panics if `size == 0`.
     pub fn new(size: u32, seed: u64) -> Self {
         assert!(size > 0, "size must be positive");
-        SpeedTest { db: Database::new(), rng: StdRng::seed_from_u64(seed), size, rowids: Vec::new() }
+        SpeedTest {
+            db: Database::new(),
+            rng: StdRng::seed_from_u64(seed),
+            size,
+            rowids: Vec::new(),
+        }
     }
 
     fn n(&self, base: u64) -> u64 {

@@ -102,11 +102,26 @@ struct Predicate {
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq)]
 enum Statement {
-    CreateTable { name: String, columns: Vec<Column> },
-    DropTable { name: String },
-    CreateIndex { index: String, table: String, column: String },
-    DropIndex { index: String, table: String },
-    Insert { table: String, values: Vec<DbValue> },
+    CreateTable {
+        name: String,
+        columns: Vec<Column>,
+    },
+    DropTable {
+        name: String,
+    },
+    CreateIndex {
+        index: String,
+        table: String,
+        column: String,
+    },
+    DropIndex {
+        index: String,
+        table: String,
+    },
+    Insert {
+        table: String,
+        values: Vec<DbValue>,
+    },
     Select {
         table: String,
         columns: Option<Vec<String>>, // None = *
@@ -114,8 +129,16 @@ enum Statement {
         order_by: Option<(String, bool)>, // (column, descending)
         limit: Option<usize>,
     },
-    Update { table: String, column: String, value: DbValue, predicates: Vec<Predicate> },
-    Delete { table: String, predicates: Vec<Predicate> },
+    Update {
+        table: String,
+        column: String,
+        value: DbValue,
+        predicates: Vec<Predicate>,
+    },
+    Delete {
+        table: String,
+        predicates: Vec<Predicate>,
+    },
     Begin,
     Commit,
     Rollback,
@@ -426,7 +449,9 @@ impl Parser {
                 match self.next() {
                     Some(Tok::Sym(",")) => continue,
                     Some(Tok::Sym(")")) => break,
-                    other => return Err(SqlError::Parse(format!("expected , or ), got {other:?}"))),
+                    other => {
+                        return Err(SqlError::Parse(format!("expected , or ), got {other:?}")))
+                    }
                 }
             }
             return Ok(Statement::Insert { table, values });
@@ -569,7 +594,9 @@ fn execute(db: &mut Database, stmt: Statement) -> Result<SqlOutput, SqlError> {
                 let pred_indexes = resolve_predicates(t, &predicates)?;
                 let order_index = order_by
                     .as_ref()
-                    .map(|(col, desc)| Ok::<_, SqlError>((t.column_index(col).map_err(DbError::from)?, *desc)))
+                    .map(|(col, desc)| {
+                        Ok::<_, SqlError>((t.column_index(col).map_err(DbError::from)?, *desc))
+                    })
                     .transpose()?;
 
                 let mut matched: Vec<Row> = Vec::new();
@@ -755,11 +782,18 @@ mod tests {
     fn index_lifecycle_via_sql() {
         let mut db = setup();
         run_sql(&mut db, "CREATE INDEX by_age ON people (age);").unwrap();
-        let hits =
-            db.table("people").unwrap().index_range("by_age", &36i64.into(), &46i64.into()).unwrap();
+        let hits = db
+            .table("people")
+            .unwrap()
+            .index_range("by_age", &36i64.into(), &46i64.into())
+            .unwrap();
         assert_eq!(hits.len(), 3);
         run_sql(&mut db, "DROP INDEX by_age ON people;").unwrap();
-        assert!(db.table("people").unwrap().index_range("by_age", &0i64.into(), &1i64.into()).is_err());
+        assert!(db
+            .table("people")
+            .unwrap()
+            .index_range("by_age", &0i64.into(), &1i64.into())
+            .is_err());
     }
 
     #[test]
@@ -790,10 +824,7 @@ mod tests {
         let mut db = Database::new();
         assert!(matches!(run_sql(&mut db, "SELEKT * FROM x;"), Err(SqlError::Parse(_))));
         assert!(matches!(run_sql(&mut db, "SELECT FROM x;"), Err(SqlError::Parse(_))));
-        assert!(matches!(
-            run_sql(&mut db, "CREATE TABLE t (a BLOB);"),
-            Err(SqlError::Parse(_))
-        ));
+        assert!(matches!(run_sql(&mut db, "CREATE TABLE t (a BLOB);"), Err(SqlError::Parse(_))));
         assert!(matches!(run_sql(&mut db, "INSERT INTO t VALUES ('x;"), Err(SqlError::Parse(_))));
     }
 
@@ -806,10 +837,7 @@ mod tests {
             run_sql(&mut db, "INSERT INTO t VALUES ('wrong type');"),
             Err(SqlError::Exec(_))
         ));
-        assert!(matches!(
-            run_sql(&mut db, "SELECT missing FROM t;"),
-            Err(SqlError::Exec(_))
-        ));
+        assert!(matches!(run_sql(&mut db, "SELECT missing FROM t;"), Err(SqlError::Exec(_))));
     }
 
     #[test]

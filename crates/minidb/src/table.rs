@@ -203,7 +203,7 @@ impl Table {
         self.check_type(col, &value)?;
         let old = {
             let row = self.rows.get_mut(&rowid).ok_or(TableError::NoSuchRow(rowid))?;
-            
+
             std::mem::replace(&mut row[col], value.clone())
         };
         self.bytes_written += value.byte_len();
@@ -394,7 +394,10 @@ mod tests {
         t.create_index("idx_a", "a").unwrap();
         t.update(id, "a", 99i64.into()).unwrap();
         assert_eq!(t.get(id).unwrap()[0], DbValue::Integer(99));
-        assert_eq!(t.index_range("idx_a", &10i64.into(), &11i64.into()).unwrap(), Vec::<i64>::new());
+        assert_eq!(
+            t.index_range("idx_a", &10i64.into(), &11i64.into()).unwrap(),
+            Vec::<i64>::new()
+        );
         assert_eq!(t.index_range("idx_a", &99i64.into(), &100i64.into()).unwrap(), vec![id]);
     }
 
@@ -428,9 +431,8 @@ mod tests {
         }
         t.create_index("idx_a", "a").unwrap();
         let mut via_index = t.index_range("idx_a", &5i64.into(), &12i64.into()).unwrap();
-        let mut via_scan = t.scan_filter(|r| {
-            matches!(r[0], DbValue::Integer(v) if (5..12).contains(&v))
-        });
+        let mut via_scan =
+            t.scan_filter(|r| matches!(r[0], DbValue::Integer(v) if (5..12).contains(&v)));
         via_index.sort_unstable();
         via_scan.sort_unstable();
         assert_eq!(via_index, via_scan);

@@ -1,56 +1,52 @@
 //! Model-based property tests: the B+tree must behave exactly like
 //! `std::collections::BTreeMap` under arbitrary command sequences, and the
 //! table layer must keep indexes consistent with full scans.
+//!
+//! Deterministic seeded sweeps: each property draws its inputs from a
+//! `SplitMix64` stream, so every CI run exercises the identical case set.
 
 use std::collections::BTreeMap;
 
+use confbench_crypto::SplitMix64;
 use confbench_minidb::{BTree, Column, ColumnType, DbValue, Table};
-use proptest::prelude::*;
 
-#[derive(Debug, Clone)]
-enum Cmd {
-    Insert(i64, i64),
-    Remove(i64),
-    Get(i64),
-}
+const CASES: u64 = 64;
 
-fn cmd() -> impl Strategy<Value = Cmd> {
-    prop_oneof![
-        3 => (0i64..512, any::<i64>()).prop_map(|(k, v)| Cmd::Insert(k, v)),
-        1 => (0i64..512).prop_map(Cmd::Remove),
-        1 => (0i64..512).prop_map(Cmd::Get),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn btree_matches_btreemap(cmds in proptest::collection::vec(cmd(), 1..400)) {
+#[test]
+fn btree_matches_btreemap() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB7EE_0001 ^ case);
         let mut tree = BTree::new();
         let mut model = BTreeMap::new();
-        for c in cmds {
-            match c {
-                Cmd::Insert(k, v) => {
-                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+        for _ in 0..1 + rng.next_below(399) {
+            let k = rng.next_below(512) as i64;
+            // Weighted 3:1:1 insert/remove/get, like the original generator.
+            match rng.next_below(5) {
+                0..=2 => {
+                    let v = rng.next_u64() as i64;
+                    assert_eq!(tree.insert(k, v), model.insert(k, v), "case {case}");
                 }
-                Cmd::Remove(k) => {
-                    prop_assert_eq!(tree.remove(&k), model.remove(&k));
-                }
-                Cmd::Get(k) => {
-                    prop_assert_eq!(tree.get(&k), model.get(&k));
-                }
+                3 => assert_eq!(tree.remove(&k), model.remove(&k), "case {case}"),
+                _ => assert_eq!(tree.get(&k), model.get(&k), "case {case}"),
             }
-            prop_assert_eq!(tree.len(), model.len());
+            assert_eq!(tree.len(), model.len(), "case {case}");
         }
         tree.check_invariants();
         // Full iteration agrees.
         let got: Vec<(i64, i64)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
         let want: Vec<(i64, i64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    #[test]
-    fn btree_range_matches_btreemap(keys in proptest::collection::btree_set(0i64..2000, 0..300),
-                                    lo in 0i64..2000, span in 0i64..500) {
+#[test]
+fn btree_range_matches_btreemap() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB7EE_0002 ^ case);
+        let keys: std::collections::BTreeSet<i64> =
+            (0..rng.next_below(300)).map(|_| rng.next_below(2000) as i64).collect();
+        let lo = rng.next_below(2000) as i64;
+        let span = rng.next_below(500) as i64;
         let mut tree = BTree::new();
         let mut model = BTreeMap::new();
         for &k in &keys {
@@ -60,12 +56,19 @@ proptest! {
         let hi = lo + span;
         let got: Vec<i64> = tree.range(&lo, &hi).map(|(k, _)| *k).collect();
         let want: Vec<i64> = model.range(lo..hi).map(|(k, _)| *k).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    #[test]
-    fn table_index_consistent_with_scan(values in proptest::collection::vec(0i64..64, 1..120),
-                                        lo in 0i64..64, span in 1i64..32) {
+#[test]
+fn table_index_consistent_with_scan() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB7EE_0003 ^ case);
+        let values: Vec<i64> =
+            (0..1 + rng.next_below(119)).map(|_| rng.next_below(64) as i64).collect();
+        let lo = rng.next_below(64) as i64;
+        let span = 1 + rng.next_below(31) as i64;
+
         let mut t = Table::new("p", vec![Column::new("v", ColumnType::Integer)]);
         t.create_index("idx", "v").unwrap();
         let mut ids = Vec::new();
@@ -78,25 +81,31 @@ proptest! {
         }
         let hi = lo + span;
         let mut via_index = t.index_range("idx", &lo.into(), &hi.into()).unwrap();
-        let mut via_scan = t.scan_filter(|row| {
-            matches!(row[0], DbValue::Integer(v) if v >= lo && v < hi)
-        });
+        let mut via_scan =
+            t.scan_filter(|row| matches!(row[0], DbValue::Integer(v) if v >= lo && v < hi));
         via_index.sort_unstable();
         via_scan.sort_unstable();
-        prop_assert_eq!(via_index, via_scan);
+        assert_eq!(via_index, via_scan, "case {case}");
     }
 }
 
 mod sql_differential {
+    use confbench_crypto::SplitMix64;
     use confbench_minidb::{run_sql, Database, DbValue, SqlOutput};
-    use proptest::prelude::*;
 
-    proptest! {
-        /// SQL SELECT with a range predicate agrees with a hand-rolled scan
-        /// over the same data, for arbitrary datasets and bounds.
-        #[test]
-        fn sql_select_matches_manual_scan(values in proptest::collection::vec(-100i64..100, 1..60),
-                                          lo in -100i64..100, span in 0i64..120) {
+    const CASES: u64 = 48;
+
+    /// SQL SELECT with a range predicate agrees with a hand-rolled scan
+    /// over the same data, for arbitrary datasets and bounds.
+    #[test]
+    fn sql_select_matches_manual_scan() {
+        for case in 0..CASES {
+            let mut rng = SplitMix64::new(0xB7EE_0004 ^ case);
+            let values: Vec<i64> =
+                (0..1 + rng.next_below(59)).map(|_| rng.next_below(200) as i64 - 100).collect();
+            let lo = rng.next_below(200) as i64 - 100;
+            let span = rng.next_below(120) as i64;
+
             let mut db = Database::new();
             run_sql(&mut db, "CREATE TABLE t (v INTEGER);").unwrap();
             for v in &values {
@@ -121,12 +130,19 @@ mod sql_differential {
             let mut want: Vec<i64> =
                 values.iter().copied().filter(|v| *v >= lo && *v < hi).collect();
             want.sort_unstable();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want, "case {case}");
         }
+    }
 
-        /// DELETE then COUNT agrees with the model.
-        #[test]
-        fn sql_delete_counts(values in proptest::collection::vec(0i64..50, 1..40), cut in 0i64..50) {
+    /// DELETE then COUNT agrees with the model.
+    #[test]
+    fn sql_delete_counts() {
+        for case in 0..CASES {
+            let mut rng = SplitMix64::new(0xB7EE_0005 ^ case);
+            let values: Vec<i64> =
+                (0..1 + rng.next_below(39)).map(|_| rng.next_below(50) as i64).collect();
+            let cut = rng.next_below(50) as i64;
+
             let mut db = Database::new();
             run_sql(&mut db, "CREATE TABLE t (v INTEGER);").unwrap();
             for v in &values {
@@ -134,11 +150,11 @@ mod sql_differential {
             }
             let out = run_sql(&mut db, &format!("DELETE FROM t WHERE v < {cut};")).unwrap();
             let deleted = values.iter().filter(|v| **v < cut).count() as u64;
-            prop_assert_eq!(&out[0], &SqlOutput::Affected(deleted));
+            assert_eq!(&out[0], &SqlOutput::Affected(deleted), "case {case}");
             let out = run_sql(&mut db, "SELECT * FROM t;").unwrap();
             match &out[0] {
                 SqlOutput::Rows { rows, .. } => {
-                    prop_assert_eq!(rows.len() as u64, values.len() as u64 - deleted)
+                    assert_eq!(rows.len() as u64, values.len() as u64 - deleted, "case {case}")
                 }
                 other => panic!("{other:?}"),
             }

@@ -4,9 +4,10 @@ use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a sample.
 ///
-/// Percentiles use linear interpolation between order statistics (the
-/// "exclusive" convention matplotlib and numpy default to), matching how
-/// the paper's stacked-percentile plots are built.
+/// Percentiles use the *inclusive* linear-interpolation convention
+/// (`rank = p/100 · (n−1)`, interpolating between the bracketing order
+/// statistics) — numpy's default `method="linear"` — matching how the
+/// paper's stacked-percentile plots are built.
 ///
 /// # Example
 ///
@@ -52,17 +53,11 @@ impl Summary {
         };
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        Summary {
-            n,
-            mean,
-            stddev: var.sqrt(),
-            min: sorted[0],
-            max: sorted[n - 1],
-            sorted,
-        }
+        Summary { n, mean, stddev: var.sqrt(), min: sorted[0], max: sorted[n - 1], sorted }
     }
 
-    /// The `p`-th percentile, `0 <= p <= 100`, with linear interpolation.
+    /// The `p`-th percentile, `0 <= p <= 100`, with inclusive linear
+    /// interpolation (numpy's default).
     ///
     /// # Panics
     ///
@@ -136,6 +131,23 @@ mod tests {
         assert_eq!(s.percentile(100.0), 40.0);
         assert!((s.median() - 25.0).abs() < 1e-12);
         assert!((s.percentile(75.0) - 32.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_pin_numpy_inclusive_linear() {
+        // Values produced by numpy's default percentile method
+        // (`np.percentile(x, p)`, method="linear", the inclusive
+        // rank = p/100·(n−1) convention). The "exclusive" convention would
+        // give different answers — e.g. p25 of [15, 20, 35, 40, 50] is
+        // 17.5 exclusive but 20.0 inclusive.
+        let s = Summary::from_samples(&[15.0, 20.0, 35.0, 40.0, 50.0]);
+        assert!((s.percentile(25.0) - 20.0).abs() < 1e-12);
+        assert!((s.percentile(40.0) - 29.0).abs() < 1e-12);
+        assert!((s.percentile(50.0) - 35.0).abs() < 1e-12);
+        assert!((s.percentile(90.0) - 46.0).abs() < 1e-12);
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.percentile(25.0) - 1.75).abs() < 1e-12);
+        assert!((s.percentile(75.0) - 3.25).abs() < 1e-12);
     }
 
     #[test]

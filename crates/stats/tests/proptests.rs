@@ -1,71 +1,97 @@
 //! Property tests on summary statistics and renderers.
+//!
+//! Deterministic seeded sweeps: each property draws its inputs from a
+//! `SplitMix64` stream, so every CI run exercises the identical case set.
 
+use confbench_crypto::SplitMix64;
 use confbench_stats::{boxplot, geometric_mean, heatmap, Summary};
-use proptest::prelude::*;
 
-fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.001f64..1e6, 1..200)
+const CASES: u64 = 96;
+
+fn samples_in(rng: &mut SplitMix64, lo: f64, hi: f64, max_len: u64) -> Vec<f64> {
+    let n = 1 + rng.next_below(max_len) as usize;
+    (0..n).map(|_| lo + rng.next_f64() * (hi - lo)).collect()
 }
 
-proptest! {
-    /// Percentiles are monotone in p and bounded by min/max.
-    #[test]
-    fn percentiles_monotone(samples in arb_samples(),
-                            mut ps in proptest::collection::vec(0.0f64..=100.0, 2..8)) {
+/// Percentiles are monotone in p and bounded by min/max.
+#[test]
+fn percentiles_monotone() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x57A7_0001 ^ case);
+        let samples = samples_in(&mut rng, 0.001, 1e6, 199);
         let s = Summary::from_samples(&samples);
+        let mut ps: Vec<f64> = (0..2 + rng.next_below(6)).map(|_| rng.next_f64() * 100.0).collect();
         ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let values: Vec<f64> = ps.iter().map(|&p| s.percentile(p)).collect();
         for pair in values.windows(2) {
-            prop_assert!(pair[0] <= pair[1] + 1e-9);
+            assert!(pair[0] <= pair[1] + 1e-9, "case {case}: {pair:?}");
         }
-        prop_assert!(s.percentile(0.0) >= s.min - 1e-9);
-        prop_assert!(s.percentile(100.0) <= s.max + 1e-9);
+        assert!(s.percentile(0.0) >= s.min - 1e-9);
+        assert!(s.percentile(100.0) <= s.max + 1e-9);
     }
+}
 
-    /// The mean sits inside [min, max]; stddev is non-negative.
-    #[test]
-    fn moments_bounded(samples in arb_samples()) {
+/// The mean sits inside [min, max]; stddev is non-negative.
+#[test]
+fn moments_bounded() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x57A7_0002 ^ case);
+        let samples = samples_in(&mut rng, 0.001, 1e6, 199);
         let s = Summary::from_samples(&samples);
-        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
-        prop_assert!(s.stddev >= 0.0);
-        prop_assert_eq!(s.n, samples.len());
+        assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9, "case {case}");
+        assert!(s.stddev >= 0.0);
+        assert_eq!(s.n, samples.len());
     }
+}
 
-    /// AM–GM inequality.
-    #[test]
-    fn geometric_le_arithmetic(samples in proptest::collection::vec(0.001f64..1e4, 1..50)) {
+/// AM–GM inequality.
+#[test]
+fn geometric_le_arithmetic() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x57A7_0003 ^ case);
+        let samples = samples_in(&mut rng, 0.001, 1e4, 49);
         let arith = samples.iter().sum::<f64>() / samples.len() as f64;
         let geo = geometric_mean(&samples);
-        prop_assert!(geo <= arith * (1.0 + 1e-9), "gm {} > am {}", geo, arith);
+        assert!(geo <= arith * (1.0 + 1e-9), "case {case}: gm {geo} > am {arith}");
     }
+}
 
-    /// The stacked five-tuple is sorted.
-    #[test]
-    fn stacked_five_sorted(samples in arb_samples()) {
+/// The stacked five-tuple is sorted.
+#[test]
+fn stacked_five_sorted() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x57A7_0004 ^ case);
+        let samples = samples_in(&mut rng, 0.001, 1e6, 199);
         let five = Summary::from_samples(&samples).stacked_five();
         for pair in five.windows(2) {
-            prop_assert!(pair[0] <= pair[1] + 1e-9);
+            assert!(pair[0] <= pair[1] + 1e-9, "case {case}: {five:?}");
         }
     }
+}
 
-    /// Renderers never panic and include every label.
-    #[test]
-    fn renderers_total(rows in proptest::collection::vec("[a-z]{1,8}", 1..5),
-                       cols in proptest::collection::vec("[a-z]{1,8}", 1..5),
-                       seed_vals in proptest::collection::vec(0.01f64..20.0, 1..25)) {
+/// Renderers never panic and include every label.
+#[test]
+fn renderers_total() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x57A7_0005 ^ case);
+        let label = |rng: &mut SplitMix64| -> String {
+            let len = 1 + rng.next_below(8);
+            (0..len).map(|_| (b'a' + rng.next_below(26) as u8) as char).collect()
+        };
+        let rows: Vec<String> = (0..1 + rng.next_below(4)).map(|_| label(&mut rng)).collect();
+        let cols: Vec<String> = (0..1 + rng.next_below(4)).map(|_| label(&mut rng)).collect();
+        let seed_vals = samples_in(&mut rng, 0.01, 20.0, 24);
+
         let needed = rows.len() * cols.len();
-        let values: Vec<f64> =
-            (0..needed).map(|i| seed_vals[i % seed_vals.len()]).collect();
+        let values: Vec<f64> = (0..needed).map(|i| seed_vals[i % seed_vals.len()]).collect();
         let out = heatmap(&rows, &cols, &values);
         for r in &rows {
-            prop_assert!(out.contains(r.as_str()));
+            assert!(out.contains(r.as_str()), "case {case}: missing row {r}");
         }
 
-        let entries: Vec<(String, Summary)> = rows
-            .iter()
-            .map(|r| (r.clone(), Summary::from_samples(&values)))
-            .collect();
+        let entries: Vec<(String, Summary)> =
+            rows.iter().map(|r| (r.clone(), Summary::from_samples(&values))).collect();
         let plot = boxplot(&entries, 40);
-        prop_assert_eq!(plot.lines().count(), rows.len() + 1);
+        assert_eq!(plot.lines().count(), rows.len() + 1, "case {case}");
     }
 }

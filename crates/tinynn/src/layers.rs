@@ -102,8 +102,8 @@ impl Layer for Conv2d {
                                 if ix < 0 || ix as usize >= w {
                                     continue;
                                 }
-                                let wgt = self.weights
-                                    [((oc * self.in_channels + ic) * k + ky) * k + kx];
+                                let wgt =
+                                    self.weights[((oc * self.in_channels + ic) * k + ky) * k + kx];
                                 acc += wgt * input.get(&[ic, iy as usize, ix as usize]);
                             }
                         }
@@ -126,7 +126,10 @@ impl Layer for Conv2d {
     }
 
     fn name(&self) -> String {
-        format!("conv{}x{}s{}({}→{})", self.kernel, self.kernel, self.stride, self.in_channels, self.out_channels)
+        format!(
+            "conv{}x{}s{}({}→{})",
+            self.kernel, self.kernel, self.stride, self.in_channels, self.out_channels
+        )
     }
 }
 

@@ -114,7 +114,16 @@ impl Tensor {
         self.data
             .iter()
             .enumerate()
-            .fold((0, f32::NEG_INFINITY), |(bi, bv), (i, &v)| if v > bv { (i, v) } else { (bi, bv) })
+            .fold(
+                (0, f32::NEG_INFINITY),
+                |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                },
+            )
             .0
     }
 

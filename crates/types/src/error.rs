@@ -24,6 +24,8 @@ pub enum Error {
     Attestation(String),
     /// A transport/protocol problem between gateway and host.
     Transport(String),
+    /// The request's deadline elapsed before a result was produced.
+    DeadlineExceeded(String),
     /// Malformed user input (bad request body, bad arguments).
     InvalidRequest(String),
     /// An underlying I/O error.
@@ -39,6 +41,7 @@ impl fmt::Display for Error {
             Error::Workload(msg) => write!(f, "workload failed: {msg}"),
             Error::Attestation(msg) => write!(f, "attestation failed: {msg}"),
             Error::Transport(msg) => write!(f, "transport error: {msg}"),
+            Error::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
             Error::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -76,6 +79,12 @@ mod tests {
         let inner = std::io::Error::other("boom");
         let e = Error::from(inner);
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn deadline_exceeded_displays_context() {
+        let e = Error::DeadlineExceeded("run budget 50ms elapsed".into());
+        assert_eq!(e.to_string(), "deadline exceeded: run budget 50ms elapsed");
     }
 
     #[test]

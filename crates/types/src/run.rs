@@ -59,6 +59,12 @@ pub struct RunRequest {
     /// Deterministic seed for the simulated execution.
     #[serde(default)]
     pub seed: u64,
+    /// Optional end-to-end budget in milliseconds. The gateway stops
+    /// retrying and bounds remote transport timeouts so the caller gets an
+    /// answer (or a 504) within this window. `None` means the gateway's
+    /// defaults apply.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
 }
 
 fn default_trials() -> u32 {
@@ -66,9 +72,9 @@ fn default_trials() -> u32 {
 }
 
 impl RunRequest {
-    /// Creates a single-trial request with seed 0.
+    /// Creates a single-trial request with seed 0 and no deadline.
     pub fn new(function: FunctionSpec, target: VmTarget) -> Self {
-        RunRequest { function, target, trials: 1, seed: 0 }
+        RunRequest { function, target, trials: 1, seed: 0, deadline_ms: None }
     }
 
     /// Sets the trial count, builder-style.
@@ -80,6 +86,12 @@ impl RunRequest {
     /// Sets the seed, builder-style.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the end-to-end deadline in milliseconds, builder-style.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
         self
     }
 }
@@ -207,6 +219,20 @@ mod tests {
         let req: RunRequest = serde_json::from_str(json).unwrap();
         assert_eq!(req.trials, 1);
         assert_eq!(req.seed, 0);
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
+    fn deadline_roundtrips_and_defaults() {
+        let req = RunRequest::new(
+            FunctionSpec::new("fib", Language::Wasm),
+            VmTarget::secure(TeePlatform::Tdx),
+        )
+        .deadline_ms(250);
+        assert_eq!(req.deadline_ms, Some(250));
+        let json = serde_json::to_string(&req).unwrap();
+        let back: RunRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.deadline_ms, Some(250));
     }
 
     #[test]

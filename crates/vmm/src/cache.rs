@@ -93,7 +93,12 @@ impl CacheSim {
     /// Creates a 32-KiB/8-way L1D over a 1-MiB/16-way L2, with the given
     /// page-color `salt` (0 = identity frame mapping).
     pub fn new(salt: u64) -> Self {
-        CacheSim { l1: Level::new(32 << 10, 8), l2: Level::new(1 << 20, 16), salt, stats: CacheStats::default() }
+        CacheSim {
+            l1: Level::new(32 << 10, 8),
+            l2: Level::new(1 << 20, 16),
+            salt,
+            stats: CacheStats::default(),
+        }
     }
 
     /// Statistics so far.

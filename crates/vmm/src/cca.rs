@@ -139,7 +139,12 @@ impl Rmm {
     /// # Errors
     ///
     /// Phase and granule errors.
-    pub fn rmi_data_create(&mut self, rd: RealmId, ipa: PageNum, g: PageNum) -> Result<(), CcaError> {
+    pub fn rmi_data_create(
+        &mut self,
+        rd: RealmId,
+        ipa: PageNum,
+        g: PageNum,
+    ) -> Result<(), CcaError> {
         self.rmi_calls += 1;
         let realm = self.realms.get_mut(&rd).ok_or(CcaError::NoSuchRealm(rd))?;
         if realm.phase != RealmPhase::New {
@@ -176,7 +181,12 @@ impl Rmm {
     /// # Errors
     ///
     /// Phase and granule errors.
-    pub fn map_runtime_granule(&mut self, rd: RealmId, ipa: PageNum, g: PageNum) -> Result<(), CcaError> {
+    pub fn map_runtime_granule(
+        &mut self,
+        rd: RealmId,
+        ipa: PageNum,
+        g: PageNum,
+    ) -> Result<(), CcaError> {
         self.rmi_calls += 1;
         let realm = self.realms.get_mut(&rd).ok_or(CcaError::NoSuchRealm(rd))?;
         if realm.phase != RealmPhase::Active {

@@ -144,14 +144,14 @@ impl CostModel {
     /// Intel TDX trust domain.
     fn tdx_secure() -> Self {
         CostModel {
-            secure_miss_extra: 3.0,    // MKTME-i MAC check on fill
-            alloc_fresh_extra: 700.0,  // TDG.MEM.PAGE.ACCEPT (clear + PAMT)
-            syscall_guest: 305.0,      // native syscalls
-            exit_cost: 3_300.0,        // TDCALL->SEAMCALL round trip (lean SEAM path)
-            bounce_copy_byte: 0.8,     // private->shared copy through swiotlb
-            bounce_slot: 140.0,        // slot bookkeeping
-            io_slots_per_exit: 24,     // virtio kicks traverse the module
-            ctx_switch: 2_300.0,       // extra HLT/TDVMCALL path work
+            secure_miss_extra: 3.0,   // MKTME-i MAC check on fill
+            alloc_fresh_extra: 700.0, // TDG.MEM.PAGE.ACCEPT (clear + PAMT)
+            syscall_guest: 305.0,     // native syscalls
+            exit_cost: 3_300.0,       // TDCALL->SEAMCALL round trip (lean SEAM path)
+            bounce_copy_byte: 0.8,    // private->shared copy through swiotlb
+            bounce_slot: 140.0,       // slot bookkeeping
+            io_slots_per_exit: 24,    // virtio kicks traverse the module
+            ctx_switch: 2_300.0,      // extra HLT/TDVMCALL path work
             jitter_rel_std: 0.016,
             cache_salt: 0x5a5a_0001,
             ..Self::normal_x86()
@@ -161,15 +161,15 @@ impl CostModel {
     /// AMD SEV-SNP guest.
     fn snp_secure() -> Self {
         CostModel {
-            line_touch: 1.03,          // RMP participates in walks
-            secure_miss_extra: 5.0,    // RMP check + C-bit decrypt on fill
+            line_touch: 1.03,           // RMP participates in walks
+            secure_miss_extra: 5.0,     // RMP check + C-bit decrypt on fill
             alloc_fresh_extra: 1_000.0, // RMPUPDATE + PVALIDATE + RMPADJUST
             syscall_guest: 310.0,
-            exit_cost: 4_300.0,        // GHCB protocol: VMSA save/restore is pricier
-            bounce_copy_byte: 0.42,    // staging exists but is cheaper,
-            bounce_slot: 90.0,         //   with better batching
+            exit_cost: 4_300.0,     // GHCB protocol: VMSA save/restore is pricier
+            bounce_copy_byte: 0.42, // staging exists but is cheaper,
+            bounce_slot: 90.0,      //   with better batching
             io_slots_per_exit: 64,
-            ctx_switch: 2_700.0,       // VMSA swap on the wake path
+            ctx_switch: 2_700.0, // VMSA swap on the wake path
             jitter_rel_std: 0.016,
             cache_salt: 0xa5a5_0002,
             ..Self::normal_x86()
@@ -179,11 +179,11 @@ impl CostModel {
     /// A normal VM running *inside the FVP simulator* (CCA baseline).
     fn cca_normal() -> Self {
         CostModel {
-            float_op: 2.5,             // modelled A-profile core
+            float_op: 2.5, // modelled A-profile core
             exit_cost: 2_200.0,
-            io_byte: 1.4,              // emulated devices in the simulator
-            sim_multiplier: 9.0,       // the FVP tax, paid by BOTH VM kinds
-            jitter_rel_std: 0.055,     // simulator timing noise
+            io_byte: 1.4,          // emulated devices in the simulator
+            sim_multiplier: 9.0,   // the FVP tax, paid by BOTH VM kinds
+            jitter_rel_std: 0.055, // simulator timing noise
             ..Self::normal_x86()
         }
     }
@@ -191,10 +191,10 @@ impl CostModel {
     /// A CCA realm inside the FVP simulator.
     fn cca_secure() -> Self {
         CostModel {
-            cpu_op: 1.12,              // realm-world execution under FVP RME
+            cpu_op: 1.12, // realm-world execution under FVP RME
             float_op: 2.9,
-            line_touch: 1.25,          // GPT check modelled on the walk path
-            secure_miss_extra: 22.0,   // GPT + RTT walks on fills
+            line_touch: 1.25,           // GPT check modelled on the walk path
+            secure_miss_extra: 22.0,    // GPT + RTT walks on fills
             alloc_fresh_extra: 8_500.0, // delegate + assign + RTT map via RMM
             alloc_reuse_page: 160.0,
             free_page: 450.0,
@@ -203,8 +203,8 @@ impl CostModel {
             // realm kernel entry runs through the FVP's RME exception
             // checks, interpreted far more slowly than normal-world entries.
             syscall_guest: 2_600.0,
-            exit_cost: 15_000.0,       // RSI -> RMM -> SMC to host and back
-            io_byte: 3.1,              // realm device path: shared-buffer + RMM
+            exit_cost: 15_000.0, // RSI -> RMM -> SMC to host and back
+            io_byte: 3.1,        // realm device path: shared-buffer + RMM
             bounce_copy_byte: 1.2,
             bounce_slot: 380.0,
             io_slots_per_exit: 16,
@@ -212,7 +212,7 @@ impl CostModel {
             log_byte: 3.0,
             log_flush_bytes: 2048,
             sim_multiplier: 9.0,
-            jitter_rel_std: 0.15,      // the paper's "longer whiskers"
+            jitter_rel_std: 0.15, // the paper's "longer whiskers"
             cache_salt: 0x3c3c_0003,
             ..Self::normal_x86()
         }
@@ -234,7 +234,9 @@ mod tests {
         // Misono et al. (the paper's [44]) measure SNP's GHCB world switch
         // as pricier than TDX's SEAM transitions — which is why Fig. 4
         // shows TDX with the least UnixBench overhead.
-        assert!(model(TeePlatform::SevSnp, true).exit_cost > model(TeePlatform::Tdx, true).exit_cost);
+        assert!(
+            model(TeePlatform::SevSnp, true).exit_cost > model(TeePlatform::Tdx, true).exit_cost
+        );
     }
 
     #[test]

@@ -135,8 +135,7 @@ impl SharedHost {
         let mut n = 0u32;
         for _ in 0..trials.max(1) {
             for vm in &mut self.vms {
-                let dram_cost =
-                    vm.cost_model().dram_penalty + vm.cost_model().secure_miss_extra;
+                let dram_cost = vm.cost_model().dram_penalty + vm.cost_model().secure_miss_extra;
                 let exit_cost = vm.cost_model().exit_cost;
                 let base = vm.execute(trace);
                 let scaled = scale_report(base, &c, tenants, dram_cost, exit_cost);
@@ -242,10 +241,10 @@ mod tests {
         let mut t = OpTrace::new();
         t.ctx_switch(3_000);
         t.cpu(500_000);
-        let secure = SharedHost::new(VmTarget::secure(TeePlatform::Tdx), 6, 3)
-            .colocation_slowdown(&t, 3);
-        let normal = SharedHost::new(VmTarget::normal(TeePlatform::Tdx), 6, 3)
-            .colocation_slowdown(&t, 3);
+        let secure =
+            SharedHost::new(VmTarget::secure(TeePlatform::Tdx), 6, 3).colocation_slowdown(&t, 3);
+        let normal =
+            SharedHost::new(VmTarget::normal(TeePlatform::Tdx), 6, 3).colocation_slowdown(&t, 3);
         assert!(
             secure >= normal - 0.02,
             "secure ({secure}) should not contend less than normal ({normal})"

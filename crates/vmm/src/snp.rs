@@ -169,7 +169,10 @@ impl AmdSp {
         }
         let mut state = Sha256::new();
         state.update(b"confbench-snp-launch-v1");
-        self.guests.insert(asid, SnpGuest { phase: SnpPhase::Launching, measurement_state: state, measurement: None });
+        self.guests.insert(
+            asid,
+            SnpGuest { phase: SnpPhase::Launching, measurement_state: state, measurement: None },
+        );
         Ok(())
     }
 
@@ -218,7 +221,11 @@ impl AmdSp {
     /// # Errors
     ///
     /// [`SnpError::WrongPhase`] unless the guest is running.
-    pub fn request_report(&mut self, asid: u32, report_data: [u8; 64]) -> Result<SnpReport, SnpError> {
+    pub fn request_report(
+        &mut self,
+        asid: u32,
+        report_data: [u8; 64],
+    ) -> Result<SnpReport, SnpError> {
         let guest = self.guests.get(&asid).ok_or(SnpError::NoSuchGuest(asid))?;
         let measurement = guest.measurement.ok_or(SnpError::WrongPhase(asid))?;
         let mut report = SnpReport {

@@ -154,7 +154,12 @@ impl TdxModule {
     /// # Errors
     ///
     /// [`TdxError::WrongPhase`] after finalization; SEPT errors otherwise.
-    pub fn tdh_mem_page_add(&mut self, id: TdId, gpa: PageNum, hpa: PageNum) -> Result<(), TdxError> {
+    pub fn tdh_mem_page_add(
+        &mut self,
+        id: TdId,
+        gpa: PageNum,
+        hpa: PageNum,
+    ) -> Result<(), TdxError> {
         self.seamcalls += 1;
         let td = self.td_mut(id)?;
         if td.phase != TdPhase::Building {
@@ -188,7 +193,12 @@ impl TdxModule {
     /// # Errors
     ///
     /// [`TdxError::WrongPhase`] before finalization; SEPT errors otherwise.
-    pub fn tdh_mem_page_aug(&mut self, id: TdId, gpa: PageNum, hpa: PageNum) -> Result<(), TdxError> {
+    pub fn tdh_mem_page_aug(
+        &mut self,
+        id: TdId,
+        gpa: PageNum,
+        hpa: PageNum,
+    ) -> Result<(), TdxError> {
         self.seamcalls += 1;
         let td = self.td_mut(id)?;
         if td.phase != TdPhase::Runnable {
@@ -215,7 +225,12 @@ impl TdxModule {
     /// # Errors
     ///
     /// [`TdxError::BadRtmrIndex`] for indexes ≥ 4.
-    pub fn tdg_mr_rtmr_extend(&mut self, id: TdId, index: usize, data: &[u8]) -> Result<(), TdxError> {
+    pub fn tdg_mr_rtmr_extend(
+        &mut self,
+        id: TdId,
+        index: usize,
+        data: &[u8],
+    ) -> Result<(), TdxError> {
         self.tdcalls += 1;
         if index >= 4 {
             return Err(TdxError::BadRtmrIndex(index));

@@ -4,7 +4,9 @@
 
 use confbench_crypto::SplitMix64;
 use confbench_memsim::{pages_for, PageNum, Swiotlb};
-use confbench_types::{Cycles, Op, OpTrace, PerfReport, SimClock, SyscallKind, TeePlatform, VmKind, VmTarget};
+use confbench_types::{
+    Cycles, Op, OpTrace, PerfReport, SimClock, SyscallKind, TeePlatform, VmKind, VmTarget,
+};
 
 use crate::cache::CacheSim;
 use crate::cca::{Fvp, RealmId, Rmm};
@@ -166,7 +168,9 @@ impl Platform {
                 let td = TdId(1);
                 module.tdh_mng_create(td).expect("fresh module");
                 for i in 0..BOOT_IMAGE_PAGES {
-                    module.tdh_mem_page_add(td, PageNum(i), PageNum(0x1_0000 + i)).expect("boot page");
+                    module
+                        .tdh_mem_page_add(td, PageNum(i), PageNum(0x1_0000 + i))
+                        .expect("boot page");
                 }
                 module.tdh_mr_finalize(td).expect("finalize");
                 Platform::Tdx { module, td }

@@ -158,7 +158,10 @@ fn bounce_buffer_ablation_closes_the_io_gap() {
         TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).seed(1).bounce_buffers(false).build();
     let c_on = on.execute(&trace).cycles.get() as f64;
     let c_off = off.execute(&trace).cycles.get() as f64;
-    assert!(c_off < 0.8 * c_on, "disabling bounce buffers must cut TDX I/O cost: {c_off} vs {c_on}");
+    assert!(
+        c_off < 0.8 * c_on,
+        "disabling bounce buffers must cut TDX I/O cost: {c_off} vs {c_on}"
+    );
 }
 
 #[test]

@@ -1,55 +1,70 @@
 //! Property tests for the VM executor.
+//!
+//! Deterministic seeded sweeps: each property draws its inputs from a
+//! `SplitMix64` stream, so every CI run exercises the identical case set.
 
+use confbench_crypto::SplitMix64;
 use confbench_types::{Op, OpTrace, SyscallKind, TeePlatform, VmKind, VmTarget};
 use confbench_vmm::TeeVmBuilder;
-use proptest::prelude::*;
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u64..100_000).prop_map(Op::Cpu),
-        (1u64..50_000).prop_map(Op::Float),
-        (0u64..1 << 22, 1u64..1 << 16)
-            .prop_map(|(addr, bytes)| Op::MemRead { addr, bytes }),
-        (0u64..1 << 22, 1u64..1 << 16)
-            .prop_map(|(addr, bytes)| Op::MemWrite { addr, bytes }),
-        (1u64..1 << 20).prop_map(Op::Alloc),
-        (1u64..1 << 20).prop_map(Op::Free),
-        (1u64..64).prop_map(|n| Op::Syscall { kind: SyscallKind::FileMeta, count: n }),
-        (1u64..1 << 18).prop_map(Op::IoWrite),
-        (1u64..16).prop_map(Op::CtxSwitch),
-        (1u64..1 << 18).prop_map(Op::PageCycle),
-        (1u64..50_000).prop_map(Op::DeviceWait),
-        (1u64..4_096).prop_map(Op::Log),
-    ]
+const CASES: u64 = 48;
+
+fn arb_op(rng: &mut SplitMix64) -> Op {
+    match rng.next_below(12) {
+        0 => Op::Cpu(1 + rng.next_below(99_999)),
+        1 => Op::Float(1 + rng.next_below(49_999)),
+        2 => {
+            Op::MemRead { addr: rng.next_below(1 << 22), bytes: 1 + rng.next_below((1 << 16) - 1) }
+        }
+        3 => {
+            Op::MemWrite { addr: rng.next_below(1 << 22), bytes: 1 + rng.next_below((1 << 16) - 1) }
+        }
+        4 => Op::Alloc(1 + rng.next_below((1 << 20) - 1)),
+        5 => Op::Free(1 + rng.next_below((1 << 20) - 1)),
+        6 => Op::Syscall { kind: SyscallKind::FileMeta, count: 1 + rng.next_below(63) },
+        7 => Op::IoWrite(1 + rng.next_below((1 << 18) - 1)),
+        8 => Op::CtxSwitch(1 + rng.next_below(15)),
+        9 => Op::PageCycle(1 + rng.next_below((1 << 18) - 1)),
+        10 => Op::DeviceWait(1 + rng.next_below(49_999)),
+        _ => Op::Log(1 + rng.next_below(4_095)),
+    }
 }
 
-fn arb_trace() -> impl Strategy<Value = OpTrace> {
-    proptest::collection::vec(arb_op(), 1..24).prop_map(|ops| ops.into_iter().collect())
+fn arb_trace(rng: &mut SplitMix64) -> OpTrace {
+    (0..1 + rng.next_below(23)).map(|_| arb_op(rng)).collect()
 }
 
-fn arb_target() -> impl Strategy<Value = VmTarget> {
-    (prop::sample::select(TeePlatform::ALL.to_vec()), any::<bool>()).prop_map(|(p, secure)| {
-        VmTarget { platform: p, kind: if secure { VmKind::Secure } else { VmKind::Normal } }
-    })
+fn arb_target(rng: &mut SplitMix64) -> VmTarget {
+    let platform = TeePlatform::ALL[rng.next_below(TeePlatform::ALL.len() as u64) as usize];
+    let kind = if rng.next_u64() & 1 == 0 { VmKind::Secure } else { VmKind::Normal };
+    VmTarget { platform, kind }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Same seed, same trace: bit-identical execution.
-    #[test]
-    fn execution_is_deterministic(trace in arb_trace(), target in arb_target(), seed in any::<u64>()) {
+/// Same seed, same trace: bit-identical execution.
+#[test]
+fn execution_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x73E_0001 ^ case);
+        let trace = arb_trace(&mut rng);
+        let target = arb_target(&mut rng);
+        let seed = rng.next_u64();
         let run = || {
             let mut vm = TeeVmBuilder::new(target).seed(seed).build();
             let r = vm.execute(&trace);
             (r.cycles, r.perf)
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
+}
 
-    /// Jitter-free counters are additive across trace concatenation.
-    #[test]
-    fn counters_are_additive(a in arb_trace(), b in arb_trace(), target in arb_target()) {
+/// Jitter-free counters are additive across trace concatenation.
+#[test]
+fn counters_are_additive() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x73E_0002 ^ case);
+        let a = arb_trace(&mut rng);
+        let b = arb_trace(&mut rng);
+        let target = arb_target(&mut rng);
         let mut both = OpTrace::new();
         both.extend_from(&a);
         both.extend_from(&b);
@@ -60,42 +75,67 @@ proptest! {
         let mut vm2 = TeeVmBuilder::new(target).seed(1).build();
         let rab = vm2.execute(&both);
 
-        prop_assert_eq!(rab.perf.instructions, ra.perf.instructions + rb.perf.instructions);
-        prop_assert_eq!(rab.perf.vm_exits, ra.perf.vm_exits + rb.perf.vm_exits);
-        prop_assert_eq!(rab.perf.page_faults, ra.perf.page_faults + rb.perf.page_faults);
-        prop_assert_eq!(rab.perf.cache_references, ra.perf.cache_references + rb.perf.cache_references);
+        assert_eq!(
+            rab.perf.instructions,
+            ra.perf.instructions + rb.perf.instructions,
+            "case {case}"
+        );
+        assert_eq!(rab.perf.vm_exits, ra.perf.vm_exits + rb.perf.vm_exits, "case {case}");
+        assert_eq!(rab.perf.page_faults, ra.perf.page_faults + rb.perf.page_faults, "case {case}");
+        assert_eq!(
+            rab.perf.cache_references,
+            ra.perf.cache_references + rb.perf.cache_references,
+            "case {case}"
+        );
     }
+}
 
-    /// Every execution costs at least one cycle per recorded instruction
-    /// and never reports more cache misses than references.
-    #[test]
-    fn basic_sanity_bounds(trace in arb_trace(), target in arb_target()) {
+/// Every execution costs at least one cycle per recorded instruction
+/// and never reports more cache misses than references.
+#[test]
+fn basic_sanity_bounds() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x73E_0003 ^ case);
+        let trace = arb_trace(&mut rng);
+        let target = arb_target(&mut rng);
         let mut vm = TeeVmBuilder::new(target).seed(3).build();
         let r = vm.execute(&trace);
-        prop_assert!(r.perf.cache_misses <= r.perf.cache_references);
-        prop_assert!(r.wall_ms >= 0.0);
-        prop_assert!(r.cycles.get() > 0);
+        assert!(r.perf.cache_misses <= r.perf.cache_references, "case {case}");
+        assert!(r.wall_ms >= 0.0, "case {case}");
+        assert!(r.cycles.get() > 0, "case {case}");
         // The virtual clock advanced by exactly this execution.
-        prop_assert_eq!(vm.now().get(), r.cycles.get());
+        assert_eq!(vm.now().get(), r.cycles.get(), "case {case}");
     }
+}
 
-    /// Secure VMs never take fewer exits than normal VMs on the same trace
-    /// (confidentiality only adds world switches).
-    #[test]
-    fn secure_exits_dominate(trace in arb_trace(),
-                             platform in prop::sample::select(TeePlatform::ALL.to_vec())) {
+/// Secure VMs never take fewer exits than normal VMs on the same trace
+/// (confidentiality only adds world switches).
+#[test]
+fn secure_exits_dominate() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x73E_0004 ^ case);
+        let trace = arb_trace(&mut rng);
+        let platform = TeePlatform::ALL[rng.next_below(TeePlatform::ALL.len() as u64) as usize];
         let mut secure = TeeVmBuilder::new(VmTarget::secure(platform)).seed(5).build();
         let mut normal = TeeVmBuilder::new(VmTarget::normal(platform)).seed(5).build();
         let rs = secure.execute(&trace);
         let rn = normal.execute(&trace);
-        prop_assert!(rs.perf.vm_exits >= rn.perf.vm_exits,
-            "secure {} < normal {}", rs.perf.vm_exits, rn.perf.vm_exits);
+        assert!(
+            rs.perf.vm_exits >= rn.perf.vm_exits,
+            "case {case}: secure {} < normal {}",
+            rs.perf.vm_exits,
+            rn.perf.vm_exits
+        );
     }
+}
 
-    /// The FVP multiplier never touches the secure/normal *ratio* of
-    /// compute-only traces beyond jitter.
-    #[test]
-    fn pure_cpu_ratio_is_cost_model_only(n in 1_000_000u64..20_000_000) {
+/// The FVP multiplier never touches the secure/normal *ratio* of
+/// compute-only traces beyond jitter.
+#[test]
+fn pure_cpu_ratio_is_cost_model_only() {
+    for case in 0..12 {
+        let mut rng = SplitMix64::new(0x73E_0005 ^ case);
+        let n = 1_000_000 + rng.next_below(19_000_000);
         let mut t = OpTrace::new();
         t.cpu(n);
         let mean = |target: VmTarget| {
@@ -104,8 +144,8 @@ proptest! {
                 vm.execute_trials(&t, 6).iter().map(|r| r.cycles.get() as f64).collect();
             xs.iter().sum::<f64>() / xs.len() as f64
         };
-        let ratio = mean(VmTarget::secure(TeePlatform::Cca))
-            / mean(VmTarget::normal(TeePlatform::Cca));
-        prop_assert!((0.95..1.35).contains(&ratio), "cca cpu ratio {}", ratio);
+        let ratio =
+            mean(VmTarget::secure(TeePlatform::Cca)) / mean(VmTarget::normal(TeePlatform::Cca));
+        assert!((0.95..1.35).contains(&ratio), "case {case}: cca cpu ratio {ratio}");
     }
 }

@@ -133,7 +133,9 @@ mod tests {
 
     #[test]
     fn paper_headline_functions_present() {
-        for name in ["cpustress", "memstress", "iostress", "logging", "factors", "filesystem", "ack"] {
+        for name in
+            ["cpustress", "memstress", "iostress", "logging", "factors", "filesystem", "ack"]
+        {
             assert!(find_workload(name).is_some(), "{name} missing");
         }
         assert!(find_workload("nope").is_none());

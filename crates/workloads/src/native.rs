@@ -324,7 +324,8 @@ pub(crate) fn json(args: &[String], trace: &mut OpTrace) -> Result<String, Strin
     let mut colons: i64 = 0;
     let mut chars: i64 = 0;
     for i in 0..n {
-        let rec = format!("{{\"id\":{i},\"name\":\"user{}\",\"score\":{}}}", i % 100, i * 37 % 1000);
+        let rec =
+            format!("{{\"id\":{i},\"name\":\"user{}\",\"score\":{}}}", i % 100, i * 37 % 1000);
         chars += rec.len() as i64;
         for c in rec.bytes() {
             if c == b'{' {

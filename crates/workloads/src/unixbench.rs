@@ -114,12 +114,7 @@ fn pipe_throughput(scale: u64) -> UnixBenchTest {
     trace.syscall(SyscallKind::Pipe, writes * 2); // write + read
     trace.mem_write(writes * 512);
     trace.cpu(writes * 4);
-    UnixBenchTest {
-        name: "Pipe Throughput",
-        units: writes,
-        baseline_ops_per_sec: 12_440.0,
-        trace,
-    }
+    UnixBenchTest { name: "Pipe Throughput", units: writes, baseline_ops_per_sec: 12_440.0, trace }
 }
 
 fn pipe_context_switching(scale: u64) -> UnixBenchTest {
@@ -141,12 +136,7 @@ fn process_creation(scale: u64) -> UnixBenchTest {
     let mut trace = OpTrace::new();
     trace.syscall(SyscallKind::Spawn, spawns);
     trace.cpu(spawns * 200);
-    UnixBenchTest {
-        name: "Process Creation",
-        units: spawns,
-        baseline_ops_per_sec: 126.0,
-        trace,
-    }
+    UnixBenchTest { name: "Process Creation", units: spawns, baseline_ops_per_sec: 126.0, trace }
 }
 
 fn execl_throughput(scale: u64) -> UnixBenchTest {
@@ -156,12 +146,7 @@ fn execl_throughput(scale: u64) -> UnixBenchTest {
     trace.syscall(SyscallKind::FileRead, execs * 2); // image load
     trace.io_read(execs * 64 * 1024);
     trace.cpu(execs * 400);
-    UnixBenchTest {
-        name: "Execl Throughput",
-        units: execs,
-        baseline_ops_per_sec: 43.0,
-        trace,
-    }
+    UnixBenchTest { name: "Execl Throughput", units: execs, baseline_ops_per_sec: 43.0, trace }
 }
 
 fn file_copy(scale: u64, bufsize: u64, name: &'static str) -> UnixBenchTest {

@@ -88,9 +88,8 @@ fn logging_produces_log_lines_in_script_paths() {
 #[test]
 fn traces_reflect_workload_character() {
     let go = FunctionLauncher::new(Language::Go);
-    let io = go
-        .launch(&confbench_workloads::find_workload("iostress").unwrap(), &["4".into()])
-        .unwrap();
+    let io =
+        go.launch(&confbench_workloads::find_workload("iostress").unwrap(), &["4".into()]).unwrap();
     let cpu = go
         .launch(&confbench_workloads::find_workload("cpustress").unwrap(), &["20000".into()])
         .unwrap();

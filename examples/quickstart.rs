@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("uploaded function 'collatz_steps'");
 
     // Steps 2-5: run it everywhere and compare.
-    println!("\n{:<10} {:>10} {:>12} {:>12} {:>7}", "platform", "output", "secure ms", "normal ms", "ratio");
+    println!(
+        "\n{:<10} {:>10} {:>12} {:>12} {:>7}",
+        "platform", "output", "secure ms", "normal ms", "ratio"
+    );
     for platform in TeePlatform::ALL {
         let mut results = Vec::new();
         for target in VmTarget::pair(platform) {
@@ -56,6 +59,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                 target,
                 trials: 5,
                 seed: 42,
+                deadline_ms: None,
             };
             let resp = client.send(&Request::new(Method::Post, "/run").json(&request))?;
             assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
@@ -80,6 +84,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         target: VmTarget::secure(TeePlatform::Tdx),
         trials: 1,
         seed: 42,
+        deadline_ms: None,
     };
     let result: RunResult =
         client.send(&Request::new(Method::Post, "/run").json(&request))?.body_json()?;

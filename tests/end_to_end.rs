@@ -11,18 +11,21 @@ use confbench_types::{
 };
 
 fn run_request(name: &str, language: Language, target: VmTarget, trials: u32) -> RunRequest {
-    let args = confbench_workloads::find_workload(name)
-        .map(|w| w.default_args())
-        .unwrap_or_default();
+    let args =
+        confbench_workloads::find_workload(name).map(|w| w.default_args()).unwrap_or_default();
     let mut spec = FunctionSpec::new(name, language);
     spec.args = args;
-    RunRequest { function: spec, target, trials, seed: 3 }
+    RunRequest { function: spec, target, trials, seed: 3, deadline_ms: None }
 }
 
 #[test]
 fn gateway_rest_api_full_lifecycle() {
     let gateway = Arc::new(
-        Gateway::builder().seed(3).local_host(TeePlatform::Tdx).local_host(TeePlatform::SevSnp).build(),
+        Gateway::builder()
+            .seed(3)
+            .local_host(TeePlatform::Tdx)
+            .local_host(TeePlatform::SevSnp)
+            .build(),
     );
     let server = Arc::clone(&gateway).serve().unwrap();
     let client = Client::new(server.addr());

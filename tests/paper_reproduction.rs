@@ -16,7 +16,12 @@ fn claim_tdx_is_most_efficient_overall_for_compute() {
     let tdx = heatmap::run(cfg, TeePlatform::Tdx, Some(&cols));
     let snp = heatmap::run(cfg, TeePlatform::SevSnp, Some(&cols));
     let cca = heatmap::run(cfg, TeePlatform::Cca, Some(&cols));
-    assert!(tdx.overall_mean() <= snp.overall_mean() + 0.02, "tdx {} snp {}", tdx.overall_mean(), snp.overall_mean());
+    assert!(
+        tdx.overall_mean() <= snp.overall_mean() + 0.02,
+        "tdx {} snp {}",
+        tdx.overall_mean(),
+        snp.overall_mean()
+    );
     assert!(tdx.overall_mean() < cca.overall_mean());
 }
 
@@ -28,7 +33,12 @@ fn claim_tdx_pays_more_for_io_and_attestation_than_snp() {
     let io_cols = ["iostress", "filesystem"];
     let tdx = heatmap::run(cfg, TeePlatform::Tdx, Some(&io_cols));
     let snp = heatmap::run(cfg, TeePlatform::SevSnp, Some(&io_cols));
-    assert!(tdx.overall_mean() > snp.overall_mean(), "tdx io {} vs snp {}", tdx.overall_mean(), snp.overall_mean());
+    assert!(
+        tdx.overall_mean() > snp.overall_mean(),
+        "tdx io {} vs snp {}",
+        tdx.overall_mean(),
+        snp.overall_mean()
+    );
 
     let att = fig5::run(cfg);
     assert!(mean(&att.tdx_attest_ms) > mean(&att.snp_attest_ms));

@@ -1,0 +1,154 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Benches compile and run as timed smoke loops: each `iter` body executes a
+//! fixed number of times and the mean wall time is printed. There is no
+//! statistical analysis, warm-up, or HTML report — the point is that
+//! `cargo bench` exercises the same code paths with the same API shape.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iterations per bench body. Small: smoke coverage, not measurement rigor.
+const ITERS: u32 = 20;
+
+/// Top-level bench driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { elapsed_ns: 0, iters: 0 };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into() }
+    }
+}
+
+/// Times closures handed to it by a bench body.
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `routine` [`ITERS`] times, accumulating wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += ITERS;
+    }
+}
+
+/// A parameterized benchmark label.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/param` form used with `bench_with_input`.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// Explicit `name/param` form.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{param}", name.into()))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { elapsed_ns: 0, iters: 0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b);
+        self
+    }
+
+    /// Ends the group. No-op here; kept for API parity.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters == 0 {
+        println!("bench {name}: no iterations");
+        return;
+    }
+    let per_iter = b.elapsed_ns / u128::from(b.iters);
+    println!("bench {name}: {per_iter} ns/iter ({} iters)", b.iters);
+}
+
+/// Declares a bench group function, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut hits = 0u32;
+        Criterion::default().bench_function("smoke", |b| b.iter(|| hits += 1));
+        assert_eq!(hits, ITERS);
+    }
+
+    #[test]
+    fn group_runs_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut total = 0u64;
+        for input in [1u64, 2, 3] {
+            group.bench_with_input(BenchmarkId::from_parameter(input), &input, |b, &x| {
+                b.iter(|| total += x)
+            });
+        }
+        group.finish();
+        assert_eq!(total, u64::from(ITERS) * 6);
+    }
+}

@@ -1,0 +1,509 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the value-tree model of the sibling `serde` stub. Because `syn`/`quote`
+//! are unavailable offline, the item is parsed directly from
+//! `proc_macro::TokenStream` and code is generated as strings.
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * structs with named fields, honoring `#[serde(default)]`,
+//!   `#[serde(default = "path")]`, and `#[serde(rename = "...")]`;
+//! * single-field tuple structs (newtypes), with or without
+//!   `#[serde(transparent)]`;
+//! * enums of unit / newtype / struct variants, honoring
+//!   `#[serde(rename_all = "...")]` and per-variant `rename`, in serde's
+//!   externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct Meta {
+    rename_all: Option<String>,
+    rename: Option<String>,
+    default: Option<DefaultKind>,
+    transparent: bool,
+}
+
+#[derive(Clone)]
+enum DefaultKind {
+    Std,
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    meta: Meta,
+}
+
+enum VariantData {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    meta: Meta,
+    data: VariantData,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    NewtypeStruct { name: String },
+    Enum { name: String, meta: Meta, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let item_meta = parse_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive does not support generic type `{name}`");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                Item::Struct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                assert!(
+                    arity == 1 || item_meta.transparent,
+                    "serde stub derive supports tuple struct `{name}` only as a newtype"
+                );
+                Item::NewtypeStruct { name }
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream());
+                Item::Enum { name, meta: item_meta, variants }
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde stub derive supports struct/enum, got `{other}`"),
+    }
+}
+
+/// Parses leading attributes, returning the merged `#[serde(...)]` meta.
+fn parse_attrs(tokens: &[TokenTree], pos: &mut usize) -> Meta {
+    let mut meta = Meta::default();
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        let Some(TokenTree::Group(g)) = tokens.get(*pos) else {
+            panic!("expected [...] after # in attribute")
+        };
+        *pos += 1;
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+            (inner.first(), inner.get(1))
+        {
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis {
+                merge_serde_meta(&mut meta, args.stream());
+            }
+        }
+    }
+    meta
+}
+
+fn merge_serde_meta(meta: &mut Meta, args: TokenStream) {
+    let tokens: Vec<TokenTree> = args.into_iter().collect();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let key = expect_ident(&tokens, &mut pos);
+        let value = if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            match tokens.get(pos) {
+                Some(TokenTree::Literal(lit)) => {
+                    pos += 1;
+                    Some(unquote(&lit.to_string()))
+                }
+                other => panic!("expected string literal after `{key} =`, got {other:?}"),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("rename_all", Some(v)) => meta.rename_all = Some(v),
+            ("rename", Some(v)) => meta.rename = Some(v),
+            ("default", Some(path)) => meta.default = Some(DefaultKind::Path(path)),
+            ("default", None) => meta.default = Some(DefaultKind::Std),
+            ("transparent", None) => meta.transparent = true,
+            (other, _) => panic!("unsupported serde attribute `{other}` in stub derive"),
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let meta = parse_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field { name, meta });
+    }
+    fields
+}
+
+/// Skips a type expression up to (and past) the next top-level comma.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *pos += 1;
+                return;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut commas = 0;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        let meta = parse_attrs(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        let data = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                let arity = count_top_level_fields(g.stream());
+                assert!(
+                    arity == 1,
+                    "serde stub derive supports tuple variants with exactly one field, \
+                     `{name}` has {arity}"
+                );
+                VariantData::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantData::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantData::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, meta, data });
+    }
+    variants
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_owned()
+}
+
+// ---------------------------------------------------------------------------
+// Name casing
+// ---------------------------------------------------------------------------
+
+/// Applies a `rename_all` rule to a PascalCase variant name.
+fn apply_rename_all(rule: &str, name: &str) -> String {
+    let words = split_pascal(name);
+    match rule {
+        "lowercase" => name.to_lowercase(),
+        "UPPERCASE" => name.to_uppercase(),
+        "snake_case" => words.join("_"),
+        "kebab-case" => words.join("-"),
+        "SCREAMING_SNAKE_CASE" => words.join("_").to_uppercase(),
+        other => panic!("unsupported rename_all rule `{other}` in stub derive"),
+    }
+}
+
+fn split_pascal(name: &str) -> Vec<String> {
+    let mut words: Vec<String> = Vec::new();
+    for c in name.chars() {
+        if c.is_uppercase() || words.is_empty() {
+            words.push(String::new());
+        }
+        let last = words.last_mut().expect("non-empty");
+        last.extend(c.to_lowercase());
+    }
+    words
+}
+
+fn variant_wire_name(enum_meta: &Meta, variant: &Variant) -> String {
+    if let Some(rename) = &variant.meta.rename {
+        return rename.clone();
+    }
+    match &enum_meta.rename_all {
+        Some(rule) => apply_rename_all(rule, &variant.name),
+        None => variant.name.clone(),
+    }
+}
+
+fn field_wire_name(field: &Field) -> String {
+    field.meta.rename.clone().unwrap_or_else(|| field.name.clone())
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut body = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "m.insert({key:?}.to_string(), ::serde::Serialize::to_value(&self.{field}));\n",
+                    key = field_wire_name(f),
+                    field = f.name,
+                ));
+            }
+            body.push_str("::serde::Value::Object(m)");
+            impl_block(
+                name,
+                "Serialize",
+                &format!("fn to_value(&self) -> ::serde::Value {{ {body} }}"),
+            )
+        }
+        Item::NewtypeStruct { name } => impl_block(
+            name,
+            "Serialize",
+            "fn to_value(&self) -> ::serde::Value { ::serde::Serialize::to_value(&self.0) }",
+        ),
+        Item::Enum { name, meta, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = variant_wire_name(meta, v);
+                match &v.data {
+                    VariantData::Unit => arms.push_str(&format!(
+                        "{name}::{var} => ::serde::Value::String({wire:?}.to_string()),\n",
+                        var = v.name,
+                    )),
+                    VariantData::Newtype => arms.push_str(&format!(
+                        "{name}::{var}(ref x) => {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert({wire:?}.to_string(), ::serde::Serialize::to_value(x));\n\
+                         ::serde::Value::Object(m)\n}}\n",
+                        var = v.name,
+                    )),
+                    VariantData::Struct(fields) => {
+                        let bindings: Vec<String> =
+                            fields.iter().map(|f| format!("ref {}", f.name)).collect();
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "inner.insert({key:?}.to_string(), \
+                                 ::serde::Serialize::to_value({field}));\n",
+                                key = field_wire_name(f),
+                                field = f.name,
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{var} {{ {bind} }} => {{\n{inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert({wire:?}.to_string(), ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            var = v.name,
+                            bind = bindings.join(", "),
+                        ));
+                    }
+                }
+            }
+            impl_block(
+                name,
+                "Serialize",
+                &format!("fn to_value(&self) -> ::serde::Value {{ match *self {{ {arms} }} }}"),
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let key = field_wire_name(f);
+                let missing = match &f.meta.default {
+                    Some(DefaultKind::Std) => "::std::default::Default::default()".to_owned(),
+                    Some(DefaultKind::Path(path)) => format!("{path}()"),
+                    None => format!(
+                        "return ::std::result::Result::Err(::serde::DeError::custom(\
+                         concat!(\"missing field `\", {key:?}, \"` in {name}\")))"
+                    ),
+                };
+                inits.push_str(&format!(
+                    "{field}: match obj.get({key:?}) {{\n\
+                     ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                     ::std::option::Option::None => {missing},\n}},\n",
+                    field = f.name,
+                ));
+            }
+            let body = format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::mismatch(\"object ({name})\", v))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            );
+            impl_block(name, "Deserialize", &de_fn(&body))
+        }
+        Item::NewtypeStruct { name } => {
+            let body =
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))");
+            impl_block(name, "Deserialize", &de_fn(&body))
+        }
+        Item::Enum { name, meta, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let wire = variant_wire_name(meta, v);
+                match &v.data {
+                    VariantData::Unit => unit_arms.push_str(&format!(
+                        "{wire:?} => ::std::result::Result::Ok({name}::{var}),\n",
+                        var = v.name,
+                    )),
+                    VariantData::Newtype => data_arms.push_str(&format!(
+                        "{wire:?} => ::std::result::Result::Ok(\
+                         {name}::{var}(::serde::Deserialize::from_value(payload)?)),\n",
+                        var = v.name,
+                    )),
+                    VariantData::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{field}: match inner.get({key:?}) {{\n\
+                                 ::std::option::Option::Some(fv) => \
+                                 ::serde::Deserialize::from_value(fv)?,\n\
+                                 ::std::option::Option::None => \
+                                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 concat!(\"missing field `\", {key:?}, \"` in variant \", \
+                                 {wire:?}))),\n}},\n",
+                                field = f.name,
+                                key = field_wire_name(f),
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "{wire:?} => {{\n\
+                             let inner = payload.as_object().ok_or_else(|| \
+                             ::serde::DeError::mismatch(\"object variant payload\", payload))?;\n\
+                             ::std::result::Result::Ok({name}::{var} {{ {inits} }})\n}}\n",
+                            var = v.name,
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, payload) = m.iter().next().expect(\"len checked\");\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown {name} variant `{{other}}`\"))),\n}}\n}}\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::mismatch(\"{name} variant\", other)),\n}}"
+            );
+            impl_block(name, "Deserialize", &de_fn(&body))
+        }
+    }
+}
+
+fn de_fn(body: &str) -> String {
+    format!(
+        "fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }}"
+    )
+}
+
+fn impl_block(type_name: &str, trait_name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::{trait_name} for {type_name} {{ {body} }}"
+    )
+}

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Provides the subset of the real API this workspace uses: [`to_string`] /
+//! [`to_vec`] / [`from_str`] / [`from_slice`] / [`to_value`], the [`json!`]
+//! macro for flat object literals, and a re-export of the serde stub's
+//! [`Value`] tree. The JSON emitted is canonical enough for the tests that
+//! pin exact strings: objects sort keys (the underlying map is a BTreeMap),
+//! floats print in Rust's shortest-roundtrip form, and strings are escaped
+//! per RFC 8259.
+
+#![forbid(unsafe_code)]
+
+mod parse;
+
+pub use serde::{Map, Number, Value};
+
+use std::fmt;
+
+/// Error from JSON (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn new(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Converts any serializable type into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes to a JSON string.
+///
+/// # Errors
+///
+/// Never fails for the value model this stub supports; the `Result` mirrors
+/// the real API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Serializes to JSON bytes.
+///
+/// # Errors
+///
+/// As [`to_string`].
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a type from a JSON string.
+///
+/// # Errors
+///
+/// Parse errors and shape mismatches.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Deserializes a type from JSON bytes.
+///
+/// # Errors
+///
+/// Invalid UTF-8, parse errors, and shape mismatches.
+pub fn from_slice<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] from a flat JSON-ish literal.
+///
+/// Supports the forms this workspace uses: `json!(null)`, arrays of
+/// expressions, and objects with string-literal keys and expression values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key.to_string(), $crate::to_value(&$val)); )*
+        $crate::Value::Object(m)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert!(!from_str::<bool>("false").unwrap());
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn float_shortest_roundtrip() {
+        for x in [0.1, 1e-9, 123456.789, std::f64::consts::PI, 1.0 / 3.0] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), x, "{s}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let nasty = "quote\" backslash\\ newline\n tab\t unicode\u{1F980} ctrl\u{01}";
+        let s = to_string(nasty).unwrap();
+        assert_eq!(from_str::<String>(&s).unwrap(), nasty);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({"ok": true, "n": 3});
+        assert_eq!(v["ok"], true);
+        assert_eq!(v["n"], 3);
+        assert_eq!(to_string(&v).unwrap(), "{\"n\":3,\"ok\":true}");
+    }
+
+    #[test]
+    fn vec_and_option_roundtrip() {
+        let v: Vec<f64> = vec![1.0, 2.5, 3.0];
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<f64>>(&s).unwrap(), v);
+        assert_eq!(to_string(&Option::<u64>::None).unwrap(), "null");
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u64>>("9").unwrap(), Some(9));
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        assert!(from_str::<Value>("{\"unterminated").is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>("\"\\u0041\\u00e9\"").unwrap(), "Aé");
+        // Surrogate pair: U+1D11E (musical G clef).
+        assert_eq!(from_str::<String>("\"\\ud834\\udd1e\"").unwrap(), "\u{1D11E}");
+    }
+}

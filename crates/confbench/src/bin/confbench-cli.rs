@@ -101,7 +101,7 @@ fn run() -> Result<(), String> {
 fn list(cli: &Cli) -> Result<(), String> {
     let resp = cli
         .client
-        .send(&Request::new(Method::Get, "/functions"))
+        .send(&Request::new(Method::Get, "/v1/functions"))
         .map_err(|e| format!("request failed: {e}"))?;
     let names: Vec<String> = resp.body_json().map_err(|e| format!("bad response: {e}"))?;
     for name in names {
@@ -112,7 +112,7 @@ fn list(cli: &Cli) -> Result<(), String> {
 
 fn upload(cli: &Cli, name: &str, file: &str) -> Result<(), String> {
     let script = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let req = Request::new(Method::Post, "/functions")
+    let req = Request::new(Method::Post, "/v1/functions")
         .json(&UploadRequest { name: name.to_owned(), script });
     let resp = cli.client.send(&req).map_err(|e| format!("request failed: {e}"))?;
     if resp.status == 201 {
@@ -163,7 +163,7 @@ fn build_request(cli: &Cli, function: &str) -> Result<RunRequest, String> {
 fn post_run(cli: &Cli, request: &RunRequest) -> Result<RunResult, String> {
     let resp = cli
         .client
-        .send(&Request::new(Method::Post, "/run").json(request))
+        .send(&Request::new(Method::Post, "/v1/run").json(request))
         .map_err(|e| format!("request failed: {e}"))?;
     if resp.status != 200 {
         return Err(format!(

@@ -93,10 +93,12 @@ fn run() -> Result<(), String> {
     let server =
         gateway.serve_on(&listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
     println!("confbench gateway listening on http://{}", server.addr());
-    println!("  POST /run        run a function (JSON RunRequest)");
-    println!("  POST /functions  upload CBScript source");
-    println!("  GET  /functions  list registered functions");
-    println!("  GET  /health     liveness");
+    println!("  POST /v1/run        run a function (JSON RunRequest)");
+    println!("  POST /v1/functions  upload CBScript source");
+    println!("  GET  /v1/functions  list registered functions");
+    println!("  GET  /v1/metrics    counters + histograms (?format=json for JSON)");
+    println!("  GET  /v1/health     liveness");
+    println!("  (unversioned paths still answer, marked Deprecation: true)");
 
     // Serve until interrupted.
     loop {

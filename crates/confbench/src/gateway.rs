@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use confbench_httpd::{Client, Method, Request, Response, Router, Server};
+use confbench_obs::{ActiveSpan, Counter, Histogram, MetricsRegistry, SpanRecorder};
 use confbench_types::{Error, Result, RunRequest, RunResult, TeePlatform, VmTarget};
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, RngCore, SeedableRng};
@@ -27,6 +28,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::host::HostAgent;
 use crate::pool::{BalancePolicy, CircuitState, Clock, HealthPolicy, SystemClock, TeePool};
+use crate::rest::add_versioned;
 use crate::store::FunctionStore;
 
 /// Default remote-dispatch timeout when the request carries no deadline.
@@ -56,19 +58,6 @@ impl Default for RetryPolicy {
     }
 }
 
-/// Maps a dispatch error onto the REST status the gateway and host agents
-/// both use, so local and remote execution are indistinguishable to
-/// clients.
-pub(crate) fn rest_status(error: &Error) -> u16 {
-    match error {
-        Error::UnknownFunction(_) => 404,
-        Error::InvalidRequest(_) => 400,
-        Error::NoVmAvailable(_) => 503,
-        Error::DeadlineExceeded(_) => 504,
-        _ => 500,
-    }
-}
-
 /// A dispatch target: a host in this process or a remote agent address.
 #[derive(Clone)]
 enum HostRef {
@@ -76,28 +65,36 @@ enum HostRef {
     Remote(SocketAddr),
 }
 
+/// A host registration, resolved into a [`HostRef`] at build time so the
+/// builder's final clock/seed apply no matter the call order.
+enum HostSpec {
+    Local,
+    Remote(SocketAddr),
+}
+
 /// Builder for a [`Gateway`].
 pub struct GatewayBuilder {
     store: Arc<FunctionStore>,
-    hosts: Vec<(TeePlatform, HostRef)>,
+    hosts: Vec<(TeePlatform, HostSpec)>,
     policy: BalancePolicy,
     retry: RetryPolicy,
     health: HealthPolicy,
     clock: Arc<dyn Clock>,
+    metrics: Arc<MetricsRegistry>,
     seed: u64,
 }
 
 impl GatewayBuilder {
-    /// Adds an in-process host for `platform` (booting its two VMs).
+    /// Adds an in-process host for `platform` (its two VMs boot in
+    /// [`GatewayBuilder::build`], with the builder's final seed and clock).
     pub fn local_host(mut self, platform: TeePlatform) -> Self {
-        let host = Arc::new(HostAgent::new(platform, Arc::clone(&self.store), self.seed));
-        self.hosts.push((platform, HostRef::Local(host)));
+        self.hosts.push((platform, HostSpec::Local));
         self
     }
 
     /// Registers a remote host agent serving `platform` at `addr`.
     pub fn remote_host(mut self, platform: TeePlatform, addr: SocketAddr) -> Self {
-        self.hosts.push((platform, HostRef::Remote(addr)));
+        self.hosts.push((platform, HostSpec::Remote(addr)));
         self
     }
 
@@ -119,10 +116,17 @@ impl GatewayBuilder {
         self
     }
 
-    /// Injects the clock driving circuit cooldowns (tests use
-    /// [`ManualClock`](crate::ManualClock)).
+    /// Injects the clock driving circuit cooldowns and trace-span
+    /// timestamps (tests use [`ManualClock`](crate::ManualClock)).
     pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Shares an external metrics registry (default: a fresh one, reachable
+    /// through [`Gateway::metrics`]).
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -140,23 +144,59 @@ impl GatewayBuilder {
     /// Panics if no host was added.
     pub fn build(self) -> Gateway {
         assert!(!self.hosts.is_empty(), "gateway needs at least one host");
+        let recorder = SpanRecorder::new(Arc::clone(&self.clock));
         let mut by_platform: HashMap<TeePlatform, Vec<HostRef>> = HashMap::new();
-        for (platform, host) in self.hosts {
+        for (platform, spec) in self.hosts {
+            let host = match spec {
+                // Local hosts share the gateway's recorder so the whole
+                // request tree is stamped on one clock.
+                HostSpec::Local => HostRef::Local(Arc::new(HostAgent::with_recorder(
+                    platform,
+                    Arc::clone(&self.store),
+                    self.seed,
+                    recorder.clone(),
+                ))),
+                HostSpec::Remote(addr) => HostRef::Remote(addr),
+            };
             by_platform.entry(platform).or_default().push(host);
         }
         let pools = by_platform
             .into_iter()
             .map(|(platform, hosts)| {
                 let pool =
-                    TeePool::with_health(hosts, self.policy, self.health, Arc::clone(&self.clock));
+                    TeePool::with_health(hosts, self.policy, self.health, Arc::clone(&self.clock))
+                        .with_metrics(&self.metrics, &platform.to_string());
                 (platform, pool)
             })
             .collect();
+        let counters = GatewayCounters::register(&self.metrics);
         Gateway {
             store: self.store,
             pools,
             retry: self.retry,
             jitter_rng: Mutex::new(StdRng::seed_from_u64(self.seed ^ 0x9E37_79B9_7F4A_7C15)),
+            metrics: self.metrics,
+            recorder,
+            counters,
+        }
+    }
+}
+
+/// Cached gateway-level instrument handles.
+struct GatewayCounters {
+    requests: Arc<Counter>,
+    failures: Arc<Counter>,
+    retries: Arc<Counter>,
+    run_ms: Arc<Histogram>,
+}
+
+impl GatewayCounters {
+    fn register(metrics: &MetricsRegistry) -> Self {
+        GatewayCounters {
+            requests: metrics.counter("gateway_requests_total"),
+            failures: metrics.counter("gateway_requests_failed_total"),
+            retries: metrics.counter("gateway_retries_total"),
+            run_ms: metrics.histogram("gateway_run_ms", &[1, 10, 100, 1_000, 10_000]),
         }
     }
 }
@@ -192,6 +232,9 @@ pub struct Gateway {
     pools: HashMap<TeePlatform, TeePool<HostRef>>,
     retry: RetryPolicy,
     jitter_rng: Mutex<StdRng>,
+    metrics: Arc<MetricsRegistry>,
+    recorder: SpanRecorder,
+    counters: GatewayCounters,
 }
 
 impl Gateway {
@@ -204,6 +247,7 @@ impl Gateway {
             retry: RetryPolicy::default(),
             health: HealthPolicy::default(),
             clock: Arc::new(SystemClock),
+            metrics: Arc::new(MetricsRegistry::new()),
             seed: 0,
         }
     }
@@ -211,6 +255,11 @@ impl Gateway {
     /// The function database.
     pub fn store(&self) -> &FunctionStore {
         &self.store
+    }
+
+    /// The gateway's metrics registry (what `GET /v1/metrics` renders).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Platforms with at least one pooled host.
@@ -241,12 +290,43 @@ impl Gateway {
     ///
     /// # Errors
     ///
+    /// [`Error::InvalidRequest`] when `trials == 0` (nothing to measure);
     /// [`Error::NoVmAvailable`] when no pool serves the platform or every
     /// member's circuit is open; [`Error::DeadlineExceeded`] when
     /// `deadline_ms` elapses first; the host's own error when the request
     /// itself is at fault (unknown function, wrong platform); the last
     /// transport error when retries are exhausted.
+    ///
+    /// On success [`RunResult::trace`] carries the full span tree: a
+    /// `gateway.run` root (with `retry_attempt` and counter attributes)
+    /// over the executing host's `host.execute` subtree.
     pub fn run(&self, request: &RunRequest) -> Result<RunResult> {
+        self.counters.requests.inc();
+        let mut root = self.recorder.root("gateway.run");
+        match self.dispatch(request, &mut root) {
+            Ok(mut result) => {
+                if let Some(host_trace) = result.trace.take() {
+                    root.adopt(host_trace);
+                }
+                root.set_attr("vm_exits", result.perf.vm_exits);
+                root.set_attr("bounce_bytes", result.perf.bounce_bytes);
+                self.counters.run_ms.observe(result.stats.mean_ms.round() as u64);
+                result.trace = Some(root.finish());
+                Ok(result)
+            }
+            Err(e) => {
+                self.counters.failures.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// The dispatch loop behind [`Gateway::run`] (separated so the span can
+    /// be finalized uniformly on both exits).
+    fn dispatch(&self, request: &RunRequest, root: &mut ActiveSpan) -> Result<RunResult> {
+        if request.trials == 0 {
+            return Err(Error::InvalidRequest("trials must be at least 1 (got 0)".into()));
+        }
         let deadline = request.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
         let pool = self
             .pools
@@ -257,7 +337,11 @@ impl Gateway {
         let mut prev: Option<usize> = None;
         let mut last_err: Option<Error> = None;
         for attempt in 0..attempts {
+            // Overwritten each pass: the surviving value is the attempt that
+            // produced the final outcome (0 = no retries were needed).
+            root.set_attr("retry_attempt", u64::from(attempt));
             if attempt > 0 {
+                self.counters.retries.inc();
                 self.sleep_backoff(attempt - 1, deadline, request, last_err.as_ref())?;
             }
             // An expired deadline is final on every dispatch path — local
@@ -354,12 +438,16 @@ impl Gateway {
         Ok((secure, normal))
     }
 
-    /// Serves the gateway's REST interface:
+    /// Serves the gateway's REST interface. Canonical routes live under
+    /// `/v1`; the original unversioned paths still answer, marked with a
+    /// `Deprecation: true` header.
     ///
-    /// * `POST /run` — JSON [`RunRequest`] body → [`RunResult`];
-    /// * `POST /functions` — JSON [`UploadRequest`] body;
-    /// * `GET /functions` — registered names;
-    /// * `GET /health`.
+    /// * `POST /v1/run` — JSON [`RunRequest`] body → [`RunResult`];
+    /// * `POST /v1/functions` — JSON [`UploadRequest`] body;
+    /// * `GET /v1/functions` — registered names;
+    /// * `GET /v1/metrics` — Prometheus-style text, or the JSON snapshot
+    ///   with `?format=json` (new in v1, no legacy alias);
+    /// * `GET /v1/health`.
     ///
     /// # Errors
     ///
@@ -376,15 +464,17 @@ impl Gateway {
     pub fn serve_on(self: Arc<Self>, listen: &str) -> std::io::Result<Server> {
         let mut router = Router::new();
         let gw = Arc::clone(&self);
-        router.add(Method::Post, "/run", move |req, _| match req.body_json::<RunRequest>() {
-            Err(e) => Response::error(400, format!("bad request body: {e}")),
-            Ok(run_request) => match gw.run(&run_request) {
-                Ok(result) => Response::json(&result),
-                Err(e) => Response::error(rest_status(&e), e.to_string()),
-            },
+        add_versioned(&mut router, Method::Post, "/run", move |req, _| {
+            match req.body_json::<RunRequest>() {
+                Err(e) => Response::error(400, format!("bad request body: {e}")),
+                Ok(run_request) => match gw.run(&run_request) {
+                    Ok(result) => Response::json(&result),
+                    Err(e) => Response::error(e.rest_status(), e.to_string()),
+                },
+            }
         });
         let gw = Arc::clone(&self);
-        router.add(Method::Post, "/functions", move |req, _| {
+        add_versioned(&mut router, Method::Post, "/functions", move |req, _| {
             match req.body_json::<UploadRequest>() {
                 Err(e) => Response::error(400, format!("bad upload body: {e}")),
                 Ok(upload) => match gw.store.upload(&upload.name, &upload.script) {
@@ -398,8 +488,21 @@ impl Gateway {
             }
         });
         let gw = Arc::clone(&self);
-        router.add(Method::Get, "/functions", move |_, _| Response::json(&gw.store.names()));
-        router.add(Method::Get, "/health", |_, _| Response::json(&serde_json::json!({"ok": true})));
+        add_versioned(&mut router, Method::Get, "/functions", move |_, _| {
+            Response::json(&gw.store.names())
+        });
+        let gw = Arc::clone(&self);
+        // Metrics are new in v1: canonical path only, no deprecated alias.
+        router.add(Method::Get, "/v1/metrics", move |req, _| {
+            if req.query.get("format").map(String::as_str) == Some("json") {
+                Response::json(&gw.metrics.snapshot())
+            } else {
+                Response::text(gw.metrics.render_text())
+            }
+        });
+        add_versioned(&mut router, Method::Get, "/health", |_, _| {
+            Response::json(&serde_json::json!({"ok": true}))
+        });
         Server::spawn_on(listen, router)
     }
 }
@@ -447,22 +550,23 @@ fn remote_timeout(deadline: Option<Instant>) -> Option<Duration> {
 
 fn dispatch_remote(addr: SocketAddr, request: &RunRequest, timeout: Duration) -> Result<RunResult> {
     let client = Client::new(addr).timeout(timeout);
-    let http_request = Request::new(Method::Post, "/execute").json(request);
+    let http_request = Request::new(Method::Post, "/v1/execute").json(request);
     let response =
         client.send(&http_request).map_err(|e| Error::Transport(format!("host {addr}: {e}")))?;
     let body = || String::from_utf8_lossy(&response.body).into_owned();
-    // Mirror of `rest_status`: remote agents answer with the same codes a
-    // local dispatch would map to, so translate them back into the matching
-    // error variants instead of flattening everything into `Transport`.
+    // Remote agents answer with the shared `Error::rest_status` table, so
+    // translate statuses back into the matching typed errors instead of
+    // flattening everything into `Transport`.
     match response.status {
         200 => response
             .body_json()
             .map_err(|e| Error::Transport(format!("host {addr} sent bad result: {e}"))),
+        // The body holds the rendered message, not the bare name — keep the
+        // reconstruction from the request to avoid a doubled prefix.
         404 => Err(Error::UnknownFunction(request.function.name.clone())),
-        400 => Err(Error::InvalidRequest(body())),
-        503 => Err(Error::NoVmAvailable(body())),
-        504 => Err(Error::DeadlineExceeded(body())),
-        status => Err(Error::Transport(format!("host {addr} returned {status}: {}", body()))),
+        status => Err(Error::from_rest_status(status, body()).unwrap_or_else(|| {
+            Error::Transport(format!("host {addr} returned {status}: {}", body()))
+        })),
     }
 }
 
@@ -612,6 +716,103 @@ mod tests {
         req.deadline_ms = Some(0);
         let err = gw.run(&req).unwrap_err();
         assert!(matches!(err, Error::DeadlineExceeded(_)), "got {err}");
+    }
+
+    #[test]
+    fn zero_trials_rejected_as_invalid_request() {
+        let gw = Gateway::builder().local_host(TeePlatform::Tdx).build();
+        let mut req = request("factors", Language::Go, TeePlatform::Tdx);
+        req.trials = 0;
+        let err = gw.run(&req).unwrap_err();
+        assert!(matches!(err, Error::InvalidRequest(_)), "got {err}");
+        assert_eq!(err.rest_status(), 400);
+    }
+
+    #[test]
+    fn results_carry_the_gateway_span_tree() {
+        let gw = Gateway::builder().local_host(TeePlatform::Tdx).build();
+        let result = gw.run(&request("factors", Language::Go, TeePlatform::Tdx)).unwrap();
+        let trace = result.trace.expect("gateway attaches a trace");
+        assert_eq!(trace.name, "gateway.run");
+        assert_eq!(trace.attr("retry_attempt"), Some(0));
+        assert_eq!(trace.attr("vm_exits"), Some(result.perf.vm_exits));
+        assert_eq!(trace.attr("bounce_bytes"), Some(result.perf.bounce_bytes));
+        let host = trace.find("host.execute").expect("host subtree adopted");
+        assert!(host.find("perf.measure").is_some());
+    }
+
+    #[test]
+    fn remote_dispatch_round_trips_the_trace() {
+        let store = Arc::new(FunctionStore::new());
+        let agent = Arc::new(HostAgent::new(TeePlatform::Tdx, store, 5));
+        let host_server = Arc::clone(&agent).serve().unwrap();
+        let gw = Gateway::builder().remote_host(TeePlatform::Tdx, host_server.addr()).build();
+        let result = gw.run(&request("factors", Language::Go, TeePlatform::Tdx)).unwrap();
+        let trace = result.trace.expect("trace survives the HTTP hop");
+        assert_eq!(trace.name, "gateway.run");
+        assert!(trace.find("host.execute").is_some(), "remote subtree adopted");
+    }
+
+    #[test]
+    fn metrics_count_requests_and_pool_serves() {
+        let gw = Gateway::builder().local_host(TeePlatform::Tdx).build();
+        gw.run(&request("factors", Language::Go, TeePlatform::Tdx)).unwrap();
+        gw.run(&request("ghost", Language::Go, TeePlatform::Tdx)).unwrap_err();
+        let m = gw.metrics();
+        assert_eq!(m.counter_value("gateway_requests_total"), Some(2));
+        assert_eq!(m.counter_value("gateway_requests_failed_total"), Some(1));
+        // Pool-served counter equals the pool's own served tally.
+        let served: u64 = gw.served_counts(TeePlatform::Tdx).unwrap().iter().sum();
+        assert_eq!(m.counter_value("pool_served_total{platform=\"tdx\"}"), Some(served));
+    }
+
+    #[test]
+    fn v1_metrics_endpoint_serves_text_and_json() {
+        let gw = Arc::new(Gateway::builder().local_host(TeePlatform::Tdx).build());
+        let server = Arc::clone(&gw).serve().unwrap();
+        let client = Client::new(server.addr());
+
+        let run = Request::new(Method::Post, "/v1/run").json(&request(
+            "factors",
+            Language::Go,
+            TeePlatform::Tdx,
+        ));
+        let resp = client.send(&run).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(!resp.headers.contains_key("deprecation"), "canonical path is not deprecated");
+
+        let text = client.send(&Request::new(Method::Get, "/v1/metrics")).unwrap();
+        assert_eq!(text.status, 200);
+        let body = String::from_utf8(text.body).unwrap();
+        assert!(body.contains("gateway_requests_total 1"), "text exposition:\n{body}");
+        assert!(body.contains("pool_served_total{platform=\"tdx\"} 1"), "text exposition:\n{body}");
+
+        let json = client.send(&Request::new(Method::Get, "/v1/metrics?format=json")).unwrap();
+        assert_eq!(json.status, 200);
+        let snap: confbench_obs::RegistrySnapshot = json.body_json().unwrap();
+        assert_eq!(snap.counters.get("gateway_requests_total"), Some(&1));
+
+        // No legacy alias: metrics are v1-only.
+        assert_eq!(client.send(&Request::new(Method::Get, "/metrics")).unwrap().status, 404);
+    }
+
+    #[test]
+    fn legacy_gateway_routes_answer_with_deprecation_headers() {
+        let gw = Arc::new(Gateway::builder().local_host(TeePlatform::Tdx).build());
+        let server = Arc::clone(&gw).serve().unwrap();
+        let client = Client::new(server.addr());
+
+        let legacy = client.send(&Request::new(Method::Get, "/health")).unwrap();
+        assert_eq!(legacy.status, 200);
+        assert_eq!(legacy.headers.get("deprecation").map(String::as_str), Some("true"));
+        assert_eq!(
+            legacy.headers.get("link").map(String::as_str),
+            Some("</v1/health>; rel=\"successor-version\""),
+        );
+
+        let canonical = client.send(&Request::new(Method::Get, "/v1/health")).unwrap();
+        assert_eq!(canonical.status, 200);
+        assert!(!canonical.headers.contains_key("deprecation"));
     }
 
     #[test]

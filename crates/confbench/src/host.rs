@@ -9,11 +9,13 @@ use std::sync::Arc;
 
 use confbench_faasrt::FunctionLauncher;
 use confbench_httpd::{Method, Response, Router, Server};
+use confbench_obs::SpanRecorder;
 use confbench_perfmon::PerfStat;
 use confbench_types::{Error, Result, RunRequest, RunResult, TeePlatform, VmKind, VmTarget};
 use confbench_vmm::{TeeVmBuilder, Vm};
 use parking_lot::Mutex;
 
+use crate::rest::add_versioned;
 use crate::store::FunctionStore;
 
 /// A host machine capable of instantiating confidential VMs for one
@@ -40,17 +42,31 @@ pub struct HostAgent {
     secure_vm: Mutex<Vm>,
     normal_vm: Mutex<Vm>,
     store: Arc<FunctionStore>,
+    recorder: SpanRecorder,
 }
 
 impl HostAgent {
     /// Boots both VMs for `platform` with deterministic seeds derived from
-    /// `seed`.
+    /// `seed`, recording spans on the wall clock.
     pub fn new(platform: TeePlatform, store: Arc<FunctionStore>, seed: u64) -> Self {
+        Self::with_recorder(platform, store, seed, SpanRecorder::default())
+    }
+
+    /// As [`HostAgent::new`] with an explicit span recorder (tests inject a
+    /// [`ManualClock`](crate::ManualClock)-backed one for deterministic
+    /// timestamps; the gateway shares its own recorder with local hosts).
+    pub fn with_recorder(
+        platform: TeePlatform,
+        store: Arc<FunctionStore>,
+        seed: u64,
+        recorder: SpanRecorder,
+    ) -> Self {
         HostAgent {
             platform,
             secure_vm: Mutex::new(TeeVmBuilder::new(VmTarget::secure(platform)).seed(seed).build()),
             normal_vm: Mutex::new(TeeVmBuilder::new(VmTarget::normal(platform)).seed(seed).build()),
             store,
+            recorder,
         }
     }
 
@@ -90,8 +106,13 @@ impl HostAgent {
         };
         let mut vm = vm.lock();
 
+        let mut span = self.recorder.root("host.execute");
+        span.set_attr("trials", u64::from(request.trials.max(1)));
+
         // Launcher bootstrap runs unmeasured (paper §IV-D).
+        let bootstrap = span.child("launcher.bootstrap");
         let _ = vm.execute(&output.startup_trace);
+        span.finish_child(bootstrap);
 
         let trials = request.trials.max(1);
         let mut trial_ms = Vec::with_capacity(trials as usize);
@@ -101,11 +122,15 @@ impl HostAgent {
             trial_ms.push(report.wall_ms);
             trial_cycles.push(report.cycles);
         }
-        // Final trial runs under the perf collector, whose sample is
-        // piggybacked on the result (paper §III-B).
-        let (report, sample) = PerfStat::for_vm(&vm).measure(&mut vm, &output.trace);
+        // Final trial runs under the perf collector, whose sample — span
+        // tree included — is piggybacked on the result (paper §III-B).
+        let (report, mut sample) =
+            PerfStat::for_vm(&vm).measure_spanned(&mut vm, &output.trace, &self.recorder);
         trial_ms.push(report.wall_ms);
         trial_cycles.push(report.cycles);
+        if let Some(measured) = sample.trace.take() {
+            span.adopt(measured);
+        }
 
         Ok(RunResult {
             function: request.function.name.clone(),
@@ -116,11 +141,13 @@ impl HostAgent {
             trial_cycles,
             perf: sample.report,
             output: output.output,
+            trace: Some(span.finish()),
         })
     }
 
-    /// Serves the agent over HTTP: `POST /execute` with a JSON
-    /// [`RunRequest`] body, `GET /health`.
+    /// Serves the agent over HTTP: `POST /v1/execute` with a JSON
+    /// [`RunRequest`] body, `GET /v1/health`. The unversioned paths remain
+    /// as deprecated aliases (answering with `Deprecation: true`).
     ///
     /// # Errors
     ///
@@ -128,20 +155,20 @@ impl HostAgent {
     pub fn serve(self: Arc<Self>) -> std::io::Result<Server> {
         let mut router = Router::new();
         let agent = Arc::clone(&self);
-        router.add(Method::Post, "/execute", move |req, _| {
+        add_versioned(&mut router, Method::Post, "/execute", move |req, _| {
             match req.body_json::<RunRequest>() {
                 Err(e) => Response::error(400, format!("bad request body: {e}")),
                 Ok(run_request) => match agent.execute(&run_request) {
                     Ok(result) => Response::json(&result),
-                    // Same status mapping as the gateway, so a remote host is
-                    // indistinguishable from a local one to REST clients (an
-                    // unknown function used to surface as a generic 500 here).
-                    Err(e) => Response::error(crate::gateway::rest_status(&e), e.to_string()),
+                    // Same status mapping as the gateway (the shared table in
+                    // `confbench-types`), so a remote host is
+                    // indistinguishable from a local one to REST clients.
+                    Err(e) => Response::error(e.rest_status(), e.to_string()),
                 },
             }
         });
         let platform = self.platform;
-        router.add(Method::Get, "/health", move |_, _| {
+        add_versioned(&mut router, Method::Get, "/health", move |_, _| {
             Response::json(&serde_json::json!({ "platform": platform.to_string(), "ok": true }))
         });
         Server::spawn(router)
@@ -229,6 +256,42 @@ mod tests {
         assert_eq!(result.output, "1572480");
         let health = client.send(&Request::new(Method::Get, "/health")).unwrap();
         assert_eq!(health.status, 200);
+    }
+
+    #[test]
+    fn results_carry_a_span_tree() {
+        let h = host(TeePlatform::Tdx);
+        let result = h.execute(&request(TeePlatform::Tdx, VmKind::Secure)).unwrap();
+        let trace = result.trace.expect("host attaches a trace");
+        assert_eq!(trace.name, "host.execute");
+        assert_eq!(trace.attr("trials"), Some(3));
+        assert!(trace.find("launcher.bootstrap").is_some(), "bootstrap span present");
+        let measured = trace.find("perf.measure").expect("measured-trial span");
+        assert_eq!(measured.attr("vm_exits"), Some(result.perf.vm_exits));
+    }
+
+    #[test]
+    fn v1_routes_are_canonical_and_legacy_paths_deprecated() {
+        let agent = Arc::new(host(TeePlatform::Tdx));
+        let server = agent.serve().unwrap();
+        let client = confbench_httpd::Client::new(server.addr());
+
+        let v1 = client
+            .send(
+                &Request::new(Method::Post, "/v1/execute")
+                    .json(&request(TeePlatform::Tdx, VmKind::Normal)),
+            )
+            .unwrap();
+        assert_eq!(v1.status, 200);
+        assert!(!v1.headers.contains_key("deprecation"));
+
+        let legacy = client.send(&Request::new(Method::Get, "/health")).unwrap();
+        assert_eq!(legacy.status, 200);
+        assert_eq!(legacy.headers.get("deprecation").map(String::as_str), Some("true"));
+        assert_eq!(
+            legacy.headers.get("link").map(String::as_str),
+            Some("</v1/health>; rel=\"successor-version\""),
+        );
     }
 
     #[test]

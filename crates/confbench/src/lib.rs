@@ -40,6 +40,7 @@
 mod gateway;
 mod host;
 mod pool;
+mod rest;
 mod store;
 
 pub use gateway::{Gateway, GatewayBuilder, RetryPolicy, UploadRequest};
@@ -47,6 +48,7 @@ pub use host::HostAgent;
 pub use pool::{
     BalancePolicy, CircuitState, Clock, HealthPolicy, ManualClock, PoolGuard, SystemClock, TeePool,
 };
+pub use rest::API_PREFIX;
 pub use store::{FunctionStore, StoreError, StoredFunction, UploadedFunction};
 
 use confbench_types::{

@@ -9,11 +9,15 @@
 //! Time is injected through [`Clock`] so cooldown behaviour is testable
 //! without sleeping.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
 
+use confbench_obs::{Counter, MetricsRegistry};
 use parking_lot::Mutex;
+
+// The clock abstraction moved to `confbench-types` (shared with the span
+// recorder); re-exported here so existing `confbench::{Clock, ManualClock,
+// SystemClock}` paths keep working.
+pub use confbench_types::{Clock, ManualClock, SystemClock};
 
 /// A load-balancing policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,49 +26,6 @@ pub enum BalancePolicy {
     RoundRobin,
     /// Pick the member with the fewest in-flight requests.
     LeastLoaded,
-}
-
-/// Monotonic-enough millisecond time source for circuit cooldowns.
-///
-/// Injected into [`TeePool`] so tests drive cooldown expiry with
-/// [`ManualClock`] instead of sleeping through it.
-pub trait Clock: Send + Sync {
-    /// Current time in milliseconds. Only differences are meaningful.
-    fn now_ms(&self) -> u64;
-}
-
-/// Wall-clock [`Clock`] (the default).
-#[derive(Debug, Default)]
-pub struct SystemClock;
-
-impl Clock for SystemClock {
-    fn now_ms(&self) -> u64 {
-        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
-    }
-}
-
-/// Hand-driven [`Clock`] for deterministic cooldown tests.
-#[derive(Debug, Default)]
-pub struct ManualClock {
-    ms: AtomicU64,
-}
-
-impl ManualClock {
-    /// Starts at time zero.
-    pub fn new() -> Self {
-        ManualClock { ms: AtomicU64::new(0) }
-    }
-
-    /// Advances the clock by `ms` milliseconds.
-    pub fn advance(&self, ms: u64) {
-        self.ms.fetch_add(ms, Ordering::SeqCst);
-    }
-}
-
-impl Clock for ManualClock {
-    fn now_ms(&self) -> u64 {
-        self.ms.load(Ordering::SeqCst)
-    }
 }
 
 /// Circuit-breaker tuning for pool members.
@@ -146,6 +107,15 @@ pub struct TeePool<T> {
     health: HealthPolicy,
     clock: Arc<dyn Clock>,
     state: Mutex<PoolState>,
+    metrics: Option<PoolMetrics>,
+}
+
+/// Cached counter handles so the hot path never takes the registry lock.
+struct PoolMetrics {
+    checkouts: Arc<Counter>,
+    served: Arc<Counter>,
+    probes: Arc<Counter>,
+    circuit_opened: Arc<Counter>,
 }
 
 impl<T> TeePool<T> {
@@ -173,7 +143,26 @@ impl<T> TeePool<T> {
         assert!(!members.is_empty(), "a pool needs at least one member");
         let state =
             PoolState { cursor: 0, members: members.iter().map(|_| MemberState::new()).collect() };
-        TeePool { entries: members, policy, health, clock, state: Mutex::new(state) }
+        TeePool { entries: members, policy, health, clock, state: Mutex::new(state), metrics: None }
+    }
+
+    /// Publishes the pool's checkout/served/circuit events as counters in
+    /// `registry`, labelled `{platform="<label>"}`:
+    ///
+    /// * `pool_checkouts_total` — checkouts granted (probes included);
+    /// * `pool_served_total` — requests completed (guard dropped), so it
+    ///   always equals the sum of [`TeePool::served_counts`];
+    /// * `pool_probes_total` — half-open circuit probes admitted;
+    /// * `pool_circuit_opened_total` — closed/half-open → open transitions.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry, label: &str) -> Self {
+        let name = |base: &str| format!("{base}{{platform=\"{label}\"}}");
+        self.metrics = Some(PoolMetrics {
+            checkouts: registry.counter(&name("pool_checkouts_total")),
+            served: registry.counter(&name("pool_served_total")),
+            probes: registry.counter(&name("pool_probes_total")),
+            circuit_opened: registry.counter(&name("pool_circuit_opened_total")),
+        });
+        self
     }
 
     /// Number of members.
@@ -256,7 +245,13 @@ impl<T> TeePool<T> {
             let trip = matches!(m.circuit, Circuit::HalfOpen { .. })
                 || m.consecutive_failures >= self.health.failure_threshold;
             if trip {
+                let was_open = matches!(m.circuit, Circuit::Open { .. });
                 m.circuit = Circuit::Open { since_ms: self.clock.now_ms() };
+                if !was_open {
+                    if let Some(metrics) = &self.metrics {
+                        metrics.circuit_opened.inc();
+                    }
+                }
             }
         }
     }
@@ -318,6 +313,12 @@ impl<T> TeePool<T> {
     /// lock acquisition as selection — that is the race fix.
     fn admit<'a>(&'a self, state: &mut PoolState, idx: usize, probe: bool) -> PoolGuard<'a, T> {
         state.members[idx].inflight += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.checkouts.inc();
+            if probe {
+                metrics.probes.inc();
+            }
+        }
         PoolGuard { pool: self, idx, probe, reported: std::cell::Cell::new(false) }
     }
 }
@@ -355,6 +356,9 @@ impl<T> Drop for PoolGuard<'_, T> {
         let m = &mut state.members[self.idx];
         m.inflight -= 1;
         m.served += 1;
+        if let Some(metrics) = &self.pool.metrics {
+            metrics.served.inc();
+        }
         // A probe abandoned without a verdict frees the probe slot so the
         // next healthy checkout can try again.
         if self.probe && !self.reported.get() {
@@ -568,6 +572,39 @@ mod tests {
         assert_eq!(pool.circuit_states()[1], CircuitState::Open);
         let g = pool.checkout_healthy_excluding(Some(0)).unwrap();
         assert_eq!(g.index(), 0, "excluded member is better than none");
+    }
+
+    #[test]
+    fn metrics_track_checkouts_served_and_circuit_trips() {
+        let registry = MetricsRegistry::new();
+        let clock = Arc::new(ManualClock::new());
+        let pool = TeePool::with_health(
+            vec![0usize],
+            BalancePolicy::RoundRobin,
+            HealthPolicy { failure_threshold: 2, cooldown_ms: 100 },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        )
+        .with_metrics(&registry, "tdx");
+
+        for _ in 0..2 {
+            let g = pool.checkout_healthy().unwrap();
+            pool.report_outcome(&g, false);
+        }
+        assert_eq!(registry.counter_value("pool_checkouts_total{platform=\"tdx\"}"), Some(2));
+        assert_eq!(
+            registry.counter_value("pool_served_total{platform=\"tdx\"}"),
+            Some(pool.served_counts().iter().sum()),
+        );
+        assert_eq!(registry.counter_value("pool_circuit_opened_total{platform=\"tdx\"}"), Some(1));
+
+        // Cooldown elapses: the probe is counted, and its failure re-opens
+        // the circuit (a second open transition).
+        clock.advance(100);
+        let probe = pool.checkout_healthy().unwrap();
+        pool.report_outcome(&probe, false);
+        drop(probe);
+        assert_eq!(registry.counter_value("pool_probes_total{platform=\"tdx\"}"), Some(1));
+        assert_eq!(registry.counter_value("pool_circuit_opened_total{platform=\"tdx\"}"), Some(2));
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Shared REST-surface plumbing for the gateway and host agents.
+//!
+//! Canonical routes live under the `/v1` prefix. The original unversioned
+//! paths remain as deprecated aliases: same handler, same body, plus a
+//! `Deprecation: true` header and a `Link: </v1/...>; rel="successor-version"`
+//! pointer so clients can discover the replacement mechanically.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use confbench_httpd::{Method, Request, Response, Router};
+
+/// The current REST API version prefix.
+pub const API_PREFIX: &str = "/v1";
+
+/// Registers `handler` at both `/v1<path>` (canonical) and `<path>` (legacy
+/// alias). The alias serves the identical response with deprecation headers
+/// attached; the `Link` successor points at the canonical route template
+/// (params unsubstituted).
+pub(crate) fn add_versioned<F>(router: &mut Router, method: Method, path: &str, handler: F)
+where
+    F: Fn(&Request, &HashMap<String, String>) -> Response + Send + Sync + 'static,
+{
+    let handler = Arc::new(handler);
+    let canonical = Arc::clone(&handler);
+    router.add(method, &format!("{API_PREFIX}{path}"), move |req, params| canonical(req, params));
+    let successor = format!("<{API_PREFIX}{path}>; rel=\"successor-version\"");
+    router.add(method, path, move |req, params| {
+        let mut response = handler(req, params);
+        response.headers.insert("deprecation".into(), "true".into());
+        response.headers.insert("link".into(), successor.clone());
+        response
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router {
+        let mut r = Router::new();
+        add_versioned(&mut r, Method::Get, "/widgets/:name", |_, params| {
+            Response::text(params["name"].clone())
+        });
+        r
+    }
+
+    #[test]
+    fn canonical_path_serves_clean_response() {
+        let resp = router().dispatch(&Request::new(Method::Get, "/v1/widgets/spanner"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"spanner");
+        assert!(!resp.headers.contains_key("deprecation"));
+    }
+
+    #[test]
+    fn legacy_alias_carries_deprecation_headers() {
+        let resp = router().dispatch(&Request::new(Method::Get, "/widgets/spanner"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"spanner", "alias serves the identical body");
+        assert_eq!(resp.headers.get("deprecation").map(String::as_str), Some("true"));
+        assert_eq!(
+            resp.headers.get("link").map(String::as_str),
+            Some("</v1/widgets/:name>; rel=\"successor-version\""),
+        );
+    }
+}

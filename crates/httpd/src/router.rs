@@ -152,4 +152,57 @@ mod tests {
         assert_eq!(r.dispatch(&Request::new(Method::Get, "/functions/a/b")).status, 404);
         assert_eq!(r.dispatch(&Request::new(Method::Get, "/functions")).status, 404);
     }
+
+    #[test]
+    fn registration_order_breaks_literal_vs_param_overlap() {
+        // Both routes match GET /functions/list; dispatch is first-registered
+        // wins, so a literal route must be added before the param catch-all
+        // to take precedence.
+        let mut r = Router::new();
+        r.add(Method::Get, "/functions/list", |_, _| Response::text("literal"));
+        r.add(Method::Get, "/functions/:name", |_, p| Response::text(p["name"].clone()));
+        assert_eq!(r.dispatch(&Request::new(Method::Get, "/functions/list")).body, b"literal");
+        assert_eq!(r.dispatch(&Request::new(Method::Get, "/functions/fib")).body, b"fib");
+
+        // Registered the other way round, the param route shadows the
+        // literal — pinning the (documented) footgun.
+        let mut shadowed = Router::new();
+        shadowed.add(Method::Get, "/functions/:name", |_, p| Response::text(p["name"].clone()));
+        shadowed.add(Method::Get, "/functions/list", |_, _| Response::text("literal"));
+        assert_eq!(shadowed.dispatch(&Request::new(Method::Get, "/functions/list")).body, b"list");
+    }
+
+    #[test]
+    fn wrong_method_on_param_route_falls_through_to_later_match() {
+        // A path-matching route with the wrong method must not hijack
+        // dispatch: a later route with the right method still wins, and 405
+        // is only the answer when no method matches anywhere.
+        let mut r = Router::new();
+        r.add(Method::Get, "/items/:id", |_, p| Response::text(format!("get {}", p["id"])));
+        r.add(Method::Post, "/items/special", |_, _| Response::text("posted"));
+        assert_eq!(r.dispatch(&Request::new(Method::Post, "/items/special")).body, b"posted");
+        assert_eq!(r.dispatch(&Request::new(Method::Post, "/items/other")).status, 405);
+        assert_eq!(r.dispatch(&Request::new(Method::Get, "/items/special")).body, b"get special");
+    }
+
+    #[test]
+    fn slash_variants_normalize() {
+        let r = router();
+        // Leading/trailing/doubled slashes collapse to the same segments.
+        assert_eq!(r.dispatch(&Request::new(Method::Get, "//health")).status, 200);
+        assert_eq!(r.dispatch(&Request::new(Method::Get, "/health//")).status, 200);
+        assert_eq!(r.dispatch(&Request::new(Method::Get, "/functions//fib")).body, b"fib");
+        assert_eq!(r.dispatch(&Request::new(Method::Post, "/run/")).status, 200);
+    }
+
+    #[test]
+    fn root_path_is_not_found_unless_registered() {
+        let r = router();
+        assert_eq!(r.dispatch(&Request::new(Method::Get, "/")).status, 404);
+        let mut with_root = Router::new();
+        with_root.add(Method::Get, "/", |_, _| Response::text("home"));
+        assert_eq!(with_root.dispatch(&Request::new(Method::Get, "/")).body, b"home");
+        // An empty pattern and "/" are the same zero-segment route.
+        assert_eq!(with_root.dispatch(&Request::new(Method::Get, "")).body, b"home");
+    }
 }

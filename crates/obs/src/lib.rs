@@ -1,0 +1,53 @@
+//! End-to-end observability for the ConfBench pipeline.
+//!
+//! The paper's core mechanism (§III-B) is that measurement data is
+//! piggybacked onto every dispatched run. This crate supplies the two
+//! primitives that make the *pipeline itself* observable, not just the
+//! workload:
+//!
+//! * [`SpanRecorder`] / [`ActiveSpan`] — lightweight structured trace spans
+//!   with parent/child nesting, timestamped on the injectable
+//!   [`Clock`](confbench_types::Clock) (deterministic under
+//!   [`ManualClock`](confbench_types::ManualClock)), finishing into the
+//!   [`TraceSpan`](confbench_types::TraceSpan) wire type that rides on
+//!   [`RunResult`](confbench_types::RunResult);
+//! * [`MetricsRegistry`] — monotonic [`Counter`]s and fixed-bucket
+//!   [`Histogram`]s, shared via `Arc`, lock-cheap (atomics on the hot path,
+//!   a registry lock only on first registration), rendered as text or JSON
+//!   by `GET /v1/metrics`.
+//!
+//! Everything here is deterministic: no wall-clock reads happen unless the
+//! injected clock performs them, and no randomness is involved.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use confbench_obs::{MetricsRegistry, SpanRecorder};
+//! use confbench_types::ManualClock;
+//!
+//! let clock = Arc::new(ManualClock::new());
+//! let recorder = SpanRecorder::new(clock.clone());
+//! let mut root = recorder.root("gateway.run");
+//! clock.advance(5);
+//! let mut child = root.child("host.execute");
+//! child.add_attr("vm_exits", 12);
+//! clock.advance(3);
+//! root.finish_child(child);
+//! let tree = root.finish();
+//! assert_eq!(tree.duration_ms(), 8);
+//! assert_eq!(tree.find("host.execute").unwrap().attr("vm_exits"), Some(12));
+//!
+//! let metrics = Arc::new(MetricsRegistry::new());
+//! metrics.counter("gateway_requests_total").inc();
+//! assert_eq!(metrics.counter("gateway_requests_total").get(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod span;
+
+pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot};
+pub use span::{ActiveSpan, SpanRecorder};

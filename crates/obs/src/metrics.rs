@@ -1,0 +1,344 @@
+//! The metrics registry: monotonic counters and fixed-bucket histograms.
+//!
+//! Hot-path updates are single atomic operations; the registry's lock is
+//! taken only to register or look up an instrument by name. Values are
+//! plain integers fed by the simulation's deterministic counts — no
+//! wall-clock reads, so test assertions on metric values are exact.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed, inclusive upper bounds (`value <= bound` lands in
+/// that bucket; larger values land in the implicit overflow bucket).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram { bounds, buckets, count: AtomicU64::new(0), sum: AtomicU64::new(0) }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Upper bounds (sorted, deduplicated).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// Serializable point-in-time state of one [`Histogram`].
+///
+/// `buckets` has one more entry than `bounds`: the final entry is the
+/// overflow bucket for values above the largest bound.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts (last entry = overflow).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// Serializable point-in-time state of a whole [`MetricsRegistry`]
+/// (the JSON body of `GET /v1/metrics?format=json`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// A named collection of counters and histograms, shared via `Arc`.
+///
+/// Instruments are created on first use and live for the registry's
+/// lifetime; repeated lookups return the same instrument, so callers may
+/// either cache the `Arc` (hot paths) or look up by name each time.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns (creating if needed) the counter named `name`.
+    ///
+    /// Names follow the Prometheus convention — `snake_case` with a unit
+    /// suffix, optionally with `{key="value"}` labels baked into the name
+    /// (the registry treats the whole string as the identity).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(self.counters.lock().entry(name.to_owned()).or_default())
+    }
+
+    /// Returns (creating if needed) the histogram named `name` with the
+    /// given inclusive upper `bounds`. Bounds are fixed at first
+    /// registration; later calls ignore the argument.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// The value of counter `name`, or `None` if it was never created.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.lock().get(name).map(|c| c.get())
+    }
+
+    /// A point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self.counters.lock().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (counters as `name value`, histograms as `_bucket`/`_sum`/`_count`
+    /// series), names sorted for deterministic output.
+    pub fn render_text(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        // BTreeMap order keeps labeled series of one family adjacent, so a
+        // single `# TYPE` line per family is just TYPE-on-base-change.
+        let mut last_family = String::new();
+        for (name, value) in &snap.counters {
+            let base = base_name(name);
+            if base != last_family {
+                let _ = writeln!(out, "# TYPE {base} counter");
+                last_family = base.to_owned();
+            }
+            let _ = writeln!(out, "{name} {value}");
+        }
+        last_family.clear();
+        for (name, h) in &snap.histograms {
+            let (base, labels) = split_labels(name);
+            if base != last_family {
+                let _ = writeln!(out, "# TYPE {base} histogram");
+                last_family = base.to_owned();
+            }
+            let with_le = |le: &str| match labels {
+                "" => format!("{{le=\"{le}\"}}"),
+                labels => format!("{{{labels},le=\"{le}\"}}"),
+            };
+            let plain = match labels {
+                "" => String::new(),
+                labels => format!("{{{labels}}}"),
+            };
+            let mut cumulative = 0u64;
+            for (i, bucket) in h.buckets.iter().enumerate() {
+                cumulative += bucket;
+                let le = match h.bounds.get(i) {
+                    Some(le) => le.to_string(),
+                    None => "+Inf".to_owned(),
+                };
+                let _ = writeln!(out, "{base}_bucket{} {cumulative}", with_le(&le));
+            }
+            let _ = writeln!(out, "{base}_sum{plain} {}", h.sum);
+            let _ = writeln!(out, "{base}_count{plain} {}", h.count);
+        }
+        out
+    }
+}
+
+/// Strips baked-in `{labels}` from a metric name for `# TYPE` lines.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Splits `name{k="v"}` into `("name", "k=\"v\"")`; labels are empty when
+/// the name carries none.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, rest.trim_end_matches('}')),
+        None => (name, ""),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic_and_shared() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("requests_total");
+        let b = reg.counter("requests_total");
+        a.inc();
+        b.add(41);
+        assert_eq!(reg.counter_value("requests_total"), Some(42));
+        assert_eq!(reg.counter_value("absent"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_values_inclusively() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("latency_ms", &[10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![2, 2, 0, 1]); // <=10: {1,10}; <=100: {11,100}; overflow: 5000
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 5122);
+    }
+
+    #[test]
+    fn histogram_bounds_sorted_and_deduped() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("x", &[100, 10, 100, 1]);
+        assert_eq!(h.bounds(), &[1, 10, 100]);
+    }
+
+    #[test]
+    fn text_rendering_is_prometheus_shaped_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_total").add(2);
+        reg.counter("a_total{platform=\"tdx\"}").inc();
+        reg.histogram("lat_ms", &[5]).observe(3);
+        reg.histogram("lat_ms", &[5]).observe(9);
+        let text = reg.render_text();
+        let a = text.find("a_total{platform=\"tdx\"} 1").expect("labeled counter");
+        let b = text.find("b_total 2").expect("plain counter");
+        assert!(a < b, "names must render sorted:\n{text}");
+        assert!(text.contains("# TYPE a_total counter"), "label stripped in TYPE line");
+        assert!(text.contains("lat_ms_bucket{le=\"5\"} 1"));
+        assert!(text.contains("lat_ms_bucket{le=\"+Inf\"} 2"), "cumulative buckets");
+        assert!(text.contains("lat_ms_sum 12"));
+        assert!(text.contains("lat_ms_count 2"));
+    }
+
+    #[test]
+    fn one_type_line_per_family_and_labeled_histogram_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("served_total{platform=\"snp\"}").inc();
+        reg.counter("served_total{platform=\"tdx\"}").add(2);
+        reg.histogram("lat_ms{platform=\"tdx\"}", &[5]).observe(3);
+        let text = reg.render_text();
+        assert_eq!(
+            text.matches("# TYPE served_total counter").count(),
+            1,
+            "adjacent labeled series share one TYPE line:\n{text}"
+        );
+        assert!(text.contains("lat_ms_bucket{platform=\"tdx\",le=\"5\"} 1"), "{text}");
+        assert!(text.contains("lat_ms_sum{platform=\"tdx\"} 3"), "{text}");
+        assert!(text.contains("lat_ms_count{platform=\"tdx\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(7);
+        reg.histogram("h", &[1]).observe(2);
+        let json = serde_json::to_string(&reg.snapshot()).unwrap();
+        let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counters["c"], 7);
+        assert_eq!(back.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn registry_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MetricsRegistry>();
+        assert_send_sync::<Counter>();
+        assert_send_sync::<Histogram>();
+    }
+
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let c = reg.counter("hits_total");
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter_value("hits_total"), Some(4000));
+    }
+}

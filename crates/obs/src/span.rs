@@ -1,0 +1,174 @@
+//! Span recording: building [`TraceSpan`] trees against an injectable clock.
+
+use std::sync::Arc;
+
+use confbench_types::{Clock, SystemClock, TraceSpan};
+
+/// Factory for root spans, bound to a [`Clock`].
+///
+/// Cheap to clone (one `Arc`); every layer of the pipeline that opens spans
+/// holds one, and all of them share the same clock so timestamps across the
+/// tree are coherent.
+#[derive(Clone)]
+pub struct SpanRecorder {
+    clock: Arc<dyn Clock>,
+}
+
+impl Default for SpanRecorder {
+    /// A recorder on the wall clock.
+    fn default() -> Self {
+        SpanRecorder::new(Arc::new(SystemClock))
+    }
+}
+
+impl SpanRecorder {
+    /// Creates a recorder reading time from `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        SpanRecorder { clock }
+    }
+
+    /// The recorder's clock (shared with every span it opens).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Opens a root span starting now.
+    pub fn root(&self, name: impl Into<String>) -> ActiveSpan {
+        ActiveSpan {
+            clock: Arc::clone(&self.clock),
+            span: TraceSpan::new(name, self.clock.now_ms()),
+        }
+    }
+}
+
+/// An open span under construction.
+///
+/// Children are opened with [`ActiveSpan::child`] and re-attached with
+/// [`ActiveSpan::finish_child`] (which stamps their end time); already-built
+/// subtrees — e.g. a trace that round-tripped from a remote host — are
+/// attached verbatim with [`ActiveSpan::adopt`]. Dropping an `ActiveSpan`
+/// without calling [`ActiveSpan::finish`] discards it.
+pub struct ActiveSpan {
+    clock: Arc<dyn Clock>,
+    span: TraceSpan,
+}
+
+impl ActiveSpan {
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.span.name
+    }
+
+    /// Opens a child span starting now. The child is *detached* until passed
+    /// back through [`ActiveSpan::finish_child`].
+    pub fn child(&self, name: impl Into<String>) -> ActiveSpan {
+        ActiveSpan {
+            clock: Arc::clone(&self.clock),
+            span: TraceSpan::new(name, self.clock.now_ms()),
+        }
+    }
+
+    /// Stamps `child`'s end time and attaches it under this span.
+    pub fn finish_child(&mut self, mut child: ActiveSpan) {
+        child.span.end_ms = self.clock.now_ms();
+        self.span.children.push(child.span);
+    }
+
+    /// Attaches an already-finished subtree (e.g. one deserialized from a
+    /// remote host's result) without touching its timestamps.
+    pub fn adopt(&mut self, subtree: TraceSpan) {
+        self.span.children.push(subtree);
+    }
+
+    /// Sets (overwriting) an attribute on this span.
+    pub fn set_attr(&mut self, key: impl Into<String>, value: u64) {
+        self.span.set_attr(key, value);
+    }
+
+    /// Adds to an attribute on this span, creating it at zero first.
+    pub fn add_attr(&mut self, key: impl Into<String>, delta: u64) {
+        self.span.add_attr(key, delta);
+    }
+
+    /// Stamps the end time and returns the finished wire span.
+    pub fn finish(mut self) -> TraceSpan {
+        self.span.end_ms = self.clock.now_ms();
+        self.span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confbench_types::ManualClock;
+
+    fn recorder() -> (SpanRecorder, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        (SpanRecorder::new(clock.clone()), clock)
+    }
+
+    #[test]
+    fn nesting_and_timestamps_follow_the_clock() {
+        let (rec, clock) = recorder();
+        clock.advance(100);
+        let mut root = rec.root("gateway.run");
+        clock.advance(10);
+        let mut host = root.child("host.execute");
+        clock.advance(5);
+        let vm = host.child("tdx.seamcall");
+        clock.advance(2);
+        host.finish_child(vm);
+        clock.advance(1);
+        root.finish_child(host);
+        let tree = root.finish();
+
+        assert_eq!(tree.start_ms, 100);
+        assert_eq!(tree.end_ms, 118);
+        let host = &tree.children[0];
+        assert_eq!((host.start_ms, host.end_ms), (110, 118));
+        let vm = &host.children[0];
+        assert_eq!((vm.start_ms, vm.end_ms), (115, 117));
+    }
+
+    #[test]
+    fn attrs_and_adoption() {
+        let (rec, _clock) = recorder();
+        let mut root = rec.root("r");
+        root.add_attr("retries", 1);
+        root.add_attr("retries", 1);
+        root.set_attr("platform", 7);
+
+        let mut remote = TraceSpan::new("remote.execute", 400);
+        remote.end_ms = 450;
+        root.adopt(remote);
+
+        let tree = root.finish();
+        assert_eq!(tree.attr("retries"), Some(2));
+        assert_eq!(tree.attr("platform"), Some(7));
+        // Adopted subtree keeps foreign timestamps untouched.
+        assert_eq!(tree.children[0].start_ms, 400);
+        assert_eq!(tree.children[0].end_ms, 450);
+    }
+
+    #[test]
+    fn default_recorder_uses_wall_clock() {
+        let rec = SpanRecorder::default();
+        let root = rec.root("r");
+        let tree = root.finish();
+        assert!(tree.end_ms >= tree.start_ms);
+    }
+
+    #[test]
+    fn children_record_in_order() {
+        let (rec, clock) = recorder();
+        let mut root = rec.root("r");
+        for name in ["a", "b", "c"] {
+            let c = root.child(name);
+            clock.advance(1);
+            root.finish_child(c);
+        }
+        let tree = root.finish();
+        let names: Vec<&str> = tree.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

@@ -4,7 +4,9 @@
 //! the collected counters onto the result returned to the user (paper
 //! §III-B). Inside CCA realms hardware counters are unavailable, so the tool
 //! falls back to a custom monitoring script; this crate models both paths
-//! and the extension point for user-provided collectors.
+//! behind the public [`Collector`] trait — the §III-B extension point now
+//! accepts real code ([`PerfStat::with_collector`]), not only a script name
+//! string.
 //!
 //! # Example
 //!
@@ -26,8 +28,10 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Arc;
 
-use confbench_types::{OpTrace, PerfReport};
+use confbench_obs::SpanRecorder;
+use confbench_types::{OpTrace, PerfReport, TraceSpan};
 use confbench_vmm::{ExecutionReport, Vm};
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +43,11 @@ pub struct PerfSample {
     pub collector: String,
     /// The counter values.
     pub report: PerfReport,
+    /// The span tree recorded around the measured run, when measurement was
+    /// requested with [`PerfStat::measure_spanned`]. Absent (and absent from
+    /// the wire format) otherwise.
+    #[serde(default)]
+    pub trace: Option<TraceSpan>,
 }
 
 impl fmt::Display for PerfSample {
@@ -56,24 +65,90 @@ impl fmt::Display for PerfSample {
     }
 }
 
-/// How counters are gathered for a given VM.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Collector {
-    /// `perf stat` over hardware counters (TDX, SEV-SNP, and their normal
-    /// baselines).
-    HardwarePerf,
-    /// A named custom script (the CCA path; also the user extension point).
-    Script(String),
+/// How perf counters are gathered for a measured run.
+///
+/// This is the paper's §III-B extension point: implement it to model any
+/// monitoring tool and pass it to [`PerfStat::with_collector`]. The two
+/// bundled implementations are [`HardwarePerf`] (the `perf stat` path) and
+/// [`ScriptCollector`] (the realm-side fallback script).
+pub trait Collector: Send + Sync {
+    /// Provenance name recorded on samples (e.g. `"perf"`,
+    /// `"script:cca-cycles"`).
+    fn name(&self) -> String;
+
+    /// Whether this collector reads hardware PMU counters.
+    fn is_hardware(&self) -> bool {
+        false
+    }
+
+    /// Shapes the raw execution counters into what this collector can
+    /// actually observe (a wallclock-only script, for instance, cannot see
+    /// cache counters).
+    fn collect(&self, report: &ExecutionReport) -> PerfReport;
 }
 
-/// A perf-stat-style collector bound to a collection strategy.
+/// `perf stat` over hardware counters (TDX, SEV-SNP, and their normal
+/// baselines).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HardwarePerf;
+
+impl Collector for HardwarePerf {
+    fn name(&self) -> String {
+        "perf".to_owned()
+    }
+
+    fn is_hardware(&self) -> bool {
+        true
+    }
+
+    fn collect(&self, report: &ExecutionReport) -> PerfReport {
+        PerfReport { from_hw_counters: true, ..report.perf }
+    }
+}
+
+/// A named custom monitoring script (the CCA path).
+///
+/// The script path deliberately degrades the data: cache counters are
+/// unavailable without PMU access, exactly as inside a CCA realm, so they
+/// are reported as zero and `from_hw_counters` is false.
+#[derive(Debug, Clone)]
+pub struct ScriptCollector {
+    name: String,
+}
+
+impl ScriptCollector {
+    /// A collector running the script named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScriptCollector { name: name.into() }
+    }
+}
+
+impl Collector for ScriptCollector {
+    fn name(&self) -> String {
+        format!("script:{}", self.name)
+    }
+
+    fn collect(&self, report: &ExecutionReport) -> PerfReport {
+        PerfReport {
+            // A wallclock-only script sees time and little else.
+            instructions: 0,
+            cache_references: 0,
+            cache_misses: 0,
+            from_hw_counters: false,
+            ..report.perf
+        }
+    }
+}
+
+/// A perf-stat-style measurement harness bound to a [`Collector`].
 ///
 /// Construct with [`PerfStat::for_vm`] (auto-selects the right path for the
-/// platform, as the tool does) or [`PerfStat::with_script`] to register a
-/// custom monitoring script.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// platform, as the tool does), [`PerfStat::with_script`] for a named
+/// fallback script, or [`PerfStat::with_collector`] for any user
+/// implementation of the trait.
+#[derive(Clone)]
 pub struct PerfStat {
-    collector: Collector,
+    collector: Arc<dyn Collector>,
 }
 
 impl PerfStat {
@@ -83,56 +158,72 @@ impl PerfStat {
     /// for CCA in the paper).
     pub fn for_vm(vm: &Vm) -> Self {
         if vm.target().platform.has_perf_counters() {
-            PerfStat { collector: Collector::HardwarePerf }
+            Self::with_collector(Arc::new(HardwarePerf))
         } else {
-            PerfStat { collector: Collector::Script("cca-cycles".to_owned()) }
+            Self::with_collector(Arc::new(ScriptCollector::new("cca-cycles")))
         }
     }
 
-    /// Uses a custom monitoring script named `name` regardless of platform
-    /// (the §III-B extension point).
+    /// Uses a custom monitoring script named `name` regardless of platform.
+    /// Thin shim over [`ScriptCollector`], kept for callers predating the
+    /// [`Collector`] trait.
     pub fn with_script(name: impl Into<String>) -> Self {
-        PerfStat { collector: Collector::Script(name.into()) }
+        Self::with_collector(Arc::new(ScriptCollector::new(name)))
     }
 
-    /// Whether this collector reads hardware counters.
+    /// Uses an arbitrary [`Collector`] implementation (the §III-B extension
+    /// point).
+    pub fn with_collector(collector: Arc<dyn Collector>) -> Self {
+        PerfStat { collector }
+    }
+
+    /// Whether this harness reads hardware counters.
     pub fn is_hardware(&self) -> bool {
-        self.collector == Collector::HardwarePerf
+        self.collector.is_hardware()
+    }
+
+    /// The provenance name samples will carry.
+    pub fn collector_name(&self) -> String {
+        self.collector.name()
     }
 
     /// Executes `trace` on `vm` under measurement, returning the execution
-    /// report plus the collected sample.
-    ///
-    /// The script path deliberately degrades the data: cache counters are
-    /// unavailable without PMU access, exactly as inside a CCA realm, so
-    /// they are reported as zero and `from_hw_counters` is false.
+    /// report plus the collected sample (with no trace attached).
     pub fn measure(&self, vm: &mut Vm, trace: &OpTrace) -> (ExecutionReport, PerfSample) {
         let report = vm.execute(trace);
-        let sample = match &self.collector {
-            Collector::HardwarePerf => PerfSample {
-                collector: "perf".to_owned(),
-                report: PerfReport { from_hw_counters: true, ..report.perf },
-            },
-            Collector::Script(name) => PerfSample {
-                collector: format!("script:{name}"),
-                report: PerfReport {
-                    // A wallclock-only script sees time and little else.
-                    instructions: 0,
-                    cache_references: 0,
-                    cache_misses: 0,
-                    from_hw_counters: false,
-                    ..report.perf
-                },
-            },
-        };
-        (report, sample)
+        (report, self.sample_from(&report, None))
+    }
+
+    /// Like [`PerfStat::measure`], but records the run under a
+    /// `perf.measure` root span (timestamped on `recorder`'s clock, with the
+    /// VM's per-class cost-event children) and attaches the finished tree to
+    /// the sample.
+    pub fn measure_spanned(
+        &self,
+        vm: &mut Vm,
+        trace: &OpTrace,
+        recorder: &SpanRecorder,
+    ) -> (ExecutionReport, PerfSample) {
+        let mut root = recorder.root("perf.measure");
+        let report = vm.execute_spanned(trace, &mut root);
+        root.set_attr("vm_exits", report.perf.vm_exits);
+        root.set_attr("bounce_bytes", report.perf.bounce_bytes);
+        (report, self.sample_from(&report, Some(root.finish())))
+    }
+
+    fn sample_from(&self, report: &ExecutionReport, trace: Option<TraceSpan>) -> PerfSample {
+        PerfSample {
+            collector: self.collector.name(),
+            report: self.collector.collect(report),
+            trace,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use confbench_types::{TeePlatform, VmTarget};
+    use confbench_types::{ManualClock, TeePlatform, VmTarget};
     use confbench_vmm::TeeVmBuilder;
 
     fn trace() -> OpTrace {
@@ -155,6 +246,7 @@ mod tests {
         let vm = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Cca)).build();
         let stat = PerfStat::for_vm(&vm);
         assert!(!stat.is_hardware());
+        assert_eq!(stat.collector_name(), "script:cca-cycles");
     }
 
     #[test]
@@ -164,6 +256,7 @@ mod tests {
         assert_eq!(sample.collector, "perf");
         assert!(sample.report.cache_references > 0);
         assert!(sample.report.from_hw_counters);
+        assert_eq!(sample.trace, None, "plain measure attaches no trace");
     }
 
     #[test]
@@ -185,6 +278,53 @@ mod tests {
         let (_, sample) = PerfStat::with_script("my-probe").measure(&mut vm, &trace());
         assert_eq!(sample.collector, "script:my-probe");
         assert!(!sample.report.from_hw_counters);
+    }
+
+    /// A user-written collector: only exit counts survive.
+    struct ExitsOnly;
+
+    impl Collector for ExitsOnly {
+        fn name(&self) -> String {
+            "exits-only".to_owned()
+        }
+
+        fn collect(&self, report: &ExecutionReport) -> PerfReport {
+            PerfReport {
+                vm_exits: report.perf.vm_exits,
+                from_hw_counters: false,
+                ..PerfReport::default()
+            }
+        }
+    }
+
+    #[test]
+    fn user_collector_implementations_plug_in() {
+        let mut vm = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).build();
+        let mut t = trace();
+        t.io_write(8192);
+        let (report, sample) = PerfStat::with_collector(Arc::new(ExitsOnly)).measure(&mut vm, &t);
+        assert_eq!(sample.collector, "exits-only");
+        assert_eq!(sample.report.vm_exits, report.perf.vm_exits);
+        assert!(sample.report.vm_exits > 0);
+        assert_eq!(sample.report.instructions, 0);
+    }
+
+    #[test]
+    fn spanned_measure_attaches_the_span_tree() {
+        let clock = Arc::new(ManualClock::new());
+        let recorder = SpanRecorder::new(clock.clone());
+        let mut vm = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).build();
+        let mut t = trace();
+        t.io_write(64 * 1024);
+        clock.advance(3);
+        let (report, sample) = PerfStat::for_vm(&vm).measure_spanned(&mut vm, &t, &recorder);
+        let tree = sample.trace.expect("trace attached");
+        assert_eq!(tree.name, "perf.measure");
+        assert_eq!(tree.start_ms, 3);
+        assert_eq!(tree.attr("vm_exits"), Some(report.perf.vm_exits));
+        let copy = tree.find("swiotlb.copy").expect("swiotlb child span");
+        assert_eq!(copy.attr("bytes"), Some(report.perf.bounce_bytes));
+        assert!(tree.find("tdx.seamcall").is_some());
     }
 
     #[test]

@@ -1,12 +1,19 @@
-//! Deterministic virtual time.
+//! Deterministic virtual time, plus the injectable wall-clock abstraction.
 //!
 //! Every simulated execution in ConfBench-RS is charged in [`Cycles`] against
 //! a [`SimClock`], never in wall-clock time, so all figures regenerate
 //! bit-identically from a seed.
+//!
+//! Infrastructure components (circuit breakers, trace spans) that need a
+//! *wall* clock take it through the [`Clock`] trait instead of calling
+//! [`std::time::SystemTime`] directly, so tests drive time with
+//! [`ManualClock`] and stay deterministic.
 
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use serde::{Deserialize, Serialize};
 
@@ -166,6 +173,61 @@ impl SimClock {
     }
 }
 
+/// Monotonic-enough millisecond time source for infrastructure timing
+/// (circuit cooldowns, trace-span timestamps).
+///
+/// Injected wherever wall time is read so tests drive it with
+/// [`ManualClock`] instead of sleeping. Only differences between readings
+/// are meaningful.
+pub trait Clock: Send + Sync {
+    /// Current time in milliseconds.
+    fn now_ms(&self) -> u64;
+}
+
+/// Wall-clock [`Clock`] (the production default).
+#[derive(Debug, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+    }
+}
+
+/// Hand-driven [`Clock`] for deterministic tests.
+///
+/// # Example
+///
+/// ```
+/// use confbench_types::{Clock, ManualClock};
+///
+/// let clock = ManualClock::new();
+/// clock.advance(250);
+/// assert_eq!(clock.now_ms(), 250);
+/// ```
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ms: AtomicU64,
+}
+
+impl ManualClock {
+    /// Starts at time zero.
+    pub fn new() -> Self {
+        ManualClock { ms: AtomicU64::new(0) }
+    }
+
+    /// Advances the clock by `ms` milliseconds.
+    pub fn advance(&self, ms: u64) {
+        self.ms.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::SeqCst)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +274,23 @@ mod tests {
         c.advance(Cycles::new(u64::MAX));
         c.advance(Cycles::new(100));
         assert_eq!(c.now().get(), u64::MAX);
+    }
+
+    #[test]
+    fn manual_clock_advances_deterministically() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_ms(), 0);
+        clock.advance(10);
+        clock.advance(32);
+        assert_eq!(clock.now_ms(), 42);
+    }
+
+    #[test]
+    fn system_clock_is_sane() {
+        // Two readings a moment apart must not go backwards.
+        let clock = SystemClock;
+        let a = clock.now_ms();
+        let b = clock.now_ms();
+        assert!(b >= a);
     }
 }

@@ -32,6 +32,46 @@ pub enum Error {
     Io(std::io::Error),
 }
 
+impl Error {
+    /// Maps this error onto the REST status code the ConfBench API answers
+    /// with. One shared table — used by the gateway, by remote host agents,
+    /// and by clients translating statuses back — so local and remote
+    /// execution are indistinguishable over the wire.
+    ///
+    /// | status | errors |
+    /// |--------|--------|
+    /// | 404    | [`Error::UnknownFunction`] |
+    /// | 400    | [`Error::InvalidRequest`], [`Error::UnsupportedLanguage`] |
+    /// | 503    | [`Error::NoVmAvailable`] |
+    /// | 504    | [`Error::DeadlineExceeded`] |
+    /// | 500    | everything else |
+    pub fn rest_status(&self) -> u16 {
+        match self {
+            Error::UnknownFunction(_) => 404,
+            Error::InvalidRequest(_) | Error::UnsupportedLanguage(_) => 400,
+            Error::NoVmAvailable(_) => 503,
+            Error::DeadlineExceeded(_) => 504,
+            _ => 500,
+        }
+    }
+
+    /// Inverse of [`Error::rest_status`]: reconstructs the matching error
+    /// variant from a remote peer's status code and message body, so remote
+    /// dispatch surfaces the same typed errors a local call would. Unmapped
+    /// statuses return `None` (the caller decides how to classify them —
+    /// typically as a transport error).
+    pub fn from_rest_status(status: u16, body: impl Into<String>) -> Option<Error> {
+        let body = body.into();
+        match status {
+            404 => Some(Error::UnknownFunction(body)),
+            400 => Some(Error::InvalidRequest(body)),
+            503 => Some(Error::NoVmAvailable(body)),
+            504 => Some(Error::DeadlineExceeded(body)),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -91,5 +131,31 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn rest_status_table_is_stable() {
+        assert_eq!(Error::UnknownFunction("f".into()).rest_status(), 404);
+        assert_eq!(Error::InvalidRequest("x".into()).rest_status(), 400);
+        assert_eq!(Error::UnsupportedLanguage("cobol".into()).rest_status(), 400);
+        assert_eq!(Error::NoVmAvailable("tdx".into()).rest_status(), 503);
+        assert_eq!(Error::DeadlineExceeded("50ms".into()).rest_status(), 504);
+        assert_eq!(Error::Workload("boom".into()).rest_status(), 500);
+        assert_eq!(Error::Transport("refused".into()).rest_status(), 500);
+    }
+
+    #[test]
+    fn from_rest_status_inverts_the_mapped_codes() {
+        for e in [
+            Error::UnknownFunction("f".into()),
+            Error::InvalidRequest("x".into()),
+            Error::NoVmAvailable("tdx".into()),
+            Error::DeadlineExceeded("50ms".into()),
+        ] {
+            let back = Error::from_rest_status(e.rest_status(), "msg").unwrap();
+            assert_eq!(back.rest_status(), e.rest_status());
+        }
+        assert!(Error::from_rest_status(500, "boom").is_none());
+        assert!(Error::from_rest_status(200, "ok").is_none());
     }
 }

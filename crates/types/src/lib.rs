@@ -34,10 +34,15 @@ mod language;
 mod ops;
 mod platform;
 mod run;
+mod trace;
 
-pub use clock::{Cycles, SimClock};
+pub use clock::{Clock, Cycles, ManualClock, SimClock, SystemClock};
 pub use error::{Error, Result};
 pub use language::{Language, ParseLanguageError};
 pub use ops::{Op, OpTrace, SyscallKind};
 pub use platform::{ParsePlatformError, TeePlatform, VmKind, VmTarget};
-pub use run::{FunctionSpec, PerfReport, RunRequest, RunResult, TrialStats, WorkloadKind};
+pub use run::{
+    FunctionSpec, InvalidRunRequest, PerfReport, RunRequest, RunRequestBuilder, RunResult,
+    TrialStats, WorkloadKind,
+};
+pub use trace::TraceSpan;

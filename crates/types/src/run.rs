@@ -1,8 +1,10 @@
 //! Wire types for submitting workloads and returning results.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
-use crate::{Cycles, Language, VmTarget};
+use crate::{Cycles, Language, TraceSpan, VmTarget};
 
 /// The broad class of a workload (paper §IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -71,10 +73,118 @@ fn default_trials() -> u32 {
     1
 }
 
+/// Typed rejection from [`RunRequestBuilder::build`] (and from the
+/// gateway's entry validation of raw JSON requests).
+///
+/// Both conditions used to be accepted silently and fail — or spin — deep in
+/// the dispatch path; now they are rejected at the API boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidRunRequest {
+    /// `trials == 0`: there is nothing to measure.
+    ZeroTrials,
+    /// `deadline_ms == Some(0)`: the budget is already exhausted.
+    ZeroDeadline,
+}
+
+impl fmt::Display for InvalidRunRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidRunRequest::ZeroTrials => {
+                write!(f, "trials must be at least 1 (got 0)")
+            }
+            InvalidRunRequest::ZeroDeadline => {
+                write!(f, "deadline_ms must be positive when set (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidRunRequest {}
+
+impl From<InvalidRunRequest> for crate::Error {
+    fn from(e: InvalidRunRequest) -> Self {
+        crate::Error::InvalidRequest(e.to_string())
+    }
+}
+
+/// Validating builder for [`RunRequest`] (see [`RunRequest::builder`]).
+#[derive(Debug, Clone)]
+pub struct RunRequestBuilder {
+    request: RunRequest,
+}
+
+impl RunRequestBuilder {
+    /// Sets the trial count (validated at [`build`](Self::build) time).
+    pub fn trials(mut self, n: u32) -> Self {
+        self.request.trials = n;
+        self
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.request.seed = seed;
+        self
+    }
+
+    /// Sets the end-to-end deadline in milliseconds (validated at
+    /// [`build`](Self::build) time).
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.request.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Validates and returns the request.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidRunRequest::ZeroTrials`] when `trials == 0`;
+    /// [`InvalidRunRequest::ZeroDeadline`] when a zero deadline was set.
+    pub fn build(self) -> Result<RunRequest, InvalidRunRequest> {
+        self.request.validate()?;
+        Ok(self.request)
+    }
+}
+
 impl RunRequest {
     /// Creates a single-trial request with seed 0 and no deadline.
     pub fn new(function: FunctionSpec, target: VmTarget) -> Self {
         RunRequest { function, target, trials: 1, seed: 0, deadline_ms: None }
+    }
+
+    /// Starts a validating builder (rejects `trials == 0` and a zero
+    /// deadline at build time instead of deep in the gateway).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use confbench_types::{FunctionSpec, InvalidRunRequest, Language, RunRequest, TeePlatform,
+    ///                       VmTarget};
+    ///
+    /// let spec = FunctionSpec::new("fib", Language::Go);
+    /// let target = VmTarget::secure(TeePlatform::Tdx);
+    /// let req = RunRequest::builder(spec.clone(), target).trials(10).build().unwrap();
+    /// assert_eq!(req.trials, 10);
+    /// let err = RunRequest::builder(spec, target).trials(0).build().unwrap_err();
+    /// assert_eq!(err, InvalidRunRequest::ZeroTrials);
+    /// ```
+    pub fn builder(function: FunctionSpec, target: VmTarget) -> RunRequestBuilder {
+        RunRequestBuilder { request: RunRequest::new(function, target) }
+    }
+
+    /// Checks the invariants the builder enforces — used by the gateway on
+    /// requests that arrived as raw JSON and therefore bypassed the builder.
+    ///
+    /// # Errors
+    ///
+    /// As [`RunRequestBuilder::build`].
+    pub fn validate(&self) -> Result<(), InvalidRunRequest> {
+        if self.trials == 0 {
+            return Err(InvalidRunRequest::ZeroTrials);
+        }
+        if self.deadline_ms == Some(0) {
+            return Err(InvalidRunRequest::ZeroDeadline);
+        }
+        Ok(())
     }
 
     /// Sets the trial count, builder-style.
@@ -113,6 +223,11 @@ pub struct PerfReport {
     pub vm_exits: u64,
     /// Guest page faults taken (stage-2 / nested faults included).
     pub page_faults: u64,
+    /// Bytes staged through the confidential-I/O bounce pool (0 in normal
+    /// VMs and with direct DMA). Surfaced so I/O cost attribution does not
+    /// require parsing the span tree.
+    #[serde(default)]
+    pub bounce_bytes: u64,
     /// Whether the numbers came from the perf-counter path (`true`) or the
     /// custom-script fallback used where counters are unavailable, e.g. CCA
     /// realms (`false`).
@@ -164,6 +279,11 @@ pub struct RunResult {
     pub perf: PerfReport,
     /// Function output (workload-specific, used to validate correctness).
     pub output: String,
+    /// Trace-span tree for the measured trial, when tracing was enabled:
+    /// the gateway's root span with host/VM cost-class children nested
+    /// underneath. Round-trips remote dispatch; absent from old peers.
+    #[serde(default)]
+    pub trace: Option<TraceSpan>,
 }
 
 impl RunResult {
@@ -257,6 +377,65 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn stats_empty_panics() {
         let _ = RunResult::compute_stats(&[]);
+    }
+
+    #[test]
+    fn builder_rejects_zero_trials_and_zero_deadline() {
+        let spec = FunctionSpec::new("fib", Language::Go);
+        let target = VmTarget::secure(TeePlatform::Tdx);
+        let err = RunRequest::builder(spec.clone(), target).trials(0).build().unwrap_err();
+        assert_eq!(err, InvalidRunRequest::ZeroTrials);
+        let err = RunRequest::builder(spec.clone(), target).deadline_ms(0).build().unwrap_err();
+        assert_eq!(err, InvalidRunRequest::ZeroDeadline);
+        let ok = RunRequest::builder(spec, target).trials(10).deadline_ms(500).build().unwrap();
+        assert_eq!(ok.trials, 10);
+        assert_eq!(ok.deadline_ms, Some(500));
+        ok.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_request_converts_to_workspace_error() {
+        let e: crate::Error = InvalidRunRequest::ZeroTrials.into();
+        assert!(matches!(e, crate::Error::InvalidRequest(_)));
+        assert_eq!(e.rest_status(), 400);
+    }
+
+    #[test]
+    fn result_trace_defaults_to_none_on_old_wire_data() {
+        // A result serialized by a pre-observability peer has no trace key.
+        let json = r#"{"function":"fib","language":"go",
+                       "target":{"platform":"tdx","kind":"secure"},
+                       "trial_ms":[1.0],"trial_cycles":[100],
+                       "stats":{"mean_ms":1.0,"min_ms":1.0,"max_ms":1.0,"stddev_ms":0.0},
+                       "perf":{"instructions":1,"cycles":100,"cache_references":0,
+                               "cache_misses":0,"vm_exits":0,"page_faults":0,
+                               "from_hw_counters":true},
+                       "output":"1"}"#;
+        let r: RunResult = serde_json::from_str(json).unwrap();
+        assert!(r.trace.is_none());
+        assert_eq!(r.perf.bounce_bytes, 0);
+    }
+
+    #[test]
+    fn result_trace_roundtrips() {
+        let mut span = TraceSpan::new("gateway.run", 3);
+        span.end_ms = 9;
+        span.set_attr("vm_exits", 12);
+        let r = RunResult {
+            function: "fib".into(),
+            language: Language::Go,
+            target: VmTarget::secure(TeePlatform::Tdx),
+            trial_ms: vec![1.0],
+            trial_cycles: vec![Cycles::new(100)],
+            stats: RunResult::compute_stats(&[1.0]),
+            perf: PerfReport::default(),
+            output: "1".into(),
+            trace: Some(span),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.trace.unwrap().attr("vm_exits"), Some(12));
     }
 
     #[test]

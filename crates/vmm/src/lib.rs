@@ -50,4 +50,4 @@ pub use cost::CostModel;
 pub use host::{ContentionModel, SharedHost};
 pub use snp::{AmdSp, SnpError, SnpPhase, SnpReport};
 pub use tdx::{TdId, TdPhase, TdReport, TdxError, TdxModule};
-pub use vm::{ExecutionReport, TeeVmBuilder, Vm};
+pub use vm::{CostEvents, ExecutionReport, TeeVmBuilder, Vm};

@@ -4,6 +4,7 @@
 
 use confbench_crypto::SplitMix64;
 use confbench_memsim::{pages_for, PageNum, Swiotlb};
+use confbench_obs::ActiveSpan;
 use confbench_types::{
     Cycles, Op, OpTrace, PerfReport, SimClock, SyscallKind, TeePlatform, VmKind, VmTarget,
 };
@@ -34,6 +35,36 @@ pub struct ExecutionReport {
     pub wall_ms: f64,
     /// Perf counters for the run.
     pub perf: PerfReport,
+    /// Per-class cost-event breakdown (what [`Vm::execute_spanned`] turns
+    /// into child trace spans).
+    pub events: CostEvents,
+}
+
+/// Per-class breakdown of the TEE cost events charged during one execution.
+///
+/// Counts are exact; the `*_cycles` figures are the raw charges from the
+/// cost tables — *before* the per-trial jitter and FVP simulation
+/// multiplier — so they decompose the mechanism, not the jittered total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostEvents {
+    /// World switches to the host (SEAMCALL / GHCB exit / RMM hop / VMEXIT).
+    pub exits: u64,
+    /// Cycles charged at `exit_cost` for those switches.
+    pub exit_cycles: u64,
+    /// Fresh pages faulted in (accept / validate / delegate candidates).
+    pub fresh_pages: u64,
+    /// Cycles charged for fresh-page fault + TEE acceptance work.
+    pub page_cycles: u64,
+    /// Bytes staged through the swiotlb bounce pool.
+    pub bounce_bytes: u64,
+    /// Bounce-pool slots consumed.
+    pub bounce_slots: u64,
+    /// Cycles charged for bounce copies and slot bookkeeping.
+    pub bounce_cycles: u64,
+    /// Guest syscalls executed.
+    pub syscalls: u64,
+    /// Cycles charged for in-guest syscall work.
+    pub syscall_cycles: u64,
 }
 
 /// Builder for a [`Vm`].
@@ -277,6 +308,15 @@ impl Vm {
         let mut cache_refs = 0u64;
         let mut cache_misses = 0u64;
         let mut device_ns = 0u64;
+        // Per-class cost-event tallies (pre-jitter, pre-multiplier).
+        let mut exit_cycles = 0.0f64;
+        let mut fresh_pages = 0u64;
+        let mut page_cycles = 0.0f64;
+        let mut bounce_bytes = 0u64;
+        let mut bounce_slots = 0u64;
+        let mut bounce_cycles = 0.0f64;
+        let mut syscalls = 0u64;
+        let mut syscall_cycles = 0.0f64;
 
         for op in trace {
             match *op {
@@ -316,8 +356,11 @@ impl Vm {
                     let fresh = fresh.min(pages);
                     let reused = pages - fresh;
                     self.high_water_pages = self.high_water_pages.max(total);
-                    cycles += fresh as f64 * (self.cost.alloc_page + self.cost.alloc_fresh_extra)
-                        + reused as f64 * self.cost.alloc_reuse_page;
+                    let fresh_cost =
+                        fresh as f64 * (self.cost.alloc_page + self.cost.alloc_fresh_extra);
+                    cycles += fresh_cost + reused as f64 * self.cost.alloc_reuse_page;
+                    fresh_pages += fresh;
+                    page_cycles += fresh_cost;
                     faults += fresh;
                     if self.target.kind == VmKind::Secure {
                         // Fresh secure pages exit to the host for mapping.
@@ -338,13 +381,19 @@ impl Vm {
                         SyscallKind::DirOp | SyscallKind::FileMeta => 2.0,
                         _ => 1.0,
                     };
-                    cycles += count as f64 * self.cost.syscall_guest * mult;
+                    let sys_cost = count as f64 * self.cost.syscall_guest * mult;
+                    cycles += sys_cost;
+                    syscalls += count;
+                    syscall_cycles += sys_cost;
                     if kind == SyscallKind::Spawn {
                         // Process creation touches fresh address-space pages.
                         let pages = 48 * count;
-                        cycles += pages as f64
+                        let page_cost = pages as f64
                             * (self.cost.alloc_page + self.cost.alloc_fresh_extra)
                             * 0.5; // half are COW-shared
+                        cycles += page_cost;
+                        fresh_pages += pages;
+                        page_cycles += page_cost;
                         faults += pages;
                         if self.target.kind == VmKind::Secure {
                             exits += pages / 2;
@@ -355,20 +404,27 @@ impl Vm {
                     cycles += bytes as f64 * self.cost.io_byte;
                     if self.target.kind == VmKind::Secure && self.cost.bounce_copy_byte > 0.0 {
                         let stats = self.swiotlb.transfer(bytes);
-                        cycles += stats.bytes_copied as f64 * self.cost.bounce_copy_byte
+                        let stage_cost = stats.bytes_copied as f64 * self.cost.bounce_copy_byte
                             + stats.slots_used as f64 * self.cost.bounce_slot;
+                        cycles += stage_cost;
+                        bounce_bytes += stats.bytes_copied;
+                        bounce_slots += stats.slots_used;
+                        bounce_cycles += stage_cost;
                         let doorbells =
                             stats.slots_used.div_ceil(self.cost.io_slots_per_exit).max(1);
                         cycles += doorbells as f64 * self.cost.exit_cost;
+                        exit_cycles += doorbells as f64 * self.cost.exit_cost;
                         exits += doorbells;
                     } else {
                         // One virtio kick per request.
                         cycles += self.cost.exit_cost;
+                        exit_cycles += self.cost.exit_cost;
                         exits += 1;
                     }
                 }
                 Op::CtxSwitch(n) => {
                     cycles += n as f64 * (self.cost.ctx_switch + self.cost.exit_cost);
+                    exit_cycles += n as f64 * self.cost.exit_cost;
                     exits += n;
                 }
                 Op::PageCycle(bytes) => {
@@ -377,10 +433,13 @@ impl Vm {
                     // price every time, TEE or not the clear, plus TEE
                     // acceptance and one exit per page in a secure VM.
                     let pages = pages_for(bytes);
-                    cycles += pages as f64
+                    let refault_cost = pages as f64
                         * (self.cost.free_page
                             + self.cost.alloc_page
                             + self.cost.alloc_fresh_extra);
+                    cycles += refault_cost;
+                    fresh_pages += pages;
+                    page_cycles += refault_cost;
                     faults += pages;
                     if self.target.kind == VmKind::Secure {
                         exits += pages;
@@ -392,12 +451,14 @@ impl Vm {
                     // Completion interrupt wakes the guest: one exit round
                     // trip plus scheduler work, charged as compute.
                     cycles += self.cost.exit_cost + self.cost.ctx_switch;
+                    exit_cycles += self.cost.exit_cost;
                     exits += 1;
                 }
                 Op::Log(bytes) => {
                     cycles += bytes as f64 * self.cost.log_byte;
                     let flushes = bytes.div_ceil(self.cost.log_flush_bytes).max(1);
                     cycles += flushes as f64 * self.cost.exit_cost;
+                    exit_cycles += flushes as f64 * self.cost.exit_cost;
                     exits += flushes;
                 }
             }
@@ -423,14 +484,90 @@ impl Vm {
             cache_misses,
             vm_exits: exits,
             page_faults: faults,
+            bounce_bytes,
             from_hw_counters: self.target.platform.has_perf_counters(),
+        };
+        let events = CostEvents {
+            exits,
+            exit_cycles: exit_cycles.round() as u64,
+            fresh_pages,
+            page_cycles: page_cycles.round() as u64,
+            bounce_bytes,
+            bounce_slots,
+            bounce_cycles: bounce_cycles.round() as u64,
+            syscalls,
+            syscall_cycles: syscall_cycles.round() as u64,
         };
         ExecutionReport {
             target: self.target,
             cycles,
             wall_ms: cycles.as_millis(self.target.platform.host_freq_ghz()),
             perf,
+            events,
         }
+    }
+
+    /// The platform-specific name for the world-switch cost class.
+    fn exit_span_name(&self) -> &'static str {
+        if self.target.kind == VmKind::Normal {
+            return "vmexit";
+        }
+        match self.target.platform {
+            TeePlatform::Tdx => "tdx.seamcall",
+            TeePlatform::SevSnp => "snp.ghcb-exit",
+            TeePlatform::Cca => "cca.rmm-exit",
+        }
+    }
+
+    /// The platform-specific name for the fresh-page mechanism cost class.
+    fn page_span_name(&self) -> &'static str {
+        match self.target.platform {
+            TeePlatform::Tdx => "tdx.page-accept",
+            TeePlatform::SevSnp => "snp.rmp-validate",
+            TeePlatform::Cca => "cca.rmm-delegate",
+        }
+    }
+
+    /// Executes a trace like [`Vm::execute`], additionally attaching one
+    /// child span per *nonzero* cost-event class under `parent`:
+    ///
+    /// * world switches — `tdx.seamcall` / `snp.ghcb-exit` / `cca.rmm-exit`
+    ///   (or `vmexit` in a normal VM), attrs `count` (== `perf.vm_exits`)
+    ///   and `cycles`;
+    /// * fresh-page mechanism (secure VMs only) — `tdx.page-accept` /
+    ///   `snp.rmp-validate` / `cca.rmm-delegate`, attrs `pages`, `cycles`;
+    /// * bounce-buffer staging — `swiotlb.copy`, attrs `bytes`
+    ///   (== `perf.bounce_bytes`), `slots`, `cycles`;
+    /// * in-guest syscall work — `guest.syscall`, attrs `count`, `cycles`.
+    pub fn execute_spanned(&mut self, trace: &OpTrace, parent: &mut ActiveSpan) -> ExecutionReport {
+        let report = self.execute(trace);
+        let ev = report.events;
+        if ev.exits > 0 {
+            let mut s = parent.child(self.exit_span_name());
+            s.set_attr("count", ev.exits);
+            s.set_attr("cycles", ev.exit_cycles);
+            parent.finish_child(s);
+        }
+        if self.target.kind == VmKind::Secure && ev.fresh_pages > 0 {
+            let mut s = parent.child(self.page_span_name());
+            s.set_attr("pages", ev.fresh_pages);
+            s.set_attr("cycles", ev.page_cycles);
+            parent.finish_child(s);
+        }
+        if ev.bounce_bytes > 0 {
+            let mut s = parent.child("swiotlb.copy");
+            s.set_attr("bytes", ev.bounce_bytes);
+            s.set_attr("slots", ev.bounce_slots);
+            s.set_attr("cycles", ev.bounce_cycles);
+            parent.finish_child(s);
+        }
+        if ev.syscalls > 0 {
+            let mut s = parent.child("guest.syscall");
+            s.set_attr("count", ev.syscalls);
+            s.set_attr("cycles", ev.syscall_cycles);
+            parent.finish_child(s);
+        }
+        report
     }
 
     /// Runs `trials` independent executions of the same trace.
@@ -469,5 +606,92 @@ impl Vm {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confbench_obs::SpanRecorder;
+    use confbench_types::ManualClock;
+    use std::sync::Arc;
+
+    fn io_heavy_trace() -> OpTrace {
+        let mut t = OpTrace::new();
+        t.cpu(10_000);
+        t.alloc(1 << 20);
+        t.syscall(SyscallKind::FileRead, 32);
+        t.io_write(256 * 1024);
+        t
+    }
+
+    #[test]
+    fn events_mirror_perf_counters() {
+        let mut vm = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).build();
+        let r = vm.execute(&io_heavy_trace());
+        assert_eq!(r.events.exits, r.perf.vm_exits);
+        assert_eq!(r.events.bounce_bytes, r.perf.bounce_bytes);
+        assert!(r.events.bounce_bytes >= 256 * 1024, "whole transfer staged");
+        assert!(r.events.fresh_pages >= 256, "1 MiB alloc faults 256 fresh pages");
+        assert_eq!(r.events.syscalls, 32);
+        assert!(r.events.exit_cycles > 0 && r.events.page_cycles > 0);
+    }
+
+    #[test]
+    fn normal_vm_has_no_bounce_events() {
+        let mut vm = TeeVmBuilder::new(VmTarget::normal(TeePlatform::Tdx)).build();
+        let r = vm.execute(&io_heavy_trace());
+        assert_eq!(r.events.bounce_bytes, 0);
+        assert_eq!(r.perf.bounce_bytes, 0);
+        assert!(r.events.exits > 0, "virtio kicks still exit");
+    }
+
+    #[test]
+    fn spanned_execution_emits_platform_named_children() {
+        let clock = Arc::new(ManualClock::new());
+        let rec = SpanRecorder::new(clock);
+        for (platform, exit_name, page_name) in [
+            (TeePlatform::Tdx, "tdx.seamcall", "tdx.page-accept"),
+            (TeePlatform::SevSnp, "snp.ghcb-exit", "snp.rmp-validate"),
+            (TeePlatform::Cca, "cca.rmm-exit", "cca.rmm-delegate"),
+        ] {
+            let mut vm = TeeVmBuilder::new(VmTarget::secure(platform)).build();
+            let mut root = rec.root("vm.execute");
+            let r = vm.execute_spanned(&io_heavy_trace(), &mut root);
+            let tree = root.finish();
+            let exit = tree.find(exit_name).unwrap_or_else(|| panic!("{exit_name} span"));
+            assert_eq!(exit.attr("count"), Some(r.perf.vm_exits));
+            let pages = tree.find(page_name).unwrap_or_else(|| panic!("{page_name} span"));
+            assert_eq!(pages.attr("pages"), Some(r.events.fresh_pages));
+            let swiotlb = tree.find("swiotlb.copy").expect("swiotlb span");
+            assert_eq!(swiotlb.attr("bytes"), Some(r.perf.bounce_bytes));
+            let sys = tree.find("guest.syscall").expect("syscall span");
+            assert_eq!(sys.attr("count"), Some(32));
+        }
+    }
+
+    #[test]
+    fn spanned_execution_in_normal_vm_uses_generic_exit_name() {
+        let rec = SpanRecorder::new(Arc::new(ManualClock::new()));
+        let mut vm = TeeVmBuilder::new(VmTarget::normal(TeePlatform::SevSnp)).build();
+        let mut root = rec.root("vm.execute");
+        vm.execute_spanned(&io_heavy_trace(), &mut root);
+        let tree = root.finish();
+        assert!(tree.find("vmexit").is_some());
+        assert!(tree.find("snp.ghcb-exit").is_none());
+        assert!(tree.find("snp.rmp-validate").is_none(), "no page mechanism in a normal VM");
+        assert!(tree.find("swiotlb.copy").is_none(), "no staging in a normal VM");
+    }
+
+    #[test]
+    fn spanned_and_plain_execution_charge_identically() {
+        let rec = SpanRecorder::new(Arc::new(ManualClock::new()));
+        let mut a = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).seed(7).build();
+        let mut b = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).seed(7).build();
+        let trace = io_heavy_trace();
+        let ra = a.execute(&trace);
+        let mut root = rec.root("vm.execute");
+        let rb = b.execute_spanned(&trace, &mut root);
+        assert_eq!(ra, rb, "instrumentation must not perturb the simulation");
     }
 }

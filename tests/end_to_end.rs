@@ -30,16 +30,19 @@ fn gateway_rest_api_full_lifecycle() {
     let server = Arc::clone(&gateway).serve().unwrap();
     let client = Client::new(server.addr());
 
-    // Health.
-    assert_eq!(client.send(&Request::new(Method::Get, "/health")).unwrap().status, 200);
+    // Health, canonical and legacy (the latter flagged deprecated).
+    assert_eq!(client.send(&Request::new(Method::Get, "/v1/health")).unwrap().status, 200);
+    let legacy = client.send(&Request::new(Method::Get, "/health")).unwrap();
+    assert_eq!(legacy.status, 200);
+    assert_eq!(legacy.headers.get("deprecation").map(String::as_str), Some("true"));
 
     // The 25 built-in functions are listed.
     let names: Vec<String> =
-        client.send(&Request::new(Method::Get, "/functions")).unwrap().body_json().unwrap();
+        client.send(&Request::new(Method::Get, "/v1/functions")).unwrap().body_json().unwrap();
     assert_eq!(names.len(), 25);
 
     // Upload a new one and run it in three languages on both platforms.
-    let upload = Request::new(Method::Post, "/functions").json(&UploadRequest {
+    let upload = Request::new(Method::Post, "/v1/functions").json(&UploadRequest {
         name: "gcd".into(),
         script: "fn gcd(a, b) { if b == 0 { return a; } return gcd(b, a % b); }
                  result(gcd(int(ARGS[0]), int(ARGS[1])));"
@@ -51,7 +54,7 @@ fn gateway_rest_api_full_lifecycle() {
         for platform in [TeePlatform::Tdx, TeePlatform::SevSnp] {
             let mut req = run_request("gcd", language, VmTarget::secure(platform), 2);
             req.function.args = vec!["1071".into(), "462".into()];
-            let resp = client.send(&Request::new(Method::Post, "/run").json(&req)).unwrap();
+            let resp = client.send(&Request::new(Method::Post, "/v1/run").json(&req)).unwrap();
             assert_eq!(resp.status, 200);
             let result: RunResult = resp.body_json().unwrap();
             assert_eq!(result.output, "21", "{language} on {platform}");

@@ -44,7 +44,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Runs `routine` [`ITERS`] times, accumulating wall time.
+    /// Runs `routine` a fixed number of times, accumulating wall time.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         let start = Instant::now();
         for _ in 0..ITERS {

@@ -10,6 +10,7 @@
 //! | Fig. 6 (TDX & SEV-SNP FaaS heatmap)               | [`heatmap::run`] | `fig6_heatmap` |
 //! | Fig. 7 (CCA FaaS heatmap)                         | [`heatmap::run`] | `fig7_cca_heatmap` |
 //! | Fig. 8 (CCA distributions, box-and-whiskers)      | [`fig8::run`] | `fig8_cca_box` |
+//! | Fig. 6 via the campaign scheduler (cold vs memoized) | [`campaign::run`] | `campaign_fig6` |
 //! | Design-choice ablations (DESIGN.md §5)            | [`ablations`] | `ablations` |
 //!
 //! All drivers are deterministic in the seed; `Scale::Quick` shrinks
@@ -180,6 +181,7 @@ pub fn heatmap_quick_args(name: &str) -> Vec<String> {
 }
 
 pub mod ablations;
+pub mod campaign;
 pub mod colocation;
 pub mod dbms;
 pub mod fig3;

@@ -6,6 +6,11 @@
 //! confbench-cli [--gateway ADDR] run FUNCTION [--lang L] [--tee P]
 //!               [--normal] [--trials N] [--seed N] [--args A,B,...]
 //! confbench-cli [--gateway ADDR] compare FUNCTION [--lang L] [--trials N]
+//! confbench-cli [--gateway ADDR] campaign submit --functions F[:ARG...],...
+//!               [--langs L,...] [--tees P,...] [--modes secure,normal]
+//!               [--trials N] [--seed N] [--priority low|normal|high]
+//!               [--deadline-ms N] [--wait]
+//! confbench-cli [--gateway ADDR] campaign status|cancel|wait ID
 //! ```
 
 use std::process::ExitCode;
@@ -13,7 +18,8 @@ use std::process::ExitCode;
 use confbench::UploadRequest;
 use confbench_httpd::{Client, Method, Request};
 use confbench_types::{
-    FunctionSpec, Language, RunRequest, RunResult, TeePlatform, VmKind, VmTarget,
+    CampaignFunction, CampaignReceipt, CampaignSpec, CampaignStatus, FunctionSpec, Language,
+    Priority, RunRequest, RunResult, TeePlatform, VmKind, VmTarget,
 };
 
 fn main() -> ExitCode {
@@ -44,7 +50,7 @@ impl Cli {
     fn next_positional(&mut self) -> Option<String> {
         // Flags that take no value; every other --flag consumes the next
         // token as its value.
-        const BOOLEAN_FLAGS: [&str; 1] = ["--normal"];
+        const BOOLEAN_FLAGS: [&str; 2] = ["--normal", "--wait"];
         while self.pos < self.args.len() {
             let current = self.pos;
             self.pos += 1;
@@ -65,8 +71,12 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
         println!(
-            "usage: confbench-cli [--gateway ADDR] <list|upload NAME FILE|run FN|compare FN>\n\
-             run/compare flags: --lang LANG --tee PLATFORM --normal --trials N --seed N --args A,B"
+            "usage: confbench-cli [--gateway ADDR] <list|upload NAME FILE|run FN|compare FN|campaign ...>\n\
+             run/compare flags: --lang LANG --tee PLATFORM --normal --trials N --seed N --args A,B\n\
+             campaign submit --functions F[:ARG...],... [--langs L,..] [--tees P,..]\n\
+             \x20        [--modes secure,normal] [--trials N] [--seed N]\n\
+             \x20        [--priority low|normal|high] [--deadline-ms N] [--wait]\n\
+             campaign status|cancel|wait ID"
         );
         return Ok(());
     }
@@ -93,6 +103,27 @@ fn run() -> Result<(), String> {
         "compare" => {
             let function = cli.next_positional().ok_or("compare needs FUNCTION")?;
             compare(&cli, &function)
+        }
+        "campaign" => {
+            let action = cli.next_positional().ok_or("campaign needs submit|status|cancel|wait")?;
+            match action.as_str() {
+                "submit" => campaign_submit(&cli),
+                "status" => {
+                    let id = cli.next_positional().ok_or("campaign status needs ID")?;
+                    print_campaign(&campaign_status(&cli, &id)?);
+                    Ok(())
+                }
+                "cancel" => {
+                    let id = cli.next_positional().ok_or("campaign cancel needs ID")?;
+                    campaign_cancel(&cli, &id)
+                }
+                "wait" => {
+                    let id = cli.next_positional().ok_or("campaign wait needs ID")?;
+                    print_campaign(&campaign_wait(&cli, &id)?);
+                    Ok(())
+                }
+                other => Err(format!("unknown campaign action {other} (try --help)")),
+            }
         }
         other => Err(format!("unknown command {other} (try --help)")),
     }
@@ -195,6 +226,173 @@ fn print_result(result: &RunResult) {
         result.perf.vm_exits,
         if result.perf.from_hw_counters { "perf stat" } else { "custom script" },
     );
+}
+
+/// Parses `--functions fib:10,factors:360360` into campaign entries
+/// (colon-separated: name, then positional arguments).
+fn parse_functions(raw: &str) -> Result<Vec<CampaignFunction>, String> {
+    raw.split(',')
+        .map(|entry| {
+            let mut parts = entry.split(':');
+            let name = parts.next().filter(|n| !n.is_empty()).ok_or_else(|| {
+                format!("bad --functions entry {entry:?}: want NAME[:ARG[:ARG...]]")
+            })?;
+            let mut function = CampaignFunction::new(name);
+            function.args = parts.map(str::to_owned).collect();
+            Ok(function)
+        })
+        .collect()
+}
+
+fn parse_list<T: std::str::FromStr>(raw: &str, what: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.split(',').map(|p| p.parse().map_err(|e| format!("bad {what} {p:?}: {e}"))).collect()
+}
+
+fn campaign_submit(cli: &Cli) -> Result<(), String> {
+    let functions = parse_functions(
+        &cli.flag_value("--functions").ok_or("campaign submit needs --functions")?,
+    )?;
+    let languages = parse_list(&cli.flag_value("--langs").unwrap_or_else(|| "lua".into()), "lang")?;
+    let platforms = parse_list(&cli.flag_value("--tees").unwrap_or_else(|| "tdx".into()), "tee")?;
+    let modes = cli
+        .flag_value("--modes")
+        .unwrap_or_else(|| "secure,normal".into())
+        .split(',')
+        .map(|m| match m {
+            "secure" => Ok(VmKind::Secure),
+            "normal" => Ok(VmKind::Normal),
+            other => Err(format!("bad mode {other:?}: want secure or normal")),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let priority = match cli.flag_value("--priority").as_deref() {
+        None | Some("normal") => Priority::Normal,
+        Some("low") => Priority::Low,
+        Some("high") => Priority::High,
+        Some(other) => return Err(format!("bad priority {other:?}: want low, normal, or high")),
+    };
+    let spec = CampaignSpec {
+        functions,
+        languages,
+        platforms,
+        modes,
+        trials: cli
+            .flag_value("--trials")
+            .map(|v| v.parse().map_err(|e| format!("bad trials: {e}")))
+            .transpose()?
+            .unwrap_or(10),
+        seed: cli
+            .flag_value("--seed")
+            .map(|v| v.parse().map_err(|e| format!("bad seed: {e}")))
+            .transpose()?
+            .unwrap_or(0),
+        priority,
+        deadline_ms: cli
+            .flag_value("--deadline-ms")
+            .map(|v| v.parse().map_err(|e| format!("bad deadline: {e}")))
+            .transpose()?,
+    };
+
+    let resp = cli
+        .client
+        .send(&Request::new(Method::Post, "/v1/campaigns").json(&spec))
+        .map_err(|e| format!("request failed: {e}"))?;
+    if resp.status != 202 {
+        let hint = resp
+            .headers
+            .get("retry-after")
+            .map(|s| format!(" (retry after {s}s)"))
+            .unwrap_or_default();
+        return Err(format!(
+            "gateway said {}: {}{hint}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    let receipt: CampaignReceipt = resp.body_json().map_err(|e| format!("bad response: {e}"))?;
+    println!("campaign {} accepted: {} jobs", receipt.id, receipt.jobs);
+    if cli.has_flag("--wait") {
+        print_campaign(&campaign_wait(cli, &receipt.id.0)?);
+    }
+    Ok(())
+}
+
+fn campaign_status(cli: &Cli, id: &str) -> Result<CampaignStatus, String> {
+    let resp = cli
+        .client
+        .send(&Request::new(Method::Get, &format!("/v1/campaigns/{id}")))
+        .map_err(|e| format!("request failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "gateway said {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    resp.body_json().map_err(|e| format!("bad response: {e}"))
+}
+
+fn campaign_cancel(cli: &Cli, id: &str) -> Result<(), String> {
+    let resp = cli
+        .client
+        .send(&Request::new(Method::Delete, &format!("/v1/campaigns/{id}")))
+        .map_err(|e| format!("request failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "gateway said {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    let status: CampaignStatus = resp.body_json().map_err(|e| format!("bad response: {e}"))?;
+    println!("campaign {id} cancelled ({} jobs never ran)", status.cancelled);
+    Ok(())
+}
+
+fn campaign_wait(cli: &Cli, id: &str) -> Result<CampaignStatus, String> {
+    loop {
+        let status = campaign_status(cli, id)?;
+        if status.is_done() {
+            return Ok(status);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+}
+
+fn print_campaign(status: &CampaignStatus) {
+    println!(
+        "campaign {}: {} ({}/{} done — {} completed, {} failed, {} cancelled, {} expired; {} cache hits)",
+        status.id,
+        status.state,
+        status.terminal_jobs(),
+        status.total_jobs,
+        status.completed,
+        status.failed,
+        status.cancelled,
+        status.expired,
+        status.cache_hits,
+    );
+    if status.cells.is_empty() {
+        return;
+    }
+    println!(
+        "{:<14} {:<8} {:<8} {:<7} {:>12} {:>12} {:>7}",
+        "function", "lang", "tee", "mode", "mean ms", "stddev ms", "cached"
+    );
+    for cell in &status.cells {
+        println!(
+            "{:<14} {:<8} {:<8} {:<7} {:>12.4} {:>12.4} {:>7}",
+            cell.cell.function.name,
+            cell.cell.language.to_string(),
+            cell.cell.platform.to_string(),
+            cell.cell.kind.to_string(),
+            cell.mean_ms,
+            cell.stddev_ms,
+            if cell.from_cache { "yes" } else { "no" },
+        );
+    }
 }
 
 fn compare(cli: &Cli, function: &str) -> Result<(), String> {

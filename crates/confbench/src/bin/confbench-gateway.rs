@@ -6,12 +6,14 @@
 //! confbench-gateway [--listen ADDR] [--platforms tdx,sev-snp,cca]
 //!                   [--seed N] [--policy round-robin|least-loaded]
 //!                   [--remote-host PLATFORM=ADDR]...
+//!                   [--queue-capacity N] [--workers N]
 //! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use confbench::{BalancePolicy, Gateway};
+use confbench::{BalancePolicy, Gateway, SystemClock};
+use confbench_sched::{Scheduler, SchedulerConfig};
 use confbench_types::TeePlatform;
 
 fn main() -> ExitCode {
@@ -31,6 +33,8 @@ fn run() -> Result<(), String> {
     let mut seed = 0u64;
     let mut policy = BalancePolicy::RoundRobin;
     let mut remote_hosts: Vec<(TeePlatform, std::net::SocketAddr)> = Vec::new();
+    let mut queue_capacity = SchedulerConfig::default().queue_capacity;
+    let mut workers = 1usize;
 
     let mut i = 0;
     while i < args.len() {
@@ -67,11 +71,28 @@ fn run() -> Result<(), String> {
                     addr.parse().map_err(|e| format!("bad address {addr}: {e}"))?,
                 ));
             }
+            "--queue-capacity" => {
+                queue_capacity = take_value(&args, &mut i, "--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad queue capacity: {e}"))?;
+                if queue_capacity == 0 {
+                    return Err("--queue-capacity must be at least 1".into());
+                }
+            }
+            "--workers" => {
+                workers = take_value(&args, &mut i, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: confbench-gateway [--listen ADDR] [--platforms LIST] [--seed N]\n\
                      \x20                        [--policy round-robin|least-loaded]\n\
-                     \x20                        [--remote-host PLATFORM=ADDR]..."
+                     \x20                        [--remote-host PLATFORM=ADDR]...\n\
+                     \x20                        [--queue-capacity N] [--workers N]"
                 );
                 return Ok(());
             }
@@ -90,15 +111,32 @@ fn run() -> Result<(), String> {
         builder = builder.remote_host(platform, addr);
     }
     let gateway = Arc::new(builder.build());
-    let server =
-        gateway.serve_on(&listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    let config = SchedulerConfig {
+        queue_capacity,
+        retry_after_secs: gateway.retry_policy().retry_after_secs(),
+    };
+    let sched = Arc::new(Scheduler::with_metrics(
+        Arc::clone(&gateway) as Arc<dyn confbench_sched::Executor>,
+        Arc::new(SystemClock),
+        config,
+        Arc::clone(gateway.metrics()),
+    ));
+    sched.spawn_workers(workers);
+    let server = Arc::clone(&gateway)
+        .serve_with_scheduler(Arc::clone(&sched), &listen)
+        .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
     println!("confbench gateway listening on http://{}", server.addr());
-    println!("  POST /v1/run        run a function (JSON RunRequest)");
-    println!("  POST /v1/functions  upload CBScript source");
-    println!("  GET  /v1/functions  list registered functions");
-    println!("  GET  /v1/metrics    counters + histograms (?format=json for JSON)");
-    println!("  GET  /v1/health     liveness");
+    println!("  POST /v1/run            run a function (JSON RunRequest)");
+    println!("  POST /v1/functions      upload CBScript source");
+    println!("  GET  /v1/functions      list registered functions");
+    println!("  POST /v1/campaigns      submit a campaign matrix (202 + receipt)");
+    println!("  GET  /v1/campaigns/ID   poll campaign status");
+    println!("  DELETE /v1/campaigns/ID cancel a campaign");
+    println!("  GET  /v1/jobs/ID        per-job status + trace");
+    println!("  GET  /v1/metrics        counters + histograms (?format=json for JSON)");
+    println!("  GET  /v1/health         liveness");
     println!("  (unversioned paths still answer, marked Deprecation: true)");
+    println!("scheduler: queue capacity {queue_capacity}, {workers} worker(s) per platform");
 
     // Serve until interrupted.
     loop {

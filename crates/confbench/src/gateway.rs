@@ -58,6 +58,17 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// The `Retry-After` hint (whole seconds, minimum 1) the REST layer
+    /// attaches to 503 and 429 responses: the backoff ceiling, i.e. how long
+    /// a client that has already retried and lost would wait. Deriving the
+    /// header from the same policy that drives the gateway's own retries
+    /// keeps the two in agreement.
+    pub fn retry_after_secs(&self) -> u64 {
+        self.max_backoff_ms.div_ceil(1_000).max(1)
+    }
+}
+
 /// A dispatch target: a host in this process or a remote agent address.
 #[derive(Clone)]
 enum HostRef {
@@ -462,18 +473,44 @@ impl Gateway {
     ///
     /// Bind failures.
     pub fn serve_on(self: Arc<Self>, listen: &str) -> std::io::Result<Server> {
+        let router = self.build_router();
+        Server::spawn_on(listen, router)
+    }
+
+    /// As [`Gateway::serve_on`], additionally mounting the campaign
+    /// scheduler's routes (`/v1/campaigns`, `/v1/jobs/{id}`). The scheduler
+    /// must have been built over this gateway (see
+    /// `confbench_sched::Executor`); callers typically also
+    /// `spawn_workers` on it.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn serve_with_scheduler(
+        self: Arc<Self>,
+        sched: Arc<confbench_sched::Scheduler>,
+        listen: &str,
+    ) -> std::io::Result<Server> {
+        let mut router = self.build_router();
+        confbench_sched::rest::add_routes(&mut router, sched);
+        Server::spawn_on(listen, router)
+    }
+
+    /// Builds the gateway's REST router (shared by [`Gateway::serve_on`] and
+    /// [`Gateway::serve_with_scheduler`]).
+    fn build_router(self: &Arc<Self>) -> Router {
         let mut router = Router::new();
-        let gw = Arc::clone(&self);
+        let gw = Arc::clone(self);
         add_versioned(&mut router, Method::Post, "/run", move |req, _| {
             match req.body_json::<RunRequest>() {
                 Err(e) => Response::error(400, format!("bad request body: {e}")),
                 Ok(run_request) => match gw.run(&run_request) {
                     Ok(result) => Response::json(&result),
-                    Err(e) => Response::error(e.rest_status(), e.to_string()),
+                    Err(e) => error_response(&e, &gw.retry),
                 },
             }
         });
-        let gw = Arc::clone(&self);
+        let gw = Arc::clone(self);
         add_versioned(&mut router, Method::Post, "/functions", move |req, _| {
             match req.body_json::<UploadRequest>() {
                 Err(e) => Response::error(400, format!("bad upload body: {e}")),
@@ -483,15 +520,18 @@ impl Gateway {
                         r.status = 201;
                         r
                     }
-                    Err(e) => Response::error(400, e.to_string()),
+                    Err(e) => {
+                        let e = Error::from(e);
+                        Response::error(e.rest_status(), e.to_string())
+                    }
                 },
             }
         });
-        let gw = Arc::clone(&self);
+        let gw = Arc::clone(self);
         add_versioned(&mut router, Method::Get, "/functions", move |_, _| {
             Response::json(&gw.store.names())
         });
-        let gw = Arc::clone(&self);
+        let gw = Arc::clone(self);
         // Metrics are new in v1: canonical path only, no deprecated alias.
         router.add(Method::Get, "/v1/metrics", move |req, _| {
             if req.query.get("format").map(String::as_str) == Some("json") {
@@ -503,7 +543,36 @@ impl Gateway {
         add_versioned(&mut router, Method::Get, "/health", |_, _| {
             Response::json(&serde_json::json!({"ok": true}))
         });
-        Server::spawn_on(listen, router)
+        router
+    }
+}
+
+/// Renders a gateway error as a REST response per the shared status table,
+/// attaching `Retry-After` to the retryable statuses (503 pool exhaustion /
+/// open circuits, 429 queue overflow) so well-behaved clients back off as
+/// long as the gateway itself would.
+fn error_response(e: &Error, retry: &RetryPolicy) -> Response {
+    let status = e.rest_status();
+    let mut response = Response::error(status, e.to_string());
+    if matches!(status, 503 | 429) {
+        response.headers.insert("retry-after".into(), retry.retry_after_secs().to_string());
+    }
+    response
+}
+
+/// The gateway is the scheduler's execution backend: jobs dispatch through
+/// the same retry/health/deadline machinery as interactive `/v1/run`
+/// requests, and result-cache keys incorporate the stored function's source
+/// hash so editing a script invalidates its cached cells.
+impl confbench_sched::Executor for Gateway {
+    fn execute(&self, request: &RunRequest) -> Result<RunResult> {
+        self.run(request)
+    }
+
+    fn function_fingerprint(&self, name: &str) -> Option<String> {
+        use confbench_faasrt::FaasFunction as _;
+        let function = self.store.get(name)?;
+        Some(confbench_crypto::Sha256::digest(function.script().as_bytes()).to_string())
     }
 }
 

@@ -49,7 +49,7 @@ pub use pool::{
     BalancePolicy, CircuitState, Clock, HealthPolicy, ManualClock, PoolGuard, SystemClock, TeePool,
 };
 pub use rest::API_PREFIX;
-pub use store::{FunctionStore, StoreError, StoredFunction, UploadedFunction};
+pub use store::{FunctionStore, StoreError, StoredFunction, UploadedFunction, MAX_SCRIPT_BYTES};
 
 use confbench_types::{
     FunctionSpec, Language, Result, RunRequest, RunResult, TeePlatform, VmTarget,

@@ -11,9 +11,15 @@
 use std::collections::HashMap;
 
 use confbench_faasrt::{parse, run_program, FaasFunction};
-use confbench_types::OpTrace;
+use confbench_types::{Error, OpTrace};
 use confbench_workloads::{faas_registry, FaasWorkload};
 use parking_lot::RwLock;
+
+/// Upper bound on an uploaded script's size. Scripts in the paper's suite
+/// are a few hundred bytes; 256 KiB leaves three orders of magnitude of
+/// headroom while keeping a hostile upload from parking megabytes in the
+/// store (the HTTP layer's 16 MiB body cap alone would allow that).
+pub const MAX_SCRIPT_BYTES: usize = 256 * 1024;
 
 /// A user-uploaded function: named CBScript source.
 #[derive(Debug, Clone)]
@@ -84,6 +90,12 @@ pub enum StoreError {
     NameTaken(String),
     /// The uploaded script failed to parse.
     BadScript(String),
+    /// The function name is empty (or whitespace-only).
+    EmptyName,
+    /// The uploaded script is empty.
+    EmptyScript,
+    /// The script exceeds [`MAX_SCRIPT_BYTES`].
+    ScriptTooLarge(usize),
 }
 
 impl std::fmt::Display for StoreError {
@@ -91,11 +103,24 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::NameTaken(name) => write!(f, "function name already taken: {name}"),
             StoreError::BadScript(msg) => write!(f, "uploaded script rejected: {msg}"),
+            StoreError::EmptyName => write!(f, "function name must not be empty"),
+            StoreError::EmptyScript => write!(f, "uploaded script must not be empty"),
+            StoreError::ScriptTooLarge(n) => {
+                write!(f, "script of {n} bytes exceeds the {MAX_SCRIPT_BYTES}-byte limit")
+            }
         }
     }
 }
 
 impl std::error::Error for StoreError {}
+
+impl From<StoreError> for Error {
+    /// Every store rejection is the uploader's fault: map to
+    /// [`Error::InvalidRequest`] so the REST layer answers 400.
+    fn from(e: StoreError) -> Self {
+        Error::InvalidRequest(e.to_string())
+    }
+}
 
 /// The function database.
 #[derive(Debug)]
@@ -120,12 +145,25 @@ impl FunctionStore {
     }
 
     /// Uploads a CBScript function (paper Fig. 2, step 1). The script is
-    /// parse-checked at upload time.
+    /// size-capped at [`MAX_SCRIPT_BYTES`] and parse-checked at upload time;
+    /// names must be non-empty and unique.
     ///
     /// # Errors
     ///
-    /// [`StoreError::NameTaken`] / [`StoreError::BadScript`].
+    /// [`StoreError::EmptyName`] / [`StoreError::EmptyScript`] /
+    /// [`StoreError::ScriptTooLarge`] / [`StoreError::BadScript`] /
+    /// [`StoreError::NameTaken`] — all of which convert into a 400-mapped
+    /// [`enum@Error`].
     pub fn upload(&self, name: &str, script: &str) -> Result<(), StoreError> {
+        if name.trim().is_empty() {
+            return Err(StoreError::EmptyName);
+        }
+        if script.is_empty() {
+            return Err(StoreError::EmptyScript);
+        }
+        if script.len() > MAX_SCRIPT_BYTES {
+            return Err(StoreError::ScriptTooLarge(script.len()));
+        }
         parse(script).map_err(|e| StoreError::BadScript(e.to_string()))?;
         let mut functions = self.functions.write();
         if functions.contains_key(name) {
@@ -218,6 +256,44 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort();
         assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn empty_name_and_script_rejected() {
+        let store = FunctionStore::new();
+        assert_eq!(store.upload("", "result(1);"), Err(StoreError::EmptyName));
+        assert_eq!(store.upload("   ", "result(1);"), Err(StoreError::EmptyName));
+        assert_eq!(store.upload("hollow", ""), Err(StoreError::EmptyScript));
+        assert!(store.get("hollow").is_none());
+    }
+
+    #[test]
+    fn oversized_script_rejected() {
+        let store = FunctionStore::new();
+        // A syntactically valid script padded past the limit with comments.
+        let padding = "#".repeat(MAX_SCRIPT_BYTES);
+        let script = format!("result(1);\n{padding}");
+        let err = store.upload("huge", &script).unwrap_err();
+        assert_eq!(err, StoreError::ScriptTooLarge(script.len()));
+        assert!(store.get("huge").is_none());
+        // At exactly the limit the upload goes through.
+        let at_limit = format!("result(1);{}", " ".repeat(MAX_SCRIPT_BYTES - "result(1);".len()));
+        assert_eq!(at_limit.len(), MAX_SCRIPT_BYTES);
+        store.upload("at_limit", &at_limit).unwrap();
+    }
+
+    #[test]
+    fn store_errors_map_to_400() {
+        for e in [
+            StoreError::NameTaken("fib".into()),
+            StoreError::BadScript("boom".into()),
+            StoreError::EmptyName,
+            StoreError::EmptyScript,
+            StoreError::ScriptTooLarge(MAX_SCRIPT_BYTES + 1),
+        ] {
+            let mapped: Error = e.into();
+            assert_eq!(mapped.rest_status(), 400);
+        }
     }
 
     #[test]

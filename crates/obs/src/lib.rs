@@ -11,10 +11,10 @@
 //!   [`ManualClock`](confbench_types::ManualClock)), finishing into the
 //!   [`TraceSpan`](confbench_types::TraceSpan) wire type that rides on
 //!   [`RunResult`](confbench_types::RunResult);
-//! * [`MetricsRegistry`] — monotonic [`Counter`]s and fixed-bucket
-//!   [`Histogram`]s, shared via `Arc`, lock-cheap (atomics on the hot path,
-//!   a registry lock only on first registration), rendered as text or JSON
-//!   by `GET /v1/metrics`.
+//! * [`MetricsRegistry`] — monotonic [`Counter`]s, bidirectional [`Gauge`]s
+//!   (queue depth, in-flight jobs), and fixed-bucket [`Histogram`]s, shared
+//!   via `Arc`, lock-cheap (atomics on the hot path, a registry lock only on
+//!   first registration), rendered as text or JSON by `GET /v1/metrics`.
 //!
 //! Everything here is deterministic: no wall-clock reads happen unless the
 //! injected clock performs them, and no randomness is involved.
@@ -49,5 +49,7 @@
 mod metrics;
 mod span;
 
-pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
+};
 pub use span::{ActiveSpan, SpanRecorder};

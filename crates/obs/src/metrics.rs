@@ -36,6 +36,58 @@ impl Counter {
     }
 }
 
+/// A gauge: a value that can move both ways (queue depth, in-flight jobs,
+/// cache entries). Stored as a `u64` — the quantities ConfBench gauges are
+/// counts, never negative — with saturating decrement.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrements by one, saturating at zero.
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Decrements by `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let mut current = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(n);
+            match self.value.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
 /// A histogram over fixed, inclusive upper bounds (`value <= bound` lands in
 /// that bucket; larger values land in the implicit overflow bucket).
 #[derive(Debug)]
@@ -111,6 +163,9 @@ pub struct HistogramSnapshot {
 pub struct RegistrySnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name (absent from pre-scheduler peers).
+    #[serde(default)]
+    pub gauges: BTreeMap<String, u64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -123,6 +178,7 @@ pub struct RegistrySnapshot {
 #[derive(Default)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -139,6 +195,11 @@ impl MetricsRegistry {
     /// (the registry treats the whole string as the identity).
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         Arc::clone(self.counters.lock().entry(name.to_owned()).or_default())
+    }
+
+    /// Returns (creating if needed) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(self.gauges.lock().entry(name.to_owned()).or_default())
     }
 
     /// Returns (creating if needed) the histogram named `name` with the
@@ -158,10 +219,16 @@ impl MetricsRegistry {
         self.counters.lock().get(name).map(|c| c.get())
     }
 
+    /// The value of gauge `name`, or `None` if it was never created.
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        self.gauges.lock().get(name).map(|g| g.get())
+    }
+
     /// A point-in-time copy of every instrument.
     pub fn snapshot(&self) -> RegistrySnapshot {
         RegistrySnapshot {
             counters: self.counters.lock().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: self.gauges.lock().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
             histograms: self
                 .histograms
                 .lock()
@@ -184,6 +251,15 @@ impl MetricsRegistry {
             let base = base_name(name);
             if base != last_family {
                 let _ = writeln!(out, "# TYPE {base} counter");
+                last_family = base.to_owned();
+            }
+            let _ = writeln!(out, "{name} {value}");
+        }
+        last_family.clear();
+        for (name, value) in &snap.gauges {
+            let base = base_name(name);
+            if base != last_family {
+                let _ = writeln!(out, "# TYPE {base} gauge");
                 last_family = base.to_owned();
             }
             let _ = writeln!(out, "{name} {value}");
@@ -262,6 +338,37 @@ mod tests {
     }
 
     #[test]
+    fn gauges_move_both_ways_and_saturate_at_zero() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("queue_depth");
+        g.add(5);
+        g.dec();
+        assert_eq!(reg.gauge_value("queue_depth"), Some(4));
+        g.sub(10);
+        assert_eq!(g.get(), 0, "decrement saturates at zero");
+        g.set(42);
+        assert_eq!(reg.gauge_value("queue_depth"), Some(42));
+        assert_eq!(reg.gauge_value("absent"), None);
+    }
+
+    #[test]
+    fn gauges_render_and_snapshot() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("sched_queue_depth").set(3);
+        reg.counter("c_total").inc();
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE sched_queue_depth gauge"), "{text}");
+        assert!(text.contains("sched_queue_depth 3"), "{text}");
+        let json = serde_json::to_string(&reg.snapshot()).unwrap();
+        let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.gauges["sched_queue_depth"], 3);
+        // Old peers omit the gauges key entirely; default applies.
+        let legacy: RegistrySnapshot =
+            serde_json::from_str(r#"{"counters":{},"histograms":{}}"#).unwrap();
+        assert!(legacy.gauges.is_empty());
+    }
+
+    #[test]
     fn histogram_bounds_sorted_and_deduped() {
         let reg = MetricsRegistry::new();
         let h = reg.histogram("x", &[100, 10, 100, 1]);
@@ -319,6 +426,7 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<MetricsRegistry>();
         assert_send_sync::<Counter>();
+        assert_send_sync::<Gauge>();
         assert_send_sync::<Histogram>();
     }
 

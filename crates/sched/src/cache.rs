@@ -1,0 +1,169 @@
+//! Content-addressed memoization of cell results.
+//!
+//! Execution here is deterministic: the same (function source, platform,
+//! language, VM kind, trials, seed) always yields the same trial times and
+//! output. The cache exploits that by addressing results with a SHA-256
+//! over exactly those inputs — so a resubmitted campaign is served without
+//! touching a VM, and editing a function's source changes its fingerprint
+//! and invalidates precisely that function's entries.
+
+use std::collections::HashMap;
+
+use confbench_crypto::Sha256;
+use confbench_types::CampaignCell;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Computes the content address of a cell's result: lowercase-hex SHA-256
+/// over the cell identity plus the function-source fingerprint.
+///
+/// Fields are newline-framed with `key=` prefixes so distinct inputs cannot
+/// collide by concatenation, and the string is versioned so a future layout
+/// change cannot silently alias old entries.
+pub fn cache_key(cell: &CampaignCell, fingerprint: &str) -> String {
+    let mut hasher = Sha256::new();
+    hasher.update(b"confbench.result-cache.v1\n");
+    hasher.update(format!("fn={}\n", cell.function.name).as_bytes());
+    for arg in &cell.function.args {
+        hasher.update(format!("arg={arg}\n").as_bytes());
+    }
+    hasher.update(format!("src={fingerprint}\n").as_bytes());
+    hasher.update(
+        format!(
+            "lang={}\nplatform={}\nkind={}\ntrials={}\nseed={}",
+            cell.language, cell.platform, cell.kind, cell.trials, cell.seed
+        )
+        .as_bytes(),
+    );
+    hasher.finalize().to_string()
+}
+
+/// The memoized portion of a completed cell: everything a
+/// [`CellSummary`](confbench_types::CellSummary) needs except the serving
+/// job's identity and cache provenance (which differ per lookup).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedCell {
+    /// Mean trial time in milliseconds.
+    pub mean_ms: f64,
+    /// Median (p50) trial time in milliseconds.
+    pub median_ms: f64,
+    /// Minimum trial time in milliseconds.
+    pub min_ms: f64,
+    /// Maximum trial time in milliseconds.
+    pub max_ms: f64,
+    /// Sample standard deviation in milliseconds.
+    pub stddev_ms: f64,
+    /// Function output.
+    pub output: String,
+}
+
+/// A thread-safe content-addressed store of [`CachedCell`]s.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: Mutex<HashMap<String, CachedCell>>,
+}
+
+impl ResultCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Looks up a result by its content address.
+    pub fn get(&self, key: &str) -> Option<CachedCell> {
+        self.entries.lock().get(key).cloned()
+    }
+
+    /// Stores a result under its content address.
+    pub fn insert(&self, key: String, cell: CachedCell) {
+        self.entries.lock().insert(key, cell);
+    }
+
+    /// Number of distinct results stored.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confbench_types::{CampaignFunction, Language, TeePlatform, VmKind};
+
+    fn cell() -> CampaignCell {
+        CampaignCell {
+            function: CampaignFunction::new("fib").arg("15"),
+            language: Language::Go,
+            platform: TeePlatform::Tdx,
+            kind: VmKind::Secure,
+            trials: 10,
+            seed: 42,
+        }
+    }
+
+    fn cached() -> CachedCell {
+        CachedCell {
+            mean_ms: 2.0,
+            median_ms: 2.0,
+            min_ms: 1.0,
+            max_ms: 3.0,
+            stddev_ms: 0.5,
+            output: "610".into(),
+        }
+    }
+
+    #[test]
+    fn key_is_hex_sha256_and_deterministic() {
+        let k = cache_key(&cell(), "srchash");
+        assert_eq!(k.len(), 64);
+        assert!(k.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        assert_eq!(k, cache_key(&cell(), "srchash"));
+    }
+
+    #[test]
+    fn every_identity_field_perturbs_the_key() {
+        let base = cache_key(&cell(), "src");
+        assert_ne!(base, cache_key(&cell(), "other-src"));
+
+        let mut c = cell();
+        c.function.name = "fact".into();
+        assert_ne!(base, cache_key(&c, "src"));
+        let mut c = cell();
+        c.function.args = vec!["16".into()];
+        assert_ne!(base, cache_key(&c, "src"));
+        let mut c = cell();
+        c.language = Language::Lua;
+        assert_ne!(base, cache_key(&c, "src"));
+        let mut c = cell();
+        c.platform = TeePlatform::SevSnp;
+        assert_ne!(base, cache_key(&c, "src"));
+        let mut c = cell();
+        c.kind = VmKind::Normal;
+        assert_ne!(base, cache_key(&c, "src"));
+        let mut c = cell();
+        c.trials = 11;
+        assert_ne!(base, cache_key(&c, "src"));
+        let mut c = cell();
+        c.seed = 43;
+        assert_ne!(base, cache_key(&c, "src"));
+    }
+
+    #[test]
+    fn store_and_retrieve() {
+        let cache = ResultCache::new();
+        assert!(cache.is_empty());
+        let key = cache_key(&cell(), "src");
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), cached());
+        assert_eq!(cache.get(&key), Some(cached()));
+        assert_eq!(cache.len(), 1);
+        // Re-inserting the same address does not grow the store.
+        cache.insert(key, cached());
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! The bounded, priority job queue.
+//!
+//! One queue per scheduler, internally split by platform (each platform's
+//! worker pool drains only its own jobs) and by priority (higher priorities
+//! drain first; FIFO within a priority). The *capacity bound is global*
+//! across all platforms — it models the scheduler's total backlog budget,
+//! and overflowing it is what surfaces to users as HTTP 429.
+
+use std::collections::{HashMap, VecDeque};
+
+use confbench_types::{JobId, Priority, TeePlatform};
+
+/// A bounded multi-priority queue of job ids, segmented by platform.
+///
+/// Not internally synchronized: the scheduler holds it inside its state
+/// lock, so admission checks and pushes are naturally atomic.
+#[derive(Debug)]
+pub struct BoundedQueue {
+    capacity: usize,
+    depth: usize,
+    lanes: HashMap<TeePlatform, [VecDeque<JobId>; 3]>,
+}
+
+impl BoundedQueue {
+    /// Creates an empty queue holding at most `capacity` jobs in total.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue { capacity, depth: 0, lanes: HashMap::new() }
+    }
+
+    /// Total jobs queued across all platforms and priorities.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The configured global capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `n` more jobs fit. Campaign admission is all-or-nothing:
+    /// the scheduler checks the whole matrix before pushing any job.
+    pub fn can_admit(&self, n: usize) -> bool {
+        self.depth.saturating_add(n) <= self.capacity
+    }
+
+    /// Enqueues a job. Callers must have checked [`BoundedQueue::can_admit`];
+    /// pushing past capacity panics, because it means admission control was
+    /// bypassed.
+    pub fn push(&mut self, platform: TeePlatform, priority: Priority, job: JobId) {
+        assert!(self.depth < self.capacity, "queue admission bypassed");
+        self.lanes.entry(platform).or_default()[lane(priority)].push_back(job);
+        self.depth += 1;
+    }
+
+    /// Dequeues the next job for `platform`: highest priority first, FIFO
+    /// within a priority. `None` when the platform has nothing queued.
+    pub fn pop(&mut self, platform: TeePlatform) -> Option<JobId> {
+        let lanes = self.lanes.get_mut(&platform)?;
+        for p in Priority::DESCENDING {
+            if let Some(job) = lanes[lane(p)].pop_front() {
+                self.depth -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Removes specific jobs wherever they are queued (cancellation),
+    /// returning how many were actually present (and therefore removed
+    /// before any worker could pick them up).
+    pub fn remove(&mut self, jobs: &[JobId]) -> usize {
+        let mut removed = 0;
+        for lanes in self.lanes.values_mut() {
+            for queue in lanes.iter_mut() {
+                let before = queue.len();
+                queue.retain(|j| !jobs.contains(j));
+                removed += before - queue.len();
+            }
+        }
+        self.depth -= removed;
+        removed
+    }
+}
+
+fn lane(priority: Priority) -> usize {
+    match priority {
+        Priority::High => 0,
+        Priority::Normal => 1,
+        Priority::Low => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> JobId {
+        JobId(s.to_owned())
+    }
+
+    #[test]
+    fn fifo_within_priority_and_priority_order_across() {
+        let mut q = BoundedQueue::new(10);
+        q.push(TeePlatform::Tdx, Priority::Normal, id("n1"));
+        q.push(TeePlatform::Tdx, Priority::Low, id("l1"));
+        q.push(TeePlatform::Tdx, Priority::High, id("h1"));
+        q.push(TeePlatform::Tdx, Priority::Normal, id("n2"));
+        q.push(TeePlatform::Tdx, Priority::High, id("h2"));
+        let order: Vec<String> =
+            std::iter::from_fn(|| q.pop(TeePlatform::Tdx)).map(|j| j.0).collect();
+        assert_eq!(order, vec!["h1", "h2", "n1", "n2", "l1"]);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn platforms_are_independent_lanes() {
+        let mut q = BoundedQueue::new(10);
+        q.push(TeePlatform::Tdx, Priority::Normal, id("t1"));
+        q.push(TeePlatform::SevSnp, Priority::Normal, id("s1"));
+        assert!(q.pop(TeePlatform::Cca).is_none());
+        assert_eq!(q.pop(TeePlatform::SevSnp), Some(id("s1")));
+        assert_eq!(q.pop(TeePlatform::SevSnp), None);
+        assert_eq!(q.pop(TeePlatform::Tdx), Some(id("t1")));
+    }
+
+    #[test]
+    fn capacity_is_global_across_platforms() {
+        let mut q = BoundedQueue::new(3);
+        assert!(q.can_admit(3));
+        assert!(!q.can_admit(4));
+        q.push(TeePlatform::Tdx, Priority::Normal, id("a"));
+        q.push(TeePlatform::SevSnp, Priority::Normal, id("b"));
+        assert!(q.can_admit(1));
+        assert!(!q.can_admit(2));
+        q.push(TeePlatform::Cca, Priority::Normal, id("c"));
+        assert!(!q.can_admit(1));
+        q.pop(TeePlatform::Cca).unwrap();
+        assert!(q.can_admit(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "admission bypassed")]
+    fn push_past_capacity_panics() {
+        let mut q = BoundedQueue::new(1);
+        q.push(TeePlatform::Tdx, Priority::Normal, id("a"));
+        q.push(TeePlatform::Tdx, Priority::Normal, id("b"));
+    }
+
+    #[test]
+    fn remove_plucks_queued_jobs_only() {
+        let mut q = BoundedQueue::new(10);
+        q.push(TeePlatform::Tdx, Priority::Normal, id("a"));
+        q.push(TeePlatform::Tdx, Priority::High, id("b"));
+        q.push(TeePlatform::SevSnp, Priority::Low, id("c"));
+        // "b" and "c" are queued, "z" never was.
+        let removed = q.remove(&[id("b"), id("c"), id("z")]);
+        assert_eq!(removed, 2);
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.pop(TeePlatform::Tdx), Some(id("a")));
+        assert!(q.pop(TeePlatform::SevSnp).is_none());
+    }
+}

@@ -28,6 +28,9 @@ pub enum Error {
     DeadlineExceeded(String),
     /// Malformed user input (bad request body, bad arguments).
     InvalidRequest(String),
+    /// The scheduler's bounded job queue is at capacity; retry later
+    /// (maps to HTTP 429 with a `Retry-After` header).
+    QueueFull(String),
     /// An underlying I/O error.
     Io(std::io::Error),
 }
@@ -42,6 +45,7 @@ impl Error {
     /// |--------|--------|
     /// | 404    | [`Error::UnknownFunction`] |
     /// | 400    | [`Error::InvalidRequest`], [`Error::UnsupportedLanguage`] |
+    /// | 429    | [`Error::QueueFull`] |
     /// | 503    | [`Error::NoVmAvailable`] |
     /// | 504    | [`Error::DeadlineExceeded`] |
     /// | 500    | everything else |
@@ -49,6 +53,7 @@ impl Error {
         match self {
             Error::UnknownFunction(_) => 404,
             Error::InvalidRequest(_) | Error::UnsupportedLanguage(_) => 400,
+            Error::QueueFull(_) => 429,
             Error::NoVmAvailable(_) => 503,
             Error::DeadlineExceeded(_) => 504,
             _ => 500,
@@ -65,6 +70,7 @@ impl Error {
         match status {
             404 => Some(Error::UnknownFunction(body)),
             400 => Some(Error::InvalidRequest(body)),
+            429 => Some(Error::QueueFull(body)),
             503 => Some(Error::NoVmAvailable(body)),
             504 => Some(Error::DeadlineExceeded(body)),
             _ => None,
@@ -83,6 +89,7 @@ impl fmt::Display for Error {
             Error::Transport(msg) => write!(f, "transport error: {msg}"),
             Error::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
             Error::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            Error::QueueFull(msg) => write!(f, "queue full: {msg}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -138,6 +145,7 @@ mod tests {
         assert_eq!(Error::UnknownFunction("f".into()).rest_status(), 404);
         assert_eq!(Error::InvalidRequest("x".into()).rest_status(), 400);
         assert_eq!(Error::UnsupportedLanguage("cobol".into()).rest_status(), 400);
+        assert_eq!(Error::QueueFull("128 queued".into()).rest_status(), 429);
         assert_eq!(Error::NoVmAvailable("tdx".into()).rest_status(), 503);
         assert_eq!(Error::DeadlineExceeded("50ms".into()).rest_status(), 504);
         assert_eq!(Error::Workload("boom".into()).rest_status(), 500);
@@ -149,6 +157,7 @@ mod tests {
         for e in [
             Error::UnknownFunction("f".into()),
             Error::InvalidRequest("x".into()),
+            Error::QueueFull("128 queued".into()),
             Error::NoVmAvailable("tdx".into()),
             Error::DeadlineExceeded("50ms".into()),
         ] {

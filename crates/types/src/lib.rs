@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod campaign;
 mod clock;
 mod error;
 mod language;
@@ -36,6 +37,11 @@ mod platform;
 mod run;
 mod trace;
 
+pub use campaign::{
+    CampaignCell, CampaignFunction, CampaignId, CampaignReceipt, CampaignSpec, CampaignState,
+    CampaignStatus, CellSummary, InvalidCampaign, JobId, JobState, JobStatus, Priority,
+    MAX_CAMPAIGN_CELLS,
+};
 pub use clock::{Clock, Cycles, ManualClock, SimClock, SystemClock};
 pub use error::{Error, Result};
 pub use language::{Language, ParseLanguageError};

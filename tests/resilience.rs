@@ -113,13 +113,22 @@ fn remote_and_local_hosts_return_identical_rest_statuses() {
     assert_eq!(l.status, 404);
     assert_eq!(r.status, l.status, "remote/local unknown-function parity");
 
-    // No VM for the platform: 503 through both paths.
+    // No VM for the platform: 503 through both paths, each carrying a
+    // Retry-After hint derived from the gateway's backoff policy.
     let mut no_vm = run_request();
     no_vm.target = VmTarget::secure(TeePlatform::Cca);
     let body = Request::new(Method::Post, "/run").json(&no_vm);
     let (l, r) = (local.send(&body).unwrap(), remote.send(&body).unwrap());
     assert_eq!(l.status, 503);
     assert_eq!(r.status, l.status, "remote/local no-VM parity");
+    let expected = local_gw.retry_policy().retry_after_secs().to_string();
+    for resp in [&l, &r] {
+        assert_eq!(
+            resp.headers.get("retry-after"),
+            Some(&expected),
+            "503 must carry Retry-After from the backoff policy"
+        );
+    }
 }
 
 #[test]

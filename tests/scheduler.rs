@@ -1,0 +1,226 @@
+//! End-to-end campaign scheduling: a multi-platform campaign submitted over
+//! `POST /v1/campaigns` must drain deterministically under `ManualClock`,
+//! polling must be monotone while partial, identical resubmission must be
+//! served entirely from the content-addressed result cache, a full queue
+//! must answer 429 with `Retry-After`, and cancellation must keep queued
+//! jobs away from the VMs.
+
+use std::sync::Arc;
+
+use confbench::{Gateway, ManualClock};
+use confbench_httpd::{Client, Method, Request, Server};
+use confbench_sched::{Scheduler, SchedulerConfig};
+use confbench_types::{
+    CampaignFunction, CampaignReceipt, CampaignSpec, CampaignState, CampaignStatus, JobState,
+    JobStatus, Language, Priority, TeePlatform, VmKind,
+};
+
+/// The standard matrix: 2 functions × 2 languages × 2 platforms × 2 modes.
+const MATRIX_JOBS: usize = 16;
+
+fn matrix_spec() -> CampaignSpec {
+    CampaignSpec {
+        functions: vec![
+            CampaignFunction::new("factors").arg("360360"),
+            CampaignFunction::new("checksum").arg("30000"),
+        ],
+        languages: vec![Language::Go, Language::Lua],
+        platforms: vec![TeePlatform::Tdx, TeePlatform::SevSnp],
+        modes: vec![VmKind::Secure, VmKind::Normal],
+        trials: 3,
+        seed: 11,
+        priority: Priority::Normal,
+        deadline_ms: None,
+    }
+}
+
+/// Boots a two-platform gateway under a manual clock with a scheduler
+/// publishing into the gateway's metrics registry, served over HTTP.
+fn boot(queue_capacity: usize) -> (Server, Client, Arc<Gateway>, Arc<Scheduler>) {
+    let gw = Arc::new(
+        Gateway::builder()
+            .seed(11)
+            .clock(Arc::new(ManualClock::new()))
+            .local_host(TeePlatform::Tdx)
+            .local_host(TeePlatform::SevSnp)
+            .build(),
+    );
+    let config =
+        SchedulerConfig { queue_capacity, retry_after_secs: gw.retry_policy().retry_after_secs() };
+    let sched = Arc::new(Scheduler::with_metrics(
+        Arc::clone(&gw) as Arc<dyn confbench_sched::Executor>,
+        Arc::new(ManualClock::new()),
+        config,
+        Arc::clone(gw.metrics()),
+    ));
+    let server = Arc::clone(&gw).serve_with_scheduler(Arc::clone(&sched), "127.0.0.1:0").unwrap();
+    let client = Client::new(server.addr());
+    (server, client, gw, sched)
+}
+
+fn submit(client: &Client, spec: &CampaignSpec) -> CampaignReceipt {
+    let resp = client.send(&Request::new(Method::Post, "/v1/campaigns").json(spec)).unwrap();
+    assert_eq!(resp.status, 202, "{}", String::from_utf8_lossy(&resp.body));
+    resp.body_json().unwrap()
+}
+
+fn poll(client: &Client, receipt: &CampaignReceipt) -> CampaignStatus {
+    let resp =
+        client.send(&Request::new(Method::Get, &format!("/v1/campaigns/{}", receipt.id))).unwrap();
+    assert_eq!(resp.status, 200);
+    resp.body_json().unwrap()
+}
+
+/// Steps the scheduler to completion, polling over REST between steps and
+/// asserting the observed status only ever moves forward.
+fn drain_with_monotone_polling(
+    client: &Client,
+    sched: &Scheduler,
+    receipt: &CampaignReceipt,
+) -> CampaignStatus {
+    let mut status = poll(client, receipt);
+    assert_eq!(status.state, CampaignState::Active);
+    while !status.is_done() {
+        let progressed = TeePlatform::ALL.iter().any(|&p| sched.step(p));
+        assert!(progressed, "active campaign must have queued work");
+        let next = poll(client, receipt);
+        assert!(next.terminal_jobs() >= status.terminal_jobs(), "terminal count regressed");
+        assert!(next.cells.len() >= status.cells.len(), "summaries disappeared");
+        assert_eq!(next.total_jobs, status.total_jobs);
+        status = next;
+    }
+    status
+}
+
+#[test]
+fn campaign_over_rest_drains_deterministically() {
+    let (_server, client, _gw, sched) = boot(64);
+    let receipt = submit(&client, &matrix_spec());
+    assert_eq!(receipt.jobs, MATRIX_JOBS);
+
+    let status = drain_with_monotone_polling(&client, &sched, &receipt);
+    assert_eq!(status.state, CampaignState::Completed);
+    assert_eq!(status.completed, MATRIX_JOBS);
+    assert_eq!(status.cache_hits, 0, "cold pass runs every cell");
+    assert_eq!(status.cells.len(), MATRIX_JOBS);
+    for cell in &status.cells {
+        assert!(!cell.from_cache);
+        assert!(cell.mean_ms > 0.0);
+        assert!(!cell.output.is_empty());
+        assert_eq!(cell.cache_key.len(), 64, "sha-256 hex key: {}", cell.cache_key);
+    }
+
+    // Per-job drill-down carries the adopted span tree.
+    let job = &status.cells[0].job;
+    let resp = client.send(&Request::new(Method::Get, &format!("/v1/jobs/{job}"))).unwrap();
+    assert_eq!(resp.status, 200);
+    let job: JobStatus = resp.body_json().unwrap();
+    assert_eq!(job.state, JobState::Completed);
+    let trace = job.trace.expect("executed jobs carry a trace");
+    assert_eq!(trace.name, "sched.execute");
+    assert!(trace.find("sched.enqueue").is_some(), "queue-wait span adopted");
+    assert!(trace.find("gateway.run").is_some(), "gateway subtree adopted");
+}
+
+#[test]
+fn identical_resubmission_is_served_entirely_from_cache() {
+    let (_server, client, gw, sched) = boot(64);
+
+    let first = submit(&client, &matrix_spec());
+    let cold = drain_with_monotone_polling(&client, &sched, &first);
+    let runs_after_cold = gw.metrics().counter_value("gateway_requests_total").unwrap();
+    assert_eq!(runs_after_cold, MATRIX_JOBS as u64);
+
+    let second = submit(&client, &matrix_spec());
+    assert_ne!(second.id, first.id, "resubmission gets a fresh campaign id");
+    let warm = drain_with_monotone_polling(&client, &sched, &second);
+
+    assert_eq!(warm.completed, MATRIX_JOBS);
+    assert_eq!(warm.cache_hits, MATRIX_JOBS, "every cell memoized");
+    assert!(warm.cells.iter().all(|c| c.from_cache));
+    assert_eq!(
+        gw.metrics().counter_value("sched_cache_hits_total"),
+        Some(MATRIX_JOBS as u64),
+        "cache-hit counter equals the cell count"
+    );
+    assert_eq!(
+        gw.metrics().counter_value("gateway_requests_total"),
+        Some(runs_after_cold),
+        "memoized pass never touches the gateway"
+    );
+
+    // The memoized summaries reproduce the cold measurements exactly.
+    for (a, b) in cold.cells.iter().zip(&warm.cells) {
+        assert_eq!(a.cell, b.cell);
+        assert_eq!(a.cache_key, b.cache_key);
+        assert_eq!(a.mean_ms.to_bits(), b.mean_ms.to_bits());
+        assert_eq!(a.median_ms.to_bits(), b.median_ms.to_bits());
+        assert_eq!(a.min_ms.to_bits(), b.min_ms.to_bits());
+        assert_eq!(a.max_ms.to_bits(), b.max_ms.to_bits());
+        assert_eq!(a.stddev_ms.to_bits(), b.stddev_ms.to_bits());
+        assert_eq!(a.output, b.output);
+    }
+}
+
+/// Determinism across independent instances: the same spec + seed on two
+/// freshly booted stacks yields byte-identical per-cell summaries.
+#[test]
+fn replay_on_a_fresh_instance_is_byte_identical() {
+    let run = || {
+        let (_server, client, _gw, sched) = boot(64);
+        let receipt = submit(&client, &matrix_spec());
+        sched.drain();
+        serde_json::to_string(&poll(&client, &receipt).cells).unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "replayed campaign summaries must be byte-identical");
+}
+
+#[test]
+fn queue_full_answers_429_with_retry_after() {
+    let (_server, client, gw, sched) = boot(MATRIX_JOBS + 2);
+    submit(&client, &matrix_spec());
+
+    // Two slots left: a whole matrix cannot be admitted, and admission is
+    // all-or-nothing — not even two of its cells may sneak in.
+    let resp =
+        client.send(&Request::new(Method::Post, "/v1/campaigns").json(&matrix_spec())).unwrap();
+    assert_eq!(resp.status, 429);
+    assert_eq!(
+        resp.headers.get("retry-after").map(String::as_str),
+        Some(gw.retry_policy().retry_after_secs().to_string().as_str()),
+        "Retry-After derives from the gateway's backoff policy"
+    );
+    assert!(String::from_utf8_lossy(&resp.body).contains("queue full"));
+    assert_eq!(sched.queue_depth(), MATRIX_JOBS, "rejected campaign left no partial admission");
+
+    // Draining frees capacity; the same spec is then accepted.
+    sched.drain();
+    let receipt = submit(&client, &matrix_spec());
+    assert_eq!(receipt.jobs, MATRIX_JOBS);
+}
+
+#[test]
+fn cancellation_keeps_queued_jobs_off_the_vms() {
+    let (_server, client, gw, sched) = boot(64);
+    let receipt = submit(&client, &matrix_spec());
+
+    let resp = client
+        .send(&Request::new(Method::Delete, &format!("/v1/campaigns/{}", receipt.id)))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let status: CampaignStatus = resp.body_json().unwrap();
+    assert_eq!(status.state, CampaignState::Cancelled);
+    assert_eq!(status.cancelled, MATRIX_JOBS);
+
+    // Even after the workers run, no cancelled job reaches a VM.
+    sched.drain();
+    assert_eq!(
+        gw.metrics().counter_value("gateway_requests_total").unwrap_or(0),
+        0,
+        "cancelled jobs never dispatched"
+    );
+    let status = poll(&client, &receipt);
+    assert_eq!(status.completed, 0);
+    assert_eq!(status.cells.len(), 0);
+}

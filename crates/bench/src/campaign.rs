@@ -95,6 +95,7 @@ pub fn run(
     let config = SchedulerConfig {
         queue_capacity: spec.cell_count().max(1),
         retry_after_secs: gateway.retry_policy().retry_after_secs(),
+        ..SchedulerConfig::default()
     };
     let sched = Scheduler::with_metrics(
         Arc::clone(&gateway) as Arc<dyn confbench_sched::Executor>,

@@ -7,12 +7,14 @@
 //!                   [--seed N] [--policy round-robin|least-loaded]
 //!                   [--remote-host PLATFORM=ADDR]...
 //!                   [--queue-capacity N] [--workers N]
+//!                   [--cache-capacity N] [--http-workers N] [--http-backlog N]
 //! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use confbench::{BalancePolicy, Gateway, SystemClock};
+use confbench_httpd::ServerConfig;
 use confbench_sched::{Scheduler, SchedulerConfig};
 use confbench_types::TeePlatform;
 
@@ -35,6 +37,8 @@ fn run() -> Result<(), String> {
     let mut remote_hosts: Vec<(TeePlatform, std::net::SocketAddr)> = Vec::new();
     let mut queue_capacity = SchedulerConfig::default().queue_capacity;
     let mut workers = 1usize;
+    let mut cache_capacity = SchedulerConfig::default().cache_capacity;
+    let mut http = ServerConfig::default();
 
     let mut i = 0;
     while i < args.len() {
@@ -87,12 +91,38 @@ fn run() -> Result<(), String> {
                     return Err("--workers must be at least 1".into());
                 }
             }
+            "--cache-capacity" => {
+                cache_capacity = take_value(&args, &mut i, "--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad cache capacity: {e}"))?;
+                if cache_capacity == 0 {
+                    return Err("--cache-capacity must be at least 1".into());
+                }
+            }
+            "--http-workers" => {
+                http.workers = take_value(&args, &mut i, "--http-workers")?
+                    .parse()
+                    .map_err(|e| format!("bad http worker count: {e}"))?;
+                if http.workers == 0 {
+                    return Err("--http-workers must be at least 1".into());
+                }
+            }
+            "--http-backlog" => {
+                http.backlog = take_value(&args, &mut i, "--http-backlog")?
+                    .parse()
+                    .map_err(|e| format!("bad http backlog: {e}"))?;
+                if http.backlog == 0 {
+                    return Err("--http-backlog must be at least 1".into());
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: confbench-gateway [--listen ADDR] [--platforms LIST] [--seed N]\n\
                      \x20                        [--policy round-robin|least-loaded]\n\
                      \x20                        [--remote-host PLATFORM=ADDR]...\n\
-                     \x20                        [--queue-capacity N] [--workers N]"
+                     \x20                        [--queue-capacity N] [--workers N]\n\
+                     \x20                        [--cache-capacity N] (result-cache LRU bound)\n\
+                     \x20                        [--http-workers N] [--http-backlog N]"
                 );
                 return Ok(());
             }
@@ -101,7 +131,7 @@ fn run() -> Result<(), String> {
         i += 1;
     }
 
-    let mut builder = Gateway::builder().seed(seed).policy(policy);
+    let mut builder = Gateway::builder().seed(seed).policy(policy).http(http);
     for platform in &platforms {
         eprintln!("booting local host for {platform} (secure + normal VMs)...");
         builder = builder.local_host(*platform);
@@ -114,6 +144,7 @@ fn run() -> Result<(), String> {
     let config = SchedulerConfig {
         queue_capacity,
         retry_after_secs: gateway.retry_policy().retry_after_secs(),
+        cache_capacity,
     };
     let sched = Arc::new(Scheduler::with_metrics(
         Arc::clone(&gateway) as Arc<dyn confbench_sched::Executor>,
@@ -137,6 +168,10 @@ fn run() -> Result<(), String> {
     println!("  GET  /v1/health         liveness");
     println!("  (unversioned paths still answer, marked Deprecation: true)");
     println!("scheduler: queue capacity {queue_capacity}, {workers} worker(s) per platform");
+    println!(
+        "http: {} worker(s), backlog {}, result cache capped at {cache_capacity} entries",
+        http.workers, http.backlog
+    );
 
     // Serve until interrupted.
     loop {

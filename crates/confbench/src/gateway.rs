@@ -19,7 +19,7 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use confbench_httpd::{Client, Method, Request, Response, Router, Server};
+use confbench_httpd::{Client, Method, Request, Response, Router, Server, ServerConfig};
 use confbench_obs::{ActiveSpan, Counter, Histogram, MetricsRegistry, SpanRecorder};
 use confbench_types::{Error, Result, RunRequest, RunResult, TeePlatform, VmTarget};
 use parking_lot::Mutex;
@@ -70,10 +70,13 @@ impl RetryPolicy {
 }
 
 /// A dispatch target: a host in this process or a remote agent address.
+/// Remote targets carry a persistent [`Client`] built once at gateway
+/// construction, so every dispatch (and circuit-breaker probe) reuses
+/// pooled keep-alive sockets instead of paying a fresh TCP connect.
 #[derive(Clone)]
 enum HostRef {
     Local(Arc<HostAgent>),
-    Remote(SocketAddr),
+    Remote { addr: SocketAddr, client: Client },
 }
 
 /// A host registration, resolved into a [`HostRef`] at build time so the
@@ -93,6 +96,7 @@ pub struct GatewayBuilder {
     clock: Arc<dyn Clock>,
     metrics: Arc<MetricsRegistry>,
     seed: u64,
+    http: ServerConfig,
 }
 
 impl GatewayBuilder {
@@ -148,6 +152,16 @@ impl GatewayBuilder {
         self
     }
 
+    /// Tunes the REST listener's connection layer (worker pool size,
+    /// backlog, keep-alive timeouts). The `Retry-After` hint on
+    /// backpressure 503s always comes from the gateway's [`RetryPolicy`],
+    /// overriding whatever the passed config says, so the header and the
+    /// retry machinery agree.
+    pub fn http(mut self, http: ServerConfig) -> Self {
+        self.http = http;
+        self
+    }
+
     /// Builds the gateway.
     ///
     /// # Panics
@@ -167,7 +181,7 @@ impl GatewayBuilder {
                     self.seed,
                     recorder.clone(),
                 ))),
-                HostSpec::Remote(addr) => HostRef::Remote(addr),
+                HostSpec::Remote(addr) => HostRef::Remote { addr, client: Client::new(addr) },
             };
             by_platform.entry(platform).or_default().push(host);
         }
@@ -181,6 +195,11 @@ impl GatewayBuilder {
             })
             .collect();
         let counters = GatewayCounters::register(&self.metrics);
+        // Backpressure 503s and rejected-campaign 429s must hint the same
+        // backoff, so the listener's Retry-After is derived from the retry
+        // policy rather than trusted from the http config.
+        let mut http = self.http;
+        http.retry_after_secs = self.retry.retry_after_secs();
         Gateway {
             store: self.store,
             pools,
@@ -189,6 +208,7 @@ impl GatewayBuilder {
             metrics: self.metrics,
             recorder,
             counters,
+            http,
         }
     }
 }
@@ -246,6 +266,7 @@ pub struct Gateway {
     metrics: Arc<MetricsRegistry>,
     recorder: SpanRecorder,
     counters: GatewayCounters,
+    http: ServerConfig,
 }
 
 impl Gateway {
@@ -260,6 +281,7 @@ impl Gateway {
             clock: Arc::new(SystemClock),
             metrics: Arc::new(MetricsRegistry::new()),
             seed: 0,
+            http: ServerConfig::default(),
         }
     }
 
@@ -372,8 +394,8 @@ impl Gateway {
             prev = Some(guard.index());
             let outcome = match guard.member() {
                 HostRef::Local(host) => host.execute(request),
-                HostRef::Remote(addr) => match remote_timeout(deadline) {
-                    Some(timeout) => dispatch_remote(*addr, request, timeout),
+                HostRef::Remote { addr, client } => match remote_timeout(deadline) {
+                    Some(timeout) => dispatch_remote(client, *addr, request, timeout),
                     None => Err(deadline_error(request, last_err.as_ref())),
                 },
             };
@@ -473,8 +495,10 @@ impl Gateway {
     ///
     /// Bind failures.
     pub fn serve_on(self: Arc<Self>, listen: &str) -> std::io::Result<Server> {
+        let config = self.http;
+        let metrics = Arc::clone(&self.metrics);
         let router = self.build_router();
-        Server::spawn_on(listen, router)
+        Server::build(router).config(config).metrics(metrics).spawn(listen)
     }
 
     /// As [`Gateway::serve_on`], additionally mounting the campaign
@@ -491,9 +515,11 @@ impl Gateway {
         sched: Arc<confbench_sched::Scheduler>,
         listen: &str,
     ) -> std::io::Result<Server> {
+        let config = self.http;
+        let metrics = Arc::clone(&self.metrics);
         let mut router = self.build_router();
         confbench_sched::rest::add_routes(&mut router, sched);
-        Server::spawn_on(listen, router)
+        Server::build(router).config(config).metrics(metrics).spawn(listen)
     }
 
     /// Builds the gateway's REST router (shared by [`Gateway::serve_on`] and
@@ -617,11 +643,16 @@ fn remote_timeout(deadline: Option<Instant>) -> Option<Duration> {
     }
 }
 
-fn dispatch_remote(addr: SocketAddr, request: &RunRequest, timeout: Duration) -> Result<RunResult> {
-    let client = Client::new(addr).timeout(timeout);
+fn dispatch_remote(
+    client: &Client,
+    addr: SocketAddr,
+    request: &RunRequest,
+    timeout: Duration,
+) -> Result<RunResult> {
     let http_request = Request::new(Method::Post, "/v1/execute").json(request);
-    let response =
-        client.send(&http_request).map_err(|e| Error::Transport(format!("host {addr}: {e}")))?;
+    let response = client
+        .send_with_timeout(&http_request, timeout)
+        .map_err(|e| Error::Transport(format!("host {addr}: {e}")))?;
     let body = || String::from_utf8_lossy(&response.body).into_owned();
     // Remote agents answer with the shared `Error::rest_status` table, so
     // translate statuses back into the matching typed errors instead of

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use confbench_faasrt::FunctionLauncher;
-use confbench_httpd::{Method, Response, Router, Server};
+use confbench_httpd::{Method, Response, Router, Server, ServerConfig};
 use confbench_obs::SpanRecorder;
 use confbench_perfmon::PerfStat;
 use confbench_types::{Error, Result, RunRequest, RunResult, TeePlatform, VmKind, VmTarget};
@@ -153,6 +153,17 @@ impl HostAgent {
     ///
     /// Bind failures.
     pub fn serve(self: Arc<Self>) -> std::io::Result<Server> {
+        self.serve_with_config(ServerConfig::default())
+    }
+
+    /// As [`HostAgent::serve`] with explicit connection-layer tuning. The
+    /// returned server's [`metrics`](Server::metrics) expose the `httpd_*`
+    /// instruments (connection reuse, saturation) for the gateway→host hop.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn serve_with_config(self: Arc<Self>, config: ServerConfig) -> std::io::Result<Server> {
         let mut router = Router::new();
         let agent = Arc::clone(&self);
         add_versioned(&mut router, Method::Post, "/execute", move |req, _| {
@@ -171,7 +182,7 @@ impl HostAgent {
         add_versioned(&mut router, Method::Get, "/health", move |_, _| {
             Response::json(&serde_json::json!({ "platform": platform.to_string(), "ok": true }))
         });
-        Server::spawn(router)
+        Server::build(router).config(config).spawn("127.0.0.1:0")
     }
 }
 

@@ -19,6 +19,11 @@ pub enum Fault {
     Delay(Duration),
     /// Skip the handler and answer with this HTTP status.
     Status(u16),
+    /// Answer normally — advertising keep-alive — then close the connection
+    /// anyway. Simulates a server dying mid-keep-alive: the client's pooled
+    /// socket goes stale and its next send hits EOF, exercising the
+    /// retry-once-on-stale-socket path.
+    CloseAfterResponse,
 }
 
 /// Which requests a rule applies to. Request ordinals are 1-based.

@@ -4,6 +4,15 @@ use std::collections::HashMap;
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 
+/// Maximum length of a request/status line in bytes.
+pub const MAX_START_LINE: usize = 8 << 10;
+/// Maximum length of a single header line in bytes.
+pub const MAX_HEADER_LINE: usize = 8 << 10;
+/// Maximum number of headers per message.
+pub const MAX_HEADERS: usize = 100;
+/// Maximum total header-block size in bytes.
+pub const MAX_HEADER_BYTES: usize = 64 << 10;
+
 /// Supported request methods.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
@@ -49,8 +58,24 @@ pub enum HttpError {
     BadMethod(String),
     /// Body longer than the configured limit.
     BodyTooLarge(usize),
+    /// Request line or header block exceeds the configured limits.
+    HeadersTooLarge(String),
+    /// The peer closed the connection before sending any request bytes
+    /// (the normal end of a keep-alive connection, not a protocol error).
+    Closed,
     /// Underlying I/O failure.
     Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The HTTP status a server should answer with for this parse error.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::HeadersTooLarge(_) => 431,
+            HttpError::BodyTooLarge(_) => 413,
+            _ => 400,
+        }
+    }
 }
 
 impl fmt::Display for HttpError {
@@ -59,6 +84,8 @@ impl fmt::Display for HttpError {
             HttpError::Malformed(msg) => write!(f, "malformed http message: {msg}"),
             HttpError::BadMethod(m) => write!(f, "unsupported method: {m}"),
             HttpError::BodyTooLarge(n) => write!(f, "body of {n} bytes exceeds limit"),
+            HttpError::HeadersTooLarge(msg) => write!(f, "header block too large: {msg}"),
+            HttpError::Closed => write!(f, "connection closed before a request arrived"),
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -129,11 +156,22 @@ impl Request {
     ///
     /// [`HttpError`] on malformed input or I/O failure.
     pub fn read_from(stream: &mut impl Read) -> Result<Request, HttpError> {
+        Request::read_from_buffered(&mut BufReader::new(stream))
+    }
+
+    /// Reads one request from a persistent buffered reader (the keep-alive
+    /// server loop reuses one [`BufReader`] across requests so bytes the
+    /// reader buffered past a message boundary are not lost).
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::Closed`] on clean EOF before any request bytes;
+    /// otherwise as [`Request::read_from`].
+    pub fn read_from_buffered(reader: &mut impl BufRead) -> Result<Request, HttpError> {
         // Bound the whole message so a hostile peer cannot feed an
         // arbitrarily long request line or header block into memory.
-        let mut reader = BufReader::new(stream.by_ref().take(MESSAGE_LIMIT));
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
+        let mut reader = reader.take(MESSAGE_LIMIT);
+        let line = read_line_limited(&mut reader, MAX_START_LINE)?.ok_or(HttpError::Closed)?;
         let mut parts = line.trim_end().splitn(3, ' ');
         let method = parts
             .next()
@@ -150,19 +188,35 @@ impl Request {
         Ok(Request { method, path, query, headers, body })
     }
 
+    /// Whether the sender asked to keep the connection open after this
+    /// request (HTTP/1.1 default; an explicit `Connection: close` opts out).
+    pub fn wants_keep_alive(&self) -> bool {
+        !self.headers.get("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
     /// Serializes the request to a stream.
     ///
     /// # Errors
     ///
     /// I/O failures.
     pub fn write_to(&self, stream: &mut impl Write) -> Result<(), HttpError> {
+        // Assemble the whole message first: one write per request keeps a
+        // small request in a single TCP segment (no Nagle/delayed-ACK
+        // interplay between header and body segments).
         let query = encode_query(&self.query);
-        write!(stream, "{} {}{} HTTP/1.1\r\n", self.method, self.path, query)?;
+        let mut message = Vec::with_capacity(256 + self.body.len());
+        write!(message, "{} {}{} HTTP/1.1\r\n", self.method, self.path, query)?;
         for (k, v) in &self.headers {
-            write!(stream, "{k}: {v}\r\n")?;
+            write!(message, "{k}: {v}\r\n")?;
         }
-        write!(stream, "content-length: {}\r\n\r\n", self.body.len())?;
-        stream.write_all(&self.body)?;
+        if !self.headers.contains_key("connection") {
+            // HTTP/1.1 defaults to keep-alive; say so explicitly for the
+            // benefit of intermediaries and older peers.
+            write!(message, "connection: keep-alive\r\n")?;
+        }
+        write!(message, "content-length: {}\r\n\r\n", self.body.len())?;
+        message.extend_from_slice(&self.body);
+        stream.write_all(&message)?;
         stream.flush()?;
         Ok(())
     }
@@ -215,11 +269,11 @@ impl Response {
     ///
     /// # Errors
     ///
-    /// [`HttpError`] on malformed input or I/O failure.
+    /// [`HttpError`] on malformed input or I/O failure; [`HttpError::Closed`]
+    /// when the peer closed before sending any response bytes.
     pub fn read_from(stream: &mut impl Read) -> Result<Response, HttpError> {
         let mut reader = BufReader::new(stream.by_ref().take(MESSAGE_LIMIT));
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
+        let line = read_line_limited(&mut reader, MAX_START_LINE)?.ok_or(HttpError::Closed)?;
         let mut parts = line.trim_end().splitn(3, ' ');
         let _version = parts.next();
         let status: u16 = parts
@@ -231,18 +285,28 @@ impl Response {
         Ok(Response { status, headers, body })
     }
 
+    /// Whether the sender will keep the connection open after this response
+    /// (HTTP/1.1 default; an explicit `Connection: close` opts out).
+    pub fn keep_alive(&self) -> bool {
+        !self.headers.get("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
     /// Serializes the response to a stream.
     ///
     /// # Errors
     ///
     /// I/O failures.
     pub fn write_to(&self, stream: &mut impl Write) -> Result<(), HttpError> {
-        write!(stream, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        // One write per response, for the same reason as
+        // [`Request::write_to`].
+        let mut message = Vec::with_capacity(256 + self.body.len());
+        write!(message, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
         for (k, v) in &self.headers {
-            write!(stream, "{k}: {v}\r\n")?;
+            write!(message, "{k}: {v}\r\n")?;
         }
-        write!(stream, "content-length: {}\r\n\r\n", self.body.len())?;
-        stream.write_all(&self.body)?;
+        write!(message, "content-length: {}\r\n\r\n", self.body.len())?;
+        message.extend_from_slice(&self.body);
+        stream.write_all(&message)?;
         stream.flush()?;
         Ok(())
     }
@@ -256,7 +320,9 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
@@ -264,19 +330,51 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Reads one `\n`-terminated line of at most `max` bytes. Returns `None` on
+/// clean EOF before any bytes, [`HttpError::HeadersTooLarge`] when the line
+/// would exceed `max` (a slow-loris or oversized-field defence: the line is
+/// abandoned rather than accumulated without bound).
+fn read_line_limited(reader: &mut impl BufRead, max: usize) -> Result<Option<String>, HttpError> {
+    let mut line = String::new();
+    let n = reader.take((max + 1) as u64).read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n > max && !line.ends_with('\n') {
+        return Err(HttpError::HeadersTooLarge(format!("line exceeds {max} bytes")));
+    }
+    Ok(Some(line))
+}
+
 fn read_headers(reader: &mut impl BufRead) -> Result<HashMap<String, String>, HttpError> {
     let mut headers = HashMap::new();
+    let mut total_bytes = 0usize;
     loop {
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
-        let line = line.trim_end();
-        if line.is_empty() {
+        let line = read_line_limited(reader, MAX_HEADER_LINE)?
+            .ok_or_else(|| HttpError::Malformed("connection closed inside header block".into()))?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
             return Ok(headers);
         }
-        let (k, v) = line
+        total_bytes += line.len();
+        if total_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::HeadersTooLarge(format!(
+                "header block exceeds {MAX_HEADER_BYTES} bytes"
+            )));
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadersTooLarge(format!("more than {MAX_HEADERS} headers")));
+        }
+        let (k, v) = trimmed
             .split_once(':')
-            .ok_or_else(|| HttpError::Malformed(format!("bad header: {line:?}")))?;
-        headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_owned());
+            .ok_or_else(|| HttpError::Malformed(format!("bad header: {trimmed:?}")))?;
+        let key = k.trim().to_ascii_lowercase();
+        // Duplicate content-length headers are a request-smuggling vector:
+        // reject them outright instead of last-writer-wins.
+        if key == "content-length" && headers.contains_key(&key) {
+            return Err(HttpError::Malformed("duplicate content-length header".into()));
+        }
+        headers.insert(key, v.trim().to_owned());
     }
 }
 
@@ -284,7 +382,17 @@ fn read_body(
     reader: &mut impl BufRead,
     headers: &HashMap<String, String>,
 ) -> Result<Vec<u8>, HttpError> {
-    let len: usize = headers.get("content-length").and_then(|v| v.parse().ok()).unwrap_or(0);
+    // A missing content-length means no body; a present one must parse as a
+    // non-negative integer — serving an empty body for `-1` or garbage would
+    // silently desynchronize peer and server framing.
+    let len: usize = match headers.get("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<u64>()
+            .ok()
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| HttpError::Malformed(format!("bad content-length: {v:?}")))?,
+    };
     if len > MAX_BODY {
         return Err(HttpError::BodyTooLarge(len));
     }
@@ -431,5 +539,101 @@ mod tests {
         let req = Request::read_from(&mut Cursor::new(raw)).unwrap();
         assert!(req.body.is_empty());
         assert_eq!(req.headers["host"], "localhost");
+    }
+
+    #[test]
+    fn empty_stream_reads_as_closed_not_malformed() {
+        let raw: Vec<u8> = Vec::new();
+        assert!(matches!(Request::read_from(&mut Cursor::new(raw)), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn oversized_request_line_rejected_431() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_START_LINE));
+        let err = Request::read_from(&mut Cursor::new(raw.into_bytes())).unwrap_err();
+        assert!(matches!(err, HttpError::HeadersTooLarge(_)), "got {err}");
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn oversized_header_line_rejected_431() {
+        let raw = format!("GET / HTTP/1.1\r\nx-big: {}\r\n\r\n", "v".repeat(MAX_HEADER_LINE));
+        let err = Request::read_from(&mut Cursor::new(raw.into_bytes())).unwrap_err();
+        assert!(matches!(err, HttpError::HeadersTooLarge(_)), "got {err}");
+    }
+
+    #[test]
+    fn too_many_headers_rejected_431() {
+        // A slow-loris stream: endless small header lines used to be read
+        // forever; now the count cap cuts the request off.
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            raw.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        let err = Request::read_from(&mut Cursor::new(raw.into_bytes())).unwrap_err();
+        assert!(matches!(err, HttpError::HeadersTooLarge(_)), "got {err}");
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn truncated_header_block_is_malformed() {
+        let raw = b"GET / HTTP/1.1\r\nhost: x\r\n".to_vec(); // no terminating blank line
+        assert!(matches!(Request::read_from(&mut Cursor::new(raw)), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn malformed_content_length_rejected_not_zeroed() {
+        // `.parse().ok().unwrap_or(0)` used to serve an empty body for all
+        // of these; they must be 400-class parse errors.
+        for bad in ["abc", "-5", "1e3", "0x10", "18446744073709551616"] {
+            let raw = format!("POST / HTTP/1.1\r\ncontent-length: {bad}\r\n\r\n");
+            let err = Request::read_from(&mut Cursor::new(raw.into_bytes())).unwrap_err();
+            assert!(matches!(err, HttpError::Malformed(_)), "content-length {bad:?} gave {err}");
+            assert_eq!(err.status(), 400);
+        }
+    }
+
+    #[test]
+    fn duplicate_content_length_rejected() {
+        let raw =
+            b"POST / HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 5\r\n\r\nabcde".to_vec();
+        let err = Request::read_from(&mut Cursor::new(raw)).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "got {err}");
+        // Other duplicate headers keep the lenient last-writer-wins behavior.
+        let raw = b"GET / HTTP/1.1\r\nx-a: 1\r\nx-a: 2\r\n\r\n".to_vec();
+        let req = Request::read_from(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(req.headers["x-a"], "2");
+    }
+
+    #[test]
+    fn connection_close_header_recognized() {
+        let raw = b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n".to_vec();
+        let req = Request::read_from(&mut Cursor::new(raw)).unwrap();
+        assert!(!req.wants_keep_alive());
+        let raw = b"GET / HTTP/1.1\r\nconnection: Keep-Alive\r\n\r\n".to_vec();
+        let req = Request::read_from(&mut Cursor::new(raw)).unwrap();
+        assert!(req.wants_keep_alive());
+        let raw = b"GET / HTTP/1.1\r\n\r\n".to_vec();
+        assert!(Request::read_from(&mut Cursor::new(raw)).unwrap().wants_keep_alive());
+
+        let mut resp = Response::text("x");
+        assert!(resp.keep_alive(), "keep-alive is the HTTP/1.1 default");
+        resp.headers.insert("connection".into(), "close".into());
+        assert!(!resp.keep_alive());
+    }
+
+    #[test]
+    fn buffered_reader_survives_two_back_to_back_requests() {
+        let mut raw = Vec::new();
+        Request::new(Method::Get, "/first").write_to(&mut raw).unwrap();
+        Request::new(Method::Get, "/second").write_to(&mut raw).unwrap();
+        let mut cursor = Cursor::new(raw);
+        let mut reader = std::io::BufReader::new(&mut cursor);
+        let a = Request::read_from_buffered(&mut reader).unwrap();
+        let b = Request::read_from_buffered(&mut reader).unwrap();
+        assert_eq!(a.path, "/first");
+        assert_eq!(b.path, "/second");
+        assert!(matches!(Request::read_from_buffered(&mut reader), Err(HttpError::Closed)));
     }
 }

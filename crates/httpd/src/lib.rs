@@ -5,12 +5,18 @@
 //! available offline, so this crate supplies the equivalent substrate from
 //! scratch over `std::net`:
 //!
-//! * [`Request`] / [`Response`] — HTTP/1.1 messages with JSON helpers;
+//! * [`Request`] / [`Response`] — HTTP/1.1 messages with JSON helpers and
+//!   hardened framing (size-capped request lines and headers, strict
+//!   `content-length` parsing);
 //! * [`Router`] — method + path routing with `:param` captures;
-//! * [`Server`] / [`Client`] — a threaded listener and a blocking client;
+//! * [`Server`] — a bounded worker-pool listener with HTTP/1.1 keep-alive,
+//!   `503` + `Retry-After` backpressure, graceful drain, and `httpd_*`
+//!   metrics ([`ServerConfig`] tunes workers/backlog/timeouts);
+//! * [`Client`] — a blocking client with persistent pooled connections and
+//!   transparent retry on stale keep-alive sockets;
 //! * [`TcpRelay`] — socat-style bidirectional port forwarding;
-//! * [`FaultInjector`] — deterministic connection drops, delays, and error
-//!   statuses for resilience testing.
+//! * [`FaultInjector`] — deterministic connection drops, delays, error
+//!   statuses, and mid-keep-alive closes for resilience testing.
 //!
 //! # Example
 //!
@@ -35,7 +41,10 @@ mod router;
 mod server;
 
 pub use fault::{Fault, FaultInjector, Trigger};
-pub use http::{HttpError, Method, Request, Response, MAX_BODY};
+pub use http::{
+    HttpError, Method, Request, Response, MAX_BODY, MAX_HEADERS, MAX_HEADER_BYTES, MAX_HEADER_LINE,
+    MAX_START_LINE,
+};
 pub use relay::TcpRelay;
 pub use router::{Handler, Router};
-pub use server::{Client, Server};
+pub use server::{Client, Server, ServerBuilder, ServerConfig};

@@ -153,7 +153,10 @@ fn accept_loop(
                 });
                 continue;
             }
-            None => {}
+            // The relay forwards whole connections, so a mid-keep-alive close
+            // is indistinguishable from a plain forward here; the server-side
+            // injector handles that fault.
+            Some(Fault::CloseAfterResponse) | None => {}
         }
         let _ = std::thread::Builder::new().name("relay-conn".into()).spawn(move || {
             if let Ok(upstream) = TcpStream::connect_timeout(&target, Duration::from_secs(10)) {
@@ -207,12 +210,19 @@ mod tests {
         assert_eq!(resp.body, b"from the vm");
         assert_eq!(relay.connections(), 1);
 
-        // Multiple connections.
+        // Keep-alive passes through the relay: later requests reuse the
+        // same relayed connection instead of opening new ones.
         for _ in 0..3 {
             let resp = client.send(&Request::new(Method::Get, "/vm")).unwrap();
             assert_eq!(resp.status, 200);
         }
-        assert_eq!(relay.connections(), 4);
+        assert_eq!(relay.connections(), 1);
+        assert_eq!(client.reused_connections(), 3);
+
+        // A fresh client opens a second relayed connection.
+        let other = Client::new(relay.addr());
+        assert_eq!(other.send(&Request::new(Method::Get, "/vm")).unwrap().status, 200);
+        assert_eq!(relay.connections(), 2);
     }
 
     #[test]

@@ -1,11 +1,26 @@
-//! A small threaded HTTP server and client.
+//! A bounded-worker HTTP/1.1 server with keep-alive, and a
+//! connection-pooling client.
+//!
+//! The server accepts on one thread and serves connections from a fixed
+//! worker pool (no thread-per-connection): each worker owns a connection
+//! for its keep-alive lifetime, looping over requests until the peer
+//! closes, an idle timeout fires, or the per-connection request cap is
+//! reached. When every worker is busy and the pending-connection backlog
+//! is full, new connections are answered `503` + `Retry-After` instead of
+//! spawning without bound. [`Server::shutdown`] drains gracefully: accept
+//! stops, idle keep-alive connections are cut immediately, and in-flight
+//! requests get a deadline to finish.
 
-use std::io;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use confbench_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use parking_lot::Mutex;
 
 use crate::fault::{Fault, FaultInjector};
 use crate::http::{HttpError, Request, Response};
@@ -37,6 +52,276 @@ pub(crate) fn join_with_timeout(handle: JoinHandle<()>, timeout: Duration) {
     let _ = handle.join();
 }
 
+/// Connection-layer tuning for a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads serving connections. Each worker owns one connection
+    /// at a time for its keep-alive lifetime. Clamped to ≥ 1.
+    pub workers: usize,
+    /// Pending connections held while all workers are busy; overflow is
+    /// answered `503` + `Retry-After`. Clamped to ≥ 1.
+    pub backlog: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub keep_alive_idle: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (`connection: close` on the final response). Clamped to ≥ 1.
+    pub max_requests_per_conn: u64,
+    /// Read timeout for the first request of a connection.
+    pub read_timeout: Duration,
+    /// `Retry-After` hint (seconds) on backpressure 503s. Gateways wire
+    /// this from their retry policy so the hint matches their own backoff.
+    pub retry_after_secs: u64,
+    /// How long [`Server::shutdown`] waits for in-flight requests before
+    /// force-closing their connections.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    /// 8 workers, 64-connection backlog, 5 s keep-alive idle, 1000
+    /// requests/connection, 30 s read timeout, `Retry-After: 1`, 5 s drain.
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            backlog: 64,
+            keep_alive_idle: Duration::from_secs(5),
+            max_requests_per_conn: 1000,
+            read_timeout: Duration::from_secs(30),
+            retry_after_secs: 1,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Cached `httpd_*` instrument handles.
+struct HttpdMetrics {
+    connections_total: Arc<Counter>,
+    active: Arc<Gauge>,
+    requests_total: Arc<Counter>,
+    keepalive_reuse: Arc<Counter>,
+    rejected_total: Arc<Counter>,
+    workers_busy: Arc<Gauge>,
+    requests_per_conn: Arc<Histogram>,
+}
+
+impl HttpdMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        HttpdMetrics {
+            connections_total: registry.counter("httpd_connections_total"),
+            active: registry.gauge("httpd_connections_active"),
+            requests_total: registry.counter("httpd_requests_total"),
+            keepalive_reuse: registry.counter("httpd_keepalive_reuse_total"),
+            rejected_total: registry.counter("httpd_rejected_total"),
+            workers_busy: registry.gauge("httpd_workers_busy"),
+            requests_per_conn: registry.histogram("httpd_requests_per_conn", &[1, 2, 5, 10, 100]),
+        }
+    }
+}
+
+/// Bounded handoff between the accept thread and the worker pool.
+#[derive(Default)]
+struct ConnQueue {
+    state: StdMutex<(VecDeque<TcpStream>, bool)>, // (pending, closed)
+    cv: Condvar,
+}
+
+impl ConnQueue {
+    /// Enqueues a connection; gives it back when the backlog is full or the
+    /// queue is closed.
+    fn try_push(&self, stream: TcpStream, capacity: usize) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().expect("conn queue lock");
+        if state.1 || state.0.len() >= capacity {
+            return Err(stream);
+        }
+        state.0.push_back(stream);
+        drop(state);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a connection is available or the queue is closed and
+    /// drained. `None` tells the worker to exit.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("conn queue lock");
+        loop {
+            if let Some(stream) = state.0.pop_front() {
+                return Some(stream);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.cv.wait(state).expect("conn queue lock");
+        }
+    }
+
+    /// Closes the queue and returns connections never handed to a worker.
+    fn close(&self) -> Vec<TcpStream> {
+        let mut state = self.state.lock().expect("conn queue lock");
+        state.1 = true;
+        let pending = state.0.drain(..).collect();
+        drop(state);
+        self.cv.notify_all();
+        pending
+    }
+
+    fn depth(&self) -> usize {
+        self.state.lock().expect("conn queue lock").0.len()
+    }
+}
+
+/// Live-connection registry so shutdown can cut idle keep-alive sockets
+/// immediately and force-close stragglers after the drain deadline.
+#[derive(Default)]
+struct ConnRegistry {
+    next_id: AtomicU64,
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+}
+
+struct ConnEntry {
+    stream: TcpStream,
+    busy: Arc<AtomicBool>,
+}
+
+impl ConnRegistry {
+    fn register(&self, stream: &TcpStream, busy: Arc<AtomicBool>) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.conns.lock().insert(id, ConnEntry { stream: clone, busy });
+        Some(id)
+    }
+
+    fn deregister(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.conns.lock().remove(&id);
+        }
+    }
+
+    /// Shuts down connections not currently serving a request (blocked
+    /// waiting for the peer's next keep-alive request).
+    fn close_idle(&self) {
+        for entry in self.conns.lock().values() {
+            if !entry.busy.load(Ordering::SeqCst) {
+                let _ = entry.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    fn close_all(&self) {
+        for entry in self.conns.lock().values() {
+            let _ = entry.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// State shared by the accept thread and the worker pool.
+struct Shared {
+    router: Router,
+    config: ServerConfig,
+    faults: Option<Arc<FaultInjector>>,
+    metrics: HttpdMetrics,
+    registry: Arc<MetricsRegistry>,
+    shutdown: AtomicBool,
+    queue: ConnQueue,
+    conns: ConnRegistry,
+}
+
+impl Shared {
+    /// Answers a connection the pool cannot take with `503` + `Retry-After`.
+    fn reject(&self, stream: TcpStream) {
+        use std::io::Read;
+        self.metrics.rejected_total.inc();
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        let mut response = Response::error(503, "server saturated: all workers busy, backlog full");
+        response.headers.insert("retry-after".into(), self.config.retry_after_secs.to_string());
+        response.headers.insert("connection".into(), "close".into());
+        let _ = response.write_to(&mut &stream);
+        // Drain the client's (unread) request briefly before closing:
+        // dropping a socket with buffered input sends RST, which would
+        // discard the 503 from the peer's receive buffer.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let mut buf = [0u8; 4096];
+        while let Ok(n) = (&stream).read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+}
+
+/// Configures and spawns a [`Server`]; obtained from [`Server::build`].
+pub struct ServerBuilder {
+    router: Router,
+    config: ServerConfig,
+    faults: Option<Arc<FaultInjector>>,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl ServerBuilder {
+    /// Overrides the connection-layer tuning (default [`ServerConfig::default`]).
+    pub fn config(mut self, config: ServerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a [`FaultInjector`] deciding the fate of each request.
+    pub fn faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Publishes `httpd_*` metrics into a shared registry (default: a fresh
+    /// registry reachable via [`Server::metrics`]).
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Binds `addr` and starts the accept thread plus the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(self, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let mut config = self.config;
+        config.workers = config.workers.max(1);
+        config.backlog = config.backlog.max(1);
+        config.max_requests_per_conn = config.max_requests_per_conn.max(1);
+        let registry = self.metrics.unwrap_or_default();
+        let shared = Arc::new(Shared {
+            router: self.router,
+            config,
+            faults: self.faults,
+            metrics: HttpdMetrics::register(&registry),
+            registry,
+            shutdown: AtomicBool::new(false),
+            queue: ConnQueue::default(),
+            conns: ConnRegistry::default(),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("httpd-{addr}"))
+            .spawn(move || accept_loop(listener, accept_shared))?;
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let worker_shared = Arc::clone(&shared);
+            // Handlers run language interpreters whose recursion is deep in
+            // debug builds, so give workers a generous stack.
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("httpd-worker-{i}"))
+                    .stack_size(16 << 20)
+                    .spawn(move || worker_loop(&worker_shared))?,
+            );
+        }
+        Ok(Server { addr, shared, accept_thread: Some(accept_thread), workers })
+    }
+}
+
 /// A running HTTP server. Dropping it shuts the listener down.
 ///
 /// # Example
@@ -53,18 +338,24 @@ pub(crate) fn join_with_timeout(handle: JoinHandle<()>, timeout: Duration) {
 /// ```
 pub struct Server {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `127.0.0.1:0` and serves `router` on a background thread.
+    /// Starts configuring a server for `router`.
+    pub fn build(router: Router) -> ServerBuilder {
+        ServerBuilder { router, config: ServerConfig::default(), faults: None, metrics: None }
+    }
+
+    /// Binds `127.0.0.1:0` and serves `router` with default tuning.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn spawn(router: Router) -> io::Result<Server> {
-        Server::spawn_on("127.0.0.1:0", router)
+        Server::build(router).spawn("127.0.0.1:0")
     }
 
     /// Binds a specific address.
@@ -73,17 +364,17 @@ impl Server {
     ///
     /// Propagates bind failures.
     pub fn spawn_on(addr: &str, router: Router) -> io::Result<Server> {
-        Server::spawn_inner(addr, router, None)
+        Server::build(router).spawn(addr)
     }
 
     /// As [`Server::spawn`], with a [`FaultInjector`] deciding the fate of
-    /// each incoming connection (testing/chaos harness).
+    /// each incoming request (testing/chaos harness).
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn spawn_with_faults(router: Router, faults: Arc<FaultInjector>) -> io::Result<Server> {
-        Server::spawn_inner("127.0.0.1:0", router, Some(faults))
+        Server::build(router).faults(faults).spawn("127.0.0.1:0")
     }
 
     /// As [`Server::spawn_on`], with fault injection.
@@ -96,23 +387,7 @@ impl Server {
         router: Router,
         faults: Arc<FaultInjector>,
     ) -> io::Result<Server> {
-        Server::spawn_inner(addr, router, Some(faults))
-    }
-
-    fn spawn_inner(
-        addr: &str,
-        router: Router,
-        faults: Option<Arc<FaultInjector>>,
-    ) -> io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let router = Arc::new(router);
-        let flag = Arc::clone(&shutdown);
-        let accept_thread = std::thread::Builder::new()
-            .name(format!("httpd-{addr}"))
-            .spawn(move || accept_loop(listener, router, flag, faults))?;
-        Ok(Server { addr, shutdown, accept_thread: Some(accept_thread) })
+        Server::build(router).faults(faults).spawn(addr)
     }
 
     /// The bound address.
@@ -120,13 +395,35 @@ impl Server {
         self.addr
     }
 
-    /// Signals shutdown and joins the accept thread.
+    /// The registry the server's `httpd_*` instruments live in.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.registry
+    }
+
+    /// Connections currently owned by workers.
+    pub fn active_connections(&self) -> u64 {
+        self.shared.metrics.active.get()
+    }
+
+    /// Worker threads serving connections.
+    pub fn worker_count(&self) -> usize {
+        self.shared.config.workers
+    }
+
+    /// Connections waiting in the backlog for a free worker.
+    pub fn backlog_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Gracefully shuts down: stops accepting, rejects backlogged
+    /// connections, cuts idle keep-alive sockets, lets in-flight requests
+    /// finish within the drain deadline, then joins the pool.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         // Wake the accept loop with a throwaway connection. Connect to
         // loopback with the bound port: a wildcard bind address (0.0.0.0)
         // is not connectable, which used to leave the loop blocked.
@@ -134,76 +431,191 @@ impl Server {
         if let Some(handle) = self.accept_thread.take() {
             join_with_timeout(handle, Duration::from_secs(5));
         }
+        // Backlogged connections never reached a worker: tell them to retry.
+        for stream in self.shared.queue.close() {
+            self.shared.reject(stream);
+        }
+        // Idle keep-alive connections close now; in-flight requests get the
+        // drain deadline to finish (their connections go idle on completion
+        // because the drain flag forces `connection: close`).
+        self.shared.conns.close_idle();
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        while self.shared.metrics.active.get() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+            self.shared.conns.close_idle();
+        }
+        self.shared.conns.close_all();
+        for handle in self.workers.drain(..) {
+            join_with_timeout(handle, Duration::from_secs(1));
+        }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
+        if self.accept_thread.is_some() || !self.workers.is_empty() {
             self.stop();
         }
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    router: Arc<Router>,
-    shutdown: Arc<AtomicBool>,
-    faults: Option<Arc<FaultInjector>>,
-) {
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     for stream in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
+        if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let router = Arc::clone(&router);
-        let faults = faults.clone();
-        // One thread per connection: ConfBench's control plane is low-rate.
-        // Handlers run language interpreters whose recursion is deep in
-        // debug builds, so give connections a generous stack.
-        let _ = std::thread::Builder::new().name("httpd-conn".into()).stack_size(16 << 20).spawn(
-            move || {
-                handle_connection(stream, &router, faults.as_deref());
-            },
-        );
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, router: &Router, faults: Option<&FaultInjector>) {
-    let fault = faults.and_then(|f| f.decide());
-    if fault == Some(Fault::DropConnection) {
-        return; // close without reading: the client sees a reset/EOF
-    }
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let request = match Request::read_from(&mut stream) {
-        Ok(request) => request,
-        Err(HttpError::Io(_)) => return, // peer went away
-        Err(e) => {
-            let _ = Response::error(400, e.to_string()).write_to(&mut stream);
-            return;
+        if let Err(stream) = shared.queue.try_push(stream, shared.config.backlog) {
+            shared.reject(stream);
         }
-    };
-    if let Some(Fault::Delay(d)) = fault {
-        std::thread::sleep(d);
     }
-    let response = match fault {
-        Some(Fault::Status(code)) => Response::error(code, "injected fault"),
-        _ => router.dispatch(&request),
-    };
-    let _ = response.write_to(&mut stream);
 }
 
-/// A minimal HTTP client for one server address.
-#[derive(Debug, Clone)]
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = shared.queue.pop() {
+        shared.metrics.workers_busy.inc();
+        handle_connection(stream, shared);
+        shared.metrics.workers_busy.dec();
+    }
+}
+
+/// Decrements the active gauge, records the per-connection request count,
+/// and deregisters the connection — on every exit path, panics included.
+struct ConnGuard<'a> {
+    shared: &'a Shared,
+    id: Option<u64>,
+    served: u64,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.metrics.requests_per_conn.observe(self.served);
+        self.shared.metrics.active.dec();
+        self.shared.conns.deregister(self.id);
+    }
+}
+
+/// Serves requests on one connection until the peer closes, asks to close,
+/// idles out, hits the request cap, or the server drains.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    shared.metrics.connections_total.inc();
+    shared.metrics.active.inc();
+    let busy = Arc::new(AtomicBool::new(false));
+    let mut guard =
+        ConnGuard { shared, id: shared.conns.register(&stream, Arc::clone(&busy)), served: 0 };
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(&stream);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) && guard.served > 0 {
+            break; // draining: no new keep-alive requests
+        }
+        let idle = if guard.served == 0 {
+            shared.config.read_timeout
+        } else {
+            shared.config.keep_alive_idle
+        };
+        let _ = stream.set_read_timeout(Some(idle));
+        let request = match Request::read_from_buffered(&mut reader) {
+            Ok(request) => request,
+            Err(HttpError::Closed) => break, // clean end of keep-alive
+            Err(HttpError::Io(_)) => break,  // idle timeout or peer reset
+            Err(e) => {
+                // Parse errors answer with their status (400/413/431) and
+                // close: the stream position is no longer trustworthy.
+                let mut response = Response::error(e.status(), e.to_string());
+                response.headers.insert("connection".into(), "close".into());
+                let _ = response.write_to(&mut &stream);
+                break;
+            }
+        };
+        busy.store(true, Ordering::SeqCst);
+        guard.served += 1;
+        shared.metrics.requests_total.inc();
+        if guard.served > 1 {
+            shared.metrics.keepalive_reuse.inc();
+        }
+
+        let fault = shared.faults.as_deref().and_then(|f| f.decide());
+        if fault == Some(Fault::DropConnection) {
+            return; // close without a response: the client sees a reset/EOF
+        }
+        if let Some(Fault::Delay(d)) = fault {
+            std::thread::sleep(d);
+        }
+        let mut response = match fault {
+            Some(Fault::Status(code)) => Response::error(code, "injected fault"),
+            _ => {
+                // A panicking handler must not kill the pool's worker.
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    shared.router.dispatch(&request)
+                }))
+                .unwrap_or_else(|_| Response::error(500, "handler panicked"))
+            }
+        };
+
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        let exhausted = guard.served >= shared.config.max_requests_per_conn;
+        // `CloseAfterResponse` deliberately lies (keep-alive advertised,
+        // socket closed anyway) to simulate a server dying mid-keep-alive.
+        let fault_close = fault == Some(Fault::CloseAfterResponse);
+        let close = !request.wants_keep_alive() || !response.keep_alive() || draining || exhausted;
+        if !fault_close {
+            response
+                .headers
+                .insert("connection".into(), if close { "close" } else { "keep-alive" }.into());
+        }
+        let write_ok = response.write_to(&mut &stream).is_ok();
+        busy.store(false, Ordering::SeqCst);
+        if !write_ok || close || fault_close {
+            break;
+        }
+    }
+}
+
+/// Statistics a [`Client`] keeps about its connection pool.
+#[derive(Debug, Default)]
+struct ClientStats {
+    reused: AtomicU64,
+    stale_retries: AtomicU64,
+}
+
+/// An HTTP client for one server address, with persistent connection reuse.
+///
+/// Sockets whose response advertised keep-alive return to a shared pool and
+/// are reused by later sends (clones share the pool). A send on a pooled
+/// socket that fails with a stale-socket error (EOF/reset — the server
+/// closed it between requests) is transparently retried once on a fresh
+/// connection; failures on fresh connections propagate.
+#[derive(Clone)]
 pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
+    pool: Arc<Mutex<Vec<TcpStream>>>,
+    stats: Arc<ClientStats>,
+}
+
+/// Idle sockets kept per pool; excess connections close on return.
+const POOL_CAP: usize = 8;
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("addr", &self.addr)
+            .field("timeout", &self.timeout)
+            .field("pooled", &self.pool.lock().len())
+            .finish()
+    }
 }
 
 impl Client {
     /// Creates a client for `addr` with a 30 s timeout.
     pub fn new(addr: SocketAddr) -> Self {
-        Client { addr, timeout: Duration::from_secs(30) }
+        Client {
+            addr,
+            timeout: Duration::from_secs(30),
+            pool: Arc::new(Mutex::new(Vec::new())),
+            stats: Arc::new(ClientStats::default()),
+        }
     }
 
     /// Creates a client resolving `addr` (e.g. `"127.0.0.1:8080"`).
@@ -219,10 +631,26 @@ impl Client {
         Ok(Client::new(addr))
     }
 
-    /// Overrides the request timeout.
+    /// Overrides the request timeout (the connection pool is shared with
+    /// the original).
     pub fn timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
         self
+    }
+
+    /// Sends served on a reused pooled socket so far.
+    pub fn reused_connections(&self) -> u64 {
+        self.stats.reused.load(Ordering::SeqCst)
+    }
+
+    /// Stale pooled sockets detected and retried on a fresh connection.
+    pub fn stale_retries(&self) -> u64 {
+        self.stats.stale_retries.load(Ordering::SeqCst)
+    }
+
+    /// Idle sockets currently pooled.
+    pub fn pooled_connections(&self) -> usize {
+        self.pool.lock().len()
     }
 
     /// Sends a request, returning the response.
@@ -231,11 +659,84 @@ impl Client {
     ///
     /// Connection or protocol failures.
     pub fn send(&self, request: &Request) -> Result<Response, HttpError> {
-        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
-        request.write_to(&mut stream)?;
-        Response::read_from(&mut stream)
+        self.send_with_timeout(request, self.timeout)
+    }
+
+    /// As [`Client::send`] with an explicit per-request timeout (deadline
+    /// propagation clamps this below the client default).
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol failures.
+    pub fn send_with_timeout(
+        &self,
+        request: &Request,
+        timeout: Duration,
+    ) -> Result<Response, HttpError> {
+        // Take the pooled socket in its own statement: an `if let` on
+        // `.lock().pop()` would hold the pool guard for the whole body and
+        // deadlock against `maybe_pool`'s re-lock.
+        let pooled = self.pool.lock().pop();
+        if let Some(mut stream) = pooled {
+            match Self::exchange(&mut stream, request, timeout) {
+                Ok(response) => {
+                    self.stats.reused.fetch_add(1, Ordering::SeqCst);
+                    self.maybe_pool(stream, &response);
+                    return Ok(response);
+                }
+                Err(e) if is_stale_socket(&e) => {
+                    // The server closed the pooled socket between requests
+                    // (idle timeout, request cap, restart): retry once on a
+                    // fresh connection.
+                    self.stats.stale_retries.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let mut stream = TcpStream::connect_timeout(&self.addr, timeout)?;
+        let response = Self::exchange(&mut stream, request, timeout)?;
+        self.maybe_pool(stream, &response);
+        Ok(response)
+    }
+
+    fn exchange(
+        stream: &mut TcpStream,
+        request: &Request,
+        timeout: Duration,
+    ) -> Result<Response, HttpError> {
+        // Without nodelay, the second small write on a reused socket sits
+        // behind Nagle waiting for the peer's delayed ACK (~40 ms per
+        // request), erasing the keep-alive win.
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        request.write_to(stream)?;
+        Response::read_from(stream)
+    }
+
+    fn maybe_pool(&self, stream: TcpStream, response: &Response) {
+        if response.keep_alive() {
+            let mut pool = self.pool.lock();
+            if pool.len() < POOL_CAP {
+                pool.push(stream);
+            }
+        }
+    }
+}
+
+/// Errors that mean a pooled socket went stale (safe to retry on a fresh
+/// connection) as opposed to a live server misbehaving or timing out.
+fn is_stale_socket(e: &HttpError) -> bool {
+    match e {
+        HttpError::Closed => true,
+        HttpError::Io(e) => matches!(
+            e.kind(),
+            io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+        ),
+        _ => false,
     }
 }
 
@@ -304,6 +805,146 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_reuses_one_connection() {
+        let server = test_server();
+        let client = Client::new(server.addr());
+        for _ in 0..5 {
+            let resp = client.send(&Request::new(Method::Get, "/hello/ka")).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.headers.get("connection").map(String::as_str), Some("keep-alive"));
+        }
+        assert_eq!(client.reused_connections(), 4, "first send connects, four reuse");
+        let m = server.metrics();
+        assert_eq!(m.counter_value("httpd_connections_total"), Some(1));
+        assert_eq!(m.counter_value("httpd_requests_total"), Some(5));
+        assert_eq!(m.counter_value("httpd_keepalive_reuse_total"), Some(4));
+    }
+
+    #[test]
+    fn connection_close_header_is_honored() {
+        let server = test_server();
+        let client = Client::new(server.addr());
+        let mut req = Request::new(Method::Get, "/hello/x");
+        req.headers.insert("connection".into(), "close".into());
+        let resp = client.send(&req).unwrap();
+        assert_eq!(resp.headers.get("connection").map(String::as_str), Some("close"));
+        assert_eq!(client.pooled_connections(), 0, "closed socket not pooled");
+        // The next send opens a second connection.
+        client.send(&Request::new(Method::Get, "/hello/y")).unwrap();
+        assert_eq!(server.metrics().counter_value("httpd_connections_total"), Some(2));
+    }
+
+    #[test]
+    fn idle_timeout_closes_and_client_recovers() {
+        let mut router = Router::new();
+        router.add(Method::Get, "/ok", |_, _| Response::text("up"));
+        let config =
+            ServerConfig { keep_alive_idle: Duration::from_millis(50), ..ServerConfig::default() };
+        let server = Server::build(router).config(config).spawn("127.0.0.1:0").unwrap();
+        let client = Client::new(server.addr());
+        client.send(&Request::new(Method::Get, "/ok")).unwrap();
+        assert_eq!(client.pooled_connections(), 1);
+        std::thread::sleep(Duration::from_millis(250));
+        // The pooled socket is stale (server idled it out); the client must
+        // retry transparently on a fresh connection.
+        let resp = client.send(&Request::new(Method::Get, "/ok")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(client.stale_retries(), 1);
+        assert_eq!(server.metrics().counter_value("httpd_connections_total"), Some(2));
+    }
+
+    #[test]
+    fn request_cap_closes_connection() {
+        let mut router = Router::new();
+        router.add(Method::Get, "/ok", |_, _| Response::text("up"));
+        let config = ServerConfig { max_requests_per_conn: 2, ..ServerConfig::default() };
+        let server = Server::build(router).config(config).spawn("127.0.0.1:0").unwrap();
+        let client = Client::new(server.addr());
+        client.send(&Request::new(Method::Get, "/ok")).unwrap();
+        let second = client.send(&Request::new(Method::Get, "/ok")).unwrap();
+        assert_eq!(second.headers.get("connection").map(String::as_str), Some("close"));
+        client.send(&Request::new(Method::Get, "/ok")).unwrap();
+        assert_eq!(server.metrics().counter_value("httpd_connections_total"), Some(2));
+    }
+
+    #[test]
+    fn saturation_returns_503_with_retry_after() {
+        let started = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&started);
+        let mut router = Router::new();
+        router.add(Method::Get, "/slow", move |_, _| {
+            flag.store(true, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(400));
+            Response::text("done")
+        });
+        let config =
+            ServerConfig { workers: 1, backlog: 1, retry_after_secs: 7, ..ServerConfig::default() };
+        let server = Server::build(router).config(config).spawn("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        // Occupy the single worker and wait until its handler is running…
+        let in_worker =
+            std::thread::spawn(move || Client::new(addr).send(&Request::new(Method::Get, "/slow")));
+        while !started.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // …then park a second connection in the (size-1) backlog.
+        let in_backlog =
+            std::thread::spawn(move || Client::new(addr).send(&Request::new(Method::Get, "/slow")));
+        while server.backlog_depth() == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Worker busy + backlog full: this one must be rejected quickly.
+        let start = Instant::now();
+        let resp = Client::new(addr).send(&Request::new(Method::Get, "/slow")).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.headers.get("retry-after").map(String::as_str), Some("7"));
+        assert!(start.elapsed() < Duration::from_millis(200), "503 must not wait for a worker");
+        for h in [in_worker, in_backlog] {
+            let resp = h.join().unwrap().unwrap();
+            assert_eq!(resp.status, 200, "queued requests still complete");
+        }
+        assert_eq!(server.metrics().counter_value("httpd_rejected_total"), Some(1));
+    }
+
+    #[test]
+    fn graceful_drain_finishes_in_flight_request() {
+        let mut router = Router::new();
+        router.add(Method::Get, "/slow", |_, _| {
+            std::thread::sleep(Duration::from_millis(200));
+            Response::text("finished")
+        });
+        let server = Server::spawn(router).unwrap();
+        let addr = server.addr();
+        let inflight =
+            std::thread::spawn(move || Client::new(addr).send(&Request::new(Method::Get, "/slow")));
+        std::thread::sleep(Duration::from_millis(50));
+        let start = Instant::now();
+        server.shutdown();
+        assert!(start.elapsed() >= Duration::from_millis(100), "shutdown waited for the request");
+        let resp = inflight.join().unwrap().unwrap();
+        assert_eq!(resp.body, b"finished");
+        assert_eq!(
+            resp.headers.get("connection").map(String::as_str),
+            Some("close"),
+            "draining forces close"
+        );
+    }
+
+    #[test]
+    fn shutdown_cuts_idle_keepalive_connections_quickly() {
+        let server = test_server();
+        let client = Client::new(server.addr());
+        client.send(&Request::new(Method::Get, "/hello/x")).unwrap();
+        assert_eq!(client.pooled_connections(), 1, "idle keep-alive socket held");
+        let start = Instant::now();
+        server.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "idle connections must not hold up drain"
+        );
+    }
+
+    #[test]
     fn fault_injected_status_and_drop() {
         let mut router = Router::new();
         router.add(Method::Get, "/ok", |_, _| Response::text("fine"));
@@ -340,6 +981,54 @@ mod tests {
         let resp = client.send(&Request::new(Method::Get, "/ok")).unwrap();
         assert_eq!(resp.body, b"slow");
         assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn close_after_response_fault_exercises_stale_retry() {
+        let mut router = Router::new();
+        router.add(Method::Get, "/ok", |_, _| Response::text("fine"));
+        let faults = Arc::new(
+            FaultInjector::new().rule(crate::fault::Trigger::Nth(1), Fault::CloseAfterResponse),
+        );
+        let server = Server::spawn_with_faults(router, faults).unwrap();
+        let client = Client::new(server.addr()).timeout(Duration::from_secs(2));
+        // Request 1 succeeds; the response advertises keep-alive but the
+        // server closes the socket anyway (mid-keep-alive fault).
+        let resp = client.send(&Request::new(Method::Get, "/ok")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(client.pooled_connections(), 1, "client pooled the doomed socket");
+        // Request 2 hits the stale socket and must retry transparently.
+        let resp = client.send(&Request::new(Method::Get, "/ok")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(client.stale_retries(), 1);
+    }
+
+    #[test]
+    fn panicking_handler_answers_500_and_worker_survives() {
+        let mut router = Router::new();
+        router.add(Method::Get, "/boom", |_, _| panic!("handler exploded"));
+        router.add(Method::Get, "/ok", |_, _| Response::text("alive"));
+        let config = ServerConfig { workers: 1, ..ServerConfig::default() };
+        let server = Server::build(router).config(config).spawn("127.0.0.1:0").unwrap();
+        let client = Client::new(server.addr()).timeout(Duration::from_secs(2));
+        let resp = client.send(&Request::new(Method::Get, "/boom")).unwrap();
+        assert_eq!(resp.status, 500);
+        // The single worker must still be alive to serve this.
+        let resp = client.send(&Request::new(Method::Get, "/ok")).unwrap();
+        assert_eq!(resp.body, b"alive");
+    }
+
+    #[test]
+    fn malformed_request_gets_status_and_close() {
+        let server = test_server();
+        use std::io::{Read, Write};
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(b"POST /echo HTTP/1.1\r\ncontent-length: nope\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        raw.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        raw.read_to_string(&mut buf).unwrap(); // server closes → EOF ends the read
+        assert!(buf.starts_with("HTTP/1.1 400"), "got {buf:?}");
+        assert!(buf.contains("connection: close"));
     }
 
     #[test]

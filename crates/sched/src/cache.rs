@@ -7,7 +7,8 @@
 //! touching a VM, and editing a function's source changes its fingerprint
 //! and invalidates precisely that function's entries.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use confbench_crypto::Sha256;
 use confbench_types::CampaignCell;
@@ -57,36 +58,119 @@ pub struct CachedCell {
     pub output: String,
 }
 
-/// A thread-safe content-addressed store of [`CachedCell`]s.
+/// Default entry cap for [`ResultCache::new`]; override with
+/// [`ResultCache::with_capacity`] (gateway flag `--cache-capacity`).
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Entries plus a recency index. `tick` is a logical clock bumped on every
+/// touch; `order` maps tick → key so the least-recently-used entry is the
+/// first in the map.
 #[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<String, (CachedCell, u64)>,
+    order: BTreeMap<u64, String>,
+    tick: u64,
+}
+
+impl CacheInner {
+    fn touch(&mut self, key: &str) {
+        self.tick += 1;
+        if let Some((_, at)) = self.entries.get_mut(key) {
+            let prev = std::mem::replace(at, self.tick);
+            self.order.remove(&prev);
+            self.order.insert(self.tick, key.to_owned());
+        }
+    }
+}
+
+/// A thread-safe content-addressed store of [`CachedCell`]s, bounded by an
+/// entry cap with least-recently-used eviction.
+///
+/// Both hits ([`get`](ResultCache::get)) and stores
+/// ([`insert`](ResultCache::insert)) refresh an entry's recency; when a new
+/// key would exceed the cap the stalest entry is dropped and counted in
+/// [`evictions`](ResultCache::evictions).
+#[derive(Debug)]
 pub struct ResultCache {
-    entries: Mutex<HashMap<String, CachedCell>>,
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    evictions: AtomicU64,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl ResultCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache holding up to [`DEFAULT_CACHE_CAPACITY`] entries.
     pub fn new() -> Self {
         ResultCache::default()
     }
 
-    /// Looks up a result by its content address.
-    pub fn get(&self, key: &str) -> Option<CachedCell> {
-        self.entries.lock().get(key).cloned()
+    /// Creates an empty cache holding up to `capacity` entries (clamped to
+    /// ≥ 1 — a zero-capacity cache could never serve a hit).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: capacity.max(1),
+            evictions: AtomicU64::new(0),
+        }
     }
 
-    /// Stores a result under its content address.
-    pub fn insert(&self, key: String, cell: CachedCell) {
-        self.entries.lock().insert(key, cell);
+    /// The entry cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a result by its content address, refreshing its recency.
+    pub fn get(&self, key: &str) -> Option<CachedCell> {
+        let mut inner = self.inner.lock();
+        let hit = inner.entries.get(key).map(|(cell, _)| cell.clone());
+        if hit.is_some() {
+            inner.touch(key);
+        }
+        hit
+    }
+
+    /// Stores a result under its content address, evicting the
+    /// least-recently-used entries if the cache is full. Returns how many
+    /// entries were evicted (so callers can bump an evictions counter).
+    pub fn insert(&self, key: String, cell: CachedCell) -> u64 {
+        let mut inner = self.inner.lock();
+        if inner.entries.contains_key(&key) {
+            inner.touch(&key);
+            inner.entries.get_mut(&key).expect("touched entry exists").0 = cell;
+            return 0;
+        }
+        let mut evicted = 0;
+        while inner.entries.len() >= self.capacity {
+            let Some((_, stale)) = inner.order.pop_first() else { break };
+            inner.entries.remove(&stale);
+            evicted += 1;
+        }
+        self.evictions.fetch_add(evicted, Ordering::SeqCst);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.order.insert(tick, key.clone());
+        inner.entries.insert(key, (cell, tick));
+        evicted
+    }
+
+    /// Entries evicted to stay under the cap since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::SeqCst)
     }
 
     /// Number of distinct results stored.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.inner.lock().entries.len()
     }
 
     /// Whether the cache holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.inner.lock().entries.is_empty()
     }
 }
 
@@ -165,5 +249,67 @@ mod tests {
         // Re-inserting the same address does not grow the store.
         cache.insert(key, cached());
         assert_eq!(cache.len(), 1);
+    }
+
+    fn entry(output: &str) -> CachedCell {
+        CachedCell { output: output.into(), ..cached() }
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used_order() {
+        let cache = ResultCache::with_capacity(3);
+        cache.insert("a".into(), entry("a"));
+        cache.insert("b".into(), entry("b"));
+        cache.insert("c".into(), entry("c"));
+        assert_eq!(cache.evictions(), 0);
+        // Full: inserting a fourth key evicts the stalest ("a").
+        cache.insert("d".into(), entry("d"));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get("a").is_none(), "LRU entry evicted first");
+        // "b" is now stalest; the next insert drops it.
+        cache.insert("e".into(), entry("e"));
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let cache = ResultCache::with_capacity(2);
+        cache.insert("old".into(), entry("old"));
+        cache.insert("new".into(), entry("new"));
+        // Touch "old" so "new" becomes the eviction candidate.
+        assert!(cache.get("old").is_some());
+        cache.insert("third".into(), entry("third"));
+        assert!(cache.get("old").is_some(), "recently read entry survives");
+        assert!(cache.get("new").is_none(), "unread entry was evicted");
+    }
+
+    #[test]
+    fn reinsert_updates_without_evicting() {
+        let cache = ResultCache::with_capacity(2);
+        cache.insert("a".into(), entry("v1"));
+        cache.insert("b".into(), entry("b"));
+        // Same key: overwrite in place, no eviction even though full.
+        cache.insert("a".into(), entry("v2"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.get("a").unwrap().output, "v2");
+        // The overwrite also refreshed "a", so "b" evicts next.
+        cache.insert("c".into(), entry("c"));
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let cache = ResultCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert("a".into(), entry("a"));
+        assert!(cache.get("a").is_some(), "cap-1 cache still serves hits");
+        cache.insert("b".into(), entry("b"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
     }
 }

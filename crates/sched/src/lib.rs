@@ -86,7 +86,7 @@ mod scheduler;
 
 use confbench_types::{Result, RunRequest, RunResult};
 
-pub use cache::{cache_key, CachedCell, ResultCache};
+pub use cache::{cache_key, CachedCell, ResultCache, DEFAULT_CACHE_CAPACITY};
 pub use queue::BoundedQueue;
 pub use scheduler::{Scheduler, SchedulerConfig, SubmitError};
 

@@ -108,7 +108,11 @@ mod tests {
 
     fn router(capacity: usize) -> (Router, Arc<Scheduler>) {
         let clock = Arc::new(ManualClock::new());
-        let config = SchedulerConfig { queue_capacity: capacity, retry_after_secs: 7 };
+        let config = SchedulerConfig {
+            queue_capacity: capacity,
+            retry_after_secs: 7,
+            ..SchedulerConfig::default()
+        };
         let sched = Arc::new(Scheduler::new(Arc::new(Echo), clock, config));
         let mut router = Router::new();
         add_routes(&mut router, Arc::clone(&sched));

@@ -27,12 +27,19 @@ pub struct SchedulerConfig {
     /// campaign with 429. Wired from the gateway's backoff policy so the
     /// hint and the retry machinery agree.
     pub retry_after_secs: u64,
+    /// Entry cap of the result cache (LRU eviction beyond it). Wired from
+    /// the gateway's `--cache-capacity` flag.
+    pub cache_capacity: usize,
 }
 
 impl Default for SchedulerConfig {
-    /// 256 queued jobs, `Retry-After: 1`.
+    /// 256 queued jobs, `Retry-After: 1`, 4096 cached results.
     fn default() -> Self {
-        SchedulerConfig { queue_capacity: 256, retry_after_secs: 1 }
+        SchedulerConfig {
+            queue_capacity: 256,
+            retry_after_secs: 1,
+            cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+        }
     }
 }
 
@@ -192,10 +199,10 @@ impl Scheduler {
         Scheduler {
             executor,
             clock,
+            cache: ResultCache::with_capacity(config.cache_capacity),
             config,
             metrics,
             recorder,
-            cache: ResultCache::new(),
             inner: Mutex::new(inner),
             signal: WorkerSignal::default(),
             workers: Mutex::new(Vec::new()),
@@ -369,8 +376,9 @@ impl Scheduler {
                 });
                 let summary = build_summary(&job_id, &cell, &cached, false, &key);
                 if !key.is_empty() {
-                    self.cache.insert(key, cached);
+                    let evicted = self.cache.insert(key, cached);
                     self.metrics.gauge("sched_cache_entries").set(self.cache.len() as u64);
+                    self.metrics.counter("sched_cache_evictions_total").add(evicted);
                 }
                 job.state = JobState::Completed;
                 job.summary = Some(summary);
@@ -601,7 +609,11 @@ mod tests {
     fn harness(capacity: usize) -> (Arc<Scheduler>, Arc<SimExec>, Arc<ManualClock>) {
         let exec = Arc::new(SimExec::new());
         let clock = Arc::new(ManualClock::new());
-        let config = SchedulerConfig { queue_capacity: capacity, retry_after_secs: 3 };
+        let config = SchedulerConfig {
+            queue_capacity: capacity,
+            retry_after_secs: 3,
+            ..SchedulerConfig::default()
+        };
         let sched =
             Arc::new(Scheduler::new(exec.clone() as Arc<dyn Executor>, clock.clone(), config));
         (sched, exec, clock)
@@ -670,6 +682,28 @@ mod tests {
                 (b.mean_ms, b.median_ms, b.min_ms, b.max_ms, b.stddev_ms, &b.output)
             );
         }
+    }
+
+    #[test]
+    fn cache_capacity_bounds_entries_and_counts_evictions() {
+        let exec = Arc::new(SimExec::new());
+        let clock = Arc::new(ManualClock::new());
+        let config = SchedulerConfig { cache_capacity: 2, ..SchedulerConfig::default() };
+        let sched = Scheduler::new(exec.clone() as Arc<dyn Executor>, clock, config);
+        let receipt = sched.submit(spec()).unwrap();
+        assert_eq!(receipt.jobs, 4);
+        sched.drain();
+        // Four distinct results flowed through a 2-entry cache: two evicted.
+        assert_eq!(sched.metrics().gauge("sched_cache_entries").get(), 2);
+        assert_eq!(sched.metrics().counter("sched_cache_evictions_total").get(), 2);
+        // A resubmission scans the cells in the same order, and a 4-cell
+        // working set thrashes a 2-entry LRU: every lookup misses, every
+        // completion evicts. The cache stays bounded; that's the contract.
+        sched.submit(spec()).unwrap();
+        sched.drain();
+        assert_eq!(exec.executions.load(Ordering::SeqCst), 8);
+        assert_eq!(sched.metrics().gauge("sched_cache_entries").get(), 2);
+        assert_eq!(sched.metrics().counter("sched_cache_evictions_total").get(), 6);
     }
 
     #[test]

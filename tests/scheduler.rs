@@ -45,8 +45,11 @@ fn boot(queue_capacity: usize) -> (Server, Client, Arc<Gateway>, Arc<Scheduler>)
             .local_host(TeePlatform::SevSnp)
             .build(),
     );
-    let config =
-        SchedulerConfig { queue_capacity, retry_after_secs: gw.retry_policy().retry_after_secs() };
+    let config = SchedulerConfig {
+        queue_capacity,
+        retry_after_secs: gw.retry_policy().retry_after_secs(),
+        ..SchedulerConfig::default()
+    };
     let sched = Arc::new(Scheduler::with_metrics(
         Arc::clone(&gw) as Arc<dyn confbench_sched::Executor>,
         Arc::new(ManualClock::new()),

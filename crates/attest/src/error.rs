@@ -22,6 +22,10 @@ pub enum AttestError {
     },
     /// A certificate in the chain is revoked.
     Revoked(&'static str),
+    /// Verification collateral (TCB info, CRLs) could not be fetched —
+    /// the verification service is down past the retry budget and no
+    /// previously fetched collateral is cached.
+    CollateralUnavailable,
     /// The platform does not support attestation (CCA on FVP).
     Unsupported,
 }
@@ -39,6 +43,9 @@ impl fmt::Display for AttestError {
                 write!(f, "tcb {reported} below required {required}")
             }
             AttestError::Revoked(which) => write!(f, "certificate revoked: {which}"),
+            AttestError::CollateralUnavailable => {
+                f.write_str("verification collateral unavailable (service down, nothing cached)")
+            }
             AttestError::Unsupported => f.write_str("attestation unsupported on this platform"),
         }
     }

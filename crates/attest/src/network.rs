@@ -14,6 +14,9 @@ pub struct NetworkModel {
     rtt_ms: f64,
     mbits_per_s: f64,
     jitter_rel_std: f64,
+    /// Probability that one request fails outright (timeout/reset). Drawn
+    /// from the same seeded stream, so outages are reproducible.
+    fail_rate: f64,
     rng: RefCell<SplitMix64>,
 }
 
@@ -24,6 +27,7 @@ impl NetworkModel {
             rtt_ms: 38.0,
             mbits_per_s: 200.0,
             jitter_rel_std: 0.15,
+            fail_rate: 0.0,
             rng: RefCell::new(SplitMix64::new(seed ^ 0x6e_6574_776f_726b)),
         }
     }
@@ -39,8 +43,23 @@ impl NetworkModel {
             rtt_ms,
             mbits_per_s,
             jitter_rel_std,
+            fail_rate: 0.0,
             rng: RefCell::new(SplitMix64::new(seed)),
         }
+    }
+
+    /// Makes a fraction of requests fail (a flaky verification service;
+    /// `1.0` models a full outage). Failure draws come after the latency
+    /// draw, so a model with `fail_rate == 0` produces exactly the latency
+    /// sequence it did before this knob existed.
+    pub fn with_fail_rate(mut self, rate: f64) -> Self {
+        self.set_fail_rate(rate);
+        self
+    }
+
+    /// In-place variant of [`NetworkModel::with_fail_rate`].
+    pub fn set_fail_rate(&mut self, rate: f64) {
+        self.fail_rate = rate.clamp(0.0, 1.0);
     }
 
     /// Latency in ms of one HTTPS request returning `response_bytes`
@@ -50,6 +69,18 @@ impl NetworkModel {
         let base = self.rtt_ms * 1.5 + transfer;
         let jitter = 1.0 + self.rng.borrow_mut().next_gaussian() * self.jitter_rel_std;
         base * jitter.clamp(0.6, 2.0)
+    }
+
+    /// Fallible request: `Ok(latency_ms)` on success, `Err(latency_ms)` on
+    /// a transient failure — a failed request still burns its round trip
+    /// (the client waited for the timeout/reset), so callers charge the
+    /// returned latency either way. Never fails at `fail_rate == 0`.
+    pub fn try_request_ms(&self, response_bytes: u64) -> Result<f64, f64> {
+        let ms = self.request_ms(response_bytes);
+        if self.fail_rate > 0.0 && self.rng.borrow_mut().next_f64() < self.fail_rate {
+            return Err(ms);
+        }
+        Ok(ms)
     }
 }
 
@@ -86,5 +117,41 @@ mod tests {
     #[should_panic(expected = "invalid network parameters")]
     fn zero_bandwidth_panics() {
         NetworkModel::new(10.0, 0.0, 0.0, 1);
+    }
+
+    #[test]
+    fn zero_fail_rate_never_fails_and_keeps_the_latency_sequence() {
+        let plain = NetworkModel::wan(9);
+        let fallible = NetworkModel::wan(9).with_fail_rate(0.0);
+        for _ in 0..16 {
+            let expected = plain.request_ms(2_000);
+            assert_eq!(fallible.try_request_ms(2_000), Ok(expected));
+        }
+    }
+
+    #[test]
+    fn failures_are_deterministic_and_charge_latency() {
+        let outcomes = |seed| {
+            let net = NetworkModel::wan(seed).with_fail_rate(0.5);
+            (0..64).map(|_| net.try_request_ms(1_000)).collect::<Vec<_>>()
+        };
+        let a = outcomes(3);
+        assert_eq!(a, outcomes(3));
+        assert!(a.iter().any(Result::is_err), "half the requests should fail");
+        assert!(a.iter().any(Result::is_ok));
+        for r in a {
+            let ms = match r {
+                Ok(ms) | Err(ms) => ms,
+            };
+            assert!(ms > 0.0, "even failed requests burn wall time");
+        }
+    }
+
+    #[test]
+    fn full_outage_fails_every_request() {
+        let net = NetworkModel::wan(1).with_fail_rate(1.0);
+        for _ in 0..8 {
+            assert!(net.try_request_ms(100).is_err());
+        }
     }
 }

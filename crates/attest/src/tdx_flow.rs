@@ -83,10 +83,25 @@ impl PcsService {
         self.current_tcb = tcb;
     }
 
+    /// Makes a fraction of this service's responses fail (flaky-verifier
+    /// scenarios; `1.0` is a full outage). See
+    /// [`NetworkModel::with_fail_rate`].
+    pub fn set_fail_rate(&mut self, rate: f64) {
+        self.network.set_fail_rate(rate);
+    }
+
     /// `GET /tcb`: returns (minimum acceptable TCB, signature, latency ms).
     pub fn fetch_tcb_info(&self) -> (u64, Signature, f64) {
         let sig = self.root_key.sign(&tcb_message(self.current_tcb));
         (self.current_tcb, sig, self.network.request_ms(TCB_INFO_BYTES))
+    }
+
+    /// Fallible [`PcsService::fetch_tcb_info`]: `Err` carries the latency
+    /// the failed request burned.
+    pub fn try_fetch_tcb_info(&self) -> Result<((u64, Signature), f64), f64> {
+        let ms = self.network.try_request_ms(TCB_INFO_BYTES)?;
+        let sig = self.root_key.sign(&tcb_message(self.current_tcb));
+        Ok(((self.current_tcb, sig), ms))
     }
 
     /// `GET /pckcrl`: returns (is-pck-revoked, latency ms).
@@ -94,10 +109,20 @@ impl PcsService {
         (self.revoked_pck, self.network.request_ms(CRL_BYTES))
     }
 
+    /// Fallible [`PcsService::fetch_pck_crl`].
+    pub fn try_fetch_pck_crl(&self) -> Result<(bool, f64), f64> {
+        self.network.try_request_ms(CRL_BYTES).map(|ms| (self.revoked_pck, ms))
+    }
+
     /// `GET /rootcacrl`: returns latency ms (the root is never revoked in
     /// the model).
     pub fn fetch_root_crl(&self) -> f64 {
         self.network.request_ms(CRL_BYTES)
+    }
+
+    /// Fallible [`PcsService::fetch_root_crl`].
+    pub fn try_fetch_root_crl(&self) -> Result<f64, f64> {
+        self.network.try_request_ms(CRL_BYTES)
     }
 
     /// The root verification key (pinned by verifiers).
@@ -112,6 +137,15 @@ fn tcb_message(tcb: u64) -> Vec<u8> {
     v
 }
 
+/// Verified collateral from a past successful PCS round trip, kept as the
+/// fallback for outages (DCAP deployments cache TCB info and CRLs on disk
+/// for exactly this reason).
+#[derive(Debug, Clone, Copy)]
+struct CachedCollateral {
+    required_tcb: u64,
+    pck_revoked: bool,
+}
+
 /// The full TDX attestation ecosystem for one platform: Quoting Enclave key
 /// material plus the PCS it chains to.
 #[derive(Debug)]
@@ -119,6 +153,8 @@ pub struct TdxEcosystem {
     qe_key: SigningKey,
     pcs: PcsService,
     platform_tcb: u64,
+    /// Last successfully fetched + signature-verified collateral.
+    collateral_cache: std::cell::RefCell<Option<CachedCollateral>>,
 }
 
 /// Milliseconds charged for the QE's local work (report validation +
@@ -128,6 +164,11 @@ const QE_SIGN_MS: f64 = 12.0;
 const DCAP_SETUP_MS: f64 = 5.0;
 /// Milliseconds of local crypto during verification.
 const VERIFY_CRYPTO_MS: f64 = 9.0;
+/// Attempts per PCS fetch before giving up on the live service.
+const FETCH_ATTEMPTS: u32 = 3;
+/// Backoff before the second fetch attempt (doubles per retry); charged as
+/// network wait time, not compute.
+const FETCH_BACKOFF_MS: f64 = 25.0;
 
 impl TdxEcosystem {
     /// Builds an ecosystem seeded for determinism, with the platform at TCB
@@ -138,12 +179,45 @@ impl TdxEcosystem {
             qe_key: SigningKey::from_seed(seed ^ 0x71_656b_6579 /* "qekey" */),
             pcs: PcsService::new(seed, 46),
             platform_tcb: 46,
+            collateral_cache: std::cell::RefCell::new(None),
         }
     }
 
     /// Mutable access to the PCS (for revocation/TCB-recovery scenarios).
     pub fn pcs_mut(&mut self) -> &mut PcsService {
         &mut self.pcs
+    }
+
+    /// Whether a past verification has populated the collateral cache.
+    pub fn has_cached_collateral(&self) -> bool {
+        self.collateral_cache.borrow().is_some()
+    }
+
+    /// Runs one PCS fetch with bounded retry + exponential backoff,
+    /// accumulating every millisecond spent — successful latency, failed
+    /// round trips, and backoff waits — into `net_ms`. `Err` means the
+    /// retry budget is exhausted.
+    fn fetch_with_retry<T>(
+        net_ms: &mut f64,
+        mut fetch: impl FnMut() -> Result<(T, f64), f64>,
+    ) -> Result<T, ()> {
+        let mut backoff = FETCH_BACKOFF_MS;
+        for attempt in 0..FETCH_ATTEMPTS {
+            match fetch() {
+                Ok((value, ms)) => {
+                    *net_ms += ms;
+                    return Ok(value);
+                }
+                Err(ms) => {
+                    *net_ms += ms;
+                    if attempt + 1 < FETCH_ATTEMPTS {
+                        *net_ms += backoff;
+                        backoff *= 2.0;
+                    }
+                }
+            }
+        }
+        Err(())
     }
 
     /// **Attest phase**: produce a quote for the TD running in `vm`, bound
@@ -177,24 +251,47 @@ impl TdxEcosystem {
 
     /// **Check phase**: DCAP-style verification with live PCS lookups.
     ///
+    /// Each PCS fetch is retried up to `FETCH_ATTEMPTS` (3) times with
+    /// exponential backoff; if the service stays down past the budget,
+    /// verification falls back to the last successfully verified collateral.
+    ///
     /// # Errors
     ///
-    /// Signature, revocation, TCB, and nonce failures.
+    /// Signature, revocation, TCB, and nonce failures, plus
+    /// [`AttestError::CollateralUnavailable`] when the PCS is unreachable
+    /// and nothing is cached.
     pub fn verify_quote(
         &self,
         quote: &TdQuote,
         expected_report_data: [u8; 64],
     ) -> Result<PhaseTiming, AttestError> {
-        // 1. TCB info from the PCS.
-        let (required_tcb, tcb_sig, ms_tcb) = self.pcs.fetch_tcb_info();
-        self.pcs
-            .root_public()
-            .verify(&tcb_message(required_tcb), &tcb_sig)
-            .map_err(|_| AttestError::BadSignature("tcb info"))?;
-        // 2. CRLs.
-        let (pck_revoked, ms_pck) = self.pcs.fetch_pck_crl();
-        let ms_root = self.pcs.fetch_root_crl();
-        if pck_revoked {
+        let mut net_ms = 0.0;
+        // 1-2. Collateral: TCB info, then both CRLs.
+        let tcb = Self::fetch_with_retry(&mut net_ms, || self.pcs.try_fetch_tcb_info());
+        let collateral = match tcb {
+            Ok((required_tcb, tcb_sig)) => {
+                // A bad signature is an integrity failure, not an outage:
+                // never fall back past it.
+                self.pcs
+                    .root_public()
+                    .verify(&tcb_message(required_tcb), &tcb_sig)
+                    .map_err(|_| AttestError::BadSignature("tcb info"))?;
+                let pck = Self::fetch_with_retry(&mut net_ms, || self.pcs.try_fetch_pck_crl());
+                let root = Self::fetch_with_retry(&mut net_ms, || {
+                    self.pcs.try_fetch_root_crl().map(|ms| ((), ms))
+                });
+                match (pck, root) {
+                    (Ok(pck_revoked), Ok(())) => {
+                        let fresh = CachedCollateral { required_tcb, pck_revoked };
+                        *self.collateral_cache.borrow_mut() = Some(fresh);
+                        fresh
+                    }
+                    _ => self.cached_collateral()?,
+                }
+            }
+            Err(()) => self.cached_collateral()?,
+        };
+        if collateral.pck_revoked {
             return Err(AttestError::Revoked("pck"));
         }
         // 3. Local checks.
@@ -202,16 +299,20 @@ impl TdxEcosystem {
             .verifying_key()
             .verify(&quote.signed_bytes(), &quote.qe_signature)
             .map_err(|_| AttestError::BadSignature("qe quote"))?;
-        if quote.tcb_level < required_tcb {
+        if quote.tcb_level < collateral.required_tcb {
             return Err(AttestError::TcbOutOfDate {
                 reported: quote.tcb_level,
-                required: required_tcb,
+                required: collateral.required_tcb,
             });
         }
         if quote.report.report_data != expected_report_data {
             return Err(AttestError::NonceMismatch);
         }
-        Ok(PhaseTiming::with_network(VERIFY_CRYPTO_MS, ms_tcb + ms_pck + ms_root))
+        Ok(PhaseTiming::with_network(VERIFY_CRYPTO_MS, net_ms))
+    }
+
+    fn cached_collateral(&self) -> Result<CachedCollateral, AttestError> {
+        (*self.collateral_cache.borrow()).ok_or(AttestError::CollateralUnavailable)
     }
 
     /// Verifier-side freshness helper: derives 64 bytes of report data from
@@ -308,6 +409,75 @@ mod tests {
         assert_eq!(
             TdxEcosystem::new(1).generate_quote(&mut vm, [0; 64]).unwrap_err(),
             AttestError::WrongVmKind
+        );
+    }
+
+    #[test]
+    fn flaky_pcs_is_absorbed_by_retry() {
+        let mut vm = td();
+        let mut eco = TdxEcosystem::new(1);
+        let steady = TdxEcosystem::new(1);
+        let nonce = TdxEcosystem::report_data_for_nonce(5);
+        let (quote, _) = eco.generate_quote(&mut vm, nonce).unwrap();
+        let baseline = steady.verify_quote(&quote, nonce).unwrap();
+
+        eco.pcs_mut().set_fail_rate(0.4);
+        let mut retried = 0;
+        for _ in 0..8 {
+            let timing = eco.verify_quote(&quote, nonce).unwrap_or_else(|e| {
+                panic!("retry + cached fallback should absorb a 40% flaky PCS: {e}")
+            });
+            if timing.network_ms > baseline.network_ms * 1.5 {
+                retried += 1;
+            }
+        }
+        assert!(retried > 0, "a 40% fail rate over 24 fetches must trigger some retries");
+    }
+
+    #[test]
+    fn full_outage_falls_back_to_cached_collateral() {
+        let mut vm = td();
+        let mut eco = TdxEcosystem::new(1);
+        let nonce = TdxEcosystem::report_data_for_nonce(6);
+        let (quote, _) = eco.generate_quote(&mut vm, nonce).unwrap();
+        assert!(!eco.has_cached_collateral());
+        eco.verify_quote(&quote, nonce).unwrap();
+        assert!(eco.has_cached_collateral());
+
+        eco.pcs_mut().set_fail_rate(1.0);
+        let timing = eco.verify_quote(&quote, nonce).unwrap();
+        // Three attempts at the TCB fetch (with 25+50 ms backoff) before
+        // giving up on the live service; the wasted time is still charged.
+        assert!(timing.network_ms > 75.0, "failed attempts burn wall time: {}", timing.network_ms);
+    }
+
+    #[test]
+    fn full_outage_with_cold_cache_is_unavailable() {
+        let mut vm = td();
+        let mut eco = TdxEcosystem::new(1);
+        let nonce = TdxEcosystem::report_data_for_nonce(7);
+        let (quote, _) = eco.generate_quote(&mut vm, nonce).unwrap();
+        eco.pcs_mut().set_fail_rate(1.0);
+        assert_eq!(eco.verify_quote(&quote, nonce), Err(AttestError::CollateralUnavailable));
+    }
+
+    #[test]
+    fn cached_collateral_still_enforces_policy() {
+        let mut vm = td();
+        let mut eco = TdxEcosystem::new(1);
+        let nonce = TdxEcosystem::report_data_for_nonce(8);
+        let (quote, _) = eco.generate_quote(&mut vm, nonce).unwrap();
+        // Warm the cache *after* a TCB recovery, then take the PCS down:
+        // the cached requirement keeps rejecting the stale quote.
+        eco.pcs_mut().set_current_tcb(99);
+        assert_eq!(
+            eco.verify_quote(&quote, nonce),
+            Err(AttestError::TcbOutOfDate { reported: 46, required: 99 })
+        );
+        eco.pcs_mut().set_fail_rate(1.0);
+        assert_eq!(
+            eco.verify_quote(&quote, nonce),
+            Err(AttestError::TcbOutOfDate { reported: 46, required: 99 })
         );
     }
 

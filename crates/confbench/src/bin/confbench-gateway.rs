@@ -8,12 +8,18 @@
 //!                   [--remote-host PLATFORM=ADDR]...
 //!                   [--queue-capacity N] [--workers N]
 //!                   [--cache-capacity N] [--http-workers N] [--http-backlog N]
+//!                   [--chaos-seed N] [--chaos-rate F]
 //! ```
+//!
+//! `--chaos-seed` (nonzero) arms deterministic TEE fault injection at
+//! `--chaos-rate` (default 0.1) per mechanism crossing; the per-VM
+//! supervisors absorb the faults (retry, rebuild, quarantine) and surface
+//! them in `/v1/metrics`.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use confbench::{BalancePolicy, Gateway, SystemClock};
+use confbench::{BalancePolicy, Gateway, SystemClock, TeeFaultPlan};
 use confbench_httpd::ServerConfig;
 use confbench_sched::{Scheduler, SchedulerConfig};
 use confbench_types::TeePlatform;
@@ -39,6 +45,8 @@ fn run() -> Result<(), String> {
     let mut workers = 1usize;
     let mut cache_capacity = SchedulerConfig::default().cache_capacity;
     let mut http = ServerConfig::default();
+    let mut chaos_seed = 0u64;
+    let mut chaos_rate = 0.1f64;
 
     let mut i = 0;
     while i < args.len() {
@@ -115,6 +123,19 @@ fn run() -> Result<(), String> {
                     return Err("--http-backlog must be at least 1".into());
                 }
             }
+            "--chaos-seed" => {
+                chaos_seed = take_value(&args, &mut i, "--chaos-seed")?
+                    .parse()
+                    .map_err(|e| format!("bad chaos seed: {e}"))?;
+            }
+            "--chaos-rate" => {
+                chaos_rate = take_value(&args, &mut i, "--chaos-rate")?
+                    .parse()
+                    .map_err(|e| format!("bad chaos rate: {e}"))?;
+                if !(0.0..=1.0).contains(&chaos_rate) {
+                    return Err("--chaos-rate must be in [0, 1]".into());
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: confbench-gateway [--listen ADDR] [--platforms LIST] [--seed N]\n\
@@ -122,7 +143,8 @@ fn run() -> Result<(), String> {
                      \x20                        [--remote-host PLATFORM=ADDR]...\n\
                      \x20                        [--queue-capacity N] [--workers N]\n\
                      \x20                        [--cache-capacity N] (result-cache LRU bound)\n\
-                     \x20                        [--http-workers N] [--http-backlog N]"
+                     \x20                        [--http-workers N] [--http-backlog N]\n\
+                     \x20                        [--chaos-seed N] [--chaos-rate F] (TEE fault injection)"
                 );
                 return Ok(());
             }
@@ -132,6 +154,10 @@ fn run() -> Result<(), String> {
     }
 
     let mut builder = Gateway::builder().seed(seed).policy(policy).http(http);
+    if chaos_seed != 0 {
+        eprintln!("chaos armed: seed {chaos_seed}, fault rate {chaos_rate} per TEE crossing");
+        builder = builder.chaos(Arc::new(TeeFaultPlan::new(chaos_seed, chaos_rate)));
+    }
     for platform in &platforms {
         eprintln!("booting local host for {platform} (secure + normal VMs)...");
         builder = builder.local_host(*platform);

@@ -26,10 +26,13 @@ use parking_lot::Mutex;
 use rand::{rngs::StdRng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::host::HostAgent;
+use confbench_vmm::TeeFaultPlan;
+
+use crate::host::{HostAgent, HostConfig};
 use crate::pool::{BalancePolicy, CircuitState, Clock, HealthPolicy, SystemClock, TeePool};
 use crate::rest::add_versioned;
 use crate::store::FunctionStore;
+use crate::supervisor::DEFAULT_REBUILD_BUDGET;
 
 /// Default remote-dispatch timeout when the request carries no deadline.
 const DEFAULT_REMOTE_TIMEOUT: Duration = Duration::from_secs(30);
@@ -97,6 +100,8 @@ pub struct GatewayBuilder {
     metrics: Arc<MetricsRegistry>,
     seed: u64,
     http: ServerConfig,
+    chaos: Option<Arc<TeeFaultPlan>>,
+    rebuild_budget: u32,
 }
 
 impl GatewayBuilder {
@@ -152,6 +157,23 @@ impl GatewayBuilder {
         self
     }
 
+    /// Installs a chaos schedule: local hosts' VM boots and executions
+    /// roll against `plan` at every TEE mechanism crossing, exercising the
+    /// supervisors' retry/rebuild/quarantine machinery. (Defaults from
+    /// `CONFBENCH_CHAOS_SEED` / `CONFBENCH_CHAOS_RATE` when unset — see
+    /// [`TeeFaultPlan::from_env`].)
+    pub fn chaos(mut self, plan: Arc<TeeFaultPlan>) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Sets the per-VM-slot rebuild budget before quarantine (default
+    /// [`DEFAULT_REBUILD_BUDGET`]).
+    pub fn rebuild_budget(mut self, budget: u32) -> Self {
+        self.rebuild_budget = budget;
+        self
+    }
+
     /// Tunes the REST listener's connection layer (worker pool size,
     /// backlog, keep-alive timeouts). The `Retry-After` hint on
     /// backpressure 503s always comes from the gateway's [`RetryPolicy`],
@@ -174,12 +196,20 @@ impl GatewayBuilder {
         for (platform, spec) in self.hosts {
             let host = match spec {
                 // Local hosts share the gateway's recorder so the whole
-                // request tree is stamped on one clock.
-                HostSpec::Local => HostRef::Local(Arc::new(HostAgent::with_recorder(
+                // request tree is stamped on one clock, its metrics
+                // registry so supervision counters surface in /v1/metrics,
+                // and its retry policy for in-supervisor transient backoff.
+                HostSpec::Local => HostRef::Local(Arc::new(HostAgent::with_config(
                     platform,
                     Arc::clone(&self.store),
-                    self.seed,
                     recorder.clone(),
+                    HostConfig {
+                        seed: self.seed,
+                        retry: self.retry,
+                        rebuild_budget: self.rebuild_budget,
+                        faults: self.chaos.clone(),
+                        metrics: Some(Arc::clone(&self.metrics)),
+                    },
                 ))),
                 HostSpec::Remote(addr) => HostRef::Remote { addr, client: Client::new(addr) },
             };
@@ -282,6 +312,8 @@ impl Gateway {
             metrics: Arc::new(MetricsRegistry::new()),
             seed: 0,
             http: ServerConfig::default(),
+            chaos: TeeFaultPlan::from_env(),
+            rebuild_budget: DEFAULT_REBUILD_BUDGET,
         }
     }
 
@@ -405,11 +437,16 @@ impl Gateway {
                     return Ok(result);
                 }
                 Err(e) => {
-                    // Only transport-class failures indict the member; the
-                    // rest are the request's fault and are final.
-                    let retryable = matches!(e, Error::Transport(_) | Error::Io(_));
-                    pool.report_outcome(&guard, !retryable);
-                    if !retryable {
+                    // Classification is centralized on the error type:
+                    // member-indicting failures (transport, I/O, TEE
+                    // faults) count against the circuit breaker, and any
+                    // of them is worth a failover retry — a fatal TEE
+                    // fault dooms that member (quarantine), not the
+                    // request. Errors that indict neither (unknown
+                    // function, invalid request) are final.
+                    let member_ok = !e.indicts_member();
+                    pool.report_outcome(&guard, member_ok);
+                    if !e.is_transient() && member_ok {
                         return Err(e);
                     }
                     last_err = Some(e);

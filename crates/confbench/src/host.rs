@@ -6,17 +6,50 @@
 //! function under `perf stat`, and returns timing plus counters.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use confbench_faasrt::FunctionLauncher;
 use confbench_httpd::{Method, Response, Router, Server, ServerConfig};
-use confbench_obs::SpanRecorder;
+use confbench_obs::{MetricsRegistry, SpanRecorder};
 use confbench_perfmon::PerfStat;
 use confbench_types::{Error, Result, RunRequest, RunResult, TeePlatform, VmKind, VmTarget};
-use confbench_vmm::{TeeVmBuilder, Vm};
-use parking_lot::Mutex;
+use confbench_vmm::TeeFaultPlan;
 
+use crate::gateway::RetryPolicy;
 use crate::rest::add_versioned;
 use crate::store::FunctionStore;
+use crate::supervisor::{VmSupervisor, DEFAULT_REBUILD_BUDGET};
+
+/// Construction-time tuning for a [`HostAgent`]: VM seeding, chaos
+/// schedule, recovery policy, and where supervision metrics land.
+#[derive(Clone)]
+pub struct HostConfig {
+    /// Deterministic seed for both VMs' jitter streams.
+    pub seed: u64,
+    /// Backoff policy for transient-fault retries inside the supervisors.
+    pub retry: RetryPolicy,
+    /// Fatal rebuilds tolerated per VM slot before quarantine.
+    pub rebuild_budget: u32,
+    /// Chaos schedule injected into boots and executions (None = no
+    /// injection; defaults from `CONFBENCH_CHAOS_SEED` via
+    /// [`TeeFaultPlan::from_env`]).
+    pub faults: Option<Arc<TeeFaultPlan>>,
+    /// Registry receiving `vmm_faults_total` / `vm_rebuilds_total` /
+    /// `vm_quarantined` (None = unmetered).
+    pub metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            seed: 0,
+            retry: RetryPolicy::default(),
+            rebuild_budget: DEFAULT_REBUILD_BUDGET,
+            faults: TeeFaultPlan::from_env(),
+            metrics: None,
+        }
+    }
+}
 
 /// A host machine capable of instantiating confidential VMs for one
 /// platform.
@@ -39,17 +72,22 @@ use crate::store::FunctionStore;
 /// ```
 pub struct HostAgent {
     platform: TeePlatform,
-    secure_vm: Mutex<Vm>,
-    normal_vm: Mutex<Vm>,
+    secure: VmSupervisor,
+    normal: VmSupervisor,
     store: Arc<FunctionStore>,
     recorder: SpanRecorder,
 }
 
 impl HostAgent {
-    /// Boots both VMs for `platform` with deterministic seeds derived from
+    /// Builds a host for `platform` with deterministic seeds derived from
     /// `seed`, recording spans on the wall clock.
     pub fn new(platform: TeePlatform, store: Arc<FunctionStore>, seed: u64) -> Self {
-        Self::with_recorder(platform, store, seed, SpanRecorder::default())
+        Self::with_config(
+            platform,
+            store,
+            SpanRecorder::default(),
+            HostConfig { seed, ..HostConfig::default() },
+        )
     }
 
     /// As [`HostAgent::new`] with an explicit span recorder (tests inject a
@@ -61,10 +99,32 @@ impl HostAgent {
         seed: u64,
         recorder: SpanRecorder,
     ) -> Self {
+        Self::with_config(platform, store, recorder, HostConfig { seed, ..HostConfig::default() })
+    }
+
+    /// Fully configured construction: chaos schedule, recovery policy, and
+    /// metrics registry all injectable (the gateway builds local hosts this
+    /// way).
+    pub fn with_config(
+        platform: TeePlatform,
+        store: Arc<FunctionStore>,
+        recorder: SpanRecorder,
+        config: HostConfig,
+    ) -> Self {
+        let supervisor = |target: VmTarget| {
+            VmSupervisor::new(
+                target,
+                config.seed,
+                config.faults.clone(),
+                config.retry,
+                config.rebuild_budget,
+                config.metrics.as_ref(),
+            )
+        };
         HostAgent {
             platform,
-            secure_vm: Mutex::new(TeeVmBuilder::new(VmTarget::secure(platform)).seed(seed).build()),
-            normal_vm: Mutex::new(TeeVmBuilder::new(VmTarget::normal(platform)).seed(seed).build()),
+            secure: supervisor(VmTarget::secure(platform)),
+            normal: supervisor(VmTarget::normal(platform)),
             store,
             recorder,
         }
@@ -75,14 +135,28 @@ impl HostAgent {
         self.platform
     }
 
+    /// The supervisor watching the VM slot of `kind` (diagnostics/tests).
+    pub fn supervisor(&self, kind: VmKind) -> &VmSupervisor {
+        match kind {
+            VmKind::Secure => &self.secure,
+            VmKind::Normal => &self.normal,
+        }
+    }
+
     /// Executes a request on the targeted VM: launches the function through
     /// its language runtime, replays the launcher bootstrap unmeasured, then
     /// measures `trials` independent executions (the paper's methodology:
     /// 10 trials, bootstrap excluded, averages reported).
     ///
+    /// Each request runs on a freshly launched VM under the slot's
+    /// [`VmSupervisor`]: injected TEE faults are retried (transient) or
+    /// recovered by teardown/rebuild (fatal), and a surviving run's
+    /// measurements are bit-identical to a fault-free one.
+    ///
     /// # Errors
     ///
-    /// Unknown functions, wrong-platform targets, and workload failures.
+    /// Unknown functions, wrong-platform targets, workload failures, and
+    /// [`Error::TeeFault`] when the slot's recovery budget is exhausted.
     pub fn execute(&self, request: &RunRequest) -> Result<RunResult> {
         if request.target.platform != self.platform {
             return Err(Error::InvalidRequest(format!(
@@ -100,34 +174,37 @@ impl HostAgent {
             .launch(&function, &request.function.args)
             .map_err(|e| Error::Workload(e.to_string()))?;
 
-        let vm = match request.target.kind {
-            VmKind::Secure => &self.secure_vm,
-            VmKind::Normal => &self.normal_vm,
-        };
-        let mut vm = vm.lock();
+        let supervisor = self.supervisor(request.target.kind);
+        let trials = request.trials.max(1);
+        let deadline = request.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
 
         let mut span = self.recorder.root("host.execute");
-        span.set_attr("trials", u64::from(request.trials.max(1)));
+        span.set_attr("trials", u64::from(trials));
 
-        // Launcher bootstrap runs unmeasured (paper §IV-D).
-        let bootstrap = span.child("launcher.bootstrap");
-        let _ = vm.execute(&output.startup_trace);
-        span.finish_child(bootstrap);
+        let recorder = &self.recorder;
+        let (trial_ms, trial_cycles, mut sample) =
+            supervisor.run(&mut span, deadline, request.seed, |vm, span| {
+                // Launcher bootstrap runs unmeasured (paper §IV-D).
+                let bootstrap = span.child("launcher.bootstrap");
+                vm.try_execute(&output.startup_trace)?;
+                span.finish_child(bootstrap);
 
-        let trials = request.trials.max(1);
-        let mut trial_ms = Vec::with_capacity(trials as usize);
-        let mut trial_cycles = Vec::with_capacity(trials as usize);
-        for _ in 0..trials - 1 {
-            let report = vm.execute(&output.trace);
-            trial_ms.push(report.wall_ms);
-            trial_cycles.push(report.cycles);
-        }
-        // Final trial runs under the perf collector, whose sample — span
-        // tree included — is piggybacked on the result (paper §III-B).
-        let (report, mut sample) =
-            PerfStat::for_vm(&vm).measure_spanned(&mut vm, &output.trace, &self.recorder);
-        trial_ms.push(report.wall_ms);
-        trial_cycles.push(report.cycles);
+                let mut trial_ms = Vec::with_capacity(trials as usize);
+                let mut trial_cycles = Vec::with_capacity(trials as usize);
+                for _ in 0..trials - 1 {
+                    let report = vm.try_execute(&output.trace)?;
+                    trial_ms.push(report.wall_ms);
+                    trial_cycles.push(report.cycles);
+                }
+                // Final trial runs under the perf collector, whose sample —
+                // span tree included — is piggybacked on the result (paper
+                // §III-B).
+                let (report, sample) =
+                    PerfStat::for_vm(vm).try_measure_spanned(vm, &output.trace, recorder)?;
+                trial_ms.push(report.wall_ms);
+                trial_cycles.push(report.cycles);
+                Ok((trial_ms, trial_cycles, sample))
+            })?;
         if let Some(measured) = sample.trace.take() {
             span.adopt(measured);
         }

@@ -42,14 +42,21 @@ mod host;
 mod pool;
 mod rest;
 mod store;
+mod supervisor;
 
 pub use gateway::{Gateway, GatewayBuilder, RetryPolicy, UploadRequest};
-pub use host::HostAgent;
+pub use host::{HostAgent, HostConfig};
 pub use pool::{
     BalancePolicy, CircuitState, Clock, HealthPolicy, ManualClock, PoolGuard, SystemClock, TeePool,
 };
 pub use rest::API_PREFIX;
 pub use store::{FunctionStore, StoreError, StoredFunction, UploadedFunction, MAX_SCRIPT_BYTES};
+pub use supervisor::{VmSupervisor, DEFAULT_REBUILD_BUDGET};
+
+// Chaos-engineering surface, re-exported so gateway embedders (and the
+// `confbench-gateway` binary) can build fault plans without a direct
+// `confbench-vmm` dependency.
+pub use confbench_vmm::{TeeFault, TeeFaultPlan};
 
 use confbench_types::{
     FunctionSpec, Language, Result, RunRequest, RunResult, TeePlatform, VmTarget,

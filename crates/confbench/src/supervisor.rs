@@ -1,0 +1,443 @@
+//! Per-VM supervision: watchdog deadlines, transient-fault retry, fatal
+//! teardown/rebuild with re-attestation, and quarantine.
+//!
+//! A [`VmSupervisor`] owns one VM slot (a [`VmTarget`] on a host) and runs
+//! every request through a recovery loop:
+//!
+//! ```text
+//!            ┌────────────── transient fault (backoff, retry) ──┐
+//!            ▼                                                  │
+//!   Healthy ──► launch fresh VM ──► run request ──► success ────┴─► done
+//!            ▲                          │
+//!            │                    fatal fault
+//!            │                          ▼
+//!            └── rebuild: fresh launch + re-attest ── budget left?
+//!                                                        │ no
+//!                                                        ▼
+//!                                                   Quarantined
+//! ```
+//!
+//! Every attempt runs on a *fresh* VM seeded identically, so the attempt
+//! that finally succeeds produces bit-identical measurements to a run that
+//! never faulted — the property the chaos suite asserts. A quarantined
+//! supervisor returns its terminal fault for every later request, which
+//! feeds the pool's circuit breaker: the member trips open, stays open
+//! (probes keep failing), and is never selected again.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use confbench_attest::{SnpEcosystem, TdxEcosystem};
+use confbench_obs::{ActiveSpan, Counter, Gauge, MetricsRegistry};
+use confbench_types::{Error, Result, TeeMechanism, TeePlatform, VmKind, VmTarget};
+use confbench_vmm::{TeeFault, TeeFaultPlan, TeeVmBuilder, Vm};
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, RngCore, SeedableRng};
+
+use crate::gateway::RetryPolicy;
+
+/// Fatal rebuilds a supervisor tolerates over its lifetime before it
+/// quarantines the slot (a real fleet replaces the machine at this point).
+pub const DEFAULT_REBUILD_BUDGET: u32 = 2;
+
+/// Mutable recovery state, under one lock.
+struct SupervisorState {
+    rebuilds: u32,
+    quarantined: Option<TeeFault>,
+}
+
+/// Cached instrument handles (present when a registry was supplied).
+struct SupervisorMetrics {
+    registry: Arc<MetricsRegistry>,
+    rebuilds: Arc<Counter>,
+    quarantined: Arc<Gauge>,
+}
+
+/// Watchdog and recovery driver for one VM slot. See the module docs for
+/// the state machine.
+pub struct VmSupervisor {
+    target: VmTarget,
+    seed: u64,
+    faults: Option<Arc<TeeFaultPlan>>,
+    retry: RetryPolicy,
+    rebuild_budget: u32,
+    metrics: Option<SupervisorMetrics>,
+    jitter_rng: Mutex<StdRng>,
+    state: Mutex<SupervisorState>,
+}
+
+impl VmSupervisor {
+    /// Creates a supervisor for `target`. `retry` drives transient-fault
+    /// backoff, `faults` is the chaos schedule (None = no injection), and
+    /// `metrics` (if any) receives `vmm_faults_total`, `vm_rebuilds_total`
+    /// and `vm_quarantined`.
+    pub fn new(
+        target: VmTarget,
+        seed: u64,
+        faults: Option<Arc<TeeFaultPlan>>,
+        retry: RetryPolicy,
+        rebuild_budget: u32,
+        metrics: Option<&Arc<MetricsRegistry>>,
+    ) -> Self {
+        let metrics = metrics.map(|registry| {
+            let label = Self::label(target);
+            SupervisorMetrics {
+                rebuilds: registry.counter(&format!("vm_rebuilds_total{label}")),
+                quarantined: registry.gauge(&format!("vm_quarantined{label}")),
+                registry: Arc::clone(registry),
+            }
+        });
+        VmSupervisor {
+            target,
+            seed,
+            faults,
+            retry,
+            rebuild_budget,
+            metrics,
+            jitter_rng: Mutex::new(StdRng::seed_from_u64(seed ^ 0x5375_7065_7256_6973)),
+            state: Mutex::new(SupervisorState { rebuilds: 0, quarantined: None }),
+        }
+    }
+
+    fn label(target: VmTarget) -> String {
+        let kind = match target.kind {
+            VmKind::Secure => "secure",
+            VmKind::Normal => "normal",
+        };
+        format!("{{platform=\"{}\",kind=\"{kind}\"}}", target.platform)
+    }
+
+    /// The supervised target.
+    pub fn target(&self) -> VmTarget {
+        self.target
+    }
+
+    /// Fatal rebuilds performed so far.
+    pub fn rebuilds(&self) -> u32 {
+        self.state.lock().rebuilds
+    }
+
+    /// The terminal fault, if the slot is quarantined.
+    pub fn quarantined_fault(&self) -> Option<TeeFault> {
+        self.state.lock().quarantined
+    }
+
+    /// Whether the slot is quarantined (permanently out of service).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined_fault().is_some()
+    }
+
+    /// Runs `attempt` on a freshly launched VM, recovering per the state
+    /// machine in the module docs. `request_seed` keeps different requests'
+    /// jitter streams independent while keeping retries of the *same*
+    /// request identical.
+    ///
+    /// # Errors
+    ///
+    /// The terminal [`Error::TeeFault`] when the slot is (or becomes)
+    /// quarantined; [`Error::DeadlineExceeded`] when the watchdog deadline
+    /// expires between attempts; the last transient fault when the retry
+    /// budget runs dry *and* the subsequent rebuild escalation quarantines.
+    pub fn run<T>(
+        &self,
+        span: &mut ActiveSpan,
+        deadline: Option<Instant>,
+        request_seed: u64,
+        mut attempt: impl FnMut(&mut Vm, &mut ActiveSpan) -> std::result::Result<T, TeeFault>,
+    ) -> Result<T> {
+        if let Some(fault) = self.quarantined_fault() {
+            return Err(fault.into());
+        }
+        let vm_seed = self.seed ^ request_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let max_transient = self.retry.max_attempts.max(1);
+        let mut transient_used = 0u32;
+        // The fault whose fatal recovery is pending: the next loop pass
+        // revalidates the slot (fresh launch + re-attest) before retrying.
+        let mut rebuilding: Option<TeeFault> = None;
+        loop {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(Error::DeadlineExceeded(format!(
+                    "watchdog deadline expired while recovering {}",
+                    self.target
+                )));
+            }
+            if rebuilding.take().is_some() {
+                let mut rebuild_span = span.child("vm.rebuild");
+                rebuild_span.set_attr("rebuild_no", u64::from(self.rebuilds()));
+                let outcome = self.revalidate(&mut rebuild_span);
+                span.finish_child(rebuild_span);
+                if let Err(next) = outcome {
+                    // The replacement itself faulted: charge another
+                    // rebuild (or quarantine) and go around again.
+                    self.note_fault(&next);
+                    self.consume_rebuild_token(next)?;
+                    rebuilding = Some(next);
+                    continue;
+                }
+            }
+            let outcome = match self.builder(vm_seed).try_build() {
+                Ok(mut vm) => attempt(&mut vm, span),
+                Err(boot_fault) => Err(boot_fault),
+            };
+            let fault = match outcome {
+                Ok(value) => return Ok(value),
+                Err(fault) => fault,
+            };
+            self.note_fault(&fault);
+            if fault.is_transient() && transient_used + 1 < max_transient {
+                transient_used += 1;
+                self.backoff(transient_used - 1, deadline)?;
+                continue;
+            }
+            // Fatal — or a transient storm that exhausted the retry budget,
+            // which we treat the same way: tear down and rebuild.
+            self.consume_rebuild_token(fault)?;
+            rebuilding = Some(fault);
+        }
+    }
+
+    fn builder(&self, vm_seed: u64) -> TeeVmBuilder {
+        let mut builder = TeeVmBuilder::new(self.target).seed(vm_seed);
+        if let Some(plan) = &self.faults {
+            builder = builder.fault_plan(Arc::clone(plan));
+        }
+        builder
+    }
+
+    /// Spends one rebuild token, or quarantines the slot when the budget is
+    /// gone (returning the terminal fault as the error).
+    fn consume_rebuild_token(&self, fault: TeeFault) -> Result<()> {
+        let mut state = self.state.lock();
+        if state.rebuilds >= self.rebuild_budget {
+            state.quarantined = Some(fault);
+            drop(state);
+            if let Some(m) = &self.metrics {
+                m.quarantined.inc();
+            }
+            return Err(fault.into());
+        }
+        state.rebuilds += 1;
+        drop(state);
+        if let Some(m) = &self.metrics {
+            m.rebuilds.inc();
+        }
+        Ok(())
+    }
+
+    /// Rebuild validation: prove the substrate will launch again, then
+    /// re-attest the replacement before it takes traffic. Runs on a probe
+    /// VM that is discarded afterwards — attestation advances a VM's clock,
+    /// and the request must run on a clock-fresh VM to stay bit-identical
+    /// with fault-free executions.
+    fn revalidate(&self, span: &mut ActiveSpan) -> std::result::Result<(), TeeFault> {
+        let mut probe = self.builder(self.seed).try_build()?;
+        if self.target.kind == VmKind::Secure {
+            let reattest_span = span.child("vm.reattest");
+            let outcome = self.reattest(&mut probe);
+            span.finish_child(reattest_span);
+            outcome?;
+        }
+        Ok(())
+    }
+
+    /// Platform-appropriate re-attestation of `vm`, with a fault point at
+    /// the attestation device read.
+    fn reattest(&self, vm: &mut Vm) -> std::result::Result<(), TeeFault> {
+        let platform = self.target.platform;
+        if let Some(plan) = &self.faults {
+            if let Some(fault) = plan.roll(platform, TeeMechanism::AttestRead) {
+                return Err(fault);
+            }
+        }
+        let wedged = |_| TeeFault::fatal(platform, TeeMechanism::AttestRead);
+        let nonce = TdxEcosystem::report_data_for_nonce(self.seed);
+        match platform {
+            TeePlatform::Tdx => {
+                let eco = TdxEcosystem::new(self.seed);
+                let (quote, _) = eco.generate_quote(vm, nonce).map_err(wedged)?;
+                eco.verify_quote(&quote, nonce).map_err(wedged)?;
+            }
+            TeePlatform::SevSnp => {
+                let eco = SnpEcosystem::new(self.seed);
+                let (report, _) = eco.request_report(vm, nonce).map_err(wedged)?;
+                eco.verify_report(&report, nonce).map_err(wedged)?;
+            }
+            // No attestation stack on the FVP (paper §IV-C): launch success
+            // is the whole health check.
+            TeePlatform::Cca => {}
+        }
+        Ok(())
+    }
+
+    /// Records a fault in `vmm_faults_total{mechanism,class}`.
+    fn note_fault(&self, fault: &TeeFault) {
+        if let Some(m) = &self.metrics {
+            m.registry
+                .counter(&format!(
+                    "vmm_faults_total{{mechanism=\"{}\",class=\"{}\"}}",
+                    fault.mechanism.as_str(),
+                    fault.class.as_str()
+                ))
+                .inc();
+        }
+    }
+
+    /// Exponential backoff for transient retry `retry_no` (0-based), clamped
+    /// to the remaining deadline.
+    fn backoff(&self, retry_no: u32, deadline: Option<Instant>) -> Result<()> {
+        let exp = (u128::from(self.retry.base_backoff_ms) << retry_no.min(20))
+            .min(u128::from(self.retry.max_backoff_ms)) as u64;
+        let delay = if self.retry.jitter && exp > 1 {
+            let half = exp / 2;
+            half + self.jitter_rng.lock().next_u64() % (exp - half + 1)
+        } else {
+            exp
+        };
+        let mut sleep = Duration::from_millis(delay);
+        if let Some(deadline) = deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(Error::DeadlineExceeded(format!(
+                    "watchdog deadline expired while recovering {}",
+                    self.target
+                )));
+            }
+            sleep = sleep.min(remaining);
+        }
+        std::thread::sleep(sleep);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confbench_obs::SpanRecorder;
+    use confbench_types::FaultClass;
+
+    fn retry_fast() -> RetryPolicy {
+        RetryPolicy { max_attempts: 3, base_backoff_ms: 1, max_backoff_ms: 2, jitter: false }
+    }
+
+    fn supervisor(plan: Option<Arc<TeeFaultPlan>>, budget: u32) -> VmSupervisor {
+        VmSupervisor::new(VmTarget::secure(TeePlatform::Tdx), 11, plan, retry_fast(), budget, None)
+    }
+
+    #[test]
+    fn fault_free_supervision_is_passthrough() {
+        let sup = supervisor(None, DEFAULT_REBUILD_BUDGET);
+        let recorder = SpanRecorder::default();
+        let mut span = recorder.root("test");
+        let exits = sup.run(&mut span, None, 0, |vm, _| Ok(vm.total_exits())).unwrap();
+        assert_eq!(exits, 0);
+        assert_eq!(sup.rebuilds(), 0);
+        assert!(!sup.is_quarantined());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_on_a_fresh_vm() {
+        let sup = supervisor(None, DEFAULT_REBUILD_BUDGET);
+        let recorder = SpanRecorder::default();
+        let mut span = recorder.root("test");
+        let mut calls = 0;
+        let fault = TeeFault {
+            platform: TeePlatform::Tdx,
+            mechanism: TeeMechanism::Seamcall,
+            class: FaultClass::Transient,
+        };
+        let out = sup
+            .run(&mut span, None, 0, |_, _| {
+                calls += 1;
+                if calls < 3 {
+                    Err(fault)
+                } else {
+                    Ok(calls)
+                }
+            })
+            .unwrap();
+        assert_eq!(out, 3, "third attempt succeeds within the retry budget");
+        assert_eq!(sup.rebuilds(), 0, "transient retries are not rebuilds");
+    }
+
+    #[test]
+    fn fatal_faults_rebuild_then_quarantine() {
+        let sup = supervisor(None, 2);
+        let recorder = SpanRecorder::default();
+        let mut span = recorder.root("test");
+        let fault = TeeFault::fatal(TeePlatform::Tdx, TeeMechanism::SeptAccept);
+        let err = sup.run::<()>(&mut span, None, 0, |_, _| Err(fault)).unwrap_err();
+        assert!(matches!(err, Error::TeeFault { .. }), "got {err}");
+        assert_eq!(sup.rebuilds(), 2, "budget fully spent before quarantine");
+        assert!(sup.is_quarantined());
+        assert_eq!(sup.quarantined_fault(), Some(fault));
+        // Quarantine is permanent: later requests fail without running.
+        let err = sup.run(&mut span, None, 0, |_, _| Ok(())).unwrap_err();
+        assert!(matches!(err, Error::TeeFault { .. }), "got {err}");
+    }
+
+    #[test]
+    fn rebuild_recovers_when_the_fault_clears() {
+        let sup = supervisor(None, 2);
+        let recorder = SpanRecorder::default();
+        let mut span = recorder.root("test");
+        let mut calls = 0;
+        let fault = TeeFault::fatal(TeePlatform::SevSnp, TeeMechanism::RmpValidate);
+        let out = sup
+            .run(&mut span, None, 0, |_, _| {
+                calls += 1;
+                if calls == 1 {
+                    Err(fault)
+                } else {
+                    Ok("recovered")
+                }
+            })
+            .unwrap();
+        assert_eq!(out, "recovered");
+        assert_eq!(sup.rebuilds(), 1);
+        assert!(!sup.is_quarantined());
+        let trace = span.finish();
+        let rebuild = trace.find("vm.rebuild").expect("rebuild span recorded");
+        assert!(rebuild.find("vm.reattest").is_some(), "secure rebuilds re-attest");
+    }
+
+    #[test]
+    fn watchdog_deadline_bounds_recovery() {
+        let sup = supervisor(None, u32::MAX);
+        let recorder = SpanRecorder::default();
+        let mut span = recorder.root("test");
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let fault = TeeFault::fatal(TeePlatform::Tdx, TeeMechanism::Seamcall);
+        let err = sup.run::<()>(&mut span, Some(deadline), 0, |_, _| Err(fault)).unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded(_)), "got {err}");
+    }
+
+    #[test]
+    fn metrics_count_faults_rebuilds_and_quarantine() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sup = VmSupervisor::new(
+            VmTarget::secure(TeePlatform::Cca),
+            3,
+            None,
+            retry_fast(),
+            1,
+            Some(&registry),
+        );
+        let recorder = SpanRecorder::default();
+        let mut span = recorder.root("test");
+        let fault = TeeFault::fatal(TeePlatform::Cca, TeeMechanism::RmmCommand);
+        let _ = sup.run::<()>(&mut span, None, 0, |_, _| Err(fault));
+        assert_eq!(
+            registry.counter_value("vmm_faults_total{mechanism=\"rmm-command\",class=\"fatal\"}"),
+            Some(2),
+            "one fault per attempt: initial + post-rebuild"
+        );
+        assert_eq!(
+            registry.counter_value("vm_rebuilds_total{platform=\"cca\",kind=\"secure\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            registry.gauge_value("vm_quarantined{platform=\"cca\",kind=\"secure\"}"),
+            Some(1)
+        );
+    }
+}

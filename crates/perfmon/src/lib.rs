@@ -204,11 +204,29 @@ impl PerfStat {
         trace: &OpTrace,
         recorder: &SpanRecorder,
     ) -> (ExecutionReport, PerfSample) {
+        self.try_measure_spanned(vm, trace, recorder)
+            .unwrap_or_else(|f| panic!("unsupervised TEE fault under measurement: {f}"))
+    }
+
+    /// Fallible variant of [`PerfStat::measure_spanned`] for VMs running
+    /// under a chaos plan: an injected TEE fault aborts the measured run
+    /// (no sample, the unfinished span is dropped) and surfaces as `Err`
+    /// for the supervisor to retry or rebuild.
+    ///
+    /// # Errors
+    ///
+    /// The injected [`confbench_vmm::TeeFault`].
+    pub fn try_measure_spanned(
+        &self,
+        vm: &mut Vm,
+        trace: &OpTrace,
+        recorder: &SpanRecorder,
+    ) -> Result<(ExecutionReport, PerfSample), confbench_vmm::TeeFault> {
         let mut root = recorder.root("perf.measure");
-        let report = vm.execute_spanned(trace, &mut root);
+        let report = vm.try_execute_spanned(trace, &mut root)?;
         root.set_attr("vm_exits", report.perf.vm_exits);
         root.set_attr("bounce_bytes", report.perf.bounce_bytes);
-        (report, self.sample_from(&report, Some(root.finish())))
+        Ok((report, self.sample_from(&report, Some(root.finish()))))
     }
 
     fn sample_from(&self, report: &ExecutionReport, trace: Option<TraceSpan>) -> PerfSample {

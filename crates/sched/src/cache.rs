@@ -158,6 +158,14 @@ impl ResultCache {
         evicted
     }
 
+    /// A sorted copy of the cache contents (key → cell), without touching
+    /// recency. Serializing a snapshot gives a canonical byte string — the
+    /// chaos suite compares snapshots from a faulted and a fault-free
+    /// campaign to prove recovery changes nothing measurable.
+    pub fn snapshot(&self) -> BTreeMap<String, CachedCell> {
+        self.inner.lock().entries.iter().map(|(k, (cell, _))| (k.clone(), cell.clone())).collect()
+    }
+
     /// Entries evicted to stay under the cap since creation.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::SeqCst)

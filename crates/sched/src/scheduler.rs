@@ -219,6 +219,11 @@ impl Scheduler {
         self.config.retry_after_secs
     }
 
+    /// The scheduler's result cache (read access: snapshots, occupancy).
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
     /// Validates, expands, and enqueues a campaign.
     ///
     /// # Errors

@@ -2,6 +2,9 @@
 
 use std::fmt;
 
+use crate::fault::{FaultClass, TeeMechanism};
+use crate::platform::TeePlatform;
+
 /// Convenience alias for `Result<T, confbench_types::Error>`.
 pub type Result<T> = std::result::Result<T, Error>;
 
@@ -31,6 +34,18 @@ pub enum Error {
     /// The scheduler's bounded job queue is at capacity; retry later
     /// (maps to HTTP 429 with a `Retry-After` header).
     QueueFull(String),
+    /// A TEE-substrate mechanism failed (injected by a fault plan, or — on
+    /// real hardware — an actual SEAMCALL/RMP/RMM error). The class decides
+    /// recovery: transient faults are retried in place, fatal faults force
+    /// a VM teardown + rebuild.
+    TeeFault {
+        /// The platform whose substrate faulted.
+        platform: TeePlatform,
+        /// The mechanism that failed.
+        mechanism: TeeMechanism,
+        /// Retryable in place, or VM-fatal.
+        class: FaultClass,
+    },
     /// An underlying I/O error.
     Io(std::io::Error),
 }
@@ -46,18 +61,47 @@ impl Error {
     /// | 404    | [`Error::UnknownFunction`] |
     /// | 400    | [`Error::InvalidRequest`], [`Error::UnsupportedLanguage`] |
     /// | 429    | [`Error::QueueFull`] |
-    /// | 503    | [`Error::NoVmAvailable`] |
+    /// | 503    | [`Error::NoVmAvailable`], [`Error::TeeFault`] |
     /// | 504    | [`Error::DeadlineExceeded`] |
     /// | 500    | everything else |
+    ///
+    /// A `TeeFault` is 503 regardless of class: from the client's side the
+    /// service is temporarily unable to produce a result on a healthy VM,
+    /// and retrying later (after supervision rebuilds or the pool fails
+    /// over) is the right move.
     pub fn rest_status(&self) -> u16 {
         match self {
             Error::UnknownFunction(_) => 404,
             Error::InvalidRequest(_) | Error::UnsupportedLanguage(_) => 400,
             Error::QueueFull(_) => 429,
-            Error::NoVmAvailable(_) => 503,
+            Error::NoVmAvailable(_) | Error::TeeFault { .. } => 503,
             Error::DeadlineExceeded(_) => 504,
             _ => 500,
         }
+    }
+
+    /// Whether retrying the *same operation* may succeed without tearing
+    /// anything down: transport-layer blips, raw I/O errors, and TEE faults
+    /// classified [`FaultClass::Transient`]. This is the single shared
+    /// definition the gateway's retry loop and the VM supervisor both use,
+    /// so the two layers never disagree about what is worth retrying.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Error::Transport(_) | Error::Io(_) => true,
+            Error::TeeFault { class, .. } => *class == FaultClass::Transient,
+            _ => false,
+        }
+    }
+
+    /// Whether this failure indicts the *pool member* that produced it (as
+    /// opposed to the request being at fault). Indicting errors count
+    /// toward the member's circuit breaker and make the gateway fail over
+    /// to a different member: transport/I/O problems, and **any** TEE
+    /// fault — a fatal fault means the member's VM is wedged or
+    /// quarantined, and even transient faults that escaped the supervisor's
+    /// in-place retries signal an unhealthy substrate.
+    pub fn indicts_member(&self) -> bool {
+        matches!(self, Error::Transport(_) | Error::Io(_) | Error::TeeFault { .. })
     }
 
     /// Inverse of [`Error::rest_status`]: reconstructs the matching error
@@ -90,6 +134,9 @@ impl fmt::Display for Error {
             Error::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
             Error::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             Error::QueueFull(msg) => write!(f, "queue full: {msg}"),
+            Error::TeeFault { platform, mechanism, class } => {
+                write!(f, "tee fault: {class} {mechanism} failure on {platform}")
+            }
             Error::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -150,6 +197,44 @@ mod tests {
         assert_eq!(Error::DeadlineExceeded("50ms".into()).rest_status(), 504);
         assert_eq!(Error::Workload("boom".into()).rest_status(), 500);
         assert_eq!(Error::Transport("refused".into()).rest_status(), 500);
+    }
+
+    #[test]
+    fn tee_faults_map_to_503_and_classify_by_class() {
+        let transient = Error::TeeFault {
+            platform: TeePlatform::SevSnp,
+            mechanism: TeeMechanism::AmdSpRequest,
+            class: FaultClass::Transient,
+        };
+        let fatal = Error::TeeFault {
+            platform: TeePlatform::Tdx,
+            mechanism: TeeMechanism::Seamcall,
+            class: FaultClass::Fatal,
+        };
+        assert_eq!(transient.rest_status(), 503);
+        assert_eq!(fatal.rest_status(), 503);
+        assert!(transient.is_transient());
+        assert!(!fatal.is_transient());
+        assert!(transient.indicts_member() && fatal.indicts_member());
+        assert_eq!(fatal.to_string(), "tee fault: fatal seamcall failure on tdx");
+    }
+
+    #[test]
+    fn transient_classification_covers_transport_and_io_only() {
+        assert!(Error::Transport("refused".into()).is_transient());
+        assert!(Error::Io(std::io::Error::other("eof")).is_transient());
+        for e in [
+            Error::UnknownFunction("f".into()),
+            Error::InvalidRequest("x".into()),
+            Error::QueueFull("full".into()),
+            Error::NoVmAvailable("tdx".into()),
+            Error::DeadlineExceeded("50ms".into()),
+            Error::Workload("boom".into()),
+            Error::Attestation("stale".into()),
+        ] {
+            assert!(!e.is_transient(), "{e} must not be transient");
+            assert!(!e.indicts_member(), "{e} must not indict the member");
+        }
     }
 
     #[test]

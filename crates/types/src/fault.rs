@@ -1,0 +1,157 @@
+//! The TEE fault taxonomy: which substrate mechanism failed, and whether
+//! the failure is worth retrying.
+//!
+//! These types are the *vocabulary* of fault injection; the engine that
+//! draws faults from a seeded plan lives in `confbench-vmm::fault`. They
+//! sit here because [`Error`](crate::Error) carries them across the
+//! gateway/host boundary and every layer (pool health, supervisor, REST
+//! status mapping, metrics labels) must agree on the names.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::platform::TeePlatform;
+
+/// A TEE-substrate interface at which a fault can be injected (and at which
+/// real confidential-VM deployments actually fail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum TeeMechanism {
+    /// A TDX SEAMCALL/TDCALL returned an error status (TD-fatal machine
+    /// checks surface here).
+    Seamcall,
+    /// TDX secure-EPT page-accept (`TDG.MEM.PAGE.ACCEPT`) failed.
+    SeptAccept,
+    /// SEV-SNP reverse-map-table validation (`PVALIDATE`/`RMPUPDATE`)
+    /// failed.
+    RmpValidate,
+    /// An SEV-SNP GHCB exit returned an error to the guest.
+    GhcbExit,
+    /// The AMD secure processor rejected or dropped a mailbox request
+    /// (busy/throttled responses are the classic transient case).
+    AmdSpRequest,
+    /// An ARM CCA RMI/RSI command to the RMM failed.
+    RmmCommand,
+    /// Bounce-buffer (swiotlb) slot allocation failed under pressure.
+    SwiotlbAlloc,
+    /// Reading attestation evidence from the guest device
+    /// (configfs-tsm-style) failed.
+    AttestRead,
+}
+
+impl TeeMechanism {
+    /// Every mechanism, for exhaustive sweeps.
+    pub const ALL: [TeeMechanism; 8] = [
+        TeeMechanism::Seamcall,
+        TeeMechanism::SeptAccept,
+        TeeMechanism::RmpValidate,
+        TeeMechanism::GhcbExit,
+        TeeMechanism::AmdSpRequest,
+        TeeMechanism::RmmCommand,
+        TeeMechanism::SwiotlbAlloc,
+        TeeMechanism::AttestRead,
+    ];
+
+    /// Stable label (kebab-case, matches the serde encoding) used in metric
+    /// names and span attributes.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TeeMechanism::Seamcall => "seamcall",
+            TeeMechanism::SeptAccept => "sept-accept",
+            TeeMechanism::RmpValidate => "rmp-validate",
+            TeeMechanism::GhcbExit => "ghcb-exit",
+            TeeMechanism::AmdSpRequest => "amd-sp-request",
+            TeeMechanism::RmmCommand => "rmm-command",
+            TeeMechanism::SwiotlbAlloc => "swiotlb-alloc",
+            TeeMechanism::AttestRead => "attest-read",
+        }
+    }
+
+    /// The world-switch mechanism of `platform` (what a generic "exit
+    /// failed" fault is attributed to).
+    pub fn exit_for(platform: TeePlatform) -> TeeMechanism {
+        match platform {
+            TeePlatform::Tdx => TeeMechanism::Seamcall,
+            TeePlatform::SevSnp => TeeMechanism::GhcbExit,
+            TeePlatform::Cca => TeeMechanism::RmmCommand,
+        }
+    }
+
+    /// The fresh-page acceptance mechanism of `platform`.
+    pub fn page_for(platform: TeePlatform) -> TeeMechanism {
+        match platform {
+            TeePlatform::Tdx => TeeMechanism::SeptAccept,
+            TeePlatform::SevSnp => TeeMechanism::RmpValidate,
+            TeePlatform::Cca => TeeMechanism::RmmCommand,
+        }
+    }
+
+    /// The launch/boot mechanism of `platform` (measured page adds go
+    /// through the module / secure processor / RMM).
+    pub fn launch_for(platform: TeePlatform) -> TeeMechanism {
+        match platform {
+            TeePlatform::Tdx => TeeMechanism::Seamcall,
+            TeePlatform::SevSnp => TeeMechanism::AmdSpRequest,
+            TeePlatform::Cca => TeeMechanism::RmmCommand,
+        }
+    }
+}
+
+impl fmt::Display for TeeMechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Whether a TEE fault is worth retrying on the same VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum FaultClass {
+    /// The operation may succeed if simply retried (SP busy, transient
+    /// validation race). The supervisor retries in place.
+    Transient,
+    /// The VM's TEE context is wedged (TD-fatal, RMP corruption). The only
+    /// recovery is tearing the VM down and launching a fresh one.
+    Fatal,
+}
+
+impl FaultClass {
+    /// Stable label for metric names and span attributes.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultClass::Transient => "transient",
+            FaultClass::Fatal => "fatal",
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_kebab_case_and_match_serde() {
+        for m in TeeMechanism::ALL {
+            let json = serde_json::to_string(&m).unwrap();
+            assert_eq!(json, format!("\"{}\"", m.as_str()));
+            let back: TeeMechanism = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, m);
+        }
+        assert_eq!(serde_json::to_string(&FaultClass::Fatal).unwrap(), "\"fatal\"");
+    }
+
+    #[test]
+    fn per_platform_mechanism_attribution() {
+        assert_eq!(TeeMechanism::exit_for(TeePlatform::Tdx), TeeMechanism::Seamcall);
+        assert_eq!(TeeMechanism::page_for(TeePlatform::SevSnp), TeeMechanism::RmpValidate);
+        assert_eq!(TeeMechanism::launch_for(TeePlatform::SevSnp), TeeMechanism::AmdSpRequest);
+        assert_eq!(TeeMechanism::launch_for(TeePlatform::Cca), TeeMechanism::RmmCommand);
+    }
+}

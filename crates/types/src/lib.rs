@@ -31,6 +31,7 @@
 mod campaign;
 mod clock;
 mod error;
+mod fault;
 mod language;
 mod ops;
 mod platform;
@@ -44,6 +45,7 @@ pub use campaign::{
 };
 pub use clock::{Clock, Cycles, ManualClock, SimClock, SystemClock};
 pub use error::{Error, Result};
+pub use fault::{FaultClass, TeeMechanism};
 pub use language::{Language, ParseLanguageError};
 pub use ops::{Op, OpTrace, SyscallKind};
 pub use platform::{ParsePlatformError, TeePlatform, VmKind, VmTarget};

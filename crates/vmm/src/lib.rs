@@ -39,6 +39,7 @@
 mod cache;
 mod cca;
 mod cost;
+mod fault;
 mod host;
 mod snp;
 mod tdx;
@@ -47,6 +48,7 @@ mod vm;
 pub use cache::{CacheSim, CacheStats};
 pub use cca::{CcaError, Fvp, RealmId, RealmPhase, Rmm};
 pub use cost::CostModel;
+pub use fault::{TeeFault, TeeFaultPlan};
 pub use host::{ContentionModel, SharedHost};
 pub use snp::{AmdSp, SnpError, SnpPhase, SnpReport};
 pub use tdx::{TdId, TdPhase, TdReport, TdxError, TdxModule};

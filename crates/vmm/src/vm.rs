@@ -2,16 +2,20 @@
 //! cost model, driving the real TEE machinery (SEPT / RMP / GPT) along the
 //! way and producing deterministic cycle counts and perf counters.
 
+use std::sync::Arc;
+
 use confbench_crypto::SplitMix64;
 use confbench_memsim::{pages_for, PageNum, Swiotlb};
 use confbench_obs::ActiveSpan;
 use confbench_types::{
-    Cycles, Op, OpTrace, PerfReport, SimClock, SyscallKind, TeePlatform, VmKind, VmTarget,
+    Cycles, Op, OpTrace, PerfReport, SimClock, SyscallKind, TeeMechanism, TeePlatform, VmKind,
+    VmTarget,
 };
 
 use crate::cache::CacheSim;
 use crate::cca::{Fvp, RealmId, Rmm};
 use crate::cost::CostModel;
+use crate::fault::{TeeFault, TeeFaultPlan};
 use crate::snp::AmdSp;
 use crate::tdx::{TdId, TdxModule};
 
@@ -88,12 +92,20 @@ pub struct TeeVmBuilder {
     cache_model: bool,
     bounce_buffers: bool,
     fvp: Option<Fvp>,
+    faults: Option<Arc<TeeFaultPlan>>,
 }
 
 impl TeeVmBuilder {
     /// Starts building a VM for `target`.
     pub fn new(target: VmTarget) -> Self {
-        TeeVmBuilder { target, seed: 0, cache_model: true, bounce_buffers: true, fvp: None }
+        TeeVmBuilder {
+            target,
+            seed: 0,
+            cache_model: true,
+            bounce_buffers: true,
+            fvp: None,
+            faults: None,
+        }
     }
 
     /// Sets the deterministic seed (default 0).
@@ -125,10 +137,38 @@ impl TeeVmBuilder {
         self
     }
 
+    /// Installs a shared chaos schedule. Boot and every execution of the
+    /// built VM roll against the plan at each TEE mechanism crossing; use
+    /// [`TeeVmBuilder::try_build`] and [`Vm::try_execute`] to observe the
+    /// injected faults. Normal (non-confidential) VMs ignore the plan —
+    /// they have no TEE substrate to fault.
+    pub fn fault_plan(mut self, plan: Arc<TeeFaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Boots the VM: builds the cost model, launches the TEE context
     /// (measured 64-page boot image), and returns a
     /// ready-to-run [`Vm`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an installed [fault plan](TeeVmBuilder::fault_plan) injects
+    /// a boot fault (use [`TeeVmBuilder::try_build`] under chaos). Without
+    /// a plan, boot cannot fail and this never panics.
     pub fn build(self) -> Vm {
+        self.try_build().unwrap_or_else(|f| panic!("unsupervised TEE boot fault: {f}"))
+    }
+
+    /// Fallible boot: like [`TeeVmBuilder::build`], but boot-time TEE
+    /// faults — injected by the plan, or a mechanism state machine
+    /// refusing a launch step — surface as `Err` instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// The injected or observed [`TeeFault`]; transient faults may succeed
+    /// on a fresh `try_build` of the same builder.
+    pub fn try_build(self) -> Result<Vm, TeeFault> {
         let mut cost = CostModel::for_target_with(self.target, self.bounce_buffers);
         if let Some(fvp) = &self.fvp {
             if self.target.platform == TeePlatform::Cca {
@@ -142,8 +182,8 @@ impl TeeVmBuilder {
             }
         }
         let cache = self.cache_model.then(|| CacheSim::new(cost.cache_salt));
-        let platform = Platform::launch(self.target);
-        Vm {
+        let platform = Platform::launch(self.target, self.faults.as_deref())?;
+        Ok(Vm {
             target: self.target,
             cost,
             cache,
@@ -151,12 +191,13 @@ impl TeeVmBuilder {
             swiotlb: Swiotlb::linux_default(),
             clock: SimClock::new(),
             rng: SplitMix64::new(jitter_stream_seed(self.seed, self.target)),
+            faults: self.faults,
             heap_pages: 0,
             high_water_pages: BOOT_IMAGE_PAGES,
             next_gpa: 0x100,
             total_exits: 0,
             total_faults: 0,
-        }
+        })
     }
 }
 
@@ -189,42 +230,73 @@ enum Platform {
 }
 
 impl Platform {
-    fn launch(target: VmTarget) -> Platform {
+    /// Launches the TEE context for `target`, rolling `faults` at each
+    /// launch stage. Mechanism errors — which a fresh launch sequence only
+    /// produces when the substrate is genuinely wedged — propagate as fatal
+    /// faults instead of the panics this path used to hide behind
+    /// `.expect()`.
+    fn launch(target: VmTarget, faults: Option<&TeeFaultPlan>) -> Result<Platform, TeeFault> {
         if target.kind == VmKind::Normal {
-            return Platform::Normal;
+            return Ok(Platform::Normal);
         }
-        match target.platform {
+        let platform = target.platform;
+        let roll = |mechanism: TeeMechanism| -> Result<(), TeeFault> {
+            match faults.and_then(|p| p.roll(platform, mechanism)) {
+                Some(fault) => Err(fault),
+                None => Ok(()),
+            }
+        };
+        match platform {
             TeePlatform::Tdx => {
                 let mut module = TdxModule::new("TDX_1.5.05.46.698");
                 let td = TdId(1);
-                module.tdh_mng_create(td).expect("fresh module");
+                roll(TeeMechanism::Seamcall)?;
+                module
+                    .tdh_mng_create(td)
+                    .map_err(|_| TeeFault::fatal(platform, TeeMechanism::Seamcall))?;
+                roll(TeeMechanism::SeptAccept)?;
                 for i in 0..BOOT_IMAGE_PAGES {
                     module
                         .tdh_mem_page_add(td, PageNum(i), PageNum(0x1_0000 + i))
-                        .expect("boot page");
+                        .map_err(|_| TeeFault::fatal(platform, TeeMechanism::SeptAccept))?;
                 }
-                module.tdh_mr_finalize(td).expect("finalize");
-                Platform::Tdx { module, td }
+                roll(TeeMechanism::Seamcall)?;
+                module
+                    .tdh_mr_finalize(td)
+                    .map_err(|_| TeeFault::fatal(platform, TeeMechanism::Seamcall))?;
+                Ok(Platform::Tdx { module, td })
             }
             TeePlatform::SevSnp => {
                 let mut sp = AmdSp::new(0x00d1_5ea5_e000_0001, 7);
                 let asid = 1;
-                sp.launch_start(asid).expect("fresh sp");
+                roll(TeeMechanism::AmdSpRequest)?;
+                sp.launch_start(asid)
+                    .map_err(|_| TeeFault::fatal(platform, TeeMechanism::AmdSpRequest))?;
+                roll(TeeMechanism::RmpValidate)?;
                 for i in 0..BOOT_IMAGE_PAGES {
-                    sp.launch_update(asid, PageNum(i)).expect("boot page");
+                    sp.launch_update(asid, PageNum(i))
+                        .map_err(|_| TeeFault::fatal(platform, TeeMechanism::RmpValidate))?;
                 }
-                sp.launch_finish(asid).expect("finish");
-                Platform::Snp { sp, asid, next_page: BOOT_IMAGE_PAGES }
+                roll(TeeMechanism::AmdSpRequest)?;
+                sp.launch_finish(asid)
+                    .map_err(|_| TeeFault::fatal(platform, TeeMechanism::AmdSpRequest))?;
+                Ok(Platform::Snp { sp, asid, next_page: BOOT_IMAGE_PAGES })
             }
             TeePlatform::Cca => {
                 let mut rmm = Rmm::new(1 << 16);
                 let rd = RealmId(1);
-                rmm.rmi_realm_create(rd).expect("fresh rmm");
+                roll(TeeMechanism::RmmCommand)?;
+                rmm.rmi_realm_create(rd)
+                    .map_err(|_| TeeFault::fatal(platform, TeeMechanism::RmmCommand))?;
+                roll(TeeMechanism::RmmCommand)?;
                 for i in 0..BOOT_IMAGE_PAGES {
-                    rmm.rmi_data_create(rd, PageNum(0x100 + i), PageNum(i)).expect("boot granule");
+                    rmm.rmi_data_create(rd, PageNum(0x100 + i), PageNum(i))
+                        .map_err(|_| TeeFault::fatal(platform, TeeMechanism::RmmCommand))?;
                 }
-                rmm.rmi_realm_activate(rd).expect("activate");
-                Platform::Cca { rmm, rd, next_granule: BOOT_IMAGE_PAGES }
+                roll(TeeMechanism::RmmCommand)?;
+                rmm.rmi_realm_activate(rd)
+                    .map_err(|_| TeeFault::fatal(platform, TeeMechanism::RmmCommand))?;
+                Ok(Platform::Cca { rmm, rd, next_granule: BOOT_IMAGE_PAGES })
             }
         }
     }
@@ -242,6 +314,8 @@ pub struct Vm {
     swiotlb: Swiotlb,
     clock: SimClock,
     rng: SplitMix64,
+    /// Chaos schedule rolled at each TEE mechanism crossing (if any).
+    faults: Option<Arc<TeeFaultPlan>>,
     /// Currently allocated heap pages.
     heap_pages: u64,
     /// High-water mark: pages that have ever been touched (accepted /
@@ -300,7 +374,44 @@ impl Vm {
     /// Executes a trace, advancing the virtual clock, and returns the
     /// report. Consecutive calls model independent trials: per-trial jitter
     /// is drawn from the VM's seeded PRNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an installed fault plan injects a fault mid-execution (use
+    /// [`Vm::try_execute`] under chaos). Without a plan this never panics.
     pub fn execute(&mut self, trace: &OpTrace) -> ExecutionReport {
+        self.try_execute(trace).unwrap_or_else(|f| panic!("unsupervised TEE fault: {f}"))
+    }
+
+    /// Rolls the VM's fault plan at one mechanism crossing. Normal VMs have
+    /// no TEE substrate, so only secure VMs ever fault.
+    fn roll(&self, mechanism: TeeMechanism) -> Result<(), TeeFault> {
+        if self.target.kind != VmKind::Secure {
+            return Ok(());
+        }
+        match self.faults.as_deref().and_then(|p| p.roll(self.target.platform, mechanism)) {
+            Some(fault) => Err(fault),
+            None => Ok(()),
+        }
+    }
+
+    /// Fallible execution: like [`Vm::execute`], but TEE faults injected by
+    /// the plan surface as `Err`. A faulted execution charges nothing — the
+    /// virtual clock, exit totals, and jitter stream are only advanced on
+    /// success — but the TEE page/bounce state machines may have moved, so
+    /// supervisors treat a faulted VM as dirty and rebuild rather than
+    /// trusting in-place state (transient faults are retried by re-running
+    /// the whole attempt on a fresh VM).
+    ///
+    /// # Errors
+    ///
+    /// The injected [`TeeFault`]. One fault point is rolled per mechanism-
+    /// crossing *operation* (allocation batch, I/O request, context-switch
+    /// group…), not per individual exit, so the draw count is bounded by
+    /// the trace length.
+    pub fn try_execute(&mut self, trace: &OpTrace) -> Result<ExecutionReport, TeeFault> {
+        let exit_mech = TeeMechanism::exit_for(self.target.platform);
+        let page_mech = TeeMechanism::page_for(self.target.platform);
         let mut cycles = 0.0f64;
         let mut instructions = 0u64;
         let mut exits = 0u64;
@@ -362,9 +473,10 @@ impl Vm {
                     fresh_pages += fresh;
                     page_cycles += fresh_cost;
                     faults += fresh;
-                    if self.target.kind == VmKind::Secure {
+                    if self.target.kind == VmKind::Secure && fresh > 0 {
                         // Fresh secure pages exit to the host for mapping.
                         exits += fresh;
+                        self.roll(page_mech)?;
                         self.drive_page_mechanism(fresh.min(MECHANISM_PAGES_PER_ALLOC));
                     }
                 }
@@ -403,6 +515,7 @@ impl Vm {
                 Op::IoRead(bytes) | Op::IoWrite(bytes) => {
                     cycles += bytes as f64 * self.cost.io_byte;
                     if self.target.kind == VmKind::Secure && self.cost.bounce_copy_byte > 0.0 {
+                        self.roll(TeeMechanism::SwiotlbAlloc)?;
                         let stats = self.swiotlb.transfer(bytes);
                         let stage_cost = stats.bytes_copied as f64 * self.cost.bounce_copy_byte
                             + stats.slots_used as f64 * self.cost.bounce_slot;
@@ -417,12 +530,14 @@ impl Vm {
                         exits += doorbells;
                     } else {
                         // One virtio kick per request.
+                        self.roll(exit_mech)?;
                         cycles += self.cost.exit_cost;
                         exit_cycles += self.cost.exit_cost;
                         exits += 1;
                     }
                 }
                 Op::CtxSwitch(n) => {
+                    self.roll(exit_mech)?;
                     cycles += n as f64 * (self.cost.ctx_switch + self.cost.exit_cost);
                     exit_cycles += n as f64 * self.cost.exit_cost;
                     exits += n;
@@ -443,6 +558,7 @@ impl Vm {
                     faults += pages;
                     if self.target.kind == VmKind::Secure {
                         exits += pages;
+                        self.roll(page_mech)?;
                         self.drive_page_mechanism(pages.min(MECHANISM_PAGES_PER_ALLOC));
                     }
                 }
@@ -450,11 +566,13 @@ impl Vm {
                     device_ns += ns;
                     // Completion interrupt wakes the guest: one exit round
                     // trip plus scheduler work, charged as compute.
+                    self.roll(exit_mech)?;
                     cycles += self.cost.exit_cost + self.cost.ctx_switch;
                     exit_cycles += self.cost.exit_cost;
                     exits += 1;
                 }
                 Op::Log(bytes) => {
+                    self.roll(exit_mech)?;
                     cycles += bytes as f64 * self.cost.log_byte;
                     let flushes = bytes.div_ceil(self.cost.log_flush_bytes).max(1);
                     cycles += flushes as f64 * self.cost.exit_cost;
@@ -498,13 +616,13 @@ impl Vm {
             syscalls,
             syscall_cycles: syscall_cycles.round() as u64,
         };
-        ExecutionReport {
+        Ok(ExecutionReport {
             target: self.target,
             cycles,
             wall_ms: cycles.as_millis(self.target.platform.host_freq_ghz()),
             perf,
             events,
-        }
+        })
     }
 
     /// The platform-specific name for the world-switch cost class.
@@ -540,7 +658,22 @@ impl Vm {
     ///   (== `perf.bounce_bytes`), `slots`, `cycles`;
     /// * in-guest syscall work — `guest.syscall`, attrs `count`, `cycles`.
     pub fn execute_spanned(&mut self, trace: &OpTrace, parent: &mut ActiveSpan) -> ExecutionReport {
-        let report = self.execute(trace);
+        self.try_execute_spanned(trace, parent)
+            .unwrap_or_else(|f| panic!("unsupervised TEE fault: {f}"))
+    }
+
+    /// Fallible variant of [`Vm::execute_spanned`]: faults surface as
+    /// `Err` and no child spans are attached for the aborted execution.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::try_execute`].
+    pub fn try_execute_spanned(
+        &mut self,
+        trace: &OpTrace,
+        parent: &mut ActiveSpan,
+    ) -> Result<ExecutionReport, TeeFault> {
+        let report = self.try_execute(trace)?;
         let ev = report.events;
         if ev.exits > 0 {
             let mut s = parent.child(self.exit_span_name());
@@ -567,7 +700,7 @@ impl Vm {
             s.set_attr("cycles", ev.syscall_cycles);
             parent.finish_child(s);
         }
-        report
+        Ok(report)
     }
 
     /// Runs `trials` independent executions of the same trace.
@@ -681,6 +814,100 @@ mod tests {
         assert!(tree.find("snp.ghcb-exit").is_none());
         assert!(tree.find("snp.rmp-validate").is_none(), "no page mechanism in a normal VM");
         assert!(tree.find("swiotlb.copy").is_none(), "no staging in a normal VM");
+    }
+
+    /// Supervisor-style recovery: rebuild a fresh VM and retry the whole
+    /// execution until one attempt crosses every fault point clean.
+    fn run_until_clean(
+        target: VmTarget,
+        seed: u64,
+        plan: &Arc<TeeFaultPlan>,
+        trace: &OpTrace,
+    ) -> ExecutionReport {
+        for _ in 0..10_000 {
+            let Ok(mut vm) =
+                TeeVmBuilder::new(target).seed(seed).fault_plan(Arc::clone(plan)).try_build()
+            else {
+                continue;
+            };
+            if let Ok(report) = vm.try_execute(trace) {
+                return report;
+            }
+        }
+        panic!("no clean attempt in 10k tries (rate too high?)");
+    }
+
+    #[test]
+    fn chaos_survivors_are_bit_identical_to_fault_free_runs() {
+        // The core determinism property behind chaos campaigns: a run that
+        // survives its injected faults (after rebuilds) reports exactly
+        // what a fault-free run reports, because the fault stream is
+        // separate from the timing streams.
+        let trace = io_heavy_trace();
+        for platform in TeePlatform::ALL {
+            let target = VmTarget::secure(platform);
+            let clean = TeeVmBuilder::new(target).seed(9).build().execute(&trace);
+            let plan = Arc::new(TeeFaultPlan::new(41, 0.25));
+            let survived = run_until_clean(target, 9, &plan, &trace);
+            assert!(plan.injected() > 0, "{platform}: chaos plan never fired");
+            assert_eq!(clean, survived, "{platform}: chaos must not perturb measurements");
+        }
+    }
+
+    #[test]
+    fn boot_faults_surface_from_try_build() {
+        let plan = Arc::new(TeeFaultPlan::new(1, 1.0).with_fatal_ratio(1.0));
+        for platform in TeePlatform::ALL {
+            let fault = TeeVmBuilder::new(VmTarget::secure(platform))
+                .fault_plan(Arc::clone(&plan))
+                .try_build()
+                .unwrap_err();
+            assert_eq!(fault.platform, platform);
+            assert!(!fault.is_transient());
+        }
+    }
+
+    #[test]
+    fn faulted_execution_charges_nothing() {
+        let plan = Arc::new(TeeFaultPlan::new(2, 0.0).with_rate(TeeMechanism::SwiotlbAlloc, 1.0));
+        let mut vm = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx))
+            .fault_plan(plan)
+            .try_build()
+            .unwrap();
+        let before = vm.now();
+        let mut t = OpTrace::new();
+        t.io_write(64 * 1024);
+        let fault = vm.try_execute(&t).unwrap_err();
+        assert_eq!(fault.mechanism, TeeMechanism::SwiotlbAlloc);
+        assert_eq!(vm.now(), before, "aborted run must not advance the clock");
+        assert_eq!(vm.total_exits(), 0);
+    }
+
+    #[test]
+    fn normal_vms_ignore_the_fault_plan() {
+        let plan = Arc::new(TeeFaultPlan::new(3, 1.0));
+        let mut vm = TeeVmBuilder::new(VmTarget::normal(TeePlatform::SevSnp))
+            .fault_plan(plan)
+            .try_build()
+            .expect("normal VMs have no TEE substrate to fault");
+        assert!(vm.try_execute(&io_heavy_trace()).is_ok());
+    }
+
+    #[test]
+    fn env_seeded_chaos_survives_on_every_platform() {
+        // CI exports CONFBENCH_CHAOS_SEED (nonzero) so this sweep keeps the
+        // fault paths exercised under a rotating schedule; without the env
+        // var it still runs under a fixed default plan.
+        let plan = TeeFaultPlan::from_env().unwrap_or_else(|| Arc::new(TeeFaultPlan::new(77, 0.1)));
+        let trace = io_heavy_trace();
+        for platform in TeePlatform::ALL {
+            let survived = run_until_clean(VmTarget::secure(platform), 5, &plan, &trace);
+            let clean = TeeVmBuilder::new(VmTarget::secure(platform)).seed(5).build();
+            assert_eq!(survived, {
+                let mut vm = clean;
+                vm.execute(&trace)
+            });
+        }
     }
 
     #[test]

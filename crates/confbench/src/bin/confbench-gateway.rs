@@ -195,8 +195,10 @@ fn run() -> Result<(), String> {
     println!("  (unversioned paths still answer, marked Deprecation: true)");
     println!("scheduler: queue capacity {queue_capacity}, {workers} worker(s) per platform");
     println!(
-        "http: {} worker(s), backlog {}, result cache capped at {cache_capacity} entries",
-        http.workers, http.backlog
+        "http: {} handler worker(s), admission window {} connections, \
+         result cache capped at {cache_capacity} entries",
+        http.workers,
+        http.workers + http.backlog
     );
 
     // Serve until interrupted.

@@ -174,8 +174,10 @@ impl GatewayBuilder {
         self
     }
 
-    /// Tunes the REST listener's connection layer (worker pool size,
-    /// backlog, keep-alive timeouts). The `Retry-After` hint on
+    /// Tunes the REST listener's connection layer (handler worker pool
+    /// size, connection admission window, keep-alive timeouts; socket I/O
+    /// itself runs on the listener's epoll reactor). The `Retry-After`
+    /// hint on
     /// backpressure 503s always comes from the gateway's [`RetryPolicy`],
     /// overriding whatever the passed config says, so the header and the
     /// retry machinery agree.

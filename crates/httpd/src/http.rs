@@ -299,16 +299,22 @@ impl Response {
     pub fn write_to(&self, stream: &mut impl Write) -> Result<(), HttpError> {
         // One write per response, for the same reason as
         // [`Request::write_to`].
-        let mut message = Vec::with_capacity(256 + self.body.len());
-        write!(message, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
-        for (k, v) in &self.headers {
-            write!(message, "{k}: {v}\r\n")?;
-        }
-        write!(message, "content-length: {}\r\n\r\n", self.body.len())?;
-        message.extend_from_slice(&self.body);
-        stream.write_all(&message)?;
+        stream.write_all(&self.to_bytes())?;
         stream.flush()?;
         Ok(())
+    }
+
+    /// Serializes the whole response into one buffer (the reactor's write
+    /// state machine flushes it incrementally as the socket drains).
+    pub(crate) fn to_bytes(&self) -> Vec<u8> {
+        let mut message = Vec::with_capacity(256 + self.body.len());
+        let _ = write!(message, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status));
+        for (k, v) in &self.headers {
+            let _ = write!(message, "{k}: {v}\r\n");
+        }
+        let _ = write!(message, "content-length: {}\r\n\r\n", self.body.len());
+        message.extend_from_slice(&self.body);
+        message
     }
 }
 
@@ -320,6 +326,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
@@ -399,6 +406,87 @@ fn read_body(
     let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
     Ok(body)
+}
+
+/// Scans an accumulating request buffer for a complete header block
+/// (request line + headers + blank line), enforcing the same size caps as
+/// the blocking parser *incrementally* — a slow-loris peer dripping header
+/// lines forever is cut off at the caps without ever completing a block.
+///
+/// Returns `Ok(true)` when the terminator has arrived, `Ok(false)` when
+/// more bytes are needed, and [`HttpError::HeadersTooLarge`] as soon as a
+/// cap is exceeded (even mid-line).
+fn header_block_complete(buf: &[u8]) -> Result<bool, HttpError> {
+    let mut offset = 0; // start of the current line
+    let mut lines = 0usize; // complete lines seen; line 0 is the request line
+    let mut header_bytes = 0usize;
+    while let Some(nl) = buf[offset..].iter().position(|&b| b == b'\n') {
+        let line_len = nl + 1;
+        if lines == 0 {
+            // `read_line_limited` accepts a line of max+1 bytes when the
+            // last byte is the newline itself; mirror that bound exactly.
+            if line_len > MAX_START_LINE + 1 {
+                return Err(HttpError::HeadersTooLarge(format!(
+                    "line exceeds {MAX_START_LINE} bytes"
+                )));
+            }
+        } else {
+            let line = &buf[offset..offset + line_len];
+            if line.iter().all(u8::is_ascii_whitespace) {
+                return Ok(true); // blank line: header block complete
+            }
+            if line_len > MAX_HEADER_LINE + 1 {
+                return Err(HttpError::HeadersTooLarge(format!(
+                    "line exceeds {MAX_HEADER_LINE} bytes"
+                )));
+            }
+            header_bytes += line_len;
+            if header_bytes > MAX_HEADER_BYTES {
+                return Err(HttpError::HeadersTooLarge(format!(
+                    "header block exceeds {MAX_HEADER_BYTES} bytes"
+                )));
+            }
+            if lines > MAX_HEADERS {
+                return Err(HttpError::HeadersTooLarge(format!("more than {MAX_HEADERS} headers")));
+            }
+        }
+        lines += 1;
+        offset += line_len;
+    }
+    // No newline in the tail yet: a partial line can still breach the caps
+    // (an endless request line never contains '\n' at all).
+    let partial = buf.len() - offset;
+    if lines == 0 && partial > MAX_START_LINE {
+        return Err(HttpError::HeadersTooLarge(format!("line exceeds {MAX_START_LINE} bytes")));
+    }
+    if lines > 0 && partial > MAX_HEADER_LINE {
+        return Err(HttpError::HeadersTooLarge(format!("line exceeds {MAX_HEADER_LINE} bytes")));
+    }
+    if lines > 0 && header_bytes + partial > MAX_HEADER_BYTES {
+        return Err(HttpError::HeadersTooLarge(format!(
+            "header block exceeds {MAX_HEADER_BYTES} bytes"
+        )));
+    }
+    Ok(false)
+}
+
+/// Attempts to parse one complete request from the front of `buf` without
+/// blocking: the reactor calls this after every read. Returns the request
+/// plus the number of bytes it consumed (pipelined followers stay in the
+/// buffer), `None` when the message is still incomplete, or the same
+/// [`HttpError`]s as [`Request::read_from_buffered`] — including cap
+/// violations detected before the header block is even complete.
+pub(crate) fn try_parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    if buf.is_empty() || !header_block_complete(buf)? {
+        return Ok(None);
+    }
+    let mut cursor = std::io::Cursor::new(buf);
+    match Request::read_from_buffered(&mut cursor) {
+        Ok(request) => Ok(Some((request, cursor.position() as usize))),
+        // Headers are complete but the declared body has not all arrived.
+        Err(HttpError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(None),
+        Err(e) => Err(e),
+    }
 }
 
 fn split_query(target: &str) -> (String, HashMap<String, String>) {
@@ -621,6 +709,80 @@ mod tests {
         assert!(resp.keep_alive(), "keep-alive is the HTTP/1.1 default");
         resp.headers.insert("connection".into(), "close".into());
         assert!(!resp.keep_alive());
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_complete_messages() {
+        let mut raw = Vec::new();
+        let mut req = Request::new(Method::Post, "/echo");
+        req.body = b"hello body".to_vec();
+        req.write_to(&mut raw).unwrap();
+        // Every strict prefix is incomplete; the full message parses and
+        // consumes exactly its own length.
+        for cut in [0, 1, 10, raw.len() - 1] {
+            assert!(try_parse_request(&raw[..cut]).unwrap().is_none(), "prefix of {cut} bytes");
+        }
+        let (parsed, consumed) = try_parse_request(&raw).unwrap().unwrap();
+        assert_eq!(parsed.path, "/echo");
+        assert_eq!(parsed.body, b"hello body");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn incremental_parse_leaves_pipelined_request_in_buffer() {
+        let mut raw = Vec::new();
+        Request::new(Method::Get, "/first").write_to(&mut raw).unwrap();
+        let first_len = raw.len();
+        Request::new(Method::Get, "/second").write_to(&mut raw).unwrap();
+        let (a, consumed) = try_parse_request(&raw).unwrap().unwrap();
+        assert_eq!(a.path, "/first");
+        assert_eq!(consumed, first_len);
+        let (b, rest) = try_parse_request(&raw[consumed..]).unwrap().unwrap();
+        assert_eq!(b.path, "/second");
+        assert_eq!(consumed + rest, raw.len());
+    }
+
+    #[test]
+    fn incremental_parse_enforces_caps_before_block_completes() {
+        // An endless request line with no newline: cut off at the cap even
+        // though no terminator will ever arrive.
+        let raw = vec![b'a'; MAX_START_LINE + 1];
+        let err = try_parse_request(&raw).unwrap_err();
+        assert!(matches!(err, HttpError::HeadersTooLarge(_)), "got {err}");
+
+        // A slow-loris header flood: each line is small but the count cap
+        // fires long before the (never-sent) blank line.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..=MAX_HEADERS {
+            raw.extend_from_slice(format!("x-drip-{i}: v\r\n").as_bytes());
+        }
+        let err = try_parse_request(&raw).unwrap_err();
+        assert!(matches!(err, HttpError::HeadersTooLarge(_)), "got {err}");
+        assert_eq!(err.status(), 431);
+
+        // An oversized single header line, newline never sent.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(&vec![b'h'; MAX_HEADER_LINE + 2]);
+        let err = try_parse_request(&raw).unwrap_err();
+        assert!(matches!(err, HttpError::HeadersTooLarge(_)), "got {err}");
+    }
+
+    #[test]
+    fn incremental_parse_matches_blocking_parser_on_malformed_input() {
+        for raw in [
+            &b"BREW /coffee HTTP/1.1\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 5\r\n\r\nabcde"[..],
+        ] {
+            let blocking = Request::read_from(&mut Cursor::new(raw.to_vec())).unwrap_err();
+            let incremental = try_parse_request(raw).unwrap_err();
+            assert_eq!(blocking.status(), incremental.status(), "for {raw:?}");
+        }
+        // Oversized declared body: rejected as soon as the headers land.
+        let raw = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
+        let err = try_parse_request(raw.as_bytes()).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge(_)));
     }
 
     #[test]

@@ -9,9 +9,12 @@
 //!   hardened framing (size-capped request lines and headers, strict
 //!   `content-length` parsing);
 //! * [`Router`] — method + path routing with `:param` captures;
-//! * [`Server`] — a bounded worker-pool listener with HTTP/1.1 keep-alive,
-//!   `503` + `Retry-After` backpressure, graceful drain, and `httpd_*`
-//!   metrics ([`ServerConfig`] tunes workers/backlog/timeouts);
+//! * [`Server`] — an epoll-reactor listener with HTTP/1.1 keep-alive:
+//!   one reactor thread owns every socket nonblocking, a bounded worker
+//!   pool executes handlers only, saturation answers `503` +
+//!   `Retry-After`, and shutdown drains gracefully, with `httpd_*`
+//!   metrics throughout ([`ServerConfig`] tunes workers/admission
+//!   window/timeouts);
 //! * [`Client`] — a blocking client with persistent pooled connections and
 //!   transparent retry on stale keep-alive sockets;
 //! * [`TcpRelay`] — socat-style bidirectional port forwarding;
@@ -31,11 +34,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `poll` needs FFI for epoll/eventfd (no libc crate offline); it is the
+// only module allowed to opt back in via `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod fault;
 mod http;
+mod poll;
 mod relay;
 mod router;
 mod server;

@@ -129,14 +129,18 @@ fn accept_loop(
                 let _ = std::thread::Builder::new().name("relay-conn".into()).spawn(move || {
                     // Answer immediately, then drain the client's request
                     // until EOF so its in-flight writes never hit a closed
-                    // socket (EPIPE) before it reads the response.
+                    // socket (EPIPE) before it reads the response. The drain
+                    // is bounded by a total deadline, not per read: a client
+                    // trickling bytes must not hold the thread open forever.
                     let _ = Response::error(code, "injected fault").write_to(&mut client);
                     let _ = client.shutdown(std::net::Shutdown::Write);
-                    let _ = client.set_read_timeout(Some(Duration::from_millis(500)));
+                    let _ = client.set_read_timeout(Some(Duration::from_millis(100)));
+                    let deadline = std::time::Instant::now() + Duration::from_millis(500);
                     let mut buf = [0u8; 16 * 1024];
-                    while let Ok(n) = client.read(&mut buf) {
-                        if n == 0 {
-                            break;
+                    while std::time::Instant::now() < deadline {
+                        match client.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {}
                         }
                     }
                 });

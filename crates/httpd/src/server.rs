@@ -1,19 +1,27 @@
-//! A bounded-worker HTTP/1.1 server with keep-alive, and a
+//! An epoll-reactor HTTP/1.1 server with keep-alive, and a
 //! connection-pooling client.
 //!
-//! The server accepts on one thread and serves connections from a fixed
-//! worker pool (no thread-per-connection): each worker owns a connection
-//! for its keep-alive lifetime, looping over requests until the peer
-//! closes, an idle timeout fires, or the per-connection request cap is
-//! reached. When every worker is busy and the pending-connection backlog
-//! is full, new connections are answered `503` + `Retry-After` instead of
-//! spawning without bound. [`Server::shutdown`] drains gracefully: accept
-//! stops, idle keep-alive connections are cut immediately, and in-flight
+//! One reactor thread owns the listener and every connection socket in
+//! nonblocking mode; each connection is a small state machine (reading →
+//! dispatching → writing → keep-alive idle). The worker pool executes
+//! handlers only: a connection occupies a worker exactly while
+//! `Router::dispatch` runs and hands the socket back to the reactor for
+//! all I/O, so an idle keep-alive socket costs a few hundred bytes of
+//! state instead of a pinned thread. Admission control caps open
+//! connections at `workers + backlog`; overflow is answered `503` +
+//! `Retry-After` as a nonblocking write state inside the reactor, so a
+//! slow or malicious rejected client can never stall the accept path.
+//! Idle/read timeouts ride the `epoll_wait` timeout, and
+//! [`Server::shutdown`] drains gracefully by walking the connection
+//! table: accept stops, idle sockets close immediately, and dispatched
 //! requests get a deadline to finish.
 
-use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufReader};
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{
+    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
@@ -23,7 +31,8 @@ use confbench_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use parking_lot::Mutex;
 
 use crate::fault::{Fault, FaultInjector};
-use crate::http::{HttpError, Request, Response};
+use crate::http::{try_parse_request, HttpError, Request, Response};
+use crate::poll::{event_buffer, Epoll, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use crate::router::Router;
 
 /// Turns a bound address into one a client can connect to: wildcard binds
@@ -52,14 +61,33 @@ pub(crate) fn join_with_timeout(handle: JoinHandle<()>, timeout: Duration) {
     let _ = handle.join();
 }
 
+/// Total budget for draining a connection that was answered out-of-band
+/// (backpressure 503s and protocol-error responses): the peer's unread
+/// request bytes are discarded for at most this long before the socket
+/// closes, no matter how slowly they trickle in.
+const REJECT_DRAIN_TOTAL: Duration = Duration::from_millis(500);
+/// One shared budget for joining the whole worker pool on shutdown (a
+/// wedged handler detaches its worker instead of serializing 1 s each).
+const WORKER_JOIN_TOTAL: Duration = Duration::from_secs(1);
+/// Events drained per `epoll_wait` call.
+const EVENT_BATCH: usize = 256;
+/// Bytes read per `read` call on a ready connection.
+const READ_CHUNK: usize = 16 * 1024;
+/// Reserved epoll token for the listener.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Reserved epoll token for the reactor waker.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
 /// Connection-layer tuning for a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
-    /// Worker threads serving connections. Each worker owns one connection
-    /// at a time for its keep-alive lifetime. Clamped to ≥ 1.
+    /// Worker threads executing handlers. A connection occupies a worker
+    /// only while its request dispatches; all socket I/O (including idle
+    /// keep-alive waits) stays on the reactor thread. Clamped to ≥ 1.
     pub workers: usize,
-    /// Pending connections held while all workers are busy; overflow is
-    /// answered `503` + `Retry-After`. Clamped to ≥ 1.
+    /// Admitted connections allowed beyond `workers`: once `workers +
+    /// backlog` connections are open, further arrivals are answered `503`
+    /// + `Retry-After`. Clamped to ≥ 1.
     pub backlog: usize,
     /// How long a keep-alive connection may sit idle between requests
     /// before the server closes it.
@@ -67,7 +95,9 @@ pub struct ServerConfig {
     /// Requests served on one connection before the server closes it
     /// (`connection: close` on the final response). Clamped to ≥ 1.
     pub max_requests_per_conn: u64,
-    /// Read timeout for the first request of a connection.
+    /// Deadline for a connection's first request. Expiry with partial
+    /// request bytes answers `408 Request Timeout`; with none it closes
+    /// silently.
     pub read_timeout: Duration,
     /// `Retry-After` hint (seconds) on backpressure 503s. Gateways wire
     /// this from their retry policy so the hint matches their own backoff.
@@ -78,12 +108,13 @@ pub struct ServerConfig {
 }
 
 impl Default for ServerConfig {
-    /// 8 workers, 64-connection backlog, 5 s keep-alive idle, 1000
-    /// requests/connection, 30 s read timeout, `Retry-After: 1`, 5 s drain.
+    /// 8 workers, 1024 connections of admission headroom, 5 s keep-alive
+    /// idle, 1000 requests/connection, 30 s read timeout, `Retry-After: 1`,
+    /// 5 s drain.
     fn default() -> Self {
         ServerConfig {
             workers: 8,
-            backlog: 64,
+            backlog: 1024,
             keep_alive_idle: Duration::from_secs(5),
             max_requests_per_conn: 1000,
             read_timeout: Duration::from_secs(30),
@@ -101,6 +132,7 @@ struct HttpdMetrics {
     keepalive_reuse: Arc<Counter>,
     rejected_total: Arc<Counter>,
     workers_busy: Arc<Gauge>,
+    dispatch_depth: Arc<Gauge>,
     requests_per_conn: Arc<Histogram>,
 }
 
@@ -113,107 +145,65 @@ impl HttpdMetrics {
             keepalive_reuse: registry.counter("httpd_keepalive_reuse_total"),
             rejected_total: registry.counter("httpd_rejected_total"),
             workers_busy: registry.gauge("httpd_workers_busy"),
+            dispatch_depth: registry.gauge("httpd_dispatch_queue_depth"),
             requests_per_conn: registry.histogram("httpd_requests_per_conn", &[1, 2, 5, 10, 100]),
         }
     }
 }
 
-/// Bounded handoff between the accept thread and the worker pool.
+/// A parsed request handed from the reactor to the worker pool.
+struct Task {
+    conn: u64,
+    request: Request,
+    /// Injected [`Fault::Delay`], slept on the worker (not the reactor).
+    delay: Option<Duration>,
+}
+
+/// Handoff queue between the reactor and the worker pool.
 #[derive(Default)]
-struct ConnQueue {
-    state: StdMutex<(VecDeque<TcpStream>, bool)>, // (pending, closed)
+struct TaskQueue {
+    state: StdMutex<(VecDeque<Task>, bool)>, // (pending, closed)
     cv: Condvar,
 }
 
-impl ConnQueue {
-    /// Enqueues a connection; gives it back when the backlog is full or the
-    /// queue is closed.
-    fn try_push(&self, stream: TcpStream, capacity: usize) -> Result<(), TcpStream> {
-        let mut state = self.state.lock().expect("conn queue lock");
-        if state.1 || state.0.len() >= capacity {
-            return Err(stream);
+impl TaskQueue {
+    fn push(&self, task: Task) {
+        let mut state = self.state.lock().expect("task queue lock");
+        if state.1 {
+            return;
         }
-        state.0.push_back(stream);
+        state.0.push_back(task);
         drop(state);
         self.cv.notify_one();
-        Ok(())
     }
 
-    /// Blocks until a connection is available or the queue is closed and
-    /// drained. `None` tells the worker to exit.
-    fn pop(&self) -> Option<TcpStream> {
-        let mut state = self.state.lock().expect("conn queue lock");
+    /// Blocks until a task is available or the queue is closed. `None`
+    /// tells the worker to exit.
+    fn pop(&self) -> Option<Task> {
+        let mut state = self.state.lock().expect("task queue lock");
         loop {
-            if let Some(stream) = state.0.pop_front() {
-                return Some(stream);
+            if let Some(task) = state.0.pop_front() {
+                return Some(task);
             }
             if state.1 {
                 return None;
             }
-            state = self.cv.wait(state).expect("conn queue lock");
+            state = self.cv.wait(state).expect("task queue lock");
         }
     }
 
-    /// Closes the queue and returns connections never handed to a worker.
-    fn close(&self) -> Vec<TcpStream> {
-        let mut state = self.state.lock().expect("conn queue lock");
+    /// Closes the queue, dropping tasks never picked up (their connections
+    /// are force-closed by the reactor's drain deadline).
+    fn close(&self) {
+        let mut state = self.state.lock().expect("task queue lock");
         state.1 = true;
-        let pending = state.0.drain(..).collect();
+        state.0.clear();
         drop(state);
         self.cv.notify_all();
-        pending
-    }
-
-    fn depth(&self) -> usize {
-        self.state.lock().expect("conn queue lock").0.len()
     }
 }
 
-/// Live-connection registry so shutdown can cut idle keep-alive sockets
-/// immediately and force-close stragglers after the drain deadline.
-#[derive(Default)]
-struct ConnRegistry {
-    next_id: AtomicU64,
-    conns: Mutex<HashMap<u64, ConnEntry>>,
-}
-
-struct ConnEntry {
-    stream: TcpStream,
-    busy: Arc<AtomicBool>,
-}
-
-impl ConnRegistry {
-    fn register(&self, stream: &TcpStream, busy: Arc<AtomicBool>) -> Option<u64> {
-        let clone = stream.try_clone().ok()?;
-        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
-        self.conns.lock().insert(id, ConnEntry { stream: clone, busy });
-        Some(id)
-    }
-
-    fn deregister(&self, id: Option<u64>) {
-        if let Some(id) = id {
-            self.conns.lock().remove(&id);
-        }
-    }
-
-    /// Shuts down connections not currently serving a request (blocked
-    /// waiting for the peer's next keep-alive request).
-    fn close_idle(&self) {
-        for entry in self.conns.lock().values() {
-            if !entry.busy.load(Ordering::SeqCst) {
-                let _ = entry.stream.shutdown(std::net::Shutdown::Both);
-            }
-        }
-    }
-
-    fn close_all(&self) {
-        for entry in self.conns.lock().values() {
-            let _ = entry.stream.shutdown(std::net::Shutdown::Both);
-        }
-    }
-}
-
-/// State shared by the accept thread and the worker pool.
+/// State shared by the reactor thread and the worker pool.
 struct Shared {
     router: Router,
     config: ServerConfig,
@@ -221,31 +211,569 @@ struct Shared {
     metrics: HttpdMetrics,
     registry: Arc<MetricsRegistry>,
     shutdown: AtomicBool,
-    queue: ConnQueue,
-    conns: ConnRegistry,
+    tasks: TaskQueue,
+    /// Responses ready to be written, applied by the reactor each tick.
+    completions: Mutex<Vec<(u64, Response)>>,
+    epoll: Epoll,
+    waker: Waker,
 }
 
-impl Shared {
-    /// Answers a connection the pool cannot take with `503` + `Retry-After`.
-    fn reject(&self, stream: TcpStream) {
-        use std::io::Read;
-        self.metrics.rejected_total.inc();
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-        let mut response = Response::error(503, "server saturated: all workers busy, backlog full");
-        response.headers.insert("retry-after".into(), self.config.retry_after_secs.to_string());
-        response.headers.insert("connection".into(), "close".into());
-        let _ = response.write_to(&mut &stream);
-        // Drain the client's (unread) request briefly before closing:
-        // dropping a socket with buffered input sends RST, which would
-        // discard the 503 from the peer's receive buffer.
-        let _ = stream.shutdown(std::net::Shutdown::Write);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-        let mut buf = [0u8; 4096];
-        while let Ok(n) = (&stream).read(&mut buf) {
-            if n == 0 {
-                break;
+/// Where a connection is in its request lifecycle. Transitions happen only
+/// on the reactor thread, which is what makes the drain-vs-dispatch race
+/// of the old registry design impossible: a connection is `Dispatching`
+/// from the instant its request parses, atomically with everything else
+/// the reactor decides.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Waiting for (more of) a request; interest `EPOLLIN`.
+    Reading,
+    /// Request handed to the worker pool; no I/O interest.
+    Dispatching,
+    /// Response bytes draining to the peer; interest `EPOLLOUT`.
+    Writing,
+    /// Out-of-band answer written (503/4xx); unread request bytes are
+    /// discarded until [`REJECT_DRAIN_TOTAL`] so the close cannot RST the
+    /// response out of the peer's receive buffer. Interest `EPOLLIN`.
+    RejectDraining,
+}
+
+/// Per-connection reactor state.
+struct Conn {
+    stream: TcpStream,
+    state: State,
+    /// Unparsed request bytes received so far.
+    buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    served: u64,
+    req_keep_alive: bool,
+    fault_close: bool,
+    close_after_write: bool,
+    /// Admitted (counted in `httpd_connections_active`); rejects are not.
+    counted: bool,
+    /// Drain unread input briefly after the final write instead of
+    /// closing immediately (reject/error answers).
+    linger: bool,
+    /// Dropped from the epoll set early (peer hung up mid-dispatch).
+    unregistered: bool,
+    /// Generation guard: a timer entry only fires if it matches.
+    timer_gen: u64,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            state: State::Reading,
+            buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            served: 0,
+            req_keep_alive: true,
+            fault_close: false,
+            close_after_write: false,
+            counted: true,
+            linger: false,
+            unregistered: false,
+            timer_gen: 0,
+        }
+    }
+}
+
+/// The readiness loop: owns the listener and every connection socket.
+struct Reactor {
+    shared: Arc<Shared>,
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    /// Min-heap of (deadline, conn, generation); stale generations are
+    /// skipped lazily when popped.
+    timers: BinaryHeap<Reverse<(Instant, u64, u64)>>,
+    next_id: u64,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+}
+
+enum WriteOutcome {
+    Done,
+    Pending,
+    Failed,
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        let mut events = event_buffer(EVENT_BATCH);
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            }
+            if self.draining {
+                if self.conns.is_empty() {
+                    break;
+                }
+                if self.drain_deadline.is_some_and(|d| Instant::now() >= d) {
+                    for id in self.conns.keys().copied().collect::<Vec<_>>() {
+                        self.close_conn(id);
+                    }
+                    break;
+                }
+            }
+            let n = match self.shared.epoll.wait(&mut events, self.next_deadline()) {
+                Ok(n) => n,
+                Err(_) => {
+                    // Unexpected epoll failure: back off instead of spinning.
+                    std::thread::sleep(Duration::from_millis(1));
+                    0
+                }
+            };
+            for event in events.iter().take(n) {
+                let (token, bits) = (event.token(), event.events());
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.shared.waker.drain(),
+                    id => self.conn_ready(id, bits),
+                }
+            }
+            self.apply_completions();
+            self.fire_timers();
+        }
+    }
+
+    /// Stops accepting and cuts connections not serving a request; the
+    /// rest get until `drain_timeout` to finish.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + self.shared.config.drain_timeout);
+        if let Some(listener) = self.listener.take() {
+            let _ = self.shared.epoll.delete(&listener);
+        }
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| matches!(c.state, State::Reading | State::RejectDraining))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in idle {
+            self.close_conn(id);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = match self.listener.as_ref() {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _)) => self.register_conn(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return, // transient (EMFILE etc.): retry next tick
             }
         }
+    }
+
+    /// Admits a fresh connection, or answers `503` + `Retry-After` when
+    /// `workers + backlog` connections are already open. The rejection is
+    /// itself a nonblocking write + bounded drain, so it can never stall
+    /// the accept path (the historical trickle-client DoS).
+    fn register_conn(&mut self, stream: TcpStream) {
+        let _ = stream.set_nonblocking(true);
+        let _ = stream.set_nodelay(true);
+        let id = self.next_id;
+        self.next_id += 1;
+        let capacity = (self.shared.config.workers + self.shared.config.backlog) as u64;
+        if self.draining || self.shared.metrics.active.get() >= capacity {
+            self.shared.metrics.rejected_total.inc();
+            let mut response =
+                Response::error(503, "server saturated: all workers busy, backlog full");
+            response
+                .headers
+                .insert("retry-after".into(), self.shared.config.retry_after_secs.to_string());
+            response.headers.insert("connection".into(), "close".into());
+            let mut conn = Conn::new(stream);
+            conn.counted = false;
+            conn.linger = true;
+            conn.close_after_write = true;
+            conn.write_buf = response.to_bytes();
+            conn.state = State::Writing;
+            if self.shared.epoll.add(&conn.stream, EPOLLOUT, id).is_err() {
+                return; // drop: the peer sees a reset
+            }
+            self.conns.insert(id, conn);
+            self.arm_timer(id, Instant::now() + REJECT_DRAIN_TOTAL);
+            self.flush_write(id);
+            return;
+        }
+        self.shared.metrics.connections_total.inc();
+        self.shared.metrics.active.inc();
+        let conn = Conn::new(stream);
+        if self.shared.epoll.add(&conn.stream, EPOLLIN, id).is_err() {
+            self.shared.metrics.active.dec();
+            return;
+        }
+        self.conns.insert(id, conn);
+        self.arm_timer(id, Instant::now() + self.shared.config.read_timeout);
+    }
+
+    fn conn_ready(&mut self, id: u64, bits: u32) {
+        let Some(state) = self.conns.get(&id).map(|c| c.state) else { return };
+        if bits & (EPOLLHUP | EPOLLERR) != 0 {
+            match state {
+                // The worker still owns this request; drop the fd from the
+                // epoll set so it stops reporting, and let the completion
+                // discover the dead peer at write time.
+                State::Dispatching => {
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        let _ = self.shared.epoll.delete(&conn.stream);
+                        conn.unregistered = true;
+                    }
+                }
+                // Pending input may precede the hangup; read it to EOF so a
+                // final pipelined request or the FIN is seen in order.
+                State::Reading | State::RejectDraining if bits & EPOLLIN != 0 => self.readable(id),
+                _ => self.close_conn(id),
+            }
+            return;
+        }
+        if bits & EPOLLIN != 0 {
+            self.readable(id);
+        }
+        if bits & EPOLLOUT != 0 {
+            self.flush_write(id);
+        }
+    }
+
+    fn readable(&mut self, id: u64) {
+        let Some(state) = self.conns.get(&id).map(|c| c.state) else { return };
+        match state {
+            State::Reading => {
+                let mut chunk = [0u8; READ_CHUNK];
+                let mut eof = false;
+                loop {
+                    let Some(conn) = self.conns.get_mut(&id) else { return };
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            eof = true;
+                            break;
+                        }
+                        Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            self.close_conn(id);
+                            return;
+                        }
+                    }
+                }
+                self.advance(id, eof);
+            }
+            State::RejectDraining => {
+                let mut chunk = [0u8; READ_CHUNK];
+                loop {
+                    let Some(conn) = self.conns.get_mut(&id) else { return };
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            self.close_conn(id);
+                            return;
+                        }
+                        Ok(_) => {} // discard
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            self.close_conn(id);
+                            return;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Parses as many complete requests as the buffer holds, dispatching
+    /// each; answers protocol errors; handles a peer close (`eof`).
+    fn advance(&mut self, id: u64, eof: bool) {
+        loop {
+            let parsed = {
+                let Some(conn) = self.conns.get_mut(&id) else { return };
+                if conn.state != State::Reading {
+                    return;
+                }
+                match try_parse_request(&conn.buf) {
+                    Ok(Some((request, consumed))) => {
+                        conn.buf.drain(..consumed);
+                        Ok(Some(request))
+                    }
+                    Ok(None) => Ok(None),
+                    Err(e) => Err(e),
+                }
+            };
+            match parsed {
+                Ok(Some(request)) => self.start_request(id, request),
+                Ok(None) => break,
+                Err(e) => {
+                    // Parse errors answer with their status (400/413/431)
+                    // and close: the stream position is untrustworthy.
+                    let mut response = Response::error(e.status(), e.to_string());
+                    response.headers.insert("connection".into(), "close".into());
+                    self.send_response_and_close(id, response);
+                    return;
+                }
+            }
+        }
+        if !eof {
+            return;
+        }
+        let partial = match self.conns.get(&id) {
+            Some(conn) if conn.state == State::Reading => !conn.buf.is_empty(),
+            _ => return,
+        };
+        if partial {
+            let mut response =
+                Response::error(400, "malformed http message: connection closed mid-request");
+            response.headers.insert("connection".into(), "close".into());
+            self.send_response_and_close(id, response);
+        } else {
+            self.close_conn(id); // clean end of keep-alive
+        }
+    }
+
+    /// Applies fault decisions and hands the request to the worker pool.
+    fn start_request(&mut self, id: u64, request: Request) {
+        {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            conn.served += 1;
+            conn.req_keep_alive = request.wants_keep_alive();
+            self.shared.metrics.requests_total.inc();
+            if conn.served > 1 {
+                self.shared.metrics.keepalive_reuse.inc();
+            }
+        }
+        let fault = self.shared.faults.as_deref().and_then(|f| f.decide());
+        match fault {
+            Some(Fault::DropConnection) => {
+                // Close without a response: the client sees a reset/EOF.
+                self.close_conn(id);
+                return;
+            }
+            Some(Fault::Status(code)) => {
+                self.finish_response(id, Response::error(code, "injected fault"));
+                return;
+            }
+            _ => {}
+        }
+        let delay = if let Some(Fault::Delay(d)) = fault { Some(d) } else { None };
+        {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            // `CloseAfterResponse` deliberately lies (keep-alive advertised,
+            // socket closed anyway) to simulate a server dying mid-keep-alive.
+            conn.fault_close = fault == Some(Fault::CloseAfterResponse);
+            conn.state = State::Dispatching;
+            conn.timer_gen += 1; // cancel the read/idle timer
+        }
+        self.set_interest(id, 0); // quiesce: level-triggered EPOLLIN would spin
+        self.shared.metrics.dispatch_depth.inc();
+        self.shared.tasks.push(Task { conn: id, request, delay });
+    }
+
+    /// Queues `response` for writing and decides the connection's fate.
+    fn finish_response(&mut self, id: u64, mut response: Response) {
+        let draining = self.draining;
+        {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            let exhausted = conn.served >= self.shared.config.max_requests_per_conn;
+            let close = !conn.req_keep_alive || !response.keep_alive() || draining || exhausted;
+            if !conn.fault_close {
+                response
+                    .headers
+                    .insert("connection".into(), if close { "close" } else { "keep-alive" }.into());
+            }
+            conn.close_after_write = close || conn.fault_close;
+            conn.write_buf = response.to_bytes();
+            conn.write_pos = 0;
+            conn.state = State::Writing;
+        }
+        self.set_interest(id, EPOLLOUT);
+        self.flush_write(id);
+    }
+
+    /// Queues an error answer (408/4xx/431) followed by a lingering close.
+    fn send_response_and_close(&mut self, id: u64, response: Response) {
+        {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            conn.write_buf = response.to_bytes();
+            conn.write_pos = 0;
+            conn.state = State::Writing;
+            conn.close_after_write = true;
+            conn.linger = true;
+        }
+        self.set_interest(id, EPOLLOUT);
+        // Also bounds the write phase against a peer that never reads.
+        self.arm_timer(id, Instant::now() + REJECT_DRAIN_TOTAL);
+        self.flush_write(id);
+    }
+
+    fn flush_write(&mut self, id: u64) {
+        let outcome = loop {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            if conn.state != State::Writing {
+                return;
+            }
+            if conn.write_pos >= conn.write_buf.len() {
+                break WriteOutcome::Done;
+            }
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => break WriteOutcome::Failed,
+                Ok(n) => conn.write_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break WriteOutcome::Pending,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break WriteOutcome::Failed,
+            }
+        };
+        match outcome {
+            WriteOutcome::Done => self.write_complete(id),
+            WriteOutcome::Pending => {} // EPOLLOUT interest already armed
+            WriteOutcome::Failed => self.close_conn(id),
+        }
+    }
+
+    fn write_complete(&mut self, id: u64) {
+        let Some((linger, close_after)) =
+            self.conns.get(&id).map(|c| (c.linger, c.close_after_write))
+        else {
+            return;
+        };
+        if linger {
+            // Half-close, then discard the peer's unread bytes until the
+            // drain budget expires: an immediate close would RST the
+            // answer out of the peer's receive buffer.
+            {
+                let conn = self.conns.get_mut(&id).expect("conn checked above");
+                let _ = conn.stream.shutdown(Shutdown::Write);
+                conn.state = State::RejectDraining;
+                conn.write_buf = Vec::new();
+            }
+            self.set_interest(id, EPOLLIN);
+            self.arm_timer(id, Instant::now() + REJECT_DRAIN_TOTAL);
+            self.readable(id);
+        } else if close_after || self.draining {
+            self.close_conn(id);
+        } else {
+            {
+                let conn = self.conns.get_mut(&id).expect("conn checked above");
+                conn.state = State::Reading;
+                conn.write_buf = Vec::new();
+                conn.write_pos = 0;
+            }
+            self.set_interest(id, EPOLLIN);
+            self.arm_timer(id, Instant::now() + self.shared.config.keep_alive_idle);
+            // A pipelined follow-up may already be buffered.
+            self.advance(id, false);
+        }
+    }
+
+    /// Applies responses the worker pool finished since the last tick.
+    fn apply_completions(&mut self) {
+        let done: Vec<(u64, Response)> = std::mem::take(&mut *self.shared.completions.lock());
+        for (id, response) in done {
+            self.finish_response(id, response);
+        }
+    }
+
+    fn timer_fired(&mut self, id: u64) {
+        let Some(state) = self.conns.get(&id).map(|c| c.state) else { return };
+        match state {
+            State::Reading => {
+                let partial = self.conns.get(&id).is_some_and(|c| !c.buf.is_empty());
+                if partial {
+                    // The peer started a request but never finished it:
+                    // tell it so instead of cutting the socket silently.
+                    let mut response =
+                        Response::error(408, "timed out waiting for a complete request");
+                    response.headers.insert("connection".into(), "close".into());
+                    self.send_response_and_close(id, response);
+                } else {
+                    // Idle keep-alive sockets close silently: pooled
+                    // clients expect a clean EOF there.
+                    self.close_conn(id);
+                }
+            }
+            // Reject/error drain budget exhausted, or the peer never read
+            // the final answer.
+            State::RejectDraining | State::Writing => self.close_conn(id),
+            State::Dispatching => {}
+        }
+    }
+
+    fn fire_timers(&mut self) {
+        let now = Instant::now();
+        while let Some(Reverse((deadline, id, generation))) = self.timers.peek().copied() {
+            if deadline > now {
+                break;
+            }
+            self.timers.pop();
+            if self.conns.get(&id).map(|c| c.timer_gen) == Some(generation) {
+                self.timer_fired(id);
+            }
+        }
+    }
+
+    /// Re-arms the connection's (single) timer; any previous entry for it
+    /// in the heap goes stale via the generation bump.
+    fn arm_timer(&mut self, id: u64, deadline: Instant) {
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        conn.timer_gen += 1;
+        let generation = conn.timer_gen;
+        self.timers.push(Reverse((deadline, id, generation)));
+    }
+
+    /// The next instant the reactor must wake even without I/O.
+    fn next_deadline(&self) -> Option<Instant> {
+        let timer = self.timers.peek().map(|Reverse((deadline, _, _))| *deadline);
+        match (timer, self.drain_deadline) {
+            (Some(t), Some(d)) => Some(t.min(d)),
+            (t, d) => t.or(d),
+        }
+    }
+
+    fn set_interest(&mut self, id: u64, events: u32) {
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        if conn.unregistered {
+            if self.shared.epoll.add(&conn.stream, events, id).is_ok() {
+                conn.unregistered = false;
+            }
+        } else {
+            let _ = self.shared.epoll.modify(&conn.stream, events, id);
+        }
+    }
+
+    fn close_conn(&mut self, id: u64) {
+        let Some(conn) = self.conns.remove(&id) else { return };
+        if !conn.unregistered {
+            let _ = self.shared.epoll.delete(&conn.stream);
+        }
+        if conn.counted {
+            self.shared.metrics.requests_per_conn.observe(conn.served);
+            self.shared.metrics.active.dec();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(task) = shared.tasks.pop() {
+        shared.metrics.dispatch_depth.dec();
+        shared.metrics.workers_busy.inc();
+        if let Some(delay) = task.delay {
+            std::thread::sleep(delay);
+        }
+        // A panicking handler must not kill the pool's worker.
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.router.dispatch(&task.request)
+        }))
+        .unwrap_or_else(|_| Response::error(500, "handler panicked"));
+        shared.metrics.workers_busy.dec();
+        shared.completions.lock().push((task.conn, response));
+        shared.waker.wake();
     }
 }
 
@@ -277,19 +805,24 @@ impl ServerBuilder {
         self
     }
 
-    /// Binds `addr` and starts the accept thread plus the worker pool.
+    /// Binds `addr` and starts the reactor thread plus the worker pool.
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind failures (and epoll/eventfd setup failures).
     pub fn spawn(self, addr: &str) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let mut config = self.config;
         config.workers = config.workers.max(1);
         config.backlog = config.backlog.max(1);
         config.max_requests_per_conn = config.max_requests_per_conn.max(1);
         let registry = self.metrics.unwrap_or_default();
+        let epoll = Epoll::new()?;
+        let waker = Waker::new()?;
+        epoll.add(&listener, EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(&waker, EPOLLIN, TOKEN_WAKER)?;
         let shared = Arc::new(Shared {
             router: self.router,
             config,
@@ -297,14 +830,26 @@ impl ServerBuilder {
             metrics: HttpdMetrics::register(&registry),
             registry,
             shutdown: AtomicBool::new(false),
-            queue: ConnQueue::default(),
-            conns: ConnRegistry::default(),
+            tasks: TaskQueue::default(),
+            completions: Mutex::new(Vec::new()),
+            epoll,
+            waker,
         });
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name(format!("httpd-{addr}"))
-            .spawn(move || accept_loop(listener, accept_shared))?;
+        let reactor_shared = Arc::clone(&shared);
+        let reactor_thread =
+            std::thread::Builder::new().name(format!("httpd-{addr}")).spawn(move || {
+                Reactor {
+                    shared: reactor_shared,
+                    listener: Some(listener),
+                    conns: HashMap::new(),
+                    timers: BinaryHeap::new(),
+                    next_id: 0,
+                    draining: false,
+                    drain_deadline: None,
+                }
+                .run()
+            })?;
 
         let mut workers = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
@@ -318,7 +863,7 @@ impl ServerBuilder {
                     .spawn(move || worker_loop(&worker_shared))?,
             );
         }
-        Ok(Server { addr, shared, accept_thread: Some(accept_thread), workers })
+        Ok(Server { addr, shared, reactor_thread: Some(reactor_thread), workers })
     }
 }
 
@@ -339,7 +884,7 @@ impl ServerBuilder {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -400,174 +945,54 @@ impl Server {
         &self.shared.registry
     }
 
-    /// Connections currently owned by workers.
+    /// Connections currently admitted (open in the reactor).
     pub fn active_connections(&self) -> u64 {
         self.shared.metrics.active.get()
     }
 
-    /// Worker threads serving connections.
+    /// Worker threads executing handlers.
     pub fn worker_count(&self) -> usize {
         self.shared.config.workers
     }
 
-    /// Connections waiting in the backlog for a free worker.
+    /// Admitted connections beyond the worker count — the portion of the
+    /// admission window (`workers + backlog`) consumed by connections that
+    /// would have queued for a worker under the old thread-per-connection
+    /// design.
     pub fn backlog_depth(&self) -> usize {
-        self.shared.queue.depth()
+        (self.shared.metrics.active.get() as usize).saturating_sub(self.shared.config.workers)
     }
 
-    /// Gracefully shuts down: stops accepting, rejects backlogged
-    /// connections, cuts idle keep-alive sockets, lets in-flight requests
-    /// finish within the drain deadline, then joins the pool.
+    /// Gracefully shuts down: stops accepting, cuts idle keep-alive
+    /// sockets, lets dispatched requests finish within the drain deadline,
+    /// then joins the reactor and the pool.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Wake the accept loop with a throwaway connection. Connect to
-        // loopback with the bound port: a wildcard bind address (0.0.0.0)
-        // is not connectable, which used to leave the loop blocked.
-        let _ = TcpStream::connect_timeout(&connectable(self.addr), Duration::from_secs(1));
-        if let Some(handle) = self.accept_thread.take() {
-            join_with_timeout(handle, Duration::from_secs(5));
+        self.shared.waker.wake();
+        if let Some(handle) = self.reactor_thread.take() {
+            // The reactor needs the drain window plus slack to walk the
+            // connection table and exit.
+            join_with_timeout(handle, self.shared.config.drain_timeout + Duration::from_secs(2));
         }
-        // Backlogged connections never reached a worker: tell them to retry.
-        for stream in self.shared.queue.close() {
-            self.shared.reject(stream);
-        }
-        // Idle keep-alive connections close now; in-flight requests get the
-        // drain deadline to finish (their connections go idle on completion
-        // because the drain flag forces `connection: close`).
-        self.shared.conns.close_idle();
-        let deadline = Instant::now() + self.shared.config.drain_timeout;
-        while self.shared.metrics.active.get() > 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
-            self.shared.conns.close_idle();
-        }
-        self.shared.conns.close_all();
+        self.shared.tasks.close();
+        self.shared.metrics.dispatch_depth.set(0);
+        // One shared deadline for the whole pool: a wedged handler costs
+        // the budget once, not per worker.
+        let deadline = Instant::now() + WORKER_JOIN_TOTAL;
         for handle in self.workers.drain(..) {
-            join_with_timeout(handle, Duration::from_secs(1));
+            join_with_timeout(handle, deadline.saturating_duration_since(Instant::now()));
         }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() || !self.workers.is_empty() {
+        if self.reactor_thread.is_some() || !self.workers.is_empty() {
             self.stop();
-        }
-    }
-}
-
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        if let Err(stream) = shared.queue.try_push(stream, shared.config.backlog) {
-            shared.reject(stream);
-        }
-    }
-}
-
-fn worker_loop(shared: &Shared) {
-    while let Some(stream) = shared.queue.pop() {
-        shared.metrics.workers_busy.inc();
-        handle_connection(stream, shared);
-        shared.metrics.workers_busy.dec();
-    }
-}
-
-/// Decrements the active gauge, records the per-connection request count,
-/// and deregisters the connection — on every exit path, panics included.
-struct ConnGuard<'a> {
-    shared: &'a Shared,
-    id: Option<u64>,
-    served: u64,
-}
-
-impl Drop for ConnGuard<'_> {
-    fn drop(&mut self) {
-        self.shared.metrics.requests_per_conn.observe(self.served);
-        self.shared.metrics.active.dec();
-        self.shared.conns.deregister(self.id);
-    }
-}
-
-/// Serves requests on one connection until the peer closes, asks to close,
-/// idles out, hits the request cap, or the server drains.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    shared.metrics.connections_total.inc();
-    shared.metrics.active.inc();
-    let busy = Arc::new(AtomicBool::new(false));
-    let mut guard =
-        ConnGuard { shared, id: shared.conns.register(&stream, Arc::clone(&busy)), served: 0 };
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(&stream);
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) && guard.served > 0 {
-            break; // draining: no new keep-alive requests
-        }
-        let idle = if guard.served == 0 {
-            shared.config.read_timeout
-        } else {
-            shared.config.keep_alive_idle
-        };
-        let _ = stream.set_read_timeout(Some(idle));
-        let request = match Request::read_from_buffered(&mut reader) {
-            Ok(request) => request,
-            Err(HttpError::Closed) => break, // clean end of keep-alive
-            Err(HttpError::Io(_)) => break,  // idle timeout or peer reset
-            Err(e) => {
-                // Parse errors answer with their status (400/413/431) and
-                // close: the stream position is no longer trustworthy.
-                let mut response = Response::error(e.status(), e.to_string());
-                response.headers.insert("connection".into(), "close".into());
-                let _ = response.write_to(&mut &stream);
-                break;
-            }
-        };
-        busy.store(true, Ordering::SeqCst);
-        guard.served += 1;
-        shared.metrics.requests_total.inc();
-        if guard.served > 1 {
-            shared.metrics.keepalive_reuse.inc();
-        }
-
-        let fault = shared.faults.as_deref().and_then(|f| f.decide());
-        if fault == Some(Fault::DropConnection) {
-            return; // close without a response: the client sees a reset/EOF
-        }
-        if let Some(Fault::Delay(d)) = fault {
-            std::thread::sleep(d);
-        }
-        let mut response = match fault {
-            Some(Fault::Status(code)) => Response::error(code, "injected fault"),
-            _ => {
-                // A panicking handler must not kill the pool's worker.
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    shared.router.dispatch(&request)
-                }))
-                .unwrap_or_else(|_| Response::error(500, "handler panicked"))
-            }
-        };
-
-        let draining = shared.shutdown.load(Ordering::SeqCst);
-        let exhausted = guard.served >= shared.config.max_requests_per_conn;
-        // `CloseAfterResponse` deliberately lies (keep-alive advertised,
-        // socket closed anyway) to simulate a server dying mid-keep-alive.
-        let fault_close = fault == Some(Fault::CloseAfterResponse);
-        let close = !request.wants_keep_alive() || !response.keep_alive() || draining || exhausted;
-        if !fault_close {
-            response
-                .headers
-                .insert("connection".into(), if close { "close" } else { "keep-alive" }.into());
-        }
-        let write_ok = response.write_to(&mut &stream).is_ok();
-        busy.store(false, Ordering::SeqCst);
-        if !write_ok || close || fault_close {
-            break;
         }
     }
 }
@@ -1021,7 +1446,6 @@ mod tests {
     #[test]
     fn malformed_request_gets_status_and_close() {
         let server = test_server();
-        use std::io::{Read, Write};
         let mut raw = TcpStream::connect(server.addr()).unwrap();
         raw.write_all(b"POST /echo HTTP/1.1\r\ncontent-length: nope\r\n\r\n").unwrap();
         let mut buf = String::new();
@@ -1054,5 +1478,177 @@ mod tests {
         // Either the connect fails or the read does; both count as down.
         let client = Client::new(addr).timeout(Duration::from_millis(300));
         assert!(client.send(&Request::new(Method::Get, "/hello/x")).is_err());
+    }
+
+    #[test]
+    fn rejected_trickle_client_cannot_stall_accepts() {
+        let mut router = Router::new();
+        router.add(Method::Get, "/ok", |_, _| Response::text("up"));
+        let config = ServerConfig { workers: 1, backlog: 1, ..ServerConfig::default() };
+        let server = Server::build(router).config(config).spawn("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        // Fill the admission window (workers + backlog = 2) with two idle
+        // connections so the next arrival is rejected.
+        let hold_a = TcpStream::connect(addr).unwrap();
+        let _hold_b = TcpStream::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.active_connections() < 2 {
+            assert!(Instant::now() < deadline, "held connections never admitted");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // A rejected client trickling one byte at a time used to hold the
+        // accept path open indefinitely: each byte reset the drain loop's
+        // per-read timeout, and the drain ran on the accept thread.
+        let trickler = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let start = Instant::now();
+            while start.elapsed() < Duration::from_secs(3) {
+                if stream.write_all(b"x").is_err() {
+                    break; // server cut the drain
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            start.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        // Accepts stay live while the trickler is still writing: free one
+        // admission slot and a fresh request must complete promptly.
+        drop(hold_a);
+        let client = Client::new(addr).timeout(Duration::from_secs(2));
+        let deadline = Instant::now() + Duration::from_secs(3);
+        let resp = loop {
+            let resp = client.send(&Request::new(Method::Get, "/ok")).unwrap();
+            if resp.status == 200 || Instant::now() >= deadline {
+                break resp;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        assert_eq!(resp.status, 200, "accept path stalled behind the reject drain");
+        // And the drain itself is bounded by a total deadline, not per read.
+        let held = trickler.join().unwrap();
+        assert!(held < Duration::from_secs(2), "reject drain held open for {held:?}");
+    }
+
+    #[test]
+    fn queued_request_survives_drain_behind_busy_worker() {
+        let started = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&started);
+        let mut router = Router::new();
+        router.add(Method::Get, "/slow", move |_, _| {
+            flag.store(true, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(300));
+            Response::text("slow done")
+        });
+        router.add(Method::Get, "/fast", |_, _| Response::text("fast done"));
+        let config = ServerConfig { workers: 1, backlog: 4, ..ServerConfig::default() };
+        let server = Server::build(router).config(config).spawn("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let slow =
+            std::thread::spawn(move || Client::new(addr).send(&Request::new(Method::Get, "/slow")));
+        while !started.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // A second request parses and queues behind the busy worker…
+        let fast =
+            std::thread::spawn(move || Client::new(addr).send(&Request::new(Method::Get, "/fast")));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.metrics().gauge_value("httpd_dispatch_queue_depth") != Some(1) {
+            assert!(Instant::now() < deadline, "second request never queued");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // …and the server drains. The old registry raced its idle check
+        // against the worker's busy transition and could cut this request;
+        // a dispatched connection must never be treated as idle.
+        server.shutdown();
+        assert_eq!(slow.join().unwrap().unwrap().body, b"slow done");
+        let resp = fast.join().unwrap().unwrap();
+        assert_eq!(resp.status, 200, "queued request was cut during drain");
+        assert_eq!(resp.body, b"fast done");
+    }
+
+    #[test]
+    fn shutdown_with_wedged_workers_bounded_by_shared_deadline() {
+        let mut router = Router::new();
+        router.add(Method::Get, "/wedge", |_, _| {
+            std::thread::sleep(Duration::from_secs(4));
+            Response::text("eventually")
+        });
+        let config = ServerConfig {
+            workers: 4,
+            drain_timeout: Duration::from_millis(100),
+            ..ServerConfig::default()
+        };
+        let server = Server::build(router).config(config).spawn("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let client = Client::new(addr).timeout(Duration::from_secs(1));
+                    let _ = client.send(&Request::new(Method::Get, "/wedge"));
+                })
+            })
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.metrics().gauge_value("httpd_workers_busy") != Some(4) {
+            assert!(Instant::now() < deadline, "workers never picked up the wedged requests");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let start = Instant::now();
+        server.shutdown();
+        // Joining serially with 1 s per worker took ~4 s here; the shared
+        // deadline bounds the whole pool at ~1 s regardless of pool size.
+        assert!(
+            start.elapsed() < Duration::from_millis(2_500),
+            "shutdown took {:?} with wedged workers",
+            start.elapsed()
+        );
+        for c in clients {
+            let _ = c.join();
+        }
+    }
+
+    #[test]
+    fn partial_first_request_times_out_with_408() {
+        let mut router = Router::new();
+        router.add(Method::Get, "/ok", |_, _| Response::text("up"));
+        let config =
+            ServerConfig { read_timeout: Duration::from_millis(80), ..ServerConfig::default() };
+        let server = Server::build(router).config(config).spawn("127.0.0.1:0").unwrap();
+        // Half a request, then silence: the read deadline must answer 408
+        // and close instead of cutting the socket silently.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"GET /ok HTTP/1.1\r\nx-part").unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 408"), "got {out:?}");
+        assert!(out.contains("connection: close"), "got {out:?}");
+
+        // With no bytes received the close stays silent: pooled keep-alive
+        // clients rely on a clean EOF to detect stale sockets.
+        let mut idle = TcpStream::connect(server.addr()).unwrap();
+        idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut out = String::new();
+        idle.read_to_string(&mut out).unwrap();
+        assert!(out.is_empty(), "idle close must be silent, got {out:?}");
+    }
+
+    #[test]
+    fn pipelined_requests_are_served_in_order() {
+        let server = test_server();
+        // Two requests in one write: the reactor must answer both on the
+        // same socket, in order, without waiting for a new readiness event.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"GET /hello/one HTTP/1.1\r\n\r\nGET /hello/two HTTP/1.1\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let first = out.find("hi one").expect("first response missing");
+        let second = out.find("hi two").expect("second response missing");
+        assert!(first < second, "responses out of order: {out:?}");
+        assert_eq!(server.metrics().counter_value("httpd_requests_total"), Some(2));
+        assert_eq!(server.metrics().counter_value("httpd_connections_total"), Some(1));
     }
 }

@@ -197,6 +197,30 @@ fn saturated_gateway_answers_503_with_retry_after() {
     drop(hold_backlog);
 }
 
+#[test]
+fn partial_request_read_timeout_answers_408() {
+    let gateway = Arc::new(
+        Gateway::builder()
+            .seed(3)
+            .local_host(TeePlatform::Tdx)
+            .http(ServerConfig {
+                read_timeout: Duration::from_millis(80),
+                ..ServerConfig::default()
+            })
+            .build(),
+    );
+    let server = Arc::clone(&gateway).serve().unwrap();
+    // Half a request then silence: the read deadline must answer 408 +
+    // close instead of cutting the socket without a word.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(b"POST /v1/run HTTP/1.1\r\ncontent-le").unwrap();
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    assert!(out.starts_with("HTTP/1.1 408"), "got {out:?}");
+    assert!(out.contains("connection: close"), "got {out:?}");
+}
+
 #[cfg(target_os = "linux")]
 fn thread_count() -> usize {
     std::fs::read_to_string("/proc/self/status")
@@ -276,4 +300,111 @@ fn thread_count_stays_bounded_under_stress() {
         );
         std::thread::sleep(Duration::from_millis(10));
     }
+}
+
+/// The process's soft open-files limit, for clamping connection-scale
+/// tests to what the environment (CI runners included) actually allows.
+#[cfg(target_os = "linux")]
+fn open_files_limit() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|limits| {
+            limits
+                .lines()
+                .find(|l| l.starts_with("Max open files"))
+                .and_then(|l| l.split_whitespace().nth(3).map(str::to_owned))
+        })
+        .and_then(|soft| soft.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Reads exactly one HTTP response (headers + `body`) off a keep-alive
+/// socket without waiting for a close.
+#[cfg(target_os = "linux")]
+fn read_keep_alive_response(stream: &mut TcpStream, body: &str) -> String {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut buf).expect("read response");
+        assert!(n > 0, "server closed a keep-alive connection mid-response");
+        out.extend_from_slice(&buf[..n]);
+        let text = String::from_utf8_lossy(&out);
+        if let Some(pos) = text.find("\r\n\r\n") {
+            if text[pos + 4..].len() >= body.len() {
+                return text.into_owned();
+            }
+        }
+    }
+}
+
+/// The reactor's core scaling property: idle keep-alive connections cost
+/// state, not threads. N ≫ workers sockets stay open simultaneously, every
+/// one of them still serves requests, and the thread count stays O(workers).
+#[test]
+#[cfg(target_os = "linux")]
+fn idle_keepalive_connections_scale_past_worker_count() {
+    const WORKERS: usize = 4;
+    // Each in-process connection consumes two fds (client + server end);
+    // leave slack for the binary's own files. 600 is plenty to dwarf the
+    // 4-thread pool; the 5k/10k points live in the c10k bench.
+    let n = 600.min((open_files_limit().saturating_sub(64)) / 2);
+    assert!(n > WORKERS * 8, "fd limit too low to make the test meaningful: {n}");
+
+    let mut router = Router::new();
+    router.add(Method::Get, "/ok", |_, _| Response::text("ok"));
+    let config = ServerConfig {
+        workers: WORKERS,
+        backlog: 16 << 10,
+        keep_alive_idle: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let server = Server::build(router).config(config).spawn("127.0.0.1:0").unwrap();
+    let addr = server.addr();
+    let before = thread_count();
+
+    let mut conns: Vec<TcpStream> = (0..n)
+        .map(|_| {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            stream
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while (server.active_connections() as usize) < n {
+        assert!(
+            Instant::now() < deadline,
+            "only {} connections admitted",
+            server.active_connections()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // All open at once, yet no thread was spawned per connection.
+    assert!(
+        thread_count() <= before + 1,
+        "threads grew with idle connections: {} > {before}",
+        thread_count()
+    );
+
+    // Two rounds of requests over every connection: each socket stays
+    // keep-alive across rounds and every request completes.
+    for round in 0..2u32 {
+        for stream in conns.iter_mut() {
+            stream.write_all(b"GET /ok HTTP/1.1\r\n\r\n").unwrap();
+            let resp = read_keep_alive_response(stream, "ok");
+            assert!(resp.starts_with("HTTP/1.1 200"), "round {round}: got {resp:?}");
+        }
+        assert!(
+            thread_count() <= before + 1,
+            "threads grew while serving {} connections: {} > {before}",
+            n,
+            thread_count()
+        );
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.counter_value("httpd_requests_total"), Some(2 * n as u64));
+    assert_eq!(metrics.counter_value("httpd_connections_total"), Some(n as u64));
+    assert_eq!(metrics.counter_value("httpd_keepalive_reuse_total"), Some(n as u64));
+
+    drop(conns);
+    server.shutdown();
 }

@@ -39,14 +39,23 @@
 #![warn(missing_docs)]
 
 mod error;
+mod evtpm;
 mod network;
+mod session;
 mod snp_flow;
 mod tdx_flow;
+mod verifier;
 
 pub use error::AttestError;
+pub use evtpm::{extend_runtime, quote_runtime, RuntimeMeasurements};
 pub use network::NetworkModel;
+pub use session::{
+    AttestSession, CollateralRefresher, SessionCache, SessionCacheStats, SessionConfig,
+    SessionOutcome, SessionSource, SessionState,
+};
 pub use snp_flow::{SnpEcosystem, VcekChain};
 pub use tdx_flow::{PcsService, TdQuote, TdxEcosystem};
+pub use verifier::{Evidence, EvidenceBody, TcbIdentity, Verifier};
 
 /// Timing of one attestation phase, in milliseconds of user-perceived
 /// latency.

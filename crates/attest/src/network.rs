@@ -1,7 +1,8 @@
 //! Deterministic WAN latency model for attestation services.
 
 use confbench_crypto::SplitMix64;
-use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Latency model for requests to a remote service (the Intel PCS).
 ///
@@ -9,15 +10,22 @@ use std::cell::RefCell;
 /// seeded jitter. The model is intentionally simple: the paper's Fig. 5
 /// asymmetry only requires that network requests cost orders of magnitude
 /// more than local firmware calls.
+///
+/// The jitter stream lives behind a `Mutex` (not a `RefCell`) so one model
+/// — and hence one verifier ecosystem — can be shared across gateway worker
+/// threads; concurrent callers interleave draws from a single deterministic
+/// stream.
 #[derive(Debug)]
 pub struct NetworkModel {
     rtt_ms: f64,
     mbits_per_s: f64,
     jitter_rel_std: f64,
-    /// Probability that one request fails outright (timeout/reset). Drawn
-    /// from the same seeded stream, so outages are reproducible.
-    fail_rate: f64,
-    rng: RefCell<SplitMix64>,
+    /// Probability that one request fails outright (timeout/reset), stored
+    /// as `f64` bits so flakiness can be re-armed through a shared
+    /// reference. Drawn from the same seeded stream, so outages are
+    /// reproducible.
+    fail_rate_bits: AtomicU64,
+    rng: Mutex<SplitMix64>,
 }
 
 impl NetworkModel {
@@ -27,8 +35,8 @@ impl NetworkModel {
             rtt_ms: 38.0,
             mbits_per_s: 200.0,
             jitter_rel_std: 0.15,
-            fail_rate: 0.0,
-            rng: RefCell::new(SplitMix64::new(seed ^ 0x6e_6574_776f_726b)),
+            fail_rate_bits: AtomicU64::new(0.0f64.to_bits()),
+            rng: Mutex::new(SplitMix64::new(seed ^ 0x6e_6574_776f_726b)),
         }
     }
 
@@ -43,8 +51,8 @@ impl NetworkModel {
             rtt_ms,
             mbits_per_s,
             jitter_rel_std,
-            fail_rate: 0.0,
-            rng: RefCell::new(SplitMix64::new(seed)),
+            fail_rate_bits: AtomicU64::new(0.0f64.to_bits()),
+            rng: Mutex::new(SplitMix64::new(seed)),
         }
     }
 
@@ -52,14 +60,23 @@ impl NetworkModel {
     /// `1.0` models a full outage). Failure draws come after the latency
     /// draw, so a model with `fail_rate == 0` produces exactly the latency
     /// sequence it did before this knob existed.
-    pub fn with_fail_rate(mut self, rate: f64) -> Self {
+    pub fn with_fail_rate(self, rate: f64) -> Self {
         self.set_fail_rate(rate);
         self
     }
 
-    /// In-place variant of [`NetworkModel::with_fail_rate`].
-    pub fn set_fail_rate(&mut self, rate: f64) {
-        self.fail_rate = rate.clamp(0.0, 1.0);
+    /// In-place variant of [`NetworkModel::with_fail_rate`]; takes `&self`
+    /// so outages can be staged on a model already shared across threads.
+    pub fn set_fail_rate(&self, rate: f64) {
+        self.fail_rate_bits.store(rate.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
+    }
+
+    fn fail_rate(&self) -> f64 {
+        f64::from_bits(self.fail_rate_bits.load(Ordering::Relaxed))
+    }
+
+    fn lock_rng(&self) -> std::sync::MutexGuard<'_, SplitMix64> {
+        self.rng.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Latency in ms of one HTTPS request returning `response_bytes`
@@ -67,7 +84,7 @@ impl NetworkModel {
     pub fn request_ms(&self, response_bytes: u64) -> f64 {
         let transfer = response_bytes as f64 * 8.0 / (self.mbits_per_s * 1e3);
         let base = self.rtt_ms * 1.5 + transfer;
-        let jitter = 1.0 + self.rng.borrow_mut().next_gaussian() * self.jitter_rel_std;
+        let jitter = 1.0 + self.lock_rng().next_gaussian() * self.jitter_rel_std;
         base * jitter.clamp(0.6, 2.0)
     }
 
@@ -77,7 +94,8 @@ impl NetworkModel {
     /// returned latency either way. Never fails at `fail_rate == 0`.
     pub fn try_request_ms(&self, response_bytes: u64) -> Result<f64, f64> {
         let ms = self.request_ms(response_bytes);
-        if self.fail_rate > 0.0 && self.rng.borrow_mut().next_f64() < self.fail_rate {
+        let rate = self.fail_rate();
+        if rate > 0.0 && self.lock_rng().next_f64() < rate {
             return Err(ms);
         }
         Ok(ms)

@@ -6,6 +6,8 @@
 //! claims) involves no network at all — the structural reason SNP wins both
 //! phases of Fig. 5.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use confbench_crypto::{Signature, SigningKey, VerifyingKey};
 use confbench_vmm::{SnpReport, Vm};
 
@@ -53,7 +55,9 @@ fn key_message(label: &str, key: VerifyingKey) -> Vec<u8> {
 pub struct SnpEcosystem {
     ark: SigningKey,
     ask: SigningKey,
-    min_tcb: u64,
+    /// Atomic so policy can be raised on an ecosystem already shared
+    /// across verifier threads.
+    min_tcb: AtomicU64,
 }
 
 /// Firmware round trip for `MSG_REPORT_REQ` (guest → AMD-SP → guest), ms.
@@ -72,13 +76,18 @@ impl SnpEcosystem {
         SnpEcosystem {
             ark: SigningKey::from_seed(seed ^ 0x61_726b /* "ark" */),
             ask: SigningKey::from_seed(seed ^ 0x61_736b /* "ask" */),
-            min_tcb: 7,
+            min_tcb: AtomicU64::new(7),
         }
     }
 
     /// Raises the verifier's minimum TCB policy.
-    pub fn set_min_tcb(&mut self, tcb: u64) {
-        self.min_tcb = tcb;
+    pub fn set_min_tcb(&self, tcb: u64) {
+        self.min_tcb.store(tcb, Ordering::Relaxed);
+    }
+
+    /// The minimum TCB the verifier currently requires.
+    pub fn min_tcb(&self) -> u64 {
+        self.min_tcb.load(Ordering::Relaxed)
     }
 
     /// **Attest phase**: request a report from the AMD-SP of `vm`'s host.
@@ -140,10 +149,11 @@ impl SnpEcosystem {
             .verify(&report.signed_bytes(), &report.signature)
             .map_err(|_| AttestError::BadSignature("report"))?;
         // Step 3: claims.
-        if report.tcb_version < self.min_tcb {
+        let min_tcb = self.min_tcb();
+        if report.tcb_version < min_tcb {
             return Err(AttestError::TcbOutOfDate {
                 reported: report.tcb_version,
-                required: self.min_tcb,
+                required: min_tcb,
             });
         }
         if report.report_data != expected_report_data {
@@ -249,7 +259,7 @@ mod tests {
     #[test]
     fn tcb_policy_enforced() {
         let mut vm = guest();
-        let mut eco = SnpEcosystem::new(1);
+        let eco = SnpEcosystem::new(1);
         let (report, _) = eco.request_report(&mut vm, [5; 64]).unwrap();
         eco.set_min_tcb(50);
         assert_eq!(

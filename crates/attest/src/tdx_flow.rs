@@ -11,6 +11,9 @@
 //! 3. check the certificate chain against the CRLs, the QE signature, the
 //!    TCB level, and the report data binding.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
 use confbench_crypto::{Sha256, Signature, SigningKey, VerifyingKey};
 use confbench_types::Cycles;
 use confbench_vmm::{TdReport, Vm};
@@ -52,8 +55,11 @@ impl TdQuote {
 #[derive(Debug)]
 pub struct PcsService {
     root_key: SigningKey,
-    current_tcb: u64,
-    revoked_pck: bool,
+    current_tcb: AtomicU64,
+    revoked_pck: AtomicBool,
+    /// Individual HTTP requests served (each fetch_* call is one), for
+    /// asserting how often verifiers really hit the wire.
+    requests: AtomicU64,
     network: NetworkModel,
 }
 
@@ -66,62 +72,84 @@ impl PcsService {
     fn new(seed: u64, current_tcb: u64) -> Self {
         PcsService {
             root_key: SigningKey::from_seed(seed ^ 0x7063_7321 /* "pcs!" */),
-            current_tcb,
-            revoked_pck: false,
+            current_tcb: AtomicU64::new(current_tcb),
+            revoked_pck: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
             network: NetworkModel::wan(seed),
         }
     }
 
     /// Marks the platform's PCK certificate revoked (test/ablation hook).
-    pub fn revoke_pck(&mut self) {
-        self.revoked_pck = true;
+    pub fn revoke_pck(&self) {
+        self.revoked_pck.store(true, Ordering::Relaxed);
     }
 
     /// Raises the minimum TCB the service advertises (models a TCB recovery
     /// event that obsoletes older firmware).
-    pub fn set_current_tcb(&mut self, tcb: u64) {
-        self.current_tcb = tcb;
+    pub fn set_current_tcb(&self, tcb: u64) {
+        self.current_tcb.store(tcb, Ordering::Relaxed);
     }
 
     /// Makes a fraction of this service's responses fail (flaky-verifier
     /// scenarios; `1.0` is a full outage). See
     /// [`NetworkModel::with_fail_rate`].
-    pub fn set_fail_rate(&mut self, rate: f64) {
+    pub fn set_fail_rate(&self, rate: f64) {
         self.network.set_fail_rate(rate);
+    }
+
+    /// Total HTTP requests this service has answered (successful or
+    /// failed). Fetch counters are how the single-flight tests prove that
+    /// N concurrent verifications shared one collateral round trip.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::SeqCst)
+    }
+
+    fn current(&self) -> u64 {
+        self.current_tcb.load(Ordering::Relaxed)
     }
 
     /// `GET /tcb`: returns (minimum acceptable TCB, signature, latency ms).
     pub fn fetch_tcb_info(&self) -> (u64, Signature, f64) {
-        let sig = self.root_key.sign(&tcb_message(self.current_tcb));
-        (self.current_tcb, sig, self.network.request_ms(TCB_INFO_BYTES))
+        self.requests.fetch_add(1, Ordering::SeqCst);
+        let tcb = self.current();
+        let sig = self.root_key.sign(&tcb_message(tcb));
+        (tcb, sig, self.network.request_ms(TCB_INFO_BYTES))
     }
 
     /// Fallible [`PcsService::fetch_tcb_info`]: `Err` carries the latency
     /// the failed request burned.
     pub fn try_fetch_tcb_info(&self) -> Result<((u64, Signature), f64), f64> {
+        self.requests.fetch_add(1, Ordering::SeqCst);
         let ms = self.network.try_request_ms(TCB_INFO_BYTES)?;
-        let sig = self.root_key.sign(&tcb_message(self.current_tcb));
-        Ok(((self.current_tcb, sig), ms))
+        let tcb = self.current();
+        let sig = self.root_key.sign(&tcb_message(tcb));
+        Ok(((tcb, sig), ms))
     }
 
     /// `GET /pckcrl`: returns (is-pck-revoked, latency ms).
     pub fn fetch_pck_crl(&self) -> (bool, f64) {
-        (self.revoked_pck, self.network.request_ms(CRL_BYTES))
+        self.requests.fetch_add(1, Ordering::SeqCst);
+        (self.revoked_pck.load(Ordering::Relaxed), self.network.request_ms(CRL_BYTES))
     }
 
     /// Fallible [`PcsService::fetch_pck_crl`].
     pub fn try_fetch_pck_crl(&self) -> Result<(bool, f64), f64> {
-        self.network.try_request_ms(CRL_BYTES).map(|ms| (self.revoked_pck, ms))
+        self.requests.fetch_add(1, Ordering::SeqCst);
+        self.network
+            .try_request_ms(CRL_BYTES)
+            .map(|ms| (self.revoked_pck.load(Ordering::Relaxed), ms))
     }
 
     /// `GET /rootcacrl`: returns latency ms (the root is never revoked in
     /// the model).
     pub fn fetch_root_crl(&self) -> f64 {
+        self.requests.fetch_add(1, Ordering::SeqCst);
         self.network.request_ms(CRL_BYTES)
     }
 
     /// Fallible [`PcsService::fetch_root_crl`].
     pub fn try_fetch_root_crl(&self) -> Result<f64, f64> {
+        self.requests.fetch_add(1, Ordering::SeqCst);
         self.network.try_request_ms(CRL_BYTES)
     }
 
@@ -148,13 +176,20 @@ struct CachedCollateral {
 
 /// The full TDX attestation ecosystem for one platform: Quoting Enclave key
 /// material plus the PCS it chains to.
+///
+/// The ecosystem is `Sync`: the collateral cache sits behind a `Mutex` and
+/// the PCS knobs are atomics, so one `Arc<TdxEcosystem>` can serve every
+/// gateway worker thread (the production sharing the old `RefCell` cache
+/// made impossible).
 #[derive(Debug)]
 pub struct TdxEcosystem {
     qe_key: SigningKey,
     pcs: PcsService,
-    platform_tcb: u64,
+    platform_tcb: AtomicU64,
     /// Last successfully fetched + signature-verified collateral.
-    collateral_cache: std::cell::RefCell<Option<CachedCollateral>>,
+    collateral_cache: Mutex<Option<CachedCollateral>>,
+    /// Completed live collateral round trips (one per full TCB+CRL cycle).
+    collateral_fetches: AtomicU64,
 }
 
 /// Milliseconds charged for the QE's local work (report validation +
@@ -178,19 +213,50 @@ impl TdxEcosystem {
         TdxEcosystem {
             qe_key: SigningKey::from_seed(seed ^ 0x71_656b_6579 /* "qekey" */),
             pcs: PcsService::new(seed, 46),
-            platform_tcb: 46,
-            collateral_cache: std::cell::RefCell::new(None),
+            platform_tcb: AtomicU64::new(46),
+            collateral_cache: Mutex::new(None),
+            collateral_fetches: AtomicU64::new(0),
         }
     }
 
-    /// Mutable access to the PCS (for revocation/TCB-recovery scenarios).
+    /// Shared access to the PCS (counters, revocation/TCB-recovery knobs —
+    /// all take `&self` so a verifier shared across threads stays
+    /// steerable).
+    pub fn pcs(&self) -> &PcsService {
+        &self.pcs
+    }
+
+    /// Mutable access to the PCS (kept for callers that own the ecosystem).
     pub fn pcs_mut(&mut self) -> &mut PcsService {
         &mut self.pcs
     }
 
+    /// Models a platform firmware update: quotes generated from now on
+    /// report `tcb` (a TCB recovery is survived by patching, then
+    /// re-attesting).
+    pub fn patch_platform_tcb(&self, tcb: u64) {
+        self.platform_tcb.store(tcb, Ordering::Relaxed);
+    }
+
+    /// Completed live collateral cycles (TCB info + both CRLs fetched and
+    /// verified). Stays flat while verifications are served from cached
+    /// collateral or the session cache.
+    pub fn collateral_fetches(&self) -> u64 {
+        self.collateral_fetches.load(Ordering::SeqCst)
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, Option<CachedCollateral>> {
+        self.collateral_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Whether a past verification has populated the collateral cache.
     pub fn has_cached_collateral(&self) -> bool {
-        self.collateral_cache.borrow().is_some()
+        self.lock_cache().is_some()
+    }
+
+    /// The minimum TCB the cached collateral requires, if any is cached.
+    pub fn cached_required_tcb(&self) -> Option<u64> {
+        self.lock_cache().map(|c| c.required_tcb)
     }
 
     /// Runs one PCS fetch with bounded retry + exponential backoff,
@@ -240,13 +306,49 @@ impl TdxEcosystem {
         // The TDCALL round trip is charged in VM cycles.
         let tdcall_ms = tdcall_cost(vm, before, freq);
         let quote = TdQuote {
-            tcb_level: self.platform_tcb,
+            tcb_level: self.platform_tcb.load(Ordering::Relaxed),
             qe_signature: Signature { e: 0, s: 0 },
             report,
         };
         let mut quote = quote;
         quote.qe_signature = self.qe_key.sign(&quote.signed_bytes());
         Ok((quote, PhaseTiming::local(DCAP_SETUP_MS + QE_SIGN_MS + tdcall_ms)))
+    }
+
+    /// One live collateral cycle: TCB info (signature-checked), then both
+    /// CRLs, each with bounded retry. `Ok(Some)` caches and returns fresh
+    /// collateral; `Ok(None)` is an outage past the retry budget (callers
+    /// may fall back to the cache); `Err` is an integrity failure that must
+    /// never be absorbed.
+    fn fetch_collateral_live(
+        &self,
+        net_ms: &mut f64,
+    ) -> Result<Option<CachedCollateral>, AttestError> {
+        let tcb = Self::fetch_with_retry(net_ms, || self.pcs.try_fetch_tcb_info());
+        match tcb {
+            Ok((required_tcb, tcb_sig)) => {
+                // A bad signature is an integrity failure, not an outage:
+                // never fall back past it.
+                self.pcs
+                    .root_public()
+                    .verify(&tcb_message(required_tcb), &tcb_sig)
+                    .map_err(|_| AttestError::BadSignature("tcb info"))?;
+                let pck = Self::fetch_with_retry(net_ms, || self.pcs.try_fetch_pck_crl());
+                let root = Self::fetch_with_retry(net_ms, || {
+                    self.pcs.try_fetch_root_crl().map(|ms| ((), ms))
+                });
+                match (pck, root) {
+                    (Ok(pck_revoked), Ok(())) => {
+                        let fresh = CachedCollateral { required_tcb, pck_revoked };
+                        *self.lock_cache() = Some(fresh);
+                        self.collateral_fetches.fetch_add(1, Ordering::SeqCst);
+                        Ok(Some(fresh))
+                    }
+                    _ => Ok(None),
+                }
+            }
+            Err(()) => Ok(None),
+        }
     }
 
     /// **Check phase**: DCAP-style verification with live PCS lookups.
@@ -267,34 +369,66 @@ impl TdxEcosystem {
     ) -> Result<PhaseTiming, AttestError> {
         let mut net_ms = 0.0;
         // 1-2. Collateral: TCB info, then both CRLs.
-        let tcb = Self::fetch_with_retry(&mut net_ms, || self.pcs.try_fetch_tcb_info());
-        let collateral = match tcb {
-            Ok((required_tcb, tcb_sig)) => {
-                // A bad signature is an integrity failure, not an outage:
-                // never fall back past it.
-                self.pcs
-                    .root_public()
-                    .verify(&tcb_message(required_tcb), &tcb_sig)
-                    .map_err(|_| AttestError::BadSignature("tcb info"))?;
-                let pck = Self::fetch_with_retry(&mut net_ms, || self.pcs.try_fetch_pck_crl());
-                let root = Self::fetch_with_retry(&mut net_ms, || {
-                    self.pcs.try_fetch_root_crl().map(|ms| ((), ms))
-                });
-                match (pck, root) {
-                    (Ok(pck_revoked), Ok(())) => {
-                        let fresh = CachedCollateral { required_tcb, pck_revoked };
-                        *self.collateral_cache.borrow_mut() = Some(fresh);
-                        fresh
-                    }
-                    _ => self.cached_collateral()?,
-                }
-            }
-            Err(()) => self.cached_collateral()?,
+        let collateral = match self.fetch_collateral_live(&mut net_ms)? {
+            Some(fresh) => fresh,
+            None => self.cached_collateral()?,
         };
+        // 3. Local checks.
+        self.check_quote_against(quote, collateral, expected_report_data)?;
+        Ok(PhaseTiming::with_network(VERIFY_CRYPTO_MS, net_ms))
+    }
+
+    /// **Check phase**, steady-state: verify against the cached collateral
+    /// without touching the PCS at all — the path the background refresher
+    /// keeps hot, so verification costs only local crypto. Falls back to a
+    /// full [`TdxEcosystem::verify_quote`] when the cache is cold.
+    ///
+    /// # Errors
+    ///
+    /// As [`TdxEcosystem::verify_quote`]; the policy enforced is whatever
+    /// the cached collateral carries, which is why the refresher updates it
+    /// ahead of expiry.
+    pub fn verify_quote_offline(
+        &self,
+        quote: &TdQuote,
+        expected_report_data: [u8; 64],
+    ) -> Result<PhaseTiming, AttestError> {
+        let cached = *self.lock_cache();
+        match cached {
+            Some(collateral) => {
+                self.check_quote_against(quote, collateral, expected_report_data)?;
+                Ok(PhaseTiming::local(VERIFY_CRYPTO_MS))
+            }
+            None => self.verify_quote(quote, expected_report_data),
+        }
+    }
+
+    /// Re-fetches TCB info and CRLs from the live PCS and replaces the
+    /// cached collateral — the background-refresh entry point. Returns the
+    /// required TCB now in force and the network milliseconds spent.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::CollateralUnavailable`] when the PCS stays down past
+    /// the retry budget (the previous cache entry is kept), or
+    /// [`AttestError::BadSignature`] on tampered TCB info.
+    pub fn refresh_collateral(&self) -> Result<(u64, f64), AttestError> {
+        let mut net_ms = 0.0;
+        match self.fetch_collateral_live(&mut net_ms)? {
+            Some(fresh) => Ok((fresh.required_tcb, net_ms)),
+            None => Err(AttestError::CollateralUnavailable),
+        }
+    }
+
+    fn check_quote_against(
+        &self,
+        quote: &TdQuote,
+        collateral: CachedCollateral,
+        expected_report_data: [u8; 64],
+    ) -> Result<(), AttestError> {
         if collateral.pck_revoked {
             return Err(AttestError::Revoked("pck"));
         }
-        // 3. Local checks.
         self.qe_key
             .verifying_key()
             .verify(&quote.signed_bytes(), &quote.qe_signature)
@@ -308,11 +442,11 @@ impl TdxEcosystem {
         if quote.report.report_data != expected_report_data {
             return Err(AttestError::NonceMismatch);
         }
-        Ok(PhaseTiming::with_network(VERIFY_CRYPTO_MS, net_ms))
+        Ok(())
     }
 
     fn cached_collateral(&self) -> Result<CachedCollateral, AttestError> {
-        (*self.collateral_cache.borrow()).ok_or(AttestError::CollateralUnavailable)
+        (*self.lock_cache()).ok_or(AttestError::CollateralUnavailable)
     }
 
     /// Verifier-side freshness helper: derives 64 bytes of report data from
@@ -485,5 +619,94 @@ mod tests {
     fn report_data_for_nonce_is_deterministic_and_injective_ish() {
         assert_eq!(TdxEcosystem::report_data_for_nonce(1), TdxEcosystem::report_data_for_nonce(1));
         assert_ne!(TdxEcosystem::report_data_for_nonce(1), TdxEcosystem::report_data_for_nonce(2));
+    }
+
+    #[test]
+    fn ecosystem_is_shareable_across_threads() {
+        // The regression this PR fixes: with the RefCell collateral cache
+        // the ecosystem was !Sync and this block did not compile, so one
+        // verifier could never serve multiple gateway workers.
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<TdxEcosystem>();
+
+        let mut vm = td();
+        let eco = std::sync::Arc::new(TdxEcosystem::new(1));
+        let nonce = TdxEcosystem::report_data_for_nonce(9);
+        let (quote, _) = eco.generate_quote(&mut vm, nonce).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let eco = std::sync::Arc::clone(&eco);
+                let quote = quote.clone();
+                std::thread::spawn(move || eco.verify_quote(&quote, nonce).map(|t| t.latency_ms))
+            })
+            .collect();
+        for h in handles {
+            let latency = h.join().unwrap().expect("concurrent verification succeeds");
+            assert!(latency > 0.0);
+        }
+        assert!(eco.has_cached_collateral());
+    }
+
+    #[test]
+    fn offline_verification_skips_pcs_once_collateral_is_cached() {
+        let mut vm = td();
+        let eco = TdxEcosystem::new(1);
+        let nonce = TdxEcosystem::report_data_for_nonce(11);
+        let (quote, _) = eco.generate_quote(&mut vm, nonce).unwrap();
+
+        // Cold cache: offline falls back to the live path.
+        let cold = eco.verify_quote_offline(&quote, nonce).unwrap();
+        assert!(cold.network_ms > 0.0, "cold offline verify hits the PCS");
+        let requests_after_cold = eco.pcs().requests();
+        assert_eq!(requests_after_cold, 3, "tcb info + 2 CRLs");
+
+        // Warm cache: pure local crypto, zero network, zero PCS requests.
+        let warm = eco.verify_quote_offline(&quote, nonce).unwrap();
+        assert_eq!(warm.network_ms, 0.0);
+        assert_eq!(eco.pcs().requests(), requests_after_cold);
+        assert!(warm.latency_ms < cold.latency_ms / 5.0);
+    }
+
+    #[test]
+    fn refresh_updates_cached_policy_for_offline_verifiers() {
+        let mut vm = td();
+        let eco = TdxEcosystem::new(1);
+        let nonce = TdxEcosystem::report_data_for_nonce(12);
+        let (quote, _) = eco.generate_quote(&mut vm, nonce).unwrap();
+        let (required, net_ms) = eco.refresh_collateral().unwrap();
+        assert_eq!(required, 46);
+        assert!(net_ms > 0.0);
+        assert_eq!(eco.collateral_fetches(), 1);
+        eco.verify_quote_offline(&quote, nonce).unwrap();
+
+        // A TCB recovery lands at the PCS; the next refresh propagates it
+        // and offline verification starts rejecting the stale quote.
+        eco.pcs().set_current_tcb(99);
+        let (required, _) = eco.refresh_collateral().unwrap();
+        assert_eq!(required, 99);
+        assert_eq!(
+            eco.verify_quote_offline(&quote, nonce),
+            Err(AttestError::TcbOutOfDate { reported: 46, required: 99 })
+        );
+
+        // Patching the platform (firmware update) recovers: fresh quotes
+        // report the new TCB and verify offline again.
+        eco.patch_platform_tcb(99);
+        let (patched, _) = eco.generate_quote(&mut vm, nonce).unwrap();
+        let timing = eco.verify_quote_offline(&patched, nonce).unwrap();
+        assert_eq!(timing.network_ms, 0.0);
+    }
+
+    #[test]
+    fn refresh_during_outage_keeps_previous_collateral() {
+        let mut vm = td();
+        let eco = TdxEcosystem::new(1);
+        let nonce = TdxEcosystem::report_data_for_nonce(13);
+        let (quote, _) = eco.generate_quote(&mut vm, nonce).unwrap();
+        eco.refresh_collateral().unwrap();
+        eco.pcs().set_fail_rate(1.0);
+        assert_eq!(eco.refresh_collateral(), Err(AttestError::CollateralUnavailable));
+        // The stale-but-valid collateral still serves offline verification.
+        assert_eq!(eco.verify_quote_offline(&quote, nonce).unwrap().network_ms, 0.0);
     }
 }

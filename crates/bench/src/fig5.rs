@@ -7,9 +7,13 @@
 //! the Intel PCS over the network, while SNP's certificates come from the
 //! local hardware.
 
-use confbench_attest::{SnpEcosystem, TdxEcosystem};
+use std::sync::{Arc, Barrier};
+
+use confbench_attest::{
+    quote_runtime, Evidence, SessionCache, SessionConfig, SnpEcosystem, TdxEcosystem,
+};
 use confbench_stats::Summary;
-use confbench_types::{TeePlatform, VmTarget};
+use confbench_types::{Clock, ManualClock, TeePlatform, VmTarget};
 use confbench_vmm::TeeVmBuilder;
 
 use crate::ExperimentConfig;
@@ -72,6 +76,109 @@ pub fn run(cfg: ExperimentConfig) -> AttestationFigure {
     AttestationFigure { tdx_attest_ms, tdx_check_ms, snp_attest_ms, snp_check_ms }
 }
 
+/// Threads racing the fresh session cache in the contended scenario.
+pub const FLEET_CONTENDERS: usize = 32;
+
+/// The fleet-amortized extension of Fig. 5: per-caller TDX verification
+/// latency when a gateway fleet shares one attestation-session cache.
+///
+/// Three scenarios: `cold` (fresh cache, every verification pays the full
+/// DCAP cycle against the live PCS), `warm` (a live session answers from
+/// the cache — one lookup, zero network), and `contended` (32 callers rush
+/// one fresh cache; single-flight funds one verification and every waiter
+/// inherits its latency).
+#[derive(Debug, Clone)]
+pub struct FleetAmortizedFigure {
+    /// Cold, uncached verification latencies (ms).
+    pub cold_ms: Vec<f64>,
+    /// Warm cache-hit latencies (ms).
+    pub warm_ms: Vec<f64>,
+    /// Per-caller latencies of the 32-way cold rush (ms).
+    pub contended_ms: Vec<f64>,
+}
+
+impl FleetAmortizedFigure {
+    /// Summaries in row order: cold, warm, contended.
+    pub fn summaries(&self) -> [(&'static str, Summary); 3] {
+        [
+            ("tdx/cold", Summary::from_samples(&self.cold_ms)),
+            ("tdx/warm-session", Summary::from_samples(&self.warm_ms)),
+            ("tdx/32-way-rush", Summary::from_samples(&self.contended_ms)),
+        ]
+    }
+
+    /// p99 latency of a scenario's samples.
+    pub fn p99(samples: &[f64]) -> f64 {
+        Summary::from_samples(samples).percentile(99.0)
+    }
+}
+
+/// TDX evidence (quote + e-vTPM runtime snapshot) from a fresh fleet VM.
+fn fleet_evidence(eco: &TdxEcosystem, seed: u64, nonce: u64) -> (Evidence, [u8; 64]) {
+    let mut vm = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).seed(seed).build();
+    let data = TdxEcosystem::report_data_for_nonce(nonce);
+    let (quote, _) = eco.generate_quote(&mut vm, data).expect("td quote");
+    let runtime = quote_runtime(&vm).expect("runtime snapshot").0;
+    (Evidence::tdx(quote).with_runtime(runtime), data)
+}
+
+/// Runs the fleet-amortized scenarios (the Fig. 5 "fleet" row).
+pub fn fleet_amortized(cfg: ExperimentConfig) -> FleetAmortizedFigure {
+    let trials = cfg.trials();
+
+    // Cold: a fresh cache and ecosystem per trial, so every verification
+    // pays quote crypto plus the three PCS round trips.
+    let mut cold_ms = Vec::new();
+    for i in 0..trials {
+        let clock = Arc::new(ManualClock::new());
+        let cache = SessionCache::new(clock as Arc<dyn Clock>, SessionConfig::default());
+        let eco = TdxEcosystem::new(cfg.seed ^ u64::from(i));
+        let (evidence, data) = fleet_evidence(&eco, cfg.seed, cfg.seed ^ u64::from(i));
+        let outcome = cache.verify_or_join(&eco, &evidence, data).expect("cold verification");
+        cold_ms.push(outcome.timing.latency_ms);
+    }
+
+    // Warm: one live session, every later caller hits the cache.
+    let clock = Arc::new(ManualClock::new());
+    let cache = SessionCache::new(clock as Arc<dyn Clock>, SessionConfig::default());
+    let eco = TdxEcosystem::new(cfg.seed);
+    let (evidence, data) = fleet_evidence(&eco, cfg.seed, cfg.seed);
+    cache.verify_or_join(&eco, &evidence, data).expect("warm-up verification");
+    let mut warm_ms = Vec::new();
+    for _ in 0..trials {
+        let outcome = cache.verify_or_join(&eco, &evidence, data).expect("warm hit");
+        warm_ms.push(outcome.timing.latency_ms);
+    }
+
+    // Contended: 32 callers rush a fresh cache at once; single-flight
+    // elects one verification and the rest inherit its latency.
+    let cache = Arc::new(SessionCache::new(
+        Arc::new(ManualClock::new()) as Arc<dyn Clock>,
+        SessionConfig::default(),
+    ));
+    let eco = Arc::new(TdxEcosystem::new(cfg.seed ^ 0xf1ee));
+    let (evidence, data) = fleet_evidence(&eco, cfg.seed, cfg.seed ^ 0xf1ee);
+    let barrier = Arc::new(Barrier::new(FLEET_CONTENDERS));
+    let contended_ms = (0..FLEET_CONTENDERS)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let eco = Arc::clone(&eco);
+            let evidence = evidence.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                cache.verify_or_join(eco.as_ref(), &evidence, data).expect("rush").timing.latency_ms
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("contender"))
+        .collect();
+    assert_eq!(eco.collateral_fetches(), 1, "the rush must cost one PCS round trip");
+
+    FleetAmortizedFigure { cold_ms, warm_ms, contended_ms }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +205,22 @@ mod tests {
         assert!((1.0..200.0).contains(&snp_attest));
         assert!((1.0..200.0).contains(&snp_check));
         assert!(tdx_check > 100.0);
+    }
+
+    #[test]
+    fn fleet_amortized_warm_p99_is_at_least_10x_below_cold() {
+        let fig = fleet_amortized(ExperimentConfig::quick(11));
+        let cold = FleetAmortizedFigure::p99(&fig.cold_ms);
+        let warm = FleetAmortizedFigure::p99(&fig.warm_ms);
+        let contended = FleetAmortizedFigure::p99(&fig.contended_ms);
+        assert!(cold > 100.0, "cold p99 {cold} must be PCS-dominated");
+        assert!(warm * 10.0 < cold, "warm p99 {warm} must be >=10x below cold {cold}");
+        assert!(warm < 1.0, "cache hits are a lookup, not crypto: {warm}");
+        assert!(
+            contended < cold * 2.0,
+            "32 contenders amortize one verification: p99 {contended} vs cold {cold}"
+        );
+        assert_eq!(fig.contended_ms.len(), FLEET_CONTENDERS);
     }
 
     #[test]

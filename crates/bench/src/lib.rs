@@ -61,10 +61,11 @@ impl ExperimentConfig {
         }
     }
 
-    /// Parses the figure binaries' common CLI: `[--quick] [--seed N]`.
+    /// Parses the figure binaries' common CLI: `[--quick|--smoke] [--seed N]`
+    /// (`--smoke` is the CI alias for `--quick`).
     pub fn from_cli(default_seed: u64) -> Self {
         let args: Vec<String> = std::env::args().collect();
-        let quick = args.iter().any(|a| a == "--quick");
+        let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
         let seed = args
             .iter()
             .position(|a| a == "--seed")

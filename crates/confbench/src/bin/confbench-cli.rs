@@ -11,11 +11,18 @@
 //!               [--trials N] [--seed N] [--priority low|normal|high]
 //!               [--deadline-ms N] [--wait]
 //! confbench-cli [--gateway ADDR] campaign status|cancel|wait ID
+//! confbench-cli [--gateway ADDR] attest verify [--tee P] [--nonce N]
+//! confbench-cli [--gateway ADDR] attest status|revoke ID
+//! confbench-cli [--gateway ADDR] attest extend ID --index N --data S
 //! ```
+//!
+//! `attest verify` opens (or joins) a verified attestation session and
+//! prints its token; pass that token to `run --attest-session ID` to skip
+//! hot-path quote verification while the session stays live.
 
 use std::process::ExitCode;
 
-use confbench::UploadRequest;
+use confbench::{AttestSessionInfo, AttestSessionRequest, ExtendRequest, UploadRequest};
 use confbench_httpd::{Client, Method, Request};
 use confbench_types::{
     CampaignFunction, CampaignReceipt, CampaignSpec, CampaignStatus, FunctionSpec, Language,
@@ -76,7 +83,11 @@ fn run() -> Result<(), String> {
              campaign submit --functions F[:ARG...],... [--langs L,..] [--tees P,..]\n\
              \x20        [--modes secure,normal] [--trials N] [--seed N]\n\
              \x20        [--priority low|normal|high] [--deadline-ms N] [--wait]\n\
-             campaign status|cancel|wait ID"
+             campaign status|cancel|wait ID\n\
+             attest verify [--tee PLATFORM] [--nonce N]\n\
+             attest status|revoke ID\n\
+             attest extend ID --index N --data S\n\
+             run also takes --attest-session ID to ride a live session"
         );
         return Ok(());
     }
@@ -123,6 +134,25 @@ fn run() -> Result<(), String> {
                     Ok(())
                 }
                 other => Err(format!("unknown campaign action {other} (try --help)")),
+            }
+        }
+        "attest" => {
+            let action = cli.next_positional().ok_or("attest needs verify|status|revoke|extend")?;
+            match action.as_str() {
+                "verify" => attest_verify(&cli),
+                "status" => {
+                    let id = cli.next_positional().ok_or("attest status needs ID")?;
+                    attest_status(&cli, &id)
+                }
+                "revoke" => {
+                    let id = cli.next_positional().ok_or("attest revoke needs ID")?;
+                    attest_revoke(&cli, &id)
+                }
+                "extend" => {
+                    let id = cli.next_positional().ok_or("attest extend needs ID")?;
+                    attest_extend(&cli, &id)
+                }
+                other => Err(format!("unknown attest action {other} (try --help)")),
             }
         }
         other => Err(format!("unknown command {other} (try --help)")),
@@ -188,7 +218,107 @@ fn build_request(cli: &Cli, function: &str) -> Result<RunRequest, String> {
         trials,
         seed,
         deadline_ms: None,
+        attest_session: cli.flag_value("--attest-session"),
     })
+}
+
+fn attest_verify(cli: &Cli) -> Result<(), String> {
+    let platform: TeePlatform = cli
+        .flag_value("--tee")
+        .unwrap_or_else(|| "tdx".to_owned())
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let nonce = cli
+        .flag_value("--nonce")
+        .map(|v| v.parse().map_err(|e| format!("bad nonce: {e}")))
+        .transpose()?;
+    let req = Request::new(Method::Post, "/v1/attest/sessions")
+        .json(&AttestSessionRequest { platform, nonce });
+    let resp = cli.client.send(&req).map_err(|e| format!("request failed: {e}"))?;
+    if resp.status != 201 {
+        return Err(format!(
+            "gateway said {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    let info: AttestSessionInfo = resp.body_json().map_err(|e| format!("bad response: {e}"))?;
+    print_session(&info);
+    Ok(())
+}
+
+fn attest_status(cli: &Cli, id: &str) -> Result<(), String> {
+    let resp = cli
+        .client
+        .send(&Request::new(Method::Get, &format!("/v1/attest/sessions/{id}")))
+        .map_err(|e| format!("request failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "gateway said {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    let info: AttestSessionInfo = resp.body_json().map_err(|e| format!("bad response: {e}"))?;
+    print_session(&info);
+    Ok(())
+}
+
+fn attest_revoke(cli: &Cli, id: &str) -> Result<(), String> {
+    let resp = cli
+        .client
+        .send(&Request::new(Method::Delete, &format!("/v1/attest/sessions/{id}")))
+        .map_err(|e| format!("request failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "gateway said {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    let info: AttestSessionInfo = resp.body_json().map_err(|e| format!("bad response: {e}"))?;
+    println!("revoked {}", info.id);
+    print_session(&info);
+    Ok(())
+}
+
+fn attest_extend(cli: &Cli, id: &str) -> Result<(), String> {
+    let index: usize = cli
+        .flag_value("--index")
+        .ok_or("attest extend needs --index")?
+        .parse()
+        .map_err(|e| format!("bad index: {e}"))?;
+    let data = cli.flag_value("--data").ok_or("attest extend needs --data")?;
+    let req = Request::new(Method::Post, &format!("/v1/attest/sessions/{id}/extend"))
+        .json(&ExtendRequest { index, data });
+    let resp = cli.client.send(&req).map_err(|e| format!("request failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "gateway said {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    let info: AttestSessionInfo = resp.body_json().map_err(|e| format!("bad response: {e}"))?;
+    println!("extended register {index}; session {} is now {}", info.id, info.state);
+    print_session(&info);
+    Ok(())
+}
+
+fn print_session(info: &AttestSessionInfo) {
+    println!("session  : {}", info.id);
+    println!("platform : {}", info.platform);
+    println!("state    : {}", info.state);
+    println!("tcb      : level {}, measurement {}", info.tcb_level, info.measurement);
+    println!("runtime  : {}", info.runtime_digest);
+    println!("expires  : {} ms (issued {} ms)", info.expires_ms, info.created_ms);
+    if let Some(source) = &info.source {
+        let timing = match (info.latency_ms, info.network_ms) {
+            (Some(lat), Some(net)) => format!(" ({lat:.3} ms, {net:.3} ms on the network)"),
+            _ => String::new(),
+        };
+        println!("source   : {source}{timing}");
+    }
 }
 
 fn post_run(cli: &Cli, request: &RunRequest) -> Result<RunResult, String> {

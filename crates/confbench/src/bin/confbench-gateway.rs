@@ -8,6 +8,7 @@
 //!                   [--remote-host PLATFORM=ADDR]...
 //!                   [--queue-capacity N] [--workers N]
 //!                   [--cache-capacity N] [--http-workers N] [--http-backlog N]
+//!                   [--attest-ttl-ms N] [--attest-cache-capacity N]
 //!                   [--chaos-seed N] [--chaos-rate F]
 //! ```
 //!
@@ -15,11 +16,16 @@
 //! `--chaos-rate` (default 0.1) per mechanism crossing; the per-VM
 //! supervisors absorb the faults (retry, rebuild, quarantine) and surface
 //! them in `/v1/metrics`.
+//!
+//! `--attest-ttl-ms` / `--attest-cache-capacity` size the attestation
+//! session cache behind `/v1/attest/sessions`; they default from the
+//! `CONFBENCH_ATTEST_TTL_MS` / `CONFBENCH_ATTEST_CACHE_CAPACITY`
+//! environment variables (flags win when both are given).
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use confbench::{BalancePolicy, Gateway, SystemClock, TeeFaultPlan};
+use confbench::{AttestConfig, BalancePolicy, Gateway, SystemClock, TeeFaultPlan};
 use confbench_httpd::ServerConfig;
 use confbench_sched::{Scheduler, SchedulerConfig};
 use confbench_types::TeePlatform;
@@ -45,6 +51,7 @@ fn run() -> Result<(), String> {
     let mut workers = 1usize;
     let mut cache_capacity = SchedulerConfig::default().cache_capacity;
     let mut http = ServerConfig::default();
+    let mut attest = AttestConfig::from_env();
     let mut chaos_seed = 0u64;
     let mut chaos_rate = 0.1f64;
 
@@ -123,6 +130,22 @@ fn run() -> Result<(), String> {
                     return Err("--http-backlog must be at least 1".into());
                 }
             }
+            "--attest-ttl-ms" => {
+                attest.ttl_ms = take_value(&args, &mut i, "--attest-ttl-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad attest TTL: {e}"))?;
+                if attest.ttl_ms == 0 {
+                    return Err("--attest-ttl-ms must be at least 1".into());
+                }
+            }
+            "--attest-cache-capacity" => {
+                attest.capacity = take_value(&args, &mut i, "--attest-cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad attest cache capacity: {e}"))?;
+                if attest.capacity == 0 {
+                    return Err("--attest-cache-capacity must be at least 1".into());
+                }
+            }
             "--chaos-seed" => {
                 chaos_seed = take_value(&args, &mut i, "--chaos-seed")?
                     .parse()
@@ -144,6 +167,7 @@ fn run() -> Result<(), String> {
                      \x20                        [--queue-capacity N] [--workers N]\n\
                      \x20                        [--cache-capacity N] (result-cache LRU bound)\n\
                      \x20                        [--http-workers N] [--http-backlog N]\n\
+                     \x20                        [--attest-ttl-ms N] [--attest-cache-capacity N]\n\
                      \x20                        [--chaos-seed N] [--chaos-rate F] (TEE fault injection)"
                 );
                 return Ok(());
@@ -153,7 +177,7 @@ fn run() -> Result<(), String> {
         i += 1;
     }
 
-    let mut builder = Gateway::builder().seed(seed).policy(policy).http(http);
+    let mut builder = Gateway::builder().seed(seed).policy(policy).http(http).attest(attest);
     if chaos_seed != 0 {
         eprintln!("chaos armed: seed {chaos_seed}, fault rate {chaos_rate} per TEE crossing");
         builder = builder.chaos(Arc::new(TeeFaultPlan::new(chaos_seed, chaos_rate)));
@@ -190,6 +214,10 @@ fn run() -> Result<(), String> {
     println!("  GET  /v1/campaigns/ID   poll campaign status");
     println!("  DELETE /v1/campaigns/ID cancel a campaign");
     println!("  GET  /v1/jobs/ID        per-job status + trace");
+    println!("  POST /v1/attest/sessions     open a verified attestation session");
+    println!("  GET  /v1/attest/sessions/ID  inspect a session");
+    println!("  DELETE /v1/attest/sessions/ID revoke a session");
+    println!("  POST /v1/attest/sessions/ID/extend  extend a runtime measurement");
     println!("  GET  /v1/metrics        counters + histograms (?format=json for JSON)");
     println!("  GET  /v1/health         liveness");
     println!("  (unversioned paths still answer, marked Deprecation: true)");

@@ -28,6 +28,10 @@ use serde::{Deserialize, Serialize};
 
 use confbench_vmm::TeeFaultPlan;
 
+use crate::attest_api::{
+    gate_request, AttestConfig, AttestService, AttestSessionInfo, AttestSessionRequest,
+    ExtendRequest,
+};
 use crate::host::{HostAgent, HostConfig};
 use crate::pool::{BalancePolicy, CircuitState, Clock, HealthPolicy, SystemClock, TeePool};
 use crate::rest::add_versioned;
@@ -102,6 +106,7 @@ pub struct GatewayBuilder {
     http: ServerConfig,
     chaos: Option<Arc<TeeFaultPlan>>,
     rebuild_budget: u32,
+    attest: AttestConfig,
 }
 
 impl GatewayBuilder {
@@ -174,6 +179,14 @@ impl GatewayBuilder {
         self
     }
 
+    /// Tunes the attestation-session layer (TTL, cache capacity). Defaults
+    /// from `CONFBENCH_ATTEST_TTL_MS` / `CONFBENCH_ATTEST_CACHE_CAPACITY`
+    /// when unset — see [`AttestConfig::from_env`].
+    pub fn attest(mut self, config: AttestConfig) -> Self {
+        self.attest = config;
+        self
+    }
+
     /// Tunes the REST listener's connection layer (handler worker pool
     /// size, connection admission window, keep-alive timeouts; socket I/O
     /// itself runs on the listener's epoll reactor). The `Retry-After`
@@ -194,13 +207,21 @@ impl GatewayBuilder {
     pub fn build(self) -> Gateway {
         assert!(!self.hosts.is_empty(), "gateway needs at least one host");
         let recorder = SpanRecorder::new(Arc::clone(&self.clock));
+        let attest = Arc::new(AttestService::new(
+            self.seed,
+            self.attest,
+            Arc::clone(&self.clock),
+            Some(&self.metrics),
+        ));
         let mut by_platform: HashMap<TeePlatform, Vec<HostRef>> = HashMap::new();
         for (platform, spec) in self.hosts {
             let host = match spec {
                 // Local hosts share the gateway's recorder so the whole
                 // request tree is stamped on one clock, its metrics
                 // registry so supervision counters surface in /v1/metrics,
-                // and its retry policy for in-supervisor transient backoff.
+                // its retry policy for in-supervisor transient backoff, and
+                // its attestation service so supervisor rebuilds re-attest
+                // through the shared session cache.
                 HostSpec::Local => HostRef::Local(Arc::new(HostAgent::with_config(
                     platform,
                     Arc::clone(&self.store),
@@ -211,6 +232,7 @@ impl GatewayBuilder {
                         rebuild_budget: self.rebuild_budget,
                         faults: self.chaos.clone(),
                         metrics: Some(Arc::clone(&self.metrics)),
+                        attest: Some(Arc::clone(&attest)),
                     },
                 ))),
                 HostSpec::Remote(addr) => HostRef::Remote { addr, client: Client::new(addr) },
@@ -241,6 +263,7 @@ impl GatewayBuilder {
             recorder,
             counters,
             http,
+            attest,
         }
     }
 }
@@ -299,6 +322,7 @@ pub struct Gateway {
     recorder: SpanRecorder,
     counters: GatewayCounters,
     http: ServerConfig,
+    attest: Arc<AttestService>,
 }
 
 impl Gateway {
@@ -316,7 +340,13 @@ impl Gateway {
             http: ServerConfig::default(),
             chaos: TeeFaultPlan::from_env(),
             rebuild_budget: DEFAULT_REBUILD_BUDGET,
+            attest: AttestConfig::from_env(),
         }
+    }
+
+    /// The attestation-session service (the `/v1/attest` resource).
+    pub fn attest(&self) -> &Arc<AttestService> {
+        &self.attest
     }
 
     /// The function database.
@@ -393,6 +423,26 @@ impl Gateway {
     fn dispatch(&self, request: &RunRequest, root: &mut ActiveSpan) -> Result<RunResult> {
         if request.trials == 0 {
             return Err(Error::InvalidRequest("trials must be at least 1 (got 0)".into()));
+        }
+        // Attestation gate: a live session token skips verification (one
+        // cache lookup); a dead one re-verifies through the session cache
+        // before the request reaches a pool.
+        if request.attest_session.is_some() {
+            let mut attest_span = root.child("attest.verify");
+            let gate = gate_request(&self.attest, request);
+            match &gate {
+                Ok(Some(outcome)) => {
+                    attest_span.set_attr(
+                        "session_cached",
+                        u64::from(outcome.source == confbench_attest::SessionSource::CacheHit),
+                    );
+                    attest_span
+                        .set_attr("network_us", (outcome.timing.network_ms * 1_000.0) as u64);
+                }
+                _ => attest_span.set_attr("failed", 1),
+            }
+            root.finish_child(attest_span);
+            gate?;
         }
         let deadline = request.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
         let pool = self
@@ -517,6 +567,11 @@ impl Gateway {
     /// * `POST /v1/run` — JSON [`RunRequest`] body → [`RunResult`];
     /// * `POST /v1/functions` — JSON [`UploadRequest`] body;
     /// * `GET /v1/functions` — registered names;
+    /// * `POST /v1/attest/sessions` — verify a platform, mint a session
+    ///   token (JSON [`AttestSessionRequest`] body → 201);
+    /// * `GET/DELETE /v1/attest/sessions/{id}` — session status / revoke;
+    /// * `POST /v1/attest/sessions/{id}/extend` — extend an e-vTPM runtime
+    ///   register, invalidating the session;
     /// * `GET /v1/metrics` — Prometheus-style text, or the JSON snapshot
     ///   with `?format=json` (new in v1, no legacy alias);
     /// * `GET /v1/health`.
@@ -596,6 +651,61 @@ impl Gateway {
         add_versioned(&mut router, Method::Get, "/functions", move |_, _| {
             Response::json(&gw.store.names())
         });
+        // The attestation-session resource. Canonical under /v1 with
+        // deprecated unversioned aliases, like every other resource.
+        let gw = Arc::clone(self);
+        add_versioned(&mut router, Method::Post, "/attest/sessions", move |req, _| {
+            match req.body_json::<AttestSessionRequest>() {
+                Err(e) => Response::error(400, format!("bad attest body: {e}")),
+                Ok(body) => match gw.attest.open_session(body.platform, body.nonce) {
+                    Ok(outcome) => {
+                        let mut r = Response::json(&AttestSessionInfo::from_outcome(&outcome));
+                        r.status = 201;
+                        r
+                    }
+                    Err(e) => error_response(&e, &gw.retry),
+                },
+            }
+        });
+        let gw = Arc::clone(self);
+        add_versioned(&mut router, Method::Get, "/attest/sessions/:id", move |_, params| match gw
+            .attest
+            .session(&params["id"])
+        {
+            Some(session) => Response::json(&AttestSessionInfo::from_session(&session)),
+            None => Response::error(404, format!("unknown attest session {:?}", params["id"])),
+        });
+        let gw = Arc::clone(self);
+        add_versioned(
+            &mut router,
+            Method::Delete,
+            "/attest/sessions/:id",
+            move |_, params| match gw.attest.revoke(&params["id"]) {
+                Some(session) => Response::json(&AttestSessionInfo::from_session(&session)),
+                None => Response::error(404, format!("unknown attest session {:?}", params["id"])),
+            },
+        );
+        let gw = Arc::clone(self);
+        add_versioned(
+            &mut router,
+            Method::Post,
+            "/attest/sessions/:id/extend",
+            move |req, params| match req.body_json::<ExtendRequest>() {
+                Err(e) => Response::error(400, format!("bad extend body: {e}")),
+                Ok(body) => {
+                    match gw.attest.extend(&params["id"], body.index, body.data.as_bytes()) {
+                        Ok(Some(session)) => {
+                            Response::json(&AttestSessionInfo::from_session(&session))
+                        }
+                        Ok(None) => Response::error(
+                            404,
+                            format!("unknown attest session {:?}", params["id"]),
+                        ),
+                        Err(e) => error_response(&e, &gw.retry),
+                    }
+                }
+            },
+        );
         let gw = Arc::clone(self);
         // Metrics are new in v1: canonical path only, no deprecated alias.
         router.add(Method::Get, "/v1/metrics", move |req, _| {

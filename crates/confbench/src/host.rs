@@ -15,6 +15,7 @@ use confbench_perfmon::PerfStat;
 use confbench_types::{Error, Result, RunRequest, RunResult, TeePlatform, VmKind, VmTarget};
 use confbench_vmm::TeeFaultPlan;
 
+use crate::attest_api::AttestService;
 use crate::gateway::RetryPolicy;
 use crate::rest::add_versioned;
 use crate::store::FunctionStore;
@@ -37,6 +38,11 @@ pub struct HostConfig {
     /// Registry receiving `vmm_faults_total` / `vm_rebuilds_total` /
     /// `vm_quarantined` (None = unmetered).
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Attestation-session service shared with the gateway: supervisor
+    /// rebuilds re-attest through its session cache, so a rebuild storm on
+    /// a fleet sharing one TCB identity verifies once (None = each rebuild
+    /// verifies standalone).
+    pub attest: Option<Arc<AttestService>>,
 }
 
 impl Default for HostConfig {
@@ -47,6 +53,7 @@ impl Default for HostConfig {
             rebuild_budget: DEFAULT_REBUILD_BUDGET,
             faults: TeeFaultPlan::from_env(),
             metrics: None,
+            attest: None,
         }
     }
 }
@@ -120,6 +127,7 @@ impl HostAgent {
                 config.rebuild_budget,
                 config.metrics.as_ref(),
             )
+            .with_attest(config.attest.clone())
         };
         HostAgent {
             platform,
@@ -280,6 +288,7 @@ mod tests {
             trials: 3,
             seed: 0,
             deadline_ms: None,
+            attest_session: None,
         }
     }
 

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attest_api;
 mod gateway;
 mod host;
 mod pool;
@@ -44,6 +45,9 @@ mod rest;
 mod store;
 mod supervisor;
 
+pub use attest_api::{
+    AttestConfig, AttestService, AttestSessionInfo, AttestSessionRequest, ExtendRequest,
+};
 pub use gateway::{Gateway, GatewayBuilder, RetryPolicy, UploadRequest};
 pub use host::{HostAgent, HostConfig};
 pub use pool::{
@@ -148,6 +152,7 @@ impl ConfBench {
             trials,
             seed: self.seed,
             deadline_ms: None,
+            attest_session: None,
         };
         let (secure, normal) = self.gateway.run_pair(request, platform)?;
         let ratio = secure.stats.mean_ms / normal.stats.mean_ms;

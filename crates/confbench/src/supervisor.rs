@@ -34,6 +34,7 @@ use confbench_vmm::{TeeFault, TeeFaultPlan, TeeVmBuilder, Vm};
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, RngCore, SeedableRng};
 
+use crate::attest_api::AttestService;
 use crate::gateway::RetryPolicy;
 
 /// Fatal rebuilds a supervisor tolerates over its lifetime before it
@@ -62,6 +63,7 @@ pub struct VmSupervisor {
     retry: RetryPolicy,
     rebuild_budget: u32,
     metrics: Option<SupervisorMetrics>,
+    attest: Option<Arc<AttestService>>,
     jitter_rng: Mutex<StdRng>,
     state: Mutex<SupervisorState>,
 }
@@ -94,9 +96,21 @@ impl VmSupervisor {
             retry,
             rebuild_budget,
             metrics,
+            attest: None,
             jitter_rng: Mutex::new(StdRng::seed_from_u64(seed ^ 0x5375_7065_7256_6973)),
             state: Mutex::new(SupervisorState { rebuilds: 0, quarantined: None }),
         }
+    }
+
+    /// Routes post-rebuild re-attestation through a shared attestation
+    /// session service. With a service attached, a rebuild storm across a
+    /// fleet sharing one TCB identity collapses into a single verification
+    /// (single-flight on the session cache) instead of one PCS round trip
+    /// per rebuild. `None` keeps the standalone per-rebuild verification.
+    #[must_use]
+    pub fn with_attest(mut self, attest: Option<Arc<AttestService>>) -> Self {
+        self.attest = attest;
+        self
     }
 
     fn label(target: VmTarget) -> String {
@@ -248,6 +262,16 @@ impl VmSupervisor {
             if let Some(fault) = plan.roll(platform, TeeMechanism::AttestRead) {
                 return Err(fault);
             }
+        }
+        // Shared session cache (gateway deployments): the fleet's identity
+        // is verified once and later rebuilds ride the live session.
+        if let Some(service) = &self.attest {
+            if platform != TeePlatform::Cca {
+                service
+                    .reattest(platform)
+                    .map_err(|_| TeeFault::fatal(platform, TeeMechanism::AttestRead))?;
+            }
+            return Ok(());
         }
         let wedged = |_| TeeFault::fatal(platform, TeeMechanism::AttestRead);
         let nonce = TdxEcosystem::report_data_for_nonce(self.seed);

@@ -344,6 +344,7 @@ impl Scheduler {
             trials: cell.trials,
             seed: cell.seed,
             deadline_ms: None,
+            attest_session: None,
         };
         let outcome = self.executor.execute(&request);
 

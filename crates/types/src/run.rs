@@ -67,6 +67,13 @@ pub struct RunRequest {
     /// defaults apply.
     #[serde(default)]
     pub deadline_ms: Option<u64>,
+    /// Optional attestation-session token (from `POST /v1/attest/sessions`).
+    /// When the named session is live the gateway skips hot-path
+    /// verification of the target platform; when it has expired or been
+    /// invalidated the gateway re-verifies through its session cache before
+    /// dispatching. Unknown ids are rejected as invalid requests.
+    #[serde(default)]
+    pub attest_session: Option<String>,
 }
 
 fn default_trials() -> u32 {
@@ -133,6 +140,12 @@ impl RunRequestBuilder {
         self
     }
 
+    /// Attaches an attestation-session token.
+    pub fn attest_session(mut self, id: impl Into<String>) -> Self {
+        self.request.attest_session = Some(id.into());
+        self
+    }
+
     /// Validates and returns the request.
     ///
     /// # Errors
@@ -148,7 +161,7 @@ impl RunRequestBuilder {
 impl RunRequest {
     /// Creates a single-trial request with seed 0 and no deadline.
     pub fn new(function: FunctionSpec, target: VmTarget) -> Self {
-        RunRequest { function, target, trials: 1, seed: 0, deadline_ms: None }
+        RunRequest { function, target, trials: 1, seed: 0, deadline_ms: None, attest_session: None }
     }
 
     /// Starts a validating builder (rejects `trials == 0` and a zero
@@ -202,6 +215,12 @@ impl RunRequest {
     /// Sets the end-to-end deadline in milliseconds, builder-style.
     pub fn deadline_ms(mut self, ms: u64) -> Self {
         self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Attaches an attestation-session token, builder-style.
+    pub fn attest_session(mut self, id: impl Into<String>) -> Self {
+        self.attest_session = Some(id.into());
         self
     }
 }

@@ -1,0 +1,173 @@
+//! An ephemeral virtual TPM (e-vTPM) device for confidential VMs.
+//!
+//! Real CVM deployments (SVSM on SEV-SNP, the TD-partitioning vTPM on TDX)
+//! place a small TPM inside the trust boundary so the *runtime* state of the
+//! guest — kernel, initrd, application layers — can be measured after
+//! launch, complementing the launch measurement the platform signs. This
+//! model keeps the property that matters for attestation: an extend-only
+//! register bank, seeded deterministically from the measured boot image, so
+//! two VMs booted from the same image report identical runtime measurements
+//! until their workloads diverge.
+//!
+//! The bank is *extend-only*: there is no reset short of rebuilding the VM,
+//! mirroring hardware PCR semantics (`new = H(old || data)`).
+
+use confbench_crypto::{Digest, Sha256};
+use confbench_types::{TeePlatform, VmTarget};
+use std::fmt;
+
+use crate::vm::BOOT_IMAGE_PAGES;
+
+/// Number of runtime measurement registers in the bank.
+///
+/// Eight is the TPM "static OS" PCR range (0–7); the model does not need
+/// the full 24.
+pub const EVTPM_PCRS: usize = 8;
+
+/// e-vTPM operation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvTpmError {
+    /// PCR index outside `0..EVTPM_PCRS`.
+    BadIndex(usize),
+}
+
+impl fmt::Display for EvTpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvTpmError::BadIndex(i) => write!(f, "pcr index {i} out of range 0..{EVTPM_PCRS}"),
+        }
+    }
+}
+
+impl std::error::Error for EvTpmError {}
+
+/// The e-vTPM device: an extend-only bank of [`EVTPM_PCRS`] measurement
+/// registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvTpm {
+    pcrs: [Digest; EVTPM_PCRS],
+    extends: u64,
+}
+
+impl EvTpm {
+    /// A zeroed bank (no boot measurements) — test hook; production VMs are
+    /// built via [`EvTpm::measured_boot`].
+    pub fn new() -> Self {
+        EvTpm { pcrs: [Digest::from([0u8; 32]); EVTPM_PCRS], extends: 0 }
+    }
+
+    /// Boots the device with launch-stage measurements: PCR0 records the
+    /// platform/firmware identity, PCR1 the boot image. Deterministic per
+    /// target, so every member of a platform pool shares one runtime
+    /// digest until a workload extends it.
+    pub fn measured_boot(target: VmTarget) -> Self {
+        let mut tpm = EvTpm::new();
+        let platform_tag: &[u8] = match target.platform {
+            TeePlatform::Tdx => b"evtpm-platform:tdx",
+            TeePlatform::SevSnp => b"evtpm-platform:sev-snp",
+            TeePlatform::Cca => b"evtpm-platform:cca",
+        };
+        // Boot-time extends cannot fail: indices are in range by
+        // construction.
+        let _ = tpm.extend(0, platform_tag);
+        let _ = tpm.extend(1, b"evtpm-boot-image");
+        let _ = tpm.extend(1, &BOOT_IMAGE_PAGES.to_be_bytes());
+        tpm
+    }
+
+    /// Extends `pcrs[index]` with `data` (`new = H(old || data)`), returning
+    /// the new register value.
+    ///
+    /// # Errors
+    ///
+    /// [`EvTpmError::BadIndex`] when `index >= EVTPM_PCRS`.
+    pub fn extend(&mut self, index: usize, data: &[u8]) -> Result<Digest, EvTpmError> {
+        let pcr = self.pcrs.get_mut(index).ok_or(EvTpmError::BadIndex(index))?;
+        *pcr = Sha256::digest_parts(&[pcr.as_bytes(), data]);
+        self.extends += 1;
+        Ok(*pcr)
+    }
+
+    /// Reads one register.
+    pub fn pcr(&self, index: usize) -> Option<Digest> {
+        self.pcrs.get(index).copied()
+    }
+
+    /// The whole register bank.
+    pub fn bank(&self) -> &[Digest; EVTPM_PCRS] {
+        &self.pcrs
+    }
+
+    /// Folds the bank into one digest — the runtime-measurement identity
+    /// attestation sessions key on.
+    pub fn digest(&self) -> Digest {
+        let parts: Vec<&[u8]> = self.pcrs.iter().map(|d| d.as_bytes() as &[u8]).collect();
+        Sha256::digest_parts(&parts)
+    }
+
+    /// Total extends since boot (including the boot measurements).
+    pub fn extends(&self) -> u64 {
+        self.extends
+    }
+}
+
+impl Default for EvTpm {
+    fn default() -> Self {
+        EvTpm::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tdx_target() -> VmTarget {
+        VmTarget::secure(TeePlatform::Tdx)
+    }
+
+    #[test]
+    fn measured_boot_is_deterministic_per_target() {
+        let a = EvTpm::measured_boot(tdx_target());
+        let b = EvTpm::measured_boot(tdx_target());
+        assert_eq!(a.digest(), b.digest());
+        let snp = EvTpm::measured_boot(VmTarget::secure(TeePlatform::SevSnp));
+        assert_ne!(a.digest(), snp.digest(), "platform identity is measured");
+    }
+
+    #[test]
+    fn extend_folds_and_changes_the_bank_digest() {
+        let mut tpm = EvTpm::measured_boot(tdx_target());
+        let before = tpm.digest();
+        let old = tpm.pcr(4).unwrap();
+        let new = tpm.extend(4, b"workload-layer").unwrap();
+        assert_eq!(new, Sha256::digest_parts(&[old.as_bytes(), b"workload-layer"]));
+        assert_ne!(tpm.digest(), before);
+        assert_eq!(tpm.pcr(4), Some(new));
+    }
+
+    #[test]
+    fn extend_order_matters() {
+        let mut a = EvTpm::new();
+        let mut b = EvTpm::new();
+        a.extend(0, b"x").unwrap();
+        a.extend(0, b"y").unwrap();
+        b.extend(0, b"y").unwrap();
+        b.extend(0, b"x").unwrap();
+        assert_ne!(a.digest(), b.digest(), "PCR folding is order-sensitive");
+    }
+
+    #[test]
+    fn bad_index_rejected() {
+        let mut tpm = EvTpm::new();
+        assert_eq!(tpm.extend(EVTPM_PCRS, b"z"), Err(EvTpmError::BadIndex(EVTPM_PCRS)));
+    }
+
+    #[test]
+    fn extends_counter_tracks_boot_and_runtime() {
+        let mut tpm = EvTpm::measured_boot(tdx_target());
+        let boot = tpm.extends();
+        assert!(boot >= 3, "boot measures platform + image");
+        tpm.extend(2, b"app").unwrap();
+        assert_eq!(tpm.extends(), boot + 1);
+    }
+}

@@ -39,6 +39,7 @@
 mod cache;
 mod cca;
 mod cost;
+mod evtpm;
 mod fault;
 mod host;
 mod snp;
@@ -48,6 +49,7 @@ mod vm;
 pub use cache::{CacheSim, CacheStats};
 pub use cca::{CcaError, Fvp, RealmId, RealmPhase, Rmm};
 pub use cost::CostModel;
+pub use evtpm::{EvTpm, EvTpmError, EVTPM_PCRS};
 pub use fault::{TeeFault, TeeFaultPlan};
 pub use host::{ContentionModel, SharedHost};
 pub use snp::{AmdSp, SnpError, SnpPhase, SnpReport};

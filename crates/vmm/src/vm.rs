@@ -15,12 +15,13 @@ use confbench_types::{
 use crate::cache::CacheSim;
 use crate::cca::{Fvp, RealmId, Rmm};
 use crate::cost::CostModel;
+use crate::evtpm::EvTpm;
 use crate::fault::{TeeFault, TeeFaultPlan};
 use crate::snp::AmdSp;
 use crate::tdx::{TdId, TdxModule};
 
 /// Pages installed (and measured) during the simulated boot of a VM image.
-const BOOT_IMAGE_PAGES: u64 = 64;
+pub(crate) const BOOT_IMAGE_PAGES: u64 = 64;
 
 /// Per-allocation cap on how many pages are driven through the *mechanism*
 /// (SEPT/RMP/GPT); costs are always charged analytically for the full count.
@@ -183,11 +184,16 @@ impl TeeVmBuilder {
         }
         let cache = self.cache_model.then(|| CacheSim::new(cost.cache_salt));
         let platform = Platform::launch(self.target, self.faults.as_deref())?;
+        // Secure VMs boot with an e-vTPM whose launch-stage measurements
+        // are part of the measured image (normal VMs have no trust
+        // boundary to anchor one).
+        let evtpm = (self.target.kind == VmKind::Secure).then(|| EvTpm::measured_boot(self.target));
         Ok(Vm {
             target: self.target,
             cost,
             cache,
             platform,
+            evtpm,
             swiotlb: Swiotlb::linux_default(),
             clock: SimClock::new(),
             rng: SplitMix64::new(jitter_stream_seed(self.seed, self.target)),
@@ -311,6 +317,8 @@ pub struct Vm {
     cost: CostModel,
     cache: Option<CacheSim>,
     platform: Platform,
+    /// Runtime-measurement device, present in secure VMs only.
+    evtpm: Option<EvTpm>,
     swiotlb: Swiotlb,
     clock: SimClock,
     rng: SplitMix64,
@@ -369,6 +377,16 @@ impl Vm {
             Platform::Cca { rmm, rd, .. } => Some((rmm, *rd)),
             _ => None,
         }
+    }
+
+    /// The e-vTPM runtime-measurement device (secure VMs only).
+    pub fn evtpm(&self) -> Option<&EvTpm> {
+        self.evtpm.as_ref()
+    }
+
+    /// Mutable e-vTPM access, for workload-driven runtime extends.
+    pub fn evtpm_mut(&mut self) -> Option<&mut EvTpm> {
+        self.evtpm.as_mut()
     }
 
     /// Executes a trace, advancing the virtual clock, and returns the

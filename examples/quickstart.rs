@@ -60,6 +60,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                 trials: 5,
                 seed: 42,
                 deadline_ms: None,
+                attest_session: None,
             };
             let resp = client.send(&Request::new(Method::Post, "/run").json(&request))?;
             assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
@@ -85,6 +86,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         trials: 1,
         seed: 42,
         deadline_ms: None,
+        attest_session: None,
     };
     let result: RunResult =
         client.send(&Request::new(Method::Post, "/run").json(&request))?.body_json()?;

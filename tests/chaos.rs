@@ -155,6 +155,7 @@ fn exhausted_rebuild_budget_quarantines_and_trips_the_breaker() {
         trials: 1,
         seed: 1,
         deadline_ms: None,
+        attest_session: None,
     };
 
     // First request: boot faults burn the rebuild budget, the supervisor

@@ -19,6 +19,7 @@ fn iostress(platform: TeePlatform) -> RunRequest {
         trials: 2,
         seed: 3,
         deadline_ms: None,
+        attest_session: None,
     }
 }
 

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod device;
 mod error;
 mod evtpm;
 mod network;
@@ -46,6 +47,7 @@ mod snp_flow;
 mod tdx_flow;
 mod verifier;
 
+pub use device::{DeviceEvidence, DevicePolicy, DeviceVerifier};
 pub use error::AttestError;
 pub use evtpm::{extend_runtime, quote_runtime, RuntimeMeasurements};
 pub use network::NetworkModel;

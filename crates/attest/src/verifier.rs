@@ -11,6 +11,9 @@ use confbench_crypto::{Digest, Sha256};
 use confbench_types::TeePlatform;
 use confbench_vmm::SnpReport;
 
+use confbench_devio::MeasurementReport;
+
+use crate::device::DeviceEvidence;
 use crate::error::AttestError;
 use crate::evtpm::RuntimeMeasurements;
 use crate::snp_flow::SnpEcosystem;
@@ -24,6 +27,9 @@ pub enum EvidenceBody {
     Tdx(TdQuote),
     /// An SEV-SNP attestation report (VCEK flow).
     Snp(SnpReport),
+    /// A TDISP device measurement report (SPDM flow), tagged with the host
+    /// platform the device serves.
+    Device(DeviceEvidence),
 }
 
 /// Evidence as presented to a verifier: the platform-signed body plus the
@@ -48,6 +54,12 @@ impl Evidence {
         Evidence { body: EvidenceBody::Snp(report), runtime: None }
     }
 
+    /// Wraps a device measurement report for a device serving `platform`
+    /// VMs.
+    pub fn device(platform: TeePlatform, report: MeasurementReport) -> Self {
+        Evidence { body: EvidenceBody::Device(DeviceEvidence { platform, report }), runtime: None }
+    }
+
     /// Attaches an e-vTPM runtime snapshot.
     pub fn with_runtime(mut self, runtime: RuntimeMeasurements) -> Self {
         self.runtime = Some(runtime);
@@ -59,28 +71,38 @@ impl Evidence {
         match &self.body {
             EvidenceBody::Tdx(_) => TeePlatform::Tdx,
             EvidenceBody::Snp(_) => TeePlatform::SevSnp,
+            EvidenceBody::Device(d) => d.platform,
         }
     }
 
-    /// The launch measurement (MRTD / SNP launch digest).
+    /// The launch measurement (MRTD / SNP launch digest / device firmware
+    /// digest).
     pub fn measurement(&self) -> Digest {
         match &self.body {
             EvidenceBody::Tdx(q) => q.report.mrtd,
             EvidenceBody::Snp(r) => r.measurement,
+            EvidenceBody::Device(d) => Digest(d.report.fw_digest().unwrap_or([0; 32])),
         }
     }
 
-    /// The numeric TCB level the evidence claims.
+    /// The numeric TCB level the evidence claims (firmware SVN for a
+    /// device).
     pub fn tcb_level(&self) -> u64 {
         match &self.body {
             EvidenceBody::Tdx(q) => q.tcb_level,
             EvidenceBody::Snp(r) => r.tcb_version,
+            EvidenceBody::Device(d) => d.report.fw_svn as u64,
         }
     }
 
     /// The folded runtime-measurement digest (all-zero without an e-vTPM
     /// snapshot, distinguishing "no runtime evidence" from any real bank).
+    /// Device evidence folds its locked interface-config digest here — an
+    /// interface re-lock is to a device what a runtime extend is to a CVM.
     pub fn runtime_digest(&self) -> Digest {
+        if let EvidenceBody::Device(d) = &self.body {
+            return Digest(d.report.interface_digest().unwrap_or([0; 32]));
+        }
         self.runtime.as_ref().map(RuntimeMeasurements::digest).unwrap_or(ZERO_DIGEST)
     }
 
@@ -169,7 +191,7 @@ impl Verifier for TdxEcosystem {
     ) -> Result<PhaseTiming, AttestError> {
         match &evidence.body {
             EvidenceBody::Tdx(quote) => self.verify_quote_offline(quote, expected_report_data),
-            EvidenceBody::Snp(_) => Err(AttestError::WrongVmKind),
+            _ => Err(AttestError::WrongVmKind),
         }
     }
 }
@@ -186,7 +208,7 @@ impl Verifier for SnpEcosystem {
     ) -> Result<PhaseTiming, AttestError> {
         match &evidence.body {
             EvidenceBody::Snp(report) => self.verify_report(report, expected_report_data),
-            EvidenceBody::Tdx(_) => Err(AttestError::WrongVmKind),
+            _ => Err(AttestError::WrongVmKind),
         }
     }
 }

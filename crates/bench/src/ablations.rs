@@ -47,14 +47,43 @@ fn launched(name: &str, language: Language, scale: Scale) -> (OpTrace, OpTrace) 
     (out.trace, out.startup_trace)
 }
 
-/// Ablation 1: TDX `iostress` ratio with and without bounce buffers.
-pub fn bounce_buffer_ablation(cfg: ExperimentConfig) -> (f64, f64) {
+/// Result of the bounce-buffer ablation: the secure/normal ratio plus the
+/// swiotlb byte traffic that explains it, for each configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BounceAblation {
+    /// TDX `iostress` ratio with bounce buffers on (today's hardware).
+    pub with_ratio: f64,
+    /// Bytes the secure VM staged through the bounce pool, bounce on.
+    pub with_bounce_bytes: u64,
+    /// The same ratio with bounce buffers off (the TDX Connect future).
+    pub without_ratio: f64,
+    /// Bytes staged with bounce buffers off — zero, which *is* the causal
+    /// story: no staging traffic, no I/O amplification.
+    pub without_bounce_bytes: u64,
+}
+
+/// Ablation 1: TDX `iostress` ratio with and without bounce buffers,
+/// alongside the per-config swiotlb byte counts that attribute the gap.
+pub fn bounce_buffer_ablation(cfg: ExperimentConfig) -> BounceAblation {
     let (trace, startup) = launched("iostress", Language::Go, cfg.scale);
-    let with = ratio_with(&trace, &startup, TeePlatform::Tdx, cfg.trials(), cfg.seed, |b| b);
-    let without = ratio_with(&trace, &startup, TeePlatform::Tdx, cfg.trials(), cfg.seed, |b| {
-        b.bounce_buffers(false)
-    });
-    (with, without)
+    let probe = |bounce: bool| {
+        let run = |kind| {
+            let mut vm = TeeVmBuilder::new(VmTarget { platform: TeePlatform::Tdx, kind })
+                .seed(cfg.seed)
+                .bounce_buffers(bounce)
+                .build();
+            let _ = vm.execute(&startup);
+            let reports = vm.execute_trials(&trace, cfg.trials());
+            let ms: Vec<f64> = reports.iter().map(|r| r.wall_ms).collect();
+            (mean(&ms), reports.iter().map(|r| r.events.bounce_bytes).sum::<u64>())
+        };
+        let (secure_ms, secure_bytes) = run(VmKind::Secure);
+        let (normal_ms, _) = run(VmKind::Normal);
+        (secure_ms / normal_ms, secure_bytes)
+    };
+    let (with_ratio, with_bounce_bytes) = probe(true);
+    let (without_ratio, without_bounce_bytes) = probe(false);
+    BounceAblation { with_ratio, with_bounce_bytes, without_ratio, without_bounce_bytes }
 }
 
 /// Ablation 2: CCA `cpustress` ratio across FVP slowdown factors. The
@@ -153,9 +182,18 @@ mod tests {
 
     #[test]
     fn bounce_buffers_explain_tdx_io_overhead() {
-        let (with, without) = bounce_buffer_ablation(ExperimentConfig::quick(23));
-        assert!(with > 1.3, "with bounce buffers: {with}");
-        assert!(without < with - 0.25, "tdx-connect-style: {without} vs {with}");
+        let a = bounce_buffer_ablation(ExperimentConfig::quick(23));
+        assert!(a.with_ratio > 1.3, "with bounce buffers: {}", a.with_ratio);
+        assert!(
+            a.without_ratio < a.with_ratio - 0.25,
+            "tdx-connect-style: {} vs {}",
+            a.without_ratio,
+            a.with_ratio
+        );
+        // Byte accounting attributes the gap: staging traffic only exists
+        // in the bounce-on configuration.
+        assert!(a.with_bounce_bytes > 0, "bounce-on stages real bytes");
+        assert_eq!(a.without_bounce_bytes, 0, "bounce-off stages nothing");
     }
 
     #[test]

@@ -13,9 +13,15 @@ fn main() {
     let cfg = ExperimentConfig::from_cli(23);
 
     println!("=== Ablation 1: TDX iostress ratio, bounce buffers on/off ===");
-    let (with, without) = ablations::bounce_buffer_ablation(cfg);
-    println!("  with bounce buffers   : {with:.2}x");
-    println!("  without (TDX-Connect) : {without:.2}x");
+    let bounce = ablations::bounce_buffer_ablation(cfg);
+    println!(
+        "  with bounce buffers   : {:.2}x ({} bytes staged)",
+        bounce.with_ratio, bounce.with_bounce_bytes
+    );
+    println!(
+        "  without (TDX-Connect) : {:.2}x ({} bytes staged)",
+        bounce.without_ratio, bounce.without_bounce_bytes
+    );
     println!("  -> the paper expects I/O results 'to improve considerably'\n");
 
     println!("=== Ablation 2: CCA cpustress across FVP slowdown factors ===");

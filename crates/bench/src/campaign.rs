@@ -76,6 +76,7 @@ pub fn fig6_spec(
         seed: cfg.seed,
         priority: Priority::Normal,
         deadline_ms: None,
+        device: None,
     }
 }
 

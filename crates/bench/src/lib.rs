@@ -11,6 +11,7 @@
 //! | Fig. 7 (CCA FaaS heatmap)                         | [`heatmap::run`] | `fig7_cca_heatmap` |
 //! | Fig. 8 (CCA distributions, box-and-whiskers)      | [`fig8::run`] | `fig8_cca_box` |
 //! | Fig. 6 via the campaign scheduler (cold vs memoized) | [`campaign::run`] | `campaign_fig6` |
+//! | TEE-IO gpu-inference + TDISP on/off ablation      | [`fig_gpu::run`] | `fig_gpu` |
 //! | Design-choice ablations (DESIGN.md §5)            | [`ablations`] | `ablations` |
 //!
 //! All drivers are deterministic in the seed; `Scale::Quick` shrinks
@@ -189,4 +190,5 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig8;
+pub mod fig_gpu;
 pub mod heatmap;

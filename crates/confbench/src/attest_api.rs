@@ -18,13 +18,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use confbench_attest::{
-    extend_runtime, quote_runtime, AttestError, AttestSession, CollateralRefresher, Evidence,
-    SessionCache, SessionConfig, SessionOutcome, SessionSource, SnpEcosystem, TdxEcosystem,
-    Verifier,
+    extend_runtime, quote_runtime, AttestError, AttestSession, CollateralRefresher, DeviceVerifier,
+    Evidence, SessionCache, SessionConfig, SessionOutcome, SessionSource, SnpEcosystem,
+    TdxEcosystem, Verifier,
 };
-use confbench_obs::{MetricsRegistry, SpanRecorder};
+use confbench_obs::{Counter, MetricsRegistry, SpanRecorder};
 use confbench_types::{Clock, Error, Result, RunRequest, TeePlatform, TraceSpan, VmKind, VmTarget};
-use confbench_vmm::{TeeVmBuilder, Vm};
+use confbench_vmm::{MeasurementReport, TeeVmBuilder, Vm};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -166,6 +166,7 @@ pub struct AttestService {
     recorder: SpanRecorder,
     spans: Mutex<VecDeque<TraceSpan>>,
     nonce: AtomicU64,
+    devio_attests: Option<Arc<Counter>>,
 }
 
 impl AttestService {
@@ -210,6 +211,7 @@ impl AttestService {
             recorder: SpanRecorder::new(clock),
             spans: Mutex::new(VecDeque::new()),
             nonce: AtomicU64::new(seed.wrapping_mul(2) | 1),
+            devio_attests: registry.map(|r| r.counter("devio_attest_total")),
         }
     }
 
@@ -405,6 +407,51 @@ impl AttestService {
         self.open_session(platform, None)
     }
 
+    /// Verifies a TDISP device measurement report through the session
+    /// cache: the whole fleet's accelerators carry one firmware identity,
+    /// so one verification (or one single-flighted leader) mints a session
+    /// every later VM bring-up rides until the TTL expires. Works for all
+    /// three platforms — device evidence is SPDM-signed by the vendor key,
+    /// not by the host's quoting enclave, so even CCA hosts (which have no
+    /// platform attestation stack) verify their accelerators.
+    ///
+    /// Recorded as a `devio.attest` span and counted in
+    /// `devio_attest_total`; cache behaviour (hits, single-flight joins)
+    /// lands in the shared `attest_sessions_*` metrics family.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Attestation`] when the report fails policy (forged
+    /// signature, stale firmware SVN, wrong digests, nonce mismatch).
+    pub fn open_device_session(
+        &self,
+        platform: TeePlatform,
+        report: MeasurementReport,
+        nonce: [u8; 32],
+    ) -> Result<SessionOutcome> {
+        let verifier = DeviceVerifier::new(platform);
+        let evidence = Evidence::device(platform, report);
+        let mut report_data = [0u8; 64];
+        report_data[..32].copy_from_slice(&nonce);
+        let mut span = self.recorder.root("devio.attest");
+        let outcome = self.cache.verify_or_join(&verifier, &evidence, report_data);
+        match &outcome {
+            Ok(outcome) => {
+                span.set_attr("cached", u64::from(outcome.source == SessionSource::CacheHit));
+                span.set_attr(
+                    "single_flight",
+                    u64::from(outcome.source == SessionSource::SingleFlight),
+                );
+            }
+            Err(_) => span.set_attr("failed", 1),
+        }
+        self.push_span(span.finish());
+        if let Some(counter) = &self.devio_attests {
+            counter.inc();
+        }
+        outcome.map_err(attest_error)
+    }
+
     /// Runs the collateral refresher if its interval has elapsed, recording
     /// an `attest.refresh` span when it fires. Cheap when not due (an
     /// atomic load) — called opportunistically from the verification path
@@ -547,6 +594,38 @@ mod tests {
         );
         let err = svc.extend(&second.session.id, 99, b"x").unwrap_err();
         assert_eq!(err.rest_status(), 400, "bad register index is the caller's fault: {err}");
+    }
+
+    #[test]
+    fn device_sessions_amortize_across_bringups() {
+        let clock = Arc::new(ManualClock::new());
+        let registry = Arc::new(MetricsRegistry::new());
+        let svc = AttestService::new(
+            7,
+            AttestConfig { ttl_ms: 10_000, capacity: 64 },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            Some(&registry),
+        );
+        let mut gpu = confbench_vmm::GpuDevice::new();
+        gpu.lock().unwrap();
+
+        // CCA host on purpose: the platform has no attestation stack, but
+        // its accelerator is still verifiable (vendor-signed SPDM report).
+        let nonce = [5u8; 32];
+        let report = gpu.measurement_report(nonce).unwrap();
+        let cold = svc.open_device_session(TeePlatform::Cca, report, nonce).unwrap();
+        assert_eq!(cold.source, SessionSource::Verified);
+
+        // A second bring-up with a fresh nonce maps to the same firmware
+        // identity: one cache lookup, no re-verification.
+        let nonce = [6u8; 32];
+        let report = gpu.measurement_report(nonce).unwrap();
+        let warm = svc.open_device_session(TeePlatform::Cca, report, nonce).unwrap();
+        assert_eq!(warm.source, SessionSource::CacheHit);
+        assert_eq!(warm.session.id, cold.session.id);
+
+        assert_eq!(registry.counter_value("devio_attest_total"), Some(2));
+        assert!(svc.recent_spans().iter().any(|s| s.name == "devio.attest"));
     }
 
     #[test]

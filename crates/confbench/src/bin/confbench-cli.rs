@@ -5,11 +5,12 @@
 //! confbench-cli [--gateway ADDR] upload NAME FILE.cb
 //! confbench-cli [--gateway ADDR] run FUNCTION [--lang L] [--tee P]
 //!               [--normal] [--trials N] [--seed N] [--args A,B,...]
+//!               [--device gpu]
 //! confbench-cli [--gateway ADDR] compare FUNCTION [--lang L] [--trials N]
 //! confbench-cli [--gateway ADDR] campaign submit --functions F[:ARG...],...
 //!               [--langs L,...] [--tees P,...] [--modes secure,normal]
 //!               [--trials N] [--seed N] [--priority low|normal|high]
-//!               [--deadline-ms N] [--wait]
+//!               [--deadline-ms N] [--device gpu] [--wait]
 //! confbench-cli [--gateway ADDR] campaign status|cancel|wait ID
 //! confbench-cli [--gateway ADDR] attest verify [--tee P] [--nonce N]
 //! confbench-cli [--gateway ADDR] attest status|revoke ID
@@ -79,7 +80,7 @@ fn run() -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
         println!(
             "usage: confbench-cli [--gateway ADDR] <list|upload NAME FILE|run FN|compare FN|campaign ...>\n\
-             run/compare flags: --lang LANG --tee PLATFORM --normal --trials N --seed N --args A,B\n\
+             run/compare flags: --lang LANG --tee PLATFORM --normal --trials N --seed N --args A,B --device gpu\n\
              campaign submit --functions F[:ARG...],... [--langs L,..] [--tees P,..]\n\
              \x20        [--modes secure,normal] [--trials N] [--seed N]\n\
              \x20        [--priority low|normal|high] [--deadline-ms N] [--wait]\n\
@@ -210,6 +211,8 @@ fn build_request(cli: &Cli, function: &str) -> Result<RunRequest, String> {
         .flag_value("--args")
         .map(|v| v.split(',').map(str::to_owned).collect())
         .unwrap_or_default();
+    let device =
+        cli.flag_value("--device").map(|v| v.parse().map_err(|e| format!("{e}"))).transpose()?;
     let mut spec = FunctionSpec::new(function, language);
     spec.args = args;
     Ok(RunRequest {
@@ -219,6 +222,7 @@ fn build_request(cli: &Cli, function: &str) -> Result<RunRequest, String> {
         seed,
         deadline_ms: None,
         attest_session: cli.flag_value("--attest-session"),
+        device,
     })
 }
 
@@ -422,6 +426,10 @@ fn campaign_submit(cli: &Cli) -> Result<(), String> {
         deadline_ms: cli
             .flag_value("--deadline-ms")
             .map(|v| v.parse().map_err(|e| format!("bad deadline: {e}")))
+            .transpose()?,
+        device: cli
+            .flag_value("--device")
+            .map(|v| v.parse().map_err(|e| format!("{e}")))
             .transpose()?,
     };
 

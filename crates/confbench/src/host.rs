@@ -14,6 +14,13 @@ use confbench_obs::{MetricsRegistry, SpanRecorder};
 use confbench_perfmon::PerfStat;
 use confbench_types::{Error, Result, RunRequest, RunResult, TeePlatform, VmKind, VmTarget};
 use confbench_vmm::TeeFaultPlan;
+use confbench_workloads::GpuInferenceWorkload;
+
+/// Name of the host-level GPU-offload scenario: not a FaaS function (it has
+/// no CBScript twin) but a native workload the host runs directly, with the
+/// forward pass offloaded to the TEE-IO accelerator when the request asks
+/// for a device.
+pub const GPU_INFERENCE: &str = "gpu-inference";
 
 use crate::attest_api::AttestService;
 use crate::gateway::RetryPolicy;
@@ -83,6 +90,7 @@ pub struct HostAgent {
     normal: VmSupervisor,
     store: Arc<FunctionStore>,
     recorder: SpanRecorder,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl HostAgent {
@@ -135,6 +143,7 @@ impl HostAgent {
             normal: supervisor(VmTarget::normal(platform)),
             store,
             recorder,
+            metrics: config.metrics,
         }
     }
 
@@ -171,6 +180,9 @@ impl HostAgent {
                 "host serves {}, request targets {}",
                 self.platform, request.target.platform
             )));
+        }
+        if request.function.name == GPU_INFERENCE {
+            return self.execute_gpu(request);
         }
         let function = self
             .store
@@ -226,6 +238,87 @@ impl HostAgent {
             trial_cycles,
             perf: sample.report,
             output: output.output,
+            trace: Some(span.finish()),
+        })
+    }
+
+    /// The [`GPU_INFERENCE`] scenario: a native workload executed without
+    /// the FaaS store. The classification runs on the host CPU by default;
+    /// with [`RunRequest::device`] set, the forward pass is offloaded to the
+    /// accelerator and each trial VM goes through the full TDISP bring-up
+    /// (secure targets attest the device before its DMA goes direct). DMA
+    /// traffic is tallied into `devio_dma_bytes_total{path=...}` — counted
+    /// once, from the attempt that succeeded, so fault retries don't
+    /// inflate it.
+    fn execute_gpu(&self, request: &RunRequest) -> Result<RunResult> {
+        let workload = GpuInferenceWorkload::new(request.seed);
+        let index = match request.function.args.first() {
+            None => 0,
+            Some(arg) => arg.parse::<usize>().map_err(|_| {
+                Error::InvalidRequest(format!("gpu-inference image index {arg:?} is not a number"))
+            })?,
+        };
+        if index >= workload.dataset_size() {
+            return Err(Error::InvalidRequest(format!(
+                "gpu-inference image index {index} out of range (dataset has {})",
+                workload.dataset_size()
+            )));
+        }
+        let offloaded = request.device.is_some();
+        let run =
+            if offloaded { workload.classify_device(index) } else { workload.classify_host(index) };
+
+        let supervisor = self.supervisor(request.target.kind);
+        let trials = request.trials.max(1);
+        let deadline = request.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+
+        let mut span = self.recorder.root("host.execute");
+        span.set_attr("trials", u64::from(trials));
+        span.set_attr("offloaded", u64::from(offloaded));
+
+        let recorder = &self.recorder;
+        let (trial_ms, trial_cycles, mut sample, dma_direct, dma_bounce) =
+            supervisor.run_on(request.device, &mut span, deadline, request.seed, |vm, _| {
+                let mut trial_ms = Vec::with_capacity(trials as usize);
+                let mut trial_cycles = Vec::with_capacity(trials as usize);
+                let mut dma_direct = 0u64;
+                let mut dma_bounce = 0u64;
+                for _ in 0..trials - 1 {
+                    let report = vm.try_execute(&run.trace)?;
+                    dma_direct += report.events.dma_direct_bytes;
+                    dma_bounce += report.events.dma_bounce_bytes;
+                    trial_ms.push(report.wall_ms);
+                    trial_cycles.push(report.cycles);
+                }
+                let (report, sample) =
+                    PerfStat::for_vm(vm).try_measure_spanned(vm, &run.trace, recorder)?;
+                dma_direct += report.events.dma_direct_bytes;
+                dma_bounce += report.events.dma_bounce_bytes;
+                trial_ms.push(report.wall_ms);
+                trial_cycles.push(report.cycles);
+                Ok((trial_ms, trial_cycles, sample, dma_direct, dma_bounce))
+            })?;
+        if let Some(measured) = sample.trace.take() {
+            span.adopt(measured);
+        }
+        if let Some(metrics) = &self.metrics {
+            if dma_direct > 0 {
+                metrics.counter("devio_dma_bytes_total{path=\"direct\"}").add(dma_direct);
+            }
+            if dma_bounce > 0 {
+                metrics.counter("devio_dma_bytes_total{path=\"bounce\"}").add(dma_bounce);
+            }
+        }
+
+        Ok(RunResult {
+            function: request.function.name.clone(),
+            language: request.function.language,
+            target: request.target,
+            stats: RunResult::compute_stats(&trial_ms),
+            trial_ms,
+            trial_cycles,
+            perf: sample.report,
+            output: run.class.to_string(),
             trace: Some(span.finish()),
         })
     }
@@ -289,7 +382,15 @@ mod tests {
             seed: 0,
             deadline_ms: None,
             attest_session: None,
+            device: None,
         }
+    }
+
+    fn gpu_request(platform: TeePlatform, kind: VmKind, device: bool) -> RunRequest {
+        let mut req = request(platform, kind);
+        req.function = FunctionSpec::new(GPU_INFERENCE, Language::Go);
+        req.device = device.then_some(confbench_types::DeviceKind::Gpu);
+        req
     }
 
     #[test]
@@ -328,6 +429,53 @@ mod tests {
         let normal = h.execute(&normal_req).unwrap();
         let ratio = secure.stats.mean_ms / normal.stats.mean_ms;
         assert!(ratio > 1.2, "TDX iostress ratio {ratio}");
+    }
+
+    #[test]
+    fn gpu_inference_offload_matches_host_prediction() {
+        let h = host(TeePlatform::Tdx);
+        let on_host = h.execute(&gpu_request(TeePlatform::Tdx, VmKind::Secure, false)).unwrap();
+        let on_device = h.execute(&gpu_request(TeePlatform::Tdx, VmKind::Secure, true)).unwrap();
+        assert_eq!(on_host.output, on_device.output, "same arithmetic, same class");
+        let trace = on_device.trace.expect("trace attached");
+        assert_eq!(trace.attr("offloaded"), Some(1));
+        assert!(trace.find("devio.attest").is_some(), "secure bring-up attested the device");
+        assert!(trace.find("devio.dma-direct").is_some(), "attested DMA went direct");
+    }
+
+    #[test]
+    fn gpu_inference_dma_lands_in_metrics_once() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let config =
+            HostConfig { seed: 1, metrics: Some(Arc::clone(&registry)), ..HostConfig::default() };
+        let h = HostAgent::with_config(
+            TeePlatform::SevSnp,
+            Arc::new(FunctionStore::new()),
+            SpanRecorder::default(),
+            config,
+        );
+        let result = h.execute(&gpu_request(TeePlatform::SevSnp, VmKind::Secure, true)).unwrap();
+        assert_eq!(result.trial_ms.len(), 3);
+        let direct = registry
+            .counter_value("devio_dma_bytes_total{path=\"direct\"}")
+            .expect("direct DMA counted");
+        assert!(direct > 0);
+        assert_eq!(
+            registry.counter_value("devio_dma_bytes_total{path=\"bounce\"}"),
+            None,
+            "attested device never bounces"
+        );
+    }
+
+    #[test]
+    fn gpu_inference_rejects_bad_indexes() {
+        let h = host(TeePlatform::Tdx);
+        let mut req = gpu_request(TeePlatform::Tdx, VmKind::Normal, false);
+        req.function = req.function.arg("not-a-number");
+        assert!(matches!(h.execute(&req).unwrap_err(), Error::InvalidRequest(_)));
+        let mut req = gpu_request(TeePlatform::Tdx, VmKind::Normal, false);
+        req.function = req.function.arg("999999");
+        assert!(matches!(h.execute(&req).unwrap_err(), Error::InvalidRequest(_)));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use attest_api::{
     AttestConfig, AttestService, AttestSessionInfo, AttestSessionRequest, ExtendRequest,
 };
 pub use gateway::{Gateway, GatewayBuilder, RetryPolicy, UploadRequest};
-pub use host::{HostAgent, HostConfig};
+pub use host::{HostAgent, HostConfig, GPU_INFERENCE};
 pub use pool::{
     BalancePolicy, CircuitState, Clock, HealthPolicy, ManualClock, PoolGuard, SystemClock, TeePool,
 };
@@ -153,6 +153,35 @@ impl ConfBench {
             seed: self.seed,
             deadline_ms: None,
             attest_session: None,
+            device: None,
+        };
+        let (secure, normal) = self.gateway.run_pair(request, platform)?;
+        let ratio = secure.stats.mean_ms / normal.stats.mean_ms;
+        Ok(RatioMeasurement { secure, normal, ratio })
+    }
+
+    /// Runs the `gpu-inference` workload on both VM kinds of `platform`
+    /// with the TEE-IO GPU attached (full TDISP bring-up on the secure
+    /// side), returning the mean-time ratio. The headline TEE-IO result:
+    /// with attested direct DMA the ratio stays near 1.0 even though the
+    /// traffic is accelerator DMA, not emulated I/O.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gateway::run`].
+    pub fn measure_gpu_ratio(
+        &self,
+        platform: TeePlatform,
+        trials: u32,
+    ) -> Result<RatioMeasurement> {
+        let request = RunRequest {
+            function: FunctionSpec::new("gpu-inference", Language::Go),
+            target: VmTarget::secure(platform),
+            trials,
+            seed: self.seed,
+            deadline_ms: None,
+            attest_session: None,
+            device: Some(confbench_types::DeviceKind::Gpu),
         };
         let (secure, normal) = self.gateway.run_pair(request, platform)?;
         let ratio = secure.stats.mean_ms / normal.stats.mean_ms;

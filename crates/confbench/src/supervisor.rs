@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use confbench_attest::{SnpEcosystem, TdxEcosystem};
 use confbench_obs::{ActiveSpan, Counter, Gauge, MetricsRegistry};
-use confbench_types::{Error, Result, TeeMechanism, TeePlatform, VmKind, VmTarget};
+use confbench_types::{DeviceKind, Error, Result, TeeMechanism, TeePlatform, VmKind, VmTarget};
 use confbench_vmm::{TeeFault, TeeFaultPlan, TeeVmBuilder, Vm};
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, RngCore, SeedableRng};
@@ -157,6 +157,32 @@ impl VmSupervisor {
         span: &mut ActiveSpan,
         deadline: Option<Instant>,
         request_seed: u64,
+        attempt: impl FnMut(&mut Vm, &mut ActiveSpan) -> std::result::Result<T, TeeFault>,
+    ) -> Result<T> {
+        self.run_on(None, span, deadline, request_seed, attempt)
+    }
+
+    /// As [`VmSupervisor::run`], with a confidential accelerator plugged
+    /// into each attempt's VM. On a secure target every fresh VM goes
+    /// through the full TDISP bring-up before the attempt runs: the
+    /// interface is locked at boot, the device's measurement report is
+    /// verified (through the shared attestation-session cache when one is
+    /// attached, so fleet-wide device re-attestation is amortized and
+    /// single-flighted), and the interface started — after which the
+    /// attempt's `DevDma*` ops land directly in private memory. Device
+    /// faults injected at the `tdisp-lock` / `device-attest` / `device-dma`
+    /// points recover through the same retry/rebuild machinery as every
+    /// other TEE fault.
+    ///
+    /// # Errors
+    ///
+    /// As [`VmSupervisor::run`].
+    pub fn run_on<T>(
+        &self,
+        device: Option<DeviceKind>,
+        span: &mut ActiveSpan,
+        deadline: Option<Instant>,
+        request_seed: u64,
         mut attempt: impl FnMut(&mut Vm, &mut ActiveSpan) -> std::result::Result<T, TeeFault>,
     ) -> Result<T> {
         if let Some(fault) = self.quarantined_fault() {
@@ -189,8 +215,10 @@ impl VmSupervisor {
                     continue;
                 }
             }
-            let outcome = match self.builder(vm_seed).try_build() {
-                Ok(mut vm) => attempt(&mut vm, span),
+            let outcome = match self.builder_with_device(vm_seed, device).try_build() {
+                Ok(mut vm) => {
+                    self.bring_up_device(&mut vm, span).and_then(|()| attempt(&mut vm, span))
+                }
                 Err(boot_fault) => Err(boot_fault),
             };
             let fault = match outcome {
@@ -216,6 +244,49 @@ impl VmSupervisor {
             builder = builder.fault_plan(Arc::clone(plan));
         }
         builder
+    }
+
+    fn builder_with_device(&self, vm_seed: u64, device: Option<DeviceKind>) -> TeeVmBuilder {
+        let mut builder = self.builder(vm_seed);
+        if let Some(kind) = device {
+            builder = builder.device(kind);
+        }
+        builder
+    }
+
+    /// TDISP bring-up on a freshly built VM (no-op without a device or on a
+    /// normal target): fetch the signed measurement report, verify it —
+    /// through the shared session cache when attached, standalone otherwise
+    /// — then accept and start the interface. Neither the report nor the
+    /// bring-up advances the VM's virtual clock or jitter stream, so
+    /// device-attested runs stay bit-identical to each other.
+    fn bring_up_device(
+        &self,
+        vm: &mut Vm,
+        span: &mut ActiveSpan,
+    ) -> std::result::Result<(), TeeFault> {
+        if vm.device().is_none() || self.target.kind != VmKind::Secure {
+            return Ok(());
+        }
+        let platform = self.target.platform;
+        let attest_span = span.child("devio.attest");
+        let nonce = device_nonce(self.seed);
+        let outcome = vm.device_report(nonce).and_then(|report| {
+            let wedged = TeeFault::fatal(platform, TeeMechanism::DeviceAttest);
+            if let Some(service) = &self.attest {
+                service.open_device_session(platform, report, nonce).map_err(|_| wedged)?;
+            } else {
+                let verifier = confbench_attest::DeviceVerifier::new(platform);
+                let evidence = confbench_attest::Evidence::device(platform, report);
+                let mut data = [0u8; 64];
+                data[..32].copy_from_slice(&nonce);
+                confbench_attest::Verifier::verify(&verifier, &evidence, data)
+                    .map_err(|_| wedged)?;
+            }
+            vm.enable_device()
+        });
+        span.finish_child(attest_span);
+        outcome
     }
 
     /// Spends one rebuild token, or quarantines the slot when the budget is
@@ -333,6 +404,19 @@ impl VmSupervisor {
     }
 }
 
+/// Derives the 32-byte TDISP challenge nonce from the supervisor seed, so
+/// device attestation is deterministic per slot.
+fn device_nonce(seed: u64) -> [u8; 32] {
+    let mut nonce = [0u8; 32];
+    for (i, chunk) in nonce.chunks_mut(8).enumerate() {
+        let word = (seed ^ 0xd15b_0ac4_u64.rotate_left(i as u32 * 8))
+            .wrapping_add(i as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        chunk.copy_from_slice(&word.to_le_bytes());
+    }
+    nonce
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +517,69 @@ mod tests {
         let fault = TeeFault::fatal(TeePlatform::Tdx, TeeMechanism::Seamcall);
         let err = sup.run::<()>(&mut span, Some(deadline), 0, |_, _| Err(fault)).unwrap_err();
         assert!(matches!(err, Error::DeadlineExceeded(_)), "got {err}");
+    }
+
+    #[test]
+    fn run_on_brings_the_device_to_run_state() {
+        use confbench_vmm::TdispState;
+        let sup = supervisor(None, DEFAULT_REBUILD_BUDGET);
+        let recorder = SpanRecorder::default();
+        let mut span = recorder.root("test");
+        let state = sup
+            .run_on(Some(DeviceKind::Gpu), &mut span, None, 0, |vm, _| Ok(vm.device_state()))
+            .unwrap();
+        assert_eq!(state, Some(TdispState::Run), "attempt sees a fully attested interface");
+        let trace = span.finish();
+        assert!(trace.find("devio.attest").is_some(), "bring-up is spanned");
+    }
+
+    #[test]
+    fn device_faults_recover_through_the_rebuild_machinery() {
+        // Deterministic injection at every device crossing: the supervisor
+        // must eventually find a clean attempt (or quarantine) exactly like
+        // any other TEE fault, and survivors stay bit-identical.
+        let plan = Arc::new(
+            TeeFaultPlan::new(77, 0.0)
+                .with_rate(TeeMechanism::TdispLock, 0.4)
+                .with_rate(TeeMechanism::DeviceAttest, 0.4),
+        );
+        fn dma_trace() -> confbench_types::OpTrace {
+            let mut trace = confbench_types::OpTrace::new();
+            trace.dev_dma_in(4096);
+            trace
+        }
+        let clean = supervisor(None, DEFAULT_REBUILD_BUDGET);
+        let recorder = SpanRecorder::default();
+        let mut span = recorder.root("test");
+        let baseline = clean
+            .run_on(Some(DeviceKind::Gpu), &mut span, None, 3, |vm, _| {
+                vm.try_execute(&dma_trace()).map(|r| r.cycles)
+            })
+            .unwrap();
+        let mut recovered = None;
+        for seed in 0..64u64 {
+            let sup = VmSupervisor::new(
+                VmTarget::secure(TeePlatform::Tdx),
+                11,
+                Some(Arc::clone(&plan)),
+                retry_fast(),
+                DEFAULT_REBUILD_BUDGET,
+                None,
+            );
+            let mut span = recorder.root("chaos");
+            let out = sup.run_on(Some(DeviceKind::Gpu), &mut span, None, 3, |vm, _| {
+                vm.try_execute(&dma_trace()).map(|r| r.cycles)
+            });
+            if let Ok(cycles) = out {
+                if sup.rebuilds() > 0 {
+                    recovered = Some(cycles);
+                    break;
+                }
+            }
+            let _ = seed;
+        }
+        let cycles = recovered.expect("some run recovers from an injected device fault");
+        assert_eq!(cycles, baseline, "post-recovery runs are bit-identical to fault-free ones");
     }
 
     #[test]

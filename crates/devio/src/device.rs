@@ -1,0 +1,235 @@
+//! The modeled TEE-IO GPU: identity, TDISP interface and kernel costs.
+//!
+//! The device is one fixed model (think "cb100"): its firmware digest,
+//! interface-config digest and vendor signing key are deterministic
+//! constants, so every instance presents the same TCB identity and device
+//! re-attestation amortizes across VM rebuilds exactly like CVM
+//! attestation does.
+
+use confbench_crypto::{Sha256, SigningKey, VerifyingKey};
+
+use crate::report::{
+    MeasurementBlock, MeasurementReport, KIND_CONFIG, KIND_FIRMWARE, KIND_INTERFACE,
+};
+use crate::tdisp::{TdispError, TdispInterface, TdispOp, TdispState};
+
+/// Seed of the device vendor's signing key (provisioned at manufacture in
+/// the model; a constant so verifiers can trust one key).
+const VENDOR_KEY_SEED: u64 = 0xCB_61_70_75_31_30_30; // "cb gpu100"
+
+/// Security version number of the modeled GPU firmware.
+pub const GPU_FW_SVN: u32 = 7;
+
+/// The vendor signing key embedded in the device.
+pub fn vendor_signing_key() -> SigningKey {
+    SigningKey::from_seed(VENDOR_KEY_SEED)
+}
+
+/// The vendor public key verifiers pin.
+pub fn vendor_verifying_key() -> VerifyingKey {
+    vendor_signing_key().verifying_key()
+}
+
+/// Digest of the GPU firmware image (measurement block 0).
+pub fn gpu_firmware_digest() -> [u8; 32] {
+    *Sha256::digest(b"confbench.gpu.firmware.v1").as_bytes()
+}
+
+/// Digest of the locked TDISP interface configuration (block 1).
+pub fn gpu_interface_digest() -> [u8; 32] {
+    *Sha256::digest(b"confbench.gpu.interface.v1").as_bytes()
+}
+
+/// Digest of the mutable device configuration / VBIOS (block 2).
+pub fn gpu_vbios_digest() -> [u8; 32] {
+    *Sha256::digest(b"confbench.gpu.vbios.v1").as_bytes()
+}
+
+/// Per-kernel cost model of the modeled GPU, in host nanoseconds (a
+/// device runs at wall speed: CPU simulation multipliers like the CCA
+/// FVP do not apply to it, mirroring [`Op::DeviceWait`] semantics).
+///
+/// [`Op::DeviceWait`]: confbench_types::Op::DeviceWait
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuCostModel {
+    /// Fixed cost of launching one kernel (submission, scheduling,
+    /// completion interrupt).
+    pub kernel_launch_ns: f64,
+    /// Marginal cost per multiply-accumulate.
+    pub mac_ns: f64,
+}
+
+impl Default for GpuCostModel {
+    fn default() -> Self {
+        // A small inference accelerator: ~4 µs per launch, 2 TMAC/s
+        // effective throughput.
+        GpuCostModel { kernel_launch_ns: 4_000.0, mac_ns: 0.0005 }
+    }
+}
+
+impl GpuCostModel {
+    /// Nanoseconds one kernel of `macs` multiply-accumulates takes.
+    pub fn kernel_ns(&self, macs: u64) -> u64 {
+        (self.kernel_launch_ns + macs as f64 * self.mac_ns).round() as u64
+    }
+}
+
+/// The modeled confidential GPU: a TDISP interface plus kernel costs.
+///
+/// # Example
+///
+/// ```
+/// use confbench_devio::{GpuDevice, TdispState};
+///
+/// let mut gpu = GpuDevice::new();
+/// gpu.lock().unwrap();
+/// let report = gpu.measurement_report([7; 32]).unwrap();
+/// report.verify(&confbench_devio::vendor_verifying_key()).unwrap();
+/// gpu.accept_attestation().unwrap();
+/// gpu.start().unwrap();
+/// assert_eq!(gpu.state(), TdispState::Run);
+/// assert!(gpu.direct_dma_enabled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GpuDevice {
+    tdisp: TdispInterface,
+    cost: GpuCostModel,
+}
+
+impl GpuDevice {
+    /// A fresh device with an unlocked interface.
+    pub fn new() -> Self {
+        GpuDevice::default()
+    }
+
+    /// Current TDISP state.
+    pub fn state(&self) -> TdispState {
+        self.tdisp.state()
+    }
+
+    /// The per-kernel cost model.
+    pub fn cost(&self) -> &GpuCostModel {
+        &self.cost
+    }
+
+    /// `LOCK_INTERFACE_REQUEST`: freeze the interface config.
+    ///
+    /// # Errors
+    ///
+    /// [`TdispError`] when the interface is not `Unlocked`.
+    pub fn lock(&mut self) -> Result<(), TdispError> {
+        self.tdisp.apply(TdispOp::Lock).map(|_| ())
+    }
+
+    /// Returns the signed measurement report, echoing `nonce`.
+    ///
+    /// # Errors
+    ///
+    /// [`TdispError`] when the interface config is not locked yet (an
+    /// unlocked config could still be changed after measurement).
+    pub fn measurement_report(&self, nonce: [u8; 32]) -> Result<MeasurementReport, TdispError> {
+        self.tdisp.check(TdispOp::GetReport)?;
+        let blocks = vec![
+            MeasurementBlock { index: 0, kind: KIND_FIRMWARE, digest: gpu_firmware_digest() },
+            MeasurementBlock { index: 1, kind: KIND_INTERFACE, digest: gpu_interface_digest() },
+            MeasurementBlock { index: 2, kind: KIND_CONFIG, digest: gpu_vbios_digest() },
+        ];
+        Ok(MeasurementReport::sign(GPU_FW_SVN, blocks, nonce, &vendor_signing_key()))
+    }
+
+    /// Marks the report verified (host-side policy decision).
+    ///
+    /// # Errors
+    ///
+    /// [`TdispError`] when the interface is not `Locked`.
+    pub fn accept_attestation(&mut self) -> Result<(), TdispError> {
+        self.tdisp.apply(TdispOp::AcceptAttestation).map(|_| ())
+    }
+
+    /// `START_INTERFACE_REQUEST`: enable direct DMA.
+    ///
+    /// # Errors
+    ///
+    /// [`TdispError`] when the interface is not `Attested`.
+    pub fn start(&mut self) -> Result<(), TdispError> {
+        self.tdisp.apply(TdispOp::Start).map(|_| ())
+    }
+
+    /// `STOP_INTERFACE_REQUEST`: tear down to `Unlocked`.
+    ///
+    /// # Errors
+    ///
+    /// [`TdispError`] when the interface is already `Unlocked` or wedged.
+    pub fn stop(&mut self) -> Result<(), TdispError> {
+        self.tdisp.apply(TdispOp::Stop).map(|_| ())
+    }
+
+    /// Wedges the interface (fault injection / protocol violation).
+    pub fn fault(&mut self) {
+        let _ = self.tdisp.apply(TdispOp::Fault);
+    }
+
+    /// Function-level reset out of the `Error` state.
+    ///
+    /// # Errors
+    ///
+    /// [`TdispError`] when the interface is not wedged.
+    pub fn reset(&mut self) -> Result<(), TdispError> {
+        self.tdisp.apply(TdispOp::Reset).map(|_| ())
+    }
+
+    /// Whether DMA may target private memory directly (TDISP `Run`).
+    pub fn direct_dma_enabled(&self) -> bool {
+        self.tdisp.check(TdispOp::DmaPrivate).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_requires_a_locked_interface() {
+        let gpu = GpuDevice::new();
+        assert!(gpu.measurement_report([0; 32]).is_err());
+        let mut gpu = GpuDevice::new();
+        gpu.lock().unwrap();
+        let report = gpu.measurement_report([3; 32]).unwrap();
+        assert_eq!(report.fw_svn, GPU_FW_SVN);
+        assert_eq!(report.fw_digest(), Some(gpu_firmware_digest()));
+        assert_eq!(report.interface_digest(), Some(gpu_interface_digest()));
+        report.verify(&vendor_verifying_key()).unwrap();
+    }
+
+    #[test]
+    fn direct_dma_only_after_full_bringup() {
+        let mut gpu = GpuDevice::new();
+        assert!(!gpu.direct_dma_enabled());
+        gpu.lock().unwrap();
+        assert!(!gpu.direct_dma_enabled());
+        gpu.accept_attestation().unwrap();
+        assert!(!gpu.direct_dma_enabled());
+        gpu.start().unwrap();
+        assert!(gpu.direct_dma_enabled());
+        gpu.stop().unwrap();
+        assert!(!gpu.direct_dma_enabled());
+    }
+
+    #[test]
+    fn fault_wedges_until_reset() {
+        let mut gpu = GpuDevice::new();
+        gpu.lock().unwrap();
+        gpu.fault();
+        assert_eq!(gpu.state(), TdispState::Error);
+        assert!(gpu.lock().is_err());
+        gpu.reset().unwrap();
+        gpu.lock().unwrap();
+    }
+
+    #[test]
+    fn kernel_cost_scales_with_macs() {
+        let cost = GpuCostModel::default();
+        assert!(cost.kernel_ns(1_000_000) > cost.kernel_ns(0));
+        assert_eq!(cost.kernel_ns(0), cost.kernel_launch_ns as u64);
+    }
+}

@@ -1,0 +1,127 @@
+//! The GPU-offload execution engine.
+//!
+//! [`offload_forward`] runs a `tinynn` model "on the device": the actual
+//! arithmetic is the very same [`Layer::forward`] code the host path
+//! uses — so host-path and device-path tensors are bit-identical by
+//! construction — while the *cost* of the run is recorded into the
+//! operation trace as device ops: one batched weights+activations DMA
+//! upload, one kernel per layer (timed by the device's per-kernel cost
+//! model from the layer's multiply-accumulate count), and one result DMA
+//! download. Whether those DMAs land directly in private memory or are
+//! staged through the swiotlb bounce pool is decided later, by the VM
+//! that replays the trace, from the attached device's TDISP state.
+//!
+//! [`Layer::forward`]: confbench_tinynn::Layer::forward
+
+use confbench_tinynn::{Sequential, Tensor};
+use confbench_types::OpTrace;
+
+use crate::device::GpuCostModel;
+
+/// Bytes of learned parameters the model's weights occupy on the wire
+/// (f32 each) — the size of the weight DMA upload.
+pub fn model_weight_bytes(model: &Sequential) -> u64 {
+    4 * model.param_count() as u64
+}
+
+/// Runs one forward pass on the modeled device, recording device ops into
+/// `trace` and returning the output tensor (bit-identical to
+/// `model.forward(input)`).
+///
+/// # Panics
+///
+/// Panics when `input` does not match the model's declared input shape
+/// (the same contract as [`Sequential::forward`]).
+///
+/// # Example
+///
+/// ```
+/// use confbench_devio::{offload_forward, GpuCostModel};
+/// use confbench_tinynn::{mobilenet, Tensor};
+/// use confbench_types::OpTrace;
+///
+/// let model = mobilenet(32, 2, 10, 7);
+/// let input = Tensor::from_fn(&[3, 32, 32], |idx| idx[1] as f32 * 0.01);
+/// let mut trace = OpTrace::new();
+/// let device = offload_forward(&model, &GpuCostModel::default(), &input, &mut trace);
+/// assert_eq!(device.data(), model.forward(&input).data());
+/// assert!(trace.total_dev_dma_bytes() > 0);
+/// ```
+pub fn offload_forward(
+    model: &Sequential,
+    cost: &GpuCostModel,
+    input: &Tensor,
+    trace: &mut OpTrace,
+) -> Tensor {
+    assert_eq!(input.shape(), model.input_shape(), "model input shape");
+    // Batched upload: all weights plus the input activations in one DMA.
+    let upload = model_weight_bytes(model) + 4 * input.len() as u64;
+    trace.dev_dma_in(upload);
+    // One kernel per layer, timed from its MAC count.
+    let mut shape = model.input_shape().to_vec();
+    let mut x = input.clone();
+    for layer in model.layers() {
+        let macs = layer.flops(&shape);
+        shape = layer.output_shape(&shape);
+        x = layer.forward(&x);
+        trace.dev_kernel(cost.kernel_ns(macs));
+    }
+    // Download the result.
+    trace.dev_dma_out(4 * x.len() as u64);
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confbench_tinynn::mobilenet;
+    use confbench_types::Op;
+
+    fn input() -> Tensor {
+        Tensor::from_fn(&[3, 32, 32], |idx| ((idx[0] + 7 * idx[1] + 3 * idx[2]) % 13) as f32 * 0.1)
+    }
+
+    #[test]
+    fn device_path_is_bit_identical_to_host_path() {
+        let model = mobilenet(32, 4, 10, 11);
+        let mut trace = OpTrace::new();
+        let device = offload_forward(&model, &GpuCostModel::default(), &input(), &mut trace);
+        let host = model.forward(&input());
+        assert_eq!(device.shape(), host.shape());
+        assert_eq!(device.data(), host.data(), "tensors must match bit for bit");
+    }
+
+    #[test]
+    fn trace_has_one_kernel_per_layer_and_batched_dma() {
+        let model = mobilenet(32, 2, 10, 7);
+        let mut trace = OpTrace::new();
+        let out = offload_forward(&model, &GpuCostModel::default(), &input(), &mut trace);
+        let kernels = trace.iter().filter(|op| matches!(op, Op::DevKernel(_))).count();
+        assert_eq!(kernels, model.len());
+        let dma_in: Vec<u64> = trace
+            .iter()
+            .filter_map(|op| match op {
+                Op::DevDmaIn(n) => Some(*n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dma_in.len(), 1, "weights+activations upload is batched into one DMA");
+        assert_eq!(dma_in[0], model_weight_bytes(&model) + 4 * 3 * 32 * 32);
+        let dma_out: u64 = trace
+            .iter()
+            .map(|op| match op {
+                Op::DevDmaOut(n) => *n,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(dma_out, 4 * out.len() as u64);
+    }
+
+    #[test]
+    fn weight_bytes_track_model_parameters() {
+        let small = mobilenet(32, 1, 10, 7);
+        let large = mobilenet(32, 5, 10, 7);
+        assert!(model_weight_bytes(&large) > model_weight_bytes(&small));
+        assert_eq!(model_weight_bytes(&small), 4 * small.param_count() as u64);
+    }
+}

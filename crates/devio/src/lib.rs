@@ -1,0 +1,45 @@
+//! Confidential device I/O: a modeled TDISP/TEE-IO accelerator.
+//!
+//! The paper's TDX I/O overhead is a consequence of the swiotlb bounce
+//! path: every DMA into a confidential VM must be staged through shared
+//! memory. TEE-IO (TDX Connect / SEV-TIO) removes that tax by attesting
+//! the device itself and then letting it DMA directly into private
+//! memory. This crate models that future:
+//!
+//! * [`tdisp`] — the TDISP device-interface lifecycle as an explicit state
+//!   machine (`Unlocked → Locked → Attested → Run`, with `Error` and
+//!   teardown edges) returning typed errors for every illegal transition;
+//! * [`report`] — SPDM-style signed device measurement reports with a
+//!   strict binary codec (truncation, duplicated fields and bit flips all
+//!   decode to clean errors, never panics);
+//! * [`device`] — the modeled GPU: a TDISP interface plus a per-kernel
+//!   cost model;
+//! * [`engine`] — the GPU-offload execution engine that runs `tinynn`
+//!   models on the device, recording batched DMA and per-kernel timing
+//!   into an [`OpTrace`](confbench_types::OpTrace) while producing
+//!   tensors bit-identical to the host path.
+//!
+//! Path selection (direct-to-private DMA vs swiotlb bounce) is *not*
+//! decided here: the VM in `confbench-vmm` consults the attached device's
+//! TDISP state when it replays `DevDma*` ops, so one trace measures both
+//! worlds. Device attestation policy and the verification cache live in
+//! `confbench-attest`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod engine;
+pub mod report;
+pub mod tdisp;
+
+pub use device::{
+    gpu_firmware_digest, gpu_interface_digest, gpu_vbios_digest, vendor_signing_key,
+    vendor_verifying_key, GpuCostModel, GpuDevice, GPU_FW_SVN,
+};
+pub use engine::{model_weight_bytes, offload_forward};
+pub use report::{
+    MeasurementBlock, MeasurementReport, ReportError, KIND_CONFIG, KIND_FIRMWARE, KIND_INTERFACE,
+    MAX_MEASUREMENT_BLOCKS, REPORT_MAGIC, REPORT_VERSION,
+};
+pub use tdisp::{transition, TdispError, TdispInterface, TdispOp, TdispState};

@@ -1,0 +1,367 @@
+//! The TDISP device-interface lifecycle as an explicit state machine.
+//!
+//! PCIe TDISP (TEE Device Interface Security Protocol) drives a device
+//! interface through `UNLOCKED → LOCKED → RUN`; we add an explicit
+//! `Attested` stage between locking and running (the host must verify the
+//! device's measurement report before enabling direct DMA) and the spec's
+//! `ERROR` terminal that only a reset leaves. All transition rules live in
+//! the pure [`transition`] function so they can be enumerated exhaustively
+//! in tests; [`TdispInterface`] is the small stateful wrapper devices
+//! embed.
+
+use std::fmt;
+
+/// A TDISP interface state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TdispState {
+    /// Interface config is host-mutable; no trust established. DMA (if
+    /// any) must be staged through shared memory.
+    #[default]
+    Unlocked,
+    /// `LOCK_INTERFACE_REQUEST` accepted: config frozen, measurement
+    /// reports retrievable, but the host has not yet verified them.
+    Locked,
+    /// The host verified the device measurement report against policy.
+    Attested,
+    /// `START_INTERFACE_REQUEST` accepted: direct DMA to private memory
+    /// is enabled.
+    Run,
+    /// The interface is wedged (protocol violation or injected fault);
+    /// only a reset recovers.
+    Error,
+}
+
+impl TdispState {
+    /// Every state, for exhaustive sweeps.
+    pub const ALL: [TdispState; 5] = [
+        TdispState::Unlocked,
+        TdispState::Locked,
+        TdispState::Attested,
+        TdispState::Run,
+        TdispState::Error,
+    ];
+
+    /// Stable label used in span attributes and error messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TdispState::Unlocked => "unlocked",
+            TdispState::Locked => "locked",
+            TdispState::Attested => "attested",
+            TdispState::Run => "run",
+            TdispState::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for TdispState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An operation attempted against a TDISP interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TdispOp {
+    /// `LOCK_INTERFACE_REQUEST`: freeze the interface config.
+    Lock,
+    /// `GET_DEVICE_INTERFACE_REPORT`: fetch the signed measurement report.
+    GetReport,
+    /// Host-side acceptance of a verified measurement report.
+    AcceptAttestation,
+    /// `START_INTERFACE_REQUEST`: enable direct DMA.
+    Start,
+    /// `STOP_INTERFACE_REQUEST`: tear the interface down to `Unlocked`.
+    Stop,
+    /// A DMA transfer targeting private memory.
+    DmaPrivate,
+    /// A fault (injected or protocol) wedging the interface.
+    Fault,
+    /// Function-level reset, recovering a wedged interface.
+    Reset,
+}
+
+impl TdispOp {
+    /// Every operation, for exhaustive sweeps.
+    pub const ALL: [TdispOp; 8] = [
+        TdispOp::Lock,
+        TdispOp::GetReport,
+        TdispOp::AcceptAttestation,
+        TdispOp::Start,
+        TdispOp::Stop,
+        TdispOp::DmaPrivate,
+        TdispOp::Fault,
+        TdispOp::Reset,
+    ];
+
+    /// Stable label used in error messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TdispOp::Lock => "lock",
+            TdispOp::GetReport => "get-report",
+            TdispOp::AcceptAttestation => "accept-attestation",
+            TdispOp::Start => "start",
+            TdispOp::Stop => "stop",
+            TdispOp::DmaPrivate => "dma-private",
+            TdispOp::Fault => "fault",
+            TdispOp::Reset => "reset",
+        }
+    }
+}
+
+impl fmt::Display for TdispOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed rejection of an illegal TDISP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TdispError {
+    /// The operation is not legal in the current state (e.g. `Start`
+    /// before `AcceptAttestation`).
+    InvalidTransition {
+        /// State the interface was in.
+        state: TdispState,
+        /// The rejected operation.
+        op: TdispOp,
+    },
+    /// A DMA targeting private memory was attempted while the interface
+    /// is not in `Run` (e.g. still `Unlocked`). Such transfers must take
+    /// the bounce path instead.
+    DmaNotPermitted {
+        /// State the interface was in.
+        state: TdispState,
+    },
+    /// The interface is wedged in `Error`; only `Reset` is accepted.
+    Wedged {
+        /// The rejected operation.
+        op: TdispOp,
+    },
+}
+
+impl fmt::Display for TdispError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TdispError::InvalidTransition { state, op } => {
+                write!(f, "tdisp operation {op} is illegal in state {state}")
+            }
+            TdispError::DmaNotPermitted { state } => {
+                write!(f, "private-memory DMA not permitted in tdisp state {state}")
+            }
+            TdispError::Wedged { op } => {
+                write!(f, "tdisp interface wedged in error state; {op} rejected (reset required)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TdispError {}
+
+/// The TDISP transition function: what `op` does to an interface in
+/// `state`. Pure, so tests can enumerate every (state × operation) pair.
+///
+/// # Errors
+///
+/// [`TdispError`] for every illegal pair; the error variant distinguishes
+/// wedged interfaces and misrouted private DMA from ordinary ordering
+/// violations.
+pub fn transition(state: TdispState, op: TdispOp) -> Result<TdispState, TdispError> {
+    use TdispOp as O;
+    use TdispState as S;
+    match (state, op) {
+        // A fault wedges the interface from anywhere (Error stays Error).
+        (_, O::Fault) => Ok(S::Error),
+        // Error accepts only Reset.
+        (S::Error, O::Reset) => Ok(S::Unlocked),
+        (S::Error, O::DmaPrivate) => Err(TdispError::DmaNotPermitted { state }),
+        (S::Error, op) => Err(TdispError::Wedged { op }),
+        // The happy path.
+        (S::Unlocked, O::Lock) => Ok(S::Locked),
+        (S::Locked, O::AcceptAttestation) => Ok(S::Attested),
+        (S::Attested, O::Start) => Ok(S::Run),
+        // Reports are retrievable once the config is frozen.
+        (S::Locked | S::Attested | S::Run, O::GetReport) => Ok(state),
+        // Private DMA only once running.
+        (S::Run, O::DmaPrivate) => Ok(S::Run),
+        (S::Unlocked | S::Locked | S::Attested, O::DmaPrivate) => {
+            Err(TdispError::DmaNotPermitted { state })
+        }
+        // Teardown from any locked-or-later state.
+        (S::Locked | S::Attested | S::Run, O::Stop) => Ok(S::Unlocked),
+        (state, op) => Err(TdispError::InvalidTransition { state, op }),
+    }
+}
+
+/// A stateful TDISP interface: the transition function plus the current
+/// state. Errors leave the state unchanged (the device rejects the
+/// request); only an explicit [`TdispOp::Fault`] wedges the interface.
+///
+/// # Example
+///
+/// ```
+/// use confbench_devio::{TdispInterface, TdispOp, TdispState};
+///
+/// let mut iface = TdispInterface::new();
+/// iface.apply(TdispOp::Lock).unwrap();
+/// iface.apply(TdispOp::AcceptAttestation).unwrap();
+/// iface.apply(TdispOp::Start).unwrap();
+/// assert_eq!(iface.state(), TdispState::Run);
+/// assert!(iface.apply(TdispOp::Lock).is_err());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TdispInterface {
+    state: TdispState,
+}
+
+impl TdispInterface {
+    /// A fresh interface in `Unlocked`.
+    pub fn new() -> Self {
+        TdispInterface { state: TdispState::Unlocked }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> TdispState {
+        self.state
+    }
+
+    /// Applies `op`, updating the state on success.
+    ///
+    /// # Errors
+    ///
+    /// As [`transition`]; the state is unchanged on error.
+    pub fn apply(&mut self, op: TdispOp) -> Result<TdispState, TdispError> {
+        let next = transition(self.state, op)?;
+        self.state = next;
+        Ok(next)
+    }
+
+    /// Checks whether `op` would be legal without applying it.
+    ///
+    /// # Errors
+    ///
+    /// As [`transition`].
+    pub fn check(&self, op: TdispOp) -> Result<TdispState, TdispError> {
+        transition(self.state, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// What each (state, operation) pair must produce. `Ok` carries the
+    /// next state; `Err` carries the expected typed error. Written out
+    /// literally — independently of the `transition` match — so a rule
+    /// change must be made twice to pass.
+    fn expected(state: TdispState, op: TdispOp) -> Result<TdispState, TdispError> {
+        use TdispOp as O;
+        use TdispState as S;
+        let invalid = Err(TdispError::InvalidTransition { state, op });
+        let no_dma = Err(TdispError::DmaNotPermitted { state });
+        let wedged = Err(TdispError::Wedged { op });
+        match state {
+            S::Unlocked => match op {
+                O::Lock => Ok(S::Locked),
+                O::Fault => Ok(S::Error),
+                O::DmaPrivate => no_dma,
+                O::GetReport | O::AcceptAttestation | O::Start | O::Stop | O::Reset => invalid,
+            },
+            S::Locked => match op {
+                O::AcceptAttestation => Ok(S::Attested),
+                O::GetReport => Ok(S::Locked),
+                O::Stop => Ok(S::Unlocked),
+                O::Fault => Ok(S::Error),
+                O::DmaPrivate => no_dma,
+                O::Lock | O::Start | O::Reset => invalid,
+            },
+            S::Attested => match op {
+                O::Start => Ok(S::Run),
+                O::GetReport => Ok(S::Attested),
+                O::Stop => Ok(S::Unlocked),
+                O::Fault => Ok(S::Error),
+                O::DmaPrivate => no_dma,
+                O::Lock | O::AcceptAttestation | O::Reset => invalid,
+            },
+            S::Run => match op {
+                O::DmaPrivate => Ok(S::Run),
+                O::GetReport => Ok(S::Run),
+                O::Stop => Ok(S::Unlocked),
+                O::Fault => Ok(S::Error),
+                O::Lock | O::AcceptAttestation | O::Start | O::Reset => invalid,
+            },
+            S::Error => match op {
+                O::Reset => Ok(S::Unlocked),
+                O::Fault => Ok(S::Error),
+                O::DmaPrivate => no_dma,
+                O::Lock | O::GetReport | O::AcceptAttestation | O::Start | O::Stop => wedged,
+            },
+        }
+    }
+
+    #[test]
+    fn every_state_operation_pair_matches_the_table() {
+        for state in TdispState::ALL {
+            for op in TdispOp::ALL {
+                assert_eq!(
+                    transition(state, op),
+                    expected(state, op),
+                    "transition({state}, {op}) diverged from the table"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_before_attested_is_rejected() {
+        let mut iface = TdispInterface::new();
+        iface.apply(TdispOp::Lock).unwrap();
+        assert_eq!(
+            iface.apply(TdispOp::Start),
+            Err(TdispError::InvalidTransition { state: TdispState::Locked, op: TdispOp::Start })
+        );
+        assert_eq!(iface.state(), TdispState::Locked, "errors leave state unchanged");
+    }
+
+    #[test]
+    fn dma_to_private_while_unlocked_is_a_typed_error() {
+        let iface = TdispInterface::new();
+        assert_eq!(
+            iface.check(TdispOp::DmaPrivate),
+            Err(TdispError::DmaNotPermitted { state: TdispState::Unlocked })
+        );
+    }
+
+    #[test]
+    fn error_state_only_leaves_via_reset() {
+        let mut iface = TdispInterface::new();
+        iface.apply(TdispOp::Fault).unwrap();
+        assert_eq!(iface.state(), TdispState::Error);
+        assert_eq!(iface.apply(TdispOp::Lock), Err(TdispError::Wedged { op: TdispOp::Lock }));
+        iface.apply(TdispOp::Reset).unwrap();
+        assert_eq!(iface.state(), TdispState::Unlocked);
+    }
+
+    #[test]
+    fn stop_tears_down_from_any_operational_state() {
+        for prelude in [
+            vec![TdispOp::Lock],
+            vec![TdispOp::Lock, TdispOp::AcceptAttestation],
+            vec![TdispOp::Lock, TdispOp::AcceptAttestation, TdispOp::Start],
+        ] {
+            let mut iface = TdispInterface::new();
+            for op in prelude {
+                iface.apply(op).unwrap();
+            }
+            iface.apply(TdispOp::Stop).unwrap();
+            assert_eq!(iface.state(), TdispState::Unlocked);
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TdispState::Attested.as_str(), "attested");
+        assert_eq!(TdispOp::DmaPrivate.to_string(), "dma-private");
+        let err = TdispError::DmaNotPermitted { state: TdispState::Unlocked };
+        assert!(err.to_string().contains("unlocked"));
+    }
+}

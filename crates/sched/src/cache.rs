@@ -36,6 +36,11 @@ pub fn cache_key(cell: &CampaignCell, fingerprint: &str) -> String {
         )
         .as_bytes(),
     );
+    // Appended (not interleaved) so device-less cells keep their pre-device
+    // addresses and old cache entries stay valid.
+    if let Some(device) = cell.device {
+        hasher.update(format!("\ndevice={device}").as_bytes());
+    }
     hasher.finalize().to_string()
 }
 
@@ -195,6 +200,7 @@ mod tests {
             kind: VmKind::Secure,
             trials: 10,
             seed: 42,
+            device: None,
         }
     }
 
@@ -242,6 +248,9 @@ mod tests {
         assert_ne!(base, cache_key(&c, "src"));
         let mut c = cell();
         c.seed = 43;
+        assert_ne!(base, cache_key(&c, "src"));
+        let mut c = cell();
+        c.device = Some(confbench_types::DeviceKind::Gpu);
         assert_ne!(base, cache_key(&c, "src"));
     }
 

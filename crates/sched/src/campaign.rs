@@ -31,6 +31,7 @@ fn cell_identity(
     platform: confbench_types::TeePlatform,
     kind: confbench_types::VmKind,
     trials: u32,
+    device: Option<confbench_types::DeviceKind>,
 ) -> String {
     let mut s = String::new();
     s.push_str("fn=");
@@ -40,6 +41,11 @@ fn cell_identity(
         s.push_str(arg);
     }
     s.push_str(&format!("\nlang={language}\nplatform={platform}\nkind={kind}\ntrials={trials}"));
+    // Device-less cells keep their pre-device identity string, so every
+    // seed derived before the device axis existed stays stable.
+    if let Some(device) = device {
+        s.push_str(&format!("\ndevice={device}"));
+    }
     s
 }
 
@@ -53,7 +59,8 @@ pub fn expand(spec: &CampaignSpec) -> Vec<CampaignCell> {
         for &language in &spec.languages {
             for &platform in &spec.platforms {
                 for &kind in &spec.modes {
-                    let identity = cell_identity(function, language, platform, kind, spec.trials);
+                    let identity =
+                        cell_identity(function, language, platform, kind, spec.trials, spec.device);
                     cells.push(CampaignCell {
                         function: function.clone(),
                         language,
@@ -61,6 +68,7 @@ pub fn expand(spec: &CampaignSpec) -> Vec<CampaignCell> {
                         kind,
                         trials: spec.trials,
                         seed: derive_seed(spec.seed, &identity),
+                        device: spec.device,
                     });
                 }
             }
@@ -87,6 +95,7 @@ mod tests {
             seed: 42,
             priority: Priority::Normal,
             deadline_ms: None,
+            device: None,
         }
     }
 

@@ -66,6 +66,7 @@
 //!     seed: 1,
 //!     priority: Priority::Normal,
 //!     deadline_ms: None,
+//!     device: None,
 //! };
 //! let receipt = sched.submit(spec).unwrap();
 //! assert_eq!(receipt.jobs, 2);

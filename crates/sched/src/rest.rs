@@ -129,6 +129,7 @@ mod tests {
             seed: 0,
             priority: Priority::Normal,
             deadline_ms: None,
+            device: None,
         }
     }
 

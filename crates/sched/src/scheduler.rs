@@ -345,6 +345,7 @@ impl Scheduler {
             seed: cell.seed,
             deadline_ms: None,
             attest_session: None,
+            device: cell.device,
         };
         let outcome = self.executor.execute(&request);
 
@@ -635,6 +636,7 @@ mod tests {
             seed: 5,
             priority: Priority::Normal,
             deadline_ms: None,
+            device: None,
         }
     }
 

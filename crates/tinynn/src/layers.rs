@@ -24,6 +24,12 @@ pub trait Layer {
 
     /// Human-readable layer name.
     fn name(&self) -> String;
+
+    /// Learned parameters (weights + biases) the layer carries; 0 for
+    /// parameter-free layers. Device offload uses this to size weight DMA.
+    fn param_count(&self) -> usize {
+        0
+    }
 }
 
 fn kaiming_weights(rng: &mut StdRng, count: usize, fan_in: usize) -> Vec<f32> {
@@ -131,6 +137,10 @@ impl Layer for Conv2d {
             self.kernel, self.kernel, self.stride, self.in_channels, self.out_channels
         )
     }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
 }
 
 /// Depthwise 3×3 convolution (one filter per channel), the workhorse of
@@ -218,6 +228,10 @@ impl Layer for DepthwiseConv2d {
 
     fn name(&self) -> String {
         format!("dw{}x{}s{}(c{})", self.kernel, self.kernel, self.stride, self.channels)
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
     }
 }
 
@@ -333,6 +347,10 @@ impl Layer for Dense {
 
     fn name(&self) -> String {
         format!("dense({}→{})", self.in_features, self.out_features)
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
     }
 }
 

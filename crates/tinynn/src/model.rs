@@ -81,6 +81,17 @@ impl Sequential {
     pub fn layer_names(&self) -> Vec<String> {
         self.layers.iter().map(|l| l.name()).collect()
     }
+
+    /// The layers, in order (device offload walks them to emit one kernel
+    /// per layer).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Total learned parameters across all layers.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
 }
 
 /// Builds the MobileNet-shaped classifier used by the confidential-ML

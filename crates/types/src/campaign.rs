@@ -11,7 +11,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Language, TeePlatform, TraceSpan, VmKind};
+use crate::{DeviceKind, Language, TeePlatform, TraceSpan, VmKind};
 
 /// Scheduling priority of a campaign's jobs. Higher priorities drain first;
 /// within a priority the queue is FIFO.
@@ -159,6 +159,11 @@ pub struct CampaignSpec {
     /// this long after submission expire instead of running.
     #[serde(default)]
     pub deadline_ms: Option<u64>,
+    /// Optional confidential passthrough device every cell's VM is built
+    /// with (e.g. `gpu` for the TEE-IO accelerator). Absent means plain
+    /// VMs, and pre-device campaign specs deserialize unchanged.
+    #[serde(default)]
+    pub device: Option<DeviceKind>,
 }
 
 fn default_modes() -> Vec<VmKind> {
@@ -270,6 +275,10 @@ pub struct CampaignCell {
     pub trials: u32,
     /// Derived per-cell seed.
     pub seed: u64,
+    /// Confidential passthrough device the cell's VM is built with, when
+    /// the campaign requested one.
+    #[serde(default)]
+    pub device: Option<DeviceKind>,
 }
 
 /// Identifier of a submitted campaign (e.g. `"c3"`). Unique per submission;
@@ -410,6 +419,7 @@ mod tests {
             seed: 7,
             priority: Priority::Normal,
             deadline_ms: None,
+            device: None,
         }
     }
 
@@ -460,7 +470,18 @@ mod tests {
         assert_eq!(s.seed, 0);
         assert_eq!(s.priority, Priority::Normal);
         assert_eq!(s.deadline_ms, None);
+        assert_eq!(s.device, None);
         assert!(s.functions[0].args.is_empty());
+    }
+
+    #[test]
+    fn spec_device_roundtrips() {
+        let mut s = spec();
+        s.device = Some(DeviceKind::Gpu);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"device\":\"gpu\""));
+        let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.device, Some(DeviceKind::Gpu));
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Confidential-device vocabulary shared across the stack.
+//!
+//! A [`DeviceKind`] names a class of TEE-IO-capable passthrough device a
+//! request or campaign cell can ask for. The modeled devices themselves
+//! (TDISP lifecycle, measurement reports, cost models) live in
+//! `confbench-devio`; this type sits here because the gateway, scheduler
+//! and REST wire formats must agree on the names without depending on the
+//! device implementation.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A class of confidential passthrough device a VM can be built with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum DeviceKind {
+    /// The modeled TEE-IO GPU accelerator (TDISP interface, SPDM
+    /// measurement reports, direct-to-private DMA once attested).
+    Gpu,
+}
+
+impl DeviceKind {
+    /// Every device kind, for exhaustive sweeps.
+    pub const ALL: [DeviceKind; 1] = [DeviceKind::Gpu];
+
+    /// Stable label (matches the serde encoding) used in metric names,
+    /// CLI flags and campaign cell identities.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeviceKind::Gpu => "gpu",
+        }
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error parsing a [`DeviceKind`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDeviceKindError(String);
+
+impl fmt::Display for ParseDeviceKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown device kind {:?} (expected one of: gpu)", self.0)
+    }
+}
+
+impl std::error::Error for ParseDeviceKindError {}
+
+impl FromStr for DeviceKind {
+    type Err = ParseDeviceKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "gpu" => Ok(DeviceKind::Gpu),
+            other => Err(ParseDeviceKindError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_serde_and_parse_back() {
+        for kind in DeviceKind::ALL {
+            let json = serde_json::to_string(&kind).unwrap();
+            assert_eq!(json, format!("\"{}\"", kind.as_str()));
+            let parsed: DeviceKind = kind.as_str().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_a_typed_error() {
+        let err = "tpu".parse::<DeviceKind>().unwrap_err();
+        assert!(err.to_string().contains("tpu"));
+    }
+}

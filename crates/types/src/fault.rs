@@ -38,11 +38,21 @@ pub enum TeeMechanism {
     /// Reading attestation evidence from the guest device
     /// (configfs-tsm-style) failed.
     AttestRead,
+    /// The TDISP `LOCK_INTERFACE_REQUEST` handshake with a TEE-IO device
+    /// failed (device-security-manager rejected the lock, or the secure
+    /// SPDM session dropped).
+    TdispLock,
+    /// Fetching or verifying a TEE-IO device measurement report over the
+    /// SPDM session failed.
+    DeviceAttest,
+    /// A direct DMA transfer between private memory and an attested device
+    /// faulted (IOMMU/TDX-Connect TLP rejection).
+    DeviceDma,
 }
 
 impl TeeMechanism {
     /// Every mechanism, for exhaustive sweeps.
-    pub const ALL: [TeeMechanism; 8] = [
+    pub const ALL: [TeeMechanism; 11] = [
         TeeMechanism::Seamcall,
         TeeMechanism::SeptAccept,
         TeeMechanism::RmpValidate,
@@ -51,6 +61,9 @@ impl TeeMechanism {
         TeeMechanism::RmmCommand,
         TeeMechanism::SwiotlbAlloc,
         TeeMechanism::AttestRead,
+        TeeMechanism::TdispLock,
+        TeeMechanism::DeviceAttest,
+        TeeMechanism::DeviceDma,
     ];
 
     /// Stable label (kebab-case, matches the serde encoding) used in metric
@@ -65,6 +78,9 @@ impl TeeMechanism {
             TeeMechanism::RmmCommand => "rmm-command",
             TeeMechanism::SwiotlbAlloc => "swiotlb-alloc",
             TeeMechanism::AttestRead => "attest-read",
+            TeeMechanism::TdispLock => "tdisp-lock",
+            TeeMechanism::DeviceAttest => "device-attest",
+            TeeMechanism::DeviceDma => "device-dma",
         }
     }
 

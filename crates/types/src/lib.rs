@@ -30,6 +30,7 @@
 
 mod campaign;
 mod clock;
+mod device;
 mod error;
 mod fault;
 mod language;
@@ -44,6 +45,7 @@ pub use campaign::{
     MAX_CAMPAIGN_CELLS,
 };
 pub use clock::{Clock, Cycles, ManualClock, SimClock, SystemClock};
+pub use device::{DeviceKind, ParseDeviceKindError};
 pub use error::{Error, Result};
 pub use fault::{FaultClass, TeeMechanism};
 pub use language::{Language, ParseLanguageError};

@@ -112,6 +112,18 @@ pub enum Op {
     DeviceWait(u64),
     /// `bytes` of log output written to the console device.
     Log(u64),
+    /// DMA of `bytes` from guest memory *to* an attached accelerator
+    /// (weights/activations upload). On a VM with an attested TDISP device
+    /// this lands directly in device-private memory; otherwise it takes the
+    /// swiotlb bounce path like ordinary device I/O.
+    DevDmaIn(u64),
+    /// DMA of `bytes` from an attached accelerator back to guest memory
+    /// (results download). Path selection mirrors [`Op::DevDmaIn`].
+    DevDmaOut(u64),
+    /// `ns` nanoseconds of accelerator kernel execution (conv/dense/...).
+    /// Charged in host time like [`Op::DeviceWait`] — the device runs at
+    /// wall speed regardless of any CPU simulation multiplier.
+    DevKernel(u64),
 }
 
 /// An append-only sequence of [`Op`]s with convenience recorders.
@@ -227,6 +239,21 @@ impl OpTrace {
         self.ops.push(Op::Log(bytes));
     }
 
+    /// Records a DMA upload of `bytes` to an attached accelerator.
+    pub fn dev_dma_in(&mut self, bytes: u64) {
+        self.ops.push(Op::DevDmaIn(bytes));
+    }
+
+    /// Records a DMA download of `bytes` from an attached accelerator.
+    pub fn dev_dma_out(&mut self, bytes: u64) {
+        self.ops.push(Op::DevDmaOut(bytes));
+    }
+
+    /// Records `ns` nanoseconds of accelerator kernel execution.
+    pub fn dev_kernel(&mut self, ns: u64) {
+        self.ops.push(Op::DevKernel(ns));
+    }
+
     /// Number of trace entries (batched, not expanded).
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -270,6 +297,18 @@ impl OpTrace {
             .iter()
             .map(|op| match op {
                 Op::IoRead(n) | Op::IoWrite(n) => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes moved over the accelerator DMA path (uploads +
+    /// downloads).
+    pub fn total_dev_dma_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::DevDmaIn(n) | Op::DevDmaOut(n) => *n,
                 _ => 0,
             })
             .sum()

@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Cycles, Language, TraceSpan, VmTarget};
+use crate::{Cycles, DeviceKind, Language, TraceSpan, VmTarget};
 
 /// The broad class of a workload (paper §IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -74,6 +74,13 @@ pub struct RunRequest {
     /// dispatching. Unknown ids are rejected as invalid requests.
     #[serde(default)]
     pub attest_session: Option<String>,
+    /// Optional confidential passthrough device to attach to the VM. The
+    /// host locks the device interface (TDISP), attests it through the
+    /// gateway's verification cache, and only then enables direct DMA to
+    /// private memory; absent means no device (and any device-offload ops
+    /// in the workload fall back to the bounce path).
+    #[serde(default)]
+    pub device: Option<DeviceKind>,
 }
 
 fn default_trials() -> u32 {
@@ -146,6 +153,12 @@ impl RunRequestBuilder {
         self
     }
 
+    /// Requests a confidential passthrough device.
+    pub fn device(mut self, kind: DeviceKind) -> Self {
+        self.request.device = Some(kind);
+        self
+    }
+
     /// Validates and returns the request.
     ///
     /// # Errors
@@ -161,7 +174,15 @@ impl RunRequestBuilder {
 impl RunRequest {
     /// Creates a single-trial request with seed 0 and no deadline.
     pub fn new(function: FunctionSpec, target: VmTarget) -> Self {
-        RunRequest { function, target, trials: 1, seed: 0, deadline_ms: None, attest_session: None }
+        RunRequest {
+            function,
+            target,
+            trials: 1,
+            seed: 0,
+            deadline_ms: None,
+            attest_session: None,
+            device: None,
+        }
     }
 
     /// Starts a validating builder (rejects `trials == 0` and a zero
@@ -221,6 +242,12 @@ impl RunRequest {
     /// Attaches an attestation-session token, builder-style.
     pub fn attest_session(mut self, id: impl Into<String>) -> Self {
         self.attest_session = Some(id.into());
+        self
+    }
+
+    /// Requests a confidential passthrough device, builder-style.
+    pub fn device(mut self, kind: DeviceKind) -> Self {
+        self.device = Some(kind);
         self
     }
 }
@@ -359,6 +386,20 @@ mod tests {
         assert_eq!(req.trials, 1);
         assert_eq!(req.seed, 0);
         assert_eq!(req.deadline_ms, None);
+        assert_eq!(req.device, None);
+    }
+
+    #[test]
+    fn device_roundtrips_and_defaults_to_none() {
+        let req = RunRequest::new(
+            FunctionSpec::new("gpu-inference", Language::Go),
+            VmTarget::secure(TeePlatform::Tdx),
+        )
+        .device(DeviceKind::Gpu);
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"device\":\"gpu\""));
+        let back: RunRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.device, Some(DeviceKind::Gpu));
     }
 
     #[test]

@@ -63,6 +63,11 @@ pub struct CostModel {
     pub exit_cost: f64,
     /// Per-byte cost of device I/O (DMA + device emulation).
     pub io_byte: f64,
+    /// Per-byte cost of attested direct-to-private DMA (TDISP `Run`). The
+    /// device writes guest memory without emulation or staging, so this is
+    /// the same whether the VM is confidential or not — which is exactly
+    /// the TEE-IO pitch.
+    pub dma_byte: f64,
     /// Per-byte cost of staging I/O through the bounce pool (0 when DMA is
     /// direct).
     pub bounce_copy_byte: f64,
@@ -129,6 +134,7 @@ impl CostModel {
             syscall_guest: 300.0,
             exit_cost: 1_500.0,
             io_byte: 1.0,
+            dma_byte: 0.08,
             bounce_copy_byte: 0.0,
             bounce_slot: 0.0,
             io_slots_per_exit: 64,
@@ -182,6 +188,7 @@ impl CostModel {
             float_op: 2.5, // modelled A-profile core
             exit_cost: 2_200.0,
             io_byte: 1.4,          // emulated devices in the simulator
+            dma_byte: 0.12,        // modeled SMMU path is slightly pricier
             sim_multiplier: 9.0,   // the FVP tax, paid by BOTH VM kinds
             jitter_rel_std: 0.055, // simulator timing noise
             ..Self::normal_x86()
@@ -205,6 +212,7 @@ impl CostModel {
             syscall_guest: 2_600.0,
             exit_cost: 15_000.0, // RSI -> RMM -> SMC to host and back
             io_byte: 3.1,        // realm device path: shared-buffer + RMM
+            dma_byte: 0.12,      // attested DMA bypasses the RMM: normal-world rate
             bounce_copy_byte: 1.2,
             bounce_slot: 380.0,
             io_slots_per_exit: 16,
@@ -306,6 +314,17 @@ mod tests {
         assert_eq!(m.bounce_slot, 0.0);
         // Other costs untouched.
         assert!(m.exit_cost > 1_500.0);
+    }
+
+    #[test]
+    fn attested_dma_rate_is_kind_independent() {
+        // The whole point of TEE-IO: once the device is attested, direct
+        // DMA costs what it costs a normal VM — and far less than the
+        // emulated I/O path.
+        for p in TeePlatform::ALL {
+            assert_eq!(model(p, true).dma_byte, model(p, false).dma_byte);
+            assert!(model(p, true).dma_byte < model(p, true).io_byte);
+        }
     }
 
     #[test]

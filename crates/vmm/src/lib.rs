@@ -55,3 +55,7 @@ pub use host::{ContentionModel, SharedHost};
 pub use snp::{AmdSp, SnpError, SnpPhase, SnpReport};
 pub use tdx::{TdId, TdPhase, TdReport, TdxError, TdxModule};
 pub use vm::{CostEvents, ExecutionReport, TeeVmBuilder, Vm};
+
+// Device types that appear in the `Vm` device API, re-exported for
+// convenience; the full subsystem lives in `confbench-devio`.
+pub use confbench_devio::{GpuDevice, MeasurementReport, TdispState};

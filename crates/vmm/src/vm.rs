@@ -5,11 +5,12 @@
 use std::sync::Arc;
 
 use confbench_crypto::SplitMix64;
+use confbench_devio::{GpuDevice, MeasurementReport, TdispState};
 use confbench_memsim::{pages_for, PageNum, Swiotlb};
 use confbench_obs::ActiveSpan;
 use confbench_types::{
-    Cycles, Op, OpTrace, PerfReport, SimClock, SyscallKind, TeeMechanism, TeePlatform, VmKind,
-    VmTarget,
+    Cycles, DeviceKind, Op, OpTrace, PerfReport, SimClock, SyscallKind, TeeMechanism, TeePlatform,
+    VmKind, VmTarget,
 };
 
 use crate::cache::CacheSim;
@@ -70,6 +71,18 @@ pub struct CostEvents {
     pub syscalls: u64,
     /// Cycles charged for in-guest syscall work.
     pub syscall_cycles: u64,
+    /// Device DMA bytes that landed directly in guest memory (TDISP `Run`,
+    /// or any attached device in a normal VM).
+    pub dma_direct_bytes: u64,
+    /// Cycles charged for direct device DMA.
+    pub dma_direct_cycles: u64,
+    /// Device DMA bytes that fell back to the swiotlb bounce path (device
+    /// not attested, so its DMA may only target shared memory).
+    pub dma_bounce_bytes: u64,
+    /// Device kernels launched.
+    pub dev_kernels: u64,
+    /// Host nanoseconds spent inside device kernels.
+    pub dev_kernel_ns: u64,
 }
 
 /// Builder for a [`Vm`].
@@ -94,6 +107,7 @@ pub struct TeeVmBuilder {
     bounce_buffers: bool,
     fvp: Option<Fvp>,
     faults: Option<Arc<TeeFaultPlan>>,
+    device: Option<DeviceKind>,
 }
 
 impl TeeVmBuilder {
@@ -106,6 +120,7 @@ impl TeeVmBuilder {
             bounce_buffers: true,
             fvp: None,
             faults: None,
+            device: None,
         }
     }
 
@@ -148,6 +163,17 @@ impl TeeVmBuilder {
         self
     }
 
+    /// Plugs a confidential accelerator into the VM. On a secure target
+    /// the device's TDISP interface is locked during boot (rolling the
+    /// `tdisp-lock` fault point); the host must then attest it via
+    /// [`Vm::device_report`] and [`Vm::enable_device`] before its DMA can
+    /// target private memory — until then `DevDma*` ops are staged through
+    /// the swiotlb bounce path. Normal VMs DMA directly right away.
+    pub fn device(mut self, kind: DeviceKind) -> Self {
+        self.device = Some(kind);
+        self
+    }
+
     /// Boots the VM: builds the cost model, launches the TEE context
     /// (measured 64-page boot image), and returns a
     /// ready-to-run [`Vm`].
@@ -184,6 +210,27 @@ impl TeeVmBuilder {
         }
         let cache = self.cache_model.then(|| CacheSim::new(cost.cache_salt));
         let platform = Platform::launch(self.target, self.faults.as_deref())?;
+        let device = match self.device {
+            // One modeled device today; `DeviceKind` keeps the plug point open.
+            Some(DeviceKind::Gpu) => {
+                let mut gpu = GpuDevice::new();
+                if self.target.kind == VmKind::Secure {
+                    // LOCK_INTERFACE_REQUEST is a TEE mechanism crossing.
+                    if let Some(fault) = self
+                        .faults
+                        .as_deref()
+                        .and_then(|p| p.roll(self.target.platform, TeeMechanism::TdispLock))
+                    {
+                        return Err(fault);
+                    }
+                    gpu.lock().map_err(|_| {
+                        TeeFault::fatal(self.target.platform, TeeMechanism::TdispLock)
+                    })?;
+                }
+                Some(gpu)
+            }
+            None => None,
+        };
         // Secure VMs boot with an e-vTPM whose launch-stage measurements
         // are part of the measured image (normal VMs have no trust
         // boundary to anchor one).
@@ -194,6 +241,7 @@ impl TeeVmBuilder {
             cache,
             platform,
             evtpm,
+            device,
             swiotlb: Swiotlb::linux_default(),
             clock: SimClock::new(),
             rng: SplitMix64::new(jitter_stream_seed(self.seed, self.target)),
@@ -319,6 +367,8 @@ pub struct Vm {
     platform: Platform,
     /// Runtime-measurement device, present in secure VMs only.
     evtpm: Option<EvTpm>,
+    /// Plugged confidential accelerator, when the builder attached one.
+    device: Option<GpuDevice>,
     swiotlb: Swiotlb,
     clock: SimClock,
     rng: SplitMix64,
@@ -389,6 +439,56 @@ impl Vm {
         self.evtpm.as_mut()
     }
 
+    /// The plugged accelerator, when the builder attached one.
+    pub fn device(&self) -> Option<&GpuDevice> {
+        self.device.as_ref()
+    }
+
+    /// TDISP state of the plugged accelerator.
+    pub fn device_state(&self) -> Option<TdispState> {
+        self.device.as_ref().map(|d| d.state())
+    }
+
+    /// Asks the plugged device for its signed SPDM measurement report,
+    /// echoing `nonce`. This is a TEE mechanism crossing: the fault plan's
+    /// `device-attest` point is rolled first (secure VMs only).
+    ///
+    /// # Errors
+    ///
+    /// An injected [`TeeFault`], or a fatal `device-attest` fault when no
+    /// device is plugged / its interface is not locked yet.
+    pub fn device_report(&mut self, nonce: [u8; 32]) -> Result<MeasurementReport, TeeFault> {
+        self.roll(TeeMechanism::DeviceAttest)?;
+        let fatal = || TeeFault::fatal(self.target.platform, TeeMechanism::DeviceAttest);
+        self.device.as_ref().ok_or_else(fatal)?.measurement_report(nonce).map_err(|_| fatal())
+    }
+
+    /// Marks the device's measurement report verified and starts the
+    /// interface: `Locked → Attested → Run`. Call after host-side policy
+    /// (in `confbench-attest`) accepted the [`Vm::device_report`] evidence;
+    /// from here DMA lands directly in private memory. In a normal VM this
+    /// is a no-op — there is no TDISP flow to drive, and direct DMA is
+    /// already permitted.
+    ///
+    /// # Errors
+    ///
+    /// An injected [`TeeFault`], or a fatal `device-attest` fault when no
+    /// device is plugged or the interface is not in `Locked`.
+    pub fn enable_device(&mut self) -> Result<(), TeeFault> {
+        if self.target.kind != VmKind::Secure {
+            return match &self.device {
+                Some(_) => Ok(()),
+                None => Err(TeeFault::fatal(self.target.platform, TeeMechanism::DeviceAttest)),
+            };
+        }
+        self.roll(TeeMechanism::DeviceAttest)?;
+        let platform = self.target.platform;
+        let fatal = || TeeFault::fatal(platform, TeeMechanism::DeviceAttest);
+        let device = self.device.as_mut().ok_or_else(fatal)?;
+        device.accept_attestation().map_err(|_| fatal())?;
+        device.start().map_err(|_| fatal())
+    }
+
     /// Executes a trace, advancing the virtual clock, and returns the
     /// report. Consecutive calls model independent trials: per-trial jitter
     /// is drawn from the VM's seeded PRNG.
@@ -446,6 +546,11 @@ impl Vm {
         let mut bounce_cycles = 0.0f64;
         let mut syscalls = 0u64;
         let mut syscall_cycles = 0.0f64;
+        let mut dma_direct_bytes = 0u64;
+        let mut dma_direct_cycles = 0.0f64;
+        let mut dma_bounce_bytes = 0u64;
+        let mut dev_kernels = 0u64;
+        let mut dev_kernel_ns = 0u64;
 
         for op in trace {
             match *op {
@@ -589,6 +694,69 @@ impl Vm {
                     exit_cycles += self.cost.exit_cost;
                     exits += 1;
                 }
+                Op::DevDmaIn(bytes) | Op::DevDmaOut(bytes) => {
+                    // Path selection is the tentpole: an attached device
+                    // whose TDISP interface reached `Run` (or any device in
+                    // a normal VM) DMAs straight into guest memory; a
+                    // locked-but-unattested device may only target shared
+                    // memory, so its transfers ride the swiotlb bounce
+                    // path like ordinary confidential I/O.
+                    let direct = match &self.device {
+                        Some(dev) => self.target.kind != VmKind::Secure || dev.direct_dma_enabled(),
+                        // No device plugged: the trace still replays, as
+                        // plain emulated I/O.
+                        None => false,
+                    };
+                    if self.device.is_some() {
+                        self.roll(TeeMechanism::DeviceDma)?;
+                    }
+                    if direct {
+                        let dma_cost = bytes as f64 * self.cost.dma_byte + self.cost.exit_cost;
+                        cycles += dma_cost;
+                        dma_direct_bytes += bytes;
+                        dma_direct_cycles += dma_cost;
+                        // One doorbell exit per transfer.
+                        exit_cycles += self.cost.exit_cost;
+                        exits += 1;
+                    } else {
+                        if self.device.is_some() {
+                            dma_bounce_bytes += bytes;
+                        }
+                        cycles += bytes as f64 * self.cost.io_byte;
+                        if self.target.kind == VmKind::Secure && self.cost.bounce_copy_byte > 0.0 {
+                            self.roll(TeeMechanism::SwiotlbAlloc)?;
+                            let stats = self.swiotlb.transfer(bytes);
+                            let stage_cost = stats.bytes_copied as f64 * self.cost.bounce_copy_byte
+                                + stats.slots_used as f64 * self.cost.bounce_slot;
+                            cycles += stage_cost;
+                            bounce_bytes += stats.bytes_copied;
+                            bounce_slots += stats.slots_used;
+                            bounce_cycles += stage_cost;
+                            let doorbells =
+                                stats.slots_used.div_ceil(self.cost.io_slots_per_exit).max(1);
+                            cycles += doorbells as f64 * self.cost.exit_cost;
+                            exit_cycles += doorbells as f64 * self.cost.exit_cost;
+                            exits += doorbells;
+                        } else {
+                            self.roll(exit_mech)?;
+                            cycles += self.cost.exit_cost;
+                            exit_cycles += self.cost.exit_cost;
+                            exits += 1;
+                        }
+                    }
+                }
+                Op::DevKernel(ns) => {
+                    // Like DeviceWait: the kernel runs in host wall time
+                    // (no FVP multiplier) and its completion interrupt
+                    // costs one exit round trip.
+                    device_ns += ns;
+                    dev_kernels += 1;
+                    dev_kernel_ns += ns;
+                    self.roll(exit_mech)?;
+                    cycles += self.cost.exit_cost + self.cost.ctx_switch;
+                    exit_cycles += self.cost.exit_cost;
+                    exits += 1;
+                }
                 Op::Log(bytes) => {
                     self.roll(exit_mech)?;
                     cycles += bytes as f64 * self.cost.log_byte;
@@ -633,6 +801,11 @@ impl Vm {
             bounce_cycles: bounce_cycles.round() as u64,
             syscalls,
             syscall_cycles: syscall_cycles.round() as u64,
+            dma_direct_bytes,
+            dma_direct_cycles: dma_direct_cycles.round() as u64,
+            dma_bounce_bytes,
+            dev_kernels,
+            dev_kernel_ns,
         };
         Ok(ExecutionReport {
             target: self.target,
@@ -674,7 +847,11 @@ impl Vm {
     ///   `snp.rmp-validate` / `cca.rmm-delegate`, attrs `pages`, `cycles`;
     /// * bounce-buffer staging — `swiotlb.copy`, attrs `bytes`
     ///   (== `perf.bounce_bytes`), `slots`, `cycles`;
-    /// * in-guest syscall work — `guest.syscall`, attrs `count`, `cycles`.
+    /// * in-guest syscall work — `guest.syscall`, attrs `count`, `cycles`;
+    /// * device DMA — `devio.dma-direct` (attrs `bytes`, `cycles`) or
+    ///   `devio.dma-bounce` (attr `bytes`, with the staging itself under
+    ///   `swiotlb.copy`);
+    /// * device kernels — `devio.kernel`, attrs `count`, `ns`.
     pub fn execute_spanned(&mut self, trace: &OpTrace, parent: &mut ActiveSpan) -> ExecutionReport {
         self.try_execute_spanned(trace, parent)
             .unwrap_or_else(|f| panic!("unsupervised TEE fault: {f}"))
@@ -716,6 +893,23 @@ impl Vm {
             let mut s = parent.child("guest.syscall");
             s.set_attr("count", ev.syscalls);
             s.set_attr("cycles", ev.syscall_cycles);
+            parent.finish_child(s);
+        }
+        if ev.dma_direct_bytes > 0 {
+            let mut s = parent.child("devio.dma-direct");
+            s.set_attr("bytes", ev.dma_direct_bytes);
+            s.set_attr("cycles", ev.dma_direct_cycles);
+            parent.finish_child(s);
+        }
+        if ev.dma_bounce_bytes > 0 {
+            let mut s = parent.child("devio.dma-bounce");
+            s.set_attr("bytes", ev.dma_bounce_bytes);
+            parent.finish_child(s);
+        }
+        if ev.dev_kernels > 0 {
+            let mut s = parent.child("devio.kernel");
+            s.set_attr("count", ev.dev_kernels);
+            s.set_attr("ns", ev.dev_kernel_ns);
             parent.finish_child(s);
         }
         Ok(report)
@@ -925,6 +1119,179 @@ mod tests {
                 let mut vm = clean;
                 vm.execute(&trace)
             });
+        }
+    }
+
+    fn dev_dma_trace() -> OpTrace {
+        let mut t = OpTrace::new();
+        t.cpu(1_000);
+        t.dev_dma_in(512 * 1024);
+        t.dev_kernel(20_000);
+        t.dev_dma_out(64 * 1024);
+        t
+    }
+
+    /// Full TDISP bring-up: lock happened at build, then report → verify →
+    /// accept → start.
+    fn attest_device(vm: &mut Vm) {
+        let report = vm.device_report([9; 32]).unwrap();
+        report.verify(&confbench_devio::vendor_verifying_key()).unwrap();
+        vm.enable_device().unwrap();
+    }
+
+    #[test]
+    fn secure_device_boots_locked_and_runs_after_attestation() {
+        let mut vm =
+            TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).device(DeviceKind::Gpu).build();
+        assert_eq!(vm.device_state(), Some(TdispState::Locked));
+        attest_device(&mut vm);
+        assert_eq!(vm.device_state(), Some(TdispState::Run));
+        let r = vm.execute(&dev_dma_trace());
+        assert_eq!(r.events.dma_direct_bytes, (512 + 64) * 1024);
+        assert_eq!(r.events.dma_bounce_bytes, 0);
+        assert_eq!(r.events.bounce_bytes, 0, "direct DMA never touches the bounce pool");
+        assert_eq!(r.events.dev_kernels, 1);
+        assert_eq!(r.events.dev_kernel_ns, 20_000);
+    }
+
+    #[test]
+    fn unattested_device_dma_rides_the_bounce_path() {
+        let mut vm =
+            TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).device(DeviceKind::Gpu).build();
+        let r = vm.execute(&dev_dma_trace());
+        assert_eq!(r.events.dma_direct_bytes, 0);
+        assert_eq!(r.events.dma_bounce_bytes, (512 + 64) * 1024);
+        assert!(r.events.bounce_bytes >= (512 + 64) * 1024, "staged through swiotlb");
+    }
+
+    #[test]
+    fn normal_vm_device_dma_is_direct_without_attestation() {
+        let mut vm =
+            TeeVmBuilder::new(VmTarget::normal(TeePlatform::Tdx)).device(DeviceKind::Gpu).build();
+        assert_eq!(vm.device_state(), Some(TdispState::Unlocked));
+        let r = vm.execute(&dev_dma_trace());
+        assert_eq!(r.events.dma_direct_bytes, (512 + 64) * 1024);
+        assert_eq!(r.events.bounce_bytes, 0);
+    }
+
+    #[test]
+    fn attested_dma_ratio_is_near_native_and_bounce_is_not() {
+        for platform in TeePlatform::ALL {
+            let mut trace = OpTrace::new();
+            trace.cpu(5_000);
+            trace.dev_dma_in(4 << 20);
+            trace.dev_dma_out(1 << 20);
+            let mean = |vm: &mut Vm| {
+                let rs = vm.execute_trials(&trace, 5);
+                rs.iter().map(|r| r.cycles.get() as f64).sum::<f64>() / rs.len() as f64
+            };
+            let mut normal = TeeVmBuilder::new(VmTarget::normal(platform))
+                .seed(3)
+                .device(DeviceKind::Gpu)
+                .build();
+            let mut attested = TeeVmBuilder::new(VmTarget::secure(platform))
+                .seed(3)
+                .device(DeviceKind::Gpu)
+                .build();
+            attest_device(&mut attested);
+            let mut locked = TeeVmBuilder::new(VmTarget::secure(platform))
+                .seed(3)
+                .device(DeviceKind::Gpu)
+                .build();
+            let base = mean(&mut normal);
+            let direct_ratio = mean(&mut attested) / base;
+            let bounce_ratio = mean(&mut locked) / base;
+            assert!(
+                (0.8..1.25).contains(&direct_ratio),
+                "{platform}: attested DMA should be near-native, got {direct_ratio:.2}"
+            );
+            assert!(
+                bounce_ratio > direct_ratio * 1.5,
+                "{platform}: unattested DMA must pay the staging tax \
+                 ({bounce_ratio:.2} vs {direct_ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn device_traces_replay_without_a_device() {
+        // A gpu-inference trace scheduled onto a device-less VM still runs:
+        // DMA degrades to plain emulated I/O.
+        let mut vm = TeeVmBuilder::new(VmTarget::secure(TeePlatform::SevSnp)).build();
+        let r = vm.execute(&dev_dma_trace());
+        assert_eq!(r.events.dma_direct_bytes, 0);
+        assert_eq!(r.events.dma_bounce_bytes, 0, "no device: not accounted as device DMA");
+        assert!(r.events.bounce_bytes > 0, "falls back to the confidential I/O path");
+    }
+
+    #[test]
+    fn device_report_requires_a_plugged_device() {
+        let mut vm = TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).build();
+        let fault = vm.device_report([0; 32]).unwrap_err();
+        assert_eq!(fault.mechanism, TeeMechanism::DeviceAttest);
+        assert!(!fault.is_transient());
+        assert!(vm.enable_device().is_err());
+    }
+
+    #[test]
+    fn spanned_device_execution_emits_devio_children() {
+        let rec = SpanRecorder::new(Arc::new(ManualClock::new()));
+        let mut vm =
+            TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).device(DeviceKind::Gpu).build();
+        attest_device(&mut vm);
+        let mut root = rec.root("vm.execute");
+        let r = vm.execute_spanned(&dev_dma_trace(), &mut root);
+        let tree = root.finish();
+        let direct = tree.find("devio.dma-direct").expect("direct DMA span");
+        assert_eq!(direct.attr("bytes"), Some(r.events.dma_direct_bytes));
+        let kernel = tree.find("devio.kernel").expect("kernel span");
+        assert_eq!(kernel.attr("count"), Some(1));
+        assert!(tree.find("devio.dma-bounce").is_none());
+
+        let mut locked =
+            TeeVmBuilder::new(VmTarget::secure(TeePlatform::Tdx)).device(DeviceKind::Gpu).build();
+        let mut root = rec.root("vm.execute");
+        let r = locked.execute_spanned(&dev_dma_trace(), &mut root);
+        let tree = root.finish();
+        let bounce = tree.find("devio.dma-bounce").expect("bounce DMA span");
+        assert_eq!(bounce.attr("bytes"), Some(r.events.dma_bounce_bytes));
+        assert!(tree.find("swiotlb.copy").is_some(), "staging itself is spanned");
+        assert!(tree.find("devio.dma-direct").is_none());
+    }
+
+    #[test]
+    fn device_chaos_survivors_match_fault_free_runs() {
+        // PR 5's determinism property extended to devices: TDISP lock,
+        // attestation and DMA fault points perturb nothing when survived.
+        let trace = dev_dma_trace();
+        for platform in TeePlatform::ALL {
+            let target = VmTarget::secure(platform);
+            let clean = {
+                let mut vm = TeeVmBuilder::new(target).seed(13).device(DeviceKind::Gpu).build();
+                attest_device(&mut vm);
+                vm.execute(&trace)
+            };
+            let plan = Arc::new(
+                TeeFaultPlan::new(23, 0.0)
+                    .with_rate(TeeMechanism::TdispLock, 0.3)
+                    .with_rate(TeeMechanism::DeviceAttest, 0.3)
+                    .with_rate(TeeMechanism::DeviceDma, 0.3),
+            );
+            let survived = (0..10_000)
+                .find_map(|_| {
+                    let mut vm = TeeVmBuilder::new(target)
+                        .seed(13)
+                        .device(DeviceKind::Gpu)
+                        .fault_plan(Arc::clone(&plan))
+                        .try_build()
+                        .ok()?;
+                    vm.device_report([9; 32]).ok()?;
+                    vm.enable_device().ok()?;
+                    vm.try_execute(&trace).ok()
+                })
+                .expect("no clean attempt in 10k tries");
+            assert!(plan.injected() > 0, "{platform}: device chaos never fired");
+            assert_eq!(clean, survived, "{platform}: device chaos must not perturb results");
         }
     }
 

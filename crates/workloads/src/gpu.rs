@@ -1,0 +1,169 @@
+//! The gpu-inference workload: MobileNet classification offloaded to the
+//! modeled confidential accelerator.
+//!
+//! The host path and the device path run *the same arithmetic* (the device
+//! engine calls the same layer kernels), so predictions and probability
+//! tensors are bit-identical; what differs is the recorded operation
+//! trace. The host path charges the forward pass as guest float/memory
+//! work; the device path records one batched weights+activations DMA
+//! upload, one device kernel per layer, and a result DMA download — and
+//! whether those DMAs go direct-to-private or through the swiotlb bounce
+//! pool is decided by the VM that replays the trace, from its attached
+//! device's TDISP state. One workload, both worlds.
+
+use confbench_devio::{model_weight_bytes, offload_forward, GpuCostModel};
+use confbench_tinynn::{dataset_image, mobilenet, Sequential, Tensor, DATASET_SIZE};
+use confbench_types::{OpTrace, SyscallKind};
+
+use crate::classic::InferenceRun;
+
+/// The gpu-inference workload: the ML model of [`MlWorkload`], with the
+/// forward pass offloaded to the modeled TDISP GPU.
+///
+/// [`MlWorkload`]: crate::MlWorkload
+///
+/// # Example
+///
+/// ```
+/// use confbench_workloads::GpuInferenceWorkload;
+///
+/// let gpu = GpuInferenceWorkload::new(7);
+/// let host = gpu.classify_host(0);
+/// let dev = gpu.classify_device(0);
+/// assert_eq!(host.class, dev.class, "same arithmetic, same prediction");
+/// assert!(dev.trace.total_dev_dma_bytes() > 0);
+/// assert_eq!(host.trace.total_dev_dma_bytes(), 0);
+/// ```
+pub struct GpuInferenceWorkload {
+    model: Sequential,
+    cost: GpuCostModel,
+    seed: u64,
+}
+
+impl GpuInferenceWorkload {
+    /// Input resolution fed to the model (matches `MlWorkload`).
+    pub const INPUT_DIM: usize = 64;
+
+    /// Builds the model with deterministic weights.
+    pub fn new(seed: u64) -> Self {
+        GpuInferenceWorkload {
+            model: mobilenet(Self::INPUT_DIM, 6, 10, seed),
+            cost: GpuCostModel::default(),
+            seed,
+        }
+    }
+
+    /// Number of images in the dataset.
+    pub fn dataset_size(&self) -> usize {
+        DATASET_SIZE
+    }
+
+    /// Bytes of model weights the device path uploads.
+    pub fn weight_bytes(&self) -> u64 {
+        model_weight_bytes(&self.model)
+    }
+
+    /// Image load + decode, shared by both paths: returns the input tensor
+    /// with the load recorded into `trace`.
+    fn load_input(&self, index: usize, trace: &mut OpTrace) -> Tensor {
+        let image = dataset_image(index, self.seed);
+        trace.syscall(SyscallKind::FileMeta, 1);
+        trace.syscall(SyscallKind::FileRead, 1);
+        trace.io_read(image.byte_len() as u64);
+        trace.alloc(image.byte_len() as u64);
+        let input = image.to_input(Self::INPUT_DIM);
+        trace.mem_read(image.byte_len() as u64);
+        trace.cpu(image.byte_len() as u64 / 2);
+        input
+    }
+
+    /// Forward pass on the host CPU, returning the probability tensor.
+    pub fn forward_host(&self, index: usize, trace: &mut OpTrace) -> Tensor {
+        let input = self.load_input(index, trace);
+        let cost = self.model.cost();
+        let probs = self.model.forward(&input);
+        trace.float(cost.flops * 2);
+        trace.alloc(cost.activation_bytes);
+        trace.mem_write(cost.activation_bytes);
+        trace.mem_read(cost.activation_bytes);
+        trace.free(cost.activation_bytes);
+        probs
+    }
+
+    /// Forward pass offloaded to the device, returning the probability
+    /// tensor (bit-identical to [`GpuInferenceWorkload::forward_host`]).
+    pub fn forward_device(&self, index: usize, trace: &mut OpTrace) -> Tensor {
+        let input = self.load_input(index, trace);
+        offload_forward(&self.model, &self.cost, &input, trace)
+    }
+
+    /// Classifies dataset image `index` on the host CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of dataset range.
+    pub fn classify_host(&self, index: usize) -> InferenceRun {
+        let mut trace = OpTrace::new();
+        let probs = self.forward_host(index, &mut trace);
+        InferenceRun { image_index: index, class: probs.argmax(), trace }
+    }
+
+    /// Classifies dataset image `index` on the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of dataset range.
+    pub fn classify_device(&self, index: usize) -> InferenceRun {
+        let mut trace = OpTrace::new();
+        let probs = self.forward_device(index, &mut trace);
+        InferenceRun { image_index: index, class: probs.argmax(), trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confbench_types::Op;
+
+    #[test]
+    fn host_and_device_paths_are_bit_identical() {
+        let gpu = GpuInferenceWorkload::new(3);
+        for index in [0, 7, 19] {
+            let mut ht = OpTrace::new();
+            let mut dt = OpTrace::new();
+            let host = gpu.forward_host(index, &mut ht);
+            let dev = gpu.forward_device(index, &mut dt);
+            assert_eq!(host.data(), dev.data(), "image {index}: tensors must match bit for bit");
+        }
+    }
+
+    #[test]
+    fn device_trace_records_dma_and_kernels() {
+        let gpu = GpuInferenceWorkload::new(3);
+        let run = gpu.classify_device(1);
+        assert!(run.trace.total_dev_dma_bytes() > gpu.weight_bytes());
+        let kernels = run.trace.iter().filter(|op| matches!(op, Op::DevKernel(_))).count();
+        assert!(kernels > 0, "each layer launches a kernel");
+        // The device path must not also charge the host float work.
+        assert_eq!(run.trace.total_float_ops(), 0);
+    }
+
+    #[test]
+    fn matches_ml_workload_predictions() {
+        // Same model constructor, same seed: gpu-inference is the ML
+        // workload with a different execution substrate.
+        let gpu = GpuInferenceWorkload::new(7);
+        let ml = crate::MlWorkload::new(7);
+        for index in 0..4 {
+            assert_eq!(gpu.classify_host(index).class, ml.classify(index).class);
+        }
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let a = GpuInferenceWorkload::new(11).classify_device(5);
+        let b = GpuInferenceWorkload::new(11).classify_device(5);
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.trace, b.trace);
+    }
+}

@@ -25,10 +25,12 @@
 
 mod classic;
 mod faas;
+mod gpu;
 mod native;
 mod scripts;
 mod unixbench;
 
 pub use classic::{dbms_speedtest, InferenceRun, MlWorkload};
 pub use faas::{faas_registry, find_workload, FaasWorkload, WorkloadCategory};
+pub use gpu::GpuInferenceWorkload;
 pub use unixbench::{aggregate_index, index_score, unixbench_suite, UnixBenchTest};

@@ -61,6 +61,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                 seed: 42,
                 deadline_ms: None,
                 attest_session: None,
+                device: None,
             };
             let resp = client.send(&Request::new(Method::Post, "/run").json(&request))?;
             assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
@@ -87,6 +88,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         seed: 42,
         deadline_ms: None,
         attest_session: None,
+        device: None,
     };
     let result: RunResult =
         client.send(&Request::new(Method::Post, "/run").json(&request))?.body_json()?;

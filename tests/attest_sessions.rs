@@ -33,6 +33,7 @@ fn run_request(platform: TeePlatform) -> RunRequest {
         seed: 3,
         deadline_ms: None,
         attest_session: None,
+        device: None,
     }
 }
 

@@ -37,6 +37,7 @@ fn campaign_spec() -> CampaignSpec {
         seed: 11,
         priority: Priority::Normal,
         deadline_ms: None,
+        device: None,
     }
 }
 
@@ -156,6 +157,7 @@ fn exhausted_rebuild_budget_quarantines_and_trips_the_breaker() {
         seed: 1,
         deadline_ms: None,
         attest_session: None,
+        device: None,
     };
 
     // First request: boot faults burn the rebuild budget, the supervisor

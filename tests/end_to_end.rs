@@ -15,7 +15,15 @@ fn run_request(name: &str, language: Language, target: VmTarget, trials: u32) ->
         confbench_workloads::find_workload(name).map(|w| w.default_args()).unwrap_or_default();
     let mut spec = FunctionSpec::new(name, language);
     spec.args = args;
-    RunRequest { function: spec, target, trials, seed: 3, deadline_ms: None, attest_session: None }
+    RunRequest {
+        function: spec,
+        target,
+        trials,
+        seed: 3,
+        deadline_ms: None,
+        attest_session: None,
+        device: None,
+    }
 }
 
 #[test]

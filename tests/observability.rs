@@ -20,6 +20,7 @@ fn iostress(platform: TeePlatform) -> RunRequest {
         seed: 3,
         deadline_ms: None,
         attest_session: None,
+        device: None,
     }
 }
 

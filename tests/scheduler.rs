@@ -31,6 +31,7 @@ fn matrix_spec() -> CampaignSpec {
         seed: 11,
         priority: Priority::Normal,
         deadline_ms: None,
+        device: None,
     }
 }
 

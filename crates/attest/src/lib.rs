@@ -46,6 +46,7 @@ mod session;
 mod snp_flow;
 mod tdx_flow;
 mod verifier;
+pub mod wire;
 
 pub use device::{DeviceEvidence, DevicePolicy, DeviceVerifier};
 pub use error::AttestError;

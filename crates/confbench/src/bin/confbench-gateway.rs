@@ -195,6 +195,7 @@ fn run() -> Result<(), String> {
         queue_capacity,
         retry_after_secs: gateway.retry_policy().retry_after_secs(),
         cache_capacity,
+        ..SchedulerConfig::default()
     };
     let sched = Arc::new(Scheduler::with_metrics(
         Arc::clone(&gateway) as Arc<dyn confbench_sched::Executor>,

@@ -1,0 +1,162 @@
+//! Deterministic structure-aware mutation for fuzz sweeps.
+//!
+//! Every production-facing parser in the workspace (HTTP framing, campaign
+//! JSON, attestation wire decoding) runs a seeded sweep in its own tests:
+//! take a valid corpus input, apply one of the four classic byte-level
+//! mutations, and require a clean `Err` — never a panic, never a silent
+//! accept. This module is the shared mutation engine so every sweep draws
+//! from the same distribution and replays bit-for-bit from its seed.
+//!
+//! The iteration budget is environment-tunable: sweeps run a small default
+//! under `cargo test -q` and CI raises it via `CONFBENCH_FUZZ_ITERS` in the
+//! dedicated `fuzz-sweep` step (see [`sweep_iters`]).
+
+use crate::prng::SplitMix64;
+
+/// Default number of mutations per corpus input under plain `cargo test`.
+pub const DEFAULT_SWEEP_ITERS: usize = 400;
+
+/// Number of mutations per corpus input for a fuzz sweep: the value of the
+/// `CONFBENCH_FUZZ_ITERS` environment variable when set and parseable,
+/// otherwise [`DEFAULT_SWEEP_ITERS`].
+pub fn sweep_iters() -> usize {
+    std::env::var("CONFBENCH_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SWEEP_ITERS)
+}
+
+/// A deterministic byte-buffer mutator over a [`SplitMix64`] stream.
+///
+/// # Example
+///
+/// ```
+/// use confbench_crypto::fuzz::Mutator;
+///
+/// let mut m = Mutator::new(0xD3_710);
+/// let a = m.mutate(b"GET / HTTP/1.1\r\n\r\n");
+/// let mut m2 = Mutator::new(0xD3_710);
+/// assert_eq!(a, m2.mutate(b"GET / HTTP/1.1\r\n\r\n"), "replayable from the seed");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    rng: SplitMix64,
+}
+
+impl Mutator {
+    /// Creates a mutator; the same seed replays the same mutation stream.
+    pub fn new(seed: u64) -> Self {
+        Mutator { rng: SplitMix64::new(seed) }
+    }
+
+    /// Produces one mutant of `base` by truncation, bit-flipping, chunk
+    /// duplication, or oversizing — the four shapes parser bugs hide in
+    /// (lost framing, corrupted fields, repeated sections, length blowups).
+    pub fn mutate(&mut self, base: &[u8]) -> Vec<u8> {
+        match self.rng.next_below(4) {
+            0 => self.truncate(base),
+            1 => self.bit_flip(base),
+            2 => self.duplicate(base),
+            _ => self.oversize(base),
+        }
+    }
+
+    /// Cuts `base` off at a pseudo-random point (possibly to empty).
+    pub fn truncate(&mut self, base: &[u8]) -> Vec<u8> {
+        if base.is_empty() {
+            return Vec::new();
+        }
+        let cut = self.rng.next_below(base.len() as u64) as usize;
+        base[..cut].to_vec()
+    }
+
+    /// Flips one to four pseudo-random bits.
+    pub fn bit_flip(&mut self, base: &[u8]) -> Vec<u8> {
+        let mut out = base.to_vec();
+        if out.is_empty() {
+            return out;
+        }
+        let flips = 1 + self.rng.next_below(4) as usize;
+        for _ in 0..flips {
+            let idx = self.rng.next_below(out.len() as u64) as usize;
+            let bit = self.rng.next_below(8) as u32;
+            out[idx] ^= 1 << bit;
+        }
+        out
+    }
+
+    /// Copies a pseudo-random chunk of `base` and splices it in at a
+    /// pseudo-random offset.
+    pub fn duplicate(&mut self, base: &[u8]) -> Vec<u8> {
+        if base.is_empty() {
+            return Vec::new();
+        }
+        let len = base.len() as u64;
+        let start = self.rng.next_below(len) as usize;
+        let end = start + 1 + self.rng.next_below(len - start as u64) as usize;
+        let at = self.rng.next_below(len + 1) as usize;
+        let mut out = base[..at].to_vec();
+        out.extend_from_slice(&base[start..end]);
+        out.extend_from_slice(&base[at..]);
+        out
+    }
+
+    /// Appends a pseudo-random run (up to 4 KiB) of a pseudo-random byte —
+    /// the cheap way to probe length-field and allocation handling.
+    pub fn oversize(&mut self, base: &[u8]) -> Vec<u8> {
+        let mut out = base.to_vec();
+        let extra = 1 + self.rng.next_below(4096) as usize;
+        let byte = self.rng.next_below(256) as u8;
+        out.extend(std::iter::repeat_n(byte, extra));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutations_are_deterministic_per_seed() {
+        let base = b"the quick brown fox";
+        let run = |seed| {
+            let mut m = Mutator::new(seed);
+            (0..32).map(|_| m.mutate(base)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn every_mutation_shape_is_exercised_and_differs() {
+        let base = b"0123456789abcdef";
+        let mut m = Mutator::new(1);
+        let mut shapes = [false; 4];
+        for _ in 0..256 {
+            let out = m.mutate(base);
+            match out.len().cmp(&base.len()) {
+                std::cmp::Ordering::Less => shapes[0] = true,
+                std::cmp::Ordering::Equal => shapes[1] = true,
+                std::cmp::Ordering::Greater => shapes[2] = true,
+            }
+            if out.len() > base.len() + 1024 {
+                shapes[3] = true; // a real oversize, not just a duplicate
+            }
+        }
+        assert_eq!(shapes, [true; 4]);
+    }
+
+    #[test]
+    fn empty_input_never_panics() {
+        let mut m = Mutator::new(3);
+        for _ in 0..64 {
+            let _ = m.mutate(b"");
+        }
+    }
+
+    #[test]
+    fn sweep_iters_defaults_sanely() {
+        // The env var is not set under plain `cargo test`.
+        assert!(sweep_iters() >= 1);
+    }
+}

@@ -179,8 +179,12 @@ impl Request {
             .ok_or_else(|| HttpError::Malformed("empty request line".into()))?;
         let method =
             Method::parse(method).ok_or_else(|| HttpError::BadMethod(method.to_owned()))?;
-        let target =
-            parts.next().ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+        // `splitn` yields an empty token for `GET  HTTP/1.1` (double space):
+        // filter it out so a missing target is rejected, not accepted as "".
+        let target = parts
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
         let (path, query) = split_query(target);
 
         let headers = read_headers(&mut reader)?;
@@ -342,14 +346,20 @@ fn reason(status: u16) -> &'static str {
 /// would exceed `max` (a slow-loris or oversized-field defence: the line is
 /// abandoned rather than accumulated without bound).
 fn read_line_limited(reader: &mut impl BufRead, max: usize) -> Result<Option<String>, HttpError> {
-    let mut line = String::new();
-    let n = reader.take((max + 1) as u64).read_line(&mut line)?;
+    // Read raw bytes and validate UTF-8 explicitly: `BufRead::read_line`
+    // would surface non-UTF-8 bytes as an *I/O* error (InvalidData), which
+    // misclassifies a malformed request as a transport failure. The fuzz
+    // sweep found exactly that on bit-flipped request lines.
+    let mut raw = Vec::new();
+    let n = reader.take((max + 1) as u64).read_until(b'\n', &mut raw)?;
     if n == 0 {
         return Ok(None);
     }
-    if n > max && !line.ends_with('\n') {
+    if n > max && !raw.ends_with(b"\n") {
         return Err(HttpError::HeadersTooLarge(format!("line exceeds {max} bytes")));
     }
+    let line = String::from_utf8(raw)
+        .map_err(|_| HttpError::Malformed("non-utf-8 bytes in request line or header".into()))?;
     Ok(Some(line))
 }
 
@@ -394,11 +404,18 @@ fn read_body(
     // silently desynchronize peer and server framing.
     let len: usize = match headers.get("content-length") {
         None => 0,
-        Some(v) => v
-            .parse::<u64>()
-            .ok()
-            .and_then(|n| usize::try_from(n).ok())
-            .ok_or_else(|| HttpError::Malformed(format!("bad content-length: {v:?}")))?,
+        Some(v) => {
+            // `u64::parse` accepts a leading `+`; HTTP content-length is
+            // DIGIT-only, and anything looser desynchronizes framing with
+            // peers that reject it.
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::Malformed(format!("bad content-length: {v:?}")));
+            }
+            v.parse::<u64>()
+                .ok()
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| HttpError::Malformed(format!("bad content-length: {v:?}")))?
+        }
     };
     if len > MAX_BODY {
         return Err(HttpError::BodyTooLarge(len));
@@ -797,5 +814,96 @@ mod tests {
         assert_eq!(a.path, "/first");
         assert_eq!(b.path, "/second");
         assert!(matches!(Request::read_from_buffered(&mut reader), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn non_utf8_request_line_is_malformed_not_io() {
+        // Regression: `read_line_limited` used to funnel non-UTF-8 bytes
+        // through `BufRead::read_line`, which reports them as an *I/O* error
+        // (kind InvalidData) — misclassifying a malformed request as a
+        // transport failure. The fuzz sweep found this via bit flips.
+        let raw = b"GET /\xff\xfe HTTP/1.1\r\n\r\n".to_vec();
+        let err = Request::read_from(&mut Cursor::new(raw)).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "got {err:?}");
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn non_utf8_header_line_is_malformed_not_io() {
+        let raw = b"GET / HTTP/1.1\r\nx-bad: \x80\x81\r\n\r\n".to_vec();
+        let err = Request::read_from(&mut Cursor::new(raw)).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn missing_request_target_is_malformed() {
+        for raw in [&b"GET\r\n\r\n"[..], &b"GET  HTTP/1.1\r\n\r\n"[..], &b"\r\n\r\n"[..]] {
+            let err = Request::read_from(&mut Cursor::new(raw.to_vec())).unwrap_err();
+            assert_eq!(err.status(), 400, "for {raw:?}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_content_length_values_are_rejected_cleanly() {
+        // (` 5` is absent: header-value OWS trimming normalizes it to `5`.)
+        for bad in ["-1", "1e9", "18446744073709551616", "0x10", "nope", "+3", ""] {
+            let raw = format!("POST / HTTP/1.1\r\ncontent-length: {bad}\r\n\r\n");
+            let err = Request::read_from(&mut Cursor::new(raw.into_bytes())).unwrap_err();
+            assert!(matches!(err, HttpError::Malformed(_)), "for {bad:?}: {err:?}");
+        }
+        // In-range for u64 but over the body cap: a 413, not an allocation.
+        let raw = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", u64::MAX);
+        let err = Request::read_from(&mut Cursor::new(raw.into_bytes())).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge(_)), "got {err:?}");
+    }
+
+    /// The property every mutant must satisfy: the parser returns `Ok` or a
+    /// typed `Err` — it never panics, and it never leaks a malformed request
+    /// as an `Io` error (only genuine EOF may surface as `Io`).
+    fn assert_clean_parse(mutant: &[u8]) {
+        match Request::read_from(&mut Cursor::new(mutant.to_vec())) {
+            Ok(_) | Err(HttpError::Closed) => {}
+            Err(HttpError::Io(e)) => {
+                assert_eq!(
+                    e.kind(),
+                    std::io::ErrorKind::UnexpectedEof,
+                    "Io error other than EOF for mutant {mutant:?}"
+                );
+            }
+            Err(_) => {}
+        }
+        // The incremental parser must agree it can make a clean decision too.
+        let _ = try_parse_request(mutant);
+    }
+
+    #[test]
+    fn fuzz_sweep_request_parser() {
+        let corpus: Vec<Vec<u8>> = {
+            let mut c = Vec::new();
+            for req in [
+                Request::new(Method::Get, "/v1/campaigns?limit=5&offset=0"),
+                Request::new(Method::Post, "/v1/functions").json(&serde_json::json!({
+                    "name": "echo", "language": "rust", "source": "fn main() {}"
+                })),
+                Request::new(Method::Delete, "/v1/campaigns/42"),
+                Request::new(Method::Put, "/v1/policies/tdx").json(&serde_json::json!({
+                    "min_tcb": 7
+                })),
+            ] {
+                let mut raw = Vec::new();
+                req.write_to(&mut raw).unwrap();
+                c.push(raw);
+            }
+            c
+        };
+
+        let mut mutator = confbench_crypto::fuzz::Mutator::new(0xC0FF_BE7C_0001);
+        let iters = confbench_crypto::fuzz::sweep_iters();
+        for base in &corpus {
+            for _ in 0..iters {
+                let mutant = mutator.mutate(base);
+                assert_clean_parse(&mutant);
+            }
+        }
     }
 }

@@ -1,0 +1,79 @@
+//! `confbench-mc` — exhaustive bounded model checking of the TEE state
+//! machines.
+//!
+//! ```text
+//! confbench-mc [--machine all|rmp|sept|gpt|tdisp] [--depth N]
+//! ```
+//!
+//! Exits non-zero when any invariant is violated, printing a minimal
+//! counterexample trace per violated invariant. CI runs this as the
+//! `model-check` step.
+
+use std::process::ExitCode;
+
+use confbench_mc::{
+    check, check_all, machines, CheckConfig, GptMachine, Report, RmpMachine, SeptMachine,
+    TdispMachine,
+};
+
+fn usage() -> ! {
+    eprintln!("usage: confbench-mc [--machine all|rmp|sept|gpt|tdisp] [--depth N]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut machine = String::from("all");
+    let mut cfg = CheckConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--machine" => machine = args.next().unwrap_or_else(|| usage()),
+            "--depth" => {
+                cfg.depth = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let reports: Vec<Report> = match machine.as_str() {
+        "all" => check_all(&cfg),
+        "rmp" => vec![check(
+            &RmpMachine::standard(),
+            &cfg,
+            &machines::rmp_state_invariants(),
+            &machines::rmp_step_invariants(),
+        )],
+        "sept" => vec![check(
+            &SeptMachine::standard(),
+            &cfg,
+            &machines::sept_state_invariants(),
+            &machines::sept_step_invariants(),
+        )],
+        "gpt" => vec![check(
+            &GptMachine::standard(),
+            &cfg,
+            &machines::gpt_state_invariants(),
+            &machines::gpt_step_invariants(),
+        )],
+        "tdisp" => vec![check(
+            &TdispMachine,
+            &cfg,
+            &machines::tdisp_state_invariants(),
+            &machines::tdisp_step_invariants(),
+        )],
+        _ => usage(),
+    };
+
+    let mut failed = false;
+    for report in &reports {
+        print!("{}", report.render());
+        failed |= !report.violations.is_empty();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

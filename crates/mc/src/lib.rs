@@ -1,0 +1,435 @@
+//! Bounded model checking for ConfBench's TEE state machines.
+//!
+//! The RMP, Secure-EPT, CCA granule-table, and TDISP models encode the
+//! security invariants every measurement in the tool depends on — and every
+//! scale PR rewrites one of them under time pressure. This crate checks them
+//! the way "Formal Verification of Secure Encrypted Virtualization" checked
+//! the SEV page lifecycle: enumerate *every* (state × operation) sequence up
+//! to a depth bound and evaluate the invariants as executable predicates,
+//! printing a minimal counterexample trace on violation.
+//!
+//! The checker is a breadth-first search over canonical state snapshots with
+//! a visited set, so each reachable state is expanded once and — because BFS
+//! visits states in distance order — the first trace that reaches a
+//! violation is a shortest one. Small worlds (two pages, two guests, two
+//! host frames) keep the state spaces in the tens-to-hundreds while still
+//! exhibiting every cross-owner interaction the invariants speak about; the
+//! search reports when it *closed* the state space (a level added no new
+//! state), which the standard worlds all do well inside the default depth.
+//!
+//! # Example
+//!
+//! ```
+//! use confbench_mc::{check_all, CheckConfig};
+//!
+//! let reports = check_all(&CheckConfig::default());
+//! for r in &reports {
+//!     assert!(r.violations.is_empty(), "{}", r.render());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+pub mod machines;
+
+pub use machines::{GptMachine, RmpMachine, SeptMachine, TdispMachine};
+
+/// Stable code for an accepted operation, used in [`Outcome::code`].
+pub const OK: &str = "ok";
+
+/// What applying one operation to one state produced.
+#[derive(Debug, Clone)]
+pub struct Outcome<S> {
+    /// The successor state (unchanged from the input state when the machine
+    /// rejected the operation — all four TEE machines reject without
+    /// mutating, and the step invariants verify that).
+    pub next: S,
+    /// Whether the machine accepted the operation.
+    pub accepted: bool,
+    /// Stable label for the result: [`OK`] when accepted, otherwise a
+    /// machine-defined fault-class tag (e.g. `"not-validated"`). Invariants
+    /// key on these to pin *which* fault a state must produce.
+    pub code: &'static str,
+}
+
+impl<S> Outcome<S> {
+    /// An accepted transition into `next`.
+    pub fn ok(next: S) -> Self {
+        Outcome { next, accepted: true, code: OK }
+    }
+
+    /// A rejected operation leaving the machine in `state`, tagged with the
+    /// fault-class `code`.
+    pub fn rejected(state: S, code: &'static str) -> Self {
+        Outcome { next: state, accepted: false, code }
+    }
+}
+
+/// A state machine the checker can enumerate.
+///
+/// `State` must be a *canonical* snapshot: two snapshots compare equal iff
+/// the underlying machine states are indistinguishable (use sorted vectors,
+/// not hash maps).
+pub trait Machine {
+    /// Canonical state snapshot.
+    type State: Clone + Eq + Hash + fmt::Debug;
+    /// One operation, with its operands bound (e.g. `Assign { page: 0,
+    /// asid: 1 }`).
+    type Op: Clone + fmt::Debug;
+
+    /// Machine name for reports.
+    fn name(&self) -> &'static str;
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+    /// Every operation the small world admits. Same list for every state —
+    /// illegal combinations are exactly what the machine must reject.
+    fn ops(&self) -> Vec<Self::Op>;
+    /// Applies `op` to `state`.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> Outcome<Self::State>;
+}
+
+/// A predicate over a single reachable state.
+pub struct StateInvariant<M: Machine> {
+    /// Invariant name, shown in violation reports.
+    pub name: &'static str,
+    /// Returns `Err(detail)` when `state` violates the invariant.
+    pub check: fn(&M::State) -> Result<(), String>,
+}
+
+/// Signature of a step-invariant predicate: pre-state, operation, outcome.
+pub type StepCheck<M> = fn(
+    &<M as Machine>::State,
+    &<M as Machine>::Op,
+    &Outcome<<M as Machine>::State>,
+) -> Result<(), String>;
+
+/// A predicate over one transition: the pre-state, the operation, and its
+/// outcome. This is where fault-class reachability lives ("this error is
+/// only produced by states that can produce it") and where acceptance
+/// conditions live ("private DMA is only accepted in `Run`").
+pub struct StepInvariant<M: Machine> {
+    /// Invariant name, shown in violation reports.
+    pub name: &'static str,
+    /// Returns `Err(detail)` when the transition violates the invariant.
+    pub check: StepCheck<M>,
+}
+
+/// Search bounds.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Maximum operation-sequence length explored.
+    pub depth: usize,
+    /// Safety valve on distinct states (the small worlds stay far below
+    /// it; hitting it marks the report incomplete instead of looping).
+    pub max_states: usize,
+}
+
+impl Default for CheckConfig {
+    /// Depth 8 closes every standard world; 1M states is a generous valve.
+    fn default() -> Self {
+        CheckConfig { depth: 8, max_states: 1_000_000 }
+    }
+}
+
+/// One invariant violation with its minimal witness.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The violated invariant's name.
+    pub invariant: &'static str,
+    /// What the predicate reported.
+    pub detail: String,
+    /// Shortest operation sequence from the initial state reaching the
+    /// violation (rendered `Debug` forms of the ops).
+    pub trace: Vec<String>,
+    /// The state in which the invariant failed (rendered `Debug` form).
+    pub state: String,
+}
+
+/// Result of checking one machine.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Machine name.
+    pub machine: &'static str,
+    /// Depth bound used.
+    pub depth: usize,
+    /// Distinct reachable states visited.
+    pub states: usize,
+    /// (state × operation) transitions evaluated.
+    pub transitions: u64,
+    /// Whether the search *closed* the state space (some BFS level added no
+    /// new states before the depth bound ran out) — i.e. the invariants
+    /// hold for sequences of **any** length, not just up to `depth`.
+    pub closed: bool,
+    /// Violations found, each with a minimal trace. At most one per
+    /// invariant (the first, which BFS order makes a shortest witness).
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Renders the report as the human-readable block the CLI prints.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let closure = if self.closed { "state space closed" } else { "depth bound reached" };
+        let _ = writeln!(
+            out,
+            "{}: {} states, {} transitions, depth {} ({closure})",
+            self.machine, self.states, self.transitions, self.depth
+        );
+        if self.violations.is_empty() {
+            let _ = writeln!(out, "  all invariants hold");
+        }
+        for v in &self.violations {
+            let _ = writeln!(out, "  VIOLATION of `{}`: {}", v.invariant, v.detail);
+            for (i, op) in v.trace.iter().enumerate() {
+                let _ = writeln!(out, "    {:>2}. {op}", i + 1);
+            }
+            let _ = writeln!(out, "    => {}", v.state);
+        }
+        out
+    }
+}
+
+/// One arena entry: a discovered state plus the back-pointer (parent index,
+/// rendered op) that first reached it — `None` for the initial state.
+type Node<M> = (<M as Machine>::State, Option<(usize, String)>);
+
+/// Exhaustively explores `machine` up to `cfg.depth`, checking every state
+/// against `state_invs` and every transition against `step_invs`.
+///
+/// Reports at most one violation per invariant — the first one found, which
+/// breadth-first order guarantees is reached by a shortest trace.
+pub fn check<M: Machine>(
+    machine: &M,
+    cfg: &CheckConfig,
+    state_invs: &[StateInvariant<M>],
+    step_invs: &[StepInvariant<M>],
+) -> Report {
+    // Arena of discovered states with back-pointers for trace rebuilding:
+    // nodes[i] = (state, Some((parent index, op that produced it))).
+    let mut nodes: Vec<Node<M>> = Vec::new();
+    let mut seen: HashMap<M::State, usize> = HashMap::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut violated: Vec<&'static str> = Vec::new();
+    let mut transitions = 0u64;
+
+    let trace_to = |nodes: &[Node<M>], idx: usize| -> Vec<String> {
+        let mut ops = Vec::new();
+        let mut cur = idx;
+        while let Some((parent, op)) = &nodes[cur].1 {
+            ops.push(op.clone());
+            cur = *parent;
+        }
+        ops.reverse();
+        ops
+    };
+
+    let ops = machine.ops();
+    let initial = machine.initial();
+    nodes.push((initial.clone(), None));
+    seen.insert(initial, 0);
+
+    for inv in state_invs {
+        if let Err(detail) = (inv.check)(&nodes[0].0) {
+            violations.push(Violation {
+                invariant: inv.name,
+                detail,
+                trace: Vec::new(),
+                state: format!("{:?}", nodes[0].0),
+            });
+            violated.push(inv.name);
+        }
+    }
+
+    let mut frontier: Vec<usize> = vec![0];
+    let mut closed = false;
+    for _level in 0..cfg.depth {
+        if frontier.is_empty() {
+            closed = true;
+            break;
+        }
+        let mut next_frontier = Vec::new();
+        for &idx in &frontier {
+            let state = nodes[idx].0.clone();
+            for op in &ops {
+                transitions += 1;
+                let outcome = machine.apply(&state, op);
+                for inv in step_invs {
+                    if violated.contains(&inv.name) {
+                        continue;
+                    }
+                    if let Err(detail) = (inv.check)(&state, op, &outcome) {
+                        let mut trace = trace_to(&nodes, idx);
+                        trace.push(format!("{op:?}"));
+                        violations.push(Violation {
+                            invariant: inv.name,
+                            detail,
+                            trace,
+                            state: format!("{:?}", outcome.next),
+                        });
+                        violated.push(inv.name);
+                    }
+                }
+                if seen.contains_key(&outcome.next) {
+                    continue;
+                }
+                let new_idx = nodes.len();
+                nodes.push((outcome.next.clone(), Some((idx, format!("{op:?}")))));
+                seen.insert(outcome.next.clone(), new_idx);
+                for inv in state_invs {
+                    if violated.contains(&inv.name) {
+                        continue;
+                    }
+                    if let Err(detail) = (inv.check)(&outcome.next) {
+                        violations.push(Violation {
+                            invariant: inv.name,
+                            detail,
+                            trace: trace_to(&nodes, new_idx),
+                            state: format!("{:?}", outcome.next),
+                        });
+                        violated.push(inv.name);
+                    }
+                }
+                next_frontier.push(new_idx);
+                if nodes.len() >= cfg.max_states {
+                    return Report {
+                        machine: machine.name(),
+                        depth: cfg.depth,
+                        states: nodes.len(),
+                        transitions,
+                        closed: false,
+                        violations,
+                    };
+                }
+            }
+        }
+        frontier = next_frontier;
+    }
+    if frontier.is_empty() {
+        closed = true;
+    }
+
+    Report {
+        machine: machine.name(),
+        depth: cfg.depth,
+        states: nodes.len(),
+        transitions,
+        closed,
+        violations,
+    }
+}
+
+/// Checks all four TEE machines with their standard small worlds and
+/// invariant sets. This is the library form of the `confbench-mc` CLI and
+/// the body of the tier-1 smoke test.
+pub fn check_all(cfg: &CheckConfig) -> Vec<Report> {
+    vec![
+        check(
+            &RmpMachine::standard(),
+            cfg,
+            &machines::rmp_state_invariants(),
+            &machines::rmp_step_invariants(),
+        ),
+        check(
+            &SeptMachine::standard(),
+            cfg,
+            &machines::sept_state_invariants(),
+            &machines::sept_step_invariants(),
+        ),
+        check(
+            &GptMachine::standard(),
+            cfg,
+            &machines::gpt_state_invariants(),
+            &machines::gpt_step_invariants(),
+        ),
+        check(
+            &TdispMachine,
+            cfg,
+            &machines::tdisp_state_invariants(),
+            &machines::tdisp_step_invariants(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately buggy two-slot mapper reproducing the SEPT aliasing
+    /// bug before its fix: `Map { slot, frame }` does not check whether
+    /// `frame` already backs the other slot. The checker must find the
+    /// violation with a *minimal* (2-op) trace.
+    struct AliasingMapper;
+
+    impl Machine for AliasingMapper {
+        type State = [Option<u8>; 2];
+        type Op = (usize, u8);
+
+        fn name(&self) -> &'static str {
+            "aliasing-mapper"
+        }
+        fn initial(&self) -> Self::State {
+            [None, None]
+        }
+        fn ops(&self) -> Vec<Self::Op> {
+            vec![(0, 0), (0, 1), (1, 0), (1, 1)]
+        }
+        fn apply(&self, state: &Self::State, op: &Self::Op) -> Outcome<Self::State> {
+            let (slot, frame) = *op;
+            if state[slot].is_some() {
+                return Outcome::rejected(*state, "already-mapped");
+            }
+            let mut next = *state;
+            next[slot] = Some(frame);
+            Outcome::ok(next)
+        }
+    }
+
+    fn no_aliasing() -> StateInvariant<AliasingMapper> {
+        StateInvariant {
+            name: "no-frame-aliasing",
+            check: |s| match s {
+                [Some(a), Some(b)] if a == b => Err(format!("frame {a} mapped twice")),
+                _ => Ok(()),
+            },
+        }
+    }
+
+    #[test]
+    fn checker_finds_minimal_counterexample() {
+        let report = check(&AliasingMapper, &CheckConfig::default(), &[no_aliasing()], &[]);
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.invariant, "no-frame-aliasing");
+        assert_eq!(v.trace.len(), 2, "BFS must produce a shortest witness: {:?}", v.trace);
+        assert!(report.closed, "4 ops over 2 slots close quickly");
+        assert!(report.render().contains("VIOLATION"));
+    }
+
+    #[test]
+    fn all_tee_machines_hold_their_invariants() {
+        for report in check_all(&CheckConfig::default()) {
+            assert!(report.violations.is_empty(), "{}", report.render());
+            assert!(report.closed, "{}: state space must close within depth 8", report.machine);
+        }
+    }
+
+    #[test]
+    fn depth_bound_is_respected() {
+        // Depth 1 from the initial state cannot close the RMP world.
+        let cfg = CheckConfig { depth: 1, max_states: 1_000_000 };
+        let r = check(
+            &RmpMachine::standard(),
+            &cfg,
+            &machines::rmp_state_invariants(),
+            &machines::rmp_step_invariants(),
+        );
+        assert!(!r.closed);
+        assert!(r.states > 1);
+    }
+}

@@ -214,6 +214,22 @@ impl GranuleTable {
         self.state.iter().filter(|s| **s == GranuleState::Assigned { rd }).count() as u64
     }
 
+    /// Canonical per-granule snapshot, for state-snapshotting (model
+    /// checking).
+    pub fn snapshot(&self) -> Vec<(World, GranuleState)> {
+        self.world.iter().copied().zip(self.state.iter().copied()).collect()
+    }
+
+    /// Rebuilds a GPT from a [`GranuleTable::snapshot`]. The checks counter
+    /// restarts at zero; it is perf-model state, not security state.
+    pub fn from_snapshot(snapshot: &[(World, GranuleState)]) -> Self {
+        GranuleTable {
+            world: snapshot.iter().map(|(w, _)| *w).collect(),
+            state: snapshot.iter().map(|(_, s)| *s).collect(),
+            checks: 0,
+        }
+    }
+
     fn index(&self, g: PageNum) -> Result<usize, GranuleError> {
         if (g.0 as usize) < self.world.len() {
             Ok(g.0 as usize)

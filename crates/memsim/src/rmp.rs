@@ -22,7 +22,7 @@ pub enum RmpOwner {
 }
 
 /// One RMP entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RmpEntry {
     /// Current owner.
     pub owner: RmpOwner,
@@ -238,6 +238,18 @@ impl Rmp {
     /// Number of pages currently owned by `asid`.
     pub fn pages_owned_by(&self, asid: u32) -> u64 {
         self.entries.iter().filter(|e| e.owner == RmpOwner::Guest { asid }).count() as u64
+    }
+
+    /// The full entry table, for state-snapshotting (model checking).
+    pub fn entries(&self) -> &[RmpEntry] {
+        &self.entries
+    }
+
+    /// Rebuilds an RMP from a snapshot previously taken via
+    /// [`Rmp::entries`]. The checks counter restarts at zero; it is
+    /// perf-model state, not security state.
+    pub fn from_entries(entries: Vec<RmpEntry>) -> Self {
+        Rmp { entries, checks: 0 }
     }
 
     fn entry_mut(&mut self, page: PageNum) -> Result<&mut RmpEntry, RmpError> {

@@ -8,7 +8,7 @@
 //! metadata). GPAs with the **shared bit** set bypass the SEPT and map
 //! untrusted shared memory (used for the swiotlb bounce buffers).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use crate::page::PageNum;
@@ -45,6 +45,10 @@ pub enum SeptError {
     BlockedAccess(PageNum),
     /// Operation used a shared-bit GPA where a private GPA is required.
     SharedBitSet(PageNum),
+    /// The host page already backs another private mapping in this SEPT.
+    /// Mapping one HPA at two GPAs would make the page guest-valid under
+    /// two owners — the aliasing the TDX module's PAMT forbids.
+    HpaInUse(PageNum),
 }
 
 impl fmt::Display for SeptError {
@@ -56,6 +60,7 @@ impl fmt::Display for SeptError {
             SeptError::PendingAccess(p) => write!(f, "sept: #VE, gpa {p} pending acceptance"),
             SeptError::BlockedAccess(p) => write!(f, "sept: gpa {p} blocked"),
             SeptError::SharedBitSet(p) => write!(f, "sept: gpa {p} has shared bit set"),
+            SeptError::HpaInUse(p) => write!(f, "sept: hpa {p} already backs another mapping"),
         }
     }
 }
@@ -78,6 +83,11 @@ impl std::error::Error for SeptError {}
 #[derive(Debug, Clone, Default)]
 pub struct SecureEpt {
     entries: HashMap<u64, (PageNum, SeptPageState)>,
+    /// Host pages currently backing a private mapping. `aug`/`add` claim
+    /// the HPA here and `remove` releases it, so one host page can never
+    /// be guest-valid at two GPAs (found by the `confbench-mc` checker:
+    /// `aug(gpa0, hpa)` then `aug(gpa1, hpa)` used to succeed).
+    hpas_in_use: HashSet<u64>,
     accepts: u64,
 }
 
@@ -109,14 +119,10 @@ impl SecureEpt {
     /// # Errors
     ///
     /// [`SeptError::SharedBitSet`] for shared-bit GPAs;
-    /// [`SeptError::AlreadyMapped`] if the GPA is occupied.
+    /// [`SeptError::AlreadyMapped`] if the GPA is occupied;
+    /// [`SeptError::HpaInUse`] if `hpa` already backs another mapping.
     pub fn aug(&mut self, gpa: PageNum, hpa: PageNum) -> Result<(), SeptError> {
-        self.require_private(gpa)?;
-        if self.entries.contains_key(&gpa.0) {
-            return Err(SeptError::AlreadyMapped(gpa));
-        }
-        self.entries.insert(gpa.0, (hpa, SeptPageState::Pending));
-        Ok(())
+        self.map_new(gpa, hpa, SeptPageState::Pending)
     }
 
     /// Build-time operation `TDH.MEM.PAGE.ADD`: map and immediately accept
@@ -126,11 +132,23 @@ impl SecureEpt {
     ///
     /// As [`SecureEpt::aug`].
     pub fn add(&mut self, gpa: PageNum, hpa: PageNum) -> Result<(), SeptError> {
+        self.map_new(gpa, hpa, SeptPageState::Mapped)
+    }
+
+    fn map_new(
+        &mut self,
+        gpa: PageNum,
+        hpa: PageNum,
+        state: SeptPageState,
+    ) -> Result<(), SeptError> {
         self.require_private(gpa)?;
         if self.entries.contains_key(&gpa.0) {
             return Err(SeptError::AlreadyMapped(gpa));
         }
-        self.entries.insert(gpa.0, (hpa, SeptPageState::Mapped));
+        if !self.hpas_in_use.insert(hpa.0) {
+            return Err(SeptError::HpaInUse(hpa));
+        }
+        self.entries.insert(gpa.0, (hpa, state));
         Ok(())
     }
 
@@ -183,6 +201,7 @@ impl SecureEpt {
             Some((hpa, SeptPageState::Blocked)) => {
                 let hpa = *hpa;
                 self.entries.remove(&gpa.0);
+                self.hpas_in_use.remove(&hpa.0);
                 Ok(hpa)
             }
             Some(_) => Err(SeptError::NotPending(gpa)),
@@ -213,6 +232,26 @@ impl SecureEpt {
     /// Current state of a GPA, if mapped.
     pub fn state(&self, gpa: PageNum) -> Option<SeptPageState> {
         self.entries.get(&gpa.0).map(|(_, s)| *s)
+    }
+
+    /// Canonical snapshot of the table, sorted by GPA, for
+    /// state-snapshotting (model checking).
+    pub fn snapshot(&self) -> Vec<(PageNum, PageNum, SeptPageState)> {
+        let mut v: Vec<_> =
+            self.entries.iter().map(|(gpa, (hpa, s))| (PageNum(*gpa), *hpa, *s)).collect();
+        v.sort_unstable_by_key(|(gpa, _, _)| gpa.0);
+        v
+    }
+
+    /// Rebuilds a SEPT from a [`SecureEpt::snapshot`]. The accepts counter
+    /// restarts at zero; it is perf-model state, not security state.
+    pub fn from_snapshot(snapshot: &[(PageNum, PageNum, SeptPageState)]) -> Self {
+        let mut sept = SecureEpt::new();
+        for (gpa, hpa, state) in snapshot {
+            sept.entries.insert(gpa.0, (*hpa, *state));
+            sept.hpas_in_use.insert(hpa.0);
+        }
+        sept
     }
 
     fn require_private(&self, gpa: PageNum) -> Result<(), SeptError> {
@@ -294,5 +333,142 @@ mod tests {
     fn unmapped_access_faults() {
         let sept = SecureEpt::new();
         assert_eq!(sept.check_access(PageNum(9)), Err(SeptError::NotMapped(PageNum(9))));
+    }
+
+    /// Regression for the aliasing bug the `confbench-mc` checker found:
+    /// mapping one host page at two GPAs used to succeed, making the page
+    /// guest-valid under two owners once both were accepted.
+    #[test]
+    fn hpa_aliasing_rejected() {
+        let mut sept = SecureEpt::new();
+        sept.aug(PageNum(1), PageNum(100)).unwrap();
+        assert_eq!(sept.aug(PageNum(2), PageNum(100)), Err(SeptError::HpaInUse(PageNum(100))));
+        assert_eq!(sept.add(PageNum(2), PageNum(100)), Err(SeptError::HpaInUse(PageNum(100))));
+        // Still aliased after the first mapping is accepted.
+        sept.accept(PageNum(1)).unwrap();
+        assert_eq!(sept.aug(PageNum(2), PageNum(100)), Err(SeptError::HpaInUse(PageNum(100))));
+        // A different host page is fine.
+        sept.aug(PageNum(2), PageNum(101)).unwrap();
+    }
+
+    #[test]
+    fn remove_releases_the_hpa() {
+        let mut sept = SecureEpt::new();
+        sept.add(PageNum(1), PageNum(100)).unwrap();
+        sept.block(PageNum(1)).unwrap();
+        assert_eq!(sept.remove(PageNum(1)), Ok(PageNum(100)));
+        // The host page is free again and can back a new mapping.
+        sept.aug(PageNum(2), PageNum(100)).unwrap();
+    }
+
+    /// Exhaustive (state × operation) table for a single GPA, including the
+    /// repaired hpa-ownership dimension: `held` means another GPA already
+    /// maps the host page the operation would use. Written out literally —
+    /// independently of the implementation — so a rule change must be made
+    /// twice to pass.
+    #[test]
+    fn every_state_operation_pair_matches_the_table() {
+        use SeptPageState as P;
+
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        enum GpaState {
+            Absent,
+            Pending,
+            Mapped,
+            Blocked,
+        }
+        #[derive(Debug, Clone, Copy)]
+        enum Op {
+            Aug,
+            Add,
+            Accept,
+            Block,
+            Remove,
+            Access,
+        }
+        const OPS: [Op; 6] = [Op::Aug, Op::Add, Op::Accept, Op::Block, Op::Remove, Op::Access];
+
+        let gpa = PageNum(1);
+        let hpa = PageNum(100);
+        let other_gpa = PageNum(2);
+
+        // What each (gpa-state, hpa-held, operation) triple must produce:
+        // `Ok(next)` carries the resulting state of `gpa` (None = unmapped).
+        let expected = |state: GpaState, held: bool, op: Op| -> Result<Option<P>, SeptError> {
+            match (state, op) {
+                (GpaState::Absent, Op::Aug) if held => Err(SeptError::HpaInUse(hpa)),
+                (GpaState::Absent, Op::Add) if held => Err(SeptError::HpaInUse(hpa)),
+                (GpaState::Absent, Op::Aug) => Ok(Some(P::Pending)),
+                (GpaState::Absent, Op::Add) => Ok(Some(P::Mapped)),
+                (GpaState::Absent, Op::Accept | Op::Block | Op::Remove | Op::Access) => {
+                    Err(SeptError::NotMapped(gpa))
+                }
+                (_, Op::Aug | Op::Add) => Err(SeptError::AlreadyMapped(gpa)),
+                (GpaState::Pending, Op::Accept) => Ok(Some(P::Mapped)),
+                (GpaState::Pending, Op::Access) => Err(SeptError::PendingAccess(gpa)),
+                (GpaState::Mapped | GpaState::Blocked, Op::Accept) => {
+                    Err(SeptError::NotPending(gpa))
+                }
+                (_, Op::Block) => Ok(Some(P::Blocked)),
+                (GpaState::Blocked, Op::Remove) => Ok(None),
+                (GpaState::Pending | GpaState::Mapped, Op::Remove) => {
+                    Err(SeptError::NotPending(gpa))
+                }
+                (GpaState::Mapped, Op::Access) => Ok(Some(P::Mapped)),
+                (GpaState::Blocked, Op::Access) => Err(SeptError::BlockedAccess(gpa)),
+            }
+        };
+
+        for state in [GpaState::Absent, GpaState::Pending, GpaState::Mapped, GpaState::Blocked] {
+            // `held` only varies the Absent row: a present `gpa` already
+            // owns its hpa, so aug/add fail on AlreadyMapped first.
+            for held in [false, true] {
+                if held && state != GpaState::Absent {
+                    continue;
+                }
+                for op in OPS {
+                    let mut sept = SecureEpt::new();
+                    match state {
+                        GpaState::Absent => {}
+                        GpaState::Pending => sept.aug(gpa, hpa).unwrap(),
+                        GpaState::Mapped => sept.add(gpa, hpa).unwrap(),
+                        GpaState::Blocked => {
+                            sept.add(gpa, hpa).unwrap();
+                            sept.block(gpa).unwrap();
+                        }
+                    }
+                    if held {
+                        sept.aug(other_gpa, hpa).unwrap();
+                    }
+                    let got = match op {
+                        Op::Aug => sept.aug(gpa, hpa).map(|()| sept.state(gpa)),
+                        Op::Add => sept.add(gpa, hpa).map(|()| sept.state(gpa)),
+                        Op::Accept => sept.accept(gpa).map(|()| sept.state(gpa)),
+                        Op::Block => sept.block(gpa).map(|()| sept.state(gpa)),
+                        Op::Remove => sept.remove(gpa).map(|_| sept.state(gpa)),
+                        Op::Access => sept.check_access(gpa).map(|_| sept.state(gpa)),
+                    };
+                    assert_eq!(
+                        got,
+                        expected(state, held, op),
+                        "({state:?}, held={held}, {op:?}) diverged from the table"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let mut sept = SecureEpt::new();
+        sept.aug(PageNum(3), PageNum(300)).unwrap();
+        sept.add(PageNum(1), PageNum(100)).unwrap();
+        let snap = sept.snapshot();
+        assert_eq!(snap[0].0, PageNum(1), "snapshot is gpa-sorted");
+        let back = SecureEpt::from_snapshot(&snap);
+        assert_eq!(back.snapshot(), snap);
+        // The rebuilt table still enforces hpa ownership.
+        let mut back = back;
+        assert_eq!(back.aug(PageNum(5), PageNum(100)), Err(SeptError::HpaInUse(PageNum(100))));
     }
 }

@@ -36,7 +36,12 @@ pub fn add_routes(router: &mut Router, sched: Arc<Scheduler>) {
                 resp.status = 202;
                 resp
             }
-            Err(e @ SubmitError::Invalid(_)) => Response::error(400, Error::from(e).to_string()),
+            Err(e @ SubmitError::Invalid(_)) => {
+                // 400 for malformed specs, 413 for well-formed-but-oversized
+                // ones — the shared `rest_status` table decides.
+                let err = Error::from(e);
+                Response::error(err.rest_status(), err.to_string())
+            }
             Err(e @ SubmitError::QueueFull { retry_after_secs, .. }) => {
                 let mut resp = Response::error(429, Error::from(e).to_string());
                 resp.headers.insert("retry-after".into(), retry_after_secs.to_string());
@@ -188,6 +193,75 @@ mod tests {
         assert_eq!(resp.status, 429);
         assert_eq!(resp.headers.get("retry-after").map(String::as_str), Some("7"));
         assert!(String::from_utf8_lossy(&resp.body).contains("queue full"));
+    }
+
+    #[test]
+    fn adversarial_spec_is_refused_with_413_before_expansion() {
+        use std::time::Instant;
+
+        // 10k × 10k × 1 × 1 would be 100M cells (at hundreds of bytes each,
+        // a queue-time OOM). Admission must refuse it by arithmetic alone.
+        let mut huge = spec();
+        huge.functions = (0..10_000).map(|i| CampaignFunction::new(format!("f{i}"))).collect();
+        huge.languages = vec![Language::Go; 10_000];
+        let (router, sched) = router(16);
+        let started = Instant::now();
+        let resp = router.dispatch(&Request::new(Method::Post, "/v1/campaigns").json(&huge));
+        assert_eq!(resp.status, 413);
+        assert!(String::from_utf8_lossy(&resp.body).contains("payload too large"));
+        assert!(started.elapsed().as_secs() < 5, "rejection must not expand the matrix");
+
+        // An oversized single axis is likewise a 413.
+        let mut long_axis = spec();
+        long_axis.languages = vec![Language::Go; confbench_types::MAX_AXIS_LEN + 1];
+        let resp = router.dispatch(&Request::new(Method::Post, "/v1/campaigns").json(&long_axis));
+        assert_eq!(resp.status, 413);
+
+        // Nothing was enqueued by either refusal.
+        assert_eq!(sched.metrics().counter_value("sched_jobs_enqueued_total").unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn configured_max_cells_tightens_admission() {
+        let clock = Arc::new(ManualClock::new());
+        let config = SchedulerConfig { max_cells: 1, ..SchedulerConfig::default() };
+        let sched = Scheduler::new(Arc::new(Echo), clock, config);
+        let mut two_cells = spec();
+        two_cells.languages = vec![Language::Go, Language::Lua];
+        let err = sched.submit(two_cells).unwrap_err();
+        assert_eq!(Error::from(err).rest_status(), 413);
+        assert!(sched.submit(spec()).is_ok(), "within the tightened cap");
+    }
+
+    #[test]
+    fn fuzz_sweep_campaign_spec_json() {
+        let (router, _sched) = router(256);
+        let corpus: Vec<Vec<u8>> = vec![
+            serde_json::to_vec(&spec()).unwrap(),
+            br#"{"functions":[{"name":"fib","args":["10"]}],"languages":["go"],
+                 "platforms":["tdx"],"modes":["secure"],"trials":2,
+                 "deadline_ms":50,"priority":"high","device":"gpu"}"#
+                .to_vec(),
+        ];
+        let mut mutator = confbench_crypto::fuzz::Mutator::new(0xC0FF_BE7C_0003);
+        let iters = confbench_crypto::fuzz::sweep_iters();
+        for base in &corpus {
+            for _ in 0..iters {
+                let mut req = Request::new(Method::Post, "/v1/campaigns");
+                req.body = mutator.mutate(base);
+                // Property: admission never panics and always answers with a
+                // status from the documented table — 202 accepted, 400/413
+                // refused, 429 full. Anything else (500, an Err bubbling as
+                // a panic) is a bug in spec decoding or validation.
+                let resp = router.dispatch(&req);
+                assert!(
+                    matches!(resp.status, 202 | 400 | 413 | 429),
+                    "unexpected status {} for mutant {:?}",
+                    resp.status,
+                    String::from_utf8_lossy(&req.body)
+                );
+            }
+        }
     }
 
     #[test]

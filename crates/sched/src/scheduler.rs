@@ -30,15 +30,22 @@ pub struct SchedulerConfig {
     /// Entry cap of the result cache (LRU eviction beyond it). Wired from
     /// the gateway's `--cache-capacity` flag.
     pub cache_capacity: usize,
+    /// Most cells one campaign may expand to. Enforced at admission —
+    /// *before* expansion allocates anything — and clamped to
+    /// [`confbench_types::MAX_CAMPAIGN_CELLS`], so a deployment
+    /// can tighten the bound but never remove it.
+    pub max_cells: usize,
 }
 
 impl Default for SchedulerConfig {
-    /// 256 queued jobs, `Retry-After: 1`, 4096 cached results.
+    /// 256 queued jobs, `Retry-After: 1`, 4096 cached results, cells capped
+    /// at the workspace-wide [`confbench_types::MAX_CAMPAIGN_CELLS`].
     fn default() -> Self {
         SchedulerConfig {
             queue_capacity: 256,
             retry_after_secs: 1,
             cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+            max_cells: confbench_types::MAX_CAMPAIGN_CELLS,
         }
     }
 }
@@ -228,10 +235,12 @@ impl Scheduler {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Invalid`] on a malformed spec; [`SubmitError::QueueFull`]
+    /// [`SubmitError::Invalid`] on a malformed or oversized spec (all size
+    /// bounds — axis lengths and the configured `max_cells` — are enforced
+    /// here, before expansion allocates anything); [`SubmitError::QueueFull`]
     /// when the bounded queue cannot take the whole matrix.
     pub fn submit(&self, spec: CampaignSpec) -> Result<CampaignReceipt, SubmitError> {
-        spec.validate().map_err(SubmitError::Invalid)?;
+        spec.validate_with_limit(self.config.max_cells).map_err(SubmitError::Invalid)?;
         let cells = campaign::expand(&spec);
         let now = self.clock.now_ms();
 

@@ -175,17 +175,31 @@ fn default_trials() -> u32 {
 }
 
 /// Upper bound on cells per campaign (guards the expander against
-/// accidentally astronomical cross products).
+/// accidentally astronomical cross products). Deployments can admit less
+/// via [`CampaignSpec::validate_with_limit`], never more.
 pub const MAX_CAMPAIGN_CELLS: usize = 100_000;
+
+/// Upper bound on the length of any single campaign axis. Axis entries are
+/// materialized verbatim into every expanded cell, so an attacker-sized axis
+/// is memory amplification even when the *cross product* stays under the
+/// cell cap (e.g. 100 000 functions × 1 × 1 × 1).
+pub const MAX_AXIS_LEN: usize = 10_000;
 
 /// Typed rejection of an invalid [`CampaignSpec`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InvalidCampaign {
     /// One of the matrix axes is empty: nothing to expand.
     EmptyAxis(&'static str),
+    /// One of the matrix axes exceeds [`MAX_AXIS_LEN`] entries.
+    AxisTooLong {
+        /// Which axis.
+        axis: &'static str,
+        /// Entries submitted.
+        len: usize,
+    },
     /// `trials == 0`.
     ZeroTrials,
-    /// The cross product exceeds [`MAX_CAMPAIGN_CELLS`].
+    /// The cross product exceeds the admission limit in force.
     TooManyCells(usize),
     /// `deadline_ms == Some(0)`.
     ZeroDeadline,
@@ -196,6 +210,9 @@ impl fmt::Display for InvalidCampaign {
         match self {
             InvalidCampaign::EmptyAxis(axis) => {
                 write!(f, "campaign axis {axis:?} is empty: nothing to expand")
+            }
+            InvalidCampaign::AxisTooLong { axis, len } => {
+                write!(f, "campaign axis {axis:?} has {len} entries (limit {MAX_AXIS_LEN})")
             }
             InvalidCampaign::ZeroTrials => write!(f, "trials must be at least 1 (got 0)"),
             InvalidCampaign::TooManyCells(n) => {
@@ -212,7 +229,14 @@ impl std::error::Error for InvalidCampaign {}
 
 impl From<InvalidCampaign> for crate::Error {
     fn from(e: InvalidCampaign) -> Self {
-        crate::Error::InvalidRequest(e.to_string())
+        match e {
+            // Size rejections are 413: the spec is well-formed, just bigger
+            // than the service admits — the client should shrink it.
+            InvalidCampaign::TooManyCells(_) | InvalidCampaign::AxisTooLong { .. } => {
+                crate::Error::PayloadTooLarge(e.to_string())
+            }
+            _ => crate::Error::InvalidRequest(e.to_string()),
+        }
     }
 }
 
@@ -226,25 +250,42 @@ impl CampaignSpec {
             .saturating_mul(self.modes.len())
     }
 
-    /// Checks the invariants the scheduler requires.
+    /// Checks the invariants the scheduler requires, with the default
+    /// [`MAX_CAMPAIGN_CELLS`] admission limit.
     ///
     /// # Errors
     ///
-    /// [`InvalidCampaign`] when an axis is empty, `trials` is zero, a zero
-    /// deadline was set, or the cross product exceeds
-    /// [`MAX_CAMPAIGN_CELLS`].
+    /// As [`CampaignSpec::validate_with_limit`].
     pub fn validate(&self) -> Result<(), InvalidCampaign> {
-        if self.functions.is_empty() {
-            return Err(InvalidCampaign::EmptyAxis("functions"));
-        }
-        if self.languages.is_empty() {
-            return Err(InvalidCampaign::EmptyAxis("languages"));
-        }
-        if self.platforms.is_empty() {
-            return Err(InvalidCampaign::EmptyAxis("platforms"));
-        }
-        if self.modes.is_empty() {
-            return Err(InvalidCampaign::EmptyAxis("modes"));
+        self.validate_with_limit(MAX_CAMPAIGN_CELLS)
+    }
+
+    /// Checks the invariants the scheduler requires, admitting at most
+    /// `max_cells` expanded cells (clamped to [`MAX_CAMPAIGN_CELLS`]).
+    ///
+    /// All bounds are enforced *here*, at admission, before any expansion
+    /// allocates — an adversarial spec costs the service one arithmetic
+    /// pass, not a queue-time OOM.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidCampaign`] when an axis is empty or longer than
+    /// [`MAX_AXIS_LEN`], `trials` is zero, a zero deadline was set, or the
+    /// cross product exceeds the limit in force.
+    pub fn validate_with_limit(&self, max_cells: usize) -> Result<(), InvalidCampaign> {
+        let axes: [(&'static str, usize); 4] = [
+            ("functions", self.functions.len()),
+            ("languages", self.languages.len()),
+            ("platforms", self.platforms.len()),
+            ("modes", self.modes.len()),
+        ];
+        for (axis, len) in axes {
+            if len == 0 {
+                return Err(InvalidCampaign::EmptyAxis(axis));
+            }
+            if len > MAX_AXIS_LEN {
+                return Err(InvalidCampaign::AxisTooLong { axis, len });
+            }
         }
         if self.trials == 0 {
             return Err(InvalidCampaign::ZeroTrials);
@@ -253,7 +294,7 @@ impl CampaignSpec {
             return Err(InvalidCampaign::ZeroDeadline);
         }
         let cells = self.cell_count();
-        if cells > MAX_CAMPAIGN_CELLS {
+        if cells > max_cells.min(MAX_CAMPAIGN_CELLS) {
             return Err(InvalidCampaign::TooManyCells(cells));
         }
         Ok(())
@@ -454,10 +495,44 @@ mod tests {
     #[test]
     fn validate_caps_the_cross_product() {
         let mut s = spec();
-        s.functions =
-            (0..MAX_CAMPAIGN_CELLS).map(|i| CampaignFunction::new(format!("f{i}"))).collect();
-        // 100k functions × 2 languages × 1 platform × 2 modes > the cap.
+        // Every axis is within its own cap, but the product overflows the
+        // cell cap: 10k functions × 11 languages × 1 platform × 2 modes.
+        s.functions = (0..MAX_AXIS_LEN).map(|i| CampaignFunction::new(format!("f{i}"))).collect();
+        s.languages = vec![Language::Go; 11];
+        s.platforms = vec![TeePlatform::Tdx];
         assert!(matches!(s.validate(), Err(InvalidCampaign::TooManyCells(_))));
+    }
+
+    #[test]
+    fn validate_caps_each_axis_before_the_product() {
+        // A single oversized axis is refused even though the cross product
+        // (100 001 × 1 × 1 × 1) is only just over the cell cap — the axis
+        // bytes themselves are the amplification vector.
+        let mut s = spec();
+        s.functions = (0..=MAX_AXIS_LEN).map(|i| CampaignFunction::new(format!("f{i}"))).collect();
+        s.languages = vec![Language::Go];
+        s.platforms = vec![TeePlatform::Tdx];
+        s.modes = vec![VmKind::Secure];
+        assert_eq!(
+            s.validate(),
+            Err(InvalidCampaign::AxisTooLong { axis: "functions", len: MAX_AXIS_LEN + 1 })
+        );
+    }
+
+    #[test]
+    fn validate_with_limit_tightens_but_never_loosens_the_cap() {
+        let s = spec(); // 4 cells
+        assert!(s.validate_with_limit(4).is_ok());
+        assert_eq!(s.validate_with_limit(3), Err(InvalidCampaign::TooManyCells(4)));
+        // A huge configured limit still clamps to MAX_CAMPAIGN_CELLS.
+        let mut big = spec();
+        big.functions = (0..MAX_AXIS_LEN).map(|i| CampaignFunction::new(format!("f{i}"))).collect();
+        big.languages = vec![Language::Go; 11];
+        big.platforms = vec![TeePlatform::Tdx];
+        assert!(matches!(
+            big.validate_with_limit(usize::MAX),
+            Err(InvalidCampaign::TooManyCells(_))
+        ));
     }
 
     #[test]
@@ -513,6 +588,14 @@ mod tests {
     fn invalid_campaign_maps_to_400() {
         let e: crate::Error = InvalidCampaign::ZeroTrials.into();
         assert_eq!(e.rest_status(), 400);
+    }
+
+    #[test]
+    fn oversized_campaign_maps_to_413() {
+        let e: crate::Error = InvalidCampaign::TooManyCells(1_000_000).into();
+        assert_eq!(e.rest_status(), 413);
+        let e: crate::Error = InvalidCampaign::AxisTooLong { axis: "functions", len: 99 }.into();
+        assert_eq!(e.rest_status(), 413);
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub enum Error {
     /// The scheduler's bounded job queue is at capacity; retry later
     /// (maps to HTTP 429 with a `Retry-After` header).
     QueueFull(String),
+    /// The request is well-formed but bigger than the service will take
+    /// (oversized campaign axes, cell counts past the admission cap). Maps
+    /// to HTTP 413 — distinct from [`Error::InvalidRequest`] so clients can
+    /// tell "shrink it" from "fix it".
+    PayloadTooLarge(String),
     /// A TEE-substrate mechanism failed (injected by a fault plan, or — on
     /// real hardware — an actual SEAMCALL/RMP/RMM error). The class decides
     /// recovery: transient faults are retried in place, fatal faults force
@@ -60,6 +65,7 @@ impl Error {
     /// |--------|--------|
     /// | 404    | [`Error::UnknownFunction`] |
     /// | 400    | [`Error::InvalidRequest`], [`Error::UnsupportedLanguage`] |
+    /// | 413    | [`Error::PayloadTooLarge`] |
     /// | 429    | [`Error::QueueFull`] |
     /// | 503    | [`Error::NoVmAvailable`], [`Error::TeeFault`] |
     /// | 504    | [`Error::DeadlineExceeded`] |
@@ -73,6 +79,7 @@ impl Error {
         match self {
             Error::UnknownFunction(_) => 404,
             Error::InvalidRequest(_) | Error::UnsupportedLanguage(_) => 400,
+            Error::PayloadTooLarge(_) => 413,
             Error::QueueFull(_) => 429,
             Error::NoVmAvailable(_) | Error::TeeFault { .. } => 503,
             Error::DeadlineExceeded(_) => 504,
@@ -114,6 +121,7 @@ impl Error {
         match status {
             404 => Some(Error::UnknownFunction(body)),
             400 => Some(Error::InvalidRequest(body)),
+            413 => Some(Error::PayloadTooLarge(body)),
             429 => Some(Error::QueueFull(body)),
             503 => Some(Error::NoVmAvailable(body)),
             504 => Some(Error::DeadlineExceeded(body)),
@@ -134,6 +142,7 @@ impl fmt::Display for Error {
             Error::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
             Error::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             Error::QueueFull(msg) => write!(f, "queue full: {msg}"),
+            Error::PayloadTooLarge(msg) => write!(f, "payload too large: {msg}"),
             Error::TeeFault { platform, mechanism, class } => {
                 write!(f, "tee fault: {class} {mechanism} failure on {platform}")
             }
@@ -192,6 +201,7 @@ mod tests {
         assert_eq!(Error::UnknownFunction("f".into()).rest_status(), 404);
         assert_eq!(Error::InvalidRequest("x".into()).rest_status(), 400);
         assert_eq!(Error::UnsupportedLanguage("cobol".into()).rest_status(), 400);
+        assert_eq!(Error::PayloadTooLarge("too many cells".into()).rest_status(), 413);
         assert_eq!(Error::QueueFull("128 queued".into()).rest_status(), 429);
         assert_eq!(Error::NoVmAvailable("tdx".into()).rest_status(), 503);
         assert_eq!(Error::DeadlineExceeded("50ms".into()).rest_status(), 504);
@@ -226,6 +236,7 @@ mod tests {
         for e in [
             Error::UnknownFunction("f".into()),
             Error::InvalidRequest("x".into()),
+            Error::PayloadTooLarge("big".into()),
             Error::QueueFull("full".into()),
             Error::NoVmAvailable("tdx".into()),
             Error::DeadlineExceeded("50ms".into()),
@@ -242,6 +253,7 @@ mod tests {
         for e in [
             Error::UnknownFunction("f".into()),
             Error::InvalidRequest("x".into()),
+            Error::PayloadTooLarge("big".into()),
             Error::QueueFull("128 queued".into()),
             Error::NoVmAvailable("tdx".into()),
             Error::DeadlineExceeded("50ms".into()),

@@ -42,7 +42,7 @@ mod trace;
 pub use campaign::{
     CampaignCell, CampaignFunction, CampaignId, CampaignReceipt, CampaignSpec, CampaignState,
     CampaignStatus, CellSummary, InvalidCampaign, JobId, JobState, JobStatus, Priority,
-    MAX_CAMPAIGN_CELLS,
+    MAX_AXIS_LEN, MAX_CAMPAIGN_CELLS,
 };
 pub use clock::{Clock, Cycles, ManualClock, SimClock, SystemClock};
 pub use device::{DeviceKind, ParseDeviceKindError};

@@ -1,0 +1,44 @@
+//! Regenerates the **fleet & migration** figure — live-migration downtime
+//! per platform (stop-and-copy + re-attest blackout), pre-copy
+//! convergence, and cross-shard work-steal counts for a hot-shard
+//! rebalance.
+//!
+//! Usage: `fig_migration [--quick|--smoke] [--seed N]`
+
+use confbench_bench::{fig_migration, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::from_cli(11);
+    println!("=== Fleet & migration: downtime, convergence, stealing ===\n");
+    let fig = fig_migration::run(cfg);
+
+    for row in &fig.rows {
+        let min = row.downtime_us.iter().min().copied().unwrap_or(0);
+        let max = row.downtime_us.iter().max().copied().unwrap_or(0);
+        println!(
+            "{:<12} downtime median {:>6} us (min {} / max {}), {} pre-copy rounds, \
+             {} pages, {} wire bytes, session {}",
+            row.label,
+            row.median_us(),
+            min,
+            max,
+            row.precopy_rounds,
+            row.pages_total,
+            row.wire_bytes,
+            row.session,
+        );
+    }
+
+    let r = &fig.rebalance;
+    println!(
+        "\nrebalance: {} jobs on a 3-shard fleet, {} cross-shard steals, \
+         {} executions (dedup exact)",
+        r.jobs, r.steals, r.executions
+    );
+    assert_eq!(r.executions, r.jobs, "stealing must never duplicate work");
+    println!(
+        "\npaper shape: downtime is dominated by the re-attest leg on the\n\
+         cold identity and collapses once the fleet session cache is warm;\n\
+         pre-copy converges in one or two rounds for these working sets."
+    );
+}

@@ -191,4 +191,5 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig8;
 pub mod fig_gpu;
+pub mod fig_migration;
 pub mod heatmap;

@@ -15,6 +15,9 @@
 //! confbench-cli [--gateway ADDR] attest verify [--tee P] [--nonce N]
 //! confbench-cli [--gateway ADDR] attest status|revoke ID
 //! confbench-cli [--gateway ADDR] attest extend ID --index N --data S
+//! confbench-cli [--gateway ADDR] fleet status
+//! confbench-cli [--gateway ADDR] fleet drain|kill SHARD
+//! confbench-cli [--gateway ADDR] migrate [--tee P] [--normal] [--max-rounds N]
 //! ```
 //!
 //! `attest verify` opens (or joins) a verified attestation session and
@@ -88,6 +91,9 @@ fn run() -> Result<(), String> {
              attest verify [--tee PLATFORM] [--nonce N]\n\
              attest status|revoke ID\n\
              attest extend ID --index N --data S\n\
+             fleet status            (against a confbench-fleetd)\n\
+             fleet drain|kill SHARD\n\
+             migrate [--tee PLATFORM] [--normal] [--max-rounds N]\n\
              run also takes --attest-session ID to ride a live session"
         );
         return Ok(());
@@ -156,8 +162,124 @@ fn run() -> Result<(), String> {
                 other => Err(format!("unknown attest action {other} (try --help)")),
             }
         }
+        "fleet" => {
+            let action = cli.next_positional().ok_or("fleet needs status|drain|kill")?;
+            match action.as_str() {
+                "status" => fleet_status(&cli),
+                "drain" | "kill" => {
+                    let shard = cli.next_positional().ok_or("fleet drain/kill needs SHARD")?;
+                    fleet_shard_action(&cli, &action, &shard)
+                }
+                other => Err(format!("unknown fleet action {other} (try --help)")),
+            }
+        }
+        "migrate" => migrate_vm(&cli),
         other => Err(format!("unknown command {other} (try --help)")),
     }
+}
+
+/// Plain rendering of a JSON scalar for table output.
+fn jv(value: &serde_json::Value) -> String {
+    if let Some(s) = value.as_str() {
+        return s.to_owned();
+    }
+    if let Some(n) = value.as_u64() {
+        return n.to_string();
+    }
+    if let Some(b) = value.as_bool() {
+        return b.to_string();
+    }
+    format!("{value:?}")
+}
+
+fn fleet_status(cli: &Cli) -> Result<(), String> {
+    let resp = cli
+        .client
+        .send(&Request::new(Method::Get, "/v1/fleet"))
+        .map_err(|e| format!("request failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("fleet said {}: {}", resp.status, String::from_utf8_lossy(&resp.body)));
+    }
+    let view: serde_json::Value = resp.body_json().map_err(|e| format!("bad response: {e}"))?;
+    println!(
+        "fleet: {} alive, {} steals, {} cells re-placed, {} migrations",
+        jv(&view["alive"]),
+        jv(&view["steals"]),
+        jv(&view["cells_replaced"]),
+        jv(&view["migrations"])
+    );
+    println!(
+        "{:<6} {:<6} {:>7} {:>9} {:>7} {:>8}",
+        "shard", "alive", "queued", "cached", "hits", "misses"
+    );
+    for shard in view["shards"].as_array().map(Vec::as_slice).unwrap_or_default() {
+        println!(
+            "{:<6} {:<6} {:>7} {:>9} {:>7} {:>8}",
+            jv(&shard["shard"]),
+            jv(&shard["alive"]),
+            jv(&shard["queue_depth"]),
+            jv(&shard["cache_entries"]),
+            jv(&shard["cache_hits"]),
+            jv(&shard["cache_misses"]),
+        );
+    }
+    Ok(())
+}
+
+fn fleet_shard_action(cli: &Cli, action: &str, shard: &str) -> Result<(), String> {
+    let resp = cli
+        .client
+        .send(&Request::new(Method::Post, &format!("/v1/fleet/shards/{shard}/{action}")))
+        .map_err(|e| format!("request failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("fleet said {}: {}", resp.status, String::from_utf8_lossy(&resp.body)));
+    }
+    let view: serde_json::Value = resp.body_json().map_err(|e| format!("bad response: {e}"))?;
+    println!(
+        "shard {} {}: alive={}, {} cells re-placed",
+        jv(&view["shard"]),
+        if action == "drain" { "drained" } else { "killed" },
+        jv(&view["alive"]),
+        jv(&view["cells_replaced"])
+    );
+    Ok(())
+}
+
+fn migrate_vm(cli: &Cli) -> Result<(), String> {
+    let platform: TeePlatform = cli
+        .flag_value("--tee")
+        .unwrap_or_else(|| "tdx".to_owned())
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let kind = if cli.has_flag("--normal") { "normal" } else { "secure" };
+    let max_rounds: Option<u32> = cli
+        .flag_value("--max-rounds")
+        .map(|v| v.parse().map_err(|e| format!("bad max rounds: {e}")))
+        .transpose()?;
+    let body = serde_json::json!({
+        "platform": platform,
+        "kind": kind,
+        "max_rounds": max_rounds,
+    });
+    let resp = cli
+        .client
+        .send(&Request::new(Method::Post, "/v1/migrations").json(&body))
+        .map_err(|e| format!("request failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("fleet said {}: {}", resp.status, String::from_utf8_lossy(&resp.body)));
+    }
+    let view: serde_json::Value = resp.body_json().map_err(|e| format!("bad response: {e}"))?;
+    println!("migrated {platform}/{kind}");
+    println!("downtime : {} us (stop-and-copy + re-attest blackout)", jv(&view["downtime_us"]));
+    println!(
+        "pre-copy : {} rounds, {} pages total, {} wire bytes in {} frames",
+        jv(&view["precopy_rounds"]),
+        jv(&view["pages_total"]),
+        jv(&view["wire_bytes"]),
+        jv(&view["frames"])
+    );
+    println!("session  : {}", view["session"].as_str().unwrap_or("?"));
+    Ok(())
 }
 
 fn list(cli: &Cli) -> Result<(), String> {

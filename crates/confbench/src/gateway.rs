@@ -107,6 +107,7 @@ pub struct GatewayBuilder {
     chaos: Option<Arc<TeeFaultPlan>>,
     rebuild_budget: u32,
     attest: AttestConfig,
+    attest_service: Option<Arc<AttestService>>,
 }
 
 impl GatewayBuilder {
@@ -187,6 +188,24 @@ impl GatewayBuilder {
         self
     }
 
+    /// Shares a pre-built [`AttestService`] instead of constructing a
+    /// private one. The fleet layer passes one service to every shard so
+    /// the session cache's single-flight and the collateral refresher's
+    /// claim slots span the whole fleet — N shards cold-verifying the same
+    /// TCB identity do *one* PCS collateral cycle, not N.
+    pub fn attest_service(mut self, service: Arc<AttestService>) -> Self {
+        self.attest_service = Some(service);
+        self
+    }
+
+    /// Shares a pre-built [`FunctionStore`] (default: a fresh empty one).
+    /// Fleet shards share one store so every shard fingerprints a function
+    /// identically and content addresses agree fleet-wide.
+    pub fn store(mut self, store: Arc<FunctionStore>) -> Self {
+        self.store = store;
+        self
+    }
+
     /// Tunes the REST listener's connection layer (handler worker pool
     /// size, connection admission window, keep-alive timeouts; socket I/O
     /// itself runs on the listener's epoll reactor). The `Retry-After`
@@ -207,12 +226,14 @@ impl GatewayBuilder {
     pub fn build(self) -> Gateway {
         assert!(!self.hosts.is_empty(), "gateway needs at least one host");
         let recorder = SpanRecorder::new(Arc::clone(&self.clock));
-        let attest = Arc::new(AttestService::new(
-            self.seed,
-            self.attest,
-            Arc::clone(&self.clock),
-            Some(&self.metrics),
-        ));
+        let attest = self.attest_service.unwrap_or_else(|| {
+            Arc::new(AttestService::new(
+                self.seed,
+                self.attest,
+                Arc::clone(&self.clock),
+                Some(&self.metrics),
+            ))
+        });
         let mut by_platform: HashMap<TeePlatform, Vec<HostRef>> = HashMap::new();
         for (platform, spec) in self.hosts {
             let host = match spec {
@@ -341,6 +362,7 @@ impl Gateway {
             chaos: TeeFaultPlan::from_env(),
             rebuild_budget: DEFAULT_REBUILD_BUDGET,
             attest: AttestConfig::from_env(),
+            attest_service: None,
         }
     }
 
@@ -351,6 +373,12 @@ impl Gateway {
 
     /// The function database.
     pub fn store(&self) -> &FunctionStore {
+        &self.store
+    }
+
+    /// The function store as a shareable handle (what the fleet layer hands
+    /// to every shard so content addresses agree fleet-wide).
+    pub fn store_handle(&self) -> &Arc<FunctionStore> {
         &self.store
     }
 

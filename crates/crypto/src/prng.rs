@@ -26,6 +26,13 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The current internal state. `SplitMix64::new(state)` reproduces the
+    /// generator exactly from here — the serialization hook live-migration
+    /// uses to hand a VM's jitter stream to the target host mid-sequence.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next 64 uniformly pseudo-random bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);

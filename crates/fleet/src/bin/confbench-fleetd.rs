@@ -1,0 +1,126 @@
+//! The ConfBench fleet daemon: N gateway shards behind one consistent-hash
+//! placement ring, served over one REST surface.
+//!
+//! ```text
+//! confbench-fleetd [--listen ADDR] [--shards N] [--vnodes N] [--seed N]
+//!                  [--chaos-seed N] [--chaos-rate F]
+//! ```
+//!
+//! A background driver thread pumps the shards (own queues first, then
+//! cross-shard steals); the REST surface exposes the shard table, graceful
+//! drain and abrupt kill of shards, campaign placement, and live
+//! migrations. `--chaos-seed` (nonzero) arms deterministic TEE fault
+//! injection on every shard's hosts at `--chaos-rate`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use confbench::TeeFaultPlan;
+use confbench_fleet::{Fleet, FleetConfig};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("confbench-fleetd: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = "127.0.0.1:7710".to_owned();
+    let mut config = FleetConfig::default();
+    let mut chaos_seed = 0u64;
+    let mut chaos_rate = 0.1f64;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => listen = take_value(&args, &mut i, "--listen")?,
+            "--shards" => {
+                config.shards = take_value(&args, &mut i, "--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad shard count: {e}"))?;
+                if config.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--vnodes" => {
+                config.vnodes = take_value(&args, &mut i, "--vnodes")?
+                    .parse()
+                    .map_err(|e| format!("bad vnode count: {e}"))?;
+                if config.vnodes == 0 {
+                    return Err("--vnodes must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                config.seed = take_value(&args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--chaos-seed" => {
+                chaos_seed = take_value(&args, &mut i, "--chaos-seed")?
+                    .parse()
+                    .map_err(|e| format!("bad chaos seed: {e}"))?;
+            }
+            "--chaos-rate" => {
+                chaos_rate = take_value(&args, &mut i, "--chaos-rate")?
+                    .parse()
+                    .map_err(|e| format!("bad chaos rate: {e}"))?;
+                if !(0.0..=1.0).contains(&chaos_rate) {
+                    return Err("--chaos-rate must be in [0, 1]".into());
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: confbench-fleetd [--listen ADDR] [--shards N] [--vnodes N] [--seed N]\n\
+                     \x20                       [--chaos-seed N] [--chaos-rate F]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+        i += 1;
+    }
+
+    if chaos_seed != 0 {
+        eprintln!("chaos armed: seed {chaos_seed}, fault rate {chaos_rate} per TEE crossing");
+        config.chaos = Some(Arc::new(TeeFaultPlan::new(chaos_seed, chaos_rate)));
+    }
+    let shards = config.shards;
+    eprintln!("booting {shards} gateway shards (3 platforms each)...");
+    let fleet = Arc::new(Fleet::new(config));
+
+    let driver = Arc::clone(&fleet);
+    std::thread::Builder::new()
+        .name("fleet-pump".into())
+        .spawn(move || loop {
+            if !driver.pump() {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        })
+        .map_err(|e| format!("cannot spawn fleet pump: {e}"))?;
+
+    let server = fleet.serve_on(&listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    println!("confbench fleet listening on http://{}", server.addr());
+    println!("  GET  /v1/fleet                    shard table, steals, replacements");
+    println!("  POST /v1/fleet/campaigns          place a campaign across the fleet");
+    println!("  GET  /v1/fleet/campaigns/ID       harvest-judged campaign progress");
+    println!("  POST /v1/fleet/shards/ID/drain    graceful drain (cache migrates)");
+    println!("  POST /v1/fleet/shards/ID/kill     abrupt kill (work re-places)");
+    println!("  POST /v1/migrations               run a live migration");
+    println!("  GET  /v1/migrations               migration reports");
+    println!("fleet: {shards} shards on the placement ring");
+
+    // Serve until interrupted.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+}

@@ -1,0 +1,560 @@
+//! The fleet orchestrator: N gateway shards behind one consistent-hash
+//! ring, with cross-shard work stealing and kill/drain recovery.
+//!
+//! # Determinism and dedup
+//!
+//! Every shard is built with the *same* seed, shares one
+//! [`FunctionStore`], and shares one [`AttestService`]. Same seed + same
+//! store means any shard executes any cell byte-identically, so a cell
+//! re-placed after a host dies reproduces exactly the result the dead
+//! host would have computed. Placement keys are the scheduler's content
+//! addresses (`cache_key`), so a resubmission routes every cell to the
+//! shard whose result cache already holds it; a drained shard hands its
+//! cache entries to the new owners first, so re-placed work cache-hits
+//! instead of re-executing. The *harvest* — a fleet-level merge of every
+//! shard's result-cache snapshot after each pump — is the campaign's
+//! durable record: anything harvested survives any later host loss.
+//!
+//! The shared [`AttestService`] is also the fix for a sharding-specific
+//! regression: the session cache's single-flight and the collateral
+//! refresher's claim slots are per-service, so N *independent* gateways
+//! cold-verifying the same TCB identity would do N PCS collateral
+//! fetches. One shared service makes it exactly one collateral cycle per
+//! identity across the whole fleet (asserted by test against the PCS
+//! request counter).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use confbench::{
+    AttestConfig, AttestService, Clock, FunctionStore, Gateway, RetryPolicy, SystemClock,
+    TeeFaultPlan,
+};
+use confbench_obs::MetricsRegistry;
+use confbench_sched::{
+    cache_key, campaign, CachedCell, Executor, Scheduler, SchedulerConfig, SubmitError,
+};
+use confbench_types::{CampaignCell, CampaignSpec, Priority, TeePlatform, VmTarget};
+use confbench_vmm::TeeVmBuilder;
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use crate::migrate::{migrate, MigrationConfig, MigrationError, MigrationReport};
+use crate::ring::HashRing;
+
+/// Tunables of a [`Fleet`].
+pub struct FleetConfig {
+    /// Gateway shards to build.
+    pub shards: usize,
+    /// Virtual nodes per shard on the placement ring.
+    pub vnodes: usize,
+    /// Deterministic seed shared by *all* shards (the property that makes
+    /// re-placed work byte-identical).
+    pub seed: u64,
+    /// Clock shared by every shard's gateway and scheduler.
+    pub clock: Arc<dyn Clock>,
+    /// Ambient chaos plan installed on every shard's hosts.
+    pub chaos: Option<Arc<TeeFaultPlan>>,
+    /// Retry/backoff policy for every shard's gateway.
+    pub retry: RetryPolicy,
+    /// Per-VM-slot rebuild budget before quarantine.
+    pub rebuild_budget: u32,
+}
+
+impl Default for FleetConfig {
+    /// 3 shards, 32 vnodes, seed 0, system clock, no chaos.
+    fn default() -> Self {
+        FleetConfig {
+            shards: 3,
+            vnodes: 32,
+            seed: 0,
+            clock: Arc::new(SystemClock),
+            chaos: None,
+            retry: RetryPolicy::default(),
+            rebuild_budget: confbench::DEFAULT_REBUILD_BUDGET,
+        }
+    }
+}
+
+/// One gateway shard: a full gateway (hosts for all three platforms) plus
+/// its campaign scheduler, with a per-shard metrics registry so cache and
+/// queue counters can be asserted shard-by-shard.
+struct Shard {
+    gateway: Arc<Gateway>,
+    sched: Arc<Scheduler>,
+    metrics: Arc<MetricsRegistry>,
+    alive: AtomicBool,
+}
+
+/// A cell placed on the fleet: its content address, the cell itself, and
+/// the shard currently responsible for it.
+#[derive(Clone)]
+struct PlacedCell {
+    key: String,
+    cell: CampaignCell,
+    shard: usize,
+}
+
+/// One fleet-level campaign (fans out to per-shard scheduler campaigns).
+struct FleetCampaign {
+    id: String,
+    cells: Vec<PlacedCell>,
+    priority: Priority,
+    deadline_ms: Option<u64>,
+}
+
+#[derive(Default)]
+struct FleetState {
+    next_campaign: u64,
+    campaigns: Vec<FleetCampaign>,
+    /// Fleet-durable results: merged from shard caches after every pump.
+    harvest: BTreeMap<String, CachedCell>,
+    migrations: Vec<MigrationReport>,
+}
+
+/// Receipt for a fleet campaign submission.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReceipt {
+    /// Fleet-level campaign id.
+    pub id: String,
+    /// Cells placed (across all shards).
+    pub jobs: usize,
+}
+
+/// Point-in-time progress of a fleet campaign, measured against the
+/// harvest (what has durably completed, host losses notwithstanding).
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetCampaignStatus {
+    /// Fleet-level campaign id.
+    pub id: String,
+    /// Total cells.
+    pub total: usize,
+    /// Cells whose results are harvested.
+    pub done: usize,
+    /// Whether every cell's result is harvested.
+    pub complete: bool,
+}
+
+/// Per-shard status row for `GET /v1/fleet`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardStatus {
+    /// Shard id (ring member).
+    pub shard: usize,
+    /// Whether the shard is alive (on the ring).
+    pub alive: bool,
+    /// Jobs queued on the shard's scheduler.
+    pub queue_depth: usize,
+    /// Entries in the shard's result cache.
+    pub cache_entries: usize,
+    /// The shard's cache hits (jobs served without executing).
+    pub cache_hits: u64,
+    /// The shard's cache misses (jobs that executed).
+    pub cache_misses: u64,
+}
+
+/// A fleet of gateway shards. See the module docs for the design.
+pub struct Fleet {
+    shards: Vec<Shard>,
+    ring: Mutex<HashRing>,
+    store: Arc<FunctionStore>,
+    attest: Arc<AttestService>,
+    metrics: Arc<MetricsRegistry>,
+    clock: Arc<dyn Clock>,
+    seed: u64,
+    state: Mutex<FleetState>,
+}
+
+impl Fleet {
+    /// Builds the fleet: `config.shards` gateways (each with local hosts
+    /// for all three platforms), one shared function store, one shared
+    /// attestation service, one placement ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.shards == 0`.
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(config.shards > 0, "fleet needs at least one shard");
+        let metrics = Arc::new(MetricsRegistry::new());
+        let store = Arc::new(FunctionStore::new());
+        let attest = Arc::new(AttestService::new(
+            config.seed,
+            AttestConfig::from_env(),
+            Arc::clone(&config.clock),
+            Some(&metrics),
+        ));
+        let mut ring = HashRing::new(config.vnodes);
+        let mut shards = Vec::with_capacity(config.shards);
+        for id in 0..config.shards {
+            ring.insert(id);
+            let shard_metrics = Arc::new(MetricsRegistry::new());
+            let mut builder = Gateway::builder()
+                .seed(config.seed)
+                .store(Arc::clone(&store))
+                .attest_service(Arc::clone(&attest))
+                .metrics(Arc::clone(&shard_metrics))
+                .clock(Arc::clone(&config.clock))
+                .retry(config.retry)
+                .rebuild_budget(config.rebuild_budget)
+                .local_host(TeePlatform::Tdx)
+                .local_host(TeePlatform::SevSnp)
+                .local_host(TeePlatform::Cca);
+            if let Some(plan) = &config.chaos {
+                builder = builder.chaos(Arc::clone(plan));
+            }
+            let gateway = Arc::new(builder.build());
+            let sched = Arc::new(Scheduler::with_metrics(
+                Arc::clone(&gateway) as Arc<dyn Executor>,
+                Arc::clone(&config.clock),
+                SchedulerConfig::default(),
+                Arc::clone(&shard_metrics),
+            ));
+            shards.push(Shard {
+                gateway,
+                sched,
+                metrics: shard_metrics,
+                alive: AtomicBool::new(true),
+            });
+        }
+        metrics.gauge("fleet_shards_alive").set(config.shards as u64);
+        Fleet {
+            shards,
+            ring: Mutex::new(ring),
+            store,
+            attest,
+            metrics,
+            clock: config.clock,
+            seed: config.seed,
+            state: Mutex::new(FleetState::default()),
+        }
+    }
+
+    /// The shared function store (upload functions here once; every shard
+    /// sees them and fingerprints them identically).
+    pub fn store(&self) -> &Arc<FunctionStore> {
+        &self.store
+    }
+
+    /// The fleet-shared attestation service.
+    pub fn attest(&self) -> &Arc<AttestService> {
+        &self.attest
+    }
+
+    /// The fleet-level metrics registry (steal counters, shard gauges,
+    /// migration instruments, plus the shared attestation family).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A shard's private metrics registry (cache/queue counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range shard id.
+    pub fn shard_metrics(&self, shard: usize) -> &Arc<MetricsRegistry> {
+        &self.shards[shard].metrics
+    }
+
+    /// Number of shards built (alive or not).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ids of shards currently alive (on the ring).
+    pub fn alive_shards(&self) -> Vec<usize> {
+        (0..self.shards.len()).filter(|&s| self.shards[s].alive.load(Ordering::SeqCst)).collect()
+    }
+
+    /// The content address a cell is placed by. Content addressing wants
+    /// the function's source fingerprint; unknown functions fall back to
+    /// an empty fingerprint (still deterministic, still well-spread).
+    fn placement_key(&self, cell: &CampaignCell) -> String {
+        let fp =
+            self.shards[0].gateway.function_fingerprint(&cell.function.name).unwrap_or_default();
+        cache_key(cell, &fp)
+    }
+
+    /// Validates, expands, and places a campaign across the fleet: each
+    /// cell goes to the shard owning its content address on the ring.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] — invalid specs are rejected up front; a shard
+    /// refusing admission (queue full) fails the whole submission.
+    pub fn submit(&self, spec: CampaignSpec) -> Result<FleetReceipt, SubmitError> {
+        spec.validate_with_limit(confbench_types::MAX_CAMPAIGN_CELLS)
+            .map_err(SubmitError::Invalid)?;
+        let cells = campaign::expand(&spec);
+        let mut placed = Vec::with_capacity(cells.len());
+        let mut per_shard: BTreeMap<usize, Vec<CampaignCell>> = BTreeMap::new();
+        {
+            let ring = self.ring.lock();
+            for cell in cells {
+                let key = self.placement_key(&cell);
+                let shard = ring.owner(&key).expect("fleet has at least one live shard");
+                per_shard.entry(shard).or_default().push(cell.clone());
+                placed.push(PlacedCell { key, cell, shard });
+            }
+        }
+        for (shard, cells) in per_shard {
+            self.shards[shard].sched.submit_cells(cells, spec.priority, spec.deadline_ms)?;
+        }
+        let mut state = self.state.lock();
+        state.next_campaign += 1;
+        let id = format!("f{}", state.next_campaign);
+        let jobs = placed.len();
+        state.campaigns.push(FleetCampaign {
+            id: id.clone(),
+            cells: placed,
+            priority: spec.priority,
+            deadline_ms: spec.deadline_ms,
+        });
+        self.metrics.counter("fleet_campaigns_total").inc();
+        self.metrics.counter("fleet_cells_placed_total").add(jobs as u64);
+        Ok(FleetReceipt { id, jobs })
+    }
+
+    /// One scheduling pass: every alive shard steps each platform once;
+    /// a shard whose own queue for a platform is empty *steals* — it runs
+    /// the deepest other shard's next job on its own hosts (the victim
+    /// keeps the bookkeeping and the result lands in the victim's cache).
+    /// Returns whether any job was processed.
+    pub fn pump(&self) -> bool {
+        let mut progressed = false;
+        for platform in TeePlatform::ALL {
+            for id in self.alive_shards() {
+                let shard = &self.shards[id];
+                if shard.sched.step(platform) {
+                    progressed = true;
+                    continue;
+                }
+                // Own queue empty: steal from the deepest alive victim.
+                let victim = self
+                    .alive_shards()
+                    .into_iter()
+                    .filter(|&v| v != id)
+                    .map(|v| (self.shards[v].sched.queue_depth_for(platform), v))
+                    .filter(|&(depth, _)| depth > 0)
+                    .max_by_key(|&(depth, _)| depth)
+                    .map(|(_, v)| v);
+                if let Some(v) = victim {
+                    if self.shards[v].sched.step_with(platform, shard.gateway.as_ref()) {
+                        self.metrics.counter("fleet_steals_total").inc();
+                        progressed = true;
+                    }
+                }
+            }
+        }
+        self.harvest();
+        progressed
+    }
+
+    /// Merges every alive shard's result-cache snapshot into the fleet
+    /// harvest. Results harvested once survive any later shard loss.
+    pub fn harvest(&self) {
+        let mut state = self.state.lock();
+        for id in self.alive_shards() {
+            for (key, cell) in self.shards[id].sched.result_cache().snapshot() {
+                state.harvest.entry(key).or_insert(cell);
+            }
+        }
+        self.metrics.gauge("fleet_harvest_entries").set(state.harvest.len() as u64);
+    }
+
+    /// Pumps until no shard makes progress and every queue is empty.
+    pub fn drain(&self) {
+        loop {
+            let progressed = self.pump();
+            let queued: usize =
+                self.alive_shards().iter().map(|&s| self.shards[s].sched.queue_depth()).sum();
+            if !progressed && queued == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Abruptly kills a shard: it comes off the ring, its queue and its
+    /// *unharvested* cache entries are lost. Every campaign cell that was
+    /// placed on it and is not yet in the harvest is re-placed on the
+    /// ring's new owner. Already-harvested cells are not resubmitted —
+    /// that is the dedup guarantee (no cell executes twice *observably*;
+    /// work the dead shard finished stays finished).
+    ///
+    /// Returns how many cells were re-placed.
+    pub fn kill_shard(&self, id: usize) -> usize {
+        self.retire_shard(id, false)
+    }
+
+    /// Gracefully drains a shard: its results are harvested and its cache
+    /// entries migrate to the ring's new owners *before* the shard leaves,
+    /// so re-placed cells cache-hit on their new shard instead of
+    /// re-executing. Returns how many cells were re-placed.
+    pub fn drain_shard(&self, id: usize) -> usize {
+        self.retire_shard(id, true)
+    }
+
+    fn retire_shard(&self, id: usize, graceful: bool) -> usize {
+        assert!(id < self.shards.len(), "unknown shard {id}");
+        if !self.shards[id].alive.swap(false, Ordering::SeqCst) {
+            return 0;
+        }
+        if graceful {
+            // Harvest while the shard still counts as... it just went
+            // dead, so merge its snapshot directly: a graceful drain keeps
+            // every result it computed.
+            let snapshot = self.shards[id].sched.result_cache().snapshot();
+            let mut state = self.state.lock();
+            for (key, cell) in &snapshot {
+                state.harvest.entry(key.clone()).or_insert_with(|| cell.clone());
+            }
+        }
+        self.ring.lock().remove(id);
+        self.metrics.gauge("fleet_shards_alive").set(self.alive_shards().len() as u64);
+
+        // Re-place orphaned cells. Under a graceful drain the cache
+        // entries move first, so the resubmitted duplicates cache-hit.
+        let mut replaced = 0;
+        let mut state = self.state.lock();
+        let harvest_keys: Vec<String> = state.harvest.keys().cloned().collect();
+        let harvested: std::collections::BTreeSet<&String> = harvest_keys.iter().collect();
+        let mut resubmit: BTreeMap<usize, Vec<(usize, usize, CampaignCell)>> = BTreeMap::new();
+        {
+            let ring = self.ring.lock();
+            for (ci, campaign) in state.campaigns.iter().enumerate() {
+                for (pi, placed) in campaign.cells.iter().enumerate() {
+                    if placed.shard != id || harvested.contains(&placed.key) {
+                        continue;
+                    }
+                    let new_owner = ring.owner(&placed.key).expect("ring still has live shards");
+                    resubmit.entry(new_owner).or_default().push((ci, pi, placed.cell.clone()));
+                }
+            }
+        }
+        if graceful {
+            let ring = self.ring.lock();
+            for (key, cell) in self.shards[id].sched.result_cache().snapshot() {
+                if let Some(owner) = ring.owner(&key) {
+                    self.shards[owner].sched.result_cache().insert(key, cell);
+                }
+            }
+        }
+        for (owner, batch) in resubmit {
+            let cells: Vec<CampaignCell> = batch.iter().map(|(_, _, c)| c.clone()).collect();
+            let (priority, deadline) = {
+                let (ci, _, _) = batch[0];
+                (state.campaigns[ci].priority, state.campaigns[ci].deadline_ms)
+            };
+            // A full queue during disaster recovery would deadlock the
+            // fleet; the per-shard queue capacity (256) dwarfs test and
+            // bench campaigns, so treat overflow as a hard bug.
+            self.shards[owner]
+                .sched
+                .submit_cells(cells, priority, deadline)
+                .expect("recovery resubmission fits the new owner's queue");
+            for (ci, pi, _) in batch {
+                state.campaigns[ci].cells[pi].shard = owner;
+                replaced += 1;
+            }
+        }
+        self.metrics.counter("fleet_cells_replaced_total").add(replaced as u64);
+        replaced
+    }
+
+    /// Progress of a fleet campaign, judged against the harvest.
+    pub fn campaign_status(&self, id: &str) -> Option<FleetCampaignStatus> {
+        let state = self.state.lock();
+        let campaign = state.campaigns.iter().find(|c| c.id == id)?;
+        let done = campaign.cells.iter().filter(|p| state.harvest.contains_key(&p.key)).count();
+        Some(FleetCampaignStatus {
+            id: campaign.id.clone(),
+            total: campaign.cells.len(),
+            done,
+            complete: done == campaign.cells.len(),
+        })
+    }
+
+    /// The fleet's durable results: content address → cached cell. After
+    /// [`Fleet::drain`], serializing this is the byte-identical artifact
+    /// the chaos tests compare against a single-gateway control.
+    pub fn results(&self) -> BTreeMap<String, CachedCell> {
+        self.state.lock().harvest.clone()
+    }
+
+    /// Per-shard status rows plus ring occupancy, for `GET /v1/fleet`.
+    pub fn status(&self) -> Vec<ShardStatus> {
+        (0..self.shards.len())
+            .map(|id| {
+                let shard = &self.shards[id];
+                ShardStatus {
+                    shard: id,
+                    alive: shard.alive.load(Ordering::SeqCst),
+                    queue_depth: shard.sched.queue_depth(),
+                    cache_entries: shard.sched.result_cache().len(),
+                    cache_hits: shard.metrics.counter("sched_cache_hits_total").get(),
+                    cache_misses: shard.metrics.counter("sched_cache_misses_total").get(),
+                }
+            })
+            .collect()
+    }
+
+    /// Total executions across the fleet (sum of per-shard cache misses):
+    /// with dedup working, this equals the number of *unique* cells ever
+    /// placed, no matter how many shards died mid-campaign.
+    pub fn total_executions(&self) -> u64 {
+        self.shards.iter().map(|s| s.metrics.counter("sched_cache_misses_total").get()).sum()
+    }
+
+    /// Total cross-shard steals.
+    pub fn steals(&self) -> u64 {
+        self.metrics.counter("fleet_steals_total").get()
+    }
+
+    /// Runs one demonstration live migration: boots a source VM for
+    /// `target`, warms it with `warmup` traces, then migrates it to a
+    /// fresh host (re-attesting through the fleet's shared session cache)
+    /// and records the report. This is what `POST /v1/migrations` and the
+    /// CLI's `migrate` command execute.
+    ///
+    /// # Errors
+    ///
+    /// [`MigrationError`] (the source VM is dropped here; REST callers get
+    /// the message).
+    pub fn run_migration(
+        &self,
+        target: VmTarget,
+        warmup: &[confbench_types::OpTrace],
+        cfg: &MigrationConfig,
+    ) -> Result<MigrationReport, MigrationError> {
+        let mut source = TeeVmBuilder::new(target).seed(self.seed).build();
+        for trace in warmup {
+            source.execute(trace);
+        }
+        let target_builder = TeeVmBuilder::new(target).seed(self.seed ^ 0x5EED);
+        let result = migrate(source, target_builder, &self.attest, &[], cfg);
+        match &result {
+            Ok((_, report)) => {
+                self.metrics.counter("migrations_total").inc();
+                self.metrics
+                    .counter("migration_rounds_total")
+                    .add(u64::from(report.precopy_rounds) + u64::from(report.stopcopy_pages > 0));
+                self.metrics.counter("migration_pages_copied_total").add(report.pages_total);
+                self.metrics.gauge("migration_last_downtime_us").set(report.downtime_us);
+                self.state.lock().migrations.push(report.clone());
+            }
+            Err(_) => {
+                self.metrics.counter("migrations_failed_total").inc();
+            }
+        }
+        result.map(|(_, report)| report)
+    }
+
+    /// Reports of migrations run so far (`GET /v1/migrations`).
+    pub fn migrations(&self) -> Vec<MigrationReport> {
+        self.state.lock().migrations.clone()
+    }
+
+    /// The fleet clock (shared by every shard).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+}

@@ -1,0 +1,434 @@
+//! The live-migration state machine, as a pure transition function.
+//!
+//! `Idle → Draining → PreCopy → StopAndCopy → ReAttest → Resumed/Aborted`
+//!
+//! [`migrate`](mod@crate::migrate) drives this machine step-by-step while
+//! doing the real work (page export, wire framing, re-attestation), and
+//! `confbench-mc` explores it exhaustively as its fifth `Machine` adapter.
+//! Keeping the transition function pure and bounded is what makes both
+//! uses possible: the orchestrator cannot reach a state the model checker
+//! has not visited.
+//!
+//! The safety contract (checked as mc invariants):
+//! * never `Resumed` without a successful re-attest;
+//! * no dirty page left uncopied at resume (`dirty == 0`);
+//! * `Abort` always returns the source VM to a runnable state.
+
+use std::fmt;
+
+/// Phase of a migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MigrationPhase {
+    /// Nothing started.
+    Idle,
+    /// Source stopped accepting new work; in-flight jobs finishing.
+    Draining,
+    /// Iterative dirty-page copy while the source keeps running.
+    PreCopy,
+    /// Source paused; final dirty delta transferring. Downtime starts here.
+    StopAndCopy,
+    /// Pages transferred; target evidence being verified.
+    ReAttest,
+    /// Target running; source retired. Terminal.
+    Resumed,
+    /// Migration cancelled; source runnable again. Terminal.
+    Aborted,
+}
+
+impl MigrationPhase {
+    /// Whether the phase accepts no further operations.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, MigrationPhase::Resumed | MigrationPhase::Aborted)
+    }
+
+    /// Stable kebab-case label for metrics and REST bodies.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MigrationPhase::Idle => "idle",
+            MigrationPhase::Draining => "draining",
+            MigrationPhase::PreCopy => "pre-copy",
+            MigrationPhase::StopAndCopy => "stop-and-copy",
+            MigrationPhase::ReAttest => "re-attest",
+            MigrationPhase::Resumed => "resumed",
+            MigrationPhase::Aborted => "aborted",
+        }
+    }
+}
+
+impl fmt::Display for MigrationPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What the *source* VM is doing, from the scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceVm {
+    /// Executing (or able to execute) work.
+    Running,
+    /// Paused for stop-and-copy; must not dirty pages.
+    Paused,
+    /// Replaced by the target after a successful resume.
+    Retired,
+}
+
+/// Operations the migration orchestrator applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MigrationOp {
+    /// Stop scheduling new work onto the source.
+    Drain,
+    /// Start iterative copy with `resident` pages initially dirty (the
+    /// whole memory image — round one transfers everything).
+    BeginPreCopy {
+        /// Resident pages at migration start.
+        resident: u64,
+    },
+    /// The still-running source dirtied `pages` pages.
+    Touch {
+        /// Pages newly dirtied.
+        pages: u64,
+    },
+    /// One pre-copy round transferred `copied` dirty pages.
+    CopyRound {
+        /// Pages sent this round.
+        copied: u64,
+    },
+    /// Pause the source; enter stop-and-copy.
+    Pause,
+    /// Transfer the final dirty delta (source paused, so it cannot grow).
+    FinalCopy,
+    /// All pages on the target; begin verifying its evidence.
+    BeginReAttest,
+    /// Target evidence verified through the session cache.
+    Attest,
+    /// Start the target, retire the source.
+    Resume,
+    /// Cancel: hand the source back runnable.
+    Abort,
+}
+
+impl MigrationOp {
+    fn name(self) -> &'static str {
+        match self {
+            MigrationOp::Drain => "drain",
+            MigrationOp::BeginPreCopy { .. } => "begin-pre-copy",
+            MigrationOp::Touch { .. } => "touch",
+            MigrationOp::CopyRound { .. } => "copy-round",
+            MigrationOp::Pause => "pause",
+            MigrationOp::FinalCopy => "final-copy",
+            MigrationOp::BeginReAttest => "begin-re-attest",
+            MigrationOp::Attest => "attest",
+            MigrationOp::Resume => "resume",
+            MigrationOp::Abort => "abort",
+        }
+    }
+}
+
+/// Why a transition was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmError {
+    /// The operation is not valid in the current phase.
+    BadPhase {
+        /// Phase the machine was in.
+        phase: MigrationPhase,
+        /// Operation name.
+        op: &'static str,
+    },
+    /// The machine is in a terminal phase.
+    Terminal {
+        /// The terminal phase.
+        phase: MigrationPhase,
+    },
+    /// Dirty-page accounting would exceed the tracking capacity.
+    DirtyOverflow {
+        /// Dirty count the operation would reach.
+        dirty: u64,
+        /// Tracking capacity.
+        cap: u64,
+    },
+    /// A copy round claimed more pages than are dirty.
+    CopyOverrun {
+        /// Pages the round claimed.
+        copied: u64,
+        /// Pages actually dirty.
+        dirty: u64,
+    },
+    /// A copy round transferring zero pages is a protocol error.
+    EmptyCopy,
+    /// Pre-copy cannot start on an empty memory image.
+    EmptyImage,
+    /// Re-attestation cannot start with dirty pages outstanding.
+    DirtyAtReattest {
+        /// Pages still dirty.
+        dirty: u64,
+    },
+    /// Resume attempted without a verified re-attestation.
+    UnattestedResume,
+}
+
+impl FsmError {
+    /// Stable short code (what the mc adapter reports as the rejection).
+    pub fn code(self) -> &'static str {
+        match self {
+            FsmError::BadPhase { .. } => "bad-phase",
+            FsmError::Terminal { .. } => "terminal",
+            FsmError::DirtyOverflow { .. } => "dirty-overflow",
+            FsmError::CopyOverrun { .. } => "copy-overrun",
+            FsmError::EmptyCopy => "empty-copy",
+            FsmError::EmptyImage => "empty-image",
+            FsmError::DirtyAtReattest { .. } => "dirty-at-reattest",
+            FsmError::UnattestedResume => "unattested-resume",
+        }
+    }
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::BadPhase { phase, op } => write!(f, "op {op} invalid in phase {phase}"),
+            FsmError::Terminal { phase } => write!(f, "phase {phase} is terminal"),
+            FsmError::DirtyOverflow { dirty, cap } => {
+                write!(f, "dirty count {dirty} exceeds tracking capacity {cap}")
+            }
+            FsmError::CopyOverrun { copied, dirty } => {
+                write!(f, "round copied {copied} pages but only {dirty} are dirty")
+            }
+            FsmError::EmptyCopy => f.write_str("copy round transferred zero pages"),
+            FsmError::EmptyImage => f.write_str("pre-copy on an empty memory image"),
+            FsmError::DirtyAtReattest { dirty } => {
+                write!(f, "{dirty} dirty pages outstanding at re-attest")
+            }
+            FsmError::UnattestedResume => f.write_str("resume without verified re-attestation"),
+        }
+    }
+}
+
+impl std::error::Error for FsmError {}
+
+/// The migration state machine. Small, `Copy`, `Hash`-able — the model
+/// checker's state type as well as the orchestrator's live bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MigrationFsm {
+    /// Current phase.
+    pub phase: MigrationPhase,
+    /// Dirty pages not yet transferred.
+    pub dirty: u64,
+    /// Whether the target's evidence has been verified.
+    pub attested: bool,
+    /// What the source VM is doing.
+    pub source: SourceVm,
+    /// Dirty-tracking capacity (total pages the VM can hold; a bound the
+    /// model checker uses to keep the state space finite).
+    pub cap: u64,
+}
+
+impl MigrationFsm {
+    /// A fresh machine for a VM holding at most `cap` pages.
+    pub fn new(cap: u64) -> Self {
+        MigrationFsm {
+            phase: MigrationPhase::Idle,
+            dirty: 0,
+            attested: false,
+            source: SourceVm::Running,
+            cap,
+        }
+    }
+
+    /// Applies one operation, returning the successor state.
+    ///
+    /// # Errors
+    ///
+    /// [`FsmError`] describing the rejected transition; the machine itself
+    /// is never mutated on rejection (`apply` is by-value).
+    pub fn apply(self, op: MigrationOp) -> Result<MigrationFsm, FsmError> {
+        use MigrationOp as O;
+        use MigrationPhase as P;
+        if self.phase.is_terminal() {
+            return Err(FsmError::Terminal { phase: self.phase });
+        }
+        let mut next = self;
+        match (self.phase, op) {
+            (P::Idle, O::Drain) => next.phase = P::Draining,
+            (P::Draining, O::BeginPreCopy { resident }) => {
+                if resident == 0 {
+                    return Err(FsmError::EmptyImage);
+                }
+                if resident > self.cap {
+                    return Err(FsmError::DirtyOverflow { dirty: resident, cap: self.cap });
+                }
+                next.phase = P::PreCopy;
+                next.dirty = resident;
+            }
+            (P::PreCopy, O::Touch { pages }) => {
+                // A paused source cannot dirty pages; the phase system
+                // already guarantees it (Pause leaves PreCopy), and the
+                // model checker's step invariant re-checks it.
+                debug_assert_eq!(self.source, SourceVm::Running);
+                let dirty = self.dirty.saturating_add(pages);
+                if dirty > self.cap {
+                    return Err(FsmError::DirtyOverflow { dirty, cap: self.cap });
+                }
+                next.dirty = dirty;
+            }
+            (P::PreCopy, O::CopyRound { copied }) => {
+                if copied == 0 {
+                    return Err(FsmError::EmptyCopy);
+                }
+                if copied > self.dirty {
+                    return Err(FsmError::CopyOverrun { copied, dirty: self.dirty });
+                }
+                next.dirty -= copied;
+            }
+            (P::PreCopy, O::Pause) => {
+                next.phase = P::StopAndCopy;
+                next.source = SourceVm::Paused;
+            }
+            (P::StopAndCopy, O::FinalCopy) => next.dirty = 0,
+            (P::StopAndCopy, O::BeginReAttest) => {
+                if self.dirty != 0 {
+                    return Err(FsmError::DirtyAtReattest { dirty: self.dirty });
+                }
+                next.phase = P::ReAttest;
+            }
+            (P::ReAttest, O::Attest) => next.attested = true,
+            (P::ReAttest, O::Resume) => {
+                if !self.attested {
+                    return Err(FsmError::UnattestedResume);
+                }
+                debug_assert_eq!(self.dirty, 0, "ReAttest unreachable with dirty pages");
+                next.phase = P::Resumed;
+                next.source = SourceVm::Retired;
+            }
+            (_, O::Abort) => {
+                next.phase = P::Aborted;
+                next.source = SourceVm::Running;
+                next.dirty = 0;
+                next.attested = false;
+            }
+            (phase, op) => return Err(FsmError::BadPhase { phase, op: op.name() }),
+        }
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MigrationOp as O;
+    use MigrationPhase as P;
+
+    fn run(ops: &[MigrationOp]) -> Result<MigrationFsm, FsmError> {
+        ops.iter().try_fold(MigrationFsm::new(64), |m, &op| m.apply(op))
+    }
+
+    #[test]
+    fn happy_path_resumes_attested_and_clean() {
+        let end = run(&[
+            O::Drain,
+            O::BeginPreCopy { resident: 10 },
+            O::CopyRound { copied: 10 },
+            O::Touch { pages: 3 },
+            O::CopyRound { copied: 3 },
+            O::Pause,
+            O::FinalCopy,
+            O::BeginReAttest,
+            O::Attest,
+            O::Resume,
+        ])
+        .unwrap();
+        assert_eq!(end.phase, P::Resumed);
+        assert!(end.attested);
+        assert_eq!(end.dirty, 0);
+        assert_eq!(end.source, SourceVm::Retired);
+    }
+
+    #[test]
+    fn resume_without_attest_is_rejected() {
+        let at_reattest = run(&[
+            O::Drain,
+            O::BeginPreCopy { resident: 4 },
+            O::Pause,
+            O::FinalCopy,
+            O::BeginReAttest,
+        ])
+        .unwrap();
+        assert_eq!(at_reattest.apply(O::Resume), Err(FsmError::UnattestedResume));
+    }
+
+    #[test]
+    fn reattest_with_dirty_pages_is_rejected() {
+        let paused = run(&[O::Drain, O::BeginPreCopy { resident: 4 }, O::Pause]).unwrap();
+        assert_eq!(paused.dirty, 4);
+        assert_eq!(paused.apply(O::BeginReAttest), Err(FsmError::DirtyAtReattest { dirty: 4 }));
+        // FinalCopy clears the delta, then re-attest proceeds.
+        let clean = paused.apply(O::FinalCopy).unwrap();
+        assert!(clean.apply(O::BeginReAttest).is_ok());
+    }
+
+    #[test]
+    fn abort_everywhere_returns_source_runnable() {
+        let prefixes: [&[MigrationOp]; 5] = [
+            &[],
+            &[O::Drain],
+            &[O::Drain, O::BeginPreCopy { resident: 4 }],
+            &[O::Drain, O::BeginPreCopy { resident: 4 }, O::Pause],
+            &[O::Drain, O::BeginPreCopy { resident: 4 }, O::Pause, O::FinalCopy, O::BeginReAttest],
+        ];
+        for prefix in prefixes {
+            let aborted = run(prefix).unwrap().apply(O::Abort).unwrap();
+            assert_eq!(aborted.phase, P::Aborted);
+            assert_eq!(aborted.source, SourceVm::Running, "after {prefix:?}");
+        }
+    }
+
+    #[test]
+    fn terminal_states_reject_everything() {
+        let resumed = run(&[
+            O::Drain,
+            O::BeginPreCopy { resident: 1 },
+            O::Pause,
+            O::FinalCopy,
+            O::BeginReAttest,
+            O::Attest,
+            O::Resume,
+        ])
+        .unwrap();
+        for op in [O::Drain, O::Abort, O::Resume] {
+            assert_eq!(resumed.apply(op), Err(FsmError::Terminal { phase: P::Resumed }));
+        }
+        let aborted = MigrationFsm::new(4).apply(O::Abort).unwrap();
+        assert_eq!(aborted.apply(O::Drain), Err(FsmError::Terminal { phase: P::Aborted }));
+    }
+
+    #[test]
+    fn accounting_bounds_are_enforced() {
+        let m = MigrationFsm::new(4);
+        let pre = m.apply(O::Drain).unwrap();
+        assert_eq!(
+            pre.apply(O::BeginPreCopy { resident: 5 }),
+            Err(FsmError::DirtyOverflow { dirty: 5, cap: 4 })
+        );
+        assert_eq!(pre.apply(O::BeginPreCopy { resident: 0 }), Err(FsmError::EmptyImage));
+        let copying = pre.apply(O::BeginPreCopy { resident: 4 }).unwrap();
+        assert_eq!(
+            copying.apply(O::Touch { pages: 1 }),
+            Err(FsmError::DirtyOverflow { dirty: 5, cap: 4 })
+        );
+        assert_eq!(
+            copying.apply(O::CopyRound { copied: 5 }),
+            Err(FsmError::CopyOverrun { copied: 5, dirty: 4 })
+        );
+        assert_eq!(copying.apply(O::CopyRound { copied: 0 }), Err(FsmError::EmptyCopy));
+        // Rejections never mutated the machine.
+        assert_eq!(copying.dirty, 4);
+    }
+
+    #[test]
+    fn codes_and_labels_are_stable() {
+        assert_eq!(FsmError::UnattestedResume.code(), "unattested-resume");
+        assert_eq!(FsmError::EmptyCopy.code(), "empty-copy");
+        assert_eq!(P::StopAndCopy.as_str(), "stop-and-copy");
+        assert!(P::Resumed.is_terminal() && P::Aborted.is_terminal());
+        assert!(!P::PreCopy.is_terminal());
+    }
+}

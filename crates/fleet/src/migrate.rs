@@ -1,0 +1,352 @@
+//! Gateway-orchestrated live migration of a confidential VM.
+//!
+//! The orchestration drives the pure [`MigrationFsm`] step-for-step while
+//! doing the real work, so every path it can take is a path the model
+//! checker has explored:
+//!
+//! 1. **Drain** — the source stops taking new scheduler work; any traces
+//!    still pending execute during pre-copy (that is what dirties pages).
+//! 2. **Pre-copy** — the whole resident image is round one; while pending
+//!    work keeps running, each subsequent round exports the dirty delta
+//!    the SEPT/RMP dirty tracking accumulated, until the delta converges
+//!    or the round budget is spent.
+//! 3. **Stop-and-copy** — the source pauses (downtime clock starts), the
+//!    final delta and the architectural runtime state (virtual clock,
+//!    jitter-PRNG state, heap accounting, exit counters) cross the wire.
+//! 4. **Re-attest** — the target platform is verified through the shared
+//!    `SessionCache` before anything runs; the session id is sealed into
+//!    the stream's `Commit` frame.
+//! 5. **Resume** — the target adopts the runtime state and continues the
+//!    source's execution byte-identically; the source retires.
+//!
+//! Any injected `migration-export` / `migration-import` fault or a failed
+//! re-attestation takes the `Abort` edge instead, handing the source VM
+//! back to the caller still runnable.
+//!
+//! Microarchitectural state (cache-simulator contents, bounce-buffer
+//! occupancy) is deliberately *not* migrated — the target starts cold,
+//! exactly as real hardware would after a move.
+
+use std::time::Instant;
+
+use confbench::AttestService;
+use confbench_types::OpTrace;
+use confbench_vmm::{ExecutionReport, TeeFault, TeeVmBuilder, Vm};
+
+use crate::fsm::{MigrationFsm, MigrationOp};
+use crate::wire::{decode_stream, MigrationFrame, WireError};
+
+/// Tunables of one migration.
+#[derive(Debug, Clone)]
+pub struct MigrationConfig {
+    /// Most pre-copy rounds before the residual delta is deferred to
+    /// stop-and-copy.
+    pub max_rounds: u32,
+    /// Dirty-page count at or below which pre-copy is considered
+    /// converged.
+    pub convergence_pages: u64,
+    /// Transfer nonce sealed into the stream's `Begin` frame.
+    pub nonce: u64,
+}
+
+impl Default for MigrationConfig {
+    /// 8 pre-copy rounds, convergence at ≤ 8 dirty pages.
+    fn default() -> Self {
+        MigrationConfig { max_rounds: 8, convergence_pages: 8, nonce: 0 }
+    }
+}
+
+/// What one migration did — the measured numbers EXPERIMENTS.md reports.
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// Pre-copy rounds actually run (the stop-and-copy delta is extra).
+    pub precopy_rounds: u32,
+    /// Pages transferred during pre-copy (source still running).
+    pub precopy_pages: u64,
+    /// Pages transferred during stop-and-copy (source paused).
+    pub stopcopy_pages: u64,
+    /// Total pages across all rounds.
+    pub pages_total: u64,
+    /// Wall-clock microseconds the VM was paused (stop-and-copy +
+    /// re-attest + state adoption) — the migration *downtime*.
+    pub downtime_us: u64,
+    /// Bytes of the encoded migration stream.
+    pub wire_bytes: usize,
+    /// Frames in the stream.
+    pub frames: usize,
+    /// Re-attestation session id minted for the target
+    /// (`"unattested-normal-vm"` for non-confidential VMs, which carry no
+    /// evidence to verify).
+    pub session: String,
+    /// Reports of the pending traces executed on the source mid-migration.
+    pub source_reports: Vec<ExecutionReport>,
+}
+
+/// Why a migration failed. Every variant that aborts after the source
+/// existed hands the source VM back, still runnable.
+#[derive(Debug)]
+pub enum MigrationError {
+    /// A TEE fault was injected at an export/import crossing.
+    Fault {
+        /// Which stage faulted (`"export"`, `"import"`, `"state"`).
+        stage: &'static str,
+        /// The injected fault.
+        fault: TeeFault,
+        /// The source VM, returned runnable.
+        source: Box<Vm>,
+    },
+    /// Re-attesting the target through the session cache failed.
+    Attest {
+        /// The verifier's error.
+        error: String,
+        /// The source VM, returned runnable.
+        source: Box<Vm>,
+    },
+    /// The encoded stream failed to decode on the target side (protocol
+    /// bug or corruption in transit).
+    Wire {
+        /// The codec error.
+        error: WireError,
+        /// The source VM, returned runnable.
+        source: Box<Vm>,
+    },
+    /// Source and target builders disagree on platform or kind.
+    TargetMismatch {
+        /// The source VM, returned runnable.
+        source: Box<Vm>,
+    },
+}
+
+impl MigrationError {
+    /// Reclaims the still-runnable source VM.
+    pub fn into_source(self) -> Vm {
+        match self {
+            MigrationError::Fault { source, .. }
+            | MigrationError::Attest { source, .. }
+            | MigrationError::Wire { source, .. }
+            | MigrationError::TargetMismatch { source } => *source,
+        }
+    }
+}
+
+impl std::fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrationError::Fault { stage, fault, .. } => {
+                write!(f, "migration {stage} faulted: {fault}")
+            }
+            MigrationError::Attest { error, .. } => write!(f, "target re-attest failed: {error}"),
+            MigrationError::Wire { error, .. } => write!(f, "migration stream corrupt: {error}"),
+            MigrationError::TargetMismatch { .. } => {
+                f.write_str("target builder does not match the source VM's target")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+/// Live-migrates `source` onto a VM built from `target_builder`.
+///
+/// `pending` traces are the work still assigned to the source when the
+/// drain started; they execute on the source *during* pre-copy (dirtying
+/// pages between rounds) so the moved VM's state reflects them. After a
+/// successful migration the returned target VM continues the source's
+/// execution byte-identically — same virtual clock, same jitter stream,
+/// same heap accounting.
+///
+/// # Errors
+///
+/// [`MigrationError`]; every abort path returns the source VM runnable
+/// (reclaim it with [`MigrationError::into_source`]).
+pub fn migrate(
+    mut source: Vm,
+    target_builder: TeeVmBuilder,
+    attest: &AttestService,
+    pending: &[OpTrace],
+    cfg: &MigrationConfig,
+) -> Result<(Vm, MigrationReport), MigrationError> {
+    let target_spec = source.target();
+    let mut fsm = MigrationFsm::new(u64::MAX);
+    let mut frames: Vec<MigrationFrame> = Vec::new();
+    let mut source_reports = Vec::new();
+
+    fsm = step(fsm, MigrationOp::Drain);
+    source.mark_all_dirty();
+    let resident = source.resident_page_count();
+    fsm = step(fsm, MigrationOp::BeginPreCopy { resident });
+    frames.push(MigrationFrame::Begin {
+        platform: target_spec.platform,
+        kind: target_spec.kind,
+        resident,
+        nonce: cfg.nonce,
+    });
+
+    // Pre-copy: round one is the whole image; the source keeps executing
+    // its pending work between rounds, and each round ships the delta.
+    let mut round: u16 = 0;
+    let mut precopy_pages: u64 = 0;
+    // The FSM's dirty counter mirrors the VM's dirty-set size; `tracked`
+    // is what the FSM currently believes, so Touch carries only the delta.
+    let mut tracked: u64 = resident;
+    macro_rules! export_round {
+        () => {{
+            let gpas = match source.export_dirty_pages() {
+                Ok(gpas) => gpas,
+                Err(fault) => return Err(abort(fsm, source, "export", fault)),
+            };
+            if !gpas.is_empty() {
+                round += 1;
+                fsm = step(fsm, MigrationOp::CopyRound { copied: gpas.len() as u64 });
+                tracked -= gpas.len() as u64;
+                precopy_pages += gpas.len() as u64;
+                frames.push(MigrationFrame::Pages { round, gpas });
+            }
+        }};
+    }
+    export_round!();
+    for trace in pending {
+        source_reports.push(source.execute(trace));
+        let dirtied = source.dirty_page_count() as u64;
+        let delta = dirtied.saturating_sub(tracked);
+        if delta > 0 {
+            fsm = step(fsm, MigrationOp::Touch { pages: delta });
+            tracked = dirtied;
+        }
+        // Within the round budget, ship each delta while still running;
+        // past it, let the residue accumulate for stop-and-copy.
+        if u32::from(round) < cfg.max_rounds && dirtied > cfg.convergence_pages {
+            export_round!();
+        }
+    }
+    let precopy_rounds = u32::from(round);
+
+    // Stop-and-copy: pause the source (downtime starts), drain the final
+    // delta — it cannot grow any more.
+    let pause_started = Instant::now();
+    fsm = step(fsm, MigrationOp::Pause);
+    let final_delta = match source.export_dirty_pages() {
+        Ok(gpas) => gpas,
+        Err(fault) => return Err(abort(fsm, source, "export", fault)),
+    };
+    let stopcopy_pages = final_delta.len() as u64;
+    if !final_delta.is_empty() {
+        frames.push(MigrationFrame::Pages { round: round + 1, gpas: final_delta });
+    }
+    fsm = step(fsm, MigrationOp::FinalCopy);
+    fsm = step(fsm, MigrationOp::BeginReAttest);
+
+    let state = match source.export_runtime_state() {
+        Ok(state) => state,
+        Err(fault) => return Err(abort(fsm, source, "state", fault)),
+    };
+    frames.push(MigrationFrame::State(state));
+
+    // Re-attest the target platform through the fleet-shared session
+    // cache before anything resumes. Normal (non-confidential) VMs carry
+    // no evidence; they move unattested, and the Commit frame says so.
+    let session = if target_spec.kind == confbench_types::VmKind::Secure {
+        match attest.reattest(target_spec.platform) {
+            Ok(outcome) => outcome.session.id,
+            Err(e) => return Err(abort(fsm, source, "attest", e)),
+        }
+    } else {
+        "unattested-normal-vm".to_owned()
+    };
+    fsm = step(fsm, MigrationOp::Attest);
+
+    let pages_total = precopy_pages + stopcopy_pages;
+    frames.push(MigrationFrame::Commit {
+        session: session.clone(),
+        pages_total,
+        rounds: precopy_rounds + u32::from(stopcopy_pages > 0),
+    });
+
+    // Encode, "transfer", and replay the stream on the target side. The
+    // target VM boots fresh (its own launch measurement) and then adopts
+    // the source's pages and runtime state.
+    let mut wire = Vec::new();
+    for frame in &frames {
+        wire.extend_from_slice(&frame.encode());
+    }
+    let decoded = match decode_stream(&wire) {
+        Ok(decoded) => decoded,
+        Err(error) => return Err(abort(fsm, source, "wire-err", error)),
+    };
+    let mut target = target_builder.build();
+    if target.target() != target_spec {
+        let aborted = fsm.apply(MigrationOp::Abort).expect("abort is legal from any live phase");
+        debug_assert_eq!(aborted.source, crate::fsm::SourceVm::Running);
+        return Err(MigrationError::TargetMismatch { source: Box::new(source) });
+    }
+    for frame in &decoded {
+        let imported = match frame {
+            MigrationFrame::Pages { gpas, .. } => target.import_pages(gpas).map(|_| ()),
+            MigrationFrame::State(s) => target.adopt_runtime_state(s),
+            MigrationFrame::Begin { .. } | MigrationFrame::Commit { .. } => Ok(()),
+        };
+        if let Err(fault) = imported {
+            return Err(abort(fsm, source, "import", fault));
+        }
+    }
+
+    fsm = step(fsm, MigrationOp::Resume);
+    debug_assert!(fsm.phase.is_terminal());
+    let downtime_us = pause_started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+
+    Ok((
+        target,
+        MigrationReport {
+            precopy_rounds,
+            precopy_pages,
+            stopcopy_pages,
+            pages_total,
+            downtime_us,
+            wire_bytes: wire.len(),
+            frames: decoded.len(),
+            session,
+            source_reports,
+        },
+    ))
+}
+
+/// Applies an op the orchestrator has arranged to be valid; a rejection
+/// here is an orchestration bug (the model checker verifies the machine,
+/// this verifies the driver).
+fn step(fsm: MigrationFsm, op: MigrationOp) -> MigrationFsm {
+    fsm.apply(op).expect("orchestrator drives only legal transitions")
+}
+
+/// Takes the `Abort` edge and wraps the failure, handing the source back.
+fn abort<E: AbortCause>(
+    fsm: MigrationFsm,
+    source: Vm,
+    stage: &'static str,
+    cause: E,
+) -> MigrationError {
+    let aborted = fsm.apply(MigrationOp::Abort).expect("abort is legal from any live phase");
+    debug_assert_eq!(aborted.source, crate::fsm::SourceVm::Running);
+    cause.into_error(stage, Box::new(source))
+}
+
+trait AbortCause {
+    fn into_error(self, stage: &'static str, source: Box<Vm>) -> MigrationError;
+}
+
+impl AbortCause for TeeFault {
+    fn into_error(self, stage: &'static str, source: Box<Vm>) -> MigrationError {
+        MigrationError::Fault { stage, fault: self, source }
+    }
+}
+
+impl AbortCause for confbench_types::Error {
+    fn into_error(self, _stage: &'static str, source: Box<Vm>) -> MigrationError {
+        MigrationError::Attest { error: self.to_string(), source }
+    }
+}
+
+impl AbortCause for WireError {
+    fn into_error(self, _stage: &'static str, source: Box<Vm>) -> MigrationError {
+        MigrationError::Wire { error: self, source }
+    }
+}

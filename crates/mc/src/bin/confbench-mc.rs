@@ -2,7 +2,7 @@
 //! machines.
 //!
 //! ```text
-//! confbench-mc [--machine all|rmp|sept|gpt|tdisp] [--depth N]
+//! confbench-mc [--machine all|rmp|sept|gpt|tdisp|migration] [--depth N]
 //! ```
 //!
 //! Exits non-zero when any invariant is violated, printing a minimal
@@ -12,12 +12,12 @@
 use std::process::ExitCode;
 
 use confbench_mc::{
-    check, check_all, machines, CheckConfig, GptMachine, Report, RmpMachine, SeptMachine,
-    TdispMachine,
+    check, check_all, machines, CheckConfig, GptMachine, MigrationMachine, Report, RmpMachine,
+    SeptMachine, TdispMachine,
 };
 
 fn usage() -> ! {
-    eprintln!("usage: confbench-mc [--machine all|rmp|sept|gpt|tdisp] [--depth N]");
+    eprintln!("usage: confbench-mc [--machine all|rmp|sept|gpt|tdisp|migration] [--depth N]");
     std::process::exit(2);
 }
 
@@ -62,6 +62,12 @@ fn main() -> ExitCode {
             &cfg,
             &machines::tdisp_state_invariants(),
             &machines::tdisp_step_invariants(),
+        )],
+        "migration" => vec![check(
+            &MigrationMachine::standard(),
+            &cfg,
+            &machines::migration_state_invariants(),
+            &machines::migration_step_invariants(),
         )],
         _ => usage(),
     };

@@ -1,8 +1,8 @@
 //! Bounded model checking for ConfBench's TEE state machines.
 //!
-//! The RMP, Secure-EPT, CCA granule-table, and TDISP models encode the
-//! security invariants every measurement in the tool depends on — and every
-//! scale PR rewrites one of them under time pressure. This crate checks them
+//! The RMP, Secure-EPT, CCA granule-table, TDISP, and live-migration models
+//! encode the security invariants every measurement in the tool depends on —
+//! and every scale PR rewrites one of them under time pressure. This crate checks them
 //! the way "Formal Verification of Secure Encrypted Virtualization" checked
 //! the SEV page lifecycle: enumerate *every* (state × operation) sequence up
 //! to a depth bound and evaluate the invariants as executable predicates,
@@ -37,7 +37,7 @@ use std::hash::Hash;
 
 pub mod machines;
 
-pub use machines::{GptMachine, RmpMachine, SeptMachine, TdispMachine};
+pub use machines::{GptMachine, MigrationMachine, RmpMachine, SeptMachine, TdispMachine};
 
 /// Stable code for an accepted operation, used in [`Outcome::code`].
 pub const OK: &str = "ok";
@@ -46,7 +46,7 @@ pub const OK: &str = "ok";
 #[derive(Debug, Clone)]
 pub struct Outcome<S> {
     /// The successor state (unchanged from the input state when the machine
-    /// rejected the operation — all four TEE machines reject without
+    /// rejected the operation — all five TEE machines reject without
     /// mutating, and the step invariants verify that).
     pub next: S,
     /// Whether the machine accepted the operation.
@@ -324,7 +324,7 @@ pub fn check<M: Machine>(
     }
 }
 
-/// Checks all four TEE machines with their standard small worlds and
+/// Checks all five TEE machines with their standard small worlds and
 /// invariant sets. This is the library form of the `confbench-mc` CLI and
 /// the body of the tier-1 smoke test.
 pub fn check_all(cfg: &CheckConfig) -> Vec<Report> {
@@ -352,6 +352,12 @@ pub fn check_all(cfg: &CheckConfig) -> Vec<Report> {
             cfg,
             &machines::tdisp_state_invariants(),
             &machines::tdisp_step_invariants(),
+        ),
+        check(
+            &MigrationMachine::standard(),
+            cfg,
+            &machines::migration_state_invariants(),
+            &machines::migration_step_invariants(),
         ),
     ]
 }

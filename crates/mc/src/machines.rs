@@ -1,4 +1,4 @@
-//! Adapters binding the four TEE state machines to the [`Machine`] trait,
+//! Adapters binding the five TEE state machines to the [`Machine`] trait,
 //! plus their standard small worlds and invariant sets.
 //!
 //! Each adapter snapshots the simulator into a canonical value (sorted
@@ -14,6 +14,7 @@
 //! length.
 
 use confbench_devio::{transition, TdispError, TdispOp, TdispState};
+use confbench_fleet::{MigrationFsm, MigrationOp, MigrationPhase, SourceVm};
 use confbench_memsim::{
     GranuleError, GranuleState, GranuleTable, PageNum, Rmp, RmpEntry, RmpError, RmpOwner,
     SecureEpt, SeptError, SeptPageState, World,
@@ -763,6 +764,195 @@ pub fn tdisp_step_invariants() -> Vec<StepInvariant<TdispMachine>> {
             check: |pre, _op, out| {
                 if out.code == "wedged" && *pre != TdispState::Error {
                     return Err(format!("wedged rejection from {pre}"));
+                }
+                Ok(())
+            },
+        },
+    ]
+}
+
+/// Live-migration state machine
+/// (`Idle → Draining → PreCopy → StopAndCopy → ReAttest →
+/// Resumed/Aborted`) in a small world: a 4-page tracking capacity, a
+/// 2-page resident image, single-page touches, and one- or two-page copy
+/// rounds — enough to reach every phase, every accounting rejection, and
+/// the abort edge from every live phase. Unlike the other four adapters
+/// this one checks a machine from `confbench-fleet`; the fleet's
+/// orchestrator drives the *same* `MigrationFsm::apply`, so the closure
+/// proven here covers every path a real migration can take.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationMachine {
+    /// Dirty-tracking capacity of the small world.
+    pub cap: u64,
+    /// Resident pages at `BeginPreCopy`.
+    pub resident: u64,
+}
+
+impl MigrationMachine {
+    /// The standard small world: capacity 4, resident image of 2.
+    pub fn standard() -> Self {
+        MigrationMachine { cap: 4, resident: 2 }
+    }
+}
+
+impl Machine for MigrationMachine {
+    type State = MigrationFsm;
+    type Op = MigrationOp;
+
+    fn name(&self) -> &'static str {
+        "migration"
+    }
+
+    fn initial(&self) -> MigrationFsm {
+        MigrationFsm::new(self.cap)
+    }
+
+    fn ops(&self) -> Vec<MigrationOp> {
+        vec![
+            MigrationOp::Drain,
+            MigrationOp::BeginPreCopy { resident: self.resident },
+            MigrationOp::Touch { pages: 1 },
+            MigrationOp::CopyRound { copied: 1 },
+            MigrationOp::CopyRound { copied: 2 },
+            MigrationOp::Pause,
+            MigrationOp::FinalCopy,
+            MigrationOp::BeginReAttest,
+            MigrationOp::Attest,
+            MigrationOp::Resume,
+            MigrationOp::Abort,
+        ]
+    }
+
+    fn apply(&self, state: &MigrationFsm, op: &MigrationOp) -> Outcome<MigrationFsm> {
+        match state.apply(*op) {
+            Ok(next) => Outcome::ok(next),
+            Err(e) => Outcome::rejected(*state, e.code()),
+        }
+    }
+}
+
+/// Migration state invariants — the issue's three headline properties
+/// plus accounting sanity.
+pub fn migration_state_invariants() -> Vec<StateInvariant<MigrationMachine>> {
+    vec![
+        StateInvariant {
+            // Never resumed without re-attest, and no dirty page left
+            // uncopied at resume.
+            name: "resumed-implies-attested-and-clean",
+            check: |s| {
+                if s.phase == MigrationPhase::Resumed {
+                    if !s.attested {
+                        return Err("resumed without a verified re-attestation".into());
+                    }
+                    if s.dirty != 0 {
+                        return Err(format!("resumed with {} dirty pages uncopied", s.dirty));
+                    }
+                    if s.source != SourceVm::Retired {
+                        return Err("resumed while the source VM still runs".into());
+                    }
+                }
+                Ok(())
+            },
+        },
+        StateInvariant {
+            // Abort always returns the source VM to a runnable state.
+            name: "aborted-source-runnable",
+            check: |s| {
+                if s.phase == MigrationPhase::Aborted && s.source != SourceVm::Running {
+                    return Err(format!("aborted but source is {:?}", s.source));
+                }
+                Ok(())
+            },
+        },
+        StateInvariant {
+            // At most one live incarnation of the VM: the source only ever
+            // retires on a successful resume.
+            name: "source-retired-only-after-resume",
+            check: |s| {
+                if s.source == SourceVm::Retired && s.phase != MigrationPhase::Resumed {
+                    return Err(format!("source retired in phase {}", s.phase));
+                }
+                Ok(())
+            },
+        },
+        StateInvariant {
+            name: "dirty-within-capacity",
+            check: |s| {
+                if s.dirty > s.cap {
+                    return Err(format!("dirty {} exceeds capacity {}", s.dirty, s.cap));
+                }
+                Ok(())
+            },
+        },
+        StateInvariant {
+            // The pause window is exactly stop-and-copy and re-attest.
+            name: "paused-only-during-blackout",
+            check: |s| {
+                let blackout =
+                    matches!(s.phase, MigrationPhase::StopAndCopy | MigrationPhase::ReAttest);
+                if s.source == SourceVm::Paused && !blackout {
+                    return Err(format!("source paused in phase {}", s.phase));
+                }
+                Ok(())
+            },
+        },
+    ]
+}
+
+/// Migration transition invariants.
+pub fn migration_step_invariants() -> Vec<StepInvariant<MigrationMachine>> {
+    vec![
+        StepInvariant {
+            name: "rejection-leaves-state-unchanged",
+            check: |pre, _op, out| {
+                if !out.accepted && out.next != *pre {
+                    return Err("a rejected operation changed the migration state".into());
+                }
+                Ok(())
+            },
+        },
+        StepInvariant {
+            name: "resume-requires-attest-and-clean",
+            check: |pre, op, out| {
+                if *op == MigrationOp::Resume && out.accepted && (!pre.attested || pre.dirty != 0) {
+                    return Err(format!(
+                        "resume accepted with attested={} dirty={}",
+                        pre.attested, pre.dirty
+                    ));
+                }
+                Ok(())
+            },
+        },
+        StepInvariant {
+            // A paused source must not dirty pages.
+            name: "touch-only-while-source-runs",
+            check: |pre, op, out| {
+                if matches!(op, MigrationOp::Touch { .. })
+                    && out.accepted
+                    && pre.source != SourceVm::Running
+                {
+                    return Err(format!("touch accepted with source {:?}", pre.source));
+                }
+                Ok(())
+            },
+        },
+        StepInvariant {
+            name: "abort-restores-runnable",
+            check: |_pre, op, out| {
+                if *op == MigrationOp::Abort && out.accepted && out.next.source != SourceVm::Running
+                {
+                    return Err(format!("abort left source {:?}", out.next.source));
+                }
+                Ok(())
+            },
+        },
+        StepInvariant {
+            // Stop-and-copy is final: after FinalCopy nothing is dirty
+            // (the paused source cannot re-dirty, and re-attest checks it).
+            name: "final-copy-clears-dirty",
+            check: |_pre, op, out| {
+                if *op == MigrationOp::FinalCopy && out.accepted && out.next.dirty != 0 {
+                    return Err(format!("final copy left {} dirty pages", out.next.dirty));
                 }
                 Ok(())
             },

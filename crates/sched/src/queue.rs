@@ -37,6 +37,12 @@ impl BoundedQueue {
         self.capacity
     }
 
+    /// Jobs queued for one platform across all priorities — what the fleet
+    /// layer's work stealing compares to pick the deepest victim.
+    pub fn depth_for(&self, platform: TeePlatform) -> usize {
+        self.lanes.get(&platform).map_or(0, |lanes| lanes.iter().map(VecDeque::len).sum())
+    }
+
     /// Whether `n` more jobs fit. Campaign admission is all-or-nothing:
     /// the scheduler checks the whole matrix before pushing any job.
     pub fn can_admit(&self, n: usize) -> bool {

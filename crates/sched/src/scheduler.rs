@@ -242,6 +242,25 @@ impl Scheduler {
     pub fn submit(&self, spec: CampaignSpec) -> Result<CampaignReceipt, SubmitError> {
         spec.validate_with_limit(self.config.max_cells).map_err(SubmitError::Invalid)?;
         let cells = campaign::expand(&spec);
+        self.submit_cells(cells, spec.priority, spec.deadline_ms)
+    }
+
+    /// Enqueues pre-expanded cells as one campaign. The fleet layer uses
+    /// this to place a partition of a campaign's matrix on the shard that
+    /// owns those cells' content addresses (and to re-place the remainder
+    /// after a shard dies); [`Scheduler::submit`] is the
+    /// expand-then-enqueue wrapper.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the bounded queue cannot take every
+    /// cell (admission stays all-or-nothing).
+    pub fn submit_cells(
+        &self,
+        cells: Vec<CampaignCell>,
+        priority: Priority,
+        deadline_ms: Option<u64>,
+    ) -> Result<CampaignReceipt, SubmitError> {
         let now = self.clock.now_ms();
 
         let receipt = {
@@ -259,17 +278,17 @@ impl Scheduler {
             let mut job_ids = Vec::with_capacity(cells.len());
             for (idx, cell) in cells.into_iter().enumerate() {
                 let job_id = JobId(format!("{id}-j{idx}"));
-                inner.queue().push(cell.platform, spec.priority, job_id.clone());
+                inner.queue().push(cell.platform, priority, job_id.clone());
                 inner.jobs.insert(
                     job_id.clone(),
                     JobRecord {
                         id: job_id.clone(),
                         campaign: id.clone(),
                         cell,
-                        priority: spec.priority,
+                        priority,
                         state: JobState::Queued,
                         enqueued_at_ms: now,
-                        expires_at_ms: spec.deadline_ms.map(|d| now.saturating_add(d)),
+                        expires_at_ms: deadline_ms.map(|d| now.saturating_add(d)),
                         summary: None,
                         error: None,
                         trace: None,
@@ -296,6 +315,17 @@ impl Scheduler {
     /// This is the worker loop body; tests call it directly for fully
     /// deterministic, single-threaded draining.
     pub fn step(&self, platform: TeePlatform) -> bool {
+        self.step_with(platform, self.executor.as_ref())
+    }
+
+    /// [`Scheduler::step`] with the execution delegated to an arbitrary
+    /// [`Executor`] — the work-stealing primitive. A thief shard calls this
+    /// on the *victim's* scheduler with its own gateway as the executor:
+    /// the victim keeps all bookkeeping (queue, job records, result cache,
+    /// metrics), only the VM execution itself happens on the thief's
+    /// hosts. Content addressing still goes through the scheduler's own
+    /// executor so the cache key is the victim's view of the function.
+    pub fn step_with(&self, platform: TeePlatform, executor: &dyn Executor) -> bool {
         // Phase 1 (locked): dequeue and classify.
         let (job_id, cell, key, enqueued_at_ms) = {
             let mut inner = self.inner.lock();
@@ -356,7 +386,7 @@ impl Scheduler {
             attest_session: None,
             device: cell.device,
         };
-        let outcome = self.executor.execute(&request);
+        let outcome = executor.execute(&request);
 
         // Phase 3 (locked): record the outcome and the span tree.
         let mut span = self.recorder.root("sched.execute");
@@ -539,6 +569,12 @@ impl Scheduler {
     /// Total jobs currently queued (all platforms).
     pub fn queue_depth(&self) -> usize {
         self.inner.lock().queue().depth()
+    }
+
+    /// Jobs currently queued for one platform — what a work-stealing fleet
+    /// inspects to pick the deepest victim.
+    pub fn queue_depth_for(&self, platform: TeePlatform) -> usize {
+        self.inner.lock().queue().depth_for(platform)
     }
 
     /// Priority a job was enqueued with (test/debug introspection).

@@ -48,11 +48,17 @@ pub enum TeeMechanism {
     /// A direct DMA transfer between private memory and an attested device
     /// faulted (IOMMU/TDX-Connect TLP rejection).
     DeviceDma,
+    /// Exporting migration state from the source VM failed (dirty-page
+    /// read-out, `TDH.EXPORT.*`-style calls, SNP `SEND_UPDATE` requests).
+    MigrationExport,
+    /// Importing migration state into the target VM failed
+    /// (`TDH.IMPORT.*`-style calls, SNP `RECEIVE_UPDATE`, granule re-map).
+    MigrationImport,
 }
 
 impl TeeMechanism {
     /// Every mechanism, for exhaustive sweeps.
-    pub const ALL: [TeeMechanism; 11] = [
+    pub const ALL: [TeeMechanism; 13] = [
         TeeMechanism::Seamcall,
         TeeMechanism::SeptAccept,
         TeeMechanism::RmpValidate,
@@ -64,6 +70,8 @@ impl TeeMechanism {
         TeeMechanism::TdispLock,
         TeeMechanism::DeviceAttest,
         TeeMechanism::DeviceDma,
+        TeeMechanism::MigrationExport,
+        TeeMechanism::MigrationImport,
     ];
 
     /// Stable label (kebab-case, matches the serde encoding) used in metric
@@ -81,6 +89,8 @@ impl TeeMechanism {
             TeeMechanism::TdispLock => "tdisp-lock",
             TeeMechanism::DeviceAttest => "device-attest",
             TeeMechanism::DeviceDma => "device-dma",
+            TeeMechanism::MigrationExport => "migration-export",
+            TeeMechanism::MigrationImport => "migration-import",
         }
     }
 

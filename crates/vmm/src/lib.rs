@@ -54,7 +54,7 @@ pub use fault::{TeeFault, TeeFaultPlan};
 pub use host::{ContentionModel, SharedHost};
 pub use snp::{AmdSp, SnpError, SnpPhase, SnpReport};
 pub use tdx::{TdId, TdPhase, TdReport, TdxError, TdxModule};
-pub use vm::{CostEvents, ExecutionReport, TeeVmBuilder, Vm};
+pub use vm::{CostEvents, ExecutionReport, TeeVmBuilder, Vm, VmRuntimeState};
 
 // Device types that appear in the `Vm` device API, re-exported for
 // convenience; the full subsystem lives in `confbench-devio`.

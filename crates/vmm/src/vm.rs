@@ -2,6 +2,7 @@
 //! cost model, driving the real TEE machinery (SEPT / RMP / GPT) along the
 //! way and producing deterministic cycle counts and perf counters.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use confbench_crypto::SplitMix64;
@@ -29,6 +30,10 @@ pub(crate) const BOOT_IMAGE_PAGES: u64 = 64;
 /// Keeps giant allocations cheap to simulate while still exercising the
 /// real state machines.
 const MECHANISM_PAGES_PER_ALLOC: u64 = 32;
+
+/// First guest-physical page number handed to the heap page machinery
+/// (boot-image pages occupy `0..BOOT_IMAGE_PAGES`).
+const HEAP_GPA_BASE: u64 = 0x100;
 
 /// The result of executing one trace on a [`Vm`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -248,9 +253,10 @@ impl TeeVmBuilder {
             faults: self.faults,
             heap_pages: 0,
             high_water_pages: BOOT_IMAGE_PAGES,
-            next_gpa: 0x100,
+            next_gpa: HEAP_GPA_BASE,
             total_exits: 0,
             total_faults: 0,
+            dirty: BTreeSet::new(),
         })
     }
 }
@@ -382,6 +388,33 @@ pub struct Vm {
     next_gpa: u64,
     total_exits: u64,
     total_faults: u64,
+    /// Guest pages written since tracking was last reset — the working set
+    /// a live migration's pre-copy rounds must re-send.
+    dirty: BTreeSet<u64>,
+}
+
+/// Architectural runtime state captured at a migration's stop-and-copy
+/// point: everything beyond memory contents the target VM needs to continue
+/// the guest's deterministic execution mid-sequence. Microarchitectural
+/// state (cache-simulator warmth, swiotlb slot history) is deliberately
+/// *not* part of it — a migrated machine resumes with cold caches, exactly
+/// as on real hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmRuntimeState {
+    /// Virtual clock reading at the pause point.
+    pub cycles: u64,
+    /// Internal state of the per-trial jitter stream.
+    pub rng_state: u64,
+    /// Currently allocated heap pages.
+    pub heap_pages: u64,
+    /// High-water mark of pages ever touched.
+    pub high_water_pages: u64,
+    /// Next guest-physical page the heap machinery would hand out.
+    pub next_gpa: u64,
+    /// Cumulative VM exits since boot.
+    pub total_exits: u64,
+    /// Cumulative guest page faults since boot.
+    pub total_faults: u64,
 }
 
 impl Vm {
@@ -564,6 +597,9 @@ impl Vm {
                 }
                 Op::MemRead { addr, bytes } | Op::MemWrite { addr, bytes } => {
                     let write = matches!(op, Op::MemWrite { .. });
+                    if write {
+                        self.mark_write_dirty(addr, bytes);
+                    }
                     let (refs, l2_hits, misses) = match &mut self.cache {
                         Some(cache) => {
                             let d = cache.touch(addr, bytes, write);
@@ -920,12 +956,132 @@ impl Vm {
         (0..trials.max(1)).map(|_| self.execute(trace)).collect()
     }
 
+    /// Pages currently resident in the guest: the measured boot image plus
+    /// every heap page the platform machinery has handed out.
+    pub fn resident_page_count(&self) -> u64 {
+        BOOT_IMAGE_PAGES + (self.next_gpa - HEAP_GPA_BASE)
+    }
+
+    /// Guest-physical ids of every resident page, in address order.
+    pub fn resident_page_ids(&self) -> Vec<u64> {
+        (0..BOOT_IMAGE_PAGES).chain(HEAP_GPA_BASE..self.next_gpa).collect()
+    }
+
+    /// Pages written since dirty tracking was last drained.
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Marks every resident page dirty — the start of a migration, where
+    /// the first pre-copy round must transfer the whole memory image.
+    pub fn mark_all_dirty(&mut self) {
+        self.dirty = self.resident_page_ids().into_iter().collect();
+    }
+
+    /// Drains the dirty set for one pre-copy round, returning the pages to
+    /// transfer in address order. A TEE mechanism crossing: the fault
+    /// plan's `migration-export` point is rolled first (secure VMs only),
+    /// and on an injected fault the dirty set is left untouched so the
+    /// round can be retried.
+    ///
+    /// # Errors
+    ///
+    /// The injected [`TeeFault`].
+    pub fn export_dirty_pages(&mut self) -> Result<Vec<u64>, TeeFault> {
+        self.roll(TeeMechanism::MigrationExport)?;
+        Ok(std::mem::take(&mut self.dirty).into_iter().collect())
+    }
+
+    /// Captures the architectural runtime state at the stop-and-copy
+    /// point. Rolls the `migration-export` fault point.
+    ///
+    /// # Errors
+    ///
+    /// The injected [`TeeFault`].
+    pub fn export_runtime_state(&mut self) -> Result<VmRuntimeState, TeeFault> {
+        self.roll(TeeMechanism::MigrationExport)?;
+        Ok(VmRuntimeState {
+            cycles: self.clock.now().get(),
+            rng_state: self.rng.state(),
+            heap_pages: self.heap_pages,
+            high_water_pages: self.high_water_pages,
+            next_gpa: self.next_gpa,
+            total_exits: self.total_exits,
+            total_faults: self.total_faults,
+        })
+    }
+
+    /// Imports one migration round's pages on the *target* VM: heap pages
+    /// the target has not materialized yet are pushed through the real
+    /// platform page machinery (SEPT aug/accept, RMP assign/validate,
+    /// granule map), re-sent pages are a plain content copy. Returns how
+    /// many pages were freshly materialized. Rolls the `migration-import`
+    /// fault point.
+    ///
+    /// # Errors
+    ///
+    /// The injected [`TeeFault`].
+    pub fn import_pages(&mut self, gpas: &[u64]) -> Result<u64, TeeFault> {
+        self.roll(TeeMechanism::MigrationImport)?;
+        let mut fresh = 0u64;
+        for &gpa in gpas {
+            while gpa >= HEAP_GPA_BASE && self.next_gpa <= gpa {
+                self.drive_page_mechanism(1);
+                fresh += 1;
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Installs the source's [`VmRuntimeState`] on the target VM — the final
+    /// step before resume. Any heap pages the page stream did not cover are
+    /// materialized, the virtual clock is advanced to the source's reading,
+    /// and the jitter stream continues exactly where the source paused, so
+    /// post-resume executions are byte-identical to a VM that never moved.
+    /// Rolls the `migration-import` fault point.
+    ///
+    /// # Errors
+    ///
+    /// The injected [`TeeFault`].
+    pub fn adopt_runtime_state(&mut self, state: &VmRuntimeState) -> Result<(), TeeFault> {
+        self.roll(TeeMechanism::MigrationImport)?;
+        while self.next_gpa < state.next_gpa {
+            self.drive_page_mechanism(1);
+        }
+        let now = self.clock.now().get();
+        if state.cycles > now {
+            self.clock.advance(Cycles::new(state.cycles - now));
+        }
+        self.rng = SplitMix64::new(state.rng_state);
+        self.heap_pages = state.heap_pages;
+        self.high_water_pages = state.high_water_pages;
+        self.total_exits = state.total_exits;
+        self.total_faults = state.total_faults;
+        self.dirty.clear();
+        Ok(())
+    }
+
+    /// Maps a written virtual address run onto resident guest pages and
+    /// marks them dirty. The mapping is deterministic (address-derived), so
+    /// the dirty stream replays exactly under a fixed workload.
+    fn mark_write_dirty(&mut self, addr: u64, bytes: u64) {
+        let resident = self.resident_page_count();
+        let pages = bytes.div_ceil(4096).clamp(1, 8);
+        for i in 0..pages {
+            let idx = (addr >> 12).wrapping_add(i) % resident;
+            let id =
+                if idx < BOOT_IMAGE_PAGES { idx } else { HEAP_GPA_BASE + (idx - BOOT_IMAGE_PAGES) };
+            self.dirty.insert(id);
+        }
+    }
+
     /// Pushes a bounded number of fresh pages through the platform's real
     /// page machinery so the state machines are exercised, not just costed.
     fn drive_page_mechanism(&mut self, pages: u64) {
         for _ in 0..pages {
             let gpa = self.next_gpa;
             self.next_gpa += 1;
+            self.dirty.insert(gpa);
             match &mut self.platform {
                 Platform::Normal => {}
                 Platform::Tdx { module, td } => {

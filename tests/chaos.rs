@@ -232,3 +232,47 @@ fn probe_supervision_overhead() {
         );
     }
 }
+
+/// Chaos × fleet: a 3-shard fleet campaign under ambient fault injection
+/// *and* a mid-run host kill still completes, and its harvested results
+/// are byte-identical to the fault-free single-gateway control — chaos
+/// recovery and fleet recovery compose without touching the data.
+#[test]
+fn fleet_chaos_campaign_with_host_kill_matches_fault_free_control() {
+    let chaos = Arc::new(TeeFaultPlan::new(41, CHAOS_RATE));
+    let fleet = confbench_fleet::Fleet::new(confbench_fleet::FleetConfig {
+        shards: 3,
+        seed: 11,
+        clock: Arc::new(ManualClock::new()),
+        chaos: Some(Arc::clone(&chaos)),
+        retry: fast_retry(),
+        ..confbench_fleet::FleetConfig::default()
+    });
+    let receipt = fleet.submit(campaign_spec()).expect("fleet campaign admitted");
+    assert_eq!(receipt.jobs, CAMPAIGN_JOBS);
+
+    // One pass under injection, then lose the busiest host.
+    fleet.pump();
+    let victim = fleet
+        .status()
+        .into_iter()
+        .filter(|s| s.alive)
+        .max_by_key(|s| s.queue_depth)
+        .expect("a shard is alive")
+        .shard;
+    fleet.kill_shard(victim);
+    fleet.drain();
+
+    assert!(chaos.injected() > 0, "the chaotic fleet run must see injections");
+    let status = fleet.campaign_status(&receipt.id).expect("campaign tracked");
+    assert!(status.complete, "chaos + host kill must not lose cells: {status:?}");
+
+    let control = Arc::new(TeeFaultPlan::new(41, 0.0));
+    let (_gw, clean_sched) = boot(control, u32::MAX);
+    let clean_bytes = run_campaign(&clean_sched);
+    assert_eq!(
+        serde_json::to_vec(&fleet.results()).expect("fleet results serialize"),
+        clean_bytes,
+        "fleet-under-chaos results must be byte-identical to the fault-free control"
+    );
+}

@@ -5,9 +5,10 @@
 //! Each corpus file under `tests/fuzz_corpus/` is an input that once
 //! crashed, misclassified, or silently slipped past one of the workspace
 //! parsers; replaying them here under plain `cargo test -q` keeps every
-//! harvested bug fixed. The model-check smoke proves the four machines
-//! (RMP, Secure-EPT, CCA granule table, TDISP) hold their security
-//! invariants over *every* operation sequence up to the default depth.
+//! harvested bug fixed. The model-check smoke proves the five machines
+//! (RMP, Secure-EPT, CCA granule table, TDISP, live migration) hold their
+//! security invariants over *every* operation sequence up to the default
+//! depth.
 
 use std::io::Cursor;
 
@@ -89,6 +90,37 @@ fn attest_corpus_replays_clean() {
     ));
 }
 
+/// Migration-wire corpus: every harvested framing violation decodes to the
+/// matching typed error — never a panic, never a silent accept.
+#[test]
+fn migrate_corpus_replays_clean() {
+    use confbench_fleet::{MigrationFrame, WireError, MAX_PAGES_PER_FRAME};
+    assert!(matches!(
+        MigrationFrame::decode(include_bytes!("fuzz_corpus/migrate/bad_magic.bin")),
+        Err(WireError::BadMagic(_))
+    ));
+    assert!(matches!(
+        MigrationFrame::decode(include_bytes!("fuzz_corpus/migrate/unknown_kind.bin")),
+        Err(WireError::UnknownKind(9))
+    ));
+    assert!(matches!(
+        MigrationFrame::decode(include_bytes!("fuzz_corpus/migrate/truncated_state.bin")),
+        Err(WireError::Truncated { .. })
+    ));
+    assert!(matches!(
+        MigrationFrame::decode(include_bytes!("fuzz_corpus/migrate/oversized_pages.bin")),
+        Err(WireError::FieldTooLong { field: "pages", len, .. }) if len > MAX_PAGES_PER_FRAME
+    ));
+    assert!(matches!(
+        MigrationFrame::decode(include_bytes!("fuzz_corpus/migrate/trailing_commit.bin")),
+        Err(WireError::TrailingBytes(1))
+    ));
+    assert!(matches!(
+        MigrationFrame::decode(include_bytes!("fuzz_corpus/migrate/bad_utf8_session.bin")),
+        Err(WireError::BadUtf8("session"))
+    ));
+}
+
 /// Model-check smoke: every TEE state machine closes under the default
 /// depth with zero invariant violations. A regression in any simulator's
 /// transition rules (e.g. re-admitting the SEPT hpa-aliasing bug) fails
@@ -96,7 +128,7 @@ fn attest_corpus_replays_clean() {
 #[test]
 fn model_check_smoke_all_machines_hold() {
     let reports = confbench_mc::check_all(&confbench_mc::CheckConfig::default());
-    assert_eq!(reports.len(), 4);
+    assert_eq!(reports.len(), 5);
     for report in reports {
         assert!(
             report.violations.is_empty(),

@@ -1,0 +1,291 @@
+//! Fleet end-to-end: sharded placement, kill/drain recovery with
+//! byte-identical results, content-addressed routing of resubmissions,
+//! fleet-wide collateral sharing, cross-shard work stealing, and live
+//! migration (execution equality after resume, runnable source on abort).
+
+use std::sync::Arc;
+
+use confbench::{AttestConfig, AttestService, Gateway, ManualClock, RetryPolicy};
+use confbench_fleet::{migrate, Fleet, FleetConfig, MigrationConfig, MigrationError};
+use confbench_sched::{Scheduler, SchedulerConfig};
+use confbench_types::{
+    CampaignFunction, CampaignSpec, Language, OpTrace, Priority, TeePlatform, VmKind, VmTarget,
+};
+use confbench_vmm::TeeVmBuilder;
+
+/// 2 functions × 1 language × 3 platforms × 2 modes.
+const CAMPAIGN_JOBS: usize = 12;
+
+fn campaign_spec() -> CampaignSpec {
+    CampaignSpec {
+        functions: vec![
+            CampaignFunction::new("factors").arg("360360"),
+            CampaignFunction::new("checksum").arg("30000"),
+        ],
+        languages: vec![Language::Go],
+        platforms: vec![TeePlatform::Tdx, TeePlatform::SevSnp, TeePlatform::Cca],
+        modes: vec![VmKind::Secure, VmKind::Normal],
+        trials: 2,
+        seed: 11,
+        priority: Priority::Normal,
+        deadline_ms: None,
+        device: None,
+    }
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy { max_attempts: 3, base_backoff_ms: 1, max_backoff_ms: 2, jitter: false }
+}
+
+fn fleet(shards: usize) -> Fleet {
+    Fleet::new(FleetConfig {
+        shards,
+        seed: 11,
+        clock: Arc::new(ManualClock::new()),
+        retry: fast_retry(),
+        ..FleetConfig::default()
+    })
+}
+
+/// The single-gateway control: same seed, same campaign, one scheduler.
+/// Its result-cache snapshot is the ground truth the fleet must reproduce
+/// byte-for-byte no matter which hosts die mid-run.
+fn control_bytes() -> Vec<u8> {
+    let gw = Arc::new(
+        Gateway::builder()
+            .seed(11)
+            .retry(fast_retry())
+            .clock(Arc::new(ManualClock::new()))
+            .local_host(TeePlatform::Tdx)
+            .local_host(TeePlatform::SevSnp)
+            .local_host(TeePlatform::Cca)
+            .build(),
+    );
+    let sched = Scheduler::with_metrics(
+        Arc::clone(&gw) as Arc<dyn confbench_sched::Executor>,
+        Arc::new(ManualClock::new()),
+        SchedulerConfig::default(),
+        Arc::clone(gw.metrics()),
+    );
+    sched.submit(campaign_spec()).expect("control campaign admitted");
+    sched.drain();
+    let snapshot = sched.result_cache().snapshot();
+    assert_eq!(snapshot.len(), CAMPAIGN_JOBS);
+    serde_json::to_vec(&snapshot).expect("control snapshot serializes")
+}
+
+/// Tentpole: kill a host mid-campaign. The fleet re-places the dead
+/// shard's unharvested cells, finishes, and the merged results are
+/// byte-identical to the single-gateway control — and the per-shard
+/// cache-miss counters prove no cell executed twice (anything the dead
+/// shard finished was harvested, anything it hadn't started runs exactly
+/// once on its new owner).
+#[test]
+fn kill_shard_mid_campaign_completes_byte_identical_with_dedup() {
+    let f = fleet(3);
+    let receipt = f.submit(campaign_spec()).expect("fleet campaign admitted");
+    assert_eq!(receipt.jobs, CAMPAIGN_JOBS);
+
+    // One scheduling pass, then kill the busiest surviving shard.
+    f.pump();
+    let victim = f
+        .status()
+        .into_iter()
+        .filter(|s| s.alive)
+        .max_by_key(|s| s.queue_depth)
+        .expect("a shard is alive")
+        .shard;
+    f.kill_shard(victim);
+    assert_eq!(f.alive_shards().len(), 2);
+
+    f.drain();
+    let status = f.campaign_status(&receipt.id).expect("campaign tracked");
+    assert!(status.complete, "campaign must survive the host loss: {status:?}");
+    assert_eq!(status.done, CAMPAIGN_JOBS);
+
+    assert_eq!(
+        serde_json::to_vec(&f.results()).unwrap(),
+        control_bytes(),
+        "fleet results must be byte-identical to the single-gateway control"
+    );
+    assert_eq!(
+        f.total_executions(),
+        CAMPAIGN_JOBS as u64,
+        "dedup: every cell executes exactly once fleet-wide, host loss notwithstanding"
+    );
+}
+
+/// Resubmitting a finished campaign routes every cell (by content
+/// address) to the shard whose cache already holds it: per-shard miss
+/// counters do not move, only hits do.
+#[test]
+fn resubmission_routes_to_the_cached_shard() {
+    let f = fleet(3);
+    f.submit(campaign_spec()).expect("first run admitted");
+    f.drain();
+    assert_eq!(f.total_executions(), CAMPAIGN_JOBS as u64);
+    let misses_before: Vec<u64> = f.status().iter().map(|s| s.cache_misses).collect();
+
+    let receipt = f.submit(campaign_spec()).expect("resubmission admitted");
+    f.drain();
+    assert!(f.campaign_status(&receipt.id).unwrap().complete);
+    let after = f.status();
+    let misses_after: Vec<u64> = after.iter().map(|s| s.cache_misses).collect();
+    assert_eq!(misses_before, misses_after, "resubmission must not execute anything");
+    let hits: u64 = after.iter().map(|s| s.cache_hits).sum();
+    assert_eq!(hits, CAMPAIGN_JOBS as u64, "every resubmitted cell cache-hits on its owner");
+}
+
+/// A graceful drain hands the leaving shard's cache entries to the ring's
+/// new owners, so a resubmission after the drain still executes nothing.
+#[test]
+fn drained_shard_hands_its_cache_to_new_owners() {
+    let f = fleet(3);
+    f.submit(campaign_spec()).expect("first run admitted");
+    f.drain();
+    assert_eq!(f.total_executions(), CAMPAIGN_JOBS as u64);
+
+    // Everything is harvested, so nothing needs re-placement...
+    assert_eq!(f.drain_shard(0), 0);
+    // ...and the drained shard's entries now live on the survivors.
+    let receipt = f.submit(campaign_spec()).expect("resubmission admitted");
+    f.drain();
+    assert!(f.campaign_status(&receipt.id).unwrap().complete);
+    assert_eq!(
+        f.total_executions(),
+        CAMPAIGN_JOBS as u64,
+        "post-drain resubmission must be served entirely from migrated cache entries"
+    );
+}
+
+/// The sharding regression the shared service fixes: N shards (or N
+/// migrations) re-verifying the same TDX identity must do exactly one
+/// collateral cycle fleet-wide (3 PCS requests: TCB info + 2 CRLs), not
+/// one per shard. Three back-to-back migrations each re-attest through
+/// the fleet-shared session cache; only the first touches the PCS.
+#[test]
+fn fleet_shares_one_collateral_cycle_per_identity() {
+    let f = fleet(3);
+    let mut warm = OpTrace::new();
+    warm.cpu(1_000_000);
+    warm.alloc(8 * 4096);
+    let target = VmTarget { platform: TeePlatform::Tdx, kind: VmKind::Secure };
+    for _ in 0..3 {
+        f.run_migration(target, std::slice::from_ref(&warm), &MigrationConfig::default())
+            .expect("tdx migration re-attests and resumes");
+    }
+    assert_eq!(
+        f.attest().tdx().collateral_fetches(),
+        1,
+        "one collateral round trip for the whole fleet"
+    );
+    assert_eq!(f.attest().tdx().pcs().requests(), 3, "tcb info + 2 CRLs, fetched once");
+    assert_eq!(f.migrations().len(), 3);
+}
+
+/// Work stealing: a single-platform campaign leaves some shards idle on
+/// that platform's lane; they must steal from the deepest queue instead
+/// of spinning, and the stolen results are indistinguishable (the victim
+/// keeps the bookkeeping, so dedup counters stay exact).
+#[test]
+fn idle_shards_steal_from_the_hot_shard() {
+    let f = fleet(3);
+    let spec = CampaignSpec {
+        functions: vec![
+            CampaignFunction::new("factors").arg("360360"),
+            CampaignFunction::new("factors").arg("720720"),
+            CampaignFunction::new("factors").arg("30030"),
+            CampaignFunction::new("checksum").arg("30000"),
+        ],
+        platforms: vec![TeePlatform::Tdx],
+        ..campaign_spec()
+    };
+    let receipt = f.submit(spec).expect("hot campaign admitted");
+    assert_eq!(receipt.jobs, 8);
+    f.drain();
+    assert!(f.campaign_status(&receipt.id).unwrap().complete);
+    assert!(f.steals() > 0, "idle shards must steal from the deepest queue");
+    assert_eq!(f.total_executions(), 8, "steals execute, they do not duplicate");
+}
+
+/// Live migration: after drain → pre-copy → stop-and-copy → re-attest →
+/// resume, the migrated VM's future is indistinguishable from a twin that
+/// never moved (same seed, same history — compute/alloc workloads).
+#[test]
+fn migrated_vm_execution_is_identical_to_an_unmigrated_twin() {
+    let target = VmTarget { platform: TeePlatform::Tdx, kind: VmKind::Secure };
+    let mut source = TeeVmBuilder::new(target).seed(7).build();
+    let mut twin = TeeVmBuilder::new(target).seed(7).build();
+
+    let mut warm = OpTrace::new();
+    warm.cpu(2_000_000);
+    warm.alloc(24 * 4096);
+    warm.cpu(500_000);
+    source.execute(&warm);
+    twin.execute(&warm);
+
+    // A workload arriving *during* pre-copy: executed on the source, its
+    // dirtied pages ride the later rounds.
+    let mut mid = OpTrace::new();
+    mid.alloc(8 * 4096);
+    mid.cpu(250_000);
+    twin.execute(&mid);
+
+    let attest =
+        AttestService::new(7, AttestConfig::from_env(), Arc::new(ManualClock::new()), None);
+    let (mut migrated, report) = migrate(
+        source,
+        TeeVmBuilder::new(target).seed(0xBADC0DE),
+        &attest,
+        std::slice::from_ref(&mid),
+        &MigrationConfig::default(),
+    )
+    .expect("tdx migration converges");
+
+    assert!(report.pages_total > 0, "pages moved: {report:?}");
+    assert!(report.session.starts_with("as-"), "re-attested session: {}", report.session);
+
+    let mut probe = OpTrace::new();
+    probe.cpu(1_000_000);
+    probe.alloc(4 * 4096);
+    let moved = migrated.execute(&probe);
+    let stayed = twin.execute(&probe);
+    assert_eq!(moved, stayed, "post-resume execution must match the unmigrated twin");
+}
+
+/// An aborted migration (CCA has no live-migration architecture, so
+/// secure-CCA re-attestation is refused) hands the source VM back
+/// runnable, and its subsequent execution matches a VM that never
+/// attempted the move.
+#[test]
+fn aborted_migration_returns_a_runnable_source() {
+    let target = VmTarget { platform: TeePlatform::Cca, kind: VmKind::Secure };
+    let mut source = TeeVmBuilder::new(target).seed(7).build();
+    let mut twin = TeeVmBuilder::new(target).seed(7).build();
+    let mut warm = OpTrace::new();
+    warm.cpu(1_000_000);
+    warm.alloc(8 * 4096);
+    source.execute(&warm);
+    twin.execute(&warm);
+
+    let attest =
+        AttestService::new(7, AttestConfig::from_env(), Arc::new(ManualClock::new()), None);
+    let err = migrate(
+        source,
+        TeeVmBuilder::new(target).seed(9),
+        &attest,
+        &[],
+        &MigrationConfig::default(),
+    )
+    .expect_err("secure-CCA migration must abort at re-attest");
+    assert!(matches!(err, MigrationError::Attest { .. }), "{err}");
+
+    let mut recovered = err.into_source();
+    let mut probe = OpTrace::new();
+    probe.cpu(750_000);
+    assert_eq!(
+        recovered.execute(&probe),
+        twin.execute(&probe),
+        "an aborted source must resume exactly where it stopped"
+    );
+}
